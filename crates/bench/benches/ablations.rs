@@ -1,0 +1,68 @@
+//! Ablation benches for the design knobs the paper fixes empirically
+//! (§4.1): `MAX_INTERVAL` and `MAX_REJECTION_TIMES`, plus simulator
+//! throughput scaling in sequence length. These quantify the *cost* side
+//! of the knobs — how much simulated work an always-rejecting worst case
+//! induces as the caps grow.
+
+use bench::bench_trace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simhpc::{Observation, SimConfig, Simulator};
+use std::hint::black_box;
+
+fn bench_max_interval(c: &mut Criterion) {
+    let trace = bench_trace();
+    let jobs = trace.sequence(100, 64);
+    let mut group = c.benchmark_group("ablation_max_interval");
+    for interval in [60.0, 600.0, 3600.0] {
+        let sim = Simulator::new(
+            trace.procs,
+            SimConfig { max_interval: interval, max_rejections: 8, backfill: false },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(interval), &sim, |b, sim| {
+            b.iter(|| {
+                let mut always = |_: &Observation| true;
+                black_box(sim.run_inspected(black_box(&jobs), &mut policies::Sjf, &mut always))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_max_rejections(c: &mut Criterion) {
+    let trace = bench_trace();
+    let jobs = trace.sequence(100, 64);
+    let mut group = c.benchmark_group("ablation_max_rejections");
+    for cap in [1u32, 8, 72] {
+        let sim = Simulator::new(
+            trace.procs,
+            SimConfig { max_interval: 600.0, max_rejections: cap, backfill: false },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &sim, |b, sim| {
+            b.iter(|| {
+                let mut always = |_: &Observation| true;
+                black_box(sim.run_inspected(black_box(&jobs), &mut policies::Sjf, &mut always))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequence_scaling(c: &mut Criterion) {
+    let trace = bench_trace();
+    let sim = Simulator::new(trace.procs, SimConfig::default());
+    let mut group = c.benchmark_group("simulator_sequence_scaling");
+    for len in [64usize, 256, 1024] {
+        let jobs = trace.sequence(0, len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &jobs, |b, jobs| {
+            b.iter(|| black_box(sim.run(black_box(jobs), &mut policies::Sjf)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = ablations;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_max_interval, bench_max_rejections, bench_sequence_scaling
+}
+criterion_main!(ablations);

@@ -1,0 +1,64 @@
+//! §4.6 — the inference cost of one inspection decision (the paper
+//! reports 0.7 ms; this bench shows the Rust MLP path in nanoseconds) and
+//! the cost of its parts (feature build vs. forward pass).
+
+use bench::bench_inspector;
+use criterion::{criterion_group, criterion_main, Criterion};
+use simhpc::{Observation, QueueEntry};
+use std::hint::black_box;
+use workload::Job;
+
+fn observation(queue_len: usize) -> Observation {
+    Observation {
+        now: 5_000.0,
+        job: Job::new(1, 4_000.0, 3_600.0, 7_200.0, 16),
+        wait: 1_000.0,
+        rejections: 3,
+        max_rejections: 72,
+        free_procs: 40,
+        total_procs: 128,
+        runnable: true,
+        backfill_enabled: false,
+        backfillable: 0,
+        queue: (0..queue_len as u64)
+            .map(|i| QueueEntry {
+                id: i,
+                wait: i as f64 * 60.0,
+                estimate: 600.0 + i as f64 * 120.0,
+                procs: 1 + (i % 16) as u32,
+            })
+            .collect(),
+    }
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let agent = bench_inspector();
+    let mut group = c.benchmark_group("inference_cost");
+    for queue_len in [0usize, 16, 64, 256] {
+        let obs = observation(queue_len);
+        group.bench_function(format!("decision_queue_{queue_len}"), |b| {
+            b.iter(|| black_box(agent.inspect(black_box(&obs))))
+        });
+    }
+    group.finish();
+
+    let obs = observation(32);
+    c.bench_function("inference_feature_build", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            agent.features.build(black_box(&obs), &mut buf);
+            black_box(buf.len())
+        })
+    });
+    c.bench_function("inference_forward_pass", |b| {
+        let state = vec![0.3f32; agent.policy.input_dim()];
+        b.iter(|| black_box(agent.policy.prob_reject(black_box(&state))))
+    });
+}
+
+criterion_group!{
+    name = cost;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_inference
+}
+criterion_main!(cost);

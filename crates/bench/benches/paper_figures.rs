@@ -1,0 +1,178 @@
+//! Criterion benches for the paper's figures: one bench (group) per
+//! figure, measuring the experiment's core computation at miniature scale.
+
+use bench::{bench_inspector, bench_sequence, bench_simulator, bench_trainer, sjf_factory};
+use criterion::{criterion_group, criterion_main, Criterion};
+use inspector::{
+    analysis, run_episode, FeatureBuilder, FeatureMode, Normalizer, RewardKind,
+};
+use rlcore::BinaryPolicy;
+use simhpc::Metric;
+use std::hint::black_box;
+
+/// Figure 4: one PPO training epoch (rollouts + update).
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_training_epoch", |b| {
+        let mut trainer = bench_trainer();
+        let mut epoch = 0;
+        b.iter(|| {
+            epoch += 1;
+            black_box(trainer.train_epoch(epoch))
+        })
+    });
+}
+
+/// Figure 5: feature building in each mode.
+fn bench_fig5(c: &mut Criterion) {
+    use simhpc::{Observation, QueueEntry};
+    use workload::Job;
+    let obs = Observation {
+        now: 1_000.0,
+        job: Job::new(1, 0.0, 600.0, 1200.0, 8),
+        wait: 1_000.0,
+        rejections: 1,
+        max_rejections: 72,
+        free_procs: 30,
+        total_procs: 128,
+        runnable: true,
+        backfill_enabled: true,
+        backfillable: 3,
+        queue: (0..24)
+            .map(|i| QueueEntry {
+                id: i,
+                wait: i as f64,
+                estimate: 600.0 + i as f64,
+                procs: 1 + (i % 8) as u32,
+            })
+            .collect(),
+    };
+    let mut group = c.benchmark_group("fig5_feature_building");
+    for (mode, name) in [
+        (FeatureMode::Manual, "manual"),
+        (FeatureMode::Compacted, "compacted"),
+        (FeatureMode::Native, "native"),
+    ] {
+        let fb = FeatureBuilder { mode, metric: Metric::Bsld, norm: Normalizer::new(128, 86_400.0) };
+        group.bench_function(name, |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                fb.build(black_box(&obs), &mut buf);
+                black_box(buf.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6: reward computation for each kind.
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_rewards");
+    for kind in [RewardKind::Native, RewardKind::WinLoss, RewardKind::Percentage] {
+        group.bench_function(kind.name().replace('/', "_"), |b| {
+            b.iter(|| black_box(kind.compute(black_box(160.2), black_box(135.6))))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 7 / Figure 9: one full training episode (base + inspected run).
+fn bench_fig7_episode(c: &mut Criterion) {
+    let jobs = bench_sequence();
+    let sim = bench_simulator(false);
+    let factory = sjf_factory();
+    let fb = FeatureBuilder {
+        mode: FeatureMode::Manual,
+        metric: Metric::Bsld,
+        norm: Normalizer::new(128, 432_000.0),
+    };
+    let policy = BinaryPolicy::new(fb.dim(), 3);
+    c.bench_function("fig7_training_episode", |b| {
+        b.iter(|| {
+            black_box(run_episode(
+                &sim,
+                black_box(&jobs),
+                &factory,
+                &policy,
+                &fb,
+                RewardKind::Percentage,
+                Metric::Bsld,
+                1,
+                true,
+            ))
+        })
+    });
+}
+
+/// Figure 8 / Figure 10: greedy evaluation of one held-out sequence.
+fn bench_fig8_eval(c: &mut Criterion) {
+    let jobs = bench_sequence();
+    let sim = bench_simulator(false);
+    let factory = sjf_factory();
+    let inspector = bench_inspector();
+    c.bench_function("fig8_eval_sequence", |b| {
+        b.iter(|| {
+            let mut p = factory();
+            let mut hook = inspector.hook();
+            black_box(sim.run_inspected(black_box(&jobs), p.as_mut(), &mut hook))
+        })
+    });
+}
+
+/// Figure 11: simulation with backfilling enabled vs disabled.
+fn bench_fig11_backfill(c: &mut Criterion) {
+    let jobs = bench_sequence();
+    let mut group = c.benchmark_group("fig11_backfill");
+    for (on, name) in [(false, "disabled"), (true, "enabled")] {
+        let sim = bench_simulator(on);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(sim.run(black_box(&jobs), &mut policies::Sjf)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 12: the Slurm multifactor policy's scoring path.
+fn bench_fig12_slurm(c: &mut Criterion) {
+    let trace = bench::bench_trace();
+    let jobs = trace.sequence(100, 128);
+    let sim = bench_simulator(true);
+    let template = policies::SlurmMultifactor::from_trace(&trace);
+    c.bench_function("fig12_slurm_multifactor", |b| {
+        b.iter(|| {
+            let mut p = template.clone();
+            p.reset_usage();
+            black_box(sim.run(black_box(&jobs), &mut p))
+        })
+    });
+}
+
+/// Figure 13: decision collection + CDF computation.
+fn bench_fig13_analysis(c: &mut Criterion) {
+    let jobs = bench_sequence();
+    let sim = bench_simulator(false);
+    let factory = sjf_factory();
+    let inspector = bench_inspector();
+    let samples = analysis::collect_decisions(&inspector, &sim, &jobs, &factory);
+    c.bench_function("fig13_collect_decisions", |b| {
+        b.iter(|| {
+            black_box(analysis::collect_decisions(&inspector, &sim, black_box(&jobs), &factory))
+        })
+    });
+    c.bench_function("fig13_feature_cdf", |b| {
+        b.iter(|| black_box(analysis::feature_cdf(black_box(&samples), 1, 101, false)))
+    });
+}
+
+criterion_group!{
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7_episode,
+    bench_fig8_eval,
+    bench_fig11_backfill,
+    bench_fig12_slurm,
+    bench_fig13_analysis
+}
+criterion_main!(figures);

@@ -1,0 +1,110 @@
+//! Criterion benches for the paper's tables: one bench group per table,
+//! each measuring the core computation that regenerates it (miniature
+//! scale, fixed seeds).
+
+use bench::{bench_sequence, bench_simulator, bench_trace, sjf_factory};
+use criterion::{criterion_group, criterion_main, Criterion};
+use policies::PolicyKind;
+use simhpc::{InspectorHook, Observation, SimConfig, Simulator};
+use std::hint::black_box;
+use workload::Job;
+
+/// Table 1: the motivating 5-node example with a scripted rejection.
+fn bench_table1(c: &mut Criterion) {
+    struct RejectOnce(bool);
+    impl InspectorHook for RejectOnce {
+        fn inspect(&mut self, obs: &Observation) -> bool {
+            if !self.0 && obs.job.id == 1 {
+                self.0 = true;
+                return true;
+            }
+            false
+        }
+    }
+    let jobs = vec![
+        Job::new(0, 0.0, 180.0, 180.0, 2),
+        Job::new(1, 0.0, 300.0, 300.0, 4),
+        Job::new(2, 60.0, 180.0, 180.0, 2),
+    ];
+    let sim = Simulator::new(5, SimConfig::default());
+    c.bench_function("table1_motivating_example", |b| {
+        b.iter(|| {
+            let mut hook = RejectOnce(false);
+            black_box(sim.run_inspected(black_box(&jobs), &mut policies::Sjf, &mut hook))
+        })
+    });
+}
+
+/// Table 2: trace generation + statistics.
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_trace_generation", |b| {
+        b.iter(|| {
+            let t = workload::synthetic::generate(&workload::profiles::SDSC_SP2, 500, 3);
+            black_box(t.stats())
+        })
+    });
+    c.bench_function("table2_lublin_generation", |b| {
+        b.iter(|| black_box(workload::lublin::generate(500, 3).stats()))
+    });
+}
+
+/// Table 3: scoring a full queue under every base policy.
+fn bench_table3(c: &mut Criterion) {
+    let jobs = bench_sequence();
+    let sim = bench_simulator(false);
+    let mut group = c.benchmark_group("table3_policies");
+    for kind in PolicyKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut p = kind.build();
+                black_box(sim.run(black_box(&jobs), p.as_mut()))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 4: cross-trace evaluation (inspected run on a foreign trace).
+fn bench_table4(c: &mut Criterion) {
+    let inspector = bench::bench_inspector();
+    let foreign = workload::lublin::generate(600, 9);
+    let jobs = foreign.sequence(50, 128);
+    let sim = Simulator::new(foreign.procs, SimConfig::default());
+    let factory = sjf_factory();
+    c.bench_function("table4_cross_trace_eval", |b| {
+        b.iter(|| {
+            let mut p = factory();
+            let mut hook = inspector.hook();
+            black_box(sim.run_inspected(black_box(&jobs), p.as_mut(), &mut hook))
+        })
+    });
+}
+
+/// Table 5: utilization computation over a simulated sequence.
+fn bench_table5(c: &mut Criterion) {
+    let jobs = bench_sequence();
+    let sim = bench_simulator(true);
+    let factory = sjf_factory();
+    let result = {
+        let mut p = factory();
+        sim.run(&jobs, p.as_mut())
+    };
+    c.bench_function("table5_utilization_metrics", |b| {
+        b.iter(|| {
+            (
+                black_box(result.util()),
+                black_box(result.bsld()),
+                black_box(result.mbsld()),
+                black_box(result.wait()),
+            )
+        })
+    });
+    let _ = bench_trace();
+}
+
+criterion_group!{
+    name = tables;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_table1, bench_table2, bench_table3, bench_table4, bench_table5
+}
+criterion_main!(tables);

@@ -1,0 +1,78 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Each paper table/figure has a corresponding bench (see `benches/`):
+//! Criterion measures the core computation of each experiment at a
+//! miniature, fixed-seed scale so regressions in simulator, policy, or
+//! training throughput are caught without re-running full experiments.
+
+use inspector::{
+    factory_for, FeatureBuilder, FeatureMode, InspectorConfig, Normalizer, PolicyFactory,
+    SchedInspector, Trainer,
+};
+use policies::PolicyKind;
+use rlcore::BinaryPolicy;
+use simhpc::{Metric, SimConfig, Simulator};
+use workload::{profiles, synthetic, Job, JobTrace};
+
+/// A small fixed SDSC-SP2-like trace shared by all benches.
+pub fn bench_trace() -> JobTrace {
+    synthetic::generate(&profiles::SDSC_SP2, 1_500, 0xBE7C4)
+}
+
+/// A fixed 128-job sequence from the bench trace.
+pub fn bench_sequence() -> Vec<Job> {
+    bench_trace().sequence(100, 128)
+}
+
+/// Simulator for the bench trace.
+pub fn bench_simulator(backfill: bool) -> Simulator {
+    let config = if backfill { SimConfig::with_backfill() } else { SimConfig::default() };
+    Simulator::new(bench_trace().procs, config)
+}
+
+/// A deterministic untrained inspector sized for the bench trace.
+pub fn bench_inspector() -> SchedInspector {
+    let fb = FeatureBuilder {
+        mode: FeatureMode::Manual,
+        metric: Metric::Bsld,
+        norm: Normalizer::new(128, 432_000.0),
+    };
+    SchedInspector::new(BinaryPolicy::new(fb.dim(), 7), fb)
+}
+
+/// An SJF factory.
+pub fn sjf_factory() -> PolicyFactory {
+    factory_for(PolicyKind::Sjf)
+}
+
+/// A miniature trainer (1 epoch ≈ a few ms) for training-throughput
+/// benches.
+pub fn bench_trainer() -> Trainer {
+    let config = InspectorConfig {
+        batch_size: 4,
+        seq_len: 32,
+        epochs: 1,
+        seed: 11,
+        workers: 1,
+        ..Default::default()
+    };
+    Trainer::new(bench_trace().split(0.2).0, sjf_factory(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(bench_sequence(), bench_sequence());
+        assert_eq!(bench_trace().procs, 128);
+    }
+
+    #[test]
+    fn trainer_fixture_runs() {
+        let mut t = bench_trainer();
+        let rec = t.train_epoch(0);
+        assert!(rec.base_metric.is_finite());
+    }
+}

@@ -1,0 +1,128 @@
+//! The deployable SchedInspector artifact: a trained policy plus its
+//! feature builder.
+
+use rlcore::{BinaryPolicy, REJECT};
+use simhpc::{InspectorHook, Observation};
+
+use crate::features::FeatureBuilder;
+
+/// A trained scheduling inspector.
+///
+/// At deployment time the inspector is deterministic: a decision is
+/// rejected iff the policy's reject probability exceeds ½. Use
+/// [`SchedInspector::hook`] to plug it into a [`simhpc::Simulator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedInspector {
+    /// The trained accept/reject policy network.
+    pub policy: BinaryPolicy,
+    /// The feature builder the policy was trained with.
+    pub features: FeatureBuilder,
+}
+
+impl SchedInspector {
+    /// Create an inspector from a policy and its feature builder. The
+    /// dimensions must agree.
+    pub fn new(policy: BinaryPolicy, features: FeatureBuilder) -> Self {
+        assert_eq!(
+            policy.input_dim(),
+            features.dim(),
+            "policy input dim must match the feature builder"
+        );
+        SchedInspector { policy, features }
+    }
+
+    /// Probability the inspector would reject this decision.
+    pub fn prob_reject(&self, obs: &Observation) -> f32 {
+        let mut buf = Vec::with_capacity(self.features.dim());
+        self.features.build(obs, &mut buf);
+        self.policy.prob_reject(&buf)
+    }
+
+    /// Greedy inspection decision (`true` = reject).
+    pub fn inspect(&self, obs: &Observation) -> bool {
+        let mut buf = Vec::with_capacity(self.features.dim());
+        self.features.build(obs, &mut buf);
+        self.policy.greedy(&buf) == REJECT
+    }
+
+    /// An [`InspectorHook`] adapter for the simulator (reuses its feature
+    /// buffer across calls).
+    pub fn hook(&self) -> DeployedHook<'_> {
+        DeployedHook { agent: self, buf: Vec::with_capacity(self.features.dim()) }
+    }
+}
+
+/// Simulator hook wrapping a trained [`SchedInspector`].
+#[derive(Debug)]
+pub struct DeployedHook<'a> {
+    agent: &'a SchedInspector,
+    buf: Vec<f32>,
+}
+
+impl InspectorHook for DeployedHook<'_> {
+    fn inspect(&mut self, obs: &Observation) -> bool {
+        self.agent.features.build(obs, &mut self.buf);
+        self.agent.policy.greedy(&self.buf) == REJECT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureMode, Normalizer};
+    use simhpc::Metric;
+    use workload::Job;
+
+    fn inspector() -> SchedInspector {
+        let fb = FeatureBuilder {
+            mode: FeatureMode::Manual,
+            metric: Metric::Bsld,
+            norm: Normalizer::new(64, 3600.0),
+        };
+        SchedInspector::new(BinaryPolicy::new(fb.dim(), 0), fb)
+    }
+
+    fn obs() -> Observation {
+        Observation {
+            now: 0.0,
+            job: Job::new(1, 0.0, 60.0, 60.0, 4),
+            wait: 0.0,
+            rejections: 0,
+            max_rejections: 72,
+            free_procs: 64,
+            total_procs: 64,
+            runnable: true,
+            backfill_enabled: false,
+            backfillable: 0,
+            queue: vec![],
+        }
+    }
+
+    #[test]
+    fn greedy_matches_probability_threshold() {
+        let insp = inspector();
+        let o = obs();
+        assert_eq!(insp.inspect(&o), insp.prob_reject(&o) > 0.5);
+    }
+
+    #[test]
+    fn hook_agrees_with_inspect() {
+        let insp = inspector();
+        let o = obs();
+        let mut hook = insp.hook();
+        assert_eq!(hook.inspect(&o), insp.inspect(&o));
+        // Repeated calls reuse the buffer and stay consistent.
+        assert_eq!(hook.inspect(&o), insp.inspect(&o));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn dimension_mismatch_panics() {
+        let fb = FeatureBuilder {
+            mode: FeatureMode::Manual,
+            metric: Metric::Bsld,
+            norm: Normalizer::new(64, 3600.0),
+        };
+        let _ = SchedInspector::new(BinaryPolicy::new(3, 0), fb);
+    }
+}

@@ -1,0 +1,74 @@
+//! Top-level SchedInspector configuration.
+
+use serde::{Deserialize, Serialize};
+use simhpc::{Metric, SimConfig};
+
+use crate::features::FeatureMode;
+use crate::reward::RewardKind;
+
+/// Everything that defines a SchedInspector training run.
+///
+/// Defaults are the paper's (§4.1): percentage reward, manually built
+/// features, batches of 100 trajectories of 128 sequential jobs, PPO at
+/// lr 1e-3, `MAX_INTERVAL` 600 s, `MAX_REJECTION_TIMES` 72.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InspectorConfig {
+    /// The job-execution metric being optimized.
+    pub metric: Metric,
+    /// Feature-building mechanism (§3.3 / Fig. 5 ablation).
+    pub features: FeatureMode,
+    /// Reward function (§3.4 / Fig. 6 ablation).
+    pub reward: RewardKind,
+    /// Simulator settings (backfilling, MAX_INTERVAL, MAX_REJECTION_TIMES).
+    pub sim: SimConfig,
+    /// Trajectories per model update.
+    pub batch_size: usize,
+    /// Sequential jobs per training trajectory.
+    pub seq_len: usize,
+    /// Training epochs (model updates).
+    pub epochs: usize,
+    /// Base RNG seed (episodes derive sub-seeds deterministically).
+    pub seed: u64,
+    /// Rollout worker threads (0 = number of cores).
+    pub workers: usize,
+}
+
+impl Default for InspectorConfig {
+    fn default() -> Self {
+        InspectorConfig {
+            metric: Metric::Bsld,
+            features: FeatureMode::Manual,
+            reward: RewardKind::Percentage,
+            sim: SimConfig::default(),
+            batch_size: 100,
+            seq_len: 128,
+            epochs: 50,
+            seed: 0,
+            workers: 0,
+        }
+    }
+}
+
+impl InspectorConfig {
+    /// A scaled-down configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        InspectorConfig { batch_size: 16, seq_len: 48, epochs: 8, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = InspectorConfig::default();
+        assert_eq!(c.batch_size, 100);
+        assert_eq!(c.seq_len, 128);
+        assert_eq!(c.metric, Metric::Bsld);
+        assert_eq!(c.reward, RewardKind::Percentage);
+        assert_eq!(c.features, FeatureMode::Manual);
+        assert_eq!(c.sim.max_interval, 600.0);
+        assert_eq!(c.sim.max_rejections, 72);
+    }
+}

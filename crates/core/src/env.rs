@@ -1,0 +1,227 @@
+//! The RL environment: one episode = one job sequence scheduled twice —
+//! once by the base policy alone (the reward baseline) and once with the
+//! inspector in the loop.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlcore::{BinaryPolicy, Step, Trajectory, REJECT};
+use simhpc::{InspectorHook, Metric, Observation, SchedulingPolicy, SimResult, Simulator};
+use workload::{Job, JobTrace};
+
+use crate::features::FeatureBuilder;
+use crate::reward::RewardKind;
+
+/// Constructs fresh base-policy instances. Needed because stateful policies
+/// (Slurm fairshare) must not leak accounting between the baseline run, the
+/// inspected run, and parallel rollout workers.
+pub type PolicyFactory = Arc<dyn Fn() -> Box<dyn SchedulingPolicy + Send> + Send + Sync>;
+
+/// Factory for a stateless Table 3 policy.
+pub fn factory_for(kind: policies::PolicyKind) -> PolicyFactory {
+    Arc::new(move || kind.build())
+}
+
+/// Factory for the Slurm multifactor policy, with shares derived from
+/// `trace` (§4.5).
+pub fn slurm_factory(trace: &JobTrace) -> PolicyFactory {
+    let template = policies::SlurmMultifactor::from_trace(trace);
+    Arc::new(move || {
+        let mut p = template.clone();
+        p.reset_usage();
+        Box::new(p)
+    })
+}
+
+/// Everything produced by one episode.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    /// The RL trajectory (states, actions, log-probs, terminal reward).
+    pub trajectory: Trajectory,
+    /// Result of the base policy alone on the same sequence.
+    pub base: SimResult,
+    /// Result with the inspector in the loop.
+    pub inspected: SimResult,
+}
+
+/// An [`InspectorHook`] that queries an RL policy and records each decision.
+struct CollectingHook<'a> {
+    policy: &'a BinaryPolicy,
+    features: &'a FeatureBuilder,
+    rng: StdRng,
+    stochastic: bool,
+    steps: Vec<Step>,
+    buf: Vec<f32>,
+}
+
+impl InspectorHook for CollectingHook<'_> {
+    fn inspect(&mut self, obs: &Observation) -> bool {
+        self.features.build(obs, &mut self.buf);
+        let (action, logp) = if self.stochastic {
+            self.policy.sample(&self.buf, &mut self.rng)
+        } else {
+            let a = self.policy.greedy(&self.buf);
+            (a, self.policy.logp(&self.buf, a))
+        };
+        self.steps.push(Step { state: self.buf.clone(), action, logp });
+        action == REJECT
+    }
+}
+
+/// Run one episode. `stochastic` selects sampled actions (training) vs.
+/// greedy actions (deployment/evaluation). The terminal reward compares the
+/// inspected run against the base-policy run under `reward`/`metric`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_episode(
+    sim: &Simulator,
+    jobs: &[Job],
+    factory: &PolicyFactory,
+    policy: &BinaryPolicy,
+    features: &FeatureBuilder,
+    reward: RewardKind,
+    metric: Metric,
+    seed: u64,
+    stochastic: bool,
+) -> Episode {
+    let mut base_policy = factory();
+    let base = sim.run(jobs, base_policy.as_mut());
+
+    let mut inspected_policy = factory();
+    let mut hook = CollectingHook {
+        policy,
+        features,
+        rng: StdRng::seed_from_u64(seed),
+        stochastic,
+        steps: Vec::new(),
+        buf: Vec::with_capacity(features.dim()),
+    };
+    let inspected = sim.run_inspected(jobs, inspected_policy.as_mut(), &mut hook);
+
+    let r = reward.compute(base.metric(metric), inspected.metric(metric));
+    Episode { trajectory: Trajectory { steps: hook.steps, reward: r }, base, inspected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureMode, Normalizer};
+    use policies::PolicyKind;
+    use simhpc::SimConfig;
+
+    fn jobs() -> Vec<Job> {
+        (0..12)
+            .map(|i| {
+                Job::new(i + 1, i as f64 * 30.0, 60.0 + (i % 4) as f64 * 120.0, 120.0 + (i % 4) as f64 * 240.0, 1 + (i % 3) as u32)
+            })
+            .collect()
+    }
+
+    fn setup() -> (Simulator, FeatureBuilder, PolicyFactory) {
+        let sim = Simulator::new(4, SimConfig::default());
+        let fb = FeatureBuilder {
+            mode: FeatureMode::Manual,
+            metric: Metric::Bsld,
+            norm: Normalizer::new(4, 600.0),
+        };
+        (sim, fb, factory_for(PolicyKind::Sjf))
+    }
+
+    #[test]
+    fn episode_records_one_step_per_inspection() {
+        let (sim, fb, factory) = setup();
+        let policy = BinaryPolicy::new(fb.dim(), 0);
+        let ep = run_episode(
+            &sim,
+            &jobs(),
+            &factory,
+            &policy,
+            &fb,
+            RewardKind::Percentage,
+            Metric::Bsld,
+            1,
+            true,
+        );
+        assert_eq!(ep.trajectory.len() as u64, ep.inspected.inspections);
+        assert_eq!(ep.base.outcomes.len(), 12);
+        assert_eq!(ep.inspected.outcomes.len(), 12);
+        assert!(ep.trajectory.reward.is_finite());
+    }
+
+    #[test]
+    fn greedy_episodes_are_deterministic() {
+        let (sim, fb, factory) = setup();
+        let policy = BinaryPolicy::new(fb.dim(), 3);
+        let run = |seed| {
+            run_episode(
+                &sim,
+                &jobs(),
+                &factory,
+                &policy,
+                &fb,
+                RewardKind::Percentage,
+                Metric::Bsld,
+                seed,
+                false,
+            )
+        };
+        let a = run(1);
+        let b = run(999); // greedy ignores the seed
+        assert_eq!(a.inspected, b.inspected);
+        assert_eq!(a.trajectory.reward, b.trajectory.reward);
+    }
+
+    #[test]
+    fn stochastic_episodes_vary_with_seed() {
+        let (sim, fb, factory) = setup();
+        let policy = BinaryPolicy::new(fb.dim(), 3);
+        let run = |seed| {
+            run_episode(
+                &sim,
+                &jobs(),
+                &factory,
+                &policy,
+                &fb,
+                RewardKind::Percentage,
+                Metric::Bsld,
+                seed,
+                true,
+            )
+            .trajectory
+        };
+        // With a fresh policy p(reject) ≈ 0.5, so some seed differs.
+        let base = run(0);
+        let differs = (1..10).any(|s| run(s) != base);
+        assert!(differs, "sampled trajectories should vary across seeds");
+    }
+
+    #[test]
+    fn never_rejecting_policy_matches_base_run() {
+        let (sim, _fb, factory) = setup();
+        // Force accept by biasing: a greedy untrained policy may reject, so
+        // test via a closure-driven run instead: inspected == base when no
+        // rejection happens.
+        struct Never;
+        impl InspectorHook for Never {
+            fn inspect(&mut self, _: &Observation) -> bool {
+                false
+            }
+        }
+        let mut base_policy = factory();
+        let base = sim.run(&jobs(), base_policy.as_mut());
+        let mut p2 = factory();
+        let mut never = Never;
+        let inspected = sim.run_inspected(&jobs(), p2.as_mut(), &mut never);
+        assert_eq!(base.outcomes, inspected.outcomes);
+    }
+
+    #[test]
+    fn slurm_factory_resets_usage() {
+        let trace = JobTrace::new("t", 8, jobs()).unwrap();
+        let factory = slurm_factory(&trace);
+        let sim = Simulator::new(8, SimConfig::default());
+        let r1 = sim.run(&jobs(), factory().as_mut());
+        let r2 = sim.run(&jobs(), factory().as_mut());
+        assert_eq!(r1, r2, "fresh instances must not share fairshare state");
+    }
+}

@@ -1,0 +1,185 @@
+//! Persistence of trained inspectors.
+//!
+//! A saved model records the policy weights (tinynn text format) plus the
+//! feature configuration it was trained with, so a loaded inspector is
+//! bit-identical in behavior. The format is line-oriented text, stable and
+//! diff-friendly.
+
+use std::path::Path;
+
+use rlcore::BinaryPolicy;
+use simhpc::Metric;
+use tinynn::Mlp;
+
+use crate::agent::SchedInspector;
+use crate::features::{FeatureBuilder, FeatureMode, Normalizer};
+
+const HEADER: &str = "schedinspector-model v1";
+
+fn mode_name(m: FeatureMode) -> &'static str {
+    match m {
+        FeatureMode::Manual => "manual",
+        FeatureMode::Compacted => "compacted",
+        FeatureMode::Native => "native",
+    }
+}
+
+fn mode_parse(s: &str) -> Result<FeatureMode, String> {
+    match s {
+        "manual" => Ok(FeatureMode::Manual),
+        "compacted" => Ok(FeatureMode::Compacted),
+        "native" => Ok(FeatureMode::Native),
+        other => Err(format!("unknown feature mode {other:?}")),
+    }
+}
+
+/// Serialize an inspector to the model text format.
+pub fn to_text(inspector: &SchedInspector) -> String {
+    let f = &inspector.features;
+    let n = &f.norm;
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("metric {}\n", f.metric.name()));
+    out.push_str(&format!("features {}\n", mode_name(f.mode)));
+    out.push_str(&format!(
+        "norm {} {} {} {} {}\n",
+        n.max_estimate, n.total_procs, n.max_wait, n.max_interval, n.max_rejections
+    ));
+    out.push_str("policy\n");
+    out.push_str(&inspector.policy_mlp_text());
+    out
+}
+
+/// Parse an inspector from the model text format.
+pub fn from_text(text: &str) -> Result<SchedInspector, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty model file")?;
+    if header.trim() != HEADER {
+        return Err(format!("bad header {header:?}"));
+    }
+    let metric: Metric = lines
+        .next()
+        .and_then(|l| l.strip_prefix("metric "))
+        .ok_or("missing metric line")?
+        .trim()
+        .parse()?;
+    let mode = mode_parse(
+        lines.next().and_then(|l| l.strip_prefix("features ")).ok_or("missing features line")?.trim(),
+    )?;
+    let norm_line =
+        lines.next().and_then(|l| l.strip_prefix("norm ")).ok_or("missing norm line")?;
+    let vals: Vec<f64> = norm_line
+        .split_whitespace()
+        .map(|t| t.parse::<f64>().map_err(|e| format!("bad norm value: {e}")))
+        .collect::<Result<_, _>>()?;
+    if vals.len() != 5 {
+        return Err(format!("norm line: expected 5 values, got {}", vals.len()));
+    }
+    let norm = Normalizer {
+        max_estimate: vals[0],
+        total_procs: vals[1] as u32,
+        max_wait: vals[2],
+        max_interval: vals[3],
+        max_rejections: vals[4] as u32,
+    };
+    let marker = lines.next().ok_or("missing policy marker")?;
+    if marker.trim() != "policy" {
+        return Err(format!("expected 'policy' marker, got {marker:?}"));
+    }
+    let rest: String = lines.collect::<Vec<_>>().join("\n");
+    let mlp = Mlp::from_text(&rest)?;
+    let features = FeatureBuilder { mode, metric, norm };
+    if mlp.input_dim() != features.dim() {
+        return Err(format!(
+            "policy input dim {} does not match feature dim {}",
+            mlp.input_dim(),
+            features.dim()
+        ));
+    }
+    Ok(SchedInspector::new(BinaryPolicy::from_mlp(mlp)?, features))
+}
+
+/// Save an inspector to a file.
+pub fn save(inspector: &SchedInspector, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_text(inspector))
+}
+
+/// Load an inspector from a file.
+pub fn load(path: &Path) -> Result<SchedInspector, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    from_text(&text)
+}
+
+impl SchedInspector {
+    fn policy_mlp_text(&self) -> String {
+        self.policy.mlp().to_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simhpc::Observation;
+    use workload::Job;
+
+    fn inspector() -> SchedInspector {
+        let fb = FeatureBuilder {
+            mode: FeatureMode::Manual,
+            metric: Metric::Bsld,
+            norm: Normalizer::new(128, 43_200.0),
+        };
+        SchedInspector::new(BinaryPolicy::new(fb.dim(), 33), fb)
+    }
+
+    fn obs() -> Observation {
+        Observation {
+            now: 100.0,
+            job: Job::new(1, 0.0, 300.0, 600.0, 16),
+            wait: 100.0,
+            rejections: 2,
+            max_rejections: 72,
+            free_procs: 50,
+            total_procs: 128,
+            runnable: true,
+            backfill_enabled: false,
+            backfillable: 0,
+            queue: vec![],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_behavior() {
+        let insp = inspector();
+        let text = to_text(&insp);
+        let back = from_text(&text).unwrap();
+        assert_eq!(insp.prob_reject(&obs()), back.prob_reject(&obs()));
+        assert_eq!(insp.features, back.features);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let insp = inspector();
+        let dir = std::env::temp_dir().join("schedinspector-model-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        save(&insp, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(insp.prob_reject(&obs()), back.prob_reject(&obs()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_models() {
+        assert!(from_text("").is_err());
+        assert!(from_text("wrong\n").is_err());
+        let text = to_text(&inspector()).replace("metric bsld", "metric nope");
+        assert!(from_text(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_dim_mismatch() {
+        let text = to_text(&inspector()).replace("features manual", "features compacted");
+        assert!(from_text(&text).is_err(), "compacted dim is 5, policy expects 8");
+    }
+}

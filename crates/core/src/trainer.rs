@@ -1,0 +1,286 @@
+//! The PPO training loop (§3, §4.1): sample job sequences, roll out
+//! episodes in parallel, compute percentage rewards against the base
+//! policy, and update the actor–critic.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rlcore::{default_workers, parallel_map, Batch, PpoConfig, PpoTrainer, UpdateStats};
+use serde::{Deserialize, Serialize};
+use simhpc::Simulator;
+use workload::JobTrace;
+
+use crate::agent::SchedInspector;
+use crate::config::InspectorConfig;
+use crate::env::{run_episode, PolicyFactory};
+use crate::features::{FeatureBuilder, Normalizer};
+
+/// Per-epoch training diagnostics — the data behind every training-curve
+/// figure in the paper (Figs. 4–7, 9, 11, 12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (one model update each).
+    pub epoch: usize,
+    /// Mean terminal reward of the batch.
+    pub mean_reward: f32,
+    /// Mean absolute metric improvement `m_orig − m_inspect` (the y-axis of
+    /// Figs. 4, 5, 7).
+    pub improvement: f64,
+    /// Mean relative improvement `(m_orig − m_inspect) / m_orig` (the
+    /// y-axis of Figs. 9, 11, 12).
+    pub improvement_pct: f64,
+    /// Mean base-policy metric value over the batch.
+    pub base_metric: f64,
+    /// Mean inspected metric value over the batch.
+    pub inspected_metric: f64,
+    /// Rejections / inspections over the batch (Fig. 7's orange curves).
+    pub rejection_ratio: f64,
+    /// PPO update diagnostics.
+    pub stats: UpdateStats,
+}
+
+/// The full training curve.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// One record per epoch.
+    pub records: Vec<EpochRecord>,
+}
+
+impl TrainingHistory {
+    /// Mean absolute improvement over the last `n` epochs (convergence
+    /// value reported by the paper's figures).
+    pub fn converged_improvement(&self, n: usize) -> f64 {
+        let tail = &self.records[self.records.len().saturating_sub(n)..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|r| r.improvement).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Mean rejection ratio over the last `n` epochs.
+    pub fn converged_rejection_ratio(&self, n: usize) -> f64 {
+        let tail = &self.records[self.records.len().saturating_sub(n)..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|r| r.rejection_ratio).sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// Trains a [`SchedInspector`] for one (base policy, trace, metric) combo.
+pub struct Trainer {
+    config: InspectorConfig,
+    ppo: PpoTrainer,
+    features: FeatureBuilder,
+    factory: PolicyFactory,
+    trace: JobTrace,
+    sim: Simulator,
+    rng: StdRng,
+}
+
+impl Trainer {
+    /// Create a trainer over `trace` (typically the train split) improving
+    /// the base policy produced by `factory`.
+    pub fn new(trace: JobTrace, factory: PolicyFactory, config: InspectorConfig) -> Self {
+        let stats = trace.stats();
+        let norm = Normalizer {
+            max_estimate: stats.max_estimate.max(1.0),
+            total_procs: trace.procs,
+            max_wait: 86_400.0,
+            max_interval: config.sim.max_interval,
+            max_rejections: config.sim.max_rejections,
+        };
+        let features = FeatureBuilder { mode: config.features, metric: config.metric, norm };
+        let ppo = PpoTrainer::new(features.dim(), PpoConfig::default(), config.seed);
+        let sim = Simulator::new(trace.procs, config.sim);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x7261_696E);
+        Trainer { config, ppo, features, factory, trace, sim, rng }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &InspectorConfig {
+        &self.config
+    }
+
+    /// The feature builder in use.
+    pub fn features(&self) -> &FeatureBuilder {
+        &self.features
+    }
+
+    /// Run one epoch: collect `batch_size` trajectories in parallel and
+    /// update the networks.
+    pub fn train_epoch(&mut self, epoch: usize) -> EpochRecord {
+        let n = self.config.batch_size;
+        let seq_len = self.config.seq_len;
+        let max_start = self.trace.len().saturating_sub(seq_len);
+        let starts: Vec<usize> =
+            (0..n).map(|_| if max_start == 0 { 0 } else { self.rng.random_range(0..=max_start) }).collect();
+        let episode_seed_base = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(epoch as u64);
+
+        let workers = if self.config.workers == 0 {
+            default_workers(n)
+        } else {
+            self.config.workers
+        };
+        let policy = self.ppo.policy.clone();
+        let (sim, features, factory, trace, config) =
+            (&self.sim, &self.features, &self.factory, &self.trace, &self.config);
+        let episodes = parallel_map(n, workers, |i| {
+            let jobs = trace.sequence(starts[i], seq_len);
+            run_episode(
+                sim,
+                &jobs,
+                factory,
+                &policy,
+                features,
+                config.reward,
+                config.metric,
+                episode_seed_base.wrapping_add(i as u64),
+                true,
+            )
+        });
+
+        let m = self.config.metric;
+        let base_metric =
+            episodes.iter().map(|e| e.base.metric(m)).sum::<f64>() / n.max(1) as f64;
+        let inspected_metric =
+            episodes.iter().map(|e| e.inspected.metric(m)).sum::<f64>() / n.max(1) as f64;
+        let improvement_pct = episodes
+            .iter()
+            .map(|e| {
+                let b = e.base.metric(m);
+                if b.abs() < 1e-12 {
+                    0.0
+                } else {
+                    (b - e.inspected.metric(m)) / b
+                }
+            })
+            .sum::<f64>()
+            / n.max(1) as f64;
+        let inspections: u64 = episodes.iter().map(|e| e.inspected.inspections).sum();
+        let rejections: u64 = episodes.iter().map(|e| e.inspected.rejections).sum();
+
+        let batch = Batch { trajectories: episodes.into_iter().map(|e| e.trajectory).collect() };
+        let mean_reward = batch.mean_reward();
+        let stats = self.ppo.update(&batch);
+
+        EpochRecord {
+            epoch,
+            mean_reward,
+            improvement: base_metric - inspected_metric,
+            improvement_pct,
+            base_metric,
+            inspected_metric,
+            rejection_ratio: if inspections == 0 {
+                0.0
+            } else {
+                rejections as f64 / inspections as f64
+            },
+            stats,
+        }
+    }
+
+    /// Train for `config.epochs` epochs, returning the training curve.
+    pub fn train(&mut self) -> TrainingHistory {
+        let mut history = TrainingHistory::default();
+        for epoch in 0..self.config.epochs {
+            history.records.push(self.train_epoch(epoch));
+        }
+        history
+    }
+
+    /// Snapshot the current policy as a deployable inspector.
+    pub fn inspector(&self) -> SchedInspector {
+        SchedInspector::new(self.ppo.policy.clone(), self.features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::factory_for;
+    use policies::PolicyKind;
+    use workload::Job;
+
+    fn tiny_trace() -> JobTrace {
+        // A congested 8-proc machine with a mix of long-wide and short jobs:
+        // enough structure for the inspector to find rejection opportunities.
+        let mut jobs = Vec::new();
+        for i in 0..400u64 {
+            let (rt, procs) = match i % 5 {
+                0 => (2400.0, 6),
+                1 => (300.0, 2),
+                2 => (600.0, 1),
+                3 => (3000.0, 4),
+                _ => (120.0, 1),
+            };
+            jobs.push(Job::new(i + 1, i as f64 * 150.0, rt, rt * 1.5, procs));
+        }
+        JobTrace::new("tiny", 8, jobs).unwrap()
+    }
+
+    #[test]
+    fn one_epoch_produces_finite_record() {
+        let config = InspectorConfig {
+            batch_size: 6,
+            seq_len: 24,
+            epochs: 1,
+            seed: 3,
+            workers: 2,
+            ..Default::default()
+        };
+        let mut t = Trainer::new(tiny_trace(), factory_for(PolicyKind::Sjf), config);
+        let rec = t.train_epoch(0);
+        assert!(rec.base_metric.is_finite());
+        assert!(rec.inspected_metric.is_finite());
+        assert!(rec.mean_reward.is_finite());
+        assert!((0.0..=1.0).contains(&rec.rejection_ratio));
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed_and_workers() {
+        let config = InspectorConfig {
+            batch_size: 4,
+            seq_len: 16,
+            epochs: 2,
+            seed: 9,
+            workers: 2,
+            ..Default::default()
+        };
+        let run = || {
+            let mut t = Trainer::new(tiny_trace(), factory_for(PolicyKind::Sjf), config);
+            t.train()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let mk = |workers| InspectorConfig {
+            batch_size: 4,
+            seq_len: 16,
+            epochs: 1,
+            seed: 5,
+            workers,
+            ..Default::default()
+        };
+        let run = |workers| {
+            let mut t = Trainer::new(tiny_trace(), factory_for(PolicyKind::Sjf), mk(workers));
+            t.train_epoch(0)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn inspector_snapshot_matches_feature_dim() {
+        let config = InspectorConfig::quick();
+        let t = Trainer::new(tiny_trace(), factory_for(PolicyKind::Sjf), config);
+        let insp = t.inspector();
+        assert_eq!(insp.policy.input_dim(), t.features().dim());
+    }
+}

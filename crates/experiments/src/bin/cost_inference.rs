@@ -1,0 +1,95 @@
+//! **§4.6** — computational cost: per-decision inference latency (the
+//! paper reports 0.7 ms through TensorFlow; the Rust MLP is far cheaper)
+//! and wall-clock training cost per epoch (paper: ~35 min total on their
+//! setup).
+
+use std::time::Instant;
+
+use experiments::{parse_args, print_table, train_combo, ComboSpec, Scale};
+use inspector::{FeatureBuilder, FeatureMode, Normalizer, SchedInspector};
+use policies::PolicyKind;
+use rlcore::BinaryPolicy;
+use simhpc::{Metric, Observation, QueueEntry};
+use workload::Job;
+
+fn observation() -> Observation {
+    Observation {
+        now: 5_000.0,
+        job: Job::new(1, 4_000.0, 3_600.0, 7_200.0, 16),
+        wait: 1_000.0,
+        rejections: 3,
+        max_rejections: 72,
+        free_procs: 40,
+        total_procs: 128,
+        runnable: true,
+        backfill_enabled: false,
+        backfillable: 0,
+        queue: (0..32)
+            .map(|i| QueueEntry {
+                id: i,
+                wait: i as f64 * 60.0,
+                estimate: 600.0 + i as f64 * 120.0,
+                procs: 1 + (i % 16) as u32,
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let (_, seed) = parse_args();
+    println!("§4.6: computational cost of SchedInspector\n");
+
+    // ---- inference latency ----
+    let fb = FeatureBuilder {
+        mode: FeatureMode::Manual,
+        metric: Metric::Bsld,
+        norm: Normalizer::new(128, 432_000.0),
+    };
+    let agent = SchedInspector::new(BinaryPolicy::new(fb.dim(), seed), fb);
+    let obs = observation();
+    // Warm up, then time a large batch of full inspections (feature build
+    // + forward pass), which is what each scheduling decision costs.
+    let mut sink = 0u64;
+    for _ in 0..1_000 {
+        sink += agent.inspect(&obs) as u64;
+    }
+    let n = 1_000_000u64;
+    let start = Instant::now();
+    for _ in 0..n {
+        sink += agent.inspect(&obs) as u64;
+    }
+    let per_decision = start.elapsed().as_secs_f64() / n as f64;
+    std::hint::black_box(sink);
+
+    // ---- training cost ----
+    let scale = Scale { epochs: 3, ..Scale::quick() };
+    let t0 = Instant::now();
+    let out = train_combo(&ComboSpec::new("SDSC-SP2", PolicyKind::Sjf), &scale, seed);
+    let per_epoch = t0.elapsed().as_secs_f64() / out.history.records.len() as f64;
+
+    print_table(
+        &["quantity", "paper", "ours"],
+        &[
+            vec![
+                "inference per decision".into(),
+                "0.7 ms".into(),
+                format!("{:.3} µs", per_decision * 1e6),
+            ],
+            vec![
+                format!("training epoch ({}x{} jobs)", scale.batch, scale.seq_len),
+                "-".into(),
+                format!("{per_epoch:.2} s"),
+            ],
+            vec![
+                "full training (paper setup)".into(),
+                "~35 min".into(),
+                format!("~{:.1} min at paper scale (est.)", per_epoch * 80.0 * (100.0 / scale.batch as f64) * (128.0 / scale.seq_len as f64) / 60.0),
+            ],
+        ],
+    );
+    println!(
+        "\nInference is {}x below the paper's 0.7 ms budget — negligible for\nbatch job scheduling, as §4.6 requires.",
+        (0.0007 / per_decision).round()
+    );
+    assert!(per_decision < 0.0007, "inference must beat the paper's 0.7 ms budget");
+}

@@ -1,0 +1,68 @@
+//! **Extension (ablation)** — the two inspection knobs the paper fixes
+//! empirically in §4.1: `MAX_INTERVAL` (600 s) and `MAX_REJECTION_TIMES`
+//! (72). Sweeps each knob on [SJF, SDSC-SP2, bsld] and reports the
+//! converged improvement and rejection ratio, quantifying how sensitive
+//! the result is to the chosen values.
+
+use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec};
+use inspector::{InspectorConfig, Trainer};
+use policies::PolicyKind;
+use simhpc::SimConfig;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    println!("Ablation: MAX_INTERVAL and MAX_REJECTION_TIMES (SJF, SDSC-SP2, bsld)\n");
+    let spec = ComboSpec::new("SDSC-SP2", PolicyKind::Sjf);
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+
+    let mut run = |label: String, sim: SimConfig| {
+        // Same pipeline as train_combo but with a custom SimConfig.
+        let trace = experiments::load_trace(&spec.trace, &scale, seed);
+        let (train, _) = trace.split(0.2);
+        let config = InspectorConfig {
+            sim,
+            batch_size: scale.batch,
+            seq_len: scale.seq_len,
+            epochs: scale.epochs,
+            seed,
+            ..Default::default()
+        };
+        let factory = inspector::factory_for(PolicyKind::Sjf);
+        let mut trainer = Trainer::new(train, factory, config);
+        let history = trainer.train();
+        let conv = history.converged_improvement(5);
+        let rej = history.converged_rejection_ratio(5);
+        println!("[{label:<28}] converged {conv:+.2}, rejection ratio {:.1}%", rej * 100.0);
+        rows.push(vec![label.clone(), format!("{conv:+.2}"), format!("{:.1}%", rej * 100.0)]);
+        csv.push(format!("{label},{conv:.4},{rej:.4}"));
+    };
+
+    for interval in [60.0, 600.0, 3600.0] {
+        run(
+            format!("MAX_INTERVAL={interval:.0}s cap=72"),
+            SimConfig { max_interval: interval, max_rejections: 72, backfill: false },
+        );
+    }
+    for cap in [4u32, 16, 72] {
+        if cap == 72 {
+            continue; // covered by the 600 s row above
+        }
+        run(
+            format!("MAX_INTERVAL=600s cap={cap}"),
+            SimConfig { max_interval: 600.0, max_rejections: cap, backfill: false },
+        );
+    }
+
+    println!();
+    print_table(&["configuration", "converged improvement", "rejection ratio"], &rows);
+    println!(
+        "\nThe paper's defaults (600 s, 72) bound a rejected job's extra wait\nby ~12 h; the sweep shows how gains shrink when retries are too\nfrequent (tiny intervals waste inspections) or too rare."
+    );
+    if let Some(p) =
+        write_csv("ext_ablation_knobs.csv", "config,improvement,rejection_ratio", &csv)
+    {
+        println!("wrote {}", p.display());
+    }
+    let _ = train_combo; // re-exported harness is exercised by other binaries
+}

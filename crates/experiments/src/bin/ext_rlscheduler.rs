@@ -1,0 +1,131 @@
+//! **Extension (paper §7 future work)** — "incorporate SchedInspector with
+//! intelligent scheduling policies, such as RLScheduler". Trains an
+//! RLScheduler-style learned selector, then trains a SchedInspector *on
+//! top of* the frozen selector, and compares four schedulers on held-out
+//! SDSC-SP2 sequences:
+//!
+//! 1. SJF (heuristic baseline),
+//! 2. SJF + SchedInspector (the paper's system),
+//! 3. RLScheduler (learned selector, the §6 "disruptive" alternative),
+//! 4. RLScheduler + SchedInspector (the future-work combination).
+
+use std::sync::Arc;
+
+use experiments::{load_trace, parse_args, print_table, write_csv};
+use inspector::{evaluate, factory_for, InspectorConfig, PolicyFactory, Trainer};
+use policies::PolicyKind;
+use rlsched::{SelectorConfig, SelectorTrainer};
+use simhpc::Metric;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    println!("Extension: SchedInspector on top of an RLScheduler-style selector\n");
+    let trace = load_trace("SDSC-SP2", &scale, seed);
+    let (train, test) = trace.split(0.2);
+
+    // --- 1. train the learned selector ---
+    println!(
+        "training RLScheduler selector ({} epochs x {} trajectories)...",
+        scale.epochs, scale.batch
+    );
+    let sel_config = SelectorConfig {
+        batch_size: scale.batch,
+        seq_len: scale.seq_len,
+        epochs: scale.epochs,
+        seed,
+        ..Default::default()
+    };
+    let mut sel_trainer = SelectorTrainer::new(train.clone(), sel_config);
+    let curve = sel_trainer.train();
+    let last_rewards: f32 = curve.iter().rev().take(5).map(|e| e.mean_reward).sum::<f32>() / 5.0;
+    println!("selector converged mean reward vs SJF: {last_rewards:+.3}");
+    let frozen = sel_trainer.scheduler();
+
+    // --- 2. train inspectors over both base policies ---
+    let insp_config = InspectorConfig {
+        batch_size: scale.batch,
+        seq_len: scale.seq_len,
+        epochs: scale.epochs,
+        seed: seed ^ 0x11,
+        ..Default::default()
+    };
+    let sjf_factory = factory_for(PolicyKind::Sjf);
+    println!("training SchedInspector over SJF...");
+    let mut sjf_insp = Trainer::new(train.clone(), sjf_factory.clone(), insp_config);
+    sjf_insp.train();
+
+    let rl_factory: PolicyFactory = {
+        let template = frozen.clone();
+        Arc::new(move || Box::new(template.clone()))
+    };
+    println!("training SchedInspector over the frozen RLScheduler...");
+    let mut rl_insp = Trainer::new(train.clone(), rl_factory.clone(), insp_config);
+    rl_insp.train();
+
+    // --- 3. evaluate the four schedulers on identical held-out sequences ---
+    let eval_seed = seed ^ 0xE07;
+    let sjf_rep = evaluate(
+        &sjf_insp.inspector(),
+        &test,
+        &sjf_factory,
+        insp_config.sim,
+        scale.eval_seqs,
+        scale.eval_len,
+        eval_seed,
+        0,
+    );
+    let rl_rep = evaluate(
+        &rl_insp.inspector(),
+        &test,
+        &rl_factory,
+        insp_config.sim,
+        scale.eval_seqs,
+        scale.eval_len,
+        eval_seed,
+        0,
+    );
+
+    let rows = vec![
+        vec![
+            "SJF".into(),
+            format!("{:.2}", sjf_rep.mean_base(Metric::Bsld)),
+            format!("{:.2}%", sjf_rep.mean_base_util() * 100.0),
+        ],
+        vec![
+            "SJF + Inspector".into(),
+            format!("{:.2}", sjf_rep.mean_inspected(Metric::Bsld)),
+            format!("{:.2}%", sjf_rep.mean_inspected_util() * 100.0),
+        ],
+        vec![
+            "RLScheduler".into(),
+            format!("{:.2}", rl_rep.mean_base(Metric::Bsld)),
+            format!("{:.2}%", rl_rep.mean_base_util() * 100.0),
+        ],
+        vec![
+            "RLScheduler + Inspector".into(),
+            format!("{:.2}", rl_rep.mean_inspected(Metric::Bsld)),
+            format!("{:.2}%", rl_rep.mean_inspected_util() * 100.0),
+        ],
+    ];
+    println!();
+    print_table(&["scheduler", "bsld", "util"], &rows);
+    println!(
+        "\nInspector gain over SJF: {:+.1}%; over RLScheduler: {:+.1}%",
+        sjf_rep.improvement_pct(Metric::Bsld) * 100.0,
+        rl_rep.improvement_pct(Metric::Bsld) * 100.0
+    );
+    let csv = vec![format!(
+        "{:.4},{:.4},{:.4},{:.4}",
+        sjf_rep.mean_base(Metric::Bsld),
+        sjf_rep.mean_inspected(Metric::Bsld),
+        rl_rep.mean_base(Metric::Bsld),
+        rl_rep.mean_inspected(Metric::Bsld)
+    )];
+    if let Some(p) = write_csv(
+        "ext_rlscheduler.csv",
+        "sjf,sjf_inspected,rlsched,rlsched_inspected",
+        &csv,
+    ) {
+        println!("wrote {}", p.display());
+    }
+}

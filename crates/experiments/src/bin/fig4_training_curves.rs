@@ -1,0 +1,69 @@
+//! **Figure 4** — training curves of SchedInspector on the four job traces
+//! using SJF and F1 as base schedulers, optimizing bsld. The y-axis is the
+//! per-epoch bsld improvement over the base scheduler (larger than 0 means
+//! the inspector wins).
+
+use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec, TRACES};
+use policies::PolicyKind;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    println!(
+        "Figure 4: training curves (bsld improvement per epoch), {} epochs x {} trajectories\n",
+        scale.epochs, scale.batch
+    );
+    let mut csv = Vec::new();
+    let mut summary = Vec::new();
+    for policy in [PolicyKind::Sjf, PolicyKind::F1] {
+        for trace in TRACES {
+            let spec = ComboSpec::new(trace, policy);
+            let out = train_combo(&spec, &scale, seed);
+            for r in &out.history.records {
+                csv.push(format!(
+                    "{},{trace},{},{:.4},{:.4},{:.4},{:.4}",
+                    policy.name(),
+                    r.epoch,
+                    r.improvement,
+                    r.improvement_pct,
+                    r.base_metric,
+                    r.rejection_ratio
+                ));
+            }
+            let first = out.history.records.first().map(|r| r.improvement).unwrap_or(0.0);
+            let conv = out.history.converged_improvement(5);
+            let conv_pct: f64 = {
+                let recs = &out.history.records;
+                let tail = &recs[recs.len().saturating_sub(5)..];
+                tail.iter().map(|r| r.improvement_pct).sum::<f64>() / tail.len().max(1) as f64
+            };
+            println!(
+                "[{:>4} on {:<8}] first-epoch {first:+.2}, converged {conv:+.2} ({:+.1}%)",
+                policy.name(),
+                trace,
+                conv_pct * 100.0
+            );
+            summary.push((policy.name(), trace, first, conv, conv_pct));
+        }
+    }
+    println!("\nConvergence summary (paper: all combos converge above 0):\n");
+    let rows: Vec<Vec<String>> = summary
+        .iter()
+        .map(|(p, t, first, conv, pct)| {
+            vec![
+                p.to_string(),
+                t.to_string(),
+                format!("{first:+.2}"),
+                format!("{conv:+.2}"),
+                format!("{:+.1}%", pct * 100.0),
+            ]
+        })
+        .collect();
+    print_table(&["policy", "trace", "first epoch", "converged", "converged %"], &rows);
+    if let Some(p) = write_csv(
+        "fig4_training_curves.csv",
+        "policy,trace,epoch,improvement,improvement_pct,base_bsld,rejection_ratio",
+        &csv,
+    ) {
+        println!("\nwrote {}", p.display());
+    }
+}

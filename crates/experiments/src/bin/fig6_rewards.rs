@@ -1,0 +1,51 @@
+//! **Figure 6** — impact of the reward function: native (raw difference)
+//! vs. win/loss (sign only) vs. the paper's percentage reward. Setting:
+//! SJF on SDSC-SP2 optimizing bsld; the y-axis is the *absolute* bsld
+//! difference, which nominally favors the native reward — the paper's
+//! counter-intuitive result is that percentage still wins.
+
+use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec};
+use inspector::RewardKind;
+use policies::PolicyKind;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    println!("Figure 6: reward-function ablation (SJF, SDSC-SP2, bsld)\n");
+    let mut csv = Vec::new();
+    let mut rows = Vec::new();
+    for reward in [RewardKind::Native, RewardKind::WinLoss, RewardKind::Percentage] {
+        let spec = ComboSpec { reward, ..ComboSpec::new("SDSC-SP2", PolicyKind::Sjf) };
+        let out = train_combo(&spec, &scale, seed);
+        for r in &out.history.records {
+            csv.push(format!(
+                "{},{},{:.4},{:.4},{:.4}",
+                reward.name(),
+                r.epoch,
+                r.improvement,
+                r.improvement_pct,
+                r.rejection_ratio
+            ));
+        }
+        let conv = out.history.converged_improvement(5);
+        let rej = out.history.converged_rejection_ratio(5);
+        println!(
+            "[{:>10}] converged improvement {conv:+.2}, rejection ratio {:.1}%",
+            reward.name(),
+            rej * 100.0
+        );
+        rows.push(vec![
+            reward.name().to_string(),
+            format!("{conv:+.2}"),
+            format!("{:.1}%", rej * 100.0),
+        ]);
+    }
+    println!("\nPaper's finding: percentage reward converges best despite the\ny-axis measuring exactly what the native reward optimizes.\n");
+    print_table(&["reward", "converged improvement", "rejection ratio"], &rows);
+    if let Some(p) = write_csv(
+        "fig6_rewards.csv",
+        "reward,epoch,improvement,improvement_pct,rejection_ratio",
+        &csv,
+    ) {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,66 @@
+//! **Figure 8** — scheduling performance of the trained inspector on
+//! held-out job sequences: 50 random 256-job sequences per trace from the
+//! test split, scheduled by SJF/F1 and their inspector-enabled
+//! counterparts. The paper reports box-and-whisker distributions with the
+//! averages on top (improvements from 13.6% to 91.6%).
+
+use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec, TRACES};
+use policies::PolicyKind;
+use simhpc::Metric;
+
+fn quartiles(mut xs: Vec<f64>) -> (f64, f64, f64) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let q = |f: f64| xs[((xs.len() - 1) as f64 * f).round() as usize];
+    (q(0.25), q(0.5), q(0.75))
+}
+
+fn main() {
+    let (scale, seed) = parse_args();
+    println!(
+        "Figure 8: test performance, {} sequences x {} jobs per trace (bsld)\n",
+        scale.eval_seqs, scale.eval_len
+    );
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for policy in [PolicyKind::Sjf, PolicyKind::F1] {
+        for trace in TRACES {
+            let spec = ComboSpec::new(trace, policy);
+            let out = train_combo(&spec, &scale, seed);
+            let rep = out.evaluate(&scale, seed ^ 0xF18);
+            let base = rep.mean_base(Metric::Bsld);
+            let insp = rep.mean_inspected(Metric::Bsld);
+            let pct = rep.improvement_pct(Metric::Bsld) * 100.0;
+            let (b_q1, b_med, b_q3) =
+                quartiles(rep.series(Metric::Bsld).iter().map(|s| s.0).collect());
+            let (i_q1, i_med, i_q3) =
+                quartiles(rep.series(Metric::Bsld).iter().map(|s| s.1).collect());
+            rows.push(vec![
+                policy.name().to_string(),
+                trace.to_string(),
+                format!("{base:.1}"),
+                format!("{insp:.1}"),
+                format!("{pct:+.1}%"),
+                format!("{b_q1:.1}/{b_med:.1}/{b_q3:.1}"),
+                format!("{i_q1:.1}/{i_med:.1}/{i_q3:.1}"),
+            ]);
+            for (i, (b, v)) in rep.series(Metric::Bsld).iter().enumerate() {
+                csv.push(format!("{},{trace},{i},{b:.4},{v:.4}", policy.name()));
+            }
+            println!(
+                "[{:>4} on {:<8}] base {base:.1} -> inspected {insp:.1} ({pct:+.1}%)",
+                policy.name(),
+                trace
+            );
+        }
+    }
+    println!("\nPaper: bsld improves 13.6% (F1/CTC-SP2) to 91.6% (SJF/Lublin).\n");
+    print_table(
+        &["policy", "trace", "base", "inspected", "improve", "base q1/med/q3", "insp q1/med/q3"],
+        &rows,
+    );
+    if let Some(p) =
+        write_csv("fig8_test_perf.csv", "policy,trace,seq,base_bsld,inspected_bsld", &csv)
+    {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,55 @@
+//! Run every experiment binary in paper order, forwarding the scale flags
+//! (`--quick`, `--paper`, `--epochs N`, `--seed N`).
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 15] = [
+    "table1_motivating",
+    "table2_traces",
+    "table3_policies",
+    "fig4_training_curves",
+    "fig5_features",
+    "fig6_rewards",
+    "fig7_policies",
+    "fig8_test_perf",
+    "table4_cross_trace",
+    "fig9_metrics",
+    "fig10_tradeoff",
+    "fig11_backfill",
+    "table5_utilization",
+    "fig12_slurm",
+    "fig13_learned",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n=== {name} {}\n", "=".repeat(60usize.saturating_sub(name.len())));
+        let status = Command::new(exe_dir.join(name)).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failed.push(name);
+            }
+            Err(e) => {
+                eprintln!("{name} failed to launch: {e} (build with `cargo build --release -p experiments` first)");
+                failed.push(name);
+            }
+        }
+    }
+    println!("\n=== cost_inference {}\n", "=".repeat(46));
+    let _ = Command::new(exe_dir.join("cost_inference")).args(&args).status();
+    if failed.is_empty() {
+        println!("\nAll experiments completed. CSVs are under results/.");
+    } else {
+        eprintln!("\nFailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

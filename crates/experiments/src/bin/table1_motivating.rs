@@ -1,0 +1,130 @@
+//! **Table 1** — the motivating example (§2.1, Fig. 1): scheduling two
+//! small job sequences on a 5-node cluster with SJF, with and without a
+//! (scripted) inspector that rejects J0's first scheduling decision.
+//!
+//! Case (b) reproduces the paper's numbers exactly. Case (a) is adapted:
+//! the paper's Fig. 1(a) narrative mixes two scheduler semantics (J1 is
+//! simultaneously committed at t0 *and* re-prioritized against the
+//! later-arriving J2); under the committing semantics the paper's own §3.2
+//! prescribes ("the simulator will wait until enough resources are
+//! released"), the closest consistent configuration is used and both
+//! metric improvements still hold. See EXPERIMENTS.md.
+
+use experiments::{print_table, write_csv};
+use policies::Sjf;
+use simhpc::{InspectorHook, Observation, SimConfig, SimResult, Simulator};
+use workload::Job;
+
+const MIN: f64 = 60.0; // the figure's timeline is in minutes
+
+/// Reject the first inspection of job `target`, accept everything else.
+struct RejectOnce {
+    target: u64,
+    done: bool,
+}
+
+impl InspectorHook for RejectOnce {
+    fn inspect(&mut self, obs: &Observation) -> bool {
+        if !self.done && obs.job.id == self.target {
+            self.done = true;
+            return true;
+        }
+        false
+    }
+}
+
+fn job(id: u64, submit_min: f64, exe_min: f64, procs: u32) -> Job {
+    Job::new(id, submit_min * MIN, exe_min * MIN, exe_min * MIN, procs)
+}
+
+/// Case (a): the selected shortest job can run immediately.
+fn case_a() -> Vec<Job> {
+    vec![
+        job(0, 0.0, 4.0, 2), // Jp — preliminary job, excluded from metrics
+        job(1, 0.0, 5.0, 3), // J0
+        job(2, 0.0, 5.0, 2), // J1
+        job(3, 1.0, 3.0, 2), // J2
+    ]
+}
+
+/// Case (b): the selected shortest job lacks resources (paper-exact).
+fn case_b() -> Vec<Job> {
+    vec![
+        job(0, 0.0, 3.0, 2), // Jp
+        job(1, 0.0, 5.0, 4), // J0
+        job(2, 1.0, 3.0, 2), // J1
+    ]
+}
+
+/// Metrics over the sequence excluding the preliminary job Jp (id 0).
+fn metrics(result: &SimResult) -> (f64, f64) {
+    let jobs: Vec<_> = result.outcomes.iter().filter(|o| o.id != 0).collect();
+    let wait = jobs.iter().map(|o| o.wait()).sum::<f64>() / jobs.len() as f64 / MIN;
+    let bsld = jobs.iter().map(|o| o.bsld()).sum::<f64>() / jobs.len() as f64;
+    (wait, bsld)
+}
+
+fn run(jobs: &[Job], inspect: bool) -> (f64, f64) {
+    let sim = Simulator::new(5, SimConfig::default());
+    let mut policy = Sjf;
+    let result = if inspect {
+        let mut hook = RejectOnce { target: 1, done: false };
+        sim.run_inspected(jobs, &mut policy, &mut hook)
+    } else {
+        sim.run(jobs, &mut policy)
+    };
+    metrics(&result)
+}
+
+fn main() {
+    println!("Table 1: performance metrics of the motivating example (minutes)\n");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let paper = [
+        ("Case(a)-NoInspect", 3.0, 1.77),
+        ("Case(a)-Inspected", 3.0, 1.53),
+        ("Case(b)-NoInspect", 5.0, 2.45),
+        ("Case(b)-Inspected", 2.0, 1.40),
+    ];
+    let runs = [
+        run(&case_a(), false),
+        run(&case_a(), true),
+        run(&case_b(), false),
+        run(&case_b(), true),
+    ];
+    for (i, (name, p_wait, p_bsld)) in paper.iter().enumerate() {
+        let (wait, bsld) = runs[i];
+        rows.push(vec![
+            name.to_string(),
+            format!("{p_wait:.2}"),
+            format!("{wait:.2}"),
+            format!("{p_bsld:.2}"),
+            format!("{bsld:.2}"),
+        ]);
+        csv.push(format!("{name},{p_wait},{wait:.4},{p_bsld},{bsld:.4}"));
+    }
+    print_table(
+        &["case", "wait(paper)", "wait(ours)", "bsld(paper)", "bsld(ours)"],
+        &rows,
+    );
+    let (wa0, ba0) = runs[0];
+    let (wa1, ba1) = runs[1];
+    let (wb0, bb0) = runs[2];
+    let (wb1, bb1) = runs[3];
+    println!();
+    println!(
+        "case (a): inspector improves bsld {ba0:.2} -> {ba1:.2}, wait {wa0:.2} -> {wa1:.2}"
+    );
+    println!(
+        "case (b): inspector improves bsld {bb0:.2} -> {bb1:.2}, wait {wb0:.2} -> {wb1:.2}"
+    );
+    assert!(ba1 < ba0, "case (a): inspection must improve bsld");
+    assert!(bb1 < bb0 && wb1 < wb0, "case (b): inspection must improve both metrics");
+    if let Some(p) = write_csv(
+        "table1_motivating.csv",
+        "case,wait_paper,wait_ours,bsld_paper,bsld_ours",
+        &csv,
+    ) {
+        println!("\nwrote {}", p.display());
+    }
+}

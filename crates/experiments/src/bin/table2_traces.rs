@@ -1,0 +1,59 @@
+//! **Table 2** — the job traces in use and their key statistics: cluster
+//! size, mean arrival interval, mean estimated runtime, mean requested
+//! processors. Our traces are synthetic substitutes calibrated to the
+//! paper's published values (DESIGN.md §5); this binary verifies the
+//! calibration.
+
+use experiments::{load_trace, parse_args, print_table, write_csv, TRACES};
+use workload::profiles::profile_by_name;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    println!(
+        "Table 2: job trace statistics ({} jobs per trace, seed {seed})\n",
+        scale.trace_jobs
+    );
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    // Paper order: CTC-SP2, SDSC-SP2, HPC2N, Lublin.
+    for name in ["CTC-SP2", "SDSC-SP2", "HPC2N", "Lublin"] {
+        let profile = profile_by_name(name).unwrap();
+        let trace = load_trace(name, &scale, seed);
+        let s = trace.stats();
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", s.cluster_size),
+            format!("{:.0}/{:.0}", s.mean_interval, profile.mean_interval),
+            format!("{:.0}/{:.0}", s.mean_estimate, profile.mean_estimate),
+            format!("{:.1}/{:.1}", s.mean_procs, profile.mean_procs),
+            format!("{:.2}", s.offered_load),
+        ]);
+        csv.push(format!(
+            "{name},{},{:.1},{},{:.1},{},{:.2},{},{:.3}",
+            s.cluster_size,
+            s.mean_interval,
+            profile.mean_interval,
+            s.mean_estimate,
+            profile.mean_estimate,
+            s.mean_procs,
+            profile.mean_procs,
+            s.offered_load
+        ));
+        let rel = |a: f64, b: f64| (a - b).abs() / b;
+        assert!(rel(s.mean_interval, profile.mean_interval) < 0.05, "{name}: interval drifted");
+        assert!(rel(s.mean_estimate, profile.mean_estimate) < 0.12, "{name}: estimate drifted");
+        assert!(rel(s.mean_procs, profile.mean_procs) < 0.15, "{name}: procs drifted");
+    }
+    print_table(
+        &["trace", "cluster", "interval ours/paper", "est ours/paper", "res ours/paper", "load"],
+        &rows,
+    );
+    assert_eq!(TRACES.len(), 4);
+    if let Some(p) = write_csv(
+        "table2_traces.csv",
+        "trace,cluster,interval,interval_paper,est,est_paper,res,res_paper,offered_load",
+        &csv,
+    ) {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,62 @@
+//! **Table 5** — system utilization with and without SchedInspector, for
+//! SJF and F1 on every trace, both with and without backfilling. The paper
+//! reports barely noticeable differences (Δ ≈ ±1%, worst −4.33% on
+//! Lublin/F1 without backfilling).
+
+use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec, TRACES};
+use policies::PolicyKind;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    println!("Table 5: system utilization with/without SchedInspector\n");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for backfill in [false, true] {
+        println!(
+            "Scheduling {} backfilling:",
+            if backfill { "with" } else { "without" }
+        );
+        for trace in TRACES {
+            let mut cells = vec![
+                if backfill { format!("{trace} +bf") } else { trace.to_string() },
+            ];
+            for policy in [PolicyKind::Sjf, PolicyKind::F1] {
+                let spec = ComboSpec { backfill, ..ComboSpec::new(trace, policy) };
+                let out = train_combo(&spec, &scale, seed);
+                let rep = out.evaluate(&scale, seed ^ 0x7AB5);
+                let base = rep.mean_base_util() * 100.0;
+                let insp = rep.mean_inspected_util() * 100.0;
+                println!(
+                    "  [{:>4} on {:<8}] BASE {base:.2}%  INSP {insp:.2}%  d {:+.2}%",
+                    policy.name(),
+                    trace,
+                    insp - base
+                );
+                cells.push(format!("{base:.2}%"));
+                cells.push(format!("{insp:.2}%"));
+                cells.push(format!("{:+.2}%", insp - base));
+                csv.push(format!(
+                    "{trace},{},{},{:.4},{:.4}",
+                    policy.name(),
+                    backfill,
+                    base / 100.0,
+                    insp / 100.0
+                ));
+            }
+            rows.push(cells);
+        }
+    }
+    println!();
+    print_table(
+        &["trace", "SJF base", "SJF insp", "SJF d", "F1 base", "F1 insp", "F1 d"],
+        &rows,
+    );
+    println!("\nPaper: deltas are within about ±1% (worst case -4.33%, Lublin/F1).");
+    if let Some(p) = write_csv(
+        "table5_utilization.csv",
+        "trace,policy,backfill,util_base,util_inspected",
+        &csv,
+    ) {
+        println!("\nwrote {}", p.display());
+    }
+}

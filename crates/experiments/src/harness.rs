@@ -1,0 +1,137 @@
+//! Training/evaluation drivers shared by the experiment binaries.
+
+use inspector::{
+    evaluate, factory_for, slurm_factory, EvalReport, FeatureMode, InspectorConfig,
+    PolicyFactory, RewardKind, SchedInspector, Trainer, TrainingHistory,
+};
+use policies::PolicyKind;
+use simhpc::{Metric, SimConfig};
+use workload::JobTrace;
+
+use crate::scale::Scale;
+use crate::load_trace;
+
+/// One (trace, policy, metric, ...) training combination.
+#[derive(Debug, Clone)]
+pub struct ComboSpec {
+    /// Trace name (Table 2).
+    pub trace: String,
+    /// Base policy; `None` selects the Slurm multifactor policy (§4.5).
+    pub policy: Option<PolicyKind>,
+    /// Optimized metric.
+    pub metric: Metric,
+    /// Reward function.
+    pub reward: RewardKind,
+    /// Feature-building mechanism.
+    pub features: FeatureMode,
+    /// EASY backfilling on/off.
+    pub backfill: bool,
+}
+
+impl ComboSpec {
+    /// The paper's default combination for a (trace, policy) pair.
+    pub fn new(trace: &str, policy: PolicyKind) -> Self {
+        ComboSpec {
+            trace: trace.into(),
+            policy: Some(policy),
+            metric: Metric::Bsld,
+            reward: RewardKind::Percentage,
+            features: FeatureMode::Manual,
+            backfill: false,
+        }
+    }
+
+    /// Human-readable name of the base policy.
+    pub fn policy_name(&self) -> &str {
+        match self.policy {
+            Some(k) => k.name(),
+            None => "Slurm",
+        }
+    }
+}
+
+/// Everything produced by training one combination.
+pub struct TrainOutcome {
+    /// Per-epoch training curve.
+    pub history: TrainingHistory,
+    /// The trained inspector.
+    pub inspector: SchedInspector,
+    /// Base-policy factory used for training (reuse it for evaluation).
+    pub factory: PolicyFactory,
+    /// Train split (first 20%).
+    pub train: JobTrace,
+    /// Test split (remaining 80%).
+    pub test: JobTrace,
+    /// Simulator configuration used.
+    pub sim: SimConfig,
+}
+
+impl TrainOutcome {
+    /// Evaluate the trained inspector on the held-out split at this scale.
+    pub fn evaluate(&self, scale: &Scale, seed: u64) -> EvalReport {
+        evaluate(
+            &self.inspector,
+            &self.test,
+            &self.factory,
+            self.sim,
+            scale.eval_seqs,
+            scale.eval_len,
+            seed,
+            0,
+        )
+    }
+}
+
+/// Train one combination at the given scale (the workhorse of Figs. 4–12).
+pub fn train_combo(spec: &ComboSpec, scale: &Scale, seed: u64) -> TrainOutcome {
+    let trace = load_trace(&spec.trace, scale, seed);
+    let (train, test) = trace.split(0.2);
+    let factory: PolicyFactory = match spec.policy {
+        Some(kind) => factory_for(kind),
+        None => slurm_factory(&trace),
+    };
+    let sim = SimConfig { backfill: spec.backfill, ..SimConfig::default() };
+    let config = InspectorConfig {
+        metric: spec.metric,
+        features: spec.features,
+        reward: spec.reward,
+        sim,
+        batch_size: scale.batch,
+        seq_len: scale.seq_len,
+        epochs: scale.epochs,
+        seed,
+        workers: 0,
+    };
+    let mut trainer = Trainer::new(train.clone(), factory.clone(), config);
+    let history = trainer.train();
+    TrainOutcome { history, inspector: trainer.inspector(), factory, train, test, sim }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_combo_trains_and_evaluates() {
+        let mut scale = Scale::quick();
+        scale.epochs = 2;
+        scale.batch = 4;
+        scale.trace_jobs = 1_200;
+        scale.eval_seqs = 3;
+        scale.eval_len = 48;
+        let spec = ComboSpec::new("SDSC-SP2", PolicyKind::Sjf);
+        let out = train_combo(&spec, &scale, 7);
+        assert_eq!(out.history.records.len(), 2);
+        let rep = out.evaluate(&scale, 1);
+        assert_eq!(rep.cases.len(), 3);
+        assert!(rep.mean_base(Metric::Bsld).is_finite());
+    }
+
+    #[test]
+    fn combo_spec_names() {
+        let s = ComboSpec::new("Lublin", PolicyKind::F1);
+        assert_eq!(s.policy_name(), "F1");
+        let slurm = ComboSpec { policy: None, ..s };
+        assert_eq!(slurm.policy_name(), "Slurm");
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` built on these helpers: trace loading, scaled configurations
+//! (`--quick` / `--paper`), training drivers, CSV output under `results/`,
+//! and aligned table printing.
+
+pub mod harness;
+pub mod output;
+pub mod scale;
+
+pub use harness::{train_combo, ComboSpec, TrainOutcome};
+pub use output::{print_table, write_csv};
+pub use scale::{parse_args, Scale};
+
+use workload::JobTrace;
+
+/// The four paper traces in Table 2 order.
+pub const TRACES: [&str; 4] = ["SDSC-SP2", "CTC-SP2", "Lublin", "HPC2N"];
+
+/// Generate a paper trace at the scale's job count, deterministically from
+/// `seed`.
+pub fn load_trace(name: &str, scale: &Scale, seed: u64) -> JobTrace {
+    workload::paper_trace(name, scale.trace_jobs, seed ^ trace_salt(name))
+        .unwrap_or_else(|| panic!("unknown trace {name:?}"))
+}
+
+fn trace_salt(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_load_at_quick_scale() {
+        let scale = Scale::quick();
+        for name in TRACES {
+            let t = load_trace(name, &scale, 1);
+            assert_eq!(t.len(), scale.trace_jobs, "{name}");
+        }
+    }
+
+    #[test]
+    fn trace_salts_differ() {
+        assert_ne!(trace_salt("SDSC-SP2"), trace_salt("CTC-SP2"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Result output: aligned console tables and CSV files under `results/`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to (override with
+/// `SCHEDINSPECTOR_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("SCHEDINSPECTOR_RESULTS").unwrap_or_else(|_| "results".into());
+    PathBuf::from(dir)
+}
+
+/// Write a CSV file (header + rows) under the results directory; returns
+/// the path written. Failures are reported but non-fatal (experiments keep
+/// printing to stdout).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> Option<PathBuf> {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(name);
+    let mut out = match std::fs::File::create(&path) {
+        Ok(f) => std::io::BufWriter::new(f),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            return None;
+        }
+    };
+    let _ = writeln!(out, "{header}");
+    for r in rows {
+        let _ = writeln!(out, "{r}");
+    }
+    let _ = out.flush();
+    Some(path)
+}
+
+/// Print an aligned table: a header row then data rows, column widths fit
+/// to content.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{c:>width$}", width = widths[i]));
+        }
+        println!("{s}");
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_is_written() {
+        std::env::set_var("SCHEDINSPECTOR_RESULTS", std::env::temp_dir().join("si-results"));
+        let p = write_csv("test.csv", "a,b", &["1,2".into(), "3,4".into()]).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(p).ok();
+        std::env::remove_var("SCHEDINSPECTOR_RESULTS");
+    }
+}

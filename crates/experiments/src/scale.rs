@@ -1,0 +1,100 @@
+//! Experiment scaling: quick smoke runs, the standard scale, and the full
+//! paper scale.
+
+/// How big an experiment run is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Training epochs (model updates).
+    pub epochs: usize,
+    /// Trajectories per epoch.
+    pub batch: usize,
+    /// Jobs per training trajectory.
+    pub seq_len: usize,
+    /// Held-out sequences per evaluation.
+    pub eval_seqs: usize,
+    /// Jobs per evaluation sequence.
+    pub eval_len: usize,
+    /// Jobs generated per synthetic trace.
+    pub trace_jobs: usize,
+}
+
+impl Scale {
+    /// Smoke-test scale (seconds per experiment).
+    pub fn quick() -> Self {
+        Scale { epochs: 6, batch: 16, seq_len: 48, eval_seqs: 10, eval_len: 96, trace_jobs: 2_000 }
+    }
+
+    /// Default scale: paper-shaped but sized to run a full experiment suite
+    /// in minutes on a laptop.
+    pub fn standard() -> Self {
+        Scale {
+            epochs: 40,
+            batch: 64,
+            seq_len: 128,
+            eval_seqs: 50,
+            eval_len: 256,
+            trace_jobs: 10_000,
+        }
+    }
+
+    /// The paper's §4.1 settings verbatim.
+    pub fn paper() -> Self {
+        Scale {
+            epochs: 80,
+            batch: 100,
+            seq_len: 128,
+            eval_seqs: 50,
+            eval_len: 256,
+            trace_jobs: 20_000,
+        }
+    }
+}
+
+/// Parse standard experiment flags: `--quick`, `--paper`, `--epochs N`,
+/// `--seed N`. Returns the scale and the base seed.
+pub fn parse_args() -> (Scale, u64) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::standard();
+    if args.iter().any(|a| a == "--quick") {
+        scale = Scale::quick();
+    }
+    if args.iter().any(|a| a == "--paper") {
+        scale = Scale::paper();
+    }
+    let mut seed = 20220627; // HPDC'22 started June 27, 2022
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--epochs" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    scale.epochs = v;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    seed = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    (scale, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = Scale::quick();
+        let s = Scale::standard();
+        let p = Scale::paper();
+        assert!(q.epochs < s.epochs && s.epochs <= p.epochs);
+        assert!(q.trace_jobs < s.trace_jobs);
+        assert_eq!(p.batch, 100, "paper batch size");
+        assert_eq!(p.seq_len, 128, "paper trajectory length");
+        assert_eq!(s.eval_seqs, 50, "paper evaluation count");
+        assert_eq!(s.eval_len, 256, "paper evaluation sequence length");
+    }
+}

@@ -1,0 +1,116 @@
+//! The single- and two-attribute heuristics of Table 3:
+//! FCFS, LCFS, SJF, SAF, SRF.
+
+use simhpc::{PolicyContext, SchedulingPolicy};
+use workload::Job;
+
+/// First Come First Served — priority `max(wait_j)`, i.e. smallest submit
+/// time first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs;
+
+impl SchedulingPolicy for Fcfs {
+    fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
+        job.submit
+    }
+    fn name(&self) -> &str {
+        "FCFS"
+    }
+}
+
+/// Last Come First Served — priority `min(wait_j)`, i.e. newest job first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lcfs;
+
+impl SchedulingPolicy for Lcfs {
+    fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
+        -job.submit
+    }
+    fn name(&self) -> &str {
+        "LCFS"
+    }
+}
+
+/// Shortest Job First — priority `min(est_j)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sjf;
+
+impl SchedulingPolicy for Sjf {
+    fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
+        job.estimate
+    }
+    fn name(&self) -> &str {
+        "SJF"
+    }
+}
+
+/// Smallest estimated Area First — priority `min(est_j · res_j)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Saf;
+
+impl SchedulingPolicy for Saf {
+    fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
+        job.estimate * job.procs as f64
+    }
+    fn name(&self) -> &str {
+        "SAF"
+    }
+}
+
+/// Smallest estimated Ratio First — priority `min(est_j / res_j)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Srf;
+
+impl SchedulingPolicy for Srf {
+    fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
+        job.estimate / job.procs as f64
+    }
+    fn name(&self) -> &str {
+        "SRF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> PolicyContext {
+        PolicyContext { now: 1000.0, total_procs: 128, free_procs: 128 }
+    }
+
+    fn job(submit: f64, estimate: f64, procs: u32) -> Job {
+        Job::new(1, submit, estimate, estimate, procs)
+    }
+
+    #[test]
+    fn fcfs_orders_by_submit() {
+        let mut p = Fcfs;
+        assert!(p.score(&job(10.0, 5.0, 1), &ctx()) < p.score(&job(20.0, 1.0, 1), &ctx()));
+    }
+
+    #[test]
+    fn lcfs_orders_by_negative_submit() {
+        let mut p = Lcfs;
+        assert!(p.score(&job(20.0, 5.0, 1), &ctx()) < p.score(&job(10.0, 1.0, 1), &ctx()));
+    }
+
+    #[test]
+    fn sjf_orders_by_estimate() {
+        let mut p = Sjf;
+        assert!(p.score(&job(0.0, 10.0, 9), &ctx()) < p.score(&job(0.0, 20.0, 1), &ctx()));
+    }
+
+    #[test]
+    fn saf_orders_by_area() {
+        let mut p = Saf;
+        // 10*4 = 40 vs 30*2 = 60.
+        assert!(p.score(&job(0.0, 10.0, 4), &ctx()) < p.score(&job(0.0, 30.0, 2), &ctx()));
+    }
+
+    #[test]
+    fn srf_orders_by_ratio() {
+        let mut p = Srf;
+        // 10/4 = 2.5 vs 30/16 = 1.875 — the second wins.
+        assert!(p.score(&job(0.0, 30.0, 16), &ctx()) < p.score(&job(0.0, 10.0, 4), &ctx()));
+    }
+}

@@ -1,0 +1,199 @@
+//! Slurm multifactor priority plug-in (§4.5).
+//!
+//! Implements the paper's published priority formula
+//!
+//! ```text
+//! Job_Priority = w_age · age_factor + w_fairshare · fairshare_factor
+//!              + w_jattr · job_attribute_factor + w_partition · partition_factor
+//! ```
+//!
+//! with all weights 1000 as in the paper. Factor construction follows §4.5:
+//!
+//! * `age_factor` — the job's waiting time normalized by 7 days (capped at 1);
+//! * `fairshare_factor` — the "normal model" `2^(-usage/share)`, where the
+//!   user's *assigned share* is derived from her actual CPU usage across the
+//!   whole trace (exactly the paper's derivation) and her *usage* is the CPU
+//!   time consumed so far in the simulation;
+//! * `job_attribute_factor` — built from the requested execution time
+//!   (shorter ⇒ larger factor), normalized by the trace's maximum estimate;
+//! * `partition_factor` — each queue's share of total CPU usage across the
+//!   trace, used as the queue priority.
+
+use std::collections::HashMap;
+
+use simhpc::{PolicyContext, SchedulingPolicy};
+use workload::{Job, JobTrace};
+
+const WEIGHT: f64 = 1000.0;
+const AGE_NORM: f64 = 7.0 * 24.0 * 3600.0; // 7 days
+
+/// Slurm-style multifactor priority policy with fairshare accounting.
+#[derive(Debug, Clone)]
+pub struct SlurmMultifactor {
+    /// Assigned share per user (fraction of trace CPU usage).
+    user_share: HashMap<u32, f64>,
+    /// Queue priority per queue id (fraction of trace CPU usage).
+    queue_priority: HashMap<u32, f64>,
+    /// Normalizer for the job-attribute factor.
+    max_estimate: f64,
+    /// CPU-seconds consumed per user in the current simulation.
+    usage: HashMap<u32, f64>,
+    /// Total CPU-seconds consumed in the current simulation.
+    total_usage: f64,
+}
+
+impl SlurmMultifactor {
+    /// Derive shares and queue priorities from a trace (§4.5: "use a user's
+    /// actual CPU usage as her assigned shares" and "count the CPU usages
+    /// of each queue across the whole trace").
+    pub fn from_trace(trace: &JobTrace) -> Self {
+        let mut user: HashMap<u32, f64> = HashMap::new();
+        let mut queue: HashMap<u32, f64> = HashMap::new();
+        let mut total = 0.0;
+        let mut max_estimate: f64 = 1.0;
+        for j in &trace.jobs {
+            let cpu = j.runtime * j.procs as f64;
+            *user.entry(j.user).or_insert(0.0) += cpu;
+            *queue.entry(j.queue).or_insert(0.0) += cpu;
+            total += cpu;
+            max_estimate = max_estimate.max(j.estimate);
+        }
+        if total > 0.0 {
+            for v in user.values_mut() {
+                *v /= total;
+            }
+            for v in queue.values_mut() {
+                *v /= total;
+            }
+        }
+        SlurmMultifactor {
+            user_share: user,
+            queue_priority: queue,
+            max_estimate,
+            usage: HashMap::new(),
+            total_usage: 0.0,
+        }
+    }
+
+    /// Reset the per-simulation fairshare accounting (call between
+    /// independent sequences).
+    pub fn reset_usage(&mut self) {
+        self.usage.clear();
+        self.total_usage = 0.0;
+    }
+
+    fn fairshare_factor(&self, user: u32) -> f64 {
+        let share = self.user_share.get(&user).copied().unwrap_or(0.0);
+        if share <= 0.0 {
+            // Unknown user: neutral factor.
+            return 0.5;
+        }
+        if self.total_usage <= 0.0 {
+            return 1.0;
+        }
+        let used = self.usage.get(&user).copied().unwrap_or(0.0) / self.total_usage;
+        // Slurm's "normal" fairshare damping: 2^(-usage/share).
+        2f64.powf(-used / share)
+    }
+
+    /// The (positive) multifactor priority of a job; bigger runs first.
+    pub fn priority(&self, job: &Job, now: f64) -> f64 {
+        let age = ((now - job.submit) / AGE_NORM).clamp(0.0, 1.0);
+        let fairshare = self.fairshare_factor(job.user);
+        let jattr = 1.0 - (job.estimate / self.max_estimate).clamp(0.0, 1.0);
+        let partition = self.queue_priority.get(&job.queue).copied().unwrap_or(0.0);
+        WEIGHT * age + WEIGHT * fairshare + WEIGHT * jattr + WEIGHT * partition
+    }
+}
+
+impl SchedulingPolicy for SlurmMultifactor {
+    fn score(&mut self, job: &Job, ctx: &PolicyContext) -> f64 {
+        // The simulator selects the minimum score; Slurm runs the highest
+        // priority first.
+        -self.priority(job, ctx.now)
+    }
+
+    fn on_start(&mut self, job: &Job, _now: f64) {
+        let cpu = job.runtime * job.procs as f64;
+        *self.usage.entry(job.user).or_insert(0.0) += cpu;
+        self.total_usage += cpu;
+    }
+
+    fn name(&self) -> &str {
+        "Slurm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> JobTrace {
+        let mut jobs = Vec::new();
+        // User 0 is a heavy user (share ~0.8), user 1 light (share ~0.2).
+        for i in 0..8 {
+            jobs.push(Job { user: 0, queue: 0, ..Job::new(i + 1, i as f64, 100.0, 200.0, 4) });
+        }
+        for i in 8..10 {
+            jobs.push(Job { user: 1, queue: 1, ..Job::new(i + 1, i as f64, 100.0, 200.0, 4) });
+        }
+        JobTrace::new("t", 16, jobs).unwrap()
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let p = SlurmMultifactor::from_trace(&trace());
+        let s: f64 = p.user_share.values().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((p.user_share[&0] - 0.8).abs() < 1e-12);
+        assert!((p.queue_priority[&1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn age_increases_priority() {
+        let p = SlurmMultifactor::from_trace(&trace());
+        let j = Job::new(1, 0.0, 100.0, 200.0, 4);
+        assert!(p.priority(&j, 86_400.0) > p.priority(&j, 0.0));
+    }
+
+    #[test]
+    fn fairshare_penalizes_over_consumers() {
+        let mut p = SlurmMultifactor::from_trace(&trace());
+        let heavy = Job { user: 0, ..Job::new(1, 0.0, 100.0, 200.0, 4) };
+        let light = Job { user: 1, ..Job::new(2, 0.0, 100.0, 200.0, 4) };
+        // User 1 consumes everything so far: her factor drops.
+        p.on_start(&Job { user: 1, ..Job::new(3, 0.0, 1000.0, 1000.0, 8) }, 0.0);
+        assert!(
+            p.fairshare_factor(1) < p.fairshare_factor(0),
+            "over-consumer must rank below an idle user"
+        );
+        assert!(p.priority(&heavy, 0.0) > p.priority(&light, 0.0));
+    }
+
+    #[test]
+    fn shorter_jobs_get_higher_attribute_factor() {
+        let p = SlurmMultifactor::from_trace(&trace());
+        let short = Job { user: 0, queue: 0, ..Job::new(1, 0.0, 50.0, 60.0, 4) };
+        let long = Job { user: 0, queue: 0, ..Job::new(2, 0.0, 190.0, 200.0, 4) };
+        assert!(p.priority(&short, 0.0) > p.priority(&long, 0.0));
+    }
+
+    #[test]
+    fn reset_usage_clears_accounting() {
+        let mut p = SlurmMultifactor::from_trace(&trace());
+        p.on_start(&Job::new(1, 0.0, 100.0, 200.0, 4), 0.0);
+        assert!(p.total_usage > 0.0);
+        p.reset_usage();
+        assert_eq!(p.total_usage, 0.0);
+        assert!(p.usage.is_empty());
+    }
+
+    #[test]
+    fn score_is_negated_priority() {
+        let mut p = SlurmMultifactor::from_trace(&trace());
+        let j = Job::new(1, 0.0, 100.0, 200.0, 4);
+        let ctx = PolicyContext { now: 500.0, total_procs: 16, free_procs: 16 };
+        let pri = p.priority(&j, 500.0);
+        assert_eq!(p.score(&j, &ctx), -pri);
+    }
+}

@@ -1,0 +1,95 @@
+//! Returns and advantage estimation for sparse terminal rewards.
+//!
+//! With intermediate rewards fixed at 0 and no discounting, every step's
+//! return equals the trajectory's terminal reward; the critic provides the
+//! baseline, and advantages are normalized per batch to stabilize PPO.
+
+use crate::trajectory::Batch;
+use crate::value::ValueNet;
+
+/// Flattened training arrays computed from a batch.
+#[derive(Debug, Clone, Default)]
+pub struct Advantages {
+    /// Per-step return (the trajectory's terminal reward).
+    pub returns: Vec<f32>,
+    /// Per-step normalized advantage.
+    pub advantages: Vec<f32>,
+}
+
+/// Compute returns and normalized advantages for every step in the batch,
+/// in trajectory-then-step order (matching a flattened iteration).
+pub fn compute(batch: &Batch, critic: &ValueNet) -> Advantages {
+    let mut returns = Vec::with_capacity(batch.total_steps());
+    let mut advantages = Vec::with_capacity(batch.total_steps());
+    for t in &batch.trajectories {
+        for s in &t.steps {
+            returns.push(t.reward);
+            advantages.push(t.reward - critic.value(&s.state));
+        }
+    }
+    normalize(&mut advantages);
+    Advantages { returns, advantages }
+}
+
+/// In-place mean/std normalization (no-op on empty or constant input).
+pub fn normalize(xs: &mut [f32]) {
+    let n = xs.len();
+    if n == 0 {
+        return;
+    }
+    let mean = xs.iter().sum::<f32>() / n as f32;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+    let std = var.sqrt();
+    if std < 1e-8 {
+        for x in xs.iter_mut() {
+            *x -= mean;
+        }
+        return;
+    }
+    for x in xs.iter_mut() {
+        *x = (*x - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::{Step, Trajectory};
+
+    fn step(v: f32) -> Step {
+        Step { state: vec![v], action: 0, logp: -0.7 }
+    }
+
+    #[test]
+    fn returns_equal_terminal_reward() {
+        let batch = Batch {
+            trajectories: vec![
+                Trajectory { steps: vec![step(0.0), step(1.0)], reward: 5.0 },
+                Trajectory { steps: vec![step(2.0)], reward: -1.0 },
+            ],
+        };
+        let critic = ValueNet::new(1, 0);
+        let adv = compute(&batch, &critic);
+        assert_eq!(adv.returns, vec![5.0, 5.0, -1.0]);
+        assert_eq!(adv.advantages.len(), 3);
+    }
+
+    #[test]
+    fn normalize_zero_mean_unit_std() {
+        let mut xs = vec![1.0f32, 2.0, 3.0, 4.0];
+        normalize(&mut xs);
+        let mean: f32 = xs.iter().sum::<f32>() / 4.0;
+        let var: f32 = xs.iter().map(|x| x * x).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate_inputs() {
+        let mut empty: Vec<f32> = vec![];
+        normalize(&mut empty);
+        let mut constant = vec![3.0f32; 5];
+        normalize(&mut constant);
+        assert!(constant.iter().all(|&x| x == 0.0));
+    }
+}

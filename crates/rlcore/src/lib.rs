@@ -1,0 +1,37 @@
+//! `rlcore` — the reinforcement-learning substrate: trajectories with
+//! sparse terminal rewards, a binary (accept/reject) categorical policy, a
+//! value-network critic, PPO with a clipped surrogate objective, and
+//! deterministic parallel rollout collection.
+//!
+//! The SchedInspector paper (§3.1, §4.1) trains a 3-hidden-layer MLP
+//! actor–critic with PPO at lr 1e-3 over batches of 100 trajectories; this
+//! crate provides exactly those pieces, built on [`tinynn`].
+//!
+//! ```
+//! use rlcore::{BinaryPolicy, PpoConfig, PpoTrainer, Trajectory, Step, Batch};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut trainer = PpoTrainer::new(7, PpoConfig::default(), 42);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let state = vec![0.0f32; 7];
+//! let (action, logp) = trainer.policy.sample(&state, &mut rng);
+//! let batch = Batch { trajectories: vec![
+//!     Trajectory { steps: vec![Step { state, action, logp }], reward: 1.0 },
+//! ]};
+//! let stats = trainer.update(&batch);
+//! assert!(stats.pi_iters >= 1);
+//! ```
+
+mod advantage;
+mod policy;
+mod ppo;
+mod rollout;
+mod trajectory;
+mod value;
+
+pub use advantage::{compute as compute_advantages, normalize, Advantages};
+pub use policy::{BinaryPolicy, ACCEPT, REJECT};
+pub use ppo::{PpoConfig, PpoTrainer, UpdateStats};
+pub use rollout::{default_workers, parallel_map};
+pub use trajectory::{Batch, Step, Trajectory};
+pub use value::ValueNet;

@@ -1,0 +1,90 @@
+//! Property tests on the RL substrate: probability coherence of the
+//! binary policy, PPO numerical hygiene, and advantage normalization.
+
+use proptest::prelude::*;
+use rlcore::{
+    compute_advantages, normalize, Batch, BinaryPolicy, PpoConfig, PpoTrainer, Step,
+    Trajectory, ValueNet, ACCEPT, REJECT,
+};
+
+fn state_strategy(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0f32..1.0, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(50))]
+
+    /// Accept/reject probabilities sum to one for any state.
+    #[test]
+    fn probabilities_coherent(state in state_strategy(5), seed in any::<u64>()) {
+        let p = BinaryPolicy::with_hidden(5, &[8, 4], seed);
+        let pa = p.logp(&state, ACCEPT).exp();
+        let pr = p.logp(&state, REJECT).exp();
+        prop_assert!((pa + pr - 1.0).abs() < 1e-4, "pa {} + pr {}", pa, pr);
+        prop_assert!((p.prob_reject(&state) - pr).abs() < 1e-5);
+    }
+
+    /// Normalization yields zero mean and unit (or zero) variance.
+    #[test]
+    fn normalize_properties(mut xs in prop::collection::vec(-100f32..100.0, 0..64)) {
+        normalize(&mut xs);
+        if xs.is_empty() { return Ok(()); }
+        let mean: f32 = xs.iter().sum::<f32>() / xs.len() as f32;
+        prop_assert!(mean.abs() < 1e-3, "mean {}", mean);
+        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+        prop_assert!(var < 1.2, "var {}", var);
+    }
+
+    /// A PPO update on arbitrary (finite) trajectories keeps the policy
+    /// finite and probability-coherent.
+    #[test]
+    fn ppo_update_keeps_policy_finite(
+        rewards in prop::collection::vec(-10.0f32..10.0, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let mut trainer = PpoTrainer::new(3, PpoConfig::default(), seed);
+        let mut batch = Batch::default();
+        for (i, r) in rewards.iter().enumerate() {
+            let state = vec![(i as f32 / 8.0) - 0.5; 3];
+            let action = (i % 2) as u8;
+            let logp = trainer.policy.logp(&state, action);
+            batch.trajectories.push(Trajectory {
+                steps: vec![Step { state, action, logp }],
+                reward: *r,
+            });
+        }
+        let stats = trainer.update(&batch);
+        prop_assert!(stats.pi_loss.is_finite());
+        prop_assert!(stats.vf_loss.is_finite());
+        let p = trainer.policy.prob_reject(&[0.0, 0.0, 0.0]);
+        prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+    }
+
+    /// Advantages are returns minus baseline, in flattened step order.
+    #[test]
+    fn advantages_align_with_returns(
+        lens in prop::collection::vec(1usize..5, 1..5),
+        rewards in prop::collection::vec(-5.0f32..5.0, 5),
+    ) {
+        let critic = ValueNet::with_hidden(2, &[4], 3);
+        let mut batch = Batch::default();
+        for (i, len) in lens.iter().enumerate() {
+            let reward = rewards[i % rewards.len()];
+            batch.trajectories.push(Trajectory {
+                steps: (0..*len)
+                    .map(|j| Step { state: vec![i as f32, j as f32], action: 0, logp: -0.7 })
+                    .collect(),
+                reward,
+            });
+        }
+        let adv = compute_advantages(&batch, &critic);
+        prop_assert_eq!(adv.returns.len(), batch.total_steps());
+        let mut flat = 0;
+        for t in &batch.trajectories {
+            for _ in &t.steps {
+                prop_assert_eq!(adv.returns[flat], t.reward);
+                flat += 1;
+            }
+        }
+    }
+}

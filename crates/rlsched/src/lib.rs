@@ -1,0 +1,22 @@
+//! `rlsched` — an RLScheduler-style learned job selector.
+//!
+//! The SchedInspector paper positions itself against RL *schedulers* that
+//! replace the base policy outright (RLScheduler, SC'20) and names
+//! combining the two as future work (§7: "incorporate SchedInspector with
+//! intelligent scheduling policies, such as RLScheduler"). This crate
+//! provides that baseline: a kernel MLP scores every waiting job, a
+//! softmax over the scores selects the next one, and PPO trains the
+//! network against a percentage reward over an SJF reference.
+//!
+//! A trained selector freezes into a [`TrainedScheduler`] — an ordinary
+//! [`simhpc::SchedulingPolicy`] — so a SchedInspector can be trained *on
+//! top of it*, realizing the paper's future-work combination (see the
+//! `ext_rlscheduler` experiment).
+
+mod features;
+mod policy;
+mod trainer;
+
+pub use features::{SelectorNorm, JOB_FEATURES, MAX_SLOTS};
+pub use policy::{SelStep, SelectorNet, SelectorPolicy, TrainedScheduler};
+pub use trainer::{SelectorConfig, SelectorEpoch, SelectorTrainer};

@@ -1,0 +1,207 @@
+//! Cluster resource state: processor allocation and running-job tracking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A totally ordered `f64` wrapper (via `total_cmp`) so completion times can
+/// key a binary heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64Ord(pub f64);
+
+impl Eq for F64Ord {}
+
+impl PartialOrd for F64Ord {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Ord {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A job currently executing on the cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningJob {
+    /// Job id.
+    pub id: u64,
+    /// Allocated processors.
+    pub procs: u32,
+    /// Actual completion time (start + actual runtime).
+    pub end: f64,
+    /// Completion time the *scheduler* believes in (start + estimate).
+    pub est_end: f64,
+}
+
+/// Processor-granular cluster state.
+///
+/// Jobs occupy `procs` processors from `start` until `end` (actual runtime);
+/// the scheduler-side view uses `est_end` (estimates), which is what EASY
+/// backfilling reservations are computed from (§3.2: actual runtime drives
+/// completion, estimates drive scheduling).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    total: u32,
+    free: u32,
+    // Min-heap on actual completion time.
+    completions: BinaryHeap<Reverse<(F64Ord, u64)>>,
+    running: Vec<RunningJob>,
+}
+
+impl Cluster {
+    /// A cluster with `total` free processors.
+    pub fn new(total: u32) -> Self {
+        assert!(total > 0, "cluster needs at least one processor");
+        Cluster { total, free: total, completions: BinaryHeap::new(), running: Vec::new() }
+    }
+
+    /// Total processors.
+    pub fn total_procs(&self) -> u32 {
+        self.total
+    }
+
+    /// Currently free processors.
+    pub fn free_procs(&self) -> u32 {
+        self.free
+    }
+
+    /// Whether `procs` processors are free right now.
+    pub fn can_run(&self, procs: u32) -> bool {
+        procs <= self.free
+    }
+
+    /// Jobs currently executing.
+    pub fn running(&self) -> &[RunningJob] {
+        &self.running
+    }
+
+    /// Start a job now. Panics (debug) if resources are insufficient —
+    /// callers must check [`Cluster::can_run`] first.
+    pub fn start(&mut self, id: u64, procs: u32, now: f64, runtime: f64, estimate: f64) {
+        debug_assert!(self.can_run(procs), "over-allocation: {} > {}", procs, self.free);
+        self.free -= procs;
+        let end = now + runtime;
+        self.running.push(RunningJob { id, procs, end, est_end: now + estimate });
+        self.completions.push(Reverse((F64Ord(end), id)));
+    }
+
+    /// Earliest actual completion time of any running job.
+    pub fn next_completion(&self) -> Option<f64> {
+        self.completions.peek().map(|Reverse((F64Ord(t), _))| *t)
+    }
+
+    /// Release every job whose actual completion time is ≤ `now`.
+    pub fn release_up_to(&mut self, now: f64) {
+        while let Some(Reverse((F64Ord(t), id))) = self.completions.peek().copied() {
+            if t > now {
+                break;
+            }
+            self.completions.pop();
+            if let Some(pos) = self.running.iter().position(|r| r.id == id) {
+                self.free += self.running.swap_remove(pos).procs;
+            }
+        }
+        debug_assert!(self.free <= self.total);
+    }
+
+    /// Scheduler-side reservation for a job needing `procs` processors:
+    /// the earliest time enough processors are *estimated* to be free, and
+    /// the number of processors free beyond the job's need at that time.
+    ///
+    /// This is the anchor of EASY backfilling: candidates may run now only
+    /// if they finish (by estimate) before the reservation or fit into the
+    /// extra processors.
+    pub fn reservation(&self, procs: u32, now: f64) -> Option<(f64, u32)> {
+        if self.can_run(procs) {
+            return Some((now, self.free - procs));
+        }
+        if procs > self.total {
+            return None;
+        }
+        let mut releases: Vec<(f64, u32)> =
+            self.running.iter().map(|r| (r.est_end.max(now), r.procs)).collect();
+        releases.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut free = self.free;
+        for (t, p) in releases {
+            free += p;
+            if free >= procs {
+                return Some((t, free - procs));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_and_release() {
+        let mut c = Cluster::new(10);
+        c.start(1, 4, 0.0, 5.0, 5.0);
+        c.start(2, 3, 0.0, 10.0, 12.0);
+        assert_eq!(c.free_procs(), 3);
+        assert!(!c.can_run(4));
+        assert_eq!(c.next_completion(), Some(5.0));
+        c.release_up_to(5.0);
+        assert_eq!(c.free_procs(), 7);
+        c.release_up_to(10.0);
+        assert_eq!(c.free_procs(), 10);
+        assert_eq!(c.next_completion(), None);
+    }
+
+    #[test]
+    fn release_is_inclusive_and_idempotent() {
+        let mut c = Cluster::new(4);
+        c.start(1, 2, 0.0, 3.0, 3.0);
+        c.release_up_to(2.999);
+        assert_eq!(c.free_procs(), 2);
+        c.release_up_to(3.0);
+        assert_eq!(c.free_procs(), 4);
+        c.release_up_to(3.0);
+        assert_eq!(c.free_procs(), 4);
+    }
+
+    #[test]
+    fn reservation_when_free_now() {
+        let c = Cluster::new(8);
+        assert_eq!(c.reservation(5, 7.0), Some((7.0, 3)));
+    }
+
+    #[test]
+    fn reservation_uses_estimates_not_actuals() {
+        let mut c = Cluster::new(8);
+        // Actual completion at t=5, but the scheduler believes t=20.
+        c.start(1, 6, 0.0, 5.0, 20.0);
+        let (t, extra) = c.reservation(4, 1.0).unwrap();
+        assert_eq!(t, 20.0);
+        assert_eq!(extra, 4); // 2 free + 6 released - 4 needed
+    }
+
+    #[test]
+    fn reservation_accumulates_releases() {
+        let mut c = Cluster::new(8);
+        c.start(1, 4, 0.0, 10.0, 10.0);
+        c.start(2, 4, 0.0, 20.0, 20.0);
+        // Needs 6: 4 free at t=10, 8 free at t=20.
+        let (t, extra) = c.reservation(6, 0.0).unwrap();
+        assert_eq!(t, 20.0);
+        assert_eq!(extra, 2);
+    }
+
+    #[test]
+    fn reservation_impossible_for_oversized() {
+        let c = Cluster::new(8);
+        assert_eq!(c.reservation(9, 0.0), None);
+    }
+
+    #[test]
+    fn f64ord_total_order() {
+        let mut v = vec![F64Ord(3.0), F64Ord(-1.0), F64Ord(2.0)];
+        v.sort();
+        assert_eq!(v, vec![F64Ord(-1.0), F64Ord(2.0), F64Ord(3.0)]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Traits the simulator drives: base scheduling policies and inspectors.
+
+use workload::Job;
+
+use crate::state::Observation;
+
+/// Context handed to a policy when scoring a job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyContext {
+    /// Current simulation time.
+    pub now: f64,
+    /// Total processors of the cluster.
+    pub total_procs: u32,
+    /// Currently free processors (lets learned policies reason about
+    /// immediate runnability).
+    pub free_procs: u32,
+}
+
+/// A base batch-job scheduling policy (Table 3).
+///
+/// Policies are *priority heuristics*: at each scheduling point the waiting
+/// job with the **lowest score** is selected (ties broken by smaller job
+/// id, as in the paper's motivating example). Stateful policies (Slurm
+/// fairshare) update their accounting through [`SchedulingPolicy::on_start`].
+pub trait SchedulingPolicy {
+    /// Score a waiting job; lower runs first.
+    fn score(&mut self, job: &Job, ctx: &PolicyContext) -> f64;
+
+    /// Select the next job from a non-empty queue, returning its index.
+    ///
+    /// The default is the priority-heuristic rule: lowest score, ties
+    /// broken by smaller job id (the paper's convention). Learned policies
+    /// that need a *joint* view of the queue (e.g. an RLScheduler-style
+    /// softmax selector) override this.
+    fn select(&mut self, queue: &[Job], ctx: &PolicyContext) -> usize {
+        debug_assert!(!queue.is_empty());
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, u64::MAX);
+        for (pos, job) in queue.iter().enumerate() {
+            let key = (self.score(job, ctx), job.id);
+            if key.0 < best_key.0 || (key.0 == best_key.0 && key.1 < best_key.1) {
+                best_key = key;
+                best = pos;
+            }
+        }
+        best
+    }
+
+    /// Notification that a job started executing at `now`.
+    fn on_start(&mut self, _job: &Job, _now: f64) {}
+
+    /// Human-readable policy name (e.g. `"SJF"`).
+    fn name(&self) -> &str;
+}
+
+/// The inspector interface: inspect a scheduling decision and decide
+/// whether to reject it (`true` = reject, put the job back).
+pub trait InspectorHook {
+    /// Inspect one decision.
+    fn inspect(&mut self, obs: &Observation) -> bool;
+}
+
+/// The trivial inspector: never rejects (plain base-policy scheduling).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoInspector;
+
+impl InspectorHook for NoInspector {
+    fn inspect(&mut self, _obs: &Observation) -> bool {
+        false
+    }
+}
+
+/// Blanket impl so closures can serve as inspectors in tests and examples.
+impl<F: FnMut(&Observation) -> bool> InspectorHook for F {
+    fn inspect(&mut self, obs: &Observation) -> bool {
+        self(obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_an_inspector() {
+        let mut count = 0usize;
+        let mut hook = |_: &Observation| {
+            count += 1;
+            false
+        };
+        let obs = Observation {
+            now: 0.0,
+            job: Job::new(1, 0.0, 1.0, 1.0, 1),
+            wait: 0.0,
+            rejections: 0,
+            max_rejections: 72,
+            free_procs: 1,
+            total_procs: 1,
+            runnable: true,
+            backfill_enabled: false,
+            backfillable: 0,
+            queue: vec![],
+        };
+        assert!(!hook.inspect(&obs));
+        let _ = hook;
+        assert_eq!(count, 1);
+    }
+}

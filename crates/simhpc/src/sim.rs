@@ -1,0 +1,316 @@
+//! The event-driven scheduling simulator (the paper's "Simulated Env").
+//!
+//! The driver mirrors SchedGym (RLScheduler) extended with rejection
+//! support, as §3.2 describes:
+//!
+//! 1. arrivals are admitted into the waiting queue;
+//! 2. at each scheduling point the base policy selects the top-priority
+//!    waiting job;
+//! 3. the inspector sees the full scheduling context; on **reject** the job
+//!    returns to the queue and time advances to the next scheduling point
+//!    (next arrival, next completion, or `now + MAX_INTERVAL`, whichever is
+//!    first); a job rejected `MAX_REJECTION_TIMES` times is no longer
+//!    inspected;
+//! 4. on **accept** the job starts as soon as resources allow; while it
+//!    waits, EASY backfilling (when enabled) may start other queued jobs.
+
+use workload::Job;
+
+use crate::backfill::{can_backfill, count_backfillable};
+use crate::cluster::Cluster;
+use crate::config::SimConfig;
+use crate::metrics::{JobOutcome, SimResult};
+use crate::policy::{InspectorHook, NoInspector, PolicyContext, SchedulingPolicy};
+use crate::state::{Observation, QueueEntry};
+
+/// A reusable simulator bound to a machine size and configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Simulator {
+    procs: u32,
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// A simulator for a machine with `procs` processors.
+    pub fn new(procs: u32, config: SimConfig) -> Self {
+        assert!(procs > 0, "cluster needs at least one processor");
+        assert!(config.max_interval > 0.0, "MAX_INTERVAL must be positive");
+        Simulator { procs, config }
+    }
+
+    /// Machine size.
+    pub fn procs(&self) -> u32 {
+        self.procs
+    }
+
+    /// Simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Run a sequence under the base policy alone.
+    pub fn run(&self, jobs: &[Job], policy: &mut dyn SchedulingPolicy) -> SimResult {
+        self.run_inspected(jobs, policy, &mut NoInspector)
+    }
+
+    /// Run a sequence with an inspector scrutinizing every decision.
+    pub fn run_inspected(
+        &self,
+        jobs: &[Job],
+        policy: &mut dyn SchedulingPolicy,
+        inspector: &mut dyn InspectorHook,
+    ) -> SimResult {
+        assert!(
+            jobs.iter().all(|j| j.procs <= self.procs),
+            "sequence contains a job wider than the machine"
+        );
+        Sim::new(jobs, self.procs, self.config).run(policy, inspector)
+    }
+}
+
+/// Convenience: simulate a sequence on a machine sized to its widest job.
+/// Prefer [`Simulator`] where the trace's real machine size is known.
+pub fn simulate(jobs: &[Job], policy: &mut dyn SchedulingPolicy, config: &SimConfig) -> SimResult {
+    let procs = jobs.iter().map(|j| j.procs).max().unwrap_or(1);
+    Simulator::new(procs, *config).run(jobs, policy)
+}
+
+struct Sim<'a> {
+    jobs: &'a [Job],
+    config: SimConfig,
+    cluster: Cluster,
+    /// Indices (into `jobs`) of waiting jobs.
+    queue: Vec<usize>,
+    /// Per-job rejection counts.
+    rejections: Vec<u32>,
+    next_arrival: usize,
+    now: f64,
+    outcomes: Vec<JobOutcome>,
+    inspections: u64,
+    total_rejections: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(jobs: &'a [Job], procs: u32, config: SimConfig) -> Self {
+        Sim {
+            jobs,
+            config,
+            cluster: Cluster::new(procs),
+            queue: Vec::new(),
+            rejections: vec![0; jobs.len()],
+            next_arrival: 0,
+            now: 0.0,
+            outcomes: Vec::with_capacity(jobs.len()),
+            inspections: 0,
+            total_rejections: 0,
+        }
+    }
+
+    fn run(
+        mut self,
+        policy: &mut dyn SchedulingPolicy,
+        inspector: &mut dyn InspectorHook,
+    ) -> SimResult {
+        loop {
+            self.admit_arrivals();
+            if self.queue.is_empty() {
+                if self.next_arrival < self.jobs.len() {
+                    self.now = self.now.max(self.jobs[self.next_arrival].submit);
+                    self.cluster.release_up_to(self.now);
+                    continue;
+                }
+                break; // no waiting jobs, no future arrivals: done
+            }
+
+            let qpos = self.select(policy);
+            let jidx = self.queue[qpos];
+            let job = self.jobs[jidx];
+
+            // Jobs over the rejection cap are no longer inspected (§3.2).
+            if self.rejections[jidx] < self.config.max_rejections {
+                self.inspections += 1;
+                let obs = self.observe(jidx);
+                if inspector.inspect(&obs) {
+                    self.total_rejections += 1;
+                    self.rejections[jidx] += 1;
+                    self.advance_after_rejection();
+                    continue;
+                }
+            }
+
+            self.queue.swap_remove(qpos);
+            self.wait_and_start(job, self.rejections[jidx], policy);
+        }
+        SimResult {
+            outcomes: self.outcomes,
+            total_procs: self.cluster.total_procs(),
+            inspections: self.inspections,
+            rejections: self.total_rejections,
+        }
+    }
+
+    fn admit_arrivals(&mut self) {
+        while self.next_arrival < self.jobs.len()
+            && self.jobs[self.next_arrival].submit <= self.now
+        {
+            self.queue.push(self.next_arrival);
+            self.next_arrival += 1;
+        }
+    }
+
+    /// Index *within the queue* of the job the policy selects (for
+    /// heuristics: lowest score, ties broken by smaller job id).
+    fn select(&mut self, policy: &mut dyn SchedulingPolicy) -> usize {
+        let ctx = PolicyContext {
+            now: self.now,
+            total_procs: self.cluster.total_procs(),
+            free_procs: self.cluster.free_procs(),
+        };
+        let queue_jobs: Vec<Job> = self.queue.iter().map(|&j| self.jobs[j]).collect();
+        let pos = policy.select(&queue_jobs, &ctx);
+        debug_assert!(pos < self.queue.len(), "policy selected an out-of-queue index");
+        pos.min(self.queue.len() - 1)
+    }
+
+    fn observe(&self, jidx: usize) -> Observation {
+        let job = self.jobs[jidx];
+        let runnable = self.cluster.can_run(job.procs);
+        let backfillable = if self.config.backfill && !runnable {
+            match self.cluster.reservation(job.procs, self.now) {
+                Some((t_res, extra)) => count_backfillable(
+                    self.queue.iter().filter(|&&q| q != jidx).map(|&q| self.jobs[q]),
+                    self.now,
+                    &self.cluster,
+                    t_res,
+                    extra,
+                ),
+                None => 0,
+            }
+        } else {
+            0
+        };
+        let queue: Vec<QueueEntry> = self
+            .queue
+            .iter()
+            .filter(|&&q| q != jidx)
+            .map(|&q| {
+                let j = &self.jobs[q];
+                QueueEntry {
+                    id: j.id,
+                    wait: self.now - j.submit,
+                    estimate: j.estimate,
+                    procs: j.procs,
+                }
+            })
+            .collect();
+        Observation {
+            now: self.now,
+            job,
+            wait: self.now - job.submit,
+            rejections: self.rejections[jidx],
+            max_rejections: self.config.max_rejections,
+            free_procs: self.cluster.free_procs(),
+            total_procs: self.cluster.total_procs(),
+            runnable,
+            backfill_enabled: self.config.backfill,
+            backfillable,
+            queue,
+        }
+    }
+
+    /// After a rejection: move to the next scheduling point — the next
+    /// arrival, the next completion, or `now + MAX_INTERVAL`, whichever
+    /// comes first.
+    fn advance_after_rejection(&mut self) {
+        let mut t_next = self.now + self.config.max_interval;
+        if self.next_arrival < self.jobs.len() {
+            t_next = t_next.min(self.jobs[self.next_arrival].submit);
+        }
+        if let Some(tc) = self.cluster.next_completion() {
+            t_next = t_next.min(tc);
+        }
+        debug_assert!(t_next > self.now, "scheduling point must advance time");
+        self.now = t_next;
+        self.cluster.release_up_to(self.now);
+    }
+
+    /// Commit to `job`: wait (backfilling meanwhile if enabled) until it can
+    /// start, then start it.
+    fn wait_and_start(&mut self, job: Job, rejections: u32, policy: &mut dyn SchedulingPolicy) {
+        while !self.cluster.can_run(job.procs) {
+            if self.config.backfill {
+                self.backfill_pass(&job, policy);
+                if self.cluster.can_run(job.procs) {
+                    break;
+                }
+            }
+            // Advance to the next event — a completion or an arrival (new
+            // arrivals matter because they may backfill into the hole).
+            let tc = self
+                .cluster
+                .next_completion()
+                .expect("job cannot run on an idle cluster: trace validation should prevent this");
+            let t_next = match self.jobs.get(self.next_arrival) {
+                Some(next) if next.submit < tc => next.submit,
+                _ => tc,
+            };
+            self.now = self.now.max(t_next);
+            self.cluster.release_up_to(self.now);
+            self.admit_arrivals();
+        }
+        self.start_job(job, rejections, false, policy);
+    }
+
+    /// One EASY pass: start every queued job that cannot delay the
+    /// committed job's reservation, in policy-priority order.
+    fn backfill_pass(&mut self, committed: &Job, policy: &mut dyn SchedulingPolicy) {
+        loop {
+            let Some((t_res, extra)) = self.cluster.reservation(committed.procs, self.now) else {
+                return;
+            };
+            let ctx = PolicyContext {
+            now: self.now,
+            total_procs: self.cluster.total_procs(),
+            free_procs: self.cluster.free_procs(),
+        };
+            let mut best: Option<(usize, (f64, u64))> = None;
+            for (pos, &jidx) in self.queue.iter().enumerate() {
+                let j = &self.jobs[jidx];
+                if !can_backfill(j, self.now, &self.cluster, t_res, extra) {
+                    continue;
+                }
+                let key = (policy.score(j, &ctx), j.id);
+                if best.is_none_or(|(_, bk)| key.0 < bk.0 || (key.0 == bk.0 && key.1 < bk.1)) {
+                    best = Some((pos, key));
+                }
+            }
+            let Some((pos, _)) = best else { return };
+            let jidx = self.queue.swap_remove(pos);
+            let job = self.jobs[jidx];
+            let rejections = self.rejections[jidx];
+            self.start_job(job, rejections, true, policy);
+        }
+    }
+
+    fn start_job(
+        &mut self,
+        job: Job,
+        rejections: u32,
+        backfilled: bool,
+        policy: &mut dyn SchedulingPolicy,
+    ) {
+        debug_assert!(self.cluster.can_run(job.procs));
+        self.cluster.start(job.id, job.procs, self.now, job.runtime, job.estimate);
+        policy.on_start(&job, self.now);
+        self.outcomes.push(JobOutcome {
+            id: job.id,
+            submit: job.submit,
+            start: self.now,
+            end: self.now + job.runtime,
+            runtime: job.runtime,
+            procs: job.procs,
+            backfilled,
+            rejections,
+        });
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests on the cluster allocator: free-processor accounting is
+//! conserved under arbitrary start/release interleavings, and EASY
+//! reservations are sound (enough processors really are free at the
+//! reserved time, by estimates).
+
+use proptest::prelude::*;
+use simhpc::Cluster;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Start { procs: u32, runtime: f64, over: f64 },
+    Advance { dt: f64 },
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..16, 1.0f64..500.0, 1.0f64..3.0)
+                .prop_map(|(procs, runtime, over)| Op::Start { procs, runtime, over }),
+            (1.0f64..400.0).prop_map(|dt| Op::Advance { dt }),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn accounting_is_conserved(ops in ops_strategy()) {
+        let total = 16u32;
+        let mut c = Cluster::new(total);
+        let mut now = 0.0;
+        let mut id = 0u64;
+        for op in ops {
+            match op {
+                Op::Start { procs, runtime, over } => {
+                    if c.can_run(procs) {
+                        id += 1;
+                        c.start(id, procs, now, runtime, runtime * over);
+                    }
+                }
+                Op::Advance { dt } => {
+                    now += dt;
+                    c.release_up_to(now);
+                }
+            }
+            // Invariant: free + running allocations == total.
+            let running: u32 = c.running().iter().map(|r| r.procs).sum();
+            prop_assert_eq!(c.free_procs() + running, total);
+            // Invariant: no completed job lingers.
+            prop_assert!(c.running().iter().all(|r| r.end > now));
+        }
+        // Draining everything restores the full machine.
+        c.release_up_to(f64::INFINITY);
+        prop_assert_eq!(c.free_procs(), total);
+    }
+
+    /// The reservation time really provides the processors (under the
+    /// scheduler's estimate-based view).
+    #[test]
+    fn reservations_are_sound(
+        starts in prop::collection::vec((1u32..12, 1.0f64..500.0), 1..10),
+        need in 1u32..16,
+    ) {
+        let total = 16u32;
+        let mut c = Cluster::new(total);
+        for (i, (procs, runtime)) in starts.iter().enumerate() {
+            if c.can_run(*procs) {
+                c.start(i as u64 + 1, *procs, 0.0, *runtime, *runtime);
+            }
+        }
+        if let Some((t_res, extra)) = c.reservation(need, 0.0) {
+            // Free at t_res (by estimates) = free now + all est_end <= t_res.
+            let released: u32 = c
+                .running()
+                .iter()
+                .filter(|r| r.est_end <= t_res)
+                .map(|r| r.procs)
+                .sum();
+            let free_at_res = c.free_procs() + released;
+            prop_assert!(free_at_res >= need);
+            prop_assert_eq!(free_at_res - need, extra);
+        } else {
+            prop_assert!(need > total);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for SWF parsing and I/O.
+
+use std::fmt;
+
+/// Errors produced while reading or writing SWF traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwfError {
+    /// A record line did not have exactly 18 fields.
+    FieldCount {
+        /// 1-based line number (0 when unknown).
+        line: usize,
+        /// Number of fields actually found.
+        found: usize,
+    },
+    /// A field failed to parse as a number.
+    BadField {
+        /// 1-based line number (0 when unknown).
+        line: usize,
+        /// 1-based field index within the record.
+        field: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Underlying I/O failure (message includes the path).
+    Io(String),
+}
+
+impl SwfError {
+    /// Attach a 1-based line number to an error created during line parsing.
+    pub(crate) fn at_line(mut self, lineno: usize) -> Self {
+        match &mut self {
+            SwfError::FieldCount { line, .. } | SwfError::BadField { line, .. } => *line = lineno,
+            SwfError::Io(_) => {}
+        }
+        self
+    }
+}
+
+impl fmt::Display for SwfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwfError::FieldCount { line, found } => {
+                write!(f, "line {line}: expected 18 fields, found {found}")
+            }
+            SwfError::BadField { line, field, token } => {
+                write!(f, "line {line}: field {field}: cannot parse {token:?}")
+            }
+            SwfError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SwfError::FieldCount { line: 7, found: 3 };
+        assert!(e.to_string().contains("line 7"));
+        let e = SwfError::BadField { line: 2, field: 4, token: "xyz".into() };
+        assert!(e.to_string().contains("\"xyz\""));
+    }
+
+    #[test]
+    fn at_line_sets_line() {
+        let e = SwfError::FieldCount { line: 0, found: 3 }.at_line(12);
+        assert_eq!(e, SwfError::FieldCount { line: 12, found: 3 });
+    }
+}

@@ -1,0 +1,154 @@
+//! Parser, writer, and data model for the **Standard Workload Format (SWF)**.
+//!
+//! SWF is the trace format used by the Parallel Workloads Archive, the source
+//! of the job traces evaluated in the SchedInspector paper (SDSC-SP2,
+//! CTC-SP2, HPC2N). Each non-comment line carries 18 whitespace-separated
+//! fields describing one batch job; header comment lines (`; Key: Value`)
+//! describe the machine the trace was collected on.
+//!
+//! This crate is self-contained: it knows nothing about scheduling. The
+//! `workload` crate converts [`SwfRecord`]s into simulation jobs.
+//!
+//! # Example
+//!
+//! ```
+//! use swf::{SwfRecord, SwfTrace};
+//!
+//! let text = "\
+//! ; MaxNodes: 128
+//! ; MaxProcs: 128
+//! 1 0 10 3600 4 -1 -1 4 7200 -1 1 1 1 1 1 -1 -1 -1
+//! 2 30 5 1800 8 -1 -1 8 1800 -1 1 2 1 1 1 -1 -1 -1
+//! ";
+//! let trace = SwfTrace::parse(text).unwrap();
+//! assert_eq!(trace.records.len(), 2);
+//! assert_eq!(trace.header.max_procs, Some(128));
+//! assert_eq!(trace.records[0].run_time, 3600);
+//! ```
+
+mod error;
+mod header;
+mod parser;
+mod record;
+mod writer;
+
+pub use error::SwfError;
+pub use header::SwfHeader;
+pub use parser::parse_line;
+pub use record::SwfRecord;
+
+/// A fully parsed SWF trace: header metadata plus the job records in file
+/// order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwfTrace {
+    /// Metadata extracted from `;`-comment header lines.
+    pub header: SwfHeader,
+    /// Job records in the order they appear in the file.
+    pub records: Vec<SwfRecord>,
+}
+
+impl SwfTrace {
+    /// Parse a complete SWF document from a string.
+    ///
+    /// Comment lines (starting with `;`) feed the header; blank lines are
+    /// skipped; every other line must be a valid 18-field record.
+    pub fn parse(text: &str) -> Result<Self, SwfError> {
+        let mut header = SwfHeader::default();
+        let mut records = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix(';') {
+                header.absorb_comment(rest);
+                continue;
+            }
+            let rec = parse_line(line).map_err(|e| e.at_line(lineno + 1))?;
+            records.push(rec);
+        }
+        Ok(SwfTrace { header, records })
+    }
+
+    /// Read and parse an SWF file from disk.
+    pub fn read_file(path: &std::path::Path) -> Result<Self, SwfError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SwfError::Io(format!("{}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    /// Serialize the trace back to SWF text (header comments first).
+    pub fn to_swf_string(&self) -> String {
+        writer::write_trace(self)
+    }
+
+    /// Write the trace to a file in SWF format.
+    pub fn write_file(&self, path: &std::path::Path) -> Result<(), SwfError> {
+        std::fs::write(path, self.to_swf_string())
+            .map_err(|e| SwfError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Number of processors of the traced machine, preferring `MaxProcs`
+    /// over `MaxNodes` (some logs only report one of them).
+    pub fn machine_procs(&self) -> Option<u32> {
+        self.header.max_procs.or(self.header.max_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Computer: IBM SP2
+; MaxJobs: 3
+; MaxNodes: 128
+; UnixStartTime: 800000000
+1 0 10 3600 4 50.0 1024 4 7200 2048 1 5 1 3 2 -1 -1 -1
+2 30 5 1800 8 -1 -1 8 1800 -1 1 6 1 3 1 -1 -1 -1
+; trailing comment
+3 60 0 -1 1 -1 -1 1 600 -1 0 7 1 3 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_sample_trace() {
+        let t = SwfTrace::parse(SAMPLE).unwrap();
+        assert_eq!(t.records.len(), 3);
+        assert_eq!(t.header.max_nodes, Some(128));
+        assert_eq!(t.header.max_jobs, Some(3));
+        assert_eq!(t.header.unix_start_time, Some(800_000_000));
+        assert_eq!(t.header.computer.as_deref(), Some("IBM SP2"));
+        assert_eq!(t.records[1].job_id, 2);
+        assert_eq!(t.records[1].submit_time, 30);
+        assert_eq!(t.records[1].requested_procs, 8);
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let t = SwfTrace::parse(SAMPLE).unwrap();
+        let text = t.to_swf_string();
+        let t2 = SwfTrace::parse(&text).unwrap();
+        assert_eq!(t.records, t2.records);
+        assert_eq!(t.header.max_nodes, t2.header.max_nodes);
+    }
+
+    #[test]
+    fn machine_procs_prefers_max_procs() {
+        let t = SwfTrace::parse("; MaxProcs: 64\n; MaxNodes: 32\n").unwrap();
+        assert_eq!(t.machine_procs(), Some(64));
+        let t = SwfTrace::parse("; MaxNodes: 32\n").unwrap();
+        assert_eq!(t.machine_procs(), Some(32));
+    }
+
+    #[test]
+    fn rejects_bad_record() {
+        let err = SwfTrace::parse("1 2 3\n").unwrap_err();
+        assert!(matches!(err, SwfError::FieldCount { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        let t = SwfTrace::parse("").unwrap();
+        assert!(t.records.is_empty());
+    }
+}

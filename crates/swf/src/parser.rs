@@ -1,0 +1,89 @@
+//! Line-level SWF record parsing.
+
+use crate::{SwfError, SwfRecord};
+
+fn int(fields: &[&str], idx: usize) -> Result<i64, SwfError> {
+    let token = fields[idx];
+    // Some archive logs write integral fields with a decimal point.
+    token
+        .parse::<i64>()
+        .or_else(|_| token.parse::<f64>().map(|f| f as i64))
+        .map_err(|_| SwfError::BadField { line: 0, field: idx + 1, token: token.to_string() })
+}
+
+fn float(fields: &[&str], idx: usize) -> Result<f64, SwfError> {
+    let token = fields[idx];
+    token
+        .parse::<f64>()
+        .map_err(|_| SwfError::BadField { line: 0, field: idx + 1, token: token.to_string() })
+}
+
+/// Parse a single whitespace-separated 18-field SWF record line.
+///
+/// The caller is responsible for stripping comments and blank lines. The
+/// returned error carries `line: 0`; attach the real line number with
+/// `SwfError::at_line`.
+pub fn parse_line(line: &str) -> Result<SwfRecord, SwfError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() != 18 {
+        return Err(SwfError::FieldCount { line: 0, found: fields.len() });
+    }
+    Ok(SwfRecord {
+        job_id: int(&fields, 0)?.max(0) as u64,
+        submit_time: int(&fields, 1)?,
+        wait_time: int(&fields, 2)?,
+        run_time: int(&fields, 3)?,
+        allocated_procs: int(&fields, 4)?,
+        avg_cpu_time: float(&fields, 5)?,
+        used_memory: float(&fields, 6)?,
+        requested_procs: int(&fields, 7)?,
+        requested_time: int(&fields, 8)?,
+        requested_memory: float(&fields, 9)?,
+        status: int(&fields, 10)?,
+        user_id: int(&fields, 11)?,
+        group_id: int(&fields, 12)?,
+        executable: int(&fields, 13)?,
+        queue: int(&fields, 14)?,
+        partition: int(&fields, 15)?,
+        preceding_job: int(&fields, 16)?,
+        think_time: int(&fields, 17)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_fields() {
+        let r = parse_line("7 100 5 60 4 12.5 1024 4 120 2048 1 9 2 3 1 0 -1 -1").unwrap();
+        assert_eq!(r.job_id, 7);
+        assert_eq!(r.submit_time, 100);
+        assert_eq!(r.wait_time, 5);
+        assert_eq!(r.run_time, 60);
+        assert_eq!(r.allocated_procs, 4);
+        assert!((r.avg_cpu_time - 12.5).abs() < 1e-12);
+        assert_eq!(r.requested_procs, 4);
+        assert_eq!(r.requested_time, 120);
+        assert_eq!(r.user_id, 9);
+        assert_eq!(r.queue, 1);
+        assert_eq!(r.partition, 0);
+    }
+
+    #[test]
+    fn accepts_decimal_integers() {
+        let r = parse_line("1 0.0 1 60.0 4 -1 -1 4 120 -1 1 1 1 1 1 -1 -1 -1").unwrap();
+        assert_eq!(r.run_time, 60);
+    }
+
+    #[test]
+    fn wrong_field_count_is_error() {
+        assert!(matches!(parse_line("1 2 3"), Err(SwfError::FieldCount { found: 3, .. })));
+    }
+
+    #[test]
+    fn non_numeric_field_is_error() {
+        let e = parse_line("1 abc 1 60 4 -1 -1 4 120 -1 1 1 1 1 1 -1 -1 -1").unwrap_err();
+        assert!(matches!(e, SwfError::BadField { field: 2, .. }));
+    }
+}

@@ -1,0 +1,86 @@
+//! SWF serialization.
+
+use std::fmt::Write as _;
+
+use crate::{SwfRecord, SwfTrace};
+
+fn fmt_float(v: f64) -> String {
+    // Unknown markers and integral values print without a fraction so that
+    // records round-trip through the integer-tolerant parser.
+    if v == v.trunc() {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Format one record as an 18-field SWF line (no trailing newline).
+pub fn write_record(r: &SwfRecord) -> String {
+    format!(
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        r.job_id,
+        r.submit_time,
+        r.wait_time,
+        r.run_time,
+        r.allocated_procs,
+        fmt_float(r.avg_cpu_time),
+        fmt_float(r.used_memory),
+        r.requested_procs,
+        r.requested_time,
+        fmt_float(r.requested_memory),
+        r.status,
+        r.user_id,
+        r.group_id,
+        r.executable,
+        r.queue,
+        r.partition,
+        r.preceding_job,
+        r.think_time,
+    )
+}
+
+/// Serialize a whole trace: header comment lines first, then records.
+pub fn write_trace(trace: &SwfTrace) -> String {
+    let mut out = String::new();
+    for line in &trace.header.raw_lines {
+        let _ = writeln!(out, "; {line}");
+    }
+    for rec in &trace.records {
+        let _ = writeln!(out, "{}", write_record(rec));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_line;
+
+    #[test]
+    fn record_roundtrips() {
+        let r = SwfRecord {
+            job_id: 42,
+            submit_time: 1000,
+            wait_time: 17,
+            run_time: 360,
+            allocated_procs: 16,
+            avg_cpu_time: 33.25,
+            requested_procs: 16,
+            requested_time: 400,
+            user_id: 3,
+            queue: 2,
+            ..Default::default()
+        };
+        let line = write_record(&r);
+        let back = parse_line(&line).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn unknown_floats_written_as_minus_one() {
+        let r = SwfRecord::default();
+        let line = write_record(&r);
+        assert!(line.contains(" -1 "));
+        assert!(!line.contains("-1.0"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: SWF records and traces survive serialization
+//! round-trips for arbitrary field values.
+
+use proptest::prelude::*;
+use swf::{parse_line, SwfRecord, SwfTrace};
+
+fn record_strategy() -> impl Strategy<Value = SwfRecord> {
+    (
+        (1u64..1_000_000, -1i64..10_000_000, -1i64..1_000_000, -1i64..1_000_000),
+        (-1i64..100_000, -1i64..100_000, -1i64..1_000_000),
+        (-1i64..10_000, -1i64..10_000, -1i64..100, -1i64..100),
+        (-1i64..1000, -1i64..100_000, -1i64..100_000),
+    )
+        .prop_map(|((job_id, submit, wait, run), (alloc, req_procs, req_time), (user, group, exec, queue), (partition, preceding, think))| {
+            SwfRecord {
+                job_id,
+                submit_time: submit,
+                wait_time: wait,
+                run_time: run,
+                allocated_procs: alloc,
+                avg_cpu_time: -1.0,
+                used_memory: -1.0,
+                requested_procs: req_procs,
+                requested_time: req_time,
+                requested_memory: -1.0,
+                status: 1,
+                user_id: user,
+                group_id: group,
+                executable: exec,
+                queue,
+                partition,
+                preceding_job: preceding,
+                think_time: think,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn record_roundtrips(rec in record_strategy()) {
+        let trace = SwfTrace { header: Default::default(), records: vec![rec] };
+        let text = trace.to_swf_string();
+        let back = SwfTrace::parse(&text).unwrap();
+        prop_assert_eq!(back.records[0], rec);
+    }
+
+    #[test]
+    fn trace_roundtrips(records in prop::collection::vec(record_strategy(), 0..30)) {
+        let trace = SwfTrace { header: Default::default(), records };
+        let back = SwfTrace::parse(&trace.to_swf_string()).unwrap();
+        prop_assert_eq!(back.records, trace.records);
+    }
+
+    /// Whitespace variations never change the parsed record.
+    #[test]
+    fn whitespace_insensitive(rec in record_strategy(), pad in 1usize..5) {
+        let line = {
+            let trace = SwfTrace { header: Default::default(), records: vec![rec] };
+            trace.to_swf_string().trim().to_string()
+        };
+        let spaced = line.split_whitespace().collect::<Vec<_>>().join(&" ".repeat(pad));
+        prop_assert_eq!(parse_line(&spaced).unwrap(), rec);
+    }
+
+    /// Arbitrary garbage never panics the parser — it errors or parses.
+    #[test]
+    fn parser_never_panics(line in "[ -~]{0,120}") {
+        let _ = parse_line(&line);
+        let _ = SwfTrace::parse(&line);
+    }
+}

@@ -1,0 +1,105 @@
+//! The Adam optimizer (Kingma & Ba, 2015).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mlp::Mlp;
+
+/// Adam state for one network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate (the paper trains with 1e-3, §4.1).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical fuzz.
+    pub eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with standard betas for a network with `n_params` parameters.
+    pub fn new(lr: f32, n_params: usize) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+            t: 0,
+        }
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one Adam step using the gradients currently accumulated in the
+    /// network, scaled by `grad_scale` (e.g. `1 / batch_size`).
+    pub fn step(&mut self, net: &mut Mlp, grad_scale: f32) {
+        assert_eq!(self.m.len(), net.param_count(), "optimizer/network size mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (m, v) = (&mut self.m, &mut self.v);
+        net.visit_params(|i, w, g| {
+            let g = g * grad_scale;
+            m[i] = b1 * m[i] + (1.0 - b1) * g;
+            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+            let mhat = m[i] / b1t;
+            let vhat = v[i] / b2t;
+            *w -= lr * mhat / (vhat.sqrt() + eps);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::mlp::Tape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Adam on a regression task must drive the loss down.
+    #[test]
+    fn adam_fits_xor() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut opt = Adam::new(0.01, net.param_count());
+        let data: [([f32; 2], f32); 4] =
+            [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+        let mut tape = Tape::default();
+        let loss_at = |net: &Mlp| -> f32 {
+            data.iter().map(|(x, y)| (net.forward(x)[0] - y).powi(2)).sum::<f32>() / 4.0
+        };
+        let initial = loss_at(&net);
+        for _ in 0..2000 {
+            net.zero_grads();
+            for (x, y) in &data {
+                let out = net.forward_train(x, &mut tape)[0];
+                let grad = 2.0 * (out - y);
+                net.backward(&tape, &[grad]);
+            }
+            opt.step(&mut net, 0.25);
+        }
+        let fin = loss_at(&net);
+        assert!(fin < 0.01, "loss did not converge: {initial} -> {fin}");
+        assert_eq!(opt.steps(), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Mlp::new(&[2, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut opt = Adam::new(0.01, 5);
+        opt.step(&mut net, 1.0);
+    }
+}

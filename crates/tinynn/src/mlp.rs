@@ -1,0 +1,258 @@
+//! Multi-layer perceptrons with a training tape.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+
+/// A feed-forward MLP.
+///
+/// The paper's inspector network is `Mlp::new(&[d, 32, 16, 8, 2], ...)`
+/// (§3.1): three hidden layers of 32/16/8 units and a two-logit output —
+/// 938 parameters for the 7-feature (no-backfilling) input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// The layers, in order (read-only; used by serialization).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Rebuild an MLP from explicit layers, validating that adjacent
+    /// dimensions agree.
+    pub fn from_layers(layers: Vec<Dense>) -> Result<Mlp, String> {
+        if layers.is_empty() {
+            return Err("an MLP needs at least one layer".into());
+        }
+        for w in layers.windows(2) {
+            if w[0].fan_out != w[1].fan_in {
+                return Err(format!(
+                    "layer dimension mismatch: {} out vs {} in",
+                    w[0].fan_out, w[1].fan_in
+                ));
+            }
+        }
+        Ok(Mlp { layers })
+    }
+}
+
+/// Cached forward-pass state needed for backprop: the input plus each
+/// layer's pre-activations and outputs.
+#[derive(Debug, Clone, Default)]
+pub struct Tape {
+    input: Vec<f32>,
+    zs: Vec<Vec<f32>>,
+    activations: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes: `sizes[0]` inputs through
+    /// `sizes[n-1]` outputs. Hidden layers use `hidden`; the final layer
+    /// uses `output` (use [`Activation::Identity`] for logits/values).
+    pub fn new<R: Rng + ?Sized>(
+        sizes: &[usize],
+        hidden: Activation,
+        output: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == sizes.len() { output } else { hidden };
+                Dense::new(w[0], w[1], act, rng)
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.fan_in)
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.fan_out)
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Inference-only forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut a = x.to_vec();
+        let (mut z_buf, mut a_buf) = (Vec::new(), Vec::new());
+        for layer in &self.layers {
+            layer.forward(&a, &mut z_buf, &mut a_buf);
+            std::mem::swap(&mut a, &mut a_buf);
+        }
+        a
+    }
+
+    /// Forward pass recording everything backprop needs into `tape`.
+    pub fn forward_train<'t>(&self, x: &[f32], tape: &'t mut Tape) -> &'t [f32] {
+        tape.input.clear();
+        tape.input.extend_from_slice(x);
+        tape.zs.resize_with(self.layers.len(), Vec::new);
+        tape.activations.resize_with(self.layers.len(), Vec::new);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = tape.activations.split_at_mut(i);
+            let input: &[f32] = if i == 0 { &tape.input } else { &head[i - 1] };
+            layer.forward(input, &mut tape.zs[i], &mut tail[0]);
+        }
+        tape.activations.last().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Backward pass from `grad_out` (∂L/∂output), accumulating parameter
+    /// gradients. Call [`Mlp::zero_grads`] before a new accumulation round.
+    pub fn backward(&mut self, tape: &Tape, grad_out: &[f32]) {
+        let mut grad = grad_out.to_vec();
+        let mut grad_next = Vec::new();
+        for i in (0..self.layers.len()).rev() {
+            let x: &[f32] = if i == 0 { &tape.input } else { &tape.activations[i - 1] };
+            let (z, a) = (&tape.zs[i], &tape.activations[i]);
+            self.layers[i].backward(x, z, a, &grad, &mut grad_next);
+            std::mem::swap(&mut grad, &mut grad_next);
+        }
+    }
+
+    /// Zero all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grads();
+        }
+    }
+
+    /// Visit every (parameter, gradient) pair mutably — the optimizer hook.
+    pub fn visit_params(&mut self, mut f: impl FnMut(usize, &mut f32, f32)) {
+        let mut idx = 0;
+        for l in &mut self.layers {
+            if l.gw.len() != l.w.len() || l.gb.len() != l.b.len() {
+                l.zero_grads();
+            }
+            for (w, &g) in l.w.iter_mut().zip(&l.gw) {
+                f(idx, w, g);
+                idx += 1;
+            }
+            for (b, &g) in l.b.iter_mut().zip(&l.gb) {
+                f(idx, b, g);
+                idx += 1;
+            }
+        }
+    }
+
+    /// Global L2 norm of the accumulated gradients.
+    pub fn grad_norm(&self) -> f32 {
+        let mut s = 0.0f32;
+        for l in &self.layers {
+            s += l.gw.iter().map(|g| g * g).sum::<f32>();
+            s += l.gb.iter().map(|g| g * g).sum::<f32>();
+        }
+        s.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(sizes: &[usize], seed: u64) -> Mlp {
+        Mlp::new(sizes, Activation::Tanh, Activation::Identity, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn paper_network_has_938_parameters() {
+        // 7 features (no backfilling), hidden 32/16/8, 2 logits — §3.1.
+        let net = mlp(&[7, 32, 16, 8, 2], 0);
+        assert_eq!(net.param_count(), 938);
+    }
+
+    #[test]
+    fn forward_and_forward_train_agree() {
+        let net = mlp(&[4, 8, 3], 1);
+        let x = [0.1, -0.5, 0.9, 0.0];
+        let mut tape = Tape::default();
+        let out_train = net.forward_train(&x, &mut tape).to_vec();
+        let out = net.forward(&x);
+        assert_eq!(out, out_train);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn gradcheck_full_network() {
+        let mut net = mlp(&[3, 5, 4, 2], 2);
+        let x = [0.4f32, -0.2, 0.7];
+        // Loss = out[0] - 2*out[1].
+        let loss = |n: &Mlp| {
+            let o = n.forward(&x);
+            o[0] - 2.0 * o[1]
+        };
+        let mut tape = Tape::default();
+        net.zero_grads();
+        net.forward_train(&x, &mut tape);
+        net.backward(&tape, &[1.0, -2.0]);
+
+        let analytic: Vec<f32> = {
+            let mut v = Vec::new();
+            net.visit_params(|_, _, g| v.push(g));
+            v
+        };
+        // Finite differences over every parameter.
+        let eps = 1e-3;
+        let mut idx = 0;
+        let snapshot = net.clone();
+        let n_params = analytic.len();
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..n_params {
+            let mut plus = snapshot.clone();
+            plus.visit_params(|i, w, _| {
+                if i == p {
+                    *w += eps;
+                }
+            });
+            let mut minus = snapshot.clone();
+            minus.visit_params(|i, w, _| {
+                if i == p {
+                    *w -= eps;
+                }
+            });
+            let num = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!(
+                (num - analytic[p]).abs() < 2e-2,
+                "param {p}: numeric {num} vs analytic {}",
+                analytic[p]
+            );
+            idx += 1;
+        }
+        assert_eq!(idx, n_params);
+    }
+
+    #[test]
+    fn clone_preserves_outputs() {
+        let net = mlp(&[4, 8, 2], 3);
+        let copied = net.clone();
+        let x = [0.3, 0.1, -0.2, 0.8];
+        assert_eq!(net.forward(&x), copied.forward(&x));
+    }
+
+    #[test]
+    fn grad_norm_positive_after_backward() {
+        let mut net = mlp(&[3, 4, 1], 4);
+        let mut tape = Tape::default();
+        net.zero_grads();
+        assert_eq!(net.grad_norm(), 0.0);
+        net.forward_train(&[1.0, 1.0, 1.0], &mut tape);
+        net.backward(&tape, &[1.0]);
+        assert!(net.grad_norm() > 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests: analytic gradients match finite differences for random
+//! network shapes, inputs, and output gradients — the backbone guarantee
+//! of the training stack.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tinynn::{Activation, Mlp, Tape};
+
+fn net_strategy() -> impl Strategy<Value = (Vec<usize>, u64)> {
+    (
+        prop::collection::vec(1usize..6, 2..4),
+        any::<u64>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn gradients_match_finite_differences(
+        (mut sizes, seed) in net_strategy(),
+        input_seed in any::<u64>(),
+    ) {
+        // Keep dimensions small so finite differences stay cheap.
+        for s in &mut sizes {
+            *s = (*s).clamp(1, 5);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Mlp::new(&sizes, Activation::Tanh, Activation::Identity, &mut rng);
+        let mut irng = StdRng::seed_from_u64(input_seed);
+        use rand::RngExt;
+        let x: Vec<f32> = (0..sizes[0]).map(|_| irng.random::<f32>() * 2.0 - 1.0).collect();
+        let gout: Vec<f32> =
+            (0..*sizes.last().unwrap()).map(|_| irng.random::<f32>() * 2.0 - 1.0).collect();
+
+        let mut tape = Tape::default();
+        net.zero_grads();
+        net.forward_train(&x, &mut tape);
+        net.backward(&tape, &gout);
+        let analytic: Vec<f32> = {
+            let mut v = Vec::new();
+            net.visit_params(|_, _, g| v.push(g));
+            v
+        };
+
+        let loss = |n: &Mlp| -> f32 {
+            n.forward(&x).iter().zip(&gout).map(|(o, g)| o * g).sum()
+        };
+        let eps = 1e-2f32;
+        let snapshot = net.clone();
+        for p in (0..analytic.len()).step_by(3) {
+            let mut plus = snapshot.clone();
+            plus.visit_params(|i, w, _| if i == p { *w += eps });
+            let mut minus = snapshot.clone();
+            minus.visit_params(|i, w, _| if i == p { *w -= eps });
+            let num = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            prop_assert!(
+                (num - analytic[p]).abs() < 0.05 + 0.05 * num.abs().max(analytic[p].abs()),
+                "param {}: numeric {} vs analytic {}", p, num, analytic[p]
+            );
+        }
+    }
+
+    /// Text serialization round-trips arbitrary trained-ish networks.
+    #[test]
+    fn text_roundtrip((mut sizes, seed) in net_strategy()) {
+        for s in &mut sizes {
+            *s = (*s).clamp(1, 5);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&sizes, Activation::Relu, Activation::Identity, &mut rng);
+        let back = Mlp::from_text(&net.to_text()).unwrap();
+        let x = vec![0.37f32; sizes[0]];
+        prop_assert_eq!(net.forward(&x), back.forward(&x));
+    }
+}

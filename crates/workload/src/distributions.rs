@@ -1,0 +1,399 @@
+//! Statistical distributions implemented from scratch.
+//!
+//! The allowed dependency set does not include `rand_distr`, and the workload
+//! models (Lublin–Feitelson, calibrated trace synthesis) need heavy-tailed
+//! samplers, so this module implements the classical algorithms directly:
+//! Box–Muller for the normal, Marsaglia–Tsang for the gamma, inversion for
+//! the exponential and Weibull, and mixtures on top.
+//!
+//! All samplers are generic over [`rand::Rng`] so they stay deterministic
+//! under a seeded `StdRng`.
+
+use rand::{Rng, RngExt};
+
+/// A real-valued distribution that can be sampled with any RNG.
+pub trait Sample {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// The analytic mean, when finite and known.
+    fn mean(&self) -> f64;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter; must be positive.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Create from the mean instead of the rate.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        Exponential { lambda: 1.0 / mean }
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inversion; guard the log against u == 0.
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+/// Normal distribution (Box–Muller transform).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation; must be non-negative.
+    pub sigma: f64,
+}
+
+impl Sample for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mu + self.sigma * z
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// Log-normal distribution: `exp(Normal(mu, sigma))`.
+///
+/// Job runtimes in production HPC traces are famously heavy-tailed and are
+/// well fitted by log-normals; this is the backbone of the calibrated trace
+/// generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal (log scale).
+    pub mu: f64,
+    /// Std-dev of the underlying normal (log scale).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct a log-normal with the given arithmetic mean and log-scale
+    /// spread `sigma`, solving `mu = ln(mean) - sigma^2 / 2`.
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0, "log-normal mean must be positive");
+        LogNormal { mu: mean.ln() - sigma * sigma / 2.0, sigma }
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Normal { mu: self.mu, sigma: self.sigma }.sample(rng).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Gamma distribution with shape `alpha` and scale `theta`
+/// (mean `alpha * theta`), sampled with Marsaglia–Tsang (2000).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    /// Shape parameter; must be positive.
+    pub alpha: f64,
+    /// Scale parameter; must be positive.
+    pub theta: f64,
+}
+
+impl Gamma {
+    /// Gamma with a target mean and given shape (`theta = mean / alpha`).
+    pub fn with_mean(mean: f64, alpha: f64) -> Self {
+        assert!(mean > 0.0 && alpha > 0.0);
+        Gamma { alpha, theta: mean / alpha }
+    }
+
+    fn sample_shape_ge_one<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> f64 {
+        debug_assert!(alpha >= 1.0);
+        let d = alpha - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = Normal { mu: 0.0, sigma: 1.0 }.sample(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v3 + d * v3.ln() {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Sample for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // For alpha < 1 use the boosting identity
+        // Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let raw = if self.alpha >= 1.0 {
+            Self::sample_shape_ge_one(self.alpha, rng)
+        } else {
+            let g = Self::sample_shape_ge_one(self.alpha + 1.0, rng);
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            g * u.powf(1.0 / self.alpha)
+        };
+        raw * self.theta
+    }
+
+    fn mean(&self) -> f64 {
+        self.alpha * self.theta
+    }
+}
+
+/// Weibull distribution with shape `k` and scale `lambda` (inversion method).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    /// Shape parameter; must be positive.
+    pub k: f64,
+    /// Scale parameter; must be positive.
+    pub lambda: f64,
+}
+
+impl Sample for Weibull {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        self.lambda * (-u.ln()).powf(1.0 / self.k)
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda * gamma_fn(1.0 + 1.0 / self.k)
+    }
+}
+
+/// Hyper-gamma: a two-component gamma mixture, the runtime model of the
+/// Lublin–Feitelson workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperGamma {
+    /// First component.
+    pub g1: Gamma,
+    /// Second component.
+    pub g2: Gamma,
+    /// Probability of drawing from the first component.
+    pub p: f64,
+}
+
+impl Sample for HyperGamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if rng.random::<f64>() < self.p {
+            self.g1.sample(rng)
+        } else {
+            self.g2.sample(rng)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.p * self.g1.mean() + (1.0 - self.p) * self.g2.mean()
+    }
+}
+
+/// Lanczos approximation of the gamma function (used by [`Weibull::mean`]).
+#[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
+pub fn gamma_fn(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + 7.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (std::f64::consts::TAU).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Zipf-like discrete distribution over `{0, 1, ..., n-1}` with exponent
+/// `s`: `P(k) ∝ (k + 1)^-s`. Used to assign jobs to a skewed user
+/// population (a few users submit most jobs, as in real logs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the CDF table for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Numerically calibrate a scalar knob so that the sampled mean of
+/// `make(knob)` hits `target` within `tol` (relative), via bisection on a
+/// monotone knob → mean mapping. Returns the calibrated knob value.
+///
+/// Used by the trace generators to match the published Table 2 means.
+pub fn calibrate_mean<F>(mut lo: f64, mut hi: f64, target: f64, tol: f64, mut mean_of: F) -> f64
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mlo, mhi) = (mean_of(lo), mean_of(hi));
+    let increasing = mhi >= mlo;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        let m = mean_of(mid);
+        if (m - target).abs() <= tol * target {
+            return mid;
+        }
+        if (m < target) == increasing {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean<D: Sample>(d: &D, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(50.0);
+        let m = sample_mean(&d, 200_000, 1);
+        assert!((m - 50.0).abs() < 1.0, "mean {m}");
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal { mu: 3.0, sigma: 2.0 };
+        let m = sample_mean(&d, 200_000, 2);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_with_mean_hits_target() {
+        let d = LogNormal::with_mean(1000.0, 1.5);
+        assert!((d.mean() - 1000.0).abs() < 1e-6);
+        let m = sample_mean(&d, 400_000, 3);
+        assert!((m - 1000.0).abs() / 1000.0 < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn gamma_mean_shape_above_one() {
+        let d = Gamma { alpha: 4.2, theta: 10.0 };
+        let m = sample_mean(&d, 200_000, 4);
+        assert!((m - 42.0).abs() / 42.0 < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn gamma_mean_shape_below_one() {
+        let d = Gamma { alpha: 0.45, theta: 100.0 };
+        let m = sample_mean(&d, 300_000, 5);
+        assert!((m - 45.0).abs() / 45.0 < 0.03, "mean {m}");
+    }
+
+    #[test]
+    fn hypergamma_mixes() {
+        let d = HyperGamma {
+            g1: Gamma { alpha: 4.2, theta: 1.0 },
+            g2: Gamma { alpha: 312.0, theta: 0.1 },
+            p: 0.3,
+        };
+        let expect = 0.3 * 4.2 + 0.7 * 31.2;
+        let m = sample_mean(&d, 200_000, 6);
+        assert!((m - expect).abs() / expect < 0.02, "mean {m} expect {expect}");
+    }
+
+    #[test]
+    fn weibull_mean_matches_analytic() {
+        let d = Weibull { k: 1.5, lambda: 100.0 };
+        let m = sample_mean(&d, 300_000, 7);
+        assert!((m - d.mean()).abs() / d.mean() < 0.02, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn gamma_fn_known_values() {
+        assert!((gamma_fn(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma_fn(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4], "rank 0 should dominate: {counts:?}");
+        assert!(counts[9] > 0);
+    }
+
+    #[test]
+    fn calibrate_mean_finds_knob() {
+        // mean(knob) = knob * 2, target 10 -> knob 5.
+        let k = calibrate_mean(0.0, 100.0, 10.0, 1e-6, |k| k * 2.0);
+        assert!((k - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn samples_are_non_negative() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = Gamma { alpha: 0.3, theta: 5.0 };
+        let e = Exponential::with_mean(10.0);
+        let w = Weibull { k: 0.7, lambda: 3.0 };
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) >= 0.0);
+            assert!(e.sample(&mut rng) >= 0.0);
+            assert!(w.sample(&mut rng) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Workload substrate for the SchedInspector reproduction.
+//!
+//! Provides the simulation job model, job traces with Table 2 statistics,
+//! train/test splitting and sequence sampling, from-scratch statistical
+//! distributions, the Lublin–Feitelson synthetic workload model, and
+//! calibrated synthetic replacements for the Parallel Workloads Archive
+//! traces the paper evaluates (SDSC-SP2, CTC-SP2, HPC2N).
+//!
+//! # Quick start
+//!
+//! ```
+//! use workload::{profiles, synthetic};
+//!
+//! // A 1000-job synthetic SDSC-SP2 trace calibrated to the paper's Table 2.
+//! let trace = synthetic::generate(&profiles::SDSC_SP2, 1000, 42);
+//! let stats = trace.stats();
+//! assert_eq!(stats.cluster_size, 128);
+//! let (train, test) = trace.split(0.2);
+//! assert!(train.len() < test.len());
+//! ```
+
+pub mod distributions;
+pub mod job;
+pub mod lublin;
+pub mod profiles;
+pub mod sampling;
+pub mod stats;
+pub mod synthetic;
+pub mod tools;
+mod trace;
+
+pub use job::Job;
+pub use profiles::TraceProfile;
+pub use sampling::SequenceSampler;
+pub use stats::TraceStats;
+pub use trace::{JobTrace, TraceError};
+
+/// Generate the named paper trace (Table 2 row) with `n_jobs` jobs.
+///
+/// `"Lublin"` routes to the Lublin–Feitelson model; the archive traces route
+/// to the calibrated synthetic generators. Returns `None` for unknown names.
+pub fn paper_trace(name: &str, n_jobs: usize, seed: u64) -> Option<JobTrace> {
+    let profile = profiles::profile_by_name(name)?;
+    Some(if profile.name == "Lublin" {
+        lublin::generate(n_jobs, seed)
+    } else {
+        synthetic::generate(profile, n_jobs, seed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_trace_dispatches() {
+        let t = paper_trace("Lublin", 200, 1).unwrap();
+        assert_eq!(t.procs, 256);
+        let t = paper_trace("HPC2N", 200, 1).unwrap();
+        assert_eq!(t.procs, 240);
+        assert!(paper_trace("unknown", 200, 1).is_none());
+    }
+}

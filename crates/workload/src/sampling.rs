@@ -1,0 +1,116 @@
+//! Random sampling of job sequences from a trace.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::job::Job;
+use crate::trace::JobTrace;
+
+/// Draws random fixed-length job sequences from a trace, the paper's unit of
+/// training (128 sequential jobs from a random start index) and testing
+/// (50 random sequences of 256 jobs).
+#[derive(Debug)]
+pub struct SequenceSampler {
+    trace: JobTrace,
+    len: usize,
+    rng: StdRng,
+}
+
+impl SequenceSampler {
+    /// Create a sampler yielding sequences of `len` jobs, seeded for
+    /// reproducibility.
+    pub fn new(trace: JobTrace, len: usize, seed: u64) -> Self {
+        assert!(len > 0, "sequence length must be positive");
+        SequenceSampler { trace, len, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &JobTrace {
+        &self.trace
+    }
+
+    /// Sample one sequence (submit times rebased to zero). Returns the start
+    /// index along with the jobs. If the trace is shorter than the sequence
+    /// length, the whole trace is returned.
+    pub fn sample(&mut self) -> (usize, Vec<Job>) {
+        let n = self.trace.len();
+        if n <= self.len {
+            return (0, self.trace.sequence(0, n));
+        }
+        let start = self.rng.random_range(0..=(n - self.len));
+        (start, self.trace.sequence(start, self.len))
+    }
+
+    /// Sample `count` sequences.
+    pub fn sample_many(&mut self, count: usize) -> Vec<(usize, Vec<Job>)> {
+        (0..count).map(|_| self.sample()).collect()
+    }
+
+    /// Deterministic evenly-spaced sequence starts covering the trace —
+    /// useful for exhaustive evaluation passes.
+    pub fn grid(&self, count: usize) -> Vec<usize> {
+        let n = self.trace.len();
+        if n <= self.len || count == 0 {
+            return vec![0];
+        }
+        let max_start = n - self.len;
+        if count == 1 {
+            return vec![max_start / 2];
+        }
+        (0..count).map(|i| i * max_start / (count - 1)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(n: usize) -> JobTrace {
+        let jobs = (0..n)
+            .map(|i| Job::new(i as u64 + 1, i as f64 * 10.0, 5.0, 5.0, 1))
+            .collect();
+        JobTrace::new("t", 4, jobs).unwrap()
+    }
+
+    #[test]
+    fn sample_has_requested_length() {
+        let mut s = SequenceSampler::new(trace(100), 16, 7);
+        for _ in 0..20 {
+            let (_, seq) = s.sample();
+            assert_eq!(seq.len(), 16);
+            assert_eq!(seq[0].submit, 0.0);
+        }
+    }
+
+    #[test]
+    fn short_trace_returns_everything() {
+        let mut s = SequenceSampler::new(trace(5), 16, 7);
+        let (start, seq) = s.sample();
+        assert_eq!(start, 0);
+        assert_eq!(seq.len(), 5);
+    }
+
+    #[test]
+    fn same_seed_same_sequences() {
+        let a: Vec<usize> = SequenceSampler::new(trace(200), 16, 42)
+            .sample_many(10)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        let b: Vec<usize> = SequenceSampler::new(trace(200), 16, 42)
+            .sample_many(10)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_covers_trace() {
+        let s = SequenceSampler::new(trace(100), 20, 1);
+        let g = s.grid(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g[0], 0);
+        assert_eq!(*g.last().unwrap(), 80);
+    }
+}

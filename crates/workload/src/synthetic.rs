@@ -1,0 +1,286 @@
+//! Calibrated synthetic trace generation.
+//!
+//! Generates SWF-compatible traces whose Table 2 statistics (mean arrival
+//! interval, mean estimate, mean requested processors) match a
+//! [`TraceProfile`] closely. The generator composes:
+//!
+//! * **sizes** — serial with `serial_prob`, otherwise log₂-uniform over
+//!   `[0, log2(procs)]` with an upper-range cut-off calibrated by bisection
+//!   to hit the target mean; parallel sizes are snapped to powers of two
+//!   with `pow2_prob` (the canonical shape of archive logs);
+//! * **runtimes** — heavy-tailed log-normal with profile spread;
+//! * **estimates** — runtime × log-normal over-estimation factor, rounded
+//!   up to canonical request values (10 min, 30 min, 1 h, ...), with the
+//!   factor calibrated so the mean estimate matches Table 2;
+//! * **arrivals** — gamma inter-arrivals (burstier than Poisson) modulated
+//!   by a diurnal cycle, then rescaled to the exact target mean interval;
+//! * **users/queues** — Zipf-skewed user population and estimate-binned
+//!   queues, so the Slurm multifactor experiment (§4.5) has the fields it
+//!   needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::distributions::{calibrate_mean, Exponential, Gamma, LogNormal, Sample, Zipf};
+use crate::job::Job;
+use crate::profiles::TraceProfile;
+use crate::trace::JobTrace;
+
+/// Canonical user-requested walltimes, seconds (10 min … 5 days).
+const CANONICAL_ESTIMATES: [f64; 19] = [
+    600.0, 900.0, 1200.0, 1800.0, 2700.0, 3600.0, 5400.0, 7200.0, 10800.0, 14400.0, 21600.0,
+    28800.0, 43200.0, 64800.0, 86400.0, 129600.0, 172800.0, 259200.0, 432000.0,
+];
+
+/// Round an estimate up to the next canonical request value.
+fn canonical_estimate(raw: f64) -> f64 {
+    for &c in &CANONICAL_ESTIMATES {
+        if raw <= c {
+            return c;
+        }
+    }
+    *CANONICAL_ESTIMATES.last().unwrap()
+}
+
+/// Diurnal arrival-rate multiplier: peak mid-afternoon, trough at night.
+/// Mean over a day is 1 so it reshapes, not rescales, the arrival process.
+fn daily_cycle_weight(time_s: f64) -> f64 {
+    let hour = (time_s / 3600.0) % 24.0;
+    1.0 + 0.8 * (std::f64::consts::TAU * (hour - 14.0) / 24.0).cos()
+}
+
+/// Sample a processor count given the calibrated `hi` cut of the log₂ range.
+fn sample_size<R: Rng + ?Sized>(p: &TraceProfile, hi: f64, rng: &mut R) -> u32 {
+    if rng.random::<f64>() < p.serial_prob {
+        return 1;
+    }
+    let u: f64 = rng.random::<f64>() * hi;
+    let raw = 2f64.powf(u).round().max(2.0);
+    let size = if rng.random::<f64>() < p.pow2_prob {
+        2f64.powf(u.round())
+    } else {
+        raw
+    };
+    (size as u32).clamp(1, p.procs)
+}
+
+fn mean_size(p: &TraceProfile, hi: f64, probe: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..probe).map(|_| sample_size(p, hi, &mut rng) as f64).sum::<f64>() / probe as f64
+}
+
+/// Sample an over-estimation factor (≥ 1) with log-scale knob `k`.
+fn sample_overest<R: Rng + ?Sized>(k: f64, rng: &mut R) -> f64 {
+    1.0 + LogNormal::with_mean(k, 0.9).sample(rng)
+}
+
+/// Generate a calibrated synthetic trace.
+///
+/// The calibration is deterministic: bisection probes use fixed sub-seeds of
+/// `seed`, so the same `(profile, n_jobs, seed)` always yields the same
+/// trace.
+pub fn generate(profile: &TraceProfile, n_jobs: usize, seed: u64) -> JobTrace {
+    let p = profile;
+    let log2max = (p.procs as f64).log2();
+
+    // --- calibrate the size distribution to the target mean procs ---
+    let hi = calibrate_mean(0.1, log2max, p.mean_procs, 0.01, |hi| {
+        mean_size(p, hi, 8192, seed ^ 0x5157_u64)
+    });
+
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- sizes and runtimes ---
+    let sizes: Vec<u32> = (0..n_jobs).map(|_| sample_size(p, hi, &mut rng)).collect();
+    let runtime_mean = p.mean_estimate * p.runtime_frac;
+    let runtime_dist = LogNormal::with_mean(runtime_mean, p.runtime_sigma);
+    let max_rt = *CANONICAL_ESTIMATES.last().unwrap();
+    // Wide jobs run long (size_runtime_corr); then rescale to the target
+    // mean so the correlation reshapes without shifting Table 2 statistics.
+    let raw_rt: Vec<f64> = sizes
+        .iter()
+        .map(|&s| {
+            let corr = (s as f64 / p.mean_procs).powf(p.size_runtime_corr);
+            (runtime_dist.sample(&mut rng) * corr).clamp(10.0, max_rt)
+        })
+        .collect();
+    let raw_mean = raw_rt.iter().sum::<f64>() / n_jobs.max(1) as f64;
+    let rt_scale = if raw_mean > 0.0 { runtime_mean / raw_mean } else { 1.0 };
+    let runtimes: Vec<f64> =
+        raw_rt.iter().map(|&r| (r * rt_scale).clamp(10.0, max_rt)).collect();
+
+    // --- calibrate the over-estimation factor to the target mean estimate ---
+    let est_of = |k: f64, runtimes: &[f64], probe_seed: u64| -> f64 {
+        let mut r = StdRng::seed_from_u64(probe_seed);
+        let m: f64 = runtimes
+            .iter()
+            .map(|&rt| canonical_estimate(rt * sample_overest(k, &mut r)))
+            .sum();
+        m / runtimes.len() as f64
+    };
+    let k = calibrate_mean(0.01, 12.0, p.mean_estimate, 0.01, |k| {
+        est_of(k, &runtimes, seed ^ 0xE57_u64)
+    });
+    let mut est_rng = StdRng::seed_from_u64(seed ^ 0xE57_u64);
+    let estimates: Vec<f64> = runtimes
+        .iter()
+        .map(|&rt| canonical_estimate(rt * sample_overest(k, &mut est_rng)))
+        .collect();
+
+    // --- arrivals: gamma inter-arrivals + diurnal cycle, exact-mean rescale ---
+    let arr = Gamma::with_mean(p.mean_interval, p.arrival_shape);
+    let mut t = 0.0;
+    let mut submits = Vec::with_capacity(n_jobs);
+    while submits.len() < n_jobs {
+        let mut dt = arr.sample(&mut rng).max(1.0);
+        if p.daily_cycle {
+            dt /= daily_cycle_weight(t);
+        }
+        t += dt;
+        // Campaigns: one user firing a batch of jobs back-to-back creates
+        // the queue spikes real logs show even at low average load.
+        let batch = if rng.random::<f64>() < p.burst_prob {
+            2 + Exponential::with_mean(p.burst_mean).sample(&mut rng).round() as usize
+        } else {
+            1
+        };
+        for b in 0..batch.min(n_jobs - submits.len()) {
+            submits.push(t + b as f64);
+        }
+    }
+    if n_jobs > 1 {
+        let span = submits[n_jobs - 1] - submits[0];
+        let target_span = p.mean_interval * (n_jobs - 1) as f64;
+        let scale = target_span / span;
+        for s in &mut submits {
+            *s *= scale;
+        }
+    }
+
+    // --- users and queues ---
+    let zipf = Zipf::new(p.n_users as usize, p.user_skew);
+    let jobs: Vec<Job> = (0..n_jobs)
+        .map(|i| {
+            let runtime = runtimes[i].min(estimates[i]);
+            Job {
+                id: i as u64 + 1,
+                submit: submits[i],
+                runtime,
+                estimate: estimates[i],
+                procs: sizes[i],
+                user: zipf.sample(&mut rng) as u32,
+                queue: queue_for(estimates[i], p.n_queues),
+            }
+        })
+        .collect();
+
+    JobTrace::new(p.name, p.procs, jobs).expect("generator produced an invalid trace")
+}
+
+/// Bin a job into a queue by its estimate (short → queue 0, long → last).
+fn queue_for(estimate: f64, n_queues: u32) -> u32 {
+    debug_assert!(n_queues > 0);
+    let bucket = match estimate {
+        e if e <= 3600.0 => 0,
+        e if e <= 14400.0 => 1,
+        e if e <= 86400.0 => 2,
+        _ => 3,
+    };
+    bucket.min(n_queues - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{ALL_PROFILES, SDSC_SP2};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&SDSC_SP2, 500, 11);
+        let b = generate(&SDSC_SP2, 500, 11);
+        assert_eq!(a, b);
+        let c = generate(&SDSC_SP2, 500, 12);
+        assert_ne!(a.jobs, c.jobs);
+    }
+
+    #[test]
+    fn table2_means_are_matched() {
+        // The Lublin row is produced by the Lublin model (`lublin.rs`),
+        // which has its own calibration test; this generator's canonical
+        // walltime rounding cannot reach Lublin's low est/runtime ratio.
+        for p in ALL_PROFILES.into_iter().filter(|p| p.name != "Lublin") {
+            let t = generate(p, 6000, 42);
+            let s = t.stats();
+            let rel = |a: f64, b: f64| (a - b).abs() / b;
+            assert!(
+                rel(s.mean_interval, p.mean_interval) < 0.02,
+                "{}: interval {} vs {}",
+                p.name,
+                s.mean_interval,
+                p.mean_interval
+            );
+            assert!(
+                rel(s.mean_estimate, p.mean_estimate) < 0.10,
+                "{}: est {} vs {}",
+                p.name,
+                s.mean_estimate,
+                p.mean_estimate
+            );
+            assert!(
+                rel(s.mean_procs, p.mean_procs) < 0.12,
+                "{}: procs {} vs {}",
+                p.name,
+                s.mean_procs,
+                p.mean_procs
+            );
+        }
+    }
+
+    #[test]
+    fn jobs_fit_machine_and_are_ordered() {
+        let t = generate(&SDSC_SP2, 2000, 1);
+        let mut last = f64::NEG_INFINITY;
+        for j in &t.jobs {
+            assert!(j.procs >= 1 && j.procs <= t.procs);
+            assert!(j.runtime > 0.0 && j.estimate >= j.runtime);
+            assert!(j.submit >= last);
+            last = j.submit;
+        }
+    }
+
+    #[test]
+    fn estimates_are_canonical() {
+        let t = generate(&SDSC_SP2, 1000, 3);
+        for j in &t.jobs {
+            assert!(
+                CANONICAL_ESTIMATES.contains(&j.estimate),
+                "estimate {} not canonical",
+                j.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn users_and_queues_are_populated() {
+        let t = generate(&SDSC_SP2, 2000, 4);
+        let users: std::collections::HashSet<u32> = t.jobs.iter().map(|j| j.user).collect();
+        let queues: std::collections::HashSet<u32> = t.jobs.iter().map(|j| j.queue).collect();
+        assert!(users.len() > 10, "expected a user population, got {}", users.len());
+        assert!(queues.len() >= 2, "expected multiple queues, got {}", queues.len());
+        assert!(t.jobs.iter().all(|j| j.queue < SDSC_SP2.n_queues));
+    }
+
+    #[test]
+    fn daily_cycle_weight_averages_to_one() {
+        let mean: f64 =
+            (0..240).map(|i| daily_cycle_weight(i as f64 * 360.0)).sum::<f64>() / 240.0;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn canonical_estimate_rounds_up() {
+        assert_eq!(canonical_estimate(0.0), 600.0);
+        assert_eq!(canonical_estimate(601.0), 900.0);
+        assert_eq!(canonical_estimate(1e9), 432000.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Trace manipulation tools: load scaling, filtering, and merging.
+//!
+//! Standard operations in scheduling research — e.g. the common
+//! "load-scaling" methodology (Feitelson, *Workload Modeling*) compresses
+//! or stretches inter-arrival gaps to study a system under higher or lower
+//! offered load without changing the job mix.
+
+use crate::job::Job;
+use crate::trace::{JobTrace, TraceError};
+
+/// Scale the offered load by `factor` by dividing all inter-arrival gaps:
+/// `factor > 1` compresses arrivals (more load), `factor < 1` stretches
+/// them. Job shapes (runtime, estimate, width) are untouched.
+pub fn scale_load(trace: &JobTrace, factor: f64) -> Result<JobTrace, TraceError> {
+    assert!(factor > 0.0, "load factor must be positive");
+    let t0 = trace.jobs.first().map(|j| j.submit).unwrap_or(0.0);
+    let jobs = trace
+        .jobs
+        .iter()
+        .map(|j| Job { submit: t0 + (j.submit - t0) / factor, ..*j })
+        .collect();
+    JobTrace::new(format!("{}-x{factor}", trace.name), trace.procs, jobs)
+}
+
+/// Keep only jobs satisfying `keep`, renumbering nothing (ids are stable).
+pub fn filter_jobs(
+    trace: &JobTrace,
+    keep: impl Fn(&Job) -> bool,
+) -> Result<JobTrace, TraceError> {
+    let jobs = trace.jobs.iter().filter(|j| keep(j)).copied().collect();
+    JobTrace::new(format!("{}-filtered", trace.name), trace.procs, jobs)
+}
+
+/// Interleave two traces onto one machine (the larger of the two sizes),
+/// offsetting the second trace's ids to keep them unique.
+pub fn merge(a: &JobTrace, b: &JobTrace) -> Result<JobTrace, TraceError> {
+    let id_offset = a.jobs.iter().map(|j| j.id).max().unwrap_or(0) + 1;
+    let mut jobs = a.jobs.clone();
+    jobs.extend(b.jobs.iter().map(|j| Job { id: j.id + id_offset, ..*j }));
+    JobTrace::new(format!("{}+{}", a.name, b.name), a.procs.max(b.procs), jobs)
+}
+
+/// Truncate a trace to its first `n` jobs.
+pub fn head(trace: &JobTrace, n: usize) -> JobTrace {
+    JobTrace {
+        name: trace.name.clone(),
+        procs: trace.procs,
+        jobs: trace.jobs.iter().take(n).copied().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> JobTrace {
+        let jobs = (0..10u64)
+            .map(|i| Job::new(i + 1, 100.0 + i as f64 * 50.0, 30.0, 60.0, 1 + (i % 4) as u32))
+            .collect();
+        JobTrace::new("base", 8, jobs).unwrap()
+    }
+
+    #[test]
+    fn scale_load_compresses_intervals() {
+        let t = trace();
+        let dense = scale_load(&t, 2.0).unwrap();
+        let s0 = t.stats();
+        let s1 = dense.stats();
+        assert!((s1.mean_interval - s0.mean_interval / 2.0).abs() < 1e-9);
+        assert!((s1.offered_load - s0.offered_load * 2.0).abs() < 1e-9);
+        // First arrival anchored; job shapes untouched.
+        assert_eq!(dense.jobs[0].submit, t.jobs[0].submit);
+        assert_eq!(dense.jobs[3].runtime, t.jobs[3].runtime);
+    }
+
+    #[test]
+    fn scale_load_below_one_stretches() {
+        let t = trace();
+        let sparse = scale_load(&t, 0.5).unwrap();
+        assert!((sparse.stats().mean_interval - t.stats().mean_interval * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filter_keeps_matching_jobs() {
+        let t = trace();
+        let wide = filter_jobs(&t, |j| j.procs >= 3).unwrap();
+        assert!(wide.jobs.iter().all(|j| j.procs >= 3));
+        assert!(wide.len() < t.len());
+        assert!(!wide.is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_all_jobs_with_unique_ids() {
+        let a = trace();
+        let b = trace();
+        let m = merge(&a, &b).unwrap();
+        assert_eq!(m.len(), a.len() + b.len());
+        let mut ids: Vec<u64> = m.jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), m.len(), "ids must stay unique after merging");
+    }
+
+    #[test]
+    fn head_truncates() {
+        let t = trace();
+        assert_eq!(head(&t, 3).len(), 3);
+        assert_eq!(head(&t, 100).len(), 10);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests on the workload substrate: distribution sanity, trace
+//! construction invariants, sampling bounds, and generator validity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::distributions::{Exponential, Gamma, LogNormal, Sample, Weibull, Zipf};
+use workload::{Job, JobTrace, SequenceSampler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Positive-support distributions never emit negatives or NaNs.
+    #[test]
+    fn samplers_stay_positive(seed in any::<u64>(), mean in 0.1f64..1e5, shape in 0.1f64..20.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        macro_rules! check {
+            ($d:expr) => {
+                for _ in 0..50 {
+                    let x = $d.sample(&mut rng);
+                    prop_assert!(x.is_finite() && x >= 0.0, "bad sample {}", x);
+                }
+            };
+        }
+        check!(Exponential::with_mean(mean));
+        check!(Gamma::with_mean(mean, shape));
+        check!(LogNormal::with_mean(mean, 1.0));
+        check!(Weibull { k: shape.min(5.0), lambda: mean });
+    }
+
+    /// Zipf ranks are always in range and deterministic per seed.
+    #[test]
+    fn zipf_in_range(n in 1usize..200, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let ra = z.sample(&mut a);
+            prop_assert!(ra < n);
+            prop_assert_eq!(ra, z.sample(&mut b));
+        }
+    }
+
+    /// JobTrace::new sorts and validates arbitrary job soups.
+    #[test]
+    fn trace_construction_sorts(
+        specs in prop::collection::vec((0.0f64..1e6, 1.0f64..1e4, 1u32..32), 1..50),
+    ) {
+        let jobs: Vec<Job> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (submit, rt, procs))| Job::new(i as u64, *submit, *rt, rt * 2.0, *procs))
+            .collect();
+        let trace = JobTrace::new("p", 32, jobs).unwrap();
+        for w in trace.jobs.windows(2) {
+            prop_assert!(w[0].submit <= w[1].submit);
+        }
+        let stats = trace.stats();
+        prop_assert!(stats.mean_interval >= 0.0);
+        prop_assert!(stats.max_procs <= 32);
+    }
+
+    /// Sequence sampling always rebases to zero and respects bounds.
+    #[test]
+    fn sampling_bounds(n in 2usize..300, len in 1usize..64, seed in any::<u64>()) {
+        let jobs: Vec<Job> =
+            (0..n).map(|i| Job::new(i as u64, i as f64 * 7.0, 10.0, 20.0, 1)).collect();
+        let trace = JobTrace::new("s", 4, jobs).unwrap();
+        let mut sampler = SequenceSampler::new(trace, len, seed);
+        for _ in 0..10 {
+            let (start, seq) = sampler.sample();
+            prop_assert!(start + seq.len() <= n);
+            prop_assert_eq!(seq.len(), len.min(n));
+            if let Some(first) = seq.first() {
+                prop_assert_eq!(first.submit, 0.0);
+            }
+        }
+    }
+
+    /// Generated paper traces are always simulator-valid.
+    #[test]
+    fn generators_produce_valid_traces(seed in any::<u64>(), idx in 0usize..4) {
+        let name = ["SDSC-SP2", "CTC-SP2", "HPC2N", "Lublin"][idx];
+        let t = workload::paper_trace(name, 300, seed).unwrap();
+        prop_assert_eq!(t.len(), 300);
+        for j in &t.jobs {
+            prop_assert!(j.procs >= 1 && j.procs <= t.procs);
+            prop_assert!(j.runtime > 0.0);
+            prop_assert!(j.estimate >= j.runtime);
+        }
+    }
+}

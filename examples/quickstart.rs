@@ -1,0 +1,62 @@
+//! Quickstart: generate a workload, train a small SchedInspector over SJF,
+//! and measure the improvement on held-out job sequences.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use schedinspector::prelude::*;
+
+fn main() {
+    // 1. A synthetic SDSC-SP2-like trace calibrated to the paper's Table 2.
+    let trace = synthetic::generate(&profiles::SDSC_SP2, 4_000, 42);
+    let stats = trace.stats();
+    println!(
+        "trace {}: {} jobs, {} procs, mean interval {:.0}s, mean estimate {:.0}s",
+        trace.name, stats.n_jobs, stats.cluster_size, stats.mean_interval, stats.mean_estimate
+    );
+
+    // 2. Split: first 20% trains, the rest evaluates (§4.4).
+    let (train, test) = trace.split(0.2);
+
+    // 3. Train an inspector over SJF toward average bounded slowdown.
+    let config = InspectorConfig {
+        epochs: 15,
+        batch_size: 32,
+        seq_len: 64,
+        seed: 7,
+        ..Default::default()
+    };
+    let factory = factory_for(PolicyKind::Sjf);
+    let mut trainer = Trainer::new(train, factory.clone(), config);
+    println!("\ntraining {} epochs x {} trajectories...", config.epochs, config.batch_size);
+    let history = trainer.train();
+    for r in history.records.iter().step_by(3) {
+        println!(
+            "  epoch {:>2}: improvement {:+.2} bsld ({:+.1}%), rejection ratio {:.0}%",
+            r.epoch,
+            r.improvement,
+            r.improvement_pct * 100.0,
+            r.rejection_ratio * 100.0
+        );
+    }
+
+    // 4. Evaluate greedily on held-out sequences.
+    let inspector = trainer.inspector();
+    let report = evaluate(&inspector, &test, &factory, config.sim, 20, 128, 99, 0);
+    println!(
+        "\nheld-out bsld: SJF {:.2} -> SJF+inspector {:.2} ({:+.1}%), util {:.1}% -> {:.1}%",
+        report.mean_base(Metric::Bsld),
+        report.mean_inspected(Metric::Bsld),
+        report.improvement_pct(Metric::Bsld) * 100.0,
+        report.mean_base_util() * 100.0,
+        report.mean_inspected_util() * 100.0,
+    );
+
+    // 5. Persist the trained model.
+    let path = std::env::temp_dir().join("schedinspector-quickstart.model");
+    inspector::model_io::save(&inspector, &path).expect("save model");
+    let reloaded = inspector::model_io::load(&path).expect("load model");
+    assert_eq!(reloaded.features, inspector.features);
+    println!("\nmodel saved to {} and reloaded bit-identically", path.display());
+}

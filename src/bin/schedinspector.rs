@@ -1,0 +1,225 @@
+//! `schedinspector` — command-line interface to the reproduction.
+//!
+//! ```text
+//! schedinspector train    --trace SDSC-SP2 --policy SJF --metric bsld \
+//!                         --epochs 40 --out model.txt
+//! schedinspector evaluate --model model.txt --trace SDSC-SP2 --policy SJF
+//! schedinspector analyze  --model model.txt --trace SDSC-SP2 --policy SJF
+//! schedinspector trace    --trace Lublin --jobs 5000 --out trace.swf
+//! ```
+
+use std::path::Path;
+use std::process::exit;
+
+use inspector::analysis::{collect_decisions, feature_cdf, rejection_fraction, MANUAL_FEATURE_NAMES};
+use schedinspector::prelude::*;
+
+struct Args {
+    map: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Args {
+        let mut map = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it.next().cloned().unwrap_or_default();
+                map.push((key.to_string(), value));
+            }
+        }
+        Args { map }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.map.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: schedinspector <train|evaluate|analyze|trace> [options]\n\
+         \n\
+         common options:\n\
+           --trace   SDSC-SP2|CTC-SP2|HPC2N|Lublin   (default SDSC-SP2)\n\
+           --policy  FCFS|LCFS|SJF|SAF|SRF|F1|Slurm  (default SJF)\n\
+           --metric  bsld|wait|mbsld                  (default bsld)\n\
+           --jobs N       trace size        (default 10000)\n\
+           --seed N       RNG seed          (default 1)\n\
+           --backfill 1   enable EASY backfilling\n\
+         train:    --epochs N --batch N --out FILE\n\
+         evaluate: --model FILE --seqs N --len N\n\
+         analyze:  --model FILE\n\
+         trace:    --out FILE.swf"
+    );
+    exit(2)
+}
+
+fn build_world(args: &Args) -> (JobTrace, inspector::PolicyFactory, SimConfig, Metric) {
+    let trace_name = args.get("trace").unwrap_or("SDSC-SP2");
+    let jobs = args.num("jobs", 10_000usize);
+    let seed = args.num("seed", 1u64);
+    let trace = workload::paper_trace(trace_name, jobs, seed).unwrap_or_else(|| {
+        eprintln!("unknown trace {trace_name:?}");
+        exit(2)
+    });
+    let policy = args.get("policy").unwrap_or("SJF");
+    let factory = if policy.eq_ignore_ascii_case("slurm") {
+        slurm_factory(&trace)
+    } else {
+        match policy.parse::<PolicyKind>() {
+            Ok(kind) => factory_for(kind),
+            Err(e) => {
+                eprintln!("{e}");
+                exit(2)
+            }
+        }
+    };
+    let metric: Metric = args.get("metric").unwrap_or("bsld").parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2)
+    });
+    let sim = SimConfig { backfill: args.num("backfill", 0u8) != 0, ..SimConfig::default() };
+    (trace, factory, sim, metric)
+}
+
+fn cmd_train(args: &Args) {
+    let (trace, factory, sim, metric) = build_world(args);
+    let (train, test) = trace.split(0.2);
+    let config = InspectorConfig {
+        metric,
+        sim,
+        epochs: args.num("epochs", 40usize),
+        batch_size: args.num("batch", 64usize),
+        seq_len: args.num("len", 128usize),
+        seed: args.num("seed", 1u64),
+        ..Default::default()
+    };
+    println!(
+        "training on {} ({} jobs), {} epochs x {} trajectories, metric {}",
+        train.name,
+        train.len(),
+        config.epochs,
+        config.batch_size,
+        metric.name()
+    );
+    let mut trainer = Trainer::new(train, factory.clone(), config);
+    for epoch in 0..config.epochs {
+        let r = trainer.train_epoch(epoch);
+        if epoch % 5 == 0 || epoch + 1 == config.epochs {
+            println!(
+                "  epoch {:>3}: improvement {:+.3} ({:+.1}%), rejection ratio {:.1}%",
+                epoch,
+                r.improvement,
+                r.improvement_pct * 100.0,
+                r.rejection_ratio * 100.0
+            );
+        }
+    }
+    let agent = trainer.inspector();
+    let report = evaluate(&agent, &test, &factory, sim, 20, 256, 7, 0);
+    println!(
+        "held-out {}: {:.2} -> {:.2} ({:+.1}%)",
+        metric.name(),
+        report.mean_base(metric),
+        report.mean_inspected(metric),
+        report.improvement_pct(metric) * 100.0
+    );
+    if let Some(out) = args.get("out") {
+        inspector::model_io::save(&agent, Path::new(out)).expect("write model");
+        println!("model written to {out}");
+    }
+}
+
+fn load_model(args: &Args) -> SchedInspector {
+    let Some(path) = args.get("model") else {
+        eprintln!("--model FILE is required");
+        exit(2)
+    };
+    inspector::model_io::load(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot load {path}: {e}");
+        exit(2)
+    })
+}
+
+fn cmd_evaluate(args: &Args) {
+    let (trace, factory, sim, metric) = build_world(args);
+    let agent = load_model(args);
+    let (_, test) = trace.split(0.2);
+    let report = evaluate(
+        &agent,
+        &test,
+        &factory,
+        sim,
+        args.num("seqs", 50usize),
+        args.num("len", 256usize),
+        args.num("seed", 1u64) ^ 0xE7A1,
+        0,
+    );
+    println!(
+        "{} over {} sequences: base {:.3}, inspected {:.3} ({:+.2}%)",
+        metric.name(),
+        report.cases.len(),
+        report.mean_base(metric),
+        report.mean_inspected(metric),
+        report.improvement_pct(metric) * 100.0
+    );
+    println!(
+        "utilization: {:.2}% -> {:.2}%; rejection ratio {:.1}%",
+        report.mean_base_util() * 100.0,
+        report.mean_inspected_util() * 100.0,
+        report.rejection_ratio() * 100.0
+    );
+}
+
+fn cmd_analyze(args: &Args) {
+    let (trace, factory, sim, _) = build_world(args);
+    let agent = load_model(args);
+    let simulator = Simulator::new(trace.procs, sim);
+    let samples = collect_decisions(&agent, &simulator, &trace.jobs, &factory);
+    println!(
+        "{} inspections, {:.1}% rejected",
+        samples.len(),
+        rejection_fraction(&samples) * 100.0
+    );
+    for (idx, name) in MANUAL_FEATURE_NAMES.iter().enumerate() {
+        if idx >= agent.features.dim() {
+            break;
+        }
+        let med = |rej| {
+            feature_cdf(&samples, idx, 41, rej)
+                .iter()
+                .find(|&&(_, y)| y >= 0.5)
+                .map(|&(x, _)| x)
+                .unwrap_or(1.0)
+        };
+        println!("  {name:<20} median(all) {:.3}  median(rejected) {:.3}", med(false), med(true));
+    }
+}
+
+fn cmd_trace(args: &Args) {
+    let (trace, _, _, _) = build_world(args);
+    let s = trace.stats();
+    println!("{}", s.table2_row(&trace.name));
+    if let Some(out) = args.get("out") {
+        trace.to_swf().write_file(Path::new(out)).expect("write SWF");
+        println!("wrote {out}");
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let args = Args::parse(&argv[1..]);
+    match cmd.as_str() {
+        "train" => cmd_train(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "analyze" => cmd_analyze(&args),
+        "trace" => cmd_trace(&args),
+        _ => usage(),
+    }
+}

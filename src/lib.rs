@@ -1,0 +1,45 @@
+//! # SchedInspector (reproduction)
+//!
+//! A from-scratch Rust reproduction of *"SchedInspector: A Batch Job
+//! Scheduling Inspector Using Reinforcement Learning"* (Di Zhang, Dong Dai,
+//! Bing Xie — HPDC 2022).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`swf`] — Standard Workload Format parser/writer;
+//! * [`workload`] — job model, calibrated synthetic traces (SDSC-SP2,
+//!   CTC-SP2, HPC2N), the Lublin–Feitelson model, statistics, sampling;
+//! * [`simhpc`] — event-driven cluster simulator with rejection support
+//!   and EASY backfilling (the SchedGym equivalent);
+//! * [`policies`] — FCFS/LCFS/SJF/SAF/SRF/F1 and the Slurm multifactor
+//!   priority policy;
+//! * [`tinynn`] — a tiny MLP library with manual backprop and Adam;
+//! * [`rlcore`] — PPO (clipped surrogate), actor–critic, trajectories,
+//!   parallel rollouts;
+//! * [`rlsched`] — an RLScheduler-style learned selector (the §6 baseline
+//!   and §7 future-work combination partner);
+//! * [`inspector`] — SchedInspector itself: feature building, reward
+//!   functions, training, evaluation, analysis, model persistence.
+//!
+//! See `examples/` for runnable walk-throughs and `crates/experiments` for
+//! binaries regenerating every table and figure of the paper.
+
+pub use inspector;
+pub use policies;
+pub use rlcore;
+pub use rlsched;
+pub use simhpc;
+pub use swf;
+pub use tinynn;
+pub use workload;
+
+/// Convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use inspector::{
+        evaluate, factory_for, slurm_factory, FeatureBuilder, FeatureMode, InspectorConfig,
+        Normalizer, RewardKind, SchedInspector, Trainer,
+    };
+    pub use policies::PolicyKind;
+    pub use simhpc::{Metric, SimConfig, SimResult, Simulator};
+    pub use workload::{profiles, synthetic, Job, JobTrace, SequenceSampler};
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration: trace generation → training → evaluation →
+//! model persistence, through the facade crate's public API only.
+
+use schedinspector::prelude::*;
+
+fn quick_config(seed: u64) -> InspectorConfig {
+    InspectorConfig { epochs: 4, batch_size: 8, seq_len: 32, seed, workers: 2, ..Default::default() }
+}
+
+#[test]
+fn train_evaluate_save_load_roundtrip() {
+    let trace = synthetic::generate(&profiles::SDSC_SP2, 1_500, 5);
+    let (train, test) = trace.split(0.2);
+    let factory = factory_for(PolicyKind::Sjf);
+    let config = quick_config(1);
+    let mut trainer = Trainer::new(train, factory.clone(), config);
+    let history = trainer.train();
+    assert_eq!(history.records.len(), 4);
+
+    let agent = trainer.inspector();
+    let report = evaluate(&agent, &test, &factory, config.sim, 5, 48, 9, 0);
+    assert_eq!(report.cases.len(), 5);
+    assert!(report.mean_base(Metric::Bsld) >= 1.0);
+
+    // Persist and reload; the reloaded agent must evaluate identically.
+    let path = std::env::temp_dir().join("schedinspector-e2e.model");
+    inspector::model_io::save(&agent, &path).unwrap();
+    let reloaded = inspector::model_io::load(&path).unwrap();
+    let report2 = evaluate(&reloaded, &test, &factory, config.sim, 5, 48, 9, 0);
+    assert_eq!(report, report2, "reloaded model must behave identically");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn inspector_never_loses_jobs() {
+    // Whatever the (untrained, hence erratic) inspector does, every job of
+    // every sequence must eventually complete exactly once.
+    let trace = synthetic::generate(&profiles::HPC2N, 1_000, 6);
+    let factory = factory_for(PolicyKind::Saf);
+    let sim = Simulator::new(trace.procs, SimConfig::default());
+    let agent = {
+        let fb = FeatureBuilder {
+            mode: FeatureMode::Manual,
+            metric: Metric::Bsld,
+            norm: Normalizer::new(trace.procs, trace.stats().max_estimate),
+        };
+        SchedInspector::new(rlcore::BinaryPolicy::new(fb.dim(), 77), fb)
+    };
+    for start in [0usize, 200, 500] {
+        let jobs = trace.sequence(start, 150);
+        let mut policy = factory();
+        let mut hook = agent.hook();
+        let result = sim.run_inspected(&jobs, policy.as_mut(), &mut hook);
+        assert_eq!(result.outcomes.len(), jobs.len());
+        let mut ids: Vec<u64> = result.outcomes.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len(), "every job completes exactly once");
+        for o in &result.outcomes {
+            assert!(o.start >= o.submit, "no job starts before submission");
+        }
+    }
+}
+
+#[test]
+fn backfilling_never_hurts_fcfs_makespan_on_average() {
+    // EASY backfilling is work-conserving relative to plain FCFS: over a
+    // set of sequences, mean utilization must not degrade.
+    let trace = synthetic::generate(&profiles::SDSC_SP2, 2_000, 17);
+    let mut sampler = SequenceSampler::new(trace.clone(), 128, 3);
+    let plain = Simulator::new(trace.procs, SimConfig::default());
+    let easy = Simulator::new(trace.procs, SimConfig::with_backfill());
+    let mut util_plain = 0.0;
+    let mut util_easy = 0.0;
+    let n = 10;
+    for _ in 0..n {
+        let (_, jobs) = sampler.sample();
+        util_plain += plain.run(&jobs, &mut policies::Fcfs).util();
+        util_easy += easy.run(&jobs, &mut policies::Fcfs).util();
+    }
+    assert!(
+        util_easy >= util_plain - 1e-9,
+        "backfilling should not reduce mean utilization: {util_easy} vs {util_plain}"
+    );
+}
+
+#[test]
+fn all_policies_complete_all_traces() {
+    for name in ["SDSC-SP2", "CTC-SP2", "HPC2N", "Lublin"] {
+        let trace = workload::paper_trace(name, 600, 2).unwrap();
+        let jobs = trace.sequence(100, 128);
+        let sim = Simulator::new(trace.procs, SimConfig::default());
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build();
+            let r = sim.run(&jobs, p.as_mut());
+            assert_eq!(r.outcomes.len(), jobs.len(), "{name}/{}", kind.name());
+        }
+        // Slurm too.
+        let factory = slurm_factory(&trace);
+        let r = sim.run(&jobs, factory().as_mut());
+        assert_eq!(r.outcomes.len(), jobs.len(), "{name}/Slurm");
+    }
+}

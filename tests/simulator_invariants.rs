@@ -1,0 +1,118 @@
+//! Property-based integration tests: simulator conservation invariants
+//! under random workloads, policies, and inspector behaviors.
+
+use proptest::prelude::*;
+use schedinspector::prelude::*;
+use simhpc::Observation;
+
+/// Strategy: a random but valid job list for a `procs`-wide machine.
+fn jobs_strategy(procs: u32, max_jobs: usize) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (0.0f64..50_000.0, 1.0f64..20_000.0, 1.0f64..3.0, 1u32..=procs),
+        1..max_jobs,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (submit, runtime, over, procs))| {
+                Job::new(i as u64 + 1, submit, runtime, runtime * over, procs)
+            })
+            .collect()
+    })
+}
+
+fn sorted(mut jobs: Vec<Job>) -> Vec<Job> {
+    jobs.sort_by(|a, b| a.submit.total_cmp(&b.submit).then(a.id.cmp(&b.id)));
+    jobs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every job completes exactly once, starts after submission, and the
+    /// cluster is never over-allocated — for every policy, with and
+    /// without backfilling.
+    #[test]
+    fn conservation_under_all_policies(
+        jobs in jobs_strategy(16, 40),
+        backfill in any::<bool>(),
+        policy_idx in 0usize..6,
+    ) {
+        let jobs = sorted(jobs);
+        let config = SimConfig { backfill, ..SimConfig::default() };
+        let sim = Simulator::new(16, config);
+        let kind = PolicyKind::ALL[policy_idx];
+        let mut policy = kind.build();
+        let r = sim.run(&jobs, policy.as_mut());
+
+        prop_assert_eq!(r.outcomes.len(), jobs.len());
+        for o in &r.outcomes {
+            prop_assert!(o.start >= o.submit - 1e-9);
+            prop_assert!((o.end - o.start - o.runtime).abs() < 1e-6);
+        }
+        // Sweep for over-allocation.
+        let mut events: Vec<(f64, i64)> = Vec::new();
+        for o in &r.outcomes {
+            events.push((o.start, o.procs as i64));
+            events.push((o.end, -(o.procs as i64)));
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut used = 0i64;
+        for (_, d) in events {
+            used += d;
+            prop_assert!(used <= 16, "over-allocation: {}", used);
+        }
+    }
+
+    /// A randomly rejecting inspector cannot lose or duplicate jobs, and
+    /// the rejection cap bounds the number of rejections per job.
+    #[test]
+    fn random_rejections_preserve_jobs(
+        jobs in jobs_strategy(8, 30),
+        rej_mask in any::<u64>(),
+        cap in 1u32..6,
+    ) {
+        let jobs = sorted(jobs);
+        let config = SimConfig { max_rejections: cap, max_interval: 300.0, backfill: false };
+        let sim = Simulator::new(8, config);
+        let mut counter = 0u64;
+        let mut hook = move |_: &Observation| {
+            counter = counter.wrapping_add(1);
+            (rej_mask >> (counter % 64)) & 1 == 1
+        };
+        let r = sim.run_inspected(&jobs, &mut policies::Sjf, &mut hook);
+        prop_assert_eq!(r.outcomes.len(), jobs.len());
+        for o in &r.outcomes {
+            prop_assert!(o.rejections <= cap);
+        }
+        prop_assert!(r.rejections <= jobs.len() as u64 * cap as u64);
+    }
+
+    /// bsld is always ≥ 1 and wait ≥ 0; util within (0, 1] for non-empty
+    /// runs.
+    #[test]
+    fn metric_ranges(jobs in jobs_strategy(12, 30)) {
+        let jobs = sorted(jobs);
+        let sim = Simulator::new(12, SimConfig::default());
+        let r = sim.run(&jobs, &mut policies::Fcfs);
+        prop_assert!(r.bsld() >= 1.0);
+        prop_assert!(r.mbsld() >= r.bsld() - 1e-9);
+        prop_assert!(r.wait() >= 0.0);
+        prop_assert!(r.util() > 0.0 && r.util() <= 1.0 + 1e-9);
+    }
+
+    /// FCFS without backfilling serves jobs in submission order.
+    #[test]
+    fn fcfs_preserves_arrival_order(jobs in jobs_strategy(8, 25)) {
+        let jobs = sorted(jobs);
+        let sim = Simulator::new(8, SimConfig::default());
+        let r = sim.run(&jobs, &mut policies::Fcfs);
+        // Starts, ordered by job submission, must be non-decreasing.
+        let mut by_submit: Vec<_> = r.outcomes.clone();
+        by_submit.sort_by(|a, b| a.submit.total_cmp(&b.submit).then(a.id.cmp(&b.id)));
+        for w in by_submit.windows(2) {
+            prop_assert!(w[0].start <= w[1].start + 1e-9);
+        }
+    }
+}
