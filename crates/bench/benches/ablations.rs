@@ -16,7 +16,11 @@ fn bench_max_interval(c: &mut Criterion) {
     for interval in [60.0, 600.0, 3600.0] {
         let sim = Simulator::new(
             trace.procs,
-            SimConfig { max_interval: interval, max_rejections: 8, backfill: false },
+            SimConfig {
+                max_interval: interval,
+                max_rejections: 8,
+                backfill: false,
+            },
         );
         group.bench_with_input(BenchmarkId::from_parameter(interval), &sim, |b, sim| {
             b.iter(|| {
@@ -35,7 +39,11 @@ fn bench_max_rejections(c: &mut Criterion) {
     for cap in [1u32, 8, 72] {
         let sim = Simulator::new(
             trace.procs,
-            SimConfig { max_interval: 600.0, max_rejections: cap, backfill: false },
+            SimConfig {
+                max_interval: 600.0,
+                max_rejections: cap,
+                backfill: false,
+            },
         );
         group.bench_with_input(BenchmarkId::from_parameter(cap), &sim, |b, sim| {
             b.iter(|| {
@@ -60,7 +68,7 @@ fn bench_sequence_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = ablations;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_max_interval, bench_max_rejections, bench_sequence_scaling

@@ -3,9 +3,7 @@
 
 use bench::{bench_inspector, bench_sequence, bench_simulator, bench_trainer, sjf_factory};
 use criterion::{criterion_group, criterion_main, Criterion};
-use inspector::{
-    analysis, run_episode, FeatureBuilder, FeatureMode, Normalizer, RewardKind,
-};
+use inspector::{analysis, run_episode, FeatureBuilder, FeatureMode, Normalizer, RewardKind};
 use rlcore::BinaryPolicy;
 use simhpc::Metric;
 use std::hint::black_box;
@@ -52,7 +50,11 @@ fn bench_fig5(c: &mut Criterion) {
         (FeatureMode::Compacted, "compacted"),
         (FeatureMode::Native, "native"),
     ] {
-        let fb = FeatureBuilder { mode, metric: Metric::Bsld, norm: Normalizer::new(128, 86_400.0) };
+        let fb = FeatureBuilder {
+            mode,
+            metric: Metric::Bsld,
+            norm: Normalizer::new(128, 86_400.0),
+        };
         group.bench_function(name, |b| {
             let mut buf = Vec::new();
             b.iter(|| {
@@ -67,7 +69,11 @@ fn bench_fig5(c: &mut Criterion) {
 /// Figure 6: reward computation for each kind.
 fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_rewards");
-    for kind in [RewardKind::Native, RewardKind::WinLoss, RewardKind::Percentage] {
+    for kind in [
+        RewardKind::Native,
+        RewardKind::WinLoss,
+        RewardKind::Percentage,
+    ] {
         group.bench_function(kind.name().replace('/', "_"), |b| {
             b.iter(|| black_box(kind.compute(black_box(160.2), black_box(135.6))))
         });
@@ -155,7 +161,12 @@ fn bench_fig13_analysis(c: &mut Criterion) {
     let samples = analysis::collect_decisions(&inspector, &sim, &jobs, &factory);
     c.bench_function("fig13_collect_decisions", |b| {
         b.iter(|| {
-            black_box(analysis::collect_decisions(&inspector, &sim, black_box(&jobs), &factory))
+            black_box(analysis::collect_decisions(
+                &inspector,
+                &sim,
+                black_box(&jobs),
+                &factory,
+            ))
         })
     });
     c.bench_function("fig13_feature_cdf", |b| {
@@ -163,7 +174,7 @@ fn bench_fig13_analysis(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = figures;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_fig4,

@@ -102,7 +102,7 @@ fn bench_table5(c: &mut Criterion) {
     let _ = bench_trace();
 }
 
-criterion_group!{
+criterion_group! {
     name = tables;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_table1, bench_table2, bench_table3, bench_table4, bench_table5

@@ -1,0 +1,56 @@
+//! Rollout throughput: episodes/sec for the rollout portion of one training
+//! epoch (SJF base policy, SDSC-SP2 profile, batch of 20 × 128-job
+//! sequences), on 1 and 4 workers.
+//!
+//! `optimized` is the trainer's real path (baseline cache, pre-warmed to
+//! training's steady state + work-stealing parallel map); `control` is the
+//! pre-optimization shape (baseline re-simulated per episode + static
+//! chunking). The `rollout_harness` binary runs the same comparison
+//! standalone and records `BENCH_rollout.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bench::rollout::RolloutFixture;
+use inspector::BaselineCache;
+
+fn bench_rollout(c: &mut Criterion) {
+    let fx = RolloutFixture::new();
+    let cache = BaselineCache::new();
+    for epoch in 0..8 {
+        fx.epoch(epoch, 4, Some(&cache), false);
+    }
+
+    let mut group = c.benchmark_group("rollout_epoch");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("optimized", workers),
+            &workers,
+            |b, &workers| {
+                let mut epoch = 0;
+                b.iter(|| {
+                    epoch += 1;
+                    fx.epoch(epoch % 8, workers, Some(&cache), false)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("control", workers),
+            &workers,
+            |b, &workers| {
+                let mut epoch = 0;
+                b.iter(|| {
+                    epoch += 1;
+                    fx.epoch(epoch % 8, workers, None, true)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollout);
+criterion_main!(benches);

@@ -14,6 +14,8 @@ use rlcore::BinaryPolicy;
 use simhpc::{Metric, SimConfig, Simulator};
 use workload::{profiles, synthetic, Job, JobTrace};
 
+pub mod rollout;
+
 /// A small fixed SDSC-SP2-like trace shared by all benches.
 pub fn bench_trace() -> JobTrace {
     synthetic::generate(&profiles::SDSC_SP2, 1_500, 0xBE7C4)
@@ -26,7 +28,11 @@ pub fn bench_sequence() -> Vec<Job> {
 
 /// Simulator for the bench trace.
 pub fn bench_simulator(backfill: bool) -> Simulator {
-    let config = if backfill { SimConfig::with_backfill() } else { SimConfig::default() };
+    let config = if backfill {
+        SimConfig::with_backfill()
+    } else {
+        SimConfig::default()
+    };
     Simulator::new(bench_trace().procs, config)
 }
 

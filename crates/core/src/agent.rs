@@ -48,7 +48,10 @@ impl SchedInspector {
     /// An [`InspectorHook`] adapter for the simulator (reuses its feature
     /// buffer across calls).
     pub fn hook(&self) -> DeployedHook<'_> {
-        DeployedHook { agent: self, buf: Vec::with_capacity(self.features.dim()) }
+        DeployedHook {
+            agent: self,
+            buf: Vec::with_capacity(self.features.dim()),
+        }
     }
 }
 

@@ -43,7 +43,10 @@ impl InspectorHook for RecordingHook<'_> {
     fn inspect(&mut self, obs: &Observation) -> bool {
         self.agent.features.build(obs, &mut self.buf);
         let rejected = self.agent.policy.greedy(&self.buf) == REJECT;
-        self.samples.push(DecisionSample { features: self.buf.clone(), rejected });
+        self.samples.push(DecisionSample {
+            features: self.buf.clone(),
+            rejected,
+        });
         rejected
     }
 }
@@ -58,7 +61,11 @@ pub fn collect_decisions(
 ) -> Vec<DecisionSample> {
     let mut samples = Vec::new();
     let mut policy = factory();
-    let mut hook = RecordingHook { agent: inspector, buf: Vec::new(), samples: &mut samples };
+    let mut hook = RecordingHook {
+        agent: inspector,
+        buf: Vec::new(),
+        samples: &mut samples,
+    };
     let _ = sim.run_inspected(jobs, policy.as_mut(), &mut hook);
     samples
 }
@@ -110,13 +117,17 @@ mod tests {
     use simhpc::{Metric, SimConfig};
 
     fn sample(f: f32, rejected: bool) -> DecisionSample {
-        DecisionSample { features: vec![f], rejected }
+        DecisionSample {
+            features: vec![f],
+            rejected,
+        }
     }
 
     #[test]
     fn cdf_is_monotone_and_reaches_one() {
-        let samples: Vec<_> =
-            (0..100).map(|i| sample(i as f32 / 100.0, i % 3 == 0)).collect();
+        let samples: Vec<_> = (0..100)
+            .map(|i| sample(i as f32 / 100.0, i % 3 == 0))
+            .collect();
         let cdf = feature_cdf(&samples, 0, 21, false);
         assert_eq!(cdf.len(), 21);
         for w in cdf.windows(2) {

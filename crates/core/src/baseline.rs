@@ -1,0 +1,189 @@
+//! Memoized baseline runs.
+//!
+//! The reward in every episode compares the inspected run against the base
+//! policy's run on the *same* job sequence. Sequences are drawn from a fixed
+//! trace and identified entirely by their start offset (`JobTrace::sequence`
+//! rebases submit times deterministically), and the base policy is
+//! deterministic, so re-simulating the base run for a start offset that was
+//! already seen — which happens constantly across epochs — is pure waste.
+//!
+//! [`BaselineCache`] memoizes base [`SimResult`]s keyed by start offset. It
+//! is shared across epochs and across rollout workers: the outer map sits
+//! behind a [`parking_lot::RwLock`] (reads dominate after warm-up), and each
+//! entry is an [`OnceLock`] cell so a missing result is computed exactly
+//! once even when several workers race on the same offset — the losers block
+//! on the cell rather than redoing the simulation. Invalidation is never
+//! needed: the trace, the base policy, the sequence length, and the
+//! simulator configuration are all fixed for the lifetime of the owning
+//! trainer or evaluation call, so a cached result can never go stale.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+use simhpc::SimResult;
+
+type Cell = Arc<OnceLock<Arc<SimResult>>>;
+
+/// A concurrent memo of base-policy simulation results, keyed by the
+/// sequence's start offset in the trace.
+#[derive(Debug, Default)]
+pub struct BaselineCache {
+    enabled: bool,
+    entries: RwLock<HashMap<usize, Cell>>,
+    base_runs: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl BaselineCache {
+    /// An empty, enabled cache.
+    pub fn new() -> Self {
+        BaselineCache {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// A cache that never memoizes — every lookup runs the closure. Used to
+    /// verify cached and uncached training produce identical results.
+    pub fn disabled() -> Self {
+        BaselineCache::default()
+    }
+
+    /// Whether lookups are memoized.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The base result for `start`, running `run` only if no worker has
+    /// computed (or is computing) it yet.
+    pub fn get_or_run(&self, start: usize, run: impl FnOnce() -> SimResult) -> Arc<SimResult> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if !self.enabled {
+            self.base_runs.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(run());
+        }
+        let cell = {
+            let map = self.entries.read();
+            map.get(&start).cloned()
+        };
+        let cell = match cell {
+            Some(cell) => cell,
+            None => {
+                let mut map = self.entries.write();
+                map.entry(start).or_default().clone()
+            }
+        };
+        cell.get_or_init(|| {
+            self.base_runs.fetch_add(1, Ordering::Relaxed);
+            Arc::new(run())
+        })
+        .clone()
+    }
+
+    /// Number of base simulations actually executed.
+    pub fn base_runs(&self) -> u64 {
+        self.base_runs.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Lookups answered from memory.
+    pub fn hits(&self) -> u64 {
+        self.lookups() - self.base_runs()
+    }
+
+    /// Fraction of lookups answered from memory (0 when nothing was looked
+    /// up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / lookups as f64
+        }
+    }
+
+    /// Number of distinct start offsets held.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when no offset has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simhpc::{SimConfig, Simulator};
+    use workload::Job;
+
+    fn result_for(n: u64) -> SimResult {
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| Job::new(i + 1, i as f64 * 10.0, 60.0, 120.0, 1))
+            .collect();
+        let sim = Simulator::new(4, SimConfig::default());
+        sim.run(&jobs, policies::PolicyKind::Fcfs.build().as_mut())
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = BaselineCache::new();
+        let a = cache.get_or_run(3, || result_for(5));
+        let b = cache.get_or_run(3, || panic!("must not recompute"));
+        assert_eq!(*a, *b);
+        assert_eq!(cache.base_runs(), 1);
+        assert_eq!(cache.lookups(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.hit_rate(), 0.5);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_offsets_each_run_once() {
+        let cache = BaselineCache::new();
+        for round in 0..3 {
+            for start in [0usize, 7, 11] {
+                cache.get_or_run(start, || result_for(start as u64 + 2));
+            }
+            assert_eq!(cache.base_runs(), 3, "round {round}");
+        }
+        assert_eq!(cache.lookups(), 9);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn disabled_cache_always_runs() {
+        let cache = BaselineCache::disabled();
+        cache.get_or_run(1, || result_for(3));
+        cache.get_or_run(1, || result_for(3));
+        assert_eq!(cache.base_runs(), 2);
+        assert_eq!(cache.hits(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn racing_workers_compute_once_per_offset() {
+        let cache = BaselineCache::new();
+        let runs = rlcore::parallel_map(32, 8, |i| cache.get_or_run(i % 4, || result_for(4)));
+        assert_eq!(cache.base_runs(), 4);
+        assert_eq!(cache.lookups(), 32);
+        for r in &runs {
+            assert_eq!(**r, *runs[0]);
+        }
+    }
+
+    #[test]
+    fn empty_cache_reports_zero_rate() {
+        let cache = BaselineCache::new();
+        assert_eq!(cache.hit_rate(), 0.0);
+        assert!(cache.is_empty());
+    }
+}

@@ -31,6 +31,11 @@ pub struct InspectorConfig {
     pub seed: u64,
     /// Rollout worker threads (0 = number of cores).
     pub workers: usize,
+    /// Memoize base-policy runs by sequence start offset (see
+    /// [`BaselineCache`](crate::BaselineCache)). Baseline results are exact
+    /// either way — disabling only costs redundant simulation; the switch
+    /// exists for equivalence testing and benchmarking.
+    pub baseline_cache: bool,
 }
 
 impl Default for InspectorConfig {
@@ -45,6 +50,7 @@ impl Default for InspectorConfig {
             epochs: 50,
             seed: 0,
             workers: 0,
+            baseline_cache: true,
         }
     }
 }
@@ -52,7 +58,12 @@ impl Default for InspectorConfig {
 impl InspectorConfig {
     /// A scaled-down configuration for tests and smoke runs.
     pub fn quick() -> Self {
-        InspectorConfig { batch_size: 16, seq_len: 48, epochs: 8, ..Default::default() }
+        InspectorConfig {
+            batch_size: 16,
+            seq_len: 48,
+            epochs: 8,
+            ..Default::default()
+        }
     }
 }
 
@@ -70,5 +81,6 @@ mod tests {
         assert_eq!(c.features, FeatureMode::Manual);
         assert_eq!(c.sim.max_interval, 600.0);
         assert_eq!(c.sim.max_rejections, 72);
+        assert!(c.baseline_cache);
     }
 }

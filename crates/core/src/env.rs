@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlcore::{BinaryPolicy, Step, Trajectory, REJECT};
+use rlcore::{BinaryPolicy, PolicyScratch, Step, Trajectory, REJECT};
 use simhpc::{InspectorHook, Metric, Observation, SchedulingPolicy, SimResult, Simulator};
 use workload::{Job, JobTrace};
 
@@ -39,8 +39,10 @@ pub fn slurm_factory(trace: &JobTrace) -> PolicyFactory {
 pub struct Episode {
     /// The RL trajectory (states, actions, log-probs, terminal reward).
     pub trajectory: Trajectory,
-    /// Result of the base policy alone on the same sequence.
-    pub base: SimResult,
+    /// Result of the base policy alone on the same sequence. Shared
+    /// ([`Arc`]) because the same base run backs every episode drawn from
+    /// the same start offset via the [`BaselineCache`](crate::BaselineCache).
+    pub base: Arc<SimResult>,
     /// Result with the inspector in the loop.
     pub inspected: SimResult,
 }
@@ -53,18 +55,23 @@ struct CollectingHook<'a> {
     stochastic: bool,
     steps: Vec<Step>,
     buf: Vec<f32>,
+    scratch: PolicyScratch,
 }
 
 impl InspectorHook for CollectingHook<'_> {
     fn inspect(&mut self, obs: &Observation) -> bool {
         self.features.build(obs, &mut self.buf);
         let (action, logp) = if self.stochastic {
-            self.policy.sample(&self.buf, &mut self.rng)
+            self.policy
+                .sample_scratch(&self.buf, &mut self.rng, &mut self.scratch)
         } else {
-            let a = self.policy.greedy(&self.buf);
-            (a, self.policy.logp(&self.buf, a))
+            self.policy.greedy_scratch(&self.buf, &mut self.scratch)
         };
-        self.steps.push(Step { state: self.buf.clone(), action, logp });
+        self.steps.push(Step {
+            state: self.buf.clone(),
+            action,
+            logp,
+        });
         action == REJECT
     }
 }
@@ -85,8 +92,27 @@ pub fn run_episode(
     stochastic: bool,
 ) -> Episode {
     let mut base_policy = factory();
-    let base = sim.run(jobs, base_policy.as_mut());
+    let base = Arc::new(sim.run(jobs, base_policy.as_mut()));
+    run_episode_with_base(
+        sim, jobs, factory, base, policy, features, reward, metric, seed, stochastic,
+    )
+}
 
+/// Like [`run_episode`], but against an already-computed base result (from a
+/// [`BaselineCache`](crate::BaselineCache)), skipping the base simulation.
+#[allow(clippy::too_many_arguments)]
+pub fn run_episode_with_base(
+    sim: &Simulator,
+    jobs: &[Job],
+    factory: &PolicyFactory,
+    base: Arc<SimResult>,
+    policy: &BinaryPolicy,
+    features: &FeatureBuilder,
+    reward: RewardKind,
+    metric: Metric,
+    seed: u64,
+    stochastic: bool,
+) -> Episode {
     let mut inspected_policy = factory();
     let mut hook = CollectingHook {
         policy,
@@ -95,11 +121,19 @@ pub fn run_episode(
         stochastic,
         steps: Vec::new(),
         buf: Vec::with_capacity(features.dim()),
+        scratch: PolicyScratch::default(),
     };
     let inspected = sim.run_inspected(jobs, inspected_policy.as_mut(), &mut hook);
 
     let r = reward.compute(base.metric(metric), inspected.metric(metric));
-    Episode { trajectory: Trajectory { steps: hook.steps, reward: r }, base, inspected }
+    Episode {
+        trajectory: Trajectory {
+            steps: hook.steps,
+            reward: r,
+        },
+        base,
+        inspected,
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +146,13 @@ mod tests {
     fn jobs() -> Vec<Job> {
         (0..12)
             .map(|i| {
-                Job::new(i + 1, i as f64 * 30.0, 60.0 + (i % 4) as f64 * 120.0, 120.0 + (i % 4) as f64 * 240.0, 1 + (i % 3) as u32)
+                Job::new(
+                    i + 1,
+                    i as f64 * 30.0,
+                    60.0 + (i % 4) as f64 * 120.0,
+                    120.0 + (i % 4) as f64 * 240.0,
+                    1 + (i % 3) as u32,
+                )
             })
             .collect()
     }

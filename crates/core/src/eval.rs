@@ -8,6 +8,7 @@ use simhpc::{Metric, SimConfig, SimResult, Simulator};
 use workload::{JobTrace, SequenceSampler};
 
 use crate::agent::SchedInspector;
+use crate::baseline::BaselineCache;
 use crate::env::PolicyFactory;
 
 /// One evaluated sequence: base vs. inspected.
@@ -70,10 +71,9 @@ impl EvalReport {
 
     /// Overall rejection ratio across inspected runs.
     pub fn rejection_ratio(&self) -> f64 {
-        let (r, i) = self
-            .cases
-            .iter()
-            .fold((0u64, 0u64), |(r, i), c| (r + c.inspected.rejections, i + c.inspected.inspections));
+        let (r, i) = self.cases.iter().fold((0u64, 0u64), |(r, i), c| {
+            (r + c.inspected.rejections, i + c.inspected.inspections)
+        });
         if i == 0 {
             0.0
         } else {
@@ -114,13 +114,23 @@ pub fn evaluate(
     let sim = Simulator::new(trace.procs, sim_config);
     let mut sampler = SequenceSampler::new(trace.clone(), seq_len, seed);
     let sequences = sampler.sample_many(n_seqs);
-    let workers = if workers == 0 { rlcore::default_workers(n_seqs) } else { workers };
+    let workers = if workers == 0 {
+        rlcore::default_workers(n_seqs)
+    } else {
+        workers
+    };
+    let baseline = BaselineCache::new();
     let cases = parallel_map(n_seqs, workers, |i| {
         let (start, jobs) = &sequences[i];
-        let episode = crate::env::run_episode(
+        let base = baseline.get_or_run(*start, || {
+            let mut p = factory();
+            sim.run(jobs, p.as_mut())
+        });
+        let episode = crate::env::run_episode_with_base(
             &sim,
             jobs,
             factory,
+            base,
             &inspector.policy,
             &inspector.features,
             crate::reward::RewardKind::Percentage,
@@ -128,7 +138,11 @@ pub fn evaluate(
             seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             true,
         );
-        EvalCase { start: *start, base: episode.base, inspected: episode.inspected }
+        EvalCase {
+            start: *start,
+            base: (*episode.base).clone(),
+            inspected: episode.inspected,
+        }
     });
     EvalReport { cases }
 }
@@ -167,7 +181,13 @@ mod tests {
     fn trace() -> JobTrace {
         let jobs = (0..300u64)
             .map(|i| {
-                Job::new(i + 1, i as f64 * 100.0, 200.0 + (i % 7) as f64 * 400.0, 400.0 + (i % 7) as f64 * 600.0, 1 + (i % 4) as u32)
+                Job::new(
+                    i + 1,
+                    i as f64 * 100.0,
+                    200.0 + (i % 7) as f64 * 400.0,
+                    400.0 + (i % 7) as f64 * 600.0,
+                    1 + (i % 4) as u32,
+                )
             })
             .collect();
         JobTrace::new("eval", 8, jobs).unwrap()

@@ -74,7 +74,11 @@ pub struct FeatureBuilder {
 impl FeatureBuilder {
     /// A manual-features builder (the paper default).
     pub fn manual(metric: Metric, norm: Normalizer) -> Self {
-        FeatureBuilder { mode: FeatureMode::Manual, metric, norm }
+        FeatureBuilder {
+            mode: FeatureMode::Manual,
+            metric,
+            norm,
+        }
     }
 
     /// Feature-vector length for this mode.
@@ -189,19 +193,37 @@ mod tests {
             backfill_enabled: false,
             backfillable: 0,
             queue: vec![
-                QueueEntry { id: 2, wait: 100.0, estimate: 600.0, procs: 4 },
-                QueueEntry { id: 3, wait: 50.0, estimate: 60.0, procs: 2 },
+                QueueEntry {
+                    id: 2,
+                    wait: 100.0,
+                    estimate: 600.0,
+                    procs: 4,
+                },
+                QueueEntry {
+                    id: 3,
+                    wait: 50.0,
+                    estimate: 60.0,
+                    procs: 2,
+                },
             ],
         }
     }
 
     fn builder(mode: FeatureMode, metric: Metric) -> FeatureBuilder {
-        FeatureBuilder { mode, metric, norm: Normalizer::new(128, 86_400.0) }
+        FeatureBuilder {
+            mode,
+            metric,
+            norm: Normalizer::new(128, 86_400.0),
+        }
     }
 
     #[test]
     fn dims_are_consistent() {
-        for mode in [FeatureMode::Manual, FeatureMode::Compacted, FeatureMode::Native] {
+        for mode in [
+            FeatureMode::Manual,
+            FeatureMode::Compacted,
+            FeatureMode::Native,
+        ] {
             let b = builder(mode, Metric::Bsld);
             let mut v = Vec::new();
             b.build(&obs(), &mut v);
@@ -240,7 +262,12 @@ mod tests {
         let b = builder(FeatureMode::Manual, Metric::Bsld);
         let mut o = obs();
         let short = b.queue_delays(&o);
-        o.queue.push(QueueEntry { id: 4, wait: 0.0, estimate: 30.0, procs: 1 });
+        o.queue.push(QueueEntry {
+            id: 4,
+            wait: 0.0,
+            estimate: 30.0,
+            procs: 1,
+        });
         assert!(b.queue_delays(&o) > short);
     }
 

@@ -38,6 +38,7 @@
 
 mod agent;
 pub mod analysis;
+mod baseline;
 mod config;
 mod env;
 mod eval;
@@ -47,8 +48,11 @@ mod reward;
 mod trainer;
 
 pub use agent::{DeployedHook, SchedInspector};
+pub use baseline::BaselineCache;
 pub use config::InspectorConfig;
-pub use env::{factory_for, run_episode, slurm_factory, Episode, PolicyFactory};
+pub use env::{
+    factory_for, run_episode, run_episode_with_base, slurm_factory, Episode, PolicyFactory,
+};
 pub use eval::{evaluate, evaluate_base, EvalCase, EvalReport};
 pub use features::{FeatureBuilder, FeatureMode, Normalizer};
 pub use reward::RewardKind;

@@ -65,10 +65,16 @@ pub fn from_text(text: &str) -> Result<SchedInspector, String> {
         .trim()
         .parse()?;
     let mode = mode_parse(
-        lines.next().and_then(|l| l.strip_prefix("features ")).ok_or("missing features line")?.trim(),
+        lines
+            .next()
+            .and_then(|l| l.strip_prefix("features "))
+            .ok_or("missing features line")?
+            .trim(),
     )?;
-    let norm_line =
-        lines.next().and_then(|l| l.strip_prefix("norm ")).ok_or("missing norm line")?;
+    let norm_line = lines
+        .next()
+        .and_then(|l| l.strip_prefix("norm "))
+        .ok_or("missing norm line")?;
     let vals: Vec<f64> = norm_line
         .split_whitespace()
         .map(|t| t.parse::<f64>().map_err(|e| format!("bad norm value: {e}")))
@@ -180,6 +186,9 @@ mod tests {
     #[test]
     fn rejects_dim_mismatch() {
         let text = to_text(&inspector()).replace("features manual", "features compacted");
-        assert!(from_text(&text).is_err(), "compacted dim is 5, policy expects 8");
+        assert!(
+            from_text(&text).is_err(),
+            "compacted dim is 5, policy expects 8"
+        );
     }
 }

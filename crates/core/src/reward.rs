@@ -118,8 +118,14 @@ mod tests {
 
     #[test]
     fn parsing() {
-        assert_eq!("percentage".parse::<RewardKind>().unwrap(), RewardKind::Percentage);
-        assert_eq!("win/loss".parse::<RewardKind>().unwrap(), RewardKind::WinLoss);
+        assert_eq!(
+            "percentage".parse::<RewardKind>().unwrap(),
+            RewardKind::Percentage
+        );
+        assert_eq!(
+            "win/loss".parse::<RewardKind>().unwrap(),
+            RewardKind::WinLoss
+        );
         assert_eq!("NATIVE".parse::<RewardKind>().unwrap(), RewardKind::Native);
         assert!("x".parse::<RewardKind>().is_err());
     }

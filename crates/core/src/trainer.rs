@@ -10,8 +10,9 @@ use simhpc::Simulator;
 use workload::JobTrace;
 
 use crate::agent::SchedInspector;
+use crate::baseline::BaselineCache;
 use crate::config::InspectorConfig;
-use crate::env::{run_episode, PolicyFactory};
+use crate::env::{run_episode_with_base, PolicyFactory};
 use crate::features::{FeatureBuilder, Normalizer};
 
 /// Per-epoch training diagnostics — the data behind every training-curve
@@ -75,6 +76,7 @@ pub struct Trainer {
     trace: JobTrace,
     sim: Simulator,
     rng: StdRng,
+    baseline: BaselineCache,
 }
 
 impl Trainer {
@@ -89,11 +91,29 @@ impl Trainer {
             max_interval: config.sim.max_interval,
             max_rejections: config.sim.max_rejections,
         };
-        let features = FeatureBuilder { mode: config.features, metric: config.metric, norm };
+        let features = FeatureBuilder {
+            mode: config.features,
+            metric: config.metric,
+            norm,
+        };
         let ppo = PpoTrainer::new(features.dim(), PpoConfig::default(), config.seed);
         let sim = Simulator::new(trace.procs, config.sim);
         let rng = StdRng::seed_from_u64(config.seed ^ 0x7261_696E);
-        Trainer { config, ppo, features, factory, trace, sim, rng }
+        let baseline = if config.baseline_cache {
+            BaselineCache::new()
+        } else {
+            BaselineCache::disabled()
+        };
+        Trainer {
+            config,
+            ppo,
+            features,
+            factory,
+            trace,
+            sim,
+            rng,
+            baseline,
+        }
     }
 
     /// The configuration in use.
@@ -106,14 +126,26 @@ impl Trainer {
         &self.features
     }
 
+    /// The baseline-run cache (hit/run counters for diagnostics).
+    pub fn baseline_cache(&self) -> &BaselineCache {
+        &self.baseline
+    }
+
     /// Run one epoch: collect `batch_size` trajectories in parallel and
     /// update the networks.
     pub fn train_epoch(&mut self, epoch: usize) -> EpochRecord {
         let n = self.config.batch_size;
         let seq_len = self.config.seq_len;
         let max_start = self.trace.len().saturating_sub(seq_len);
-        let starts: Vec<usize> =
-            (0..n).map(|_| if max_start == 0 { 0 } else { self.rng.random_range(0..=max_start) }).collect();
+        let starts: Vec<usize> = (0..n)
+            .map(|_| {
+                if max_start == 0 {
+                    0
+                } else {
+                    self.rng.random_range(0..=max_start)
+                }
+            })
+            .collect();
         let episode_seed_base = self
             .config
             .seed
@@ -126,14 +158,25 @@ impl Trainer {
             self.config.workers
         };
         let policy = self.ppo.policy.clone();
-        let (sim, features, factory, trace, config) =
-            (&self.sim, &self.features, &self.factory, &self.trace, &self.config);
+        let (sim, features, factory, trace, config, baseline) = (
+            &self.sim,
+            &self.features,
+            &self.factory,
+            &self.trace,
+            &self.config,
+            &self.baseline,
+        );
         let episodes = parallel_map(n, workers, |i| {
             let jobs = trace.sequence(starts[i], seq_len);
-            run_episode(
+            let base = baseline.get_or_run(starts[i], || {
+                let mut p = factory();
+                sim.run(&jobs, p.as_mut())
+            });
+            run_episode_with_base(
                 sim,
                 &jobs,
                 factory,
+                base,
                 &policy,
                 features,
                 config.reward,
@@ -144,8 +187,7 @@ impl Trainer {
         });
 
         let m = self.config.metric;
-        let base_metric =
-            episodes.iter().map(|e| e.base.metric(m)).sum::<f64>() / n.max(1) as f64;
+        let base_metric = episodes.iter().map(|e| e.base.metric(m)).sum::<f64>() / n.max(1) as f64;
         let inspected_metric =
             episodes.iter().map(|e| e.inspected.metric(m)).sum::<f64>() / n.max(1) as f64;
         let improvement_pct = episodes
@@ -163,7 +205,9 @@ impl Trainer {
         let inspections: u64 = episodes.iter().map(|e| e.inspected.inspections).sum();
         let rejections: u64 = episodes.iter().map(|e| e.inspected.rejections).sum();
 
-        let batch = Batch { trajectories: episodes.into_iter().map(|e| e.trajectory).collect() };
+        let batch = Batch {
+            trajectories: episodes.into_iter().map(|e| e.trajectory).collect(),
+        };
         let mean_reward = batch.mean_reward();
         let stats = self.ppo.update(&batch);
 
@@ -274,6 +318,54 @@ mod tests {
             t.train_epoch(0)
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn cached_and_uncached_training_are_bit_identical() {
+        let mk = |baseline_cache| InspectorConfig {
+            batch_size: 6,
+            seq_len: 16,
+            epochs: 3,
+            seed: 11,
+            workers: 2,
+            baseline_cache,
+            ..Default::default()
+        };
+        let run = |baseline_cache| {
+            let mut t = Trainer::new(
+                tiny_trace(),
+                factory_for(PolicyKind::Sjf),
+                mk(baseline_cache),
+            );
+            (t.train(), t.baseline_cache().base_runs())
+        };
+        let (cached, cached_runs) = run(true);
+        let (uncached, uncached_runs) = run(false);
+        assert_eq!(cached, uncached);
+        // The bypass path really re-simulated every episode's baseline.
+        assert_eq!(uncached_runs, 6 * 3);
+        assert!(cached_runs <= uncached_runs);
+    }
+
+    #[test]
+    fn base_runs_match_distinct_start_offsets() {
+        // seq_len == trace length - small max_start forces heavy offset reuse.
+        let config = InspectorConfig {
+            batch_size: 12,
+            seq_len: 395,
+            epochs: 2,
+            seed: 2,
+            workers: 3,
+            ..Default::default()
+        };
+        let mut t = Trainer::new(tiny_trace(), factory_for(PolicyKind::Sjf), config);
+        t.train();
+        let cache = t.baseline_cache();
+        // max_start = 400 - 395 = 5, so at most 6 distinct offsets exist.
+        assert!(cache.base_runs() <= 6, "base runs: {}", cache.base_runs());
+        assert_eq!(cache.base_runs() as usize, cache.len());
+        assert_eq!(cache.lookups(), 12 * 2);
+        assert_eq!(cache.hits(), cache.lookups() - cache.base_runs());
     }
 
     #[test]

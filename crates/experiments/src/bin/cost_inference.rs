@@ -62,7 +62,10 @@ fn main() {
     std::hint::black_box(sink);
 
     // ---- training cost ----
-    let scale = Scale { epochs: 3, ..Scale::quick() };
+    let scale = Scale {
+        epochs: 3,
+        ..Scale::quick()
+    };
     let t0 = Instant::now();
     let out = train_combo(&ComboSpec::new("SDSC-SP2", PolicyKind::Sjf), &scale, seed);
     let per_epoch = t0.elapsed().as_secs_f64() / out.history.records.len() as f64;
@@ -83,7 +86,14 @@ fn main() {
             vec![
                 "full training (paper setup)".into(),
                 "~35 min".into(),
-                format!("~{:.1} min at paper scale (est.)", per_epoch * 80.0 * (100.0 / scale.batch as f64) * (128.0 / scale.seq_len as f64) / 60.0),
+                format!(
+                    "~{:.1} min at paper scale (est.)",
+                    per_epoch
+                        * 80.0
+                        * (100.0 / scale.batch as f64)
+                        * (128.0 / scale.seq_len as f64)
+                        / 60.0
+                ),
             ],
         ],
     );
@@ -91,5 +101,8 @@ fn main() {
         "\nInference is {}x below the paper's 0.7 ms budget — negligible for\nbatch job scheduling, as §4.6 requires.",
         (0.0007 / per_decision).round()
     );
-    assert!(per_decision < 0.0007, "inference must beat the paper's 0.7 ms budget");
+    assert!(
+        per_decision < 0.0007,
+        "inference must beat the paper's 0.7 ms budget"
+    );
 }

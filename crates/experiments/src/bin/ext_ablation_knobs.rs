@@ -33,15 +33,26 @@ fn main() {
         let history = trainer.train();
         let conv = history.converged_improvement(5);
         let rej = history.converged_rejection_ratio(5);
-        println!("[{label:<28}] converged {conv:+.2}, rejection ratio {:.1}%", rej * 100.0);
-        rows.push(vec![label.clone(), format!("{conv:+.2}"), format!("{:.1}%", rej * 100.0)]);
+        println!(
+            "[{label:<28}] converged {conv:+.2}, rejection ratio {:.1}%",
+            rej * 100.0
+        );
+        rows.push(vec![
+            label.clone(),
+            format!("{conv:+.2}"),
+            format!("{:.1}%", rej * 100.0),
+        ]);
         csv.push(format!("{label},{conv:.4},{rej:.4}"));
     };
 
     for interval in [60.0, 600.0, 3600.0] {
         run(
             format!("MAX_INTERVAL={interval:.0}s cap=72"),
-            SimConfig { max_interval: interval, max_rejections: 72, backfill: false },
+            SimConfig {
+                max_interval: interval,
+                max_rejections: 72,
+                backfill: false,
+            },
         );
     }
     for cap in [4u32, 16, 72] {
@@ -50,18 +61,27 @@ fn main() {
         }
         run(
             format!("MAX_INTERVAL=600s cap={cap}"),
-            SimConfig { max_interval: 600.0, max_rejections: cap, backfill: false },
+            SimConfig {
+                max_interval: 600.0,
+                max_rejections: cap,
+                backfill: false,
+            },
         );
     }
 
     println!();
-    print_table(&["configuration", "converged improvement", "rejection ratio"], &rows);
+    print_table(
+        &["configuration", "converged improvement", "rejection ratio"],
+        &rows,
+    );
     println!(
         "\nThe paper's defaults (600 s, 72) bound a rejected job's extra wait\nby ~12 h; the sweep shows how gains shrink when retries are too\nfrequent (tiny intervals waste inspections) or too rare."
     );
-    if let Some(p) =
-        write_csv("ext_ablation_knobs.csv", "config,improvement,rejection_ratio", &csv)
-    {
+    if let Some(p) = write_csv(
+        "ext_ablation_knobs.csv",
+        "config,improvement,rejection_ratio",
+        &csv,
+    ) {
         println!("wrote {}", p.display());
     }
     let _ = train_combo; // re-exported harness is exercised by other binaries

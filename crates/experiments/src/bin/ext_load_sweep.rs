@@ -44,14 +44,28 @@ fn main() {
             format!("{pct:+.1}%"),
             format!("{:.1}%", rep.mean_base_util() * 100.0),
         ]);
-        csv.push(format!("{factor},{base:.4},{insp:.4},{:.4}", rep.mean_base_util()));
+        csv.push(format!(
+            "{factor},{base:.4},{insp:.4},{:.4}",
+            rep.mean_base_util()
+        ));
     }
     println!();
-    print_table(&["load", "base bsld", "inspected bsld", "improvement", "base util"], &rows);
+    print_table(
+        &[
+            "load",
+            "base bsld",
+            "inspected bsld",
+            "improvement",
+            "base util",
+        ],
+        &rows,
+    );
     println!("\nExpected shape: gains concentrate at higher loads, where queues\nhold real alternatives for the delayed decision.");
-    if let Some(p) =
-        write_csv("ext_load_sweep.csv", "factor,base_bsld,inspected_bsld,base_util", &csv)
-    {
+    if let Some(p) = write_csv(
+        "ext_load_sweep.csv",
+        "factor,base_bsld,inspected_bsld,base_util",
+        &csv,
+    ) {
         println!("wrote {}", p.display());
     }
 }

@@ -37,7 +37,13 @@ fn main() {
     };
     let mut sel_trainer = SelectorTrainer::new(train.clone(), sel_config);
     let curve = sel_trainer.train();
-    let last_rewards: f32 = curve.iter().rev().take(5).map(|e| e.mean_reward).sum::<f32>() / 5.0;
+    let last_rewards: f32 = curve
+        .iter()
+        .rev()
+        .take(5)
+        .map(|e| e.mean_reward)
+        .sum::<f32>()
+        / 5.0;
     println!("selector converged mean reward vs SJF: {last_rewards:+.3}");
     let frozen = sel_trainer.scheduler();
 

@@ -17,9 +17,18 @@ fn main() {
         for trace in TRACES {
             let out = train_combo(&ComboSpec::new(trace, policy), &scale, seed);
             let rep = out.evaluate(&scale, seed ^ 0xF10);
-            let b = (rep.mean_base(Metric::Bsld), rep.mean_inspected(Metric::Bsld));
-            let m = (rep.mean_base(Metric::MaxBsld), rep.mean_inspected(Metric::MaxBsld));
-            let u = (rep.mean_base_util() * 100.0, rep.mean_inspected_util() * 100.0);
+            let b = (
+                rep.mean_base(Metric::Bsld),
+                rep.mean_inspected(Metric::Bsld),
+            );
+            let m = (
+                rep.mean_base(Metric::MaxBsld),
+                rep.mean_inspected(Metric::MaxBsld),
+            );
+            let u = (
+                rep.mean_base_util() * 100.0,
+                rep.mean_inspected_util() * 100.0,
+            );
             println!(
                 "[{:>4} on {:<8}] bsld {:.1}->{:.1}  mbsld {:.0}->{:.0}  util {:.2}%->{:.2}%",
                 policy.name(),

@@ -52,7 +52,15 @@ fn main() {
         }
     }
     println!("\nPaper: ~10% converged improvements with backfilling enabled.\n");
-    print_table(&["metric", "policy", "converged improvement", "rejection ratio"], &rows);
+    print_table(
+        &[
+            "metric",
+            "policy",
+            "converged improvement",
+            "rejection ratio",
+        ],
+        &rows,
+    );
     if let Some(p) = write_csv(
         "fig11_backfill.csv",
         "metric,policy,epoch,improvement,improvement_pct,rejection_ratio",

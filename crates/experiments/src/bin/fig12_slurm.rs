@@ -36,9 +36,21 @@ fn main() {
         &[
             vec!["bsld original".into(), "82.9".into(), format!("{base:.1}")],
             vec!["bsld inspected".into(), "62.4".into(), format!("{insp:.1}")],
-            vec!["bsld improvement".into(), "24.7%".into(), format!("{pct:.1}%")],
-            vec!["util original".into(), "79.31%".into(), format!("{u_base:.2}%")],
-            vec!["util inspected".into(), "78.82%".into(), format!("{u_insp:.2}%")],
+            vec![
+                "bsld improvement".into(),
+                "24.7%".into(),
+                format!("{pct:.1}%"),
+            ],
+            vec![
+                "util original".into(),
+                "79.31%".into(),
+                format!("{u_base:.2}%"),
+            ],
+            vec![
+                "util inspected".into(),
+                "78.82%".into(),
+                format!("{u_insp:.2}%"),
+            ],
             vec![
                 "util reduction".into(),
                 "0.49%".into(),
@@ -65,7 +77,11 @@ fn main() {
     if let Some(p) = write_csv(
         "fig12_slurm_eval.csv",
         "bsld_base,bsld_inspected,util_base,util_inspected",
-        &[format!("{base:.4},{insp:.4},{:.4},{:.4}", u_base / 100.0, u_insp / 100.0)],
+        &[format!(
+            "{base:.4},{insp:.4},{:.4},{:.4}",
+            u_base / 100.0,
+            u_insp / 100.0
+        )],
     ) {
         println!("wrote {}", p.display());
     }

@@ -46,7 +46,10 @@ fn main() {
         }
         // Summarize the shift: median of rejected vs. all samples.
         let med = |cdf: &[(f32, f32)]| {
-            cdf.iter().find(|&&(_, y)| y >= 0.5).map(|&(x, _)| x).unwrap_or(1.0)
+            cdf.iter()
+                .find(|&&(_, y)| y >= 0.5)
+                .map(|&(x, _)| x)
+                .unwrap_or(1.0)
         };
         rows.push(vec![
             name.to_string(),
@@ -59,13 +62,18 @@ fn main() {
             },
         ]);
     }
-    print_table(&["feature", "median(all)", "median(rejected)", "tendency"], &rows);
+    print_table(
+        &["feature", "median(all)", "median(rejected)", "tendency"],
+        &rows,
+    );
     println!(
         "\nPaper's reading: rejected jobs have shorter waits, longer runtimes,\nhigher resource requests; queue delays show a hard rejection cap."
     );
-    if let Some(p) =
-        write_csv("fig13_learned.csv", "feature,point,x,cdf_all,cdf_rejected", &csv)
-    {
+    if let Some(p) = write_csv(
+        "fig13_learned.csv",
+        "feature,point,x,cdf_all,cdf_rejected",
+        &csv,
+    ) {
         println!("\nwrote {}", p.display());
     }
 }

@@ -29,7 +29,12 @@ fn main() {
                     r.rejection_ratio
                 ));
             }
-            let first = out.history.records.first().map(|r| r.improvement).unwrap_or(0.0);
+            let first = out
+                .history
+                .records
+                .first()
+                .map(|r| r.improvement)
+                .unwrap_or(0.0);
             let conv = out.history.converged_improvement(5);
             let conv_pct: f64 = {
                 let recs = &out.history.records;
@@ -58,7 +63,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["policy", "trace", "first epoch", "converged", "converged %"], &rows);
+    print_table(
+        &["policy", "trace", "first epoch", "converged", "converged %"],
+        &rows,
+    );
     if let Some(p) = write_csv(
         "fig4_training_curves.csv",
         "policy,trace,epoch,improvement,improvement_pct,base_bsld,rejection_ratio",

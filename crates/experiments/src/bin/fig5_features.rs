@@ -16,8 +16,10 @@ fn main() {
         (FeatureMode::Compacted, "compacted"),
         (FeatureMode::Native, "native"),
     ] {
-        let spec =
-            ComboSpec { features: mode, ..ComboSpec::new("SDSC-SP2", PolicyKind::Sjf) };
+        let spec = ComboSpec {
+            features: mode,
+            ..ComboSpec::new("SDSC-SP2", PolicyKind::Sjf)
+        };
         let out = train_combo(&spec, &scale, seed);
         for r in &out.history.records {
             csv.push(format!(
@@ -40,7 +42,10 @@ fn main() {
     println!(
         "\nPaper's finding: manual > compacted > native (native fails to\nconverge to a positive value; it learns to never reject).\n"
     );
-    print_table(&["features", "converged improvement", "rejection ratio"], &rows);
+    print_table(
+        &["features", "converged improvement", "rejection ratio"],
+        &rows,
+    );
     if let Some(p) = write_csv(
         "fig5_features.csv",
         "features,epoch,improvement,improvement_pct,rejection_ratio",

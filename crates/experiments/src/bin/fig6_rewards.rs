@@ -13,8 +13,15 @@ fn main() {
     println!("Figure 6: reward-function ablation (SJF, SDSC-SP2, bsld)\n");
     let mut csv = Vec::new();
     let mut rows = Vec::new();
-    for reward in [RewardKind::Native, RewardKind::WinLoss, RewardKind::Percentage] {
-        let spec = ComboSpec { reward, ..ComboSpec::new("SDSC-SP2", PolicyKind::Sjf) };
+    for reward in [
+        RewardKind::Native,
+        RewardKind::WinLoss,
+        RewardKind::Percentage,
+    ] {
+        let spec = ComboSpec {
+            reward,
+            ..ComboSpec::new("SDSC-SP2", PolicyKind::Sjf)
+        };
         let out = train_combo(&spec, &scale, seed);
         for r in &out.history.records {
             csv.push(format!(
@@ -40,7 +47,10 @@ fn main() {
         ]);
     }
     println!("\nPaper's finding: percentage reward converges best despite the\ny-axis measuring exactly what the native reward optimizes.\n");
-    print_table(&["reward", "converged improvement", "rejection ratio"], &rows);
+    print_table(
+        &["reward", "converged improvement", "rejection ratio"],
+        &rows,
+    );
     if let Some(p) = write_csv(
         "fig6_rewards.csv",
         "reward,epoch,improvement,improvement_pct,rejection_ratio",

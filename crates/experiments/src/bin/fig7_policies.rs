@@ -15,7 +15,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut fcfs_rej = 1.0f64;
     let mut others_min_gain = f64::INFINITY;
-    for policy in [PolicyKind::Fcfs, PolicyKind::Lcfs, PolicyKind::Srf, PolicyKind::Saf] {
+    for policy in [
+        PolicyKind::Fcfs,
+        PolicyKind::Lcfs,
+        PolicyKind::Srf,
+        PolicyKind::Saf,
+    ] {
         let spec = ComboSpec::new("SDSC-SP2", policy);
         let out = train_combo(&spec, &scale, seed);
         for r in &out.history.records {
@@ -51,7 +56,10 @@ fn main() {
         fcfs_rej * 100.0,
         others_min_gain
     );
-    print_table(&["policy", "converged improvement", "rejection ratio"], &rows);
+    print_table(
+        &["policy", "converged improvement", "rejection ratio"],
+        &rows,
+    );
     if let Some(p) = write_csv(
         "fig7_policies.csv",
         "policy,epoch,improvement,improvement_pct,rejection_ratio",

@@ -55,12 +55,22 @@ fn main() {
     }
     println!("\nPaper: bsld improves 13.6% (F1/CTC-SP2) to 91.6% (SJF/Lublin).\n");
     print_table(
-        &["policy", "trace", "base", "inspected", "improve", "base q1/med/q3", "insp q1/med/q3"],
+        &[
+            "policy",
+            "trace",
+            "base",
+            "inspected",
+            "improve",
+            "base q1/med/q3",
+            "insp q1/med/q3",
+        ],
         &rows,
     );
-    if let Some(p) =
-        write_csv("fig8_test_perf.csv", "policy,trace,seq,base_bsld,inspected_bsld", &csv)
-    {
+    if let Some(p) = write_csv(
+        "fig8_test_perf.csv",
+        "policy,trace,seq,base_bsld,inspected_bsld",
+        &csv,
+    ) {
         println!("\nwrote {}", p.display());
     }
 }

@@ -14,7 +14,10 @@ fn main() {
     let mut rows = Vec::new();
     for metric in [Metric::Wait, Metric::MaxBsld] {
         for policy in [PolicyKind::Sjf, PolicyKind::F1] {
-            let spec = ComboSpec { metric, ..ComboSpec::new("SDSC-SP2", policy) };
+            let spec = ComboSpec {
+                metric,
+                ..ComboSpec::new("SDSC-SP2", policy)
+            };
             let out = train_combo(&spec, &scale, seed);
             for r in &out.history.records {
                 csv.push(format!(
@@ -48,7 +51,15 @@ fn main() {
         }
     }
     println!("\nPaper: both metrics converge stably to 25–50% improvements.\n");
-    print_table(&["metric", "policy", "converged improvement", "rejection ratio"], &rows);
+    print_table(
+        &[
+            "metric",
+            "policy",
+            "converged improvement",
+            "rejection ratio",
+        ],
+        &rows,
+    );
     if let Some(p) = write_csv(
         "fig9_metrics.csv",
         "metric,policy,epoch,improvement,improvement_pct,rejection_ratio",

@@ -30,7 +30,10 @@ fn main() {
         .to_path_buf();
     let mut failed = Vec::new();
     for name in EXPERIMENTS {
-        println!("\n=== {name} {}\n", "=".repeat(60usize.saturating_sub(name.len())));
+        println!(
+            "\n=== {name} {}\n",
+            "=".repeat(60usize.saturating_sub(name.len()))
+        );
         let status = Command::new(exe_dir.join(name)).args(&args).status();
         match status {
             Ok(s) if s.success() => {}
@@ -45,7 +48,9 @@ fn main() {
         }
     }
     println!("\n=== cost_inference {}\n", "=".repeat(46));
-    let _ = Command::new(exe_dir.join("cost_inference")).args(&args).status();
+    let _ = Command::new(exe_dir.join("cost_inference"))
+        .args(&args)
+        .status();
     if failed.is_empty() {
         println!("\nAll experiments completed. CSVs are under results/.");
     } else {

@@ -68,7 +68,10 @@ fn run(jobs: &[Job], inspect: bool) -> (f64, f64) {
     let sim = Simulator::new(5, SimConfig::default());
     let mut policy = Sjf;
     let result = if inspect {
-        let mut hook = RejectOnce { target: 1, done: false };
+        let mut hook = RejectOnce {
+            target: 1,
+            done: false,
+        };
         sim.run_inspected(jobs, &mut policy, &mut hook)
     } else {
         sim.run(jobs, &mut policy)
@@ -104,7 +107,13 @@ fn main() {
         csv.push(format!("{name},{p_wait},{wait:.4},{p_bsld},{bsld:.4}"));
     }
     print_table(
-        &["case", "wait(paper)", "wait(ours)", "bsld(paper)", "bsld(ours)"],
+        &[
+            "case",
+            "wait(paper)",
+            "wait(ours)",
+            "bsld(paper)",
+            "bsld(ours)",
+        ],
         &rows,
     );
     let (wa0, ba0) = runs[0];
@@ -112,14 +121,13 @@ fn main() {
     let (wb0, bb0) = runs[2];
     let (wb1, bb1) = runs[3];
     println!();
-    println!(
-        "case (a): inspector improves bsld {ba0:.2} -> {ba1:.2}, wait {wa0:.2} -> {wa1:.2}"
-    );
-    println!(
-        "case (b): inspector improves bsld {bb0:.2} -> {bb1:.2}, wait {wb0:.2} -> {wb1:.2}"
-    );
+    println!("case (a): inspector improves bsld {ba0:.2} -> {ba1:.2}, wait {wa0:.2} -> {wa1:.2}");
+    println!("case (b): inspector improves bsld {bb0:.2} -> {bb1:.2}, wait {wb0:.2} -> {wb1:.2}");
     assert!(ba1 < ba0, "case (a): inspection must improve bsld");
-    assert!(bb1 < bb0 && wb1 < wb0, "case (b): inspection must improve both metrics");
+    assert!(
+        bb1 < bb0 && wb1 < wb0,
+        "case (b): inspection must improve both metrics"
+    );
     if let Some(p) = write_csv(
         "table1_motivating.csv",
         "case,wait_paper,wait_ours,bsld_paper,bsld_ours",

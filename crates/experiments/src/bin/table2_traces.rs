@@ -40,12 +40,28 @@ fn main() {
             s.offered_load
         ));
         let rel = |a: f64, b: f64| (a - b).abs() / b;
-        assert!(rel(s.mean_interval, profile.mean_interval) < 0.05, "{name}: interval drifted");
-        assert!(rel(s.mean_estimate, profile.mean_estimate) < 0.12, "{name}: estimate drifted");
-        assert!(rel(s.mean_procs, profile.mean_procs) < 0.15, "{name}: procs drifted");
+        assert!(
+            rel(s.mean_interval, profile.mean_interval) < 0.05,
+            "{name}: interval drifted"
+        );
+        assert!(
+            rel(s.mean_estimate, profile.mean_estimate) < 0.12,
+            "{name}: estimate drifted"
+        );
+        assert!(
+            rel(s.mean_procs, profile.mean_procs) < 0.15,
+            "{name}: procs drifted"
+        );
     }
     print_table(
-        &["trace", "cluster", "interval ours/paper", "est ours/paper", "res ours/paper", "load"],
+        &[
+            "trace",
+            "cluster",
+            "interval ours/paper",
+            "est ours/paper",
+            "res ours/paper",
+            "load",
+        ],
         &rows,
     );
     assert_eq!(TRACES.len(), 4);

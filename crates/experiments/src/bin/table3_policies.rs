@@ -18,8 +18,7 @@ fn main() {
     // Exercise each policy on the same sampled SDSC-SP2 sequences.
     let trace = load_trace("SDSC-SP2", &scale, seed);
     let sim = Simulator::new(trace.procs, SimConfig::default());
-    let mut sampler =
-        workload::SequenceSampler::new(trace.clone(), scale.eval_len, seed ^ 0x7AB3);
+    let mut sampler = workload::SequenceSampler::new(trace.clone(), scale.eval_len, seed ^ 0x7AB3);
     let sequences = sampler.sample_many(scale.eval_seqs);
     println!(
         "\nMean over {} SDSC-SP2 sequences of {} jobs under each policy:\n",
@@ -50,7 +49,10 @@ fn main() {
             format!("{mbsld:.2}"),
             format!("{:.1}%", util * 100.0),
         ]);
-        csv.push(format!("{},{bsld:.4},{wait:.1},{mbsld:.4},{util:.4}", kind.name()));
+        csv.push(format!(
+            "{},{bsld:.4},{wait:.1},{mbsld:.4},{util:.4}",
+            kind.name()
+        ));
     }
     print_table(&["policy", "bsld", "wait(s)", "mbsld", "util"], &rows);
     if let Some(p) = write_csv("table3_policies.csv", "policy,bsld,wait,mbsld,util", &csv) {

@@ -24,7 +24,11 @@ fn main() {
         let own = if trace_name == "SDSC-SP2" {
             None
         } else {
-            Some(train_combo(&ComboSpec::new(trace_name, PolicyKind::Sjf), &scale, seed))
+            Some(train_combo(
+                &ComboSpec::new(trace_name, PolicyKind::Sjf),
+                &scale,
+                seed,
+            ))
         };
         let target = own.as_ref().unwrap_or(&sdsc);
         let eval_seed = seed ^ 0x7AB4;
@@ -67,9 +71,11 @@ fn main() {
     }
     println!("\nPaper: SDSC-SP2->Y outperforms the base everywhere; Y->Y is best.\n");
     print_table(&["trace Y", "Base->Y", "'SDSC-SP2'->Y", "Y->Y"], &rows);
-    if let Some(p) =
-        write_csv("table4_cross_trace.csv", "trace,base,sdsc_to_y,y_to_y", &csv)
-    {
+    if let Some(p) = write_csv(
+        "table4_cross_trace.csv",
+        "trace,base,sdsc_to_y,y_to_y",
+        &csv,
+    ) {
         println!("\nwrote {}", p.display());
     }
 }

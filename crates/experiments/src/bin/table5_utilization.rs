@@ -17,11 +17,16 @@ fn main() {
             if backfill { "with" } else { "without" }
         );
         for trace in TRACES {
-            let mut cells = vec![
-                if backfill { format!("{trace} +bf") } else { trace.to_string() },
-            ];
+            let mut cells = vec![if backfill {
+                format!("{trace} +bf")
+            } else {
+                trace.to_string()
+            }];
             for policy in [PolicyKind::Sjf, PolicyKind::F1] {
-                let spec = ComboSpec { backfill, ..ComboSpec::new(trace, policy) };
+                let spec = ComboSpec {
+                    backfill,
+                    ..ComboSpec::new(trace, policy)
+                };
                 let out = train_combo(&spec, &scale, seed);
                 let rep = out.evaluate(&scale, seed ^ 0x7AB5);
                 let base = rep.mean_base_util() * 100.0;
@@ -48,7 +53,9 @@ fn main() {
     }
     println!();
     print_table(
-        &["trace", "SJF base", "SJF insp", "SJF d", "F1 base", "F1 insp", "F1 d"],
+        &[
+            "trace", "SJF base", "SJF insp", "SJF d", "F1 base", "F1 insp", "F1 d",
+        ],
         &rows,
     );
     println!("\nPaper: deltas are within about ±1% (worst case -4.33%, Lublin/F1).");

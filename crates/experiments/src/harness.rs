@@ -1,15 +1,15 @@
 //! Training/evaluation drivers shared by the experiment binaries.
 
 use inspector::{
-    evaluate, factory_for, slurm_factory, EvalReport, FeatureMode, InspectorConfig,
-    PolicyFactory, RewardKind, SchedInspector, Trainer, TrainingHistory,
+    evaluate, factory_for, slurm_factory, EvalReport, FeatureMode, InspectorConfig, PolicyFactory,
+    RewardKind, SchedInspector, Trainer, TrainingHistory,
 };
 use policies::PolicyKind;
 use simhpc::{Metric, SimConfig};
 use workload::JobTrace;
 
-use crate::scale::Scale;
 use crate::load_trace;
+use crate::scale::Scale;
 
 /// One (trace, policy, metric, ...) training combination.
 #[derive(Debug, Clone)]
@@ -90,7 +90,10 @@ pub fn train_combo(spec: &ComboSpec, scale: &Scale, seed: u64) -> TrainOutcome {
         Some(kind) => factory_for(kind),
         None => slurm_factory(&trace),
     };
-    let sim = SimConfig { backfill: spec.backfill, ..SimConfig::default() };
+    let sim = SimConfig {
+        backfill: spec.backfill,
+        ..SimConfig::default()
+    };
     let config = InspectorConfig {
         metric: spec.metric,
         features: spec.features,
@@ -101,10 +104,18 @@ pub fn train_combo(spec: &ComboSpec, scale: &Scale, seed: u64) -> TrainOutcome {
         epochs: scale.epochs,
         seed,
         workers: 0,
+        baseline_cache: true,
     };
     let mut trainer = Trainer::new(train.clone(), factory.clone(), config);
     let history = trainer.train();
-    TrainOutcome { history, inspector: trainer.inspector(), factory, train, test, sim }
+    TrainOutcome {
+        history,
+        inspector: trainer.inspector(),
+        factory,
+        train,
+        test,
+        sim,
+    }
 }
 
 #[cfg(test)]

@@ -26,7 +26,9 @@ pub fn load_trace(name: &str, scale: &Scale, seed: u64) -> JobTrace {
 }
 
 fn trace_salt(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 #[cfg(test)]

@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn csv_is_written() {
-        std::env::set_var("SCHEDINSPECTOR_RESULTS", std::env::temp_dir().join("si-results"));
+        std::env::set_var(
+            "SCHEDINSPECTOR_RESULTS",
+            std::env::temp_dir().join("si-results"),
+        );
         let p = write_csv("test.csv", "a,b", &["1,2".into(), "3,4".into()]).unwrap();
         let text = std::fs::read_to_string(&p).unwrap();
         assert_eq!(text, "a,b\n1,2\n3,4\n");

@@ -21,7 +21,14 @@ pub struct Scale {
 impl Scale {
     /// Smoke-test scale (seconds per experiment).
     pub fn quick() -> Self {
-        Scale { epochs: 6, batch: 16, seq_len: 48, eval_seqs: 10, eval_len: 96, trace_jobs: 2_000 }
+        Scale {
+            epochs: 6,
+            batch: 16,
+            seq_len: 48,
+            eval_seqs: 10,
+            eval_len: 96,
+            trace_jobs: 2_000,
+        }
     }
 
     /// Default scale: paper-shaped but sized to run a full experiment suite

@@ -20,6 +20,7 @@ pub struct F1;
 pub const F1_EPOCH_OFFSET: f64 = 1.0e7;
 
 impl SchedulingPolicy for F1 {
+    #[inline]
     fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
         let est = job.estimate.max(1.0);
         let submit = (job.submit + F1_EPOCH_OFFSET).max(1.0);
@@ -35,7 +36,11 @@ mod tests {
     use super::*;
 
     fn ctx() -> PolicyContext {
-        PolicyContext { now: 0.0, total_procs: 128, free_procs: 128 }
+        PolicyContext {
+            now: 0.0,
+            total_procs: 128,
+            free_procs: 128,
+        }
     }
 
     #[test]

@@ -77,7 +77,9 @@ impl std::str::FromStr for PolicyKind {
         PolicyKind::ALL
             .into_iter()
             .find(|k| k.name().eq_ignore_ascii_case(s))
-            .ok_or_else(|| format!("unknown policy {s:?} (expected one of FCFS/LCFS/SJF/SAF/SRF/F1)"))
+            .ok_or_else(|| {
+                format!("unknown policy {s:?} (expected one of FCFS/LCFS/SJF/SAF/SRF/F1)")
+            })
     }
 }
 
@@ -99,7 +101,11 @@ mod tests {
 
     #[test]
     fn built_policies_score() {
-        let ctx = PolicyContext { now: 10.0, total_procs: 64, free_procs: 64 };
+        let ctx = PolicyContext {
+            now: 10.0,
+            total_procs: 64,
+            free_procs: 64,
+        };
         let j = Job::new(1, 5.0, 100.0, 200.0, 4);
         for kind in PolicyKind::ALL {
             let mut p = kind.build();

@@ -10,6 +10,7 @@ use workload::Job;
 pub struct Fcfs;
 
 impl SchedulingPolicy for Fcfs {
+    #[inline]
     fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
         job.submit
     }
@@ -23,6 +24,7 @@ impl SchedulingPolicy for Fcfs {
 pub struct Lcfs;
 
 impl SchedulingPolicy for Lcfs {
+    #[inline]
     fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
         -job.submit
     }
@@ -36,6 +38,7 @@ impl SchedulingPolicy for Lcfs {
 pub struct Sjf;
 
 impl SchedulingPolicy for Sjf {
+    #[inline]
     fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
         job.estimate
     }
@@ -49,6 +52,7 @@ impl SchedulingPolicy for Sjf {
 pub struct Saf;
 
 impl SchedulingPolicy for Saf {
+    #[inline]
     fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
         job.estimate * job.procs as f64
     }
@@ -62,6 +66,7 @@ impl SchedulingPolicy for Saf {
 pub struct Srf;
 
 impl SchedulingPolicy for Srf {
+    #[inline]
     fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
         job.estimate / job.procs as f64
     }
@@ -75,7 +80,11 @@ mod tests {
     use super::*;
 
     fn ctx() -> PolicyContext {
-        PolicyContext { now: 1000.0, total_procs: 128, free_procs: 128 }
+        PolicyContext {
+            now: 1000.0,
+            total_procs: 128,
+            free_procs: 128,
+        }
     }
 
     fn job(submit: f64, estimate: f64, procs: u32) -> Job {

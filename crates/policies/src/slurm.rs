@@ -107,6 +107,7 @@ impl SlurmMultifactor {
 }
 
 impl SchedulingPolicy for SlurmMultifactor {
+    #[inline]
     fn score(&mut self, job: &Job, ctx: &PolicyContext) -> f64 {
         // The simulator selects the minimum score; Slurm runs the highest
         // priority first.
@@ -132,10 +133,18 @@ mod tests {
         let mut jobs = Vec::new();
         // User 0 is a heavy user (share ~0.8), user 1 light (share ~0.2).
         for i in 0..8 {
-            jobs.push(Job { user: 0, queue: 0, ..Job::new(i + 1, i as f64, 100.0, 200.0, 4) });
+            jobs.push(Job {
+                user: 0,
+                queue: 0,
+                ..Job::new(i + 1, i as f64, 100.0, 200.0, 4)
+            });
         }
         for i in 8..10 {
-            jobs.push(Job { user: 1, queue: 1, ..Job::new(i + 1, i as f64, 100.0, 200.0, 4) });
+            jobs.push(Job {
+                user: 1,
+                queue: 1,
+                ..Job::new(i + 1, i as f64, 100.0, 200.0, 4)
+            });
         }
         JobTrace::new("t", 16, jobs).unwrap()
     }
@@ -159,10 +168,22 @@ mod tests {
     #[test]
     fn fairshare_penalizes_over_consumers() {
         let mut p = SlurmMultifactor::from_trace(&trace());
-        let heavy = Job { user: 0, ..Job::new(1, 0.0, 100.0, 200.0, 4) };
-        let light = Job { user: 1, ..Job::new(2, 0.0, 100.0, 200.0, 4) };
+        let heavy = Job {
+            user: 0,
+            ..Job::new(1, 0.0, 100.0, 200.0, 4)
+        };
+        let light = Job {
+            user: 1,
+            ..Job::new(2, 0.0, 100.0, 200.0, 4)
+        };
         // User 1 consumes everything so far: her factor drops.
-        p.on_start(&Job { user: 1, ..Job::new(3, 0.0, 1000.0, 1000.0, 8) }, 0.0);
+        p.on_start(
+            &Job {
+                user: 1,
+                ..Job::new(3, 0.0, 1000.0, 1000.0, 8)
+            },
+            0.0,
+        );
         assert!(
             p.fairshare_factor(1) < p.fairshare_factor(0),
             "over-consumer must rank below an idle user"
@@ -173,8 +194,16 @@ mod tests {
     #[test]
     fn shorter_jobs_get_higher_attribute_factor() {
         let p = SlurmMultifactor::from_trace(&trace());
-        let short = Job { user: 0, queue: 0, ..Job::new(1, 0.0, 50.0, 60.0, 4) };
-        let long = Job { user: 0, queue: 0, ..Job::new(2, 0.0, 190.0, 200.0, 4) };
+        let short = Job {
+            user: 0,
+            queue: 0,
+            ..Job::new(1, 0.0, 50.0, 60.0, 4)
+        };
+        let long = Job {
+            user: 0,
+            queue: 0,
+            ..Job::new(2, 0.0, 190.0, 200.0, 4)
+        };
         assert!(p.priority(&short, 0.0) > p.priority(&long, 0.0));
     }
 
@@ -192,7 +221,11 @@ mod tests {
     fn score_is_negated_priority() {
         let mut p = SlurmMultifactor::from_trace(&trace());
         let j = Job::new(1, 0.0, 100.0, 200.0, 4);
-        let ctx = PolicyContext { now: 500.0, total_procs: 16, free_procs: 16 };
+        let ctx = PolicyContext {
+            now: 500.0,
+            total_procs: 16,
+            free_procs: 16,
+        };
         let pri = p.priority(&j, 500.0);
         assert_eq!(p.score(&j, &ctx), -pri);
     }

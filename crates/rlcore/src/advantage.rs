@@ -28,7 +28,10 @@ pub fn compute(batch: &Batch, critic: &ValueNet) -> Advantages {
         }
     }
     normalize(&mut advantages);
-    Advantages { returns, advantages }
+    Advantages {
+        returns,
+        advantages,
+    }
 }
 
 /// In-place mean/std normalization (no-op on empty or constant input).
@@ -57,15 +60,25 @@ mod tests {
     use crate::trajectory::{Step, Trajectory};
 
     fn step(v: f32) -> Step {
-        Step { state: vec![v], action: 0, logp: -0.7 }
+        Step {
+            state: vec![v],
+            action: 0,
+            logp: -0.7,
+        }
     }
 
     #[test]
     fn returns_equal_terminal_reward() {
         let batch = Batch {
             trajectories: vec![
-                Trajectory { steps: vec![step(0.0), step(1.0)], reward: 5.0 },
-                Trajectory { steps: vec![step(2.0)], reward: -1.0 },
+                Trajectory {
+                    steps: vec![step(0.0), step(1.0)],
+                    reward: 5.0,
+                },
+                Trajectory {
+                    steps: vec![step(2.0)],
+                    reward: -1.0,
+                },
             ],
         };
         let critic = ValueNet::new(1, 0);

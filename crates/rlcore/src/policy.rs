@@ -3,12 +3,20 @@
 use rand::{Rng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tinynn::loss::{log_softmax, softmax};
-use tinynn::{Activation, Mlp, Tape};
+use tinynn::{Activation, ForwardScratch, Mlp, Tape};
 
 /// Action index for "accept the scheduling decision".
 pub const ACCEPT: u8 = 0;
 /// Action index for "reject the scheduling decision".
 pub const REJECT: u8 = 1;
+
+/// Reusable buffers for the allocation-free policy queries
+/// ([`BinaryPolicy::sample_scratch`] / [`BinaryPolicy::greedy_scratch`]).
+/// One per rollout worker; warm after the first query.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyScratch {
+    fwd: ForwardScratch,
+}
 
 /// A categorical policy over {accept, reject}, backed by an MLP emitting two
 /// logits (the paper's policy network: hidden layers 32/16/8, §3.1).
@@ -38,7 +46,10 @@ impl BinaryPolicy {
     /// Wrap an existing two-logit network (e.g. a deserialized model).
     pub fn from_mlp(net: Mlp) -> Result<Self, String> {
         if net.output_dim() != 2 {
-            return Err(format!("binary policy needs 2 logits, network has {}", net.output_dim()));
+            return Err(format!(
+                "binary policy needs 2 logits, network has {}",
+                net.output_dim()
+            ));
         }
         Ok(BinaryPolicy { net })
     }
@@ -72,7 +83,11 @@ impl BinaryPolicy {
     pub fn sample<R: Rng + ?Sized>(&self, state: &[f32], rng: &mut R) -> (u8, f32) {
         let lp = log_softmax(&self.logits(state));
         let p_reject = lp[REJECT as usize].exp();
-        let action = if rng.random::<f32>() < p_reject { REJECT } else { ACCEPT };
+        let action = if rng.random::<f32>() < p_reject {
+            REJECT
+        } else {
+            ACCEPT
+        };
         (action, lp[action as usize])
     }
 
@@ -88,6 +103,48 @@ impl BinaryPolicy {
     /// Log-probability of `action` in `state`.
     pub fn logp(&self, state: &[f32], action: u8) -> f32 {
         log_softmax(&self.logits(state))[action as usize]
+    }
+
+    /// Log-probabilities `[accept, reject]` without allocating: one scratch
+    /// forward pass plus an inlined two-logit log-softmax (the same
+    /// max-shifted computation as [`log_softmax`], term for term, so results
+    /// are bit-identical to the allocating path).
+    fn log_probs_scratch(&self, state: &[f32], scratch: &mut PolicyScratch) -> [f32; 2] {
+        let logits = self.net.forward_scratch(state, &mut scratch.fwd);
+        let (l0, l1) = (logits[0], logits[1]);
+        let max = l0.max(l1);
+        let lse = ((l0 - max).exp() + (l1 - max).exp()).ln() + max;
+        [l0 - lse, l1 - lse]
+    }
+
+    /// Allocation-free [`BinaryPolicy::sample`]: same action and log-prob
+    /// for the same rng state, no per-call heap traffic.
+    pub fn sample_scratch<R: Rng + ?Sized>(
+        &self,
+        state: &[f32],
+        rng: &mut R,
+        scratch: &mut PolicyScratch,
+    ) -> (u8, f32) {
+        let lp = self.log_probs_scratch(state, scratch);
+        let p_reject = lp[REJECT as usize].exp();
+        let action = if rng.random::<f32>() < p_reject {
+            REJECT
+        } else {
+            ACCEPT
+        };
+        (action, lp[action as usize])
+    }
+
+    /// Allocation-free greedy action plus its log-probability (one forward
+    /// pass instead of the two that `greedy` + `logp` would make).
+    pub fn greedy_scratch(&self, state: &[f32], scratch: &mut PolicyScratch) -> (u8, f32) {
+        let lp = self.log_probs_scratch(state, scratch);
+        let action = if lp[REJECT as usize].exp() > 0.5 {
+            REJECT
+        } else {
+            ACCEPT
+        };
+        (action, lp[action as usize])
     }
 
     /// Mutable access for the PPO updater.
@@ -127,7 +184,9 @@ mod tests {
         let pr = p.prob_reject(&state) as f64;
         let mut rng = StdRng::seed_from_u64(3);
         let n = 20_000;
-        let rejects = (0..n).filter(|_| p.sample(&state, &mut rng).0 == REJECT).count();
+        let rejects = (0..n)
+            .filter(|_| p.sample(&state, &mut rng).0 == REJECT)
+            .count();
         let freq = rejects as f64 / n as f64;
         assert!((freq - pr).abs() < 0.02, "freq {freq} vs prob {pr}");
     }
@@ -142,10 +201,34 @@ mod tests {
     }
 
     #[test]
+    fn scratch_paths_match_allocating_paths() {
+        let p = BinaryPolicy::new(5, 9);
+        let mut scratch = PolicyScratch::default();
+        for i in 0..20 {
+            let t = i as f32 * 0.37;
+            let state = [t.sin(), t.cos(), -t.sin() * 0.5, 0.1 * t, -0.8];
+            // Same rng stream on both sides -> bit-identical samples.
+            let mut rng_a = StdRng::seed_from_u64(i);
+            let mut rng_b = StdRng::seed_from_u64(i);
+            assert_eq!(
+                p.sample(&state, &mut rng_a),
+                p.sample_scratch(&state, &mut rng_b, &mut scratch)
+            );
+            let (greedy, logp) = p.greedy_scratch(&state, &mut scratch);
+            assert_eq!(greedy, p.greedy(&state));
+            assert_eq!(logp, p.logp(&state, greedy));
+        }
+    }
+
+    #[test]
     fn greedy_thresholds_at_half() {
         let p = BinaryPolicy::new(2, 5);
         let s = [0.3f32, 0.9];
-        let expect = if p.prob_reject(&s) > 0.5 { REJECT } else { ACCEPT };
+        let expect = if p.prob_reject(&s) > 0.5 {
+            REJECT
+        } else {
+            ACCEPT
+        };
         assert_eq!(p.greedy(&s), expect);
     }
 }

@@ -78,7 +78,13 @@ impl PpoTrainer {
         let critic = ValueNet::new(input_dim, seed.wrapping_add(1));
         let pi_opt = Adam::new(config.pi_lr, policy.param_count());
         let vf_opt = Adam::new(config.vf_lr, critic.param_count());
-        PpoTrainer { policy, critic, config, pi_opt, vf_opt }
+        PpoTrainer {
+            policy,
+            critic,
+            config,
+            pi_opt,
+            vf_opt,
+        }
     }
 
     /// Hyper-parameters in use.
@@ -195,9 +201,14 @@ mod tests {
                 let (action, logp) = trainer.policy.sample(&state, &mut rng);
                 let correct = if x > 0.0 { REJECT } else { ACCEPT };
                 let reward = if action == correct { 1.0 } else { -1.0 };
-                batch
-                    .trajectories
-                    .push(Trajectory { steps: vec![Step { state, action, logp }], reward });
+                batch.trajectories.push(Trajectory {
+                    steps: vec![Step {
+                        state,
+                        action,
+                        logp,
+                    }],
+                    reward,
+                });
             }
             trainer.update(&batch);
         }
@@ -220,7 +231,11 @@ mod tests {
         let batch = Batch {
             trajectories: (0..16)
                 .map(|_| Trajectory {
-                    steps: vec![Step { state: vec![0.5], action: 0, logp: -0.69 }],
+                    steps: vec![Step {
+                        state: vec![0.5],
+                        action: 0,
+                        logp: -0.69,
+                    }],
                     reward: 2.0,
                 })
                 .collect(),
@@ -238,12 +253,18 @@ mod tests {
         let before = trainer.policy.clone();
         let stats = trainer.update(&Batch::default());
         assert_eq!(stats.pi_iters, 0);
-        assert_eq!(trainer.policy.logits(&[0.1, 0.2]), before.logits(&[0.1, 0.2]));
+        assert_eq!(
+            trainer.policy.logits(&[0.1, 0.2]),
+            before.logits(&[0.1, 0.2])
+        );
     }
 
     #[test]
     fn kl_early_stopping_bounds_iterations() {
-        let mut config = PpoConfig { target_kl: 1e-9, ..Default::default() };
+        let mut config = PpoConfig {
+            target_kl: 1e-9,
+            ..Default::default()
+        };
         config.pi_lr = 0.1; // big steps force KL past the threshold fast
         let mut trainer = PpoTrainer::new(1, config, 5);
         let mut rng = StdRng::seed_from_u64(1);
@@ -252,11 +273,18 @@ mod tests {
             let state = vec![0.3f32];
             let (action, logp) = trainer.policy.sample(&state, &mut rng);
             batch.trajectories.push(Trajectory {
-                steps: vec![Step { state, action, logp }],
+                steps: vec![Step {
+                    state,
+                    action,
+                    logp,
+                }],
                 reward: 1.0,
             });
         }
         let stats = trainer.update(&batch);
-        assert!(stats.pi_iters < config.train_pi_iters, "early stop expected");
+        assert!(
+            stats.pi_iters < config.train_pi_iters,
+            "early stop expected"
+        );
     }
 }

@@ -3,8 +3,13 @@
 //! PPO epochs need many independent episodes (the paper collects 100
 //! trajectories per model update). Episodes are embarrassingly parallel:
 //! each worker owns a private simulator and reads a shared immutable policy
-//! snapshot. `crossbeam::scope` keeps lifetimes simple and the output is
-//! index-ordered, so results are identical regardless of worker count.
+//! snapshot. Workers claim indices from a shared atomic counter
+//! (work-stealing), so uneven episode lengths — rejection-heavy episodes
+//! simulate many more scheduling points — never leave a thread idle behind
+//! a static chunk assignment. The output is index-ordered, so results are
+//! identical regardless of worker count or claim interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Run `f(0..n)` across `workers` threads and return results in index order.
 ///
@@ -22,26 +27,43 @@ where
     if workers == 1 {
         return (0..n).map(f).collect();
     }
+    let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(workers);
-    crossbeam::scope(|scope| {
-        for (w, slice) in slots.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (off, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(f(w * chunk + off));
-                }
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (f, next) = (&f, &next);
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        done.push((i, f(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("rollout worker panicked") {
+                slots[i] = Some(value);
+            }
         }
-    })
-    .expect("rollout worker panicked");
-    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all indices claimed"))
+        .collect()
 }
 
 /// A sensible default worker count: the machine's parallelism, capped so
 /// small batches do not over-spawn.
 pub fn default_workers(n_tasks: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     hw.clamp(1, n_tasks.max(1))
 }
 
@@ -73,9 +95,27 @@ mod tests {
 
     #[test]
     fn matches_sequential_for_stateful_computation() {
-        let seq: Vec<u64> = (0..50).map(|i| (i as u64).wrapping_mul(0x9E3779B9)).collect();
+        let seq: Vec<u64> = (0..50)
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B9))
+            .collect();
         let par = parallel_map(50, 8, |i| (i as u64).wrapping_mul(0x9E3779B9));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn uneven_task_durations_stay_index_ordered() {
+        // Task cost varies by ~100×: with work-stealing every worker keeps
+        // claiming until the counter drains, and ordering still holds.
+        let busy = |i: usize| {
+            let spins = if i.is_multiple_of(7) { 20_000 } else { 200 };
+            (0..spins).fold(i as u64, |acc, k| {
+                acc.wrapping_mul(31).wrapping_add(k as u64)
+            })
+        };
+        let seq: Vec<u64> = (0..40).map(busy).collect();
+        for workers in [2, 3, 8] {
+            assert_eq!(parallel_map(40, workers, busy), seq);
+        }
     }
 
     #[test]

@@ -90,12 +90,19 @@ mod tests {
     use super::*;
 
     fn step(action: u8) -> Step {
-        Step { state: vec![0.0], action, logp: -0.7 }
+        Step {
+            state: vec![0.0],
+            action,
+            logp: -0.7,
+        }
     }
 
     #[test]
     fn rejection_ratio_counts_rejects() {
-        let t = Trajectory { steps: vec![step(1), step(0), step(1), step(1)], reward: 0.0 };
+        let t = Trajectory {
+            steps: vec![step(1), step(0), step(1), step(1)],
+            reward: 0.0,
+        };
         assert_eq!(t.rejection_ratio(), 0.75);
         assert_eq!(Trajectory::default().rejection_ratio(), 0.0);
     }
@@ -104,8 +111,14 @@ mod tests {
     fn batch_aggregates() {
         let b = Batch {
             trajectories: vec![
-                Trajectory { steps: vec![step(1), step(0)], reward: 2.0 },
-                Trajectory { steps: vec![step(0), step(0)], reward: 4.0 },
+                Trajectory {
+                    steps: vec![step(1), step(0)],
+                    reward: 2.0,
+                },
+                Trajectory {
+                    steps: vec![step(0), step(0)],
+                    reward: 4.0,
+                },
             ],
         };
         assert_eq!(b.total_steps(), 4);

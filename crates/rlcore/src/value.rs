@@ -25,7 +25,9 @@ impl ValueNet {
         sizes.extend_from_slice(hidden);
         sizes.push(1);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        ValueNet { net: Mlp::new(&sizes, Activation::Tanh, Activation::Identity, &mut rng) }
+        ValueNet {
+            net: Mlp::new(&sizes, Activation::Tanh, Activation::Identity, &mut rng),
+        }
     }
 
     /// Estimated value of `state`.

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rlcore::{
-    compute_advantages, normalize, Batch, BinaryPolicy, PpoConfig, PpoTrainer, Step,
-    Trajectory, ValueNet, ACCEPT, REJECT,
+    compute_advantages, normalize, Batch, BinaryPolicy, PpoConfig, PpoTrainer, Step, Trajectory,
+    ValueNet, ACCEPT, REJECT,
 };
 
 fn state_strategy(dim: usize) -> impl Strategy<Value = Vec<f32>> {

@@ -26,7 +26,11 @@ pub struct SelectorNorm {
 impl SelectorNorm {
     /// Defaults for a machine of `total_procs` and the given max estimate.
     pub fn new(total_procs: u32, max_estimate: f64) -> Self {
-        SelectorNorm { max_wait: 86_400.0, max_estimate: max_estimate.max(1.0), total_procs }
+        SelectorNorm {
+            max_wait: 86_400.0,
+            max_estimate: max_estimate.max(1.0),
+            total_procs,
+        }
     }
 
     /// Write one job's features into `out` (exactly [`JOB_FEATURES`]
@@ -37,7 +41,11 @@ impl SelectorNorm {
         out.push(wait);
         out.push((job.estimate / self.max_estimate).clamp(0.0, 1.0) as f32);
         out.push((job.procs as f64 / self.total_procs as f64).clamp(0.0, 1.0) as f32);
-        out.push(if job.procs <= ctx.free_procs { 1.0 } else { 0.0 });
+        out.push(if job.procs <= ctx.free_procs {
+            1.0
+        } else {
+            0.0
+        });
         out.push((ctx.free_procs as f64 / self.total_procs as f64) as f32);
     }
 }
@@ -49,7 +57,11 @@ mod tests {
     #[test]
     fn features_have_fixed_width_and_range() {
         let norm = SelectorNorm::new(64, 7_200.0);
-        let ctx = PolicyContext { now: 1_000.0, total_procs: 64, free_procs: 32 };
+        let ctx = PolicyContext {
+            now: 1_000.0,
+            total_procs: 64,
+            free_procs: 32,
+        };
         let job = Job::new(1, 400.0, 100.0, 3_600.0, 16);
         let mut out = Vec::new();
         norm.job_features(&job, &ctx, &mut out);
@@ -62,7 +74,11 @@ mod tests {
     #[test]
     fn fits_flag_flips() {
         let norm = SelectorNorm::new(64, 7_200.0);
-        let ctx = PolicyContext { now: 0.0, total_procs: 64, free_procs: 8 };
+        let ctx = PolicyContext {
+            now: 0.0,
+            total_procs: 64,
+            free_procs: 8,
+        };
         let job = Job::new(1, 0.0, 100.0, 3_600.0, 16);
         let mut out = Vec::new();
         norm.job_features(&job, &ctx, &mut out);

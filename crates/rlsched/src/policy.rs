@@ -50,14 +50,15 @@ impl SelectorNet {
         self.net.forward(&buf)[0]
     }
 
-    /// Logits for the first [`MAX_SLOTS`] queue entries.
-    pub fn logits(&self, queue: &[Job], ctx: &PolicyContext) -> Vec<f32> {
+    /// Logits for the first [`MAX_SLOTS`] queue entries (`queue` holds
+    /// indices into `jobs`, as in [`SchedulingPolicy::select`]).
+    pub fn logits(&self, queue: &[usize], jobs: &[Job], ctx: &PolicyContext) -> Vec<f32> {
         let n = queue.len().min(MAX_SLOTS);
         let mut buf = Vec::with_capacity(JOB_FEATURES);
         (0..n)
             .map(|i| {
                 buf.clear();
-                self.norm.job_features(&queue[i], ctx, &mut buf);
+                self.norm.job_features(&jobs[queue[i]], ctx, &mut buf);
                 self.net.forward(&buf)[0]
             })
             .collect()
@@ -99,12 +100,22 @@ pub struct SelectorPolicy<'a> {
 impl<'a> SelectorPolicy<'a> {
     /// A stochastic (training) selector.
     pub fn stochastic(net: &'a SelectorNet, seed: u64) -> Self {
-        SelectorPolicy { net, stochastic: true, rng: StdRng::seed_from_u64(seed), steps: Vec::new() }
+        SelectorPolicy {
+            net,
+            stochastic: true,
+            rng: StdRng::seed_from_u64(seed),
+            steps: Vec::new(),
+        }
     }
 
     /// A greedy (deployment) selector.
     pub fn greedy(net: &'a SelectorNet) -> Self {
-        SelectorPolicy { net, stochastic: false, rng: StdRng::seed_from_u64(0), steps: Vec::new() }
+        SelectorPolicy {
+            net,
+            stochastic: false,
+            rng: StdRng::seed_from_u64(0),
+            steps: Vec::new(),
+        }
     }
 }
 
@@ -114,8 +125,8 @@ impl SchedulingPolicy for SelectorPolicy<'_> {
         -self.net.logit(job, ctx) as f64
     }
 
-    fn select(&mut self, queue: &[Job], ctx: &PolicyContext) -> usize {
-        let logits = self.net.logits(queue, ctx);
+    fn select(&mut self, queue: &[usize], jobs: &[Job], ctx: &PolicyContext) -> usize {
+        let logits = self.net.logits(queue, jobs, ctx);
         let lp = log_softmax(&logits);
         let action = if self.stochastic {
             let u: f32 = self.rng.random();
@@ -138,10 +149,15 @@ impl SchedulingPolicy for SelectorPolicy<'_> {
         };
         let n = logits.len();
         let mut feats = Vec::with_capacity(n * JOB_FEATURES);
-        for job in queue.iter().take(n) {
-            self.net.norm.job_features(job, ctx, &mut feats);
+        for &jidx in queue.iter().take(n) {
+            self.net.norm.job_features(&jobs[jidx], ctx, &mut feats);
         }
-        self.steps.push(SelStep { feats, n_slots: n, action, logp: lp[action] });
+        self.steps.push(SelStep {
+            feats,
+            n_slots: n,
+            action,
+            logp: lp[action],
+        });
         action
     }
 
@@ -174,8 +190,8 @@ impl SchedulingPolicy for TrainedScheduler {
         -self.net.logit(job, ctx) as f64
     }
 
-    fn select(&mut self, queue: &[Job], ctx: &PolicyContext) -> usize {
-        let logits = self.net.logits(queue, ctx);
+    fn select(&mut self, queue: &[usize], jobs: &[Job], ctx: &PolicyContext) -> usize {
+        let logits = self.net.logits(queue, jobs, ctx);
         logits
             .iter()
             .enumerate()
@@ -193,18 +209,32 @@ impl SchedulingPolicy for TrainedScheduler {
 mod tests {
     use super::*;
 
-    fn setup() -> (SelectorNet, Vec<Job>, PolicyContext) {
+    fn setup() -> (SelectorNet, Vec<Job>, Vec<usize>, PolicyContext) {
         let net = SelectorNet::new(SelectorNorm::new(32, 7_200.0), 5);
-        let queue: Vec<Job> =
-            (0..6).map(|i| Job::new(i + 1, 0.0, 100.0 * (i + 1) as f64, 200.0 * (i + 1) as f64, 1 + i as u32)).collect();
-        let ctx = PolicyContext { now: 500.0, total_procs: 32, free_procs: 16 };
-        (net, queue, ctx)
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| {
+                Job::new(
+                    i + 1,
+                    0.0,
+                    100.0 * (i + 1) as f64,
+                    200.0 * (i + 1) as f64,
+                    1 + i as u32,
+                )
+            })
+            .collect();
+        let queue: Vec<usize> = (0..jobs.len()).collect();
+        let ctx = PolicyContext {
+            now: 500.0,
+            total_procs: 32,
+            free_procs: 16,
+        };
+        (net, jobs, queue, ctx)
     }
 
     #[test]
     fn greedy_picks_argmax_logit() {
-        let (net, queue, ctx) = setup();
-        let logits = net.logits(&queue, &ctx);
+        let (net, jobs, queue, ctx) = setup();
+        let logits = net.logits(&queue, &jobs, &ctx);
         let best = logits
             .iter()
             .enumerate()
@@ -212,7 +242,7 @@ mod tests {
             .unwrap()
             .0;
         let mut p = SelectorPolicy::greedy(&net);
-        assert_eq!(p.select(&queue, &ctx), best);
+        assert_eq!(p.select(&queue, &jobs, &ctx), best);
         assert_eq!(p.steps.len(), 1);
         assert_eq!(p.steps[0].n_slots, 6);
         assert_eq!(p.steps[0].feats.len(), 6 * JOB_FEATURES);
@@ -220,39 +250,54 @@ mod tests {
 
     #[test]
     fn stochastic_selection_matches_softmax_frequencies() {
-        let (net, queue, ctx) = setup();
-        let lp = log_softmax(&net.logits(&queue, &ctx));
+        let (net, jobs, queue, ctx) = setup();
+        let lp = log_softmax(&net.logits(&queue, &jobs, &ctx));
         let mut p = SelectorPolicy::stochastic(&net, 1);
         let n = 20_000;
         let mut counts = vec![0usize; queue.len()];
         for _ in 0..n {
-            counts[p.select(&queue, &ctx)] += 1;
+            counts[p.select(&queue, &jobs, &ctx)] += 1;
         }
         for (i, c) in counts.iter().enumerate() {
             let freq = *c as f64 / n as f64;
             let prob = lp[i].exp() as f64;
-            assert!((freq - prob).abs() < 0.02, "slot {i}: freq {freq} vs prob {prob}");
+            assert!(
+                (freq - prob).abs() < 0.02,
+                "slot {i}: freq {freq} vs prob {prob}"
+            );
         }
     }
 
     #[test]
     fn queue_longer_than_window_is_cut() {
         let net = SelectorNet::new(SelectorNorm::new(8, 1_000.0), 2);
-        let queue: Vec<Job> =
-            (0..(MAX_SLOTS as u64 + 10)).map(|i| Job::new(i + 1, 0.0, 60.0, 60.0, 1)).collect();
-        let ctx = PolicyContext { now: 0.0, total_procs: 8, free_procs: 8 };
+        let jobs: Vec<Job> = (0..(MAX_SLOTS as u64 + 10))
+            .map(|i| Job::new(i + 1, 0.0, 60.0, 60.0, 1))
+            .collect();
+        let queue: Vec<usize> = (0..jobs.len()).collect();
+        let ctx = PolicyContext {
+            now: 0.0,
+            total_procs: 8,
+            free_procs: 8,
+        };
         let mut p = SelectorPolicy::greedy(&net);
-        let pick = p.select(&queue, &ctx);
+        let pick = p.select(&queue, &jobs, &ctx);
         assert!(pick < MAX_SLOTS);
         assert_eq!(p.steps[0].n_slots, MAX_SLOTS);
     }
 
     #[test]
     fn trained_scheduler_is_deterministic_and_matches_greedy() {
-        let (net, queue, ctx) = setup();
+        let (net, jobs, queue, ctx) = setup();
         let mut frozen = TrainedScheduler::new(net.clone());
         let mut greedy = SelectorPolicy::greedy(&net);
-        assert_eq!(frozen.select(&queue, &ctx), greedy.select(&queue, &ctx));
-        assert_eq!(frozen.select(&queue, &ctx), frozen.select(&queue, &ctx));
+        assert_eq!(
+            frozen.select(&queue, &jobs, &ctx),
+            greedy.select(&queue, &jobs, &ctx)
+        );
+        assert_eq!(
+            frozen.select(&queue, &jobs, &ctx),
+            frozen.select(&queue, &jobs, &ctx)
+        );
     }
 }

@@ -120,7 +120,16 @@ impl SelectorTrainer {
         let vf_opt = Adam::new(config.lr, value.param_count());
         let sim = Simulator::new(trace.procs, SimConfig::default());
         let rng = StdRng::seed_from_u64(config.seed ^ 0x5E1EC7);
-        SelectorTrainer { config, net, value, pi_opt, vf_opt, trace, sim, rng }
+        SelectorTrainer {
+            config,
+            net,
+            value,
+            pi_opt,
+            vf_opt,
+            trace,
+            sim,
+            rng,
+        }
     }
 
     /// The current network (e.g. for freezing mid-training).
@@ -138,11 +147,17 @@ impl SelectorTrainer {
         let max_start = self.trace.len().saturating_sub(self.config.seq_len);
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            let start =
-                if max_start == 0 { 0 } else { self.rng.random_range(0..=max_start) };
+            let start = if max_start == 0 {
+                0
+            } else {
+                self.rng.random_range(0..=max_start)
+            };
             let jobs = self.trace.sequence(start, self.config.seq_len);
             // Reference: SJF on the identical sequence.
-            let ref_metric = self.sim.run(&jobs, &mut policies::Sjf).metric(self.config.metric);
+            let ref_metric = self
+                .sim
+                .run(&jobs, &mut policies::Sjf)
+                .metric(self.config.metric);
             let seed = self
                 .config
                 .seed
@@ -156,7 +171,10 @@ impl SelectorTrainer {
             } else {
                 ((ref_metric - rl_metric) / ref_metric) as f32
             };
-            out.push(SelTrajectory { steps: std::mem::take(&mut policy.steps), reward });
+            out.push(SelTrajectory {
+                steps: std::mem::take(&mut policy.steps),
+                reward,
+            });
         }
         out
     }
@@ -166,7 +184,10 @@ impl SelectorTrainer {
         let trajectories = self.rollout(epoch);
         let n_steps: usize = trajectories.iter().map(|t| t.steps.len()).sum();
         if n_steps == 0 {
-            return SelectorEpoch { epoch, mean_reward: 0.0 };
+            return SelectorEpoch {
+                epoch,
+                mean_reward: 0.0,
+            };
         }
 
         // Advantages: terminal reward minus the critic baseline, normalized.
@@ -210,9 +231,10 @@ impl SelectorTrainer {
                         if grad == 0.0 {
                             continue;
                         }
-                        self.net
-                            .net()
-                            .forward_train(&s.feats[j * JOB_FEATURES..(j + 1) * JOB_FEATURES], &mut tape);
+                        self.net.net().forward_train(
+                            &s.feats[j * JOB_FEATURES..(j + 1) * JOB_FEATURES],
+                            &mut tape,
+                        );
                         self.net.net_mut().backward(&tape, &[grad]);
                     }
                 }
@@ -240,20 +262,24 @@ impl SelectorTrainer {
     /// Train for the configured number of epochs; returns per-epoch mean
     /// rewards (the training curve).
     pub fn train(&mut self) -> Vec<SelectorEpoch> {
-        (0..self.config.epochs).map(|e| self.train_epoch(e)).collect()
+        (0..self.config.epochs)
+            .map(|e| self.train_epoch(e))
+            .collect()
     }
 
     /// Evaluate the current greedy policy vs. SJF over `n` sequences.
     pub fn evaluate(&self, n: usize, seq_len: usize, seed: u64) -> (f64, f64) {
-        let mut sampler =
-            workload::SequenceSampler::new(self.trace.clone(), seq_len, seed);
+        let mut sampler = workload::SequenceSampler::new(self.trace.clone(), seq_len, seed);
         let mut rl_sum = 0.0;
         let mut ref_sum = 0.0;
         for _ in 0..n {
             let (_, jobs) = sampler.sample();
             let mut greedy = SelectorPolicy::greedy(&self.net);
             rl_sum += self.sim.run(&jobs, &mut greedy).metric(self.config.metric);
-            ref_sum += self.sim.run(&jobs, &mut policies::Sjf).metric(self.config.metric);
+            ref_sum += self
+                .sim
+                .run(&jobs, &mut policies::Sjf)
+                .metric(self.config.metric);
         }
         (rl_sum / n as f64, ref_sum / n as f64)
     }
@@ -281,7 +307,12 @@ mod tests {
 
     #[test]
     fn epoch_trains_without_nan() {
-        let config = SelectorConfig { batch_size: 4, seq_len: 24, epochs: 1, ..Default::default() };
+        let config = SelectorConfig {
+            batch_size: 4,
+            seq_len: 24,
+            epochs: 1,
+            ..Default::default()
+        };
         let mut t = SelectorTrainer::new(trace(), config);
         let e = t.train_epoch(0);
         assert!(e.mean_reward.is_finite());
@@ -292,7 +323,12 @@ mod tests {
 
     #[test]
     fn training_is_deterministic() {
-        let config = SelectorConfig { batch_size: 4, seq_len: 24, epochs: 2, ..Default::default() };
+        let config = SelectorConfig {
+            batch_size: 4,
+            seq_len: 24,
+            epochs: 2,
+            ..Default::default()
+        };
         let run = || {
             let mut t = SelectorTrainer::new(trace(), config);
             t.train().iter().map(|e| e.mean_reward).collect::<Vec<_>>()

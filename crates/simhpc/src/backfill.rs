@@ -27,7 +27,9 @@ pub fn count_backfillable(
     t_res: f64,
     extra: u32,
 ) -> u32 {
-    queue.filter(|j| can_backfill(j, now, cluster, t_res, extra)).count() as u32
+    queue
+        .filter(|j| can_backfill(j, now, cluster, t_res, extra))
+        .count() as u32
 }
 
 #[cfg(test)]
@@ -45,7 +47,7 @@ mod tests {
         let (t_res, extra) = c.reservation(6, 0.0).unwrap();
         assert_eq!(t_res, 50.0);
         assert_eq!(extra, 4); // 2 free + 8 released - 6 needed
-        // 2-proc 30 s job: finishes before t=50 → ok.
+                              // 2-proc 30 s job: finishes before t=50 → ok.
         assert!(can_backfill(&job(2, 30.0), 0.0, &c, t_res, extra));
         // 2-proc 100 s job: outlives the reservation but fits the 4 extra.
         assert!(can_backfill(&job(2, 100.0), 0.0, &c, t_res, extra));

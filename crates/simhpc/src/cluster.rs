@@ -41,20 +41,31 @@ pub struct RunningJob {
 /// the scheduler-side view uses `est_end` (estimates), which is what EASY
 /// backfilling reservations are computed from (§3.2: actual runtime drives
 /// completion, estimates drive scheduling).
+/// Running jobs live in a slot map: `slots[i]` is either an executing job
+/// or vacant, vacant slots are recycled through a free list, and the
+/// completion heap keys `(actual end, slot)` so releasing a completed job
+/// is O(log n) instead of an O(n) scan per completion.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     total: u32,
     free: u32,
     // Min-heap on actual completion time.
-    completions: BinaryHeap<Reverse<(F64Ord, u64)>>,
-    running: Vec<RunningJob>,
+    completions: BinaryHeap<Reverse<(F64Ord, usize)>>,
+    slots: Vec<Option<RunningJob>>,
+    vacant: Vec<usize>,
 }
 
 impl Cluster {
     /// A cluster with `total` free processors.
     pub fn new(total: u32) -> Self {
         assert!(total > 0, "cluster needs at least one processor");
-        Cluster { total, free: total, completions: BinaryHeap::new(), running: Vec::new() }
+        Cluster {
+            total,
+            free: total,
+            completions: BinaryHeap::new(),
+            slots: Vec::new(),
+            vacant: Vec::new(),
+        }
     }
 
     /// Total processors.
@@ -72,19 +83,39 @@ impl Cluster {
         procs <= self.free
     }
 
-    /// Jobs currently executing.
-    pub fn running(&self) -> &[RunningJob] {
-        &self.running
+    /// Jobs currently executing (in unspecified order).
+    pub fn running(&self) -> impl Iterator<Item = &RunningJob> + '_ {
+        self.slots.iter().flatten()
     }
 
     /// Start a job now. Panics (debug) if resources are insufficient —
     /// callers must check [`Cluster::can_run`] first.
     pub fn start(&mut self, id: u64, procs: u32, now: f64, runtime: f64, estimate: f64) {
-        debug_assert!(self.can_run(procs), "over-allocation: {} > {}", procs, self.free);
+        debug_assert!(
+            self.can_run(procs),
+            "over-allocation: {} > {}",
+            procs,
+            self.free
+        );
         self.free -= procs;
         let end = now + runtime;
-        self.running.push(RunningJob { id, procs, end, est_end: now + estimate });
-        self.completions.push(Reverse((F64Ord(end), id)));
+        let job = RunningJob {
+            id,
+            procs,
+            end,
+            est_end: now + estimate,
+        };
+        let slot = match self.vacant.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(job);
+                slot
+            }
+            None => {
+                self.slots.push(Some(job));
+                self.slots.len() - 1
+            }
+        };
+        self.completions.push(Reverse((F64Ord(end), slot)));
     }
 
     /// Earliest actual completion time of any running job.
@@ -94,14 +125,16 @@ impl Cluster {
 
     /// Release every job whose actual completion time is ≤ `now`.
     pub fn release_up_to(&mut self, now: f64) {
-        while let Some(Reverse((F64Ord(t), id))) = self.completions.peek().copied() {
+        while let Some(Reverse((F64Ord(t), slot))) = self.completions.peek().copied() {
             if t > now {
                 break;
             }
             self.completions.pop();
-            if let Some(pos) = self.running.iter().position(|r| r.id == id) {
-                self.free += self.running.swap_remove(pos).procs;
-            }
+            let done = self.slots[slot]
+                .take()
+                .expect("completion heap pointed at a vacant slot");
+            self.free += done.procs;
+            self.vacant.push(slot);
         }
         debug_assert!(self.free <= self.total);
     }
@@ -114,18 +147,38 @@ impl Cluster {
     /// if they finish (by estimate) before the reservation or fit into the
     /// extra processors.
     pub fn reservation(&self, procs: u32, now: f64) -> Option<(f64, u32)> {
+        let mut scratch = Vec::new();
+        self.reservation_with(procs, now, &mut scratch)
+    }
+
+    /// [`Cluster::reservation`] using caller-provided scratch storage for
+    /// the sorted release list, so the simulator's hot loop does not
+    /// allocate. All releases sharing the crossing instant are absorbed
+    /// before the extra-processor count is taken, which keeps the result
+    /// independent of slot iteration order.
+    pub fn reservation_with(
+        &self,
+        procs: u32,
+        now: f64,
+        scratch: &mut Vec<(f64, u32)>,
+    ) -> Option<(f64, u32)> {
         if self.can_run(procs) {
             return Some((now, self.free - procs));
         }
         if procs > self.total {
             return None;
         }
-        let mut releases: Vec<(f64, u32)> =
-            self.running.iter().map(|r| (r.est_end.max(now), r.procs)).collect();
-        releases.sort_by(|a, b| a.0.total_cmp(&b.0));
+        scratch.clear();
+        scratch.extend(self.running().map(|r| (r.est_end.max(now), r.procs)));
+        scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         let mut free = self.free;
-        for (t, p) in releases {
-            free += p;
+        let mut i = 0;
+        while i < scratch.len() {
+            let t = scratch[i].0;
+            while i < scratch.len() && scratch[i].0 == t {
+                free += scratch[i].1;
+                i += 1;
+            }
             if free >= procs {
                 return Some((t, free - procs));
             }

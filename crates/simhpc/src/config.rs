@@ -21,14 +21,21 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { backfill: false, max_interval: 600.0, max_rejections: 72 }
+        SimConfig {
+            backfill: false,
+            max_interval: 600.0,
+            max_rejections: 72,
+        }
     }
 }
 
 impl SimConfig {
     /// Paper defaults with backfilling enabled (§4.4.5).
     pub fn with_backfill() -> Self {
-        SimConfig { backfill: true, ..Default::default() }
+        SimConfig {
+            backfill: true,
+            ..Default::default()
+        }
     }
 }
 

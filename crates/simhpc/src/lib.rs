@@ -78,8 +78,10 @@ mod tests {
     #[test]
     fn serial_execution_when_cluster_too_small() {
         // Two 4-proc jobs on a 4-proc machine: strictly serial.
-        let jobs =
-            vec![Job::new(1, 0.0, 100.0, 100.0, 4), Job::new(2, 0.0, 100.0, 100.0, 4)];
+        let jobs = vec![
+            Job::new(1, 0.0, 100.0, 100.0, 4),
+            Job::new(2, 0.0, 100.0, 100.0, 4),
+        ];
         let r = sim(4).run(&jobs, &mut Fcfs);
         let o1 = r.outcomes.iter().find(|o| o.id == 1).unwrap();
         let o2 = r.outcomes.iter().find(|o| o.id == 2).unwrap();
@@ -131,7 +133,10 @@ mod tests {
     fn rejection_delays_job_until_next_arrival() {
         // Inspector rejects job 1 once at t=0; next scheduling point is the
         // arrival of job 2 at t=5, where SJF then prefers job 2.
-        let jobs = vec![Job::new(1, 0.0, 100.0, 100.0, 4), Job::new(2, 5.0, 10.0, 10.0, 4)];
+        let jobs = vec![
+            Job::new(1, 0.0, 100.0, 100.0, 4),
+            Job::new(2, 5.0, 10.0, 10.0, 4),
+        ];
         let mut first = true;
         let mut inspector = |obs: &Observation| {
             let reject = first && obs.job.id == 1;
@@ -150,8 +155,15 @@ mod tests {
     fn rejection_cap_is_enforced() {
         // An always-reject inspector: every job still completes because the
         // cap cuts inspection off after max_rejections.
-        let jobs = vec![Job::new(1, 0.0, 10.0, 10.0, 1), Job::new(2, 1.0, 10.0, 10.0, 1)];
-        let config = SimConfig { max_rejections: 3, max_interval: 100.0, backfill: false };
+        let jobs = vec![
+            Job::new(1, 0.0, 10.0, 10.0, 1),
+            Job::new(2, 1.0, 10.0, 10.0, 1),
+        ];
+        let config = SimConfig {
+            max_rejections: 3,
+            max_interval: 100.0,
+            backfill: false,
+        };
         let s = Simulator::new(2, config);
         let mut always = |_: &Observation| true;
         let r = s.run_inspected(&jobs, &mut Sjf, &mut always);
@@ -167,7 +179,11 @@ mod tests {
     #[test]
     fn max_interval_bounds_rejection_idle() {
         let jobs = vec![Job::new(1, 0.0, 10.0, 10.0, 1)];
-        let config = SimConfig { max_rejections: 1, max_interval: 600.0, backfill: false };
+        let config = SimConfig {
+            max_rejections: 1,
+            max_interval: 600.0,
+            backfill: false,
+        };
         let mut once = |_: &Observation| true;
         let r = Simulator::new(2, config).run_inspected(&jobs, &mut Sjf, &mut once);
         assert_eq!(r.outcomes[0].start, 600.0);
@@ -237,7 +253,11 @@ mod tests {
         let r = s.run(&jobs, &mut Fcfs);
         let find = |id: u64| *r.outcomes.iter().find(|o| o.id == id).unwrap();
         assert_eq!(find(2).start, 100.0);
-        assert_eq!(find(3).start, 150.0, "job 3 must not backfill; runs after job 2");
+        assert_eq!(
+            find(3).start,
+            150.0,
+            "job 3 must not backfill; runs after job 2"
+        );
         assert!(!find(3).backfilled);
     }
 
@@ -251,7 +271,11 @@ mod tests {
         let r = sim(10).run(&jobs, &mut Fcfs);
         let find = |id: u64| *r.outcomes.iter().find(|o| o.id == id).unwrap();
         assert_eq!(find(2).start, 100.0);
-        assert_eq!(find(3).start, 150.0, "no backfilling: job 3 runs after job 2");
+        assert_eq!(
+            find(3).start,
+            150.0,
+            "no backfilling: job 3 runs after job 2"
+        );
     }
 
     #[test]

@@ -99,12 +99,19 @@ impl SimResult {
 
     /// Maximal bounded slowdown.
     pub fn mbsld(&self) -> f64 {
-        self.outcomes.iter().map(JobOutcome::bsld).fold(0.0, f64::max)
+        self.outcomes
+            .iter()
+            .map(JobOutcome::bsld)
+            .fold(0.0, f64::max)
     }
 
     /// Makespan: last completion − first submission.
     pub fn makespan(&self) -> f64 {
-        let first = self.outcomes.iter().map(|o| o.submit).fold(f64::INFINITY, f64::min);
+        let first = self
+            .outcomes
+            .iter()
+            .map(|o| o.submit)
+            .fold(f64::INFINITY, f64::min);
         let last = self.outcomes.iter().map(|o| o.end).fold(0.0, f64::max);
         if self.outcomes.is_empty() {
             0.0
@@ -120,7 +127,11 @@ impl SimResult {
         if span <= 0.0 {
             return 0.0;
         }
-        let busy: f64 = self.outcomes.iter().map(|o| o.runtime * o.procs as f64).sum();
+        let busy: f64 = self
+            .outcomes
+            .iter()
+            .map(|o| o.runtime * o.procs as f64)
+            .sum();
         busy / (span * self.total_procs as f64)
     }
 
@@ -203,7 +214,12 @@ mod tests {
 
     #[test]
     fn empty_result_is_zero() {
-        let r = SimResult { outcomes: vec![], total_procs: 4, inspections: 0, rejections: 0 };
+        let r = SimResult {
+            outcomes: vec![],
+            total_procs: 4,
+            inspections: 0,
+            rejections: 0,
+        };
         assert_eq!(r.wait(), 0.0);
         assert_eq!(r.util(), 0.0);
         assert_eq!(r.rejection_ratio(), 0.0);

@@ -26,17 +26,21 @@ pub trait SchedulingPolicy {
     /// Score a waiting job; lower runs first.
     fn score(&mut self, job: &Job, ctx: &PolicyContext) -> f64;
 
-    /// Select the next job from a non-empty queue, returning its index.
+    /// Select the next job from a non-empty queue, returning its position
+    /// *within the queue*.
     ///
-    /// The default is the priority-heuristic rule: lowest score, ties
-    /// broken by smaller job id (the paper's convention). Learned policies
-    /// that need a *joint* view of the queue (e.g. an RLScheduler-style
-    /// softmax selector) override this.
-    fn select(&mut self, queue: &[Job], ctx: &PolicyContext) -> usize {
+    /// The queue is passed as indices into `jobs` (the simulated sequence)
+    /// rather than as a materialized `Vec<Job>`, so the simulator's hot
+    /// loop never clones the queue. The default is the priority-heuristic
+    /// rule: lowest score, ties broken by smaller job id (the paper's
+    /// convention). Learned policies that need a *joint* view of the queue
+    /// (e.g. an RLScheduler-style softmax selector) override this.
+    fn select(&mut self, queue: &[usize], jobs: &[Job], ctx: &PolicyContext) -> usize {
         debug_assert!(!queue.is_empty());
         let mut best = 0usize;
         let mut best_key = (f64::INFINITY, u64::MAX);
-        for (pos, job) in queue.iter().enumerate() {
+        for (pos, &jidx) in queue.iter().enumerate() {
+            let job = &jobs[jidx];
             let key = (self.score(job, ctx), job.id);
             if key.0 < best_key.0 || (key.0 == best_key.0 && key.1 < best_key.1) {
                 best_key = key;

@@ -88,6 +88,11 @@ struct Sim<'a> {
     outcomes: Vec<JobOutcome>,
     inspections: u64,
     total_rejections: u64,
+    /// Reusable storage for [`Observation::queue`], reclaimed after every
+    /// inspection so the steady-state loop does not allocate.
+    obs_scratch: Vec<QueueEntry>,
+    /// Reusable storage for [`Cluster::reservation_with`]'s release list.
+    res_scratch: Vec<(f64, u32)>,
 }
 
 impl<'a> Sim<'a> {
@@ -103,6 +108,8 @@ impl<'a> Sim<'a> {
             outcomes: Vec::with_capacity(jobs.len()),
             inspections: 0,
             total_rejections: 0,
+            obs_scratch: Vec::new(),
+            res_scratch: Vec::new(),
         }
     }
 
@@ -130,7 +137,11 @@ impl<'a> Sim<'a> {
             if self.rejections[jidx] < self.config.max_rejections {
                 self.inspections += 1;
                 let obs = self.observe(jidx);
-                if inspector.inspect(&obs) {
+                let rejected = inspector.inspect(&obs);
+                // Reclaim the observation's queue buffer for the next
+                // scheduling point.
+                self.obs_scratch = obs.queue;
+                if rejected {
                     self.total_rejections += 1;
                     self.rejections[jidx] += 1;
                     self.advance_after_rejection();
@@ -150,8 +161,7 @@ impl<'a> Sim<'a> {
     }
 
     fn admit_arrivals(&mut self) {
-        while self.next_arrival < self.jobs.len()
-            && self.jobs[self.next_arrival].submit <= self.now
+        while self.next_arrival < self.jobs.len() && self.jobs[self.next_arrival].submit <= self.now
         {
             self.queue.push(self.next_arrival);
             self.next_arrival += 1;
@@ -160,25 +170,39 @@ impl<'a> Sim<'a> {
 
     /// Index *within the queue* of the job the policy selects (for
     /// heuristics: lowest score, ties broken by smaller job id).
+    ///
+    /// A policy returning an out-of-range index is a bug; it fails loudly
+    /// in every build profile rather than being clamped to a valid job.
     fn select(&mut self, policy: &mut dyn SchedulingPolicy) -> usize {
         let ctx = PolicyContext {
             now: self.now,
             total_procs: self.cluster.total_procs(),
             free_procs: self.cluster.free_procs(),
         };
-        let queue_jobs: Vec<Job> = self.queue.iter().map(|&j| self.jobs[j]).collect();
-        let pos = policy.select(&queue_jobs, &ctx);
-        debug_assert!(pos < self.queue.len(), "policy selected an out-of-queue index");
-        pos.min(self.queue.len() - 1)
+        let pos = policy.select(&self.queue, self.jobs, &ctx);
+        if pos >= self.queue.len() {
+            panic!(
+                "policy {:?} selected queue position {pos}, but the queue holds {} jobs",
+                policy.name(),
+                self.queue.len(),
+            );
+        }
+        pos
     }
 
-    fn observe(&self, jidx: usize) -> Observation {
+    fn observe(&mut self, jidx: usize) -> Observation {
         let job = self.jobs[jidx];
         let runnable = self.cluster.can_run(job.procs);
         let backfillable = if self.config.backfill && !runnable {
-            match self.cluster.reservation(job.procs, self.now) {
+            match self
+                .cluster
+                .reservation_with(job.procs, self.now, &mut self.res_scratch)
+            {
                 Some((t_res, extra)) => count_backfillable(
-                    self.queue.iter().filter(|&&q| q != jidx).map(|&q| self.jobs[q]),
+                    self.queue
+                        .iter()
+                        .filter(|&&q| q != jidx)
+                        .map(|&q| self.jobs[q]),
                     self.now,
                     &self.cluster,
                     t_res,
@@ -189,20 +213,17 @@ impl<'a> Sim<'a> {
         } else {
             0
         };
-        let queue: Vec<QueueEntry> = self
-            .queue
-            .iter()
-            .filter(|&&q| q != jidx)
-            .map(|&q| {
-                let j = &self.jobs[q];
-                QueueEntry {
-                    id: j.id,
-                    wait: self.now - j.submit,
-                    estimate: j.estimate,
-                    procs: j.procs,
-                }
-            })
-            .collect();
+        let mut queue = std::mem::take(&mut self.obs_scratch);
+        queue.clear();
+        queue.extend(self.queue.iter().filter(|&&q| q != jidx).map(|&q| {
+            let j = &self.jobs[q];
+            QueueEntry {
+                id: j.id,
+                wait: self.now - j.submit,
+                estimate: j.estimate,
+                procs: j.procs,
+            }
+        }));
         Observation {
             now: self.now,
             job,
@@ -265,14 +286,17 @@ impl<'a> Sim<'a> {
     /// committed job's reservation, in policy-priority order.
     fn backfill_pass(&mut self, committed: &Job, policy: &mut dyn SchedulingPolicy) {
         loop {
-            let Some((t_res, extra)) = self.cluster.reservation(committed.procs, self.now) else {
+            let Some((t_res, extra)) =
+                self.cluster
+                    .reservation_with(committed.procs, self.now, &mut self.res_scratch)
+            else {
                 return;
             };
             let ctx = PolicyContext {
-            now: self.now,
-            total_procs: self.cluster.total_procs(),
-            free_procs: self.cluster.free_procs(),
-        };
+                now: self.now,
+                total_procs: self.cluster.total_procs(),
+                free_procs: self.cluster.free_procs(),
+            };
             let mut best: Option<(usize, (f64, u64))> = None;
             for (pos, &jidx) in self.queue.iter().enumerate() {
                 let j = &self.jobs[jidx];
@@ -300,7 +324,8 @@ impl<'a> Sim<'a> {
         policy: &mut dyn SchedulingPolicy,
     ) {
         debug_assert!(self.cluster.can_run(job.procs));
-        self.cluster.start(job.id, job.procs, self.now, job.runtime, job.estimate);
+        self.cluster
+            .start(job.id, job.procs, self.now, job.runtime, job.estimate);
         policy.on_start(&job, self.now);
         self.outcomes.push(JobOutcome {
             id: job.id,

@@ -15,8 +15,11 @@ enum Op {
 fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
         prop_oneof![
-            (1u32..16, 1.0f64..500.0, 1.0f64..3.0)
-                .prop_map(|(procs, runtime, over)| Op::Start { procs, runtime, over }),
+            (1u32..16, 1.0f64..500.0, 1.0f64..3.0).prop_map(|(procs, runtime, over)| Op::Start {
+                procs,
+                runtime,
+                over
+            }),
             (1.0f64..400.0).prop_map(|dt| Op::Advance { dt }),
         ],
         1..60,
@@ -44,10 +47,10 @@ proptest! {
                 }
             }
             // Invariant: free + running allocations == total.
-            let running: u32 = c.running().iter().map(|r| r.procs).sum();
+            let running: u32 = c.running().map(|r| r.procs).sum();
             prop_assert_eq!(c.free_procs() + running, total);
             // Invariant: no completed job lingers.
-            prop_assert!(c.running().iter().all(|r| r.end > now));
+            prop_assert!(c.running().all(|r| r.end > now));
         }
         // Draining everything restores the full machine.
         c.release_up_to(f64::INFINITY);
@@ -72,7 +75,6 @@ proptest! {
             // Free at t_res (by estimates) = free now + all est_end <= t_res.
             let released: u32 = c
                 .running()
-                .iter()
                 .filter(|r| r.est_end <= t_res)
                 .map(|r| r.procs)
                 .sum();

@@ -1,0 +1,135 @@
+//! Property tests on the full simulator: for arbitrary job sets and both
+//! queue disciplines, with and without backfilling, the simulation conserves
+//! resources and respects causality.
+
+use proptest::prelude::*;
+use simhpc::{PolicyContext, SchedulingPolicy, SimConfig, SimResult, Simulator};
+use workload::Job;
+
+const TOTAL_PROCS: u32 = 8;
+
+/// Minimal local policies so this crate's tests stay independent of the
+/// `policies` crate (which depends on `simhpc`).
+struct Fcfs;
+impl SchedulingPolicy for Fcfs {
+    fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
+        job.submit
+    }
+    fn name(&self) -> &str {
+        "FCFS"
+    }
+}
+
+struct Sjf;
+impl SchedulingPolicy for Sjf {
+    fn score(&mut self, job: &Job, _ctx: &PolicyContext) -> f64 {
+        job.estimate
+    }
+    fn name(&self) -> &str {
+        "SJF"
+    }
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        // (submit gap, runtime, estimate overshoot, procs)
+        (
+            0.0f64..300.0,
+            1.0f64..2_000.0,
+            1.0f64..2.5,
+            1u32..=TOTAL_PROCS,
+        ),
+        1..40,
+    )
+    .prop_map(|specs| {
+        let mut submit = 0.0;
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (gap, runtime, over, procs))| {
+                submit += gap;
+                Job::new(i as u64 + 1, submit, runtime, runtime * over, procs)
+            })
+            .collect()
+    })
+}
+
+/// Sweep the outcome's start/end events in time order and check that the
+/// allocation never exceeds the machine.
+fn assert_never_over_allocated(result: &SimResult) {
+    // At equal timestamps the simulator releases completed jobs before
+    // starting new ones, so order releases (0) ahead of starts (1).
+    let mut events: Vec<(f64, u8, i64)> = Vec::new();
+    for o in &result.outcomes {
+        events.push((o.start, 1, o.procs as i64));
+        events.push((o.end, 0, -(o.procs as i64)));
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut in_use = 0i64;
+    for (t, _, delta) in events {
+        in_use += delta;
+        assert!(
+            (0..=TOTAL_PROCS as i64).contains(&in_use),
+            "allocation {in_use}/{TOTAL_PROCS} out of range at t={t}"
+        );
+    }
+    assert_eq!(in_use, 0, "all allocations must be returned");
+}
+
+fn check_invariants(jobs: &[Job], result: &SimResult) {
+    assert_eq!(
+        result.outcomes.len(),
+        jobs.len(),
+        "every job must finish exactly once"
+    );
+    for job in jobs {
+        let o = result
+            .outcomes
+            .iter()
+            .find(|o| o.id == job.id)
+            .unwrap_or_else(|| panic!("job {} missing from outcomes", job.id));
+        assert!(
+            o.start >= job.submit,
+            "job {} started at {} before submit {}",
+            job.id,
+            o.start,
+            job.submit
+        );
+        assert_eq!(o.runtime, job.runtime);
+        assert_eq!(o.procs, job.procs);
+        assert_eq!(o.end, o.start + o.runtime);
+    }
+    assert_never_over_allocated(result);
+}
+
+proptest! {
+    #[test]
+    fn fcfs_conserves_resources(jobs in jobs_strategy()) {
+        for config in [SimConfig::default(), SimConfig::with_backfill()] {
+            let sim = Simulator::new(TOTAL_PROCS, config);
+            let result = sim.run(&jobs, &mut Fcfs);
+            check_invariants(&jobs, &result);
+        }
+    }
+
+    #[test]
+    fn sjf_conserves_resources(jobs in jobs_strategy()) {
+        for config in [SimConfig::default(), SimConfig::with_backfill()] {
+            let sim = Simulator::new(TOTAL_PROCS, config);
+            let result = sim.run(&jobs, &mut Sjf);
+            check_invariants(&jobs, &result);
+        }
+    }
+
+    /// Backfilling may reorder starts but never changes what completes.
+    #[test]
+    fn backfilling_completes_the_same_job_set(jobs in jobs_strategy()) {
+        let plain = Simulator::new(TOTAL_PROCS, SimConfig::default()).run(&jobs, &mut Sjf);
+        let filled = Simulator::new(TOTAL_PROCS, SimConfig::with_backfill()).run(&jobs, &mut Sjf);
+        let mut a: Vec<u64> = plain.outcomes.iter().map(|o| o.id).collect();
+        let mut b: Vec<u64> = filled.outcomes.iter().map(|o| o.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -60,7 +60,11 @@ mod tests {
     fn display_messages_are_informative() {
         let e = SwfError::FieldCount { line: 7, found: 3 };
         assert!(e.to_string().contains("line 7"));
-        let e = SwfError::BadField { line: 2, field: 4, token: "xyz".into() };
+        let e = SwfError::BadField {
+            line: 2,
+            field: 4,
+            token: "xyz".into(),
+        };
         assert!(e.to_string().contains("\"xyz\""));
     }
 

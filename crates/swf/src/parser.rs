@@ -8,14 +8,20 @@ fn int(fields: &[&str], idx: usize) -> Result<i64, SwfError> {
     token
         .parse::<i64>()
         .or_else(|_| token.parse::<f64>().map(|f| f as i64))
-        .map_err(|_| SwfError::BadField { line: 0, field: idx + 1, token: token.to_string() })
+        .map_err(|_| SwfError::BadField {
+            line: 0,
+            field: idx + 1,
+            token: token.to_string(),
+        })
 }
 
 fn float(fields: &[&str], idx: usize) -> Result<f64, SwfError> {
     let token = fields[idx];
-    token
-        .parse::<f64>()
-        .map_err(|_| SwfError::BadField { line: 0, field: idx + 1, token: token.to_string() })
+    token.parse::<f64>().map_err(|_| SwfError::BadField {
+        line: 0,
+        field: idx + 1,
+        token: token.to_string(),
+    })
 }
 
 /// Parse a single whitespace-separated 18-field SWF record line.
@@ -26,7 +32,10 @@ fn float(fields: &[&str], idx: usize) -> Result<f64, SwfError> {
 pub fn parse_line(line: &str) -> Result<SwfRecord, SwfError> {
     let fields: Vec<&str> = line.split_whitespace().collect();
     if fields.len() != 18 {
-        return Err(SwfError::FieldCount { line: 0, found: fields.len() });
+        return Err(SwfError::FieldCount {
+            line: 0,
+            found: fields.len(),
+        });
     }
     Ok(SwfRecord {
         job_id: int(&fields, 0)?.max(0) as u64,
@@ -78,7 +87,10 @@ mod tests {
 
     #[test]
     fn wrong_field_count_is_error() {
-        assert!(matches!(parse_line("1 2 3"), Err(SwfError::FieldCount { found: 3, .. })));
+        assert!(matches!(
+            parse_line("1 2 3"),
+            Err(SwfError::FieldCount { found: 3, .. })
+        ));
     }
 
     #[test]

@@ -106,27 +106,55 @@ mod tests {
 
     #[test]
     fn effective_procs_falls_back_to_allocated() {
-        let r = SwfRecord { requested_procs: -1, allocated_procs: 16, ..Default::default() };
+        let r = SwfRecord {
+            requested_procs: -1,
+            allocated_procs: 16,
+            ..Default::default()
+        };
         assert_eq!(r.effective_procs(), 16);
-        let r = SwfRecord { requested_procs: 8, allocated_procs: 16, ..Default::default() };
+        let r = SwfRecord {
+            requested_procs: 8,
+            allocated_procs: 16,
+            ..Default::default()
+        };
         assert_eq!(r.effective_procs(), 8);
     }
 
     #[test]
     fn effective_estimate_falls_back_to_runtime() {
-        let r = SwfRecord { requested_time: -1, run_time: 100, ..Default::default() };
+        let r = SwfRecord {
+            requested_time: -1,
+            run_time: 100,
+            ..Default::default()
+        };
         assert_eq!(r.effective_estimate(), 100);
-        let r = SwfRecord { requested_time: 200, run_time: 100, ..Default::default() };
+        let r = SwfRecord {
+            requested_time: 200,
+            run_time: 100,
+            ..Default::default()
+        };
         assert_eq!(r.effective_estimate(), 200);
     }
 
     #[test]
     fn simulatable_requires_runtime_and_procs() {
-        let ok = SwfRecord { run_time: 5, requested_procs: 1, ..Default::default() };
+        let ok = SwfRecord {
+            run_time: 5,
+            requested_procs: 1,
+            ..Default::default()
+        };
         assert!(ok.is_simulatable());
-        let no_rt = SwfRecord { run_time: 0, requested_procs: 1, ..Default::default() };
+        let no_rt = SwfRecord {
+            run_time: 0,
+            requested_procs: 1,
+            ..Default::default()
+        };
         assert!(!no_rt.is_simulatable());
-        let no_procs = SwfRecord { run_time: 5, requested_procs: -1, ..Default::default() };
+        let no_procs = SwfRecord {
+            run_time: 5,
+            requested_procs: -1,
+            ..Default::default()
+        };
         assert!(!no_procs.is_simulatable());
     }
 }

@@ -6,33 +6,45 @@ use swf::{parse_line, SwfRecord, SwfTrace};
 
 fn record_strategy() -> impl Strategy<Value = SwfRecord> {
     (
-        (1u64..1_000_000, -1i64..10_000_000, -1i64..1_000_000, -1i64..1_000_000),
+        (
+            1u64..1_000_000,
+            -1i64..10_000_000,
+            -1i64..1_000_000,
+            -1i64..1_000_000,
+        ),
         (-1i64..100_000, -1i64..100_000, -1i64..1_000_000),
         (-1i64..10_000, -1i64..10_000, -1i64..100, -1i64..100),
         (-1i64..1000, -1i64..100_000, -1i64..100_000),
     )
-        .prop_map(|((job_id, submit, wait, run), (alloc, req_procs, req_time), (user, group, exec, queue), (partition, preceding, think))| {
-            SwfRecord {
-                job_id,
-                submit_time: submit,
-                wait_time: wait,
-                run_time: run,
-                allocated_procs: alloc,
-                avg_cpu_time: -1.0,
-                used_memory: -1.0,
-                requested_procs: req_procs,
-                requested_time: req_time,
-                requested_memory: -1.0,
-                status: 1,
-                user_id: user,
-                group_id: group,
-                executable: exec,
-                queue,
-                partition,
-                preceding_job: preceding,
-                think_time: think,
-            }
-        })
+        .prop_map(
+            |(
+                (job_id, submit, wait, run),
+                (alloc, req_procs, req_time),
+                (user, group, exec, queue),
+                (partition, preceding, think),
+            )| {
+                SwfRecord {
+                    job_id,
+                    submit_time: submit,
+                    wait_time: wait,
+                    run_time: run,
+                    allocated_procs: alloc,
+                    avg_cpu_time: -1.0,
+                    used_memory: -1.0,
+                    requested_procs: req_procs,
+                    requested_time: req_time,
+                    requested_memory: -1.0,
+                    status: 1,
+                    user_id: user,
+                    group_id: group,
+                    executable: exec,
+                    queue,
+                    partition,
+                    preceding_job: preceding,
+                    think_time: think,
+                }
+            },
+        )
 }
 
 proptest! {

@@ -42,7 +42,11 @@ impl Adam {
     /// Apply one Adam step using the gradients currently accumulated in the
     /// network, scaled by `grad_scale` (e.g. `1 / batch_size`).
     pub fn step(&mut self, net: &mut Mlp, grad_scale: f32) {
-        assert_eq!(self.m.len(), net.param_count(), "optimizer/network size mismatch");
+        assert_eq!(
+            self.m.len(),
+            net.param_count(),
+            "optimizer/network size mismatch"
+        );
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
@@ -73,11 +77,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Identity, &mut rng);
         let mut opt = Adam::new(0.01, net.param_count());
-        let data: [([f32; 2], f32); 4] =
-            [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+        let data: [([f32; 2], f32); 4] = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
         let mut tape = Tape::default();
         let loss_at = |net: &Mlp| -> f32 {
-            data.iter().map(|(x, y)| (net.forward(x)[0] - y).powi(2)).sum::<f32>() / 4.0
+            data.iter()
+                .map(|(x, y)| (net.forward(x)[0] - y).powi(2))
+                .sum::<f32>()
+                / 4.0
         };
         let initial = loss_at(&net);
         for _ in 0..2000 {

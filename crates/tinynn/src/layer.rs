@@ -31,7 +31,12 @@ pub struct Dense {
 
 impl Dense {
     /// Xavier/Glorot-uniform initialized layer.
-    pub fn new<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, act: Activation, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        fan_in: usize,
+        fan_out: usize,
+        act: Activation,
+        rng: &mut R,
+    ) -> Self {
         assert!(fan_in > 0 && fan_out > 0);
         let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
         let w = (0..fan_in * fan_out)

@@ -35,4 +35,4 @@ mod serialize;
 pub use activation::Activation;
 pub use adam::Adam;
 pub use layer::Dense;
-pub use mlp::{Mlp, Tape};
+pub use mlp::{ForwardScratch, Mlp, Tape};

@@ -49,6 +49,16 @@ pub struct Tape {
     activations: Vec<Vec<f32>>,
 }
 
+/// Reusable buffers for [`Mlp::forward_scratch`]. After the first pass the
+/// buffers hold enough capacity for the widest layer, so repeated inference
+/// through the same (or any same-sized) network allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    a: Vec<f32>,
+    z: Vec<f32>,
+    next: Vec<f32>,
+}
+
 impl Mlp {
     /// Build an MLP with the given layer sizes: `sizes[0]` inputs through
     /// `sizes[n-1]` outputs. Hidden layers use `hidden`; the final layer
@@ -59,7 +69,10 @@ impl Mlp {
         output: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let layers = sizes
             .windows(2)
             .enumerate()
@@ -88,13 +101,22 @@ impl Mlp {
 
     /// Inference-only forward pass.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let mut a = x.to_vec();
-        let (mut z_buf, mut a_buf) = (Vec::new(), Vec::new());
+        let mut scratch = ForwardScratch::default();
+        self.forward_scratch(x, &mut scratch).to_vec()
+    }
+
+    /// Inference forward pass through caller-owned scratch buffers — the
+    /// allocation-free path for hot loops (e.g. one policy query per
+    /// scheduling point). The returned slice borrows from `scratch` and is
+    /// valid until the next call.
+    pub fn forward_scratch<'s>(&self, x: &[f32], scratch: &'s mut ForwardScratch) -> &'s [f32] {
+        scratch.a.clear();
+        scratch.a.extend_from_slice(x);
         for layer in &self.layers {
-            layer.forward(&a, &mut z_buf, &mut a_buf);
-            std::mem::swap(&mut a, &mut a_buf);
+            layer.forward(&scratch.a, &mut scratch.z, &mut scratch.next);
+            std::mem::swap(&mut scratch.a, &mut scratch.next);
         }
-        a
+        &scratch.a
     }
 
     /// Forward pass recording everything backprop needs into `tape`.
@@ -117,7 +139,11 @@ impl Mlp {
         let mut grad = grad_out.to_vec();
         let mut grad_next = Vec::new();
         for i in (0..self.layers.len()).rev() {
-            let x: &[f32] = if i == 0 { &tape.input } else { &tape.activations[i - 1] };
+            let x: &[f32] = if i == 0 {
+                &tape.input
+            } else {
+                &tape.activations[i - 1]
+            };
             let (z, a) = (&tape.zs[i], &tape.activations[i]);
             self.layers[i].backward(x, z, a, &grad, &mut grad_next);
             std::mem::swap(&mut grad, &mut grad_next);
@@ -167,7 +193,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn mlp(sizes: &[usize], seed: u64) -> Mlp {
-        Mlp::new(sizes, Activation::Tanh, Activation::Identity, &mut StdRng::seed_from_u64(seed))
+        Mlp::new(
+            sizes,
+            Activation::Tanh,
+            Activation::Identity,
+            &mut StdRng::seed_from_u64(seed),
+        )
     }
 
     #[test]
@@ -235,6 +266,20 @@ mod tests {
             idx += 1;
         }
         assert_eq!(idx, n_params);
+    }
+
+    #[test]
+    fn forward_scratch_matches_forward_across_reuse() {
+        let small = mlp(&[4, 8, 3], 1);
+        let wide = mlp(&[4, 16, 3], 5);
+        let x = [0.1, -0.5, 0.9, 0.0];
+        let mut scratch = ForwardScratch::default();
+        // Reusing one scratch across different nets and repeated calls must
+        // not change results.
+        for _ in 0..3 {
+            assert_eq!(small.forward_scratch(&x, &mut scratch), small.forward(&x));
+            assert_eq!(wide.forward_scratch(&x, &mut scratch), wide.forward(&x));
+        }
     }
 
     #[test]

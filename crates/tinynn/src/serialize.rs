@@ -51,7 +51,10 @@ fn parse_floats(line: &str, prefix: &str, expect: usize) -> Result<Vec<f32>, Str
     let vals: Result<Vec<f32>, _> = rest.split_whitespace().map(str::parse).collect();
     let vals = vals.map_err(|e| format!("bad float in {prefix:?} line: {e}"))?;
     if vals.len() != expect {
-        return Err(format!("{prefix:?} line: expected {expect} floats, got {}", vals.len()));
+        return Err(format!(
+            "{prefix:?} line: expected {expect} floats, got {}",
+            vals.len()
+        ));
     }
     Ok(vals)
 }
@@ -62,7 +65,12 @@ impl Mlp {
         let mut out = String::from("tinynn-mlp v1\n");
         out.push_str(&format!("layers {}\n", self.layers().len()));
         for l in self.layers() {
-            out.push_str(&format!("layer {} {} {}\n", l.fan_in, l.fan_out, act_name(l.act)));
+            out.push_str(&format!(
+                "layer {} {} {}\n",
+                l.fan_in,
+                l.fan_out,
+                act_name(l.act)
+            ));
             write_floats(&mut out, "w", &l.w);
             write_floats(&mut out, "b", &l.b);
         }
@@ -90,10 +98,16 @@ impl Mlp {
                 .strip_prefix("layer ")
                 .ok_or_else(|| format!("expected layer line, got {spec:?}"))?
                 .split_whitespace();
-            let fan_in: usize =
-                parts.next().ok_or("missing fan_in")?.parse().map_err(|e| format!("{e}"))?;
-            let fan_out: usize =
-                parts.next().ok_or("missing fan_out")?.parse().map_err(|e| format!("{e}"))?;
+            let fan_in: usize = parts
+                .next()
+                .ok_or("missing fan_in")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+            let fan_out: usize = parts
+                .next()
+                .ok_or("missing fan_out")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
             let act = act_parse(parts.next().ok_or("missing activation")?)?;
             let w = parse_floats(lines.next().ok_or("missing w line")?, "w", fan_in * fan_out)?;
             let b = parse_floats(lines.next().ok_or("missing b line")?, "b", fan_out)?;
@@ -120,7 +134,12 @@ mod tests {
     #[test]
     fn roundtrip_preserves_outputs_exactly() {
         let mut rng = StdRng::seed_from_u64(5);
-        let net = Mlp::new(&[7, 32, 16, 8, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let net = Mlp::new(
+            &[7, 32, 16, 8, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
         let text = net.to_text();
         let back = Mlp::from_text(&text).unwrap();
         let x = [0.1f32, 0.9, 0.3, 0.0, 1.0, 0.5, 0.25];

@@ -8,10 +8,7 @@ use rand::SeedableRng;
 use tinynn::{Activation, Mlp, Tape};
 
 fn net_strategy() -> impl Strategy<Value = (Vec<usize>, u64)> {
-    (
-        prop::collection::vec(1usize..6, 2..4),
-        any::<u64>(),
-    )
+    (prop::collection::vec(1usize..6, 2..4), any::<u64>())
 }
 
 proptest! {

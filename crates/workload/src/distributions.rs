@@ -87,13 +87,21 @@ impl LogNormal {
     /// spread `sigma`, solving `mu = ln(mean) - sigma^2 / 2`.
     pub fn with_mean(mean: f64, sigma: f64) -> Self {
         assert!(mean > 0.0, "log-normal mean must be positive");
-        LogNormal { mu: mean.ln() - sigma * sigma / 2.0, sigma }
+        LogNormal {
+            mu: mean.ln() - sigma * sigma / 2.0,
+            sigma,
+        }
     }
 }
 
 impl Sample for LogNormal {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        Normal { mu: self.mu, sigma: self.sigma }.sample(rng).exp()
+        Normal {
+            mu: self.mu,
+            sigma: self.sigma,
+        }
+        .sample(rng)
+        .exp()
     }
 
     fn mean(&self) -> f64 {
@@ -115,7 +123,10 @@ impl Gamma {
     /// Gamma with a target mean and given shape (`theta = mean / alpha`).
     pub fn with_mean(mean: f64, alpha: f64) -> Self {
         assert!(mean > 0.0 && alpha > 0.0);
-        Gamma { alpha, theta: mean / alpha }
+        Gamma {
+            alpha,
+            theta: mean / alpha,
+        }
     }
 
     fn sample_shape_ge_one<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> f64 {
@@ -123,7 +134,11 @@ impl Gamma {
         let d = alpha - 1.0 / 3.0;
         let c = 1.0 / (9.0 * d).sqrt();
         loop {
-            let x = Normal { mu: 0.0, sigma: 1.0 }.sample(rng);
+            let x = Normal {
+                mu: 0.0,
+                sigma: 1.0,
+            }
+            .sample(rng);
             let v = 1.0 + c * x;
             if v <= 0.0 {
                 continue;
@@ -312,7 +327,10 @@ mod tests {
 
     #[test]
     fn normal_mean_and_spread() {
-        let d = Normal { mu: 3.0, sigma: 2.0 };
+        let d = Normal {
+            mu: 3.0,
+            sigma: 2.0,
+        };
         let m = sample_mean(&d, 200_000, 2);
         assert!((m - 3.0).abs() < 0.05, "mean {m}");
     }
@@ -327,14 +345,20 @@ mod tests {
 
     #[test]
     fn gamma_mean_shape_above_one() {
-        let d = Gamma { alpha: 4.2, theta: 10.0 };
+        let d = Gamma {
+            alpha: 4.2,
+            theta: 10.0,
+        };
         let m = sample_mean(&d, 200_000, 4);
         assert!((m - 42.0).abs() / 42.0 < 0.02, "mean {m}");
     }
 
     #[test]
     fn gamma_mean_shape_below_one() {
-        let d = Gamma { alpha: 0.45, theta: 100.0 };
+        let d = Gamma {
+            alpha: 0.45,
+            theta: 100.0,
+        };
         let m = sample_mean(&d, 300_000, 5);
         assert!((m - 45.0).abs() / 45.0 < 0.03, "mean {m}");
     }
@@ -342,20 +366,36 @@ mod tests {
     #[test]
     fn hypergamma_mixes() {
         let d = HyperGamma {
-            g1: Gamma { alpha: 4.2, theta: 1.0 },
-            g2: Gamma { alpha: 312.0, theta: 0.1 },
+            g1: Gamma {
+                alpha: 4.2,
+                theta: 1.0,
+            },
+            g2: Gamma {
+                alpha: 312.0,
+                theta: 0.1,
+            },
             p: 0.3,
         };
         let expect = 0.3 * 4.2 + 0.7 * 31.2;
         let m = sample_mean(&d, 200_000, 6);
-        assert!((m - expect).abs() / expect < 0.02, "mean {m} expect {expect}");
+        assert!(
+            (m - expect).abs() / expect < 0.02,
+            "mean {m} expect {expect}"
+        );
     }
 
     #[test]
     fn weibull_mean_matches_analytic() {
-        let d = Weibull { k: 1.5, lambda: 100.0 };
+        let d = Weibull {
+            k: 1.5,
+            lambda: 100.0,
+        };
         let m = sample_mean(&d, 300_000, 7);
-        assert!((m - d.mean()).abs() / d.mean() < 0.02, "mean {m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.02,
+            "mean {m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]
@@ -387,9 +427,15 @@ mod tests {
     #[test]
     fn samples_are_non_negative() {
         let mut rng = StdRng::seed_from_u64(9);
-        let g = Gamma { alpha: 0.3, theta: 5.0 };
+        let g = Gamma {
+            alpha: 0.3,
+            theta: 5.0,
+        };
         let e = Exponential::with_mean(10.0);
-        let w = Weibull { k: 0.7, lambda: 3.0 };
+        let w = Weibull {
+            k: 0.7,
+            lambda: 3.0,
+        };
         for _ in 0..10_000 {
             assert!(g.sample(&mut rng) >= 0.0);
             assert!(e.sample(&mut rng) >= 0.0);

@@ -29,7 +29,15 @@ pub struct Job {
 impl Job {
     /// Convenience constructor for tests and examples.
     pub fn new(id: u64, submit: f64, runtime: f64, estimate: f64, procs: u32) -> Self {
-        Job { id, submit, runtime, estimate, procs, user: 0, queue: 0 }
+        Job {
+            id,
+            submit,
+            runtime,
+            estimate,
+            procs,
+            user: 0,
+            queue: 0,
+        }
     }
 
     /// Estimated area `est_j * res_j` (the SAF priority key).
@@ -85,7 +93,10 @@ mod tests {
 
     #[test]
     fn from_swf_skips_unsimulatable() {
-        let bad = SwfRecord { run_time: -1, ..Default::default() };
+        let bad = SwfRecord {
+            run_time: -1,
+            ..Default::default()
+        };
         assert!(Job::from_swf(&bad).is_none());
     }
 
@@ -106,7 +117,15 @@ mod tests {
 
     #[test]
     fn swf_roundtrip() {
-        let j = Job { id: 9, submit: 10.0, runtime: 60.0, estimate: 90.0, procs: 8, user: 3, queue: 1 };
+        let j = Job {
+            id: 9,
+            submit: 10.0,
+            runtime: 60.0,
+            estimate: 90.0,
+            procs: 8,
+            user: 3,
+            queue: 1,
+        };
         let j2 = Job::from_swf(&j.to_swf()).unwrap();
         assert_eq!(j, j2);
     }

@@ -49,7 +49,11 @@ pub const ARR_GAMMA: (f64, f64) = (10.23, 0.4871);
 /// Two-stage uniform: with probability `prob` uniform on `[low, med]`,
 /// otherwise uniform on `[med, hi]`.
 fn two_stage_uniform<R: Rng + ?Sized>(low: f64, med: f64, hi: f64, prob: f64, rng: &mut R) -> f64 {
-    let (a, b) = if rng.random::<f64>() < prob { (low, med) } else { (med, hi) };
+    let (a, b) = if rng.random::<f64>() < prob {
+        (low, med)
+    } else {
+        (med, hi)
+    };
     a + (b - a) * rng.random::<f64>()
 }
 
@@ -72,16 +76,29 @@ pub fn sample_size<R: Rng + ?Sized>(procs: u32, rng: &mut R) -> u32 {
 /// Sample an actual runtime (seconds) for a job of `size` processors.
 pub fn sample_runtime<R: Rng + ?Sized>(size: u32, rng: &mut R) -> f64 {
     // Gamma here is parameterized (shape, rate): mean = shape / rate.
-    let g1 = Gamma { alpha: RT_G1.0, theta: 1.0 / RT_G1.1 };
-    let g2 = Gamma { alpha: RT_G2.0, theta: 1.0 / RT_G2.1 };
+    let g1 = Gamma {
+        alpha: RT_G1.0,
+        theta: 1.0 / RT_G1.1,
+    };
+    let g2 = Gamma {
+        alpha: RT_G2.0,
+        theta: 1.0 / RT_G2.1,
+    };
     let p = (PA * size as f64 + PB).clamp(0.05, 0.95);
-    let rt = if rng.random::<f64>() < p { g1.sample(rng) } else { g2.sample(rng) };
+    let rt = if rng.random::<f64>() < p {
+        g1.sample(rng)
+    } else {
+        g2.sample(rng)
+    };
     rt.max(1.0)
 }
 
 /// Sample a raw peak-hours inter-arrival gap: `2^Gamma(10.23, 0.4871)` s.
 pub fn sample_interarrival<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let g = Gamma { alpha: ARR_GAMMA.0, theta: ARR_GAMMA.1 };
+    let g = Gamma {
+        alpha: ARR_GAMMA.0,
+        theta: ARR_GAMMA.1,
+    };
     2f64.powf(g.sample(rng)).max(1.0)
 }
 
@@ -96,7 +113,9 @@ pub fn generate(n_jobs: usize, seed: u64) -> JobTrace {
     let p = &LUBLIN_256;
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let sizes: Vec<u32> = (0..n_jobs).map(|_| sample_size(p.procs, &mut rng)).collect();
+    let sizes: Vec<u32> = (0..n_jobs)
+        .map(|_| sample_size(p.procs, &mut rng))
+        .collect();
     let raw_rt: Vec<f64> = sizes.iter().map(|&s| sample_runtime(s, &mut rng)).collect();
 
     // Rescale runtimes so the *estimate* mean can land on Table 2's value:
@@ -108,13 +127,20 @@ pub fn generate(n_jobs: usize, seed: u64) -> JobTrace {
 
     let est_of = |f: f64, probe_seed: u64| -> f64 {
         let mut r = StdRng::seed_from_u64(probe_seed);
-        runtimes.iter().map(|&rt| rt * (1.0 + f * r.random::<f64>())).sum::<f64>()
+        runtimes
+            .iter()
+            .map(|&rt| rt * (1.0 + f * r.random::<f64>()))
+            .sum::<f64>()
             / n_jobs.max(1) as f64
     };
-    let f = calibrate_mean(0.0, 40.0, p.mean_estimate, 0.005, |f| est_of(f, seed ^ 0xAB));
+    let f = calibrate_mean(0.0, 40.0, p.mean_estimate, 0.005, |f| {
+        est_of(f, seed ^ 0xAB)
+    });
     let mut er = StdRng::seed_from_u64(seed ^ 0xAB);
-    let estimates: Vec<f64> =
-        runtimes.iter().map(|&rt| rt * (1.0 + f * er.random::<f64>())).collect();
+    let estimates: Vec<f64> = runtimes
+        .iter()
+        .map(|&rt| rt * (1.0 + f * er.random::<f64>()))
+        .collect();
 
     let mut t = 0.0;
     let mut submits = Vec::with_capacity(n_jobs);
@@ -142,7 +168,13 @@ pub fn generate(n_jobs: usize, seed: u64) -> JobTrace {
             estimate: estimates[i].max(runtimes[i]),
             procs: (((sizes[i] as f64) * size_scale).round() as u32).clamp(1, p.procs),
             user: (i % p.n_users as usize) as u32,
-            queue: if estimates[i] <= 3600.0 { 0 } else if estimates[i] <= 28800.0 { 1 } else { 2 },
+            queue: if estimates[i] <= 3600.0 {
+                0
+            } else if estimates[i] <= 28800.0 {
+                1
+            } else {
+                2
+            },
         })
         .collect();
 
@@ -163,8 +195,16 @@ mod tests {
         let t = generate(6000, 99);
         let s = t.stats();
         let rel = |a: f64, b: f64| (a - b).abs() / b;
-        assert!(rel(s.mean_interval, 771.0) < 0.02, "interval {}", s.mean_interval);
-        assert!(rel(s.mean_estimate, 4862.0) < 0.10, "est {}", s.mean_estimate);
+        assert!(
+            rel(s.mean_interval, 771.0) < 0.02,
+            "interval {}",
+            s.mean_interval
+        );
+        assert!(
+            rel(s.mean_estimate, 4862.0) < 0.10,
+            "est {}",
+            s.mean_estimate
+        );
         assert!(rel(s.mean_procs, 22.0) < 0.15, "procs {}", s.mean_procs);
         assert_eq!(s.cluster_size, 256);
     }

@@ -21,7 +21,11 @@ impl SequenceSampler {
     /// reproducibility.
     pub fn new(trace: JobTrace, len: usize, seed: u64) -> Self {
         assert!(len > 0, "sequence length must be positive");
-        SequenceSampler { trace, len, rng: StdRng::seed_from_u64(seed) }
+        SequenceSampler {
+            trace,
+            len,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The underlying trace.

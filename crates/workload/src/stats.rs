@@ -68,7 +68,11 @@ impl TraceStats {
             max_estimate: trace.jobs.iter().map(|j| j.estimate).fold(0.0, f64::max),
             max_procs: trace.jobs.iter().map(|j| j.procs).max().unwrap_or(0),
             span,
-            offered_load: if span > 0.0 { work / (span * trace.procs as f64) } else { 0.0 },
+            offered_load: if span > 0.0 {
+                work / (span * trace.procs as f64)
+            } else {
+                0.0
+            },
         }
     }
 

@@ -66,7 +66,10 @@ fn sample_size<R: Rng + ?Sized>(p: &TraceProfile, hi: f64, rng: &mut R) -> u32 {
 
 fn mean_size(p: &TraceProfile, hi: f64, probe: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..probe).map(|_| sample_size(p, hi, &mut rng) as f64).sum::<f64>() / probe as f64
+    (0..probe)
+        .map(|_| sample_size(p, hi, &mut rng) as f64)
+        .sum::<f64>()
+        / probe as f64
 }
 
 /// Sample an over-estimation factor (≥ 1) with log-scale knob `k`.
@@ -105,9 +108,15 @@ pub fn generate(profile: &TraceProfile, n_jobs: usize, seed: u64) -> JobTrace {
         })
         .collect();
     let raw_mean = raw_rt.iter().sum::<f64>() / n_jobs.max(1) as f64;
-    let rt_scale = if raw_mean > 0.0 { runtime_mean / raw_mean } else { 1.0 };
-    let runtimes: Vec<f64> =
-        raw_rt.iter().map(|&r| (r * rt_scale).clamp(10.0, max_rt)).collect();
+    let rt_scale = if raw_mean > 0.0 {
+        runtime_mean / raw_mean
+    } else {
+        1.0
+    };
+    let runtimes: Vec<f64> = raw_rt
+        .iter()
+        .map(|&r| (r * rt_scale).clamp(10.0, max_rt))
+        .collect();
 
     // --- calibrate the over-estimation factor to the target mean estimate ---
     let est_of = |k: f64, runtimes: &[f64], probe_seed: u64| -> f64 {
@@ -140,7 +149,9 @@ pub fn generate(profile: &TraceProfile, n_jobs: usize, seed: u64) -> JobTrace {
         // Campaigns: one user firing a batch of jobs back-to-back creates
         // the queue spikes real logs show even at low average load.
         let batch = if rng.random::<f64>() < p.burst_prob {
-            2 + Exponential::with_mean(p.burst_mean).sample(&mut rng).round() as usize
+            2 + Exponential::with_mean(p.burst_mean)
+                .sample(&mut rng)
+                .round() as usize
         } else {
             1
         };
@@ -265,15 +276,25 @@ mod tests {
         let t = generate(&SDSC_SP2, 2000, 4);
         let users: std::collections::HashSet<u32> = t.jobs.iter().map(|j| j.user).collect();
         let queues: std::collections::HashSet<u32> = t.jobs.iter().map(|j| j.queue).collect();
-        assert!(users.len() > 10, "expected a user population, got {}", users.len());
-        assert!(queues.len() >= 2, "expected multiple queues, got {}", queues.len());
+        assert!(
+            users.len() > 10,
+            "expected a user population, got {}",
+            users.len()
+        );
+        assert!(
+            queues.len() >= 2,
+            "expected multiple queues, got {}",
+            queues.len()
+        );
         assert!(t.jobs.iter().all(|j| j.queue < SDSC_SP2.n_queues));
     }
 
     #[test]
     fn daily_cycle_weight_averages_to_one() {
-        let mean: f64 =
-            (0..240).map(|i| daily_cycle_weight(i as f64 * 360.0)).sum::<f64>() / 240.0;
+        let mean: f64 = (0..240)
+            .map(|i| daily_cycle_weight(i as f64 * 360.0))
+            .sum::<f64>()
+            / 240.0;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
     }
 

@@ -17,16 +17,16 @@ pub fn scale_load(trace: &JobTrace, factor: f64) -> Result<JobTrace, TraceError>
     let jobs = trace
         .jobs
         .iter()
-        .map(|j| Job { submit: t0 + (j.submit - t0) / factor, ..*j })
+        .map(|j| Job {
+            submit: t0 + (j.submit - t0) / factor,
+            ..*j
+        })
         .collect();
     JobTrace::new(format!("{}-x{factor}", trace.name), trace.procs, jobs)
 }
 
 /// Keep only jobs satisfying `keep`, renumbering nothing (ids are stable).
-pub fn filter_jobs(
-    trace: &JobTrace,
-    keep: impl Fn(&Job) -> bool,
-) -> Result<JobTrace, TraceError> {
+pub fn filter_jobs(trace: &JobTrace, keep: impl Fn(&Job) -> bool) -> Result<JobTrace, TraceError> {
     let jobs = trace.jobs.iter().filter(|j| keep(j)).copied().collect();
     JobTrace::new(format!("{}-filtered", trace.name), trace.procs, jobs)
 }
@@ -36,7 +36,10 @@ pub fn filter_jobs(
 pub fn merge(a: &JobTrace, b: &JobTrace) -> Result<JobTrace, TraceError> {
     let id_offset = a.jobs.iter().map(|j| j.id).max().unwrap_or(0) + 1;
     let mut jobs = a.jobs.clone();
-    jobs.extend(b.jobs.iter().map(|j| Job { id: j.id + id_offset, ..*j }));
+    jobs.extend(b.jobs.iter().map(|j| Job {
+        id: j.id + id_offset,
+        ..*j
+    }));
     JobTrace::new(format!("{}+{}", a.name, b.name), a.procs.max(b.procs), jobs)
 }
 
@@ -55,7 +58,15 @@ mod tests {
 
     fn trace() -> JobTrace {
         let jobs = (0..10u64)
-            .map(|i| Job::new(i + 1, 100.0 + i as f64 * 50.0, 30.0, 60.0, 1 + (i % 4) as u32))
+            .map(|i| {
+                Job::new(
+                    i + 1,
+                    100.0 + i as f64 * 50.0,
+                    30.0,
+                    60.0,
+                    1 + (i % 4) as u32,
+                )
+            })
             .collect();
         JobTrace::new("base", 8, jobs).unwrap()
     }

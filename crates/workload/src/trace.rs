@@ -21,13 +21,21 @@ pub struct JobTrace {
 impl JobTrace {
     /// Build a trace, sorting jobs by submit time and validating that every
     /// job fits the machine.
-    pub fn new(name: impl Into<String>, procs: u32, mut jobs: Vec<Job>) -> Result<Self, TraceError> {
+    pub fn new(
+        name: impl Into<String>,
+        procs: u32,
+        mut jobs: Vec<Job>,
+    ) -> Result<Self, TraceError> {
         if procs == 0 {
             return Err(TraceError::EmptyMachine);
         }
         for j in &jobs {
             if j.procs == 0 || j.procs > procs {
-                return Err(TraceError::JobTooLarge { job: j.id, procs: j.procs, machine: procs });
+                return Err(TraceError::JobTooLarge {
+                    job: j.id,
+                    procs: j.procs,
+                    machine: procs,
+                });
             }
             let positive = |x: f64| x.is_finite() && x > 0.0;
             if !positive(j.runtime) || !positive(j.estimate) {
@@ -35,7 +43,11 @@ impl JobTrace {
             }
         }
         jobs.sort_by(|a, b| a.submit.total_cmp(&b.submit).then(a.id.cmp(&b.id)));
-        Ok(JobTrace { name: name.into(), procs, jobs })
+        Ok(JobTrace {
+            name: name.into(),
+            procs,
+            jobs,
+        })
     }
 
     /// Load from a parsed SWF trace. Oversized and unsimulatable records are
@@ -84,11 +96,16 @@ impl JobTrace {
         let start = start.min(self.jobs.len());
         let end = (start + len).min(self.jobs.len());
         let slice = &self.jobs[start..end];
-        let Some(first) = slice.first() else { return Vec::new() };
+        let Some(first) = slice.first() else {
+            return Vec::new();
+        };
         let t0 = first.submit;
         slice
             .iter()
-            .map(|j| Job { submit: j.submit - t0, ..*j })
+            .map(|j| Job {
+                submit: j.submit - t0,
+                ..*j
+            })
             .collect()
     }
 
@@ -102,7 +119,10 @@ impl JobTrace {
             procs: self.procs,
             jobs: jobs.to_vec(),
         };
-        (mk("train", &self.jobs[..cut]), mk("test", &self.jobs[cut..]))
+        (
+            mk("train", &self.jobs[..cut]),
+            mk("test", &self.jobs[cut..]),
+        )
     }
 }
 
@@ -134,8 +154,15 @@ impl std::fmt::Display for TraceError {
         match self {
             TraceError::EmptyMachine => write!(f, "machine has zero processors"),
             TraceError::UnknownMachineSize => write!(f, "SWF header lacks MaxProcs/MaxNodes"),
-            TraceError::JobTooLarge { job, procs, machine } => {
-                write!(f, "job {job} requests {procs} procs but machine has {machine}")
+            TraceError::JobTooLarge {
+                job,
+                procs,
+                machine,
+            } => {
+                write!(
+                    f,
+                    "job {job} requests {procs} procs but machine has {machine}"
+                )
             }
             TraceError::NonPositiveTime { job } => {
                 write!(f, "job {job} has non-positive runtime/estimate")

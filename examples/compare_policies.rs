@@ -16,8 +16,11 @@ fn main() {
         let sequences = sampler.sample_many(20);
 
         for backfill in [false, true] {
-            let config =
-                if backfill { SimConfig::with_backfill() } else { SimConfig::default() };
+            let config = if backfill {
+                SimConfig::with_backfill()
+            } else {
+                SimConfig::default()
+            };
             let sim = Simulator::new(trace.procs, config);
             println!(
                 "\n{} ({} sequences x 256 jobs, backfilling {}):",

@@ -29,7 +29,10 @@ fn main() {
     };
     let factory = factory_for(PolicyKind::Sjf);
     let mut trainer = Trainer::new(train, factory.clone(), config);
-    println!("\ntraining {} epochs x {} trajectories...", config.epochs, config.batch_size);
+    println!(
+        "\ntraining {} epochs x {} trajectories...",
+        config.epochs, config.batch_size
+    );
     let history = trainer.train();
     for r in history.records.iter().step_by(3) {
         println!(
@@ -58,5 +61,8 @@ fn main() {
     inspector::model_io::save(&inspector, &path).expect("save model");
     let reloaded = inspector::model_io::load(&path).expect("load model");
     assert_eq!(reloaded.features, inspector.features);
-    println!("\nmodel saved to {} and reloaded bit-identically", path.display());
+    println!(
+        "\nmodel saved to {} and reloaded bit-identically",
+        path.display()
+    );
 }

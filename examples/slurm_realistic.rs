@@ -38,7 +38,16 @@ fn main() {
         last.rejection_ratio * 100.0
     );
 
-    let report = evaluate(&trainer.inspector(), &test, &factory, config.sim, 20, 128, 17, 0);
+    let report = evaluate(
+        &trainer.inspector(),
+        &test,
+        &factory,
+        config.sim,
+        20,
+        128,
+        17,
+        0,
+    );
     println!(
         "\nheld-out: Slurm bsld {:.2} -> inspected {:.2} ({:+.1}%)",
         report.mean_base(Metric::Bsld),

@@ -7,12 +7,16 @@
 //! cargo run --release --example what_it_learns
 //! ```
 
-use inspector::analysis::{collect_decisions, feature_cdf, rejection_fraction, MANUAL_FEATURE_NAMES};
+use inspector::analysis::{
+    collect_decisions, feature_cdf, rejection_fraction, MANUAL_FEATURE_NAMES,
+};
 use schedinspector::prelude::*;
 
 fn sparkline(cdf: &[(f32, f32)]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    cdf.iter().map(|&(_, y)| BARS[((y * 7.0).round() as usize).min(7)]).collect()
+    cdf.iter()
+        .map(|&(_, y)| BARS[((y * 7.0).round() as usize).min(7)])
+        .collect()
 }
 
 fn main() {

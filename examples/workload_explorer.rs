@@ -35,9 +35,23 @@ fn main() {
         .unwrap_or_else(|| panic!("unknown trace {name:?}; try SDSC-SP2, CTC-SP2, HPC2N, Lublin"));
 
     let s = trace.stats();
-    println!("{} — {} jobs on {} processors", trace.name, s.n_jobs, s.cluster_size);
-    println!("  offered load {:.2}, span {:.1} days\n", s.offered_load, s.span / 86_400.0);
-    summarize("interarrival", trace.jobs.windows(2).map(|w| w[1].submit - w[0].submit).collect());
+    println!(
+        "{} — {} jobs on {} processors",
+        trace.name, s.n_jobs, s.cluster_size
+    );
+    println!(
+        "  offered load {:.2}, span {:.1} days\n",
+        s.offered_load,
+        s.span / 86_400.0
+    );
+    summarize(
+        "interarrival",
+        trace
+            .jobs
+            .windows(2)
+            .map(|w| w[1].submit - w[0].submit)
+            .collect(),
+    );
     summarize("runtime", trace.jobs.iter().map(|j| j.runtime).collect());
     summarize("estimate", trace.jobs.iter().map(|j| j.estimate).collect());
     summarize("procs", trace.jobs.iter().map(|j| j.procs as f64).collect());
@@ -50,12 +64,16 @@ fn main() {
 
     if let Some(path) = args.get(3) {
         let swf = trace.to_swf();
-        swf.write_file(std::path::Path::new(path)).expect("write SWF");
+        swf.write_file(std::path::Path::new(path))
+            .expect("write SWF");
         println!("\nwrote SWF to {path}");
         // Round-trip sanity: the written file parses back identically.
         let back = swf::SwfTrace::read_file(std::path::Path::new(path)).expect("re-read");
         assert_eq!(back.records.len(), trace.len());
-        println!("round-trip check: {} records parsed back", back.records.len());
+        println!(
+            "round-trip check: {} records parsed back",
+            back.records.len()
+        );
     } else {
         println!("\n(pass an output path as the 3rd argument to export SWF)");
     }

@@ -11,7 +11,9 @@
 use std::path::Path;
 use std::process::exit;
 
-use inspector::analysis::{collect_decisions, feature_cdf, rejection_fraction, MANUAL_FEATURE_NAMES};
+use inspector::analysis::{
+    collect_decisions, feature_cdf, rejection_fraction, MANUAL_FEATURE_NAMES,
+};
 use schedinspector::prelude::*;
 
 struct Args {
@@ -32,11 +34,16 @@ impl Args {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.map.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.map
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -79,11 +86,18 @@ fn build_world(args: &Args) -> (JobTrace, inspector::PolicyFactory, SimConfig, M
             }
         }
     };
-    let metric: Metric = args.get("metric").unwrap_or("bsld").parse().unwrap_or_else(|e| {
-        eprintln!("{e}");
-        exit(2)
-    });
-    let sim = SimConfig { backfill: args.num("backfill", 0u8) != 0, ..SimConfig::default() };
+    let metric: Metric = args
+        .get("metric")
+        .unwrap_or("bsld")
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2)
+        });
+    let sim = SimConfig {
+        backfill: args.num("backfill", 0u8) != 0,
+        ..SimConfig::default()
+    };
     (trace, factory, sim, metric)
 }
 
@@ -197,7 +211,11 @@ fn cmd_analyze(args: &Args) {
                 .map(|&(x, _)| x)
                 .unwrap_or(1.0)
         };
-        println!("  {name:<20} median(all) {:.3}  median(rejected) {:.3}", med(false), med(true));
+        println!(
+            "  {name:<20} median(all) {:.3}  median(rejected) {:.3}",
+            med(false),
+            med(true)
+        );
     }
 }
 
@@ -206,7 +224,10 @@ fn cmd_trace(args: &Args) {
     let s = trace.stats();
     println!("{}", s.table2_row(&trace.name));
     if let Some(out) = args.get("out") {
-        trace.to_swf().write_file(Path::new(out)).expect("write SWF");
+        trace
+            .to_swf()
+            .write_file(Path::new(out))
+            .expect("write SWF");
         println!("wrote {out}");
     }
 }

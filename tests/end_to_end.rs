@@ -4,7 +4,14 @@
 use schedinspector::prelude::*;
 
 fn quick_config(seed: u64) -> InspectorConfig {
-    InspectorConfig { epochs: 4, batch_size: 8, seq_len: 32, seed, workers: 2, ..Default::default() }
+    InspectorConfig {
+        epochs: 4,
+        batch_size: 8,
+        seq_len: 32,
+        seed,
+        workers: 2,
+        ..Default::default()
+    }
 }
 
 #[test]

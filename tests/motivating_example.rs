@@ -49,13 +49,19 @@ fn case_b_without_inspector_matches_table1() {
     let (wait, bsld) = metrics_excluding_jp(&r);
     // Table 1: wait (3+7)/2 = 5; bsld (1.6 + 3.33)/2 ≈ 2.47.
     assert!((wait - 5.0).abs() < 1e-9, "wait {wait}");
-    assert!((bsld - (1.6 + 10.0 / 3.0) / 2.0).abs() < 1e-9, "bsld {bsld}");
+    assert!(
+        (bsld - (1.6 + 10.0 / 3.0) / 2.0).abs() < 1e-9,
+        "bsld {bsld}"
+    );
 }
 
 #[test]
 fn case_b_with_inspector_matches_table1() {
     let sim = Simulator::new(5, SimConfig::default());
-    let mut hook = RejectFirst { target: 1, done: false };
+    let mut hook = RejectFirst {
+        target: 1,
+        done: false,
+    };
     let r = sim.run_inspected(&case_b(), &mut policies::Sjf, &mut hook);
     let (wait, bsld) = metrics_excluding_jp(&r);
     // Table 1: wait (4+0)/2 = 2; bsld (1.8+1)/2 = 1.4.
@@ -73,7 +79,10 @@ fn case_b_exact_timeline() {
     assert_eq!(start(1), 3.0, "J0 waits for Jp to release nodes");
     assert_eq!(start(2), 8.0, "J1 waits for J0 (committed selection)");
 
-    let mut hook = RejectFirst { target: 1, done: false };
+    let mut hook = RejectFirst {
+        target: 1,
+        done: false,
+    };
     let r = sim.run_inspected(&case_b(), &mut policies::Sjf, &mut hook);
     let start = |id: u64| r.outcomes.iter().find(|o| o.id == id).unwrap().start / MIN;
     assert_eq!(start(2), 1.0, "after the rejection, J1 runs at its arrival");
@@ -87,7 +96,10 @@ fn case_b_exact_timeline() {
 fn rejection_cost_is_visible_in_utilization() {
     let sim = Simulator::new(5, SimConfig::default());
     let base = sim.run(&case_b(), &mut policies::Sjf);
-    let mut hook = RejectFirst { target: 1, done: false };
+    let mut hook = RejectFirst {
+        target: 1,
+        done: false,
+    };
     let inspected = sim.run_inspected(&case_b(), &mut policies::Sjf, &mut hook);
     // Here the inspected schedule is strictly shorter, so util improves;
     // both must stay in (0, 1].

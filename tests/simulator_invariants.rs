@@ -8,7 +8,12 @@ use simhpc::Observation;
 /// Strategy: a random but valid job list for a `procs`-wide machine.
 fn jobs_strategy(procs: u32, max_jobs: usize) -> impl Strategy<Value = Vec<Job>> {
     prop::collection::vec(
-        (0.0f64..50_000.0, 1.0f64..20_000.0, 1.0f64..3.0, 1u32..=procs),
+        (
+            0.0f64..50_000.0,
+            1.0f64..20_000.0,
+            1.0f64..3.0,
+            1u32..=procs,
+        ),
         1..max_jobs,
     )
     .prop_map(|specs| {
