@@ -1,0 +1,31 @@
+//! Offline dev stub for `serde` (see `devstubs/README.md`).
+//!
+//! The traits are markers with blanket impls and the derives expand to
+//! nothing: `#[derive(Serialize, Deserialize)]` and `Serialize`/
+//! `Deserialize` bounds type-check, but no (de)serialization code is
+//! generated. The workspace's persistence paths use their own text
+//! formats and never call into serde's runtime.
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias matching serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
