@@ -3,7 +3,9 @@
 
 use bench::{bench_inspector, bench_sequence, bench_simulator, bench_trainer, sjf_factory};
 use criterion::{criterion_group, criterion_main, Criterion};
-use inspector::{analysis, run_episode, FeatureBuilder, FeatureMode, Normalizer, RewardKind};
+use inspector::{
+    analysis, run_episode, EpisodeSpec, FeatureBuilder, FeatureMode, Normalizer, RewardKind,
+};
 use rlcore::BinaryPolicy;
 use simhpc::Metric;
 use std::hint::black_box;
@@ -94,17 +96,10 @@ fn bench_fig7_episode(c: &mut Criterion) {
     let policy = BinaryPolicy::new(fb.dim(), 3);
     c.bench_function("fig7_training_episode", |b| {
         b.iter(|| {
-            black_box(run_episode(
-                &sim,
-                black_box(&jobs),
-                &factory,
-                &policy,
-                &fb,
-                RewardKind::Percentage,
-                Metric::Bsld,
-                1,
-                true,
-            ))
+            black_box(run_episode(&EpisodeSpec {
+                seed: 1,
+                ..EpisodeSpec::new(&sim, black_box(&jobs), &factory, &policy, &fb)
+            }))
         })
     });
 }

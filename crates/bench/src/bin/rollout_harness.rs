@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use bench::rollout::{RolloutFixture, BATCH, SEQ_LEN};
 use inspector::BaselineCache;
+use obs::{NullSink, Telemetry};
 
 struct CountingAlloc;
 
@@ -84,6 +85,37 @@ fn measure_pair(fx: &RolloutFixture, workers: usize, cache: &BaselineCache) -> (
     (episodes / opt_secs, episodes / ctl_secs)
 }
 
+/// Episodes/sec for (disabled, NullSink, JsonlSink) telemetry at the given
+/// worker count — the `telemetry_overhead` case. Disabled vs NullSink
+/// isolates the cost of the per-point `Option` check and event
+/// construction; JsonlSink adds serialization and buffered file I/O.
+fn measure_telemetry(fx: &RolloutFixture, workers: usize, cache: &BaselineCache) -> [f64; 3] {
+    let sink_path = std::env::temp_dir().join("bench-telemetry-overhead.jsonl");
+    let variants = [
+        Telemetry::disabled(),
+        Telemetry::new(std::sync::Arc::new(NullSink)),
+        Telemetry::jsonl(&sink_path).expect("create JSONL telemetry"),
+    ];
+    for telemetry in &variants {
+        fx.epoch_traced(usize::MAX / 2, workers, Some(cache), false, telemetry);
+    }
+    let mut secs = [0.0f64; 3];
+    for round in 0..ROUNDS {
+        let first = round * EPOCHS_PER_ROUND;
+        for (k, telemetry) in variants.iter().enumerate() {
+            let t0 = Instant::now();
+            for epoch in first..first + EPOCHS_PER_ROUND {
+                fx.epoch_traced(epoch, workers, Some(cache), false, telemetry);
+            }
+            secs[k] += t0.elapsed().as_secs_f64();
+        }
+    }
+    variants[2].flush();
+    std::fs::remove_file(&sink_path).ok();
+    let episodes = (MEASURE_EPOCHS * BATCH) as f64;
+    secs.map(|s| episodes / s)
+}
+
 /// Allocations per scheduling point of a steady-state *base* simulation
 /// (the path the scratch-buffer work made allocation-free).
 fn steady_state_allocs(fx: &RolloutFixture) -> f64 {
@@ -138,6 +170,14 @@ fn main() {
         rows.push((workers, opt_eps, ctl_eps, speedup));
     }
 
+    let [off_eps, null_eps, jsonl_eps] = measure_telemetry(&fx, 4, &cache);
+    let null_pct = (off_eps / null_eps - 1.0) * 100.0;
+    let jsonl_pct = (off_eps / jsonl_eps - 1.0) * 100.0;
+    eprintln!(
+        "telemetry overhead (4 workers): disabled {off_eps:.1} eps/s, \
+         NullSink {null_eps:.1} ({null_pct:+.2}%), JsonlSink {jsonl_eps:.1} ({jsonl_pct:+.2}%)"
+    );
+
     let per_point = steady_state_allocs(&fx);
     // The pre-optimization loop allocated the observation queue vector and a
     // reservation release-list per inspected scheduling point, plus another
@@ -153,7 +193,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"batch\": {BATCH},\n  \"seq_len\": {SEQ_LEN},\n  \"trace\": \"SDSC-SP2 synthetic, {} jobs, {} procs\",\n  \"measure_epochs\": {MEASURE_EPOCHS},\n  \"episodes_per_sec\": [\n{}\n  ],\n  \"baseline_cache\": {{\n    \"distinct_offsets\": {},\n    \"base_runs\": {},\n    \"lookups\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \"allocations\": {{\n    \"steady_state_allocs_per_scheduling_point\": {:.4},\n    \"avoided_per_scheduling_point_vs_old_loop\": {:.2},\n    \"approx_avoided_per_measured_run\": {}\n  }}\n}}\n",
+        "{{\n  \"batch\": {BATCH},\n  \"seq_len\": {SEQ_LEN},\n  \"trace\": \"SDSC-SP2 synthetic, {} jobs, {} procs\",\n  \"measure_epochs\": {MEASURE_EPOCHS},\n  \"episodes_per_sec\": [\n{}\n  ],\n  \"baseline_cache\": {{\n    \"distinct_offsets\": {},\n    \"base_runs\": {},\n    \"lookups\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \"telemetry_overhead\": {{\n    \"workers\": 4,\n    \"disabled_eps\": {:.1},\n    \"null_sink_eps\": {:.1},\n    \"jsonl_sink_eps\": {:.1},\n    \"null_sink_overhead_pct\": {:.2},\n    \"jsonl_sink_overhead_pct\": {:.2}\n  }},\n  \"allocations\": {{\n    \"steady_state_allocs_per_scheduling_point\": {:.4},\n    \"avoided_per_scheduling_point_vs_old_loop\": {:.2},\n    \"approx_avoided_per_measured_run\": {}\n  }}\n}}\n",
         fx.trace.len(),
         fx.trace.procs,
         rows.iter()
@@ -166,6 +206,11 @@ fn main() {
         cache.base_runs(),
         cache.lookups(),
         cache.hit_rate(),
+        off_eps,
+        null_eps,
+        jsonl_eps,
+        null_pct,
+        jsonl_pct,
         per_point,
         avoided_per_point,
         (avoided_per_point * points_per_run as f64) as u64,

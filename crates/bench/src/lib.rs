@@ -62,7 +62,11 @@ pub fn bench_trainer() -> Trainer {
         workers: 1,
         ..Default::default()
     };
-    Trainer::new(bench_trace().split(0.2).0, sjf_factory(), config)
+    Trainer::builder(bench_trace().split(0.2).0)
+        .policy(PolicyKind::Sjf)
+        .config(config)
+        .build()
+        .expect("bench config is valid")
 }
 
 #[cfg(test)]

@@ -11,9 +11,9 @@
 //!   its baseline and workers get static contiguous chunks.
 
 use inspector::{
-    run_episode, run_episode_with_base, BaselineCache, FeatureBuilder, FeatureMode, Normalizer,
-    PolicyFactory, RewardKind,
+    run_episode, BaselineCache, EpisodeSpec, FeatureBuilder, FeatureMode, Normalizer, PolicyFactory,
 };
+use obs::Telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rlcore::BinaryPolicy;
@@ -100,42 +100,42 @@ impl RolloutFixture {
         cache: Option<&BaselineCache>,
         static_chunks: bool,
     ) -> u64 {
+        self.epoch_traced(epoch, workers, cache, static_chunks, &Telemetry::disabled())
+    }
+
+    /// Like [`RolloutFixture::epoch`], but streaming per-scheduling-point
+    /// events through `telemetry` — the `telemetry_overhead` harness case.
+    pub fn epoch_traced(
+        &self,
+        epoch: usize,
+        workers: usize,
+        cache: Option<&BaselineCache>,
+        static_chunks: bool,
+        telemetry: &Telemetry,
+    ) -> u64 {
         let starts = self.starts(epoch);
         let seed_base = 0x9E37_79B9u64.wrapping_add(epoch as u64);
         let run_one = |i: usize| {
             let jobs = self.trace.sequence(starts[i], SEQ_LEN);
             let seed = seed_base.wrapping_add(i as u64);
-            match cache {
-                Some(cache) => {
-                    let base = cache.get_or_run(starts[i], || {
-                        let mut p = (self.factory)();
-                        self.sim.run(&jobs, p.as_mut())
-                    });
-                    run_episode_with_base(
-                        &self.sim,
-                        &jobs,
-                        &self.factory,
-                        base,
-                        &self.policy,
-                        &self.features,
-                        RewardKind::Percentage,
-                        Metric::Bsld,
-                        seed,
-                        true,
-                    )
-                }
-                None => run_episode(
+            let base = cache.map(|cache| {
+                cache.get_or_run(starts[i], || {
+                    let mut p = (self.factory)();
+                    self.sim.run(&jobs, p.as_mut())
+                })
+            });
+            run_episode(&EpisodeSpec {
+                seed,
+                base,
+                telemetry: telemetry.clone(),
+                ..EpisodeSpec::new(
                     &self.sim,
                     &jobs,
                     &self.factory,
                     &self.policy,
                     &self.features,
-                    RewardKind::Percentage,
-                    Metric::Bsld,
-                    seed,
-                    true,
-                ),
-            }
+                )
+            })
         };
         let episodes = if static_chunks {
             static_chunk_map(BATCH, workers, run_one)

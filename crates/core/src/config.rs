@@ -65,7 +65,77 @@ impl InspectorConfig {
             ..Default::default()
         }
     }
+
+    /// Check that the configuration can drive a training run. Called by
+    /// [`TrainerBuilder::build`](crate::TrainerBuilder::build); the
+    /// deprecated panicking constructor funnels through the same checks.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatchSize);
+        }
+        if self.seq_len == 0 {
+            return Err(ConfigError::ZeroSeqLen);
+        }
+        // NaN must fail too, hence not a plain `> 0.0` check.
+        if self.sim.max_interval.is_nan() || self.sim.max_interval <= 0.0 {
+            return Err(ConfigError::NonPositiveMaxInterval {
+                value: self.sim.max_interval,
+            });
+        }
+        if self.sim.max_rejections == 0 {
+            return Err(ConfigError::ZeroMaxRejections);
+        }
+        Ok(())
+    }
 }
+
+/// A training configuration that cannot drive a run, with enough context
+/// to state which knob is wrong and why.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `batch_size` was 0: an epoch would collect no trajectories.
+    ZeroBatchSize,
+    /// `seq_len` was 0: every episode would be empty.
+    ZeroSeqLen,
+    /// `sim.max_interval` must be positive or a rejected decision could
+    /// never advance simulated time.
+    NonPositiveMaxInterval {
+        /// The offending value.
+        value: f64,
+    },
+    /// `sim.max_rejections` was 0: no decision would ever be inspected, so
+    /// the policy would receive no training signal.
+    ZeroMaxRejections,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroBatchSize => {
+                write!(f, "batch_size is 0: an epoch would collect no trajectories")
+            }
+            ConfigError::ZeroSeqLen => {
+                write!(f, "seq_len is 0: every episode would be empty")
+            }
+            ConfigError::NonPositiveMaxInterval { value } => {
+                write!(
+                    f,
+                    "sim.max_interval is {value}: rejections could never advance time \
+                     (MAX_INTERVAL must be positive)"
+                )
+            }
+            ConfigError::ZeroMaxRejections => {
+                write!(
+                    f,
+                    "sim.max_rejections is 0: no decision would be inspected and the \
+                     policy would receive no training signal"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -82,5 +152,47 @@ mod tests {
         assert_eq!(c.sim.max_interval, 600.0);
         assert_eq!(c.sim.max_rejections, 72);
         assert!(c.baseline_cache);
+    }
+
+    #[test]
+    fn default_and_quick_configs_validate() {
+        assert_eq!(InspectorConfig::default().validate(), Ok(()));
+        assert_eq!(InspectorConfig::quick().validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_knobs_produce_typed_errors() {
+        let mut c = InspectorConfig::quick();
+        c.batch_size = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroBatchSize));
+
+        let mut c = InspectorConfig::quick();
+        c.seq_len = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroSeqLen));
+
+        let mut c = InspectorConfig::quick();
+        c.sim.max_interval = -1.0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NonPositiveMaxInterval { value: -1.0 })
+        );
+        c.sim.max_interval = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositiveMaxInterval { .. })
+        ));
+
+        let mut c = InspectorConfig::quick();
+        c.sim.max_rejections = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxRejections));
+    }
+
+    #[test]
+    fn config_errors_display_the_offending_value() {
+        let e = ConfigError::NonPositiveMaxInterval { value: -2.5 };
+        assert!(e.to_string().contains("-2.5"));
+        assert!(ConfigError::ZeroBatchSize
+            .to_string()
+            .contains("batch_size"));
     }
 }

@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use obs::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rlcore::{BinaryPolicy, PolicyScratch, Step, Trajectory, REJECT};
@@ -76,56 +77,105 @@ impl InspectorHook for CollectingHook<'_> {
     }
 }
 
-/// Run one episode. `stochastic` selects sampled actions (training) vs.
-/// greedy actions (deployment/evaluation). The terminal reward compares the
-/// inspected run against the base-policy run under `reward`/`metric`.
-#[allow(clippy::too_many_arguments)]
-pub fn run_episode(
-    sim: &Simulator,
-    jobs: &[Job],
-    factory: &PolicyFactory,
-    policy: &BinaryPolicy,
-    features: &FeatureBuilder,
-    reward: RewardKind,
-    metric: Metric,
-    seed: u64,
-    stochastic: bool,
-) -> Episode {
-    let mut base_policy = factory();
-    let base = Arc::new(sim.run(jobs, base_policy.as_mut()));
-    run_episode_with_base(
-        sim, jobs, factory, base, policy, features, reward, metric, seed, stochastic,
-    )
+/// Everything [`run_episode`] needs, as an options struct.
+///
+/// The five required references go through [`EpisodeSpec::new`]; every
+/// knob that used to be a positional argument is a public field with a
+/// training-shaped default. Construct with struct-update syntax:
+///
+/// ```ignore
+/// let episode = run_episode(&EpisodeSpec {
+///     seed: 42,
+///     base: Some(cached_base),
+///     ..EpisodeSpec::new(&sim, &jobs, &factory, &policy, &features)
+/// });
+/// ```
+#[derive(Clone)]
+pub struct EpisodeSpec<'a> {
+    /// Simulator to run both schedules on.
+    pub sim: &'a Simulator,
+    /// The job sequence (submit times rebased to 0).
+    pub jobs: &'a [Job],
+    /// Fresh base-policy instances for the base and inspected runs.
+    pub factory: &'a PolicyFactory,
+    /// The inspector policy being queried at every scheduling point.
+    pub policy: &'a BinaryPolicy,
+    /// Feature builder translating observations into policy inputs.
+    pub features: &'a FeatureBuilder,
+    /// Reward function for the terminal reward (default: percentage).
+    pub reward: RewardKind,
+    /// Metric the reward compares (default: bsld).
+    pub metric: Metric,
+    /// Per-episode RNG seed for sampled actions (default: 0).
+    pub seed: u64,
+    /// Sampled actions (training, default) vs. greedy actions (deployment).
+    pub stochastic: bool,
+    /// An already-computed base run (e.g. from a
+    /// [`BaselineCache`](crate::BaselineCache)); `None` re-simulates the
+    /// base policy here.
+    pub base: Option<Arc<SimResult>>,
+    /// Telemetry for the inspected run's per-scheduling-point event stream
+    /// (default: disabled).
+    pub telemetry: Telemetry,
 }
 
-/// Like [`run_episode`], but against an already-computed base result (from a
-/// [`BaselineCache`](crate::BaselineCache)), skipping the base simulation.
-#[allow(clippy::too_many_arguments)]
-pub fn run_episode_with_base(
-    sim: &Simulator,
-    jobs: &[Job],
-    factory: &PolicyFactory,
-    base: Arc<SimResult>,
-    policy: &BinaryPolicy,
-    features: &FeatureBuilder,
-    reward: RewardKind,
-    metric: Metric,
-    seed: u64,
-    stochastic: bool,
-) -> Episode {
-    let mut inspected_policy = factory();
+impl<'a> EpisodeSpec<'a> {
+    /// A spec with training-shaped defaults: percentage reward, bsld
+    /// metric, seed 0, stochastic actions, no cached base, telemetry off.
+    pub fn new(
+        sim: &'a Simulator,
+        jobs: &'a [Job],
+        factory: &'a PolicyFactory,
+        policy: &'a BinaryPolicy,
+        features: &'a FeatureBuilder,
+    ) -> Self {
+        EpisodeSpec {
+            sim,
+            jobs,
+            factory,
+            policy,
+            features,
+            reward: RewardKind::Percentage,
+            metric: Metric::Bsld,
+            seed: 0,
+            stochastic: true,
+            base: None,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Run one episode described by `spec`: the base run (reused from
+/// `spec.base` when present), the inspected run, and the terminal reward
+/// comparing the two under `spec.reward`/`spec.metric`.
+pub fn run_episode(spec: &EpisodeSpec) -> Episode {
+    let base = match &spec.base {
+        Some(base) => base.clone(),
+        None => {
+            let mut base_policy = (spec.factory)();
+            Arc::new(spec.sim.run(spec.jobs, base_policy.as_mut()))
+        }
+    };
+    let mut inspected_policy = (spec.factory)();
     let mut hook = CollectingHook {
-        policy,
-        features,
-        rng: StdRng::seed_from_u64(seed),
-        stochastic,
+        policy: spec.policy,
+        features: spec.features,
+        rng: StdRng::seed_from_u64(spec.seed),
+        stochastic: spec.stochastic,
         steps: Vec::new(),
-        buf: Vec::with_capacity(features.dim()),
+        buf: Vec::with_capacity(spec.features.dim()),
         scratch: PolicyScratch::default(),
     };
-    let inspected = sim.run_inspected(jobs, inspected_policy.as_mut(), &mut hook);
+    let inspected = spec.sim.run_traced(
+        spec.jobs,
+        inspected_policy.as_mut(),
+        &mut hook,
+        &spec.telemetry,
+    );
 
-    let r = reward.compute(base.metric(metric), inspected.metric(metric));
+    let r = spec
+        .reward
+        .compute(base.metric(spec.metric), inspected.metric(spec.metric));
     Episode {
         trajectory: Trajectory {
             steps: hook.steps,
@@ -171,17 +221,11 @@ mod tests {
     fn episode_records_one_step_per_inspection() {
         let (sim, fb, factory) = setup();
         let policy = BinaryPolicy::new(fb.dim(), 0);
-        let ep = run_episode(
-            &sim,
-            &jobs(),
-            &factory,
-            &policy,
-            &fb,
-            RewardKind::Percentage,
-            Metric::Bsld,
-            1,
-            true,
-        );
+        let jobs = jobs();
+        let ep = run_episode(&EpisodeSpec {
+            seed: 1,
+            ..EpisodeSpec::new(&sim, &jobs, &factory, &policy, &fb)
+        });
         assert_eq!(ep.trajectory.len() as u64, ep.inspected.inspections);
         assert_eq!(ep.base.outcomes.len(), 12);
         assert_eq!(ep.inspected.outcomes.len(), 12);
@@ -192,18 +236,13 @@ mod tests {
     fn greedy_episodes_are_deterministic() {
         let (sim, fb, factory) = setup();
         let policy = BinaryPolicy::new(fb.dim(), 3);
+        let jobs = jobs();
         let run = |seed| {
-            run_episode(
-                &sim,
-                &jobs(),
-                &factory,
-                &policy,
-                &fb,
-                RewardKind::Percentage,
-                Metric::Bsld,
+            run_episode(&EpisodeSpec {
                 seed,
-                false,
-            )
+                stochastic: false,
+                ..EpisodeSpec::new(&sim, &jobs, &factory, &policy, &fb)
+            })
         };
         let a = run(1);
         let b = run(999); // greedy ignores the seed
@@ -215,24 +254,55 @@ mod tests {
     fn stochastic_episodes_vary_with_seed() {
         let (sim, fb, factory) = setup();
         let policy = BinaryPolicy::new(fb.dim(), 3);
+        let jobs = jobs();
         let run = |seed| {
-            run_episode(
-                &sim,
-                &jobs(),
-                &factory,
-                &policy,
-                &fb,
-                RewardKind::Percentage,
-                Metric::Bsld,
+            run_episode(&EpisodeSpec {
                 seed,
-                true,
-            )
+                ..EpisodeSpec::new(&sim, &jobs, &factory, &policy, &fb)
+            })
             .trajectory
         };
         // With a fresh policy p(reject) ≈ 0.5, so some seed differs.
         let base = run(0);
         let differs = (1..10).any(|s| run(s) != base);
         assert!(differs, "sampled trajectories should vary across seeds");
+    }
+
+    #[test]
+    fn cached_base_short_circuits_the_base_run() {
+        let (sim, fb, factory) = setup();
+        let policy = BinaryPolicy::new(fb.dim(), 3);
+        let jobs = jobs();
+        let fresh = run_episode(&EpisodeSpec {
+            stochastic: false,
+            ..EpisodeSpec::new(&sim, &jobs, &factory, &policy, &fb)
+        });
+        let cached = run_episode(&EpisodeSpec {
+            stochastic: false,
+            base: Some(fresh.base.clone()),
+            ..EpisodeSpec::new(&sim, &jobs, &factory, &policy, &fb)
+        });
+        assert!(Arc::ptr_eq(&fresh.base, &cached.base));
+        assert_eq!(fresh.inspected, cached.inspected);
+        assert_eq!(fresh.trajectory.reward, cached.trajectory.reward);
+    }
+
+    #[test]
+    fn episode_telemetry_streams_scheduling_points() {
+        let (sim, fb, factory) = setup();
+        let policy = BinaryPolicy::new(fb.dim(), 0);
+        let jobs = jobs();
+        let (telemetry, sink) = Telemetry::in_memory();
+        let ep = run_episode(&EpisodeSpec {
+            telemetry,
+            ..EpisodeSpec::new(&sim, &jobs, &factory, &policy, &fb)
+        });
+        let decisions = sink.counter_total("sim.accept") + sink.counter_total("sim.reject");
+        assert_eq!(decisions, ep.inspected.inspections);
+        assert_eq!(sink.counter_total("sim.reject"), ep.inspected.rejections);
+        for u in sink.gauge_values("sim.util") {
+            assert!((0.0..=1.0).contains(&u), "utilization out of range: {u}");
+        }
     }
 
     #[test]

@@ -126,18 +126,17 @@ pub fn evaluate(
             let mut p = factory();
             sim.run(jobs, p.as_mut())
         });
-        let episode = crate::env::run_episode_with_base(
-            &sim,
-            jobs,
-            factory,
-            base,
-            &inspector.policy,
-            &inspector.features,
-            crate::reward::RewardKind::Percentage,
-            simhpc::Metric::Bsld, // reward value is unused here
-            seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            true,
-        );
+        let episode = crate::env::run_episode(&crate::env::EpisodeSpec {
+            seed: seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            base: Some(base),
+            ..crate::env::EpisodeSpec::new(
+                &sim,
+                jobs,
+                factory,
+                &inspector.policy,
+                &inspector.features,
+            )
+        });
         EvalCase {
             start: *start,
             base: (*episode.base).clone(),

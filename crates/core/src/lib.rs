@@ -24,12 +24,16 @@
 //! let mut config = InspectorConfig::quick();
 //! config.epochs = 2;
 //! config.batch_size = 4;
-//! let factory = factory_for(PolicyKind::Sjf);
-//! let mut trainer = Trainer::new(train, factory.clone(), config);
+//! let mut trainer = Trainer::builder(train)
+//!     .policy(PolicyKind::Sjf)
+//!     .config(config)
+//!     .build()
+//!     .expect("valid config");
 //! let history = trainer.train();
 //! assert_eq!(history.records.len(), 2);
 //!
 //! // Evaluate on held-out sequences.
+//! let factory = factory_for(PolicyKind::Sjf);
 //! let report = evaluate(
 //!     &trainer.inspector(), &test, &factory, config.sim, 3, 64, 7, 0,
 //! );
@@ -49,14 +53,12 @@ mod trainer;
 
 pub use agent::{DeployedHook, SchedInspector};
 pub use baseline::BaselineCache;
-pub use config::InspectorConfig;
-pub use env::{
-    factory_for, run_episode, run_episode_with_base, slurm_factory, Episode, PolicyFactory,
-};
+pub use config::{ConfigError, InspectorConfig};
+pub use env::{factory_for, run_episode, slurm_factory, Episode, EpisodeSpec, PolicyFactory};
 pub use eval::{evaluate, evaluate_base, EvalCase, EvalReport};
 pub use features::{FeatureBuilder, FeatureMode, Normalizer};
 pub use reward::RewardKind;
-pub use trainer::{EpochRecord, Trainer, TrainingHistory};
+pub use trainer::{EpochRecord, EpochTiming, TrainError, Trainer, TrainerBuilder, TrainingHistory};
 
 #[cfg(test)]
 mod tests {
@@ -94,8 +96,11 @@ mod tests {
             workers: 0,
             ..Default::default()
         };
-        let factory = factory_for(PolicyKind::Sjf);
-        let mut trainer = Trainer::new(trace, factory, config);
+        let mut trainer = Trainer::builder(trace)
+            .policy(PolicyKind::Sjf)
+            .config(config)
+            .build()
+            .unwrap();
         let history = trainer.train();
         let early = history.records[0].improvement_pct;
         let late = history.converged_improvement(3);

@@ -2,6 +2,10 @@
 //! episodes in parallel, compute percentage rewards against the base
 //! policy, and update the actor–critic.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use obs::Telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rlcore::{default_workers, parallel_map, Batch, PpoConfig, PpoTrainer, UpdateStats};
@@ -11,13 +15,27 @@ use workload::JobTrace;
 
 use crate::agent::SchedInspector;
 use crate::baseline::BaselineCache;
-use crate::config::InspectorConfig;
-use crate::env::{run_episode_with_base, PolicyFactory};
+use crate::config::{ConfigError, InspectorConfig};
+use crate::env::{run_episode, EpisodeSpec, PolicyFactory};
 use crate::features::{FeatureBuilder, Normalizer};
+
+/// Wall-time breakdown of one epoch. Carried by [`EpochRecord`] for
+/// diagnostics but excluded from its `PartialEq`: two runs with identical
+/// training results compare equal regardless of how fast they ran.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EpochTiming {
+    /// Seconds spent rolling out the batch (includes baseline runs).
+    pub rollout_secs: f64,
+    /// Seconds spent inside baseline-policy simulations (cache misses).
+    /// Summed across rollout workers, so it can exceed `rollout_secs`.
+    pub baseline_secs: f64,
+    /// Seconds spent in the PPO update.
+    pub update_secs: f64,
+}
 
 /// Per-epoch training diagnostics — the data behind every training-curve
 /// figure in the paper (Figs. 4–7, 9, 11, 12).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct EpochRecord {
     /// Epoch index (one model update each).
     pub epoch: usize,
@@ -35,8 +53,32 @@ pub struct EpochRecord {
     pub inspected_metric: f64,
     /// Rejections / inspections over the batch (Fig. 7's orange curves).
     pub rejection_ratio: f64,
+    /// Scheduling points inspected over the batch.
+    pub inspections: u64,
+    /// Rejections issued over the batch.
+    pub rejections: u64,
+    /// Wall-time breakdown (excluded from equality).
+    pub timing: EpochTiming,
     /// PPO update diagnostics.
     pub stats: UpdateStats,
+}
+
+/// Equality over training results only — `timing` is machine- and
+/// load-dependent, so it must not break the determinism guarantees
+/// (fixed seed ⇒ identical [`TrainingHistory`]).
+impl PartialEq for EpochRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.epoch == other.epoch
+            && self.mean_reward == other.mean_reward
+            && self.improvement == other.improvement
+            && self.improvement_pct == other.improvement_pct
+            && self.base_metric == other.base_metric
+            && self.inspected_metric == other.inspected_metric
+            && self.rejection_ratio == other.rejection_ratio
+            && self.inspections == other.inspections
+            && self.rejections == other.rejections
+            && self.stats == other.stats
+    }
 }
 
 /// The full training curve.
@@ -67,6 +109,118 @@ impl TrainingHistory {
     }
 }
 
+/// Why a [`TrainerBuilder`] could not produce a [`Trainer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The configuration failed [`InspectorConfig::validate`].
+    Config(ConfigError),
+    /// The trace has no jobs — nothing to sample sequences from.
+    EmptyTrace {
+        /// Name of the offending trace.
+        trace: String,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Config(e) => write!(f, "invalid training config: {e}"),
+            TrainError::EmptyTrace { trace } => {
+                write!(f, "trace '{trace}' has no jobs to train on")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Config(e) => Some(e),
+            TrainError::EmptyTrace { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for TrainError {
+    fn from(e: ConfigError) -> Self {
+        TrainError::Config(e)
+    }
+}
+
+/// Step-by-step construction of a [`Trainer`], created by
+/// [`Trainer::builder`]. Validates the configuration and trace in
+/// [`build`](TrainerBuilder::build) instead of panicking.
+///
+/// ```ignore
+/// let trainer = Trainer::builder(trace)
+///     .policy(PolicyKind::Sjf)
+///     .config(InspectorConfig::quick())
+///     .telemetry(telemetry)
+///     .build()?;
+/// ```
+pub struct TrainerBuilder {
+    trace: JobTrace,
+    factory: Option<PolicyFactory>,
+    config: InspectorConfig,
+    telemetry: Telemetry,
+}
+
+impl TrainerBuilder {
+    /// Use a stateless Table 3 base policy.
+    pub fn policy(mut self, kind: policies::PolicyKind) -> Self {
+        self.factory = Some(crate::env::factory_for(kind));
+        self
+    }
+
+    /// Use the Slurm multifactor base policy, shares derived from the
+    /// trace (§4.5).
+    pub fn slurm(mut self) -> Self {
+        self.factory = Some(crate::env::slurm_factory(&self.trace));
+        self
+    }
+
+    /// Use a custom base-policy factory (overrides
+    /// [`policy`](TrainerBuilder::policy)/[`slurm`](TrainerBuilder::slurm)).
+    pub fn factory(mut self, factory: PolicyFactory) -> Self {
+        self.factory = Some(factory);
+        self
+    }
+
+    /// Set the training configuration (default:
+    /// [`InspectorConfig::default`]).
+    pub fn config(mut self, config: InspectorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attach a telemetry handle; training emits spans, counters, and
+    /// gauges through it (default: disabled, zero overhead).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Validate and build the [`Trainer`]. Without an explicit base policy
+    /// the paper's FCFS baseline is used.
+    pub fn build(self) -> Result<Trainer, TrainError> {
+        self.config.validate()?;
+        if self.trace.is_empty() {
+            return Err(TrainError::EmptyTrace {
+                trace: self.trace.name.clone(),
+            });
+        }
+        let factory = self
+            .factory
+            .unwrap_or_else(|| crate::env::factory_for(policies::PolicyKind::Fcfs));
+        Ok(Trainer::assemble(
+            self.trace,
+            factory,
+            self.config,
+            self.telemetry,
+        ))
+    }
+}
+
 /// Trains a [`SchedInspector`] for one (base policy, trace, metric) combo.
 pub struct Trainer {
     config: InspectorConfig,
@@ -77,12 +231,44 @@ pub struct Trainer {
     sim: Simulator,
     rng: StdRng,
     baseline: BaselineCache,
+    telemetry: Telemetry,
 }
 
 impl Trainer {
-    /// Create a trainer over `trace` (typically the train split) improving
-    /// the base policy produced by `factory`.
+    /// Start building a trainer over `trace` (typically the train split).
+    pub fn builder(trace: JobTrace) -> TrainerBuilder {
+        TrainerBuilder {
+            trace,
+            factory: None,
+            config: InspectorConfig::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Create a trainer over `trace` improving the base policy produced by
+    /// `factory`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or empty trace. Use
+    /// [`Trainer::builder`] for the fallible path.
+    #[deprecated(since = "0.2.0", note = "use Trainer::builder(trace)…build()")]
     pub fn new(trace: JobTrace, factory: PolicyFactory, config: InspectorConfig) -> Self {
+        match Trainer::builder(trace)
+            .factory(factory)
+            .config(config)
+            .build()
+        {
+            Ok(t) => t,
+            Err(e) => panic!("Trainer::new: {e}"),
+        }
+    }
+
+    fn assemble(
+        trace: JobTrace,
+        factory: PolicyFactory,
+        config: InspectorConfig,
+        telemetry: Telemetry,
+    ) -> Self {
         let stats = trace.stats();
         let norm = Normalizer {
             max_estimate: stats.max_estimate.max(1.0),
@@ -113,6 +299,7 @@ impl Trainer {
             sim,
             rng,
             baseline,
+            telemetry,
         }
     }
 
@@ -134,6 +321,7 @@ impl Trainer {
     /// Run one epoch: collect `batch_size` trajectories in parallel and
     /// update the networks.
     pub fn train_epoch(&mut self, epoch: usize) -> EpochRecord {
+        let _epoch_span = obs::span!(self.telemetry, "epoch");
         let n = self.config.batch_size;
         let seq_len = self.config.seq_len;
         let max_start = self.trace.len().saturating_sub(seq_len);
@@ -158,33 +346,39 @@ impl Trainer {
             self.config.workers
         };
         let policy = self.ppo.policy.clone();
-        let (sim, features, factory, trace, config, baseline) = (
+        let (sim, features, factory, trace, config, baseline, telemetry) = (
             &self.sim,
             &self.features,
             &self.factory,
             &self.trace,
             &self.config,
             &self.baseline,
+            &self.telemetry,
         );
+        let (hits0, runs0) = (baseline.hits(), baseline.base_runs());
+        let baseline_nanos = AtomicU64::new(0);
+        let rollout_span = obs::span!(self.telemetry, "rollout");
+        let rollout_start = Instant::now();
         let episodes = parallel_map(n, workers, |i| {
             let jobs = trace.sequence(starts[i], seq_len);
             let base = baseline.get_or_run(starts[i], || {
+                let t0 = Instant::now();
                 let mut p = factory();
-                sim.run(&jobs, p.as_mut())
+                let r = sim.run(&jobs, p.as_mut());
+                baseline_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                r
             });
-            run_episode_with_base(
-                sim,
-                &jobs,
-                factory,
-                base,
-                &policy,
-                features,
-                config.reward,
-                config.metric,
-                episode_seed_base.wrapping_add(i as u64),
-                true,
-            )
+            run_episode(&EpisodeSpec {
+                seed: episode_seed_base.wrapping_add(i as u64),
+                base: Some(base),
+                reward: config.reward,
+                metric: config.metric,
+                telemetry: telemetry.clone(),
+                ..EpisodeSpec::new(sim, &jobs, factory, &policy, features)
+            })
         });
+        let rollout_secs = rollout_start.elapsed().as_secs_f64();
+        drop(rollout_span);
 
         let m = self.config.metric;
         let base_metric = episodes.iter().map(|e| e.base.metric(m)).sum::<f64>() / n.max(1) as f64;
@@ -209,7 +403,40 @@ impl Trainer {
             trajectories: episodes.into_iter().map(|e| e.trajectory).collect(),
         };
         let mean_reward = batch.mean_reward();
-        let stats = self.ppo.update(&batch);
+        let update_span = obs::span!(self.telemetry, "ppo_update");
+        let update_start = Instant::now();
+        let stats = self.ppo.update_traced(&batch, &self.telemetry);
+        let update_secs = update_start.elapsed().as_secs_f64();
+        drop(update_span);
+
+        let rejection_ratio = if inspections == 0 {
+            0.0
+        } else {
+            rejections as f64 / inspections as f64
+        };
+        if self.telemetry.is_enabled() {
+            self.telemetry.count("train.episodes", n as u64);
+            self.telemetry.count("train.inspections", inspections);
+            self.telemetry.count("train.rejections", rejections);
+            let (hits, runs) = (self.baseline.hits(), self.baseline.base_runs());
+            self.telemetry.count("baseline.hits", hits - hits0);
+            self.telemetry.count("baseline.runs", runs - runs0);
+            let lookups = self.baseline.lookups();
+            if lookups > 0 {
+                self.telemetry
+                    .gauge("baseline.hit_rate", hits as f64 / lookups as f64);
+            }
+            self.telemetry
+                .gauge("epoch.mean_reward", mean_reward as f64);
+            self.telemetry
+                .gauge("epoch.improvement_pct", improvement_pct);
+            self.telemetry
+                .gauge("epoch.rejection_ratio", rejection_ratio);
+            if rollout_secs > 0.0 {
+                self.telemetry
+                    .gauge("rollout.points_per_sec", inspections as f64 / rollout_secs);
+            }
+        }
 
         EpochRecord {
             epoch,
@@ -218,10 +445,13 @@ impl Trainer {
             improvement_pct,
             base_metric,
             inspected_metric,
-            rejection_ratio: if inspections == 0 {
-                0.0
-            } else {
-                rejections as f64 / inspections as f64
+            rejection_ratio,
+            inspections,
+            rejections,
+            timing: EpochTiming {
+                rollout_secs,
+                baseline_secs: baseline_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+                update_secs,
             },
             stats,
         }
@@ -276,7 +506,11 @@ mod tests {
             workers: 2,
             ..Default::default()
         };
-        let mut t = Trainer::new(tiny_trace(), factory_for(PolicyKind::Sjf), config);
+        let mut t = Trainer::builder(tiny_trace())
+            .policy(PolicyKind::Sjf)
+            .config(config)
+            .build()
+            .unwrap();
         let rec = t.train_epoch(0);
         assert!(rec.base_metric.is_finite());
         assert!(rec.inspected_metric.is_finite());
@@ -295,7 +529,11 @@ mod tests {
             ..Default::default()
         };
         let run = || {
-            let mut t = Trainer::new(tiny_trace(), factory_for(PolicyKind::Sjf), config);
+            let mut t = Trainer::builder(tiny_trace())
+                .policy(PolicyKind::Sjf)
+                .config(config)
+                .build()
+                .unwrap();
             t.train()
         };
         let a = run();
@@ -314,7 +552,11 @@ mod tests {
             ..Default::default()
         };
         let run = |workers| {
-            let mut t = Trainer::new(tiny_trace(), factory_for(PolicyKind::Sjf), mk(workers));
+            let mut t = Trainer::builder(tiny_trace())
+                .policy(PolicyKind::Sjf)
+                .config(mk(workers))
+                .build()
+                .unwrap();
             t.train_epoch(0)
         };
         assert_eq!(run(1), run(4));
@@ -332,11 +574,11 @@ mod tests {
             ..Default::default()
         };
         let run = |baseline_cache| {
-            let mut t = Trainer::new(
-                tiny_trace(),
-                factory_for(PolicyKind::Sjf),
-                mk(baseline_cache),
-            );
+            let mut t = Trainer::builder(tiny_trace())
+                .policy(PolicyKind::Sjf)
+                .config(mk(baseline_cache))
+                .build()
+                .unwrap();
             (t.train(), t.baseline_cache().base_runs())
         };
         let (cached, cached_runs) = run(true);
@@ -358,7 +600,11 @@ mod tests {
             workers: 3,
             ..Default::default()
         };
-        let mut t = Trainer::new(tiny_trace(), factory_for(PolicyKind::Sjf), config);
+        let mut t = Trainer::builder(tiny_trace())
+            .policy(PolicyKind::Sjf)
+            .config(config)
+            .build()
+            .unwrap();
         t.train();
         let cache = t.baseline_cache();
         // max_start = 400 - 395 = 5, so at most 6 distinct offsets exist.
@@ -371,8 +617,138 @@ mod tests {
     #[test]
     fn inspector_snapshot_matches_feature_dim() {
         let config = InspectorConfig::quick();
-        let t = Trainer::new(tiny_trace(), factory_for(PolicyKind::Sjf), config);
+        let t = Trainer::builder(tiny_trace())
+            .policy(PolicyKind::Sjf)
+            .config(config)
+            .build()
+            .unwrap();
         let insp = t.inspector();
         assert_eq!(insp.policy.input_dim(), t.features().dim());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_config_and_empty_trace() {
+        let bad = InspectorConfig {
+            batch_size: 0,
+            ..InspectorConfig::quick()
+        };
+        let err = Trainer::builder(tiny_trace())
+            .policy(PolicyKind::Sjf)
+            .config(bad)
+            .build()
+            .err()
+            .unwrap();
+        assert_eq!(err, TrainError::Config(ConfigError::ZeroBatchSize));
+        assert!(err.to_string().contains("batch_size"));
+
+        let empty = JobTrace::new("empty", 8, Vec::new()).unwrap();
+        let err = Trainer::builder(empty)
+            .policy(PolicyKind::Sjf)
+            .config(InspectorConfig::quick())
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(err, TrainError::EmptyTrace { .. }));
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_matches_builder() {
+        let config = InspectorConfig {
+            batch_size: 4,
+            seq_len: 16,
+            epochs: 1,
+            seed: 7,
+            workers: 1,
+            ..Default::default()
+        };
+        let mut old = Trainer::new(tiny_trace(), factory_for(PolicyKind::Sjf), config);
+        let mut new = Trainer::builder(tiny_trace())
+            .policy(PolicyKind::Sjf)
+            .config(config)
+            .build()
+            .unwrap();
+        assert_eq!(old.train_epoch(0), new.train_epoch(0));
+    }
+
+    /// One training epoch must emit the documented event set, with spans
+    /// paired, timestamps monotonic (single worker), and counter totals
+    /// reconciling exactly with the returned [`EpochRecord`].
+    #[test]
+    fn one_epoch_emits_a_reconcilable_event_stream() {
+        let config = InspectorConfig {
+            batch_size: 5,
+            seq_len: 24,
+            epochs: 1,
+            seed: 13,
+            workers: 1, // multi-worker recording may interleave timestamps
+            ..Default::default()
+        };
+        let (telemetry, sink) = obs::Telemetry::in_memory();
+        let mut t = Trainer::builder(tiny_trace())
+            .policy(PolicyKind::Sjf)
+            .config(config)
+            .telemetry(telemetry)
+            .build()
+            .unwrap();
+        let rec = t.train_epoch(0);
+
+        let pairs = sink.check_span_pairing().expect("spans must pair");
+        assert_eq!(pairs.get("epoch"), Some(&1));
+        assert_eq!(pairs.get("rollout"), Some(&1));
+        assert_eq!(pairs.get("ppo_update"), Some(&1));
+        sink.check_monotonic_timestamps().expect("monotonic");
+
+        assert_eq!(sink.counter_total("train.episodes"), 5);
+        assert_eq!(sink.counter_total("train.inspections"), rec.inspections);
+        assert_eq!(sink.counter_total("train.rejections"), rec.rejections);
+        let decisions = sink.counter_total("sim.accept") + sink.counter_total("sim.reject");
+        assert_eq!(decisions, rec.inspections);
+        assert_eq!(sink.counter_total("sim.reject"), rec.rejections);
+        assert_eq!(
+            sink.counter_total("baseline.hits") + sink.counter_total("baseline.runs"),
+            t.baseline_cache().lookups()
+        );
+
+        assert_eq!(
+            sink.gauge_values("epoch.mean_reward"),
+            vec![rec.mean_reward as f64]
+        );
+        assert_eq!(
+            sink.gauge_values("epoch.rejection_ratio"),
+            vec![rec.rejection_ratio]
+        );
+        // The epoch span covers the whole call, so its duration bounds the
+        // per-stage wall times recorded in the EpochRecord.
+        let epoch_dur = sink.span_durations("epoch")[0];
+        assert!(rec.timing.rollout_secs <= epoch_dur);
+        assert!(rec.timing.update_secs <= epoch_dur);
+        assert!(rec.timing.rollout_secs >= 0.0 && rec.timing.baseline_secs >= 0.0);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_training_results() {
+        let config = InspectorConfig {
+            batch_size: 4,
+            seq_len: 16,
+            epochs: 2,
+            seed: 21,
+            workers: 2,
+            ..Default::default()
+        };
+        let run = |telemetry| {
+            let mut t = Trainer::builder(tiny_trace())
+                .policy(PolicyKind::Sjf)
+                .config(config)
+                .telemetry(telemetry)
+                .build()
+                .unwrap();
+            t.train()
+        };
+        let silent = run(Telemetry::disabled());
+        let (telemetry, _sink) = obs::Telemetry::in_memory();
+        let traced = run(telemetry);
+        assert_eq!(silent, traced);
     }
 }

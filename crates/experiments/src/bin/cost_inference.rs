@@ -5,7 +5,7 @@
 
 use std::time::Instant;
 
-use experiments::{parse_args, print_table, train_combo, ComboSpec, Scale};
+use experiments::{parse_args, print_table, train_combo_traced, ComboSpec, Scale};
 use inspector::{FeatureBuilder, FeatureMode, Normalizer, SchedInspector};
 use policies::PolicyKind;
 use rlcore::BinaryPolicy;
@@ -37,6 +37,7 @@ fn observation() -> Observation {
 
 fn main() {
     let (_, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("cost_inference");
     println!("§4.6: computational cost of SchedInspector\n");
 
     // ---- inference latency ----
@@ -67,7 +68,12 @@ fn main() {
         ..Scale::quick()
     };
     let t0 = Instant::now();
-    let out = train_combo(&ComboSpec::new("SDSC-SP2", PolicyKind::Sjf), &scale, seed);
+    let out = train_combo_traced(
+        &ComboSpec::new("SDSC-SP2", PolicyKind::Sjf),
+        &scale,
+        seed,
+        &telemetry,
+    );
     let per_epoch = t0.elapsed().as_secs_f64() / out.history.records.len() as f64;
 
     print_table(

@@ -11,6 +11,7 @@ use simhpc::SimConfig;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("ext_ablation_knobs");
     println!("Ablation: MAX_INTERVAL and MAX_REJECTION_TIMES (SJF, SDSC-SP2, bsld)\n");
     let spec = ComboSpec::new("SDSC-SP2", PolicyKind::Sjf);
     let mut rows = Vec::new();
@@ -28,8 +29,12 @@ fn main() {
             seed,
             ..Default::default()
         };
-        let factory = inspector::factory_for(PolicyKind::Sjf);
-        let mut trainer = Trainer::new(train, factory, config);
+        let mut trainer = Trainer::builder(train)
+            .policy(PolicyKind::Sjf)
+            .config(config)
+            .telemetry(telemetry.clone())
+            .build()
+            .expect("swept knobs stay in the valid range");
         let history = trainer.train();
         let conv = history.converged_improvement(5);
         let rej = history.converged_rejection_ratio(5);

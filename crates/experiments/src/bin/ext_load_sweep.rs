@@ -5,7 +5,7 @@
 //! gaps). The paper's §5 intuition predicts gains grow with congestion —
 //! rejections only pay off when the queue has alternatives.
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec};
 use inspector::evaluate;
 use policies::PolicyKind;
 use simhpc::Metric;
@@ -13,8 +13,14 @@ use workload::tools::scale_load;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("ext_load_sweep");
     println!("Load sweep: one SDSC-SP2 inspector across offered-load variants\n");
-    let out = train_combo(&ComboSpec::new("SDSC-SP2", PolicyKind::Sjf), &scale, seed);
+    let out = train_combo_traced(
+        &ComboSpec::new("SDSC-SP2", PolicyKind::Sjf),
+        &scale,
+        seed,
+        &telemetry,
+    );
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();

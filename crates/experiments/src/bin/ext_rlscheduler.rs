@@ -19,6 +19,7 @@ use simhpc::Metric;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("ext_rlscheduler");
     println!("Extension: SchedInspector on top of an RLScheduler-style selector\n");
     let trace = load_trace("SDSC-SP2", &scale, seed);
     let (train, test) = trace.split(0.2);
@@ -57,7 +58,12 @@ fn main() {
     };
     let sjf_factory = factory_for(PolicyKind::Sjf);
     println!("training SchedInspector over SJF...");
-    let mut sjf_insp = Trainer::new(train.clone(), sjf_factory.clone(), insp_config);
+    let mut sjf_insp = Trainer::builder(train.clone())
+        .factory(sjf_factory.clone())
+        .config(insp_config)
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("valid inspector config");
     sjf_insp.train();
 
     let rl_factory: PolicyFactory = {
@@ -65,7 +71,12 @@ fn main() {
         Arc::new(move || Box::new(template.clone()))
     };
     println!("training SchedInspector over the frozen RLScheduler...");
-    let mut rl_insp = Trainer::new(train.clone(), rl_factory.clone(), insp_config);
+    let mut rl_insp = Trainer::builder(train.clone())
+        .factory(rl_factory.clone())
+        .config(insp_config)
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("valid inspector config");
     rl_insp.train();
 
     // --- 3. evaluate the four schedulers on identical held-out sequences ---

@@ -4,18 +4,19 @@
 //! jobs (mbsld also improves or holds) and costs at most ~1% utilization
 //! (4.3% worst case on Lublin/F1).
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec, TRACES};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec, TRACES};
 use policies::PolicyKind;
 use simhpc::Metric;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("fig10_tradeoff");
     println!("Figure 10: bsld-trained inspector evaluated on bsld / mbsld / util\n");
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for policy in [PolicyKind::Sjf, PolicyKind::F1] {
         for trace in TRACES {
-            let out = train_combo(&ComboSpec::new(trace, policy), &scale, seed);
+            let out = train_combo_traced(&ComboSpec::new(trace, policy), &scale, seed, &telemetry);
             let rep = out.evaluate(&scale, seed ^ 0xF10);
             let b = (
                 rep.mean_base(Metric::Bsld),

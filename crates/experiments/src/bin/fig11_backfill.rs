@@ -3,12 +3,13 @@
 //! positive converged improvements (~10%): backfilling already captures
 //! much of the opportunity the inspector exploits.
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec};
 use policies::PolicyKind;
 use simhpc::Metric;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("fig11_backfill");
     println!("Figure 11: training with backfilling enabled (SDSC-SP2)\n");
     let mut csv = Vec::new();
     let mut rows = Vec::new();
@@ -19,7 +20,7 @@ fn main() {
                 backfill: true,
                 ..ComboSpec::new("SDSC-SP2", policy)
             };
-            let out = train_combo(&spec, &scale, seed);
+            let out = train_combo_traced(&spec, &scale, seed, &telemetry);
             for r in &out.history.records {
                 csv.push(format!(
                     "{},{},{},{:.4},{:.4},{:.4}",

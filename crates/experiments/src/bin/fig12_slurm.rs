@@ -4,18 +4,19 @@
 //! with user/queue information), optimizing bsld. The paper measures a
 //! 24.7% bsld improvement (82.9 → 62.4) at a 0.49% utilization cost.
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec};
 use simhpc::Metric;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("fig12_slurm");
     println!("Figure 12: SchedInspector working with Slurm multifactor (+backfilling)\n");
     let spec = ComboSpec {
         policy: None, // Slurm multifactor
         backfill: true,
         ..ComboSpec::new("SDSC-SP2", policies::PolicyKind::Sjf)
     };
-    let out = train_combo(&spec, &scale, seed);
+    let out = train_combo_traced(&spec, &scale, seed, &telemetry);
 
     let mut csv = Vec::new();
     for r in &out.history.records {

@@ -6,7 +6,7 @@
 //! short waits, long runtimes, high resource demands; and a hard cap on
 //! the queue-delays feature.
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec};
 use inspector::analysis::{
     collect_decisions, feature_cdf, rejection_fraction, MANUAL_FEATURE_NAMES,
 };
@@ -15,9 +15,10 @@ use simhpc::Simulator;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("fig13_learned");
     println!("Figure 13: feature CDFs of rejected vs. total samples [SJF, bsld, SDSC-SP2]\n");
     let spec = ComboSpec::new("SDSC-SP2", PolicyKind::Sjf);
-    let out = train_combo(&spec, &scale, seed);
+    let out = train_combo_traced(&spec, &scale, seed, &telemetry);
 
     // Schedule the full trace (train + test) start to finish, as §5 does.
     let full = {

@@ -3,11 +3,12 @@
 //! per-epoch bsld improvement over the base scheduler (larger than 0 means
 //! the inspector wins).
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec, TRACES};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec, TRACES};
 use policies::PolicyKind;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("fig4_training_curves");
     println!(
         "Figure 4: training curves (bsld improvement per epoch), {} epochs x {} trajectories\n",
         scale.epochs, scale.batch
@@ -17,7 +18,7 @@ fn main() {
     for policy in [PolicyKind::Sjf, PolicyKind::F1] {
         for trace in TRACES {
             let spec = ComboSpec::new(trace, policy);
-            let out = train_combo(&spec, &scale, seed);
+            let out = train_combo_traced(&spec, &scale, seed, &telemetry);
             for r in &out.history.records {
                 csv.push(format!(
                     "{},{trace},{},{:.4},{:.4},{:.4},{:.4}",

@@ -2,12 +2,13 @@
 //! manually built features vs. compacted features (job + cluster only) vs.
 //! native features (raw state). Setting: SJF on SDSC-SP2 optimizing bsld.
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec};
 use inspector::FeatureMode;
 use policies::PolicyKind;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("fig5_features");
     println!("Figure 5: feature-building ablation (SJF, SDSC-SP2, bsld)\n");
     let mut csv = Vec::new();
     let mut rows = Vec::new();
@@ -20,7 +21,7 @@ fn main() {
             features: mode,
             ..ComboSpec::new("SDSC-SP2", PolicyKind::Sjf)
         };
-        let out = train_combo(&spec, &scale, seed);
+        let out = train_combo_traced(&spec, &scale, seed, &telemetry);
         for r in &out.history.records {
             csv.push(format!(
                 "{label},{},{:.4},{:.4},{:.4}",

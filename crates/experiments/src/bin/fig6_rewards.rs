@@ -4,12 +4,13 @@
 //! difference, which nominally favors the native reward — the paper's
 //! counter-intuitive result is that percentage still wins.
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec};
 use inspector::RewardKind;
 use policies::PolicyKind;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("fig6_rewards");
     println!("Figure 6: reward-function ablation (SJF, SDSC-SP2, bsld)\n");
     let mut csv = Vec::new();
     let mut rows = Vec::new();
@@ -22,7 +23,7 @@ fn main() {
             reward,
             ..ComboSpec::new("SDSC-SP2", PolicyKind::Sjf)
         };
-        let out = train_combo(&spec, &scale, seed);
+        let out = train_combo_traced(&spec, &scale, seed, &telemetry);
         for r in &out.history.records {
             csv.push(format!(
                 "{},{},{:.4},{:.4},{:.4}",

@@ -5,11 +5,12 @@
 //! decision) and its rejection ratio collapses toward a few percent, while
 //! LCFS/SRF/SAF converge to solid gains with 35–50% rejection ratios.
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec};
 use policies::PolicyKind;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("fig7_policies");
     println!("Figure 7: training with FCFS/LCFS/SRF/SAF (SDSC-SP2, bsld)\n");
     let mut csv = Vec::new();
     let mut rows = Vec::new();
@@ -22,7 +23,7 @@ fn main() {
         PolicyKind::Saf,
     ] {
         let spec = ComboSpec::new("SDSC-SP2", policy);
-        let out = train_combo(&spec, &scale, seed);
+        let out = train_combo_traced(&spec, &scale, seed, &telemetry);
         for r in &out.history.records {
             csv.push(format!(
                 "{},{},{:.4},{:.4},{:.4}",

@@ -4,7 +4,7 @@
 //! counterparts. The paper reports box-and-whisker distributions with the
 //! averages on top (improvements from 13.6% to 91.6%).
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec, TRACES};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec, TRACES};
 use policies::PolicyKind;
 use simhpc::Metric;
 
@@ -16,6 +16,7 @@ fn quartiles(mut xs: Vec<f64>) -> (f64, f64, f64) {
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("fig8_test_perf");
     println!(
         "Figure 8: test performance, {} sequences x {} jobs per trace (bsld)\n",
         scale.eval_seqs, scale.eval_len
@@ -25,7 +26,7 @@ fn main() {
     for policy in [PolicyKind::Sjf, PolicyKind::F1] {
         for trace in TRACES {
             let spec = ComboSpec::new(trace, policy);
-            let out = train_combo(&spec, &scale, seed);
+            let out = train_combo_traced(&spec, &scale, seed, &telemetry);
             let rep = out.evaluate(&scale, seed ^ 0xF18);
             let base = rep.mean_base(Metric::Bsld);
             let insp = rep.mean_inspected(Metric::Bsld);

@@ -3,12 +3,13 @@
 //! SDSC-SP2 with SJF and F1. The paper reports 25–50% relative
 //! improvements at convergence.
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec};
 use policies::PolicyKind;
 use simhpc::Metric;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("fig9_metrics");
     println!("Figure 9: training toward wait and mbsld (SDSC-SP2)\n");
     let mut csv = Vec::new();
     let mut rows = Vec::new();
@@ -18,7 +19,7 @@ fn main() {
                 metric,
                 ..ComboSpec::new("SDSC-SP2", policy)
             };
-            let out = train_combo(&spec, &scale, seed);
+            let out = train_combo_traced(&spec, &scale, seed, &telemetry);
             for r in &out.history.records {
                 csv.push(format!(
                     "{},{},{},{:.4},{:.4},{:.4}",

@@ -3,18 +3,19 @@
 //! (Base→Y) and the trace's own model (Y→Y). Setting: SJF, bsld. The
 //! paper finds SDSC-SP2→Y beats the base everywhere, while Y→Y is best.
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec, TRACES};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec, TRACES};
 use inspector::{evaluate, SchedInspector};
 use policies::PolicyKind;
 use simhpc::Metric;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("table4_cross_trace");
     println!("Table 4: cross-trace generalization (SJF, bsld)\n");
 
     // Train the transfer model once on SDSC-SP2.
     let sdsc_spec = ComboSpec::new("SDSC-SP2", PolicyKind::Sjf);
-    let sdsc = train_combo(&sdsc_spec, &scale, seed);
+    let sdsc = train_combo_traced(&sdsc_spec, &scale, seed, &telemetry);
     let transfer: &SchedInspector = &sdsc.inspector;
 
     let mut rows = Vec::new();
@@ -24,10 +25,11 @@ fn main() {
         let own = if trace_name == "SDSC-SP2" {
             None
         } else {
-            Some(train_combo(
+            Some(train_combo_traced(
                 &ComboSpec::new(trace_name, PolicyKind::Sjf),
                 &scale,
                 seed,
+                &telemetry,
             ))
         };
         let target = own.as_ref().unwrap_or(&sdsc);

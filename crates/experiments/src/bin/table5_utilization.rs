@@ -3,11 +3,12 @@
 //! reports barely noticeable differences (Δ ≈ ±1%, worst −4.33% on
 //! Lublin/F1 without backfilling).
 
-use experiments::{parse_args, print_table, train_combo, write_csv, ComboSpec, TRACES};
+use experiments::{parse_args, print_table, train_combo_traced, write_csv, ComboSpec, TRACES};
 use policies::PolicyKind;
 
 fn main() {
     let (scale, seed) = parse_args();
+    let telemetry = experiments::telemetry_for("table5_utilization");
     println!("Table 5: system utilization with/without SchedInspector\n");
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -27,7 +28,7 @@ fn main() {
                     backfill,
                     ..ComboSpec::new(trace, policy)
                 };
-                let out = train_combo(&spec, &scale, seed);
+                let out = train_combo_traced(&spec, &scale, seed, &telemetry);
                 let rep = out.evaluate(&scale, seed ^ 0x7AB5);
                 let base = rep.mean_base_util() * 100.0;
                 let insp = rep.mean_inspected_util() * 100.0;

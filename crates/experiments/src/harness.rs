@@ -4,6 +4,7 @@ use inspector::{
     evaluate, factory_for, slurm_factory, EvalReport, FeatureMode, InspectorConfig, PolicyFactory,
     RewardKind, SchedInspector, Trainer, TrainingHistory,
 };
+use obs::Telemetry;
 use policies::PolicyKind;
 use simhpc::{Metric, SimConfig};
 use workload::JobTrace;
@@ -84,6 +85,18 @@ impl TrainOutcome {
 
 /// Train one combination at the given scale (the workhorse of Figs. 4–12).
 pub fn train_combo(spec: &ComboSpec, scale: &Scale, seed: u64) -> TrainOutcome {
+    train_combo_traced(spec, scale, seed, &Telemetry::disabled())
+}
+
+/// Like [`train_combo`], but streaming training telemetry through
+/// `telemetry` — binaries pass the sidecar handle from
+/// [`telemetry_for`](crate::telemetry_for).
+pub fn train_combo_traced(
+    spec: &ComboSpec,
+    scale: &Scale,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> TrainOutcome {
     let trace = load_trace(&spec.trace, scale, seed);
     let (train, test) = trace.split(0.2);
     let factory: PolicyFactory = match spec.policy {
@@ -106,8 +119,14 @@ pub fn train_combo(spec: &ComboSpec, scale: &Scale, seed: u64) -> TrainOutcome {
         workers: 0,
         baseline_cache: true,
     };
-    let mut trainer = Trainer::new(train.clone(), factory.clone(), config);
+    let mut trainer = Trainer::builder(train.clone())
+        .factory(factory.clone())
+        .config(config)
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("experiment configs are valid");
     let history = trainer.train();
+    telemetry.flush();
     TrainOutcome {
         history,
         inspector: trainer.inspector(),

@@ -9,11 +9,43 @@ pub mod harness;
 pub mod output;
 pub mod scale;
 
-pub use harness::{train_combo, ComboSpec, TrainOutcome};
+pub use harness::{train_combo, train_combo_traced, ComboSpec, TrainOutcome};
 pub use output::{print_table, write_csv};
 pub use scale::{parse_args, Scale};
 
 use workload::JobTrace;
+
+/// Sidecar telemetry for an experiment binary. Opt-in: when
+/// `SCHEDINSPECTOR_TELEMETRY` is set (to anything), training events stream
+/// to `results/<binary>.telemetry.jsonl` (one JSON object per line);
+/// otherwise the handle is disabled and recording costs nothing.
+pub fn telemetry_for(binary: &str) -> obs::Telemetry {
+    if std::env::var_os("SCHEDINSPECTOR_TELEMETRY").is_none() {
+        return obs::Telemetry::disabled();
+    }
+    let dir = output::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "warning: cannot create {}: {e}; telemetry off",
+            dir.display()
+        );
+        return obs::Telemetry::disabled();
+    }
+    let path = dir.join(format!("{binary}.telemetry.jsonl"));
+    match obs::Telemetry::jsonl(&path) {
+        Ok(t) => {
+            println!("telemetry -> {}", path.display());
+            t
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: cannot write {}: {e}; telemetry off",
+                path.display()
+            );
+            obs::Telemetry::disabled()
+        }
+    }
+}
 
 /// The four paper traces in Table 2 order.
 pub const TRACES: [&str; 4] = ["SDSC-SP2", "CTC-SP2", "Lublin", "HPC2N"];

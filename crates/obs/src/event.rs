@@ -1,0 +1,203 @@
+//! The telemetry event model and its JSONL encoding.
+//!
+//! Events are small `Copy`-ish values built on the stack: names are
+//! `&'static str` so constructing and recording an event never allocates,
+//! which is what lets an *enabled* [`Telemetry`](crate::Telemetry) handle
+//! with a [`NullSink`](crate::NullSink) stay allocation-free in the
+//! simulator's hot loop.
+
+use std::fmt::Write as _;
+
+/// One telemetry event. Timestamps `t` are seconds since the owning
+/// [`Telemetry`](crate::Telemetry) handle was created (monotonic clock).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span (timed region) was entered.
+    SpanOpen {
+        /// Span name, e.g. `"ppo_update"`.
+        name: &'static str,
+        /// Seconds since handle creation.
+        t: f64,
+    },
+    /// A span was exited.
+    SpanClose {
+        /// Span name (matches the corresponding [`Event::SpanOpen`]).
+        name: &'static str,
+        /// Seconds since handle creation, at close time.
+        t: f64,
+        /// Span duration in seconds.
+        dur: f64,
+    },
+    /// A monotonically accumulating count (events, rejections, cache hits).
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Seconds since handle creation.
+        t: f64,
+        /// Amount added to the counter.
+        delta: u64,
+    },
+    /// A point-in-time measurement (utilization, KL, hit rate).
+    Gauge {
+        /// Gauge name.
+        name: &'static str,
+        /// Seconds since handle creation.
+        t: f64,
+        /// Observed value.
+        value: f64,
+    },
+    /// One sample of a distribution (per-minibatch loss, per-point queue
+    /// depth). Sinks may aggregate these into histograms.
+    Histogram {
+        /// Distribution name.
+        name: &'static str,
+        /// Seconds since handle creation.
+        t: f64,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+impl Event {
+    /// The event's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::SpanOpen { name, .. }
+            | Event::SpanClose { name, .. }
+            | Event::Counter { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Histogram { name, .. } => name,
+        }
+    }
+
+    /// Seconds since handle creation.
+    pub fn t(&self) -> f64 {
+        match self {
+            Event::SpanOpen { t, .. }
+            | Event::SpanClose { t, .. }
+            | Event::Counter { t, .. }
+            | Event::Gauge { t, .. }
+            | Event::Histogram { t, .. } => *t,
+        }
+    }
+
+    /// The schema's `kind` discriminator, as written to JSONL.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SpanOpen { .. } => "span_open",
+            Event::SpanClose { .. } => "span_close",
+            Event::Counter { .. } => "counter",
+            Event::Gauge { .. } => "gauge",
+            Event::Histogram { .. } => "histogram",
+        }
+    }
+
+    /// Append this event as one JSON object (no trailing newline) to `out`.
+    ///
+    /// The encoding is the documented sidecar format: every line is an
+    /// object with `kind`, `name`, and `t`, plus a kind-specific payload
+    /// field (`dur`, `delta`, or `value`). Names are static identifiers
+    /// (no quotes/backslashes), so no string escaping is needed.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = match self {
+            Event::SpanOpen { name, t } => {
+                write!(out, r#"{{"kind":"span_open","name":"{name}","t":{t:.9}}}"#)
+            }
+            Event::SpanClose { name, t, dur } => write!(
+                out,
+                r#"{{"kind":"span_close","name":"{name}","t":{t:.9},"dur":{dur:.9}}}"#
+            ),
+            Event::Counter { name, t, delta } => write!(
+                out,
+                r#"{{"kind":"counter","name":"{name}","t":{t:.9},"delta":{delta}}}"#
+            ),
+            Event::Gauge { name, t, value } => write!(
+                out,
+                r#"{{"kind":"gauge","name":"{name}","t":{t:.9},"value":{}}}"#,
+                json_f64(*value)
+            ),
+            Event::Histogram { name, t, value } => write!(
+                out,
+                r#"{{"kind":"histogram","name":"{name}","t":{t:.9},"value":{}}}"#,
+                json_f64(*value)
+            ),
+        };
+    }
+}
+
+/// Format an `f64` as a valid JSON number (JSON has no NaN/Infinity; they
+/// are mapped to `null` so the line still parses).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_kinds() {
+        let events = [
+            Event::SpanOpen { name: "a", t: 1.0 },
+            Event::SpanClose {
+                name: "a",
+                t: 2.0,
+                dur: 1.0,
+            },
+            Event::Counter {
+                name: "c",
+                t: 3.0,
+                delta: 5,
+            },
+            Event::Gauge {
+                name: "g",
+                t: 4.0,
+                value: 0.5,
+            },
+            Event::Histogram {
+                name: "h",
+                t: 5.0,
+                value: 2.5,
+            },
+        ];
+        let kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            ["span_open", "span_close", "counter", "gauge", "histogram"]
+        );
+        assert_eq!(events[2].name(), "c");
+        assert_eq!(events[3].t(), 4.0);
+    }
+
+    #[test]
+    fn json_encoding_is_one_object_per_event() {
+        let mut s = String::new();
+        Event::Counter {
+            name: "sim.reject",
+            t: 0.25,
+            delta: 3,
+        }
+        .write_json(&mut s);
+        assert_eq!(
+            s,
+            r#"{"kind":"counter","name":"sim.reject","t":0.250000000,"delta":3}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_gauges_encode_as_null() {
+        let mut s = String::new();
+        Event::Gauge {
+            name: "g",
+            t: 0.0,
+            value: f64::NAN,
+        }
+        .write_json(&mut s);
+        assert!(s.contains(r#""value":null"#));
+        crate::json::parse(&s).expect("null-valued gauge still parses");
+    }
+}

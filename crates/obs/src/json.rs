@@ -1,0 +1,328 @@
+//! A minimal JSON parser, used to *validate* telemetry JSONL output in
+//! tests and CI without pulling a serialization dependency into the
+//! workspace (the workspace's `serde` is an offline no-op stub).
+//!
+//! Supports the full JSON grammar except `\u` surrogate pairs (lone
+//! escapes decode to the replacement character). Not built for speed —
+//! it exists so a smoke run's sidecar file can be machine-checked.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object. `BTreeMap` keeps key order deterministic for tests.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value at `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one complete JSON value; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos).map(Json::String),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let tok = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    tok.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|_| format!("invalid number {tok:?} at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        *pos += 4;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("unknown escape \\{}", esc as char)),
+                }
+            }
+            Some(&c) => {
+                // Copy one UTF-8 character starting at `pos`.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let ch = s.chars().next().expect("non-empty slice");
+                if c < 0x20 {
+                    return Err("unescaped control character in string".into());
+                }
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Validate one telemetry JSONL line against the documented schema:
+/// an object with a known `kind`, a string `name`, a finite number `t`,
+/// and the kind's payload field. Returns the parsed object.
+pub fn validate_telemetry_line(line: &str) -> Result<Json, String> {
+    let v = parse(line)?;
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"kind\"")?
+        .to_string();
+    v.get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"name\"")?;
+    let t = v
+        .get("t")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric field \"t\"")?;
+    if !t.is_finite() || t < 0.0 {
+        return Err(format!("timestamp {t} is not a finite non-negative number"));
+    }
+    let payload = match kind.as_str() {
+        "span_open" => None,
+        "span_close" => Some("dur"),
+        "counter" => Some("delta"),
+        "gauge" | "histogram" => Some("value"),
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    if let Some(field) = payload {
+        let present = matches!(
+            v.get(field),
+            Some(Json::Number(_)) | Some(Json::Null) // non-finite values encode as null
+        );
+        if !present {
+            return Err(format!("kind {kind:?} requires numeric field {field:?}"));
+        }
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_values() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x\ny"}"#)
+            .expect("valid JSON");
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Array(vec![
+                Json::Number(1.0),
+                Json::Number(2.5),
+                Json::Number(-300.0)
+            ]))
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Bool(true)));
+        assert_eq!(v.get("e").and_then(Json::as_str), Some("x\ny"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a": }"#).is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse(r#"{"a": 1} extra"#).is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn validates_event_lines() {
+        validate_telemetry_line(r#"{"kind":"counter","name":"x","t":0.5,"delta":2}"#)
+            .expect("valid counter");
+        validate_telemetry_line(r#"{"kind":"span_open","name":"epoch","t":0.0}"#)
+            .expect("valid span open");
+        assert!(validate_telemetry_line(r#"{"kind":"counter","name":"x","t":0.5}"#).is_err());
+        assert!(validate_telemetry_line(r#"{"kind":"bogus","name":"x","t":0.5}"#).is_err());
+        assert!(validate_telemetry_line(r#"{"name":"x","t":0.5}"#).is_err());
+        assert!(
+            validate_telemetry_line(r#"{"kind":"gauge","name":"x","t":-1,"value":1}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_the_validator() {
+        use crate::Event;
+        let events = [
+            Event::SpanOpen { name: "s", t: 0.0 },
+            Event::SpanClose {
+                name: "s",
+                t: 1.0,
+                dur: 1.0,
+            },
+            Event::Counter {
+                name: "c",
+                t: 1.5,
+                delta: 7,
+            },
+            Event::Gauge {
+                name: "g",
+                t: 2.0,
+                value: -0.25,
+            },
+            Event::Histogram {
+                name: "h",
+                t: 2.5,
+                value: 1e9,
+            },
+        ];
+        for e in &events {
+            let mut line = String::new();
+            e.write_json(&mut line);
+            let v = validate_telemetry_line(&line).expect("event encodes to valid line");
+            assert_eq!(v.get("kind").and_then(Json::as_str), Some(e.kind()));
+            assert_eq!(v.get("name").and_then(Json::as_str), Some(e.name()));
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Proximal Policy Optimization with a clipped surrogate objective
 //! (Schulman et al., 2017), the paper's training algorithm (§4.1).
 
+use obs::Telemetry;
 use serde::{Deserialize, Serialize};
 use tinynn::loss::{log_softmax, softmax};
 use tinynn::{Adam, Tape};
@@ -55,6 +56,10 @@ pub struct UpdateStats {
     pub approx_kl: f32,
     /// Mean policy entropy.
     pub entropy: f32,
+    /// Fraction of steps whose ratio was clipped at the last policy pass.
+    pub clip_frac: f32,
+    /// L2 norm of the mean policy gradient at the last policy pass.
+    pub grad_norm: f32,
     /// Policy passes actually executed (≤ `train_pi_iters`).
     pub pi_iters: usize,
 }
@@ -94,6 +99,15 @@ impl PpoTrainer {
 
     /// One PPO update from a batch of trajectories.
     pub fn update(&mut self, batch: &Batch) -> UpdateStats {
+        self.update_traced(batch, &Telemetry::disabled())
+    }
+
+    /// Like [`PpoTrainer::update`], but streaming per-minibatch diagnostics:
+    /// one `ppo.minibatch.{kl,pi_loss,clip_frac,grad_norm}` histogram sample
+    /// per policy pass and one `ppo.minibatch.vf_loss` sample per critic
+    /// pass, plus final `ppo.{kl,entropy,clip_frac,grad_norm}` gauges. The
+    /// numerical result is identical to the untraced path.
+    pub fn update_traced(&mut self, batch: &Batch, telemetry: &Telemetry) -> UpdateStats {
         let n = batch.total_steps();
         if n == 0 {
             return UpdateStats::default();
@@ -108,6 +122,7 @@ impl PpoTrainer {
             let mut kl_sum = 0.0f64;
             let mut loss_sum = 0.0f64;
             let mut ent_sum = 0.0f64;
+            let mut clipped_count = 0usize;
             let mut flat = 0usize;
             for t in &batch.trajectories {
                 for s in &t.steps {
@@ -120,6 +135,7 @@ impl PpoTrainer {
                     let ratio = (logp_new - s.logp).exp();
                     let clipped = (a >= 0.0 && ratio > 1.0 + self.config.clip)
                         || (a < 0.0 && ratio < 1.0 - self.config.clip);
+                    clipped_count += clipped as usize;
                     let surr = if clipped {
                         ratio.clamp(1.0 - self.config.clip, 1.0 + self.config.clip) * a
                     } else {
@@ -149,7 +165,15 @@ impl PpoTrainer {
             stats.pi_loss = (loss_sum / n as f64) as f32;
             stats.approx_kl = (kl_sum / n as f64) as f32;
             stats.entropy = (ent_sum / n as f64) as f32;
+            stats.clip_frac = clipped_count as f32 / n as f32;
+            stats.grad_norm = self.policy.mlp().grad_norm() / n as f32;
             stats.pi_iters = iter + 1;
+            if telemetry.is_enabled() {
+                telemetry.observe("ppo.minibatch.kl", stats.approx_kl as f64);
+                telemetry.observe("ppo.minibatch.pi_loss", stats.pi_loss as f64);
+                telemetry.observe("ppo.minibatch.clip_frac", stats.clip_frac as f64);
+                telemetry.observe("ppo.minibatch.grad_norm", stats.grad_norm as f64);
+            }
             if stats.approx_kl > 1.5 * self.config.target_kl && iter > 0 {
                 break;
             }
@@ -172,7 +196,15 @@ impl PpoTrainer {
                 }
             }
             stats.vf_loss = (vf_sum / n as f64) as f32;
+            telemetry.observe("ppo.minibatch.vf_loss", stats.vf_loss as f64);
             self.vf_opt.step(self.critic.net_mut(), 1.0 / n as f32);
+        }
+        if telemetry.is_enabled() {
+            telemetry.gauge("ppo.kl", stats.approx_kl as f64);
+            telemetry.gauge("ppo.entropy", stats.entropy as f64);
+            telemetry.gauge("ppo.clip_frac", stats.clip_frac as f64);
+            telemetry.gauge("ppo.grad_norm", stats.grad_norm as f64);
+            telemetry.gauge("ppo.pi_iters", stats.pi_iters as f64);
         }
         stats
     }

@@ -14,6 +14,7 @@
 //! 4. on **accept** the job starts as soon as resources allow; while it
 //!    waits, EASY backfilling (when enabled) may start other queued jobs.
 
+use obs::Telemetry;
 use workload::Job;
 
 use crate::backfill::{can_backfill, count_backfillable};
@@ -60,11 +61,26 @@ impl Simulator {
         policy: &mut dyn SchedulingPolicy,
         inspector: &mut dyn InspectorHook,
     ) -> SimResult {
+        self.run_traced(jobs, policy, inspector, &Telemetry::disabled())
+    }
+
+    /// Like [`Simulator::run_inspected`], but streaming per-scheduling-point
+    /// telemetry: `sim.accept` / `sim.reject` / `sim.backfill` counters and a
+    /// `sim.util` utilization gauge sampled at every inspected decision. With
+    /// a disabled handle this *is* `run_inspected` — the hot loop only pays
+    /// an `Option` check per scheduling point.
+    pub fn run_traced(
+        &self,
+        jobs: &[Job],
+        policy: &mut dyn SchedulingPolicy,
+        inspector: &mut dyn InspectorHook,
+        telemetry: &Telemetry,
+    ) -> SimResult {
         assert!(
             jobs.iter().all(|j| j.procs <= self.procs),
             "sequence contains a job wider than the machine"
         );
-        Sim::new(jobs, self.procs, self.config).run(policy, inspector)
+        Sim::new(jobs, self.procs, self.config, telemetry).run(policy, inspector)
     }
 }
 
@@ -78,6 +94,7 @@ pub fn simulate(jobs: &[Job], policy: &mut dyn SchedulingPolicy, config: &SimCon
 struct Sim<'a> {
     jobs: &'a [Job],
     config: SimConfig,
+    telemetry: &'a Telemetry,
     cluster: Cluster,
     /// Indices (into `jobs`) of waiting jobs.
     queue: Vec<usize>,
@@ -96,10 +113,11 @@ struct Sim<'a> {
 }
 
 impl<'a> Sim<'a> {
-    fn new(jobs: &'a [Job], procs: u32, config: SimConfig) -> Self {
+    fn new(jobs: &'a [Job], procs: u32, config: SimConfig, telemetry: &'a Telemetry) -> Self {
         Sim {
             jobs,
             config,
+            telemetry,
             cluster: Cluster::new(procs),
             queue: Vec::new(),
             rejections: vec![0; jobs.len()],
@@ -141,6 +159,13 @@ impl<'a> Sim<'a> {
                 // Reclaim the observation's queue buffer for the next
                 // scheduling point.
                 self.obs_scratch = obs.queue;
+                if self.telemetry.is_enabled() {
+                    let total = self.cluster.total_procs();
+                    let busy = total - self.cluster.free_procs();
+                    self.telemetry.gauge("sim.util", busy as f64 / total as f64);
+                    self.telemetry
+                        .count(if rejected { "sim.reject" } else { "sim.accept" }, 1);
+                }
                 if rejected {
                     self.total_rejections += 1;
                     self.rejections[jidx] += 1;
@@ -324,6 +349,9 @@ impl<'a> Sim<'a> {
         policy: &mut dyn SchedulingPolicy,
     ) {
         debug_assert!(self.cluster.can_run(job.procs));
+        if backfilled {
+            self.telemetry.count("sim.backfill", 1);
+        }
         self.cluster
             .start(job.id, job.procs, self.now, job.runtime, job.estimate);
         policy.on_start(&job, self.now);

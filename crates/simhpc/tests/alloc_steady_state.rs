@@ -9,7 +9,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use simhpc::{PolicyContext, SchedulingPolicy, SimConfig, Simulator};
+use obs::{NullSink, Telemetry};
+use simhpc::{NoInspector, PolicyContext, SchedulingPolicy, SimConfig, Simulator};
 use workload::Job;
 
 struct CountingAlloc;
@@ -105,6 +106,25 @@ fn scheduling_points_do_not_allocate_in_steady_state() {
             extra <= 16,
             "backfill={}: {a_small} allocs for 500 jobs vs {a_large} for 2000 \
              ({extra} extra) — the hot loop is allocating per scheduling point",
+            config.backfill,
+        );
+
+        // Same invariant with telemetry *enabled*: an active handle backed by
+        // a NullSink emits an event at every scheduling point, and because
+        // event names are `&'static str` and the sink discards without
+        // buffering, the traced hot loop must stay allocation-free too.
+        let telemetry = Telemetry::new(std::sync::Arc::new(NullSink));
+        let t_small = count_allocs(|| {
+            sim.run_traced(&small, &mut Sjf, &mut NoInspector, &telemetry);
+        });
+        let t_large = count_allocs(|| {
+            sim.run_traced(&large, &mut Sjf, &mut NoInspector, &telemetry);
+        });
+        let extra = t_large.saturating_sub(t_small);
+        assert!(
+            extra <= 16,
+            "backfill={}: NullSink telemetry allocates per scheduling point \
+             ({t_small} allocs for 500 jobs vs {t_large} for 2000, {extra} extra)",
             config.backfill,
         );
     }

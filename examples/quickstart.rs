@@ -28,7 +28,11 @@ fn main() {
         ..Default::default()
     };
     let factory = factory_for(PolicyKind::Sjf);
-    let mut trainer = Trainer::new(train, factory.clone(), config);
+    let mut trainer = Trainer::builder(train)
+        .factory(factory.clone())
+        .config(config)
+        .build()
+        .expect("valid config");
     println!(
         "\ntraining {} epochs x {} trajectories...",
         config.epochs, config.batch_size

@@ -28,7 +28,11 @@ fn main() {
         ..Default::default()
     };
     println!("training SchedInspector over the Slurm multifactor policy...");
-    let mut trainer = Trainer::new(train, factory.clone(), config);
+    let mut trainer = Trainer::builder(train)
+        .factory(factory.clone())
+        .config(config)
+        .build()
+        .expect("valid config");
     let history = trainer.train();
     let last = history.records.last().unwrap();
     println!(

@@ -31,7 +31,11 @@ fn main() {
     };
     let factory = factory_for(PolicyKind::Sjf);
     println!("training [SJF, bsld, SDSC-SP2]...");
-    let mut trainer = Trainer::new(train, factory.clone(), config);
+    let mut trainer = Trainer::builder(train)
+        .factory(factory.clone())
+        .config(config)
+        .build()
+        .expect("valid config");
     trainer.train();
     let agent = trainer.inspector();
 

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! schedinspector train    --trace SDSC-SP2 --policy SJF --metric bsld \
-//!                         --epochs 40 --out model.txt
+//!                         --epochs 40 --out model.txt --telemetry run.jsonl
 //! schedinspector evaluate --model model.txt --trace SDSC-SP2 --policy SJF
 //! schedinspector analyze  --model model.txt --trace SDSC-SP2 --policy SJF
 //! schedinspector trace    --trace Lublin --jobs 5000 --out trace.swf
+//! schedinspector check-telemetry --file run.jsonl
 //! ```
 
 use std::path::Path;
@@ -49,7 +50,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: schedinspector <train|evaluate|analyze|trace> [options]\n\
+        "usage: schedinspector <train|evaluate|analyze|trace|check-telemetry> [options]\n\
          \n\
          common options:\n\
            --trace   SDSC-SP2|CTC-SP2|HPC2N|Lublin   (default SDSC-SP2)\n\
@@ -58,10 +59,11 @@ fn usage() -> ! {
            --jobs N       trace size        (default 10000)\n\
            --seed N       RNG seed          (default 1)\n\
            --backfill 1   enable EASY backfilling\n\
-         train:    --epochs N --batch N --out FILE\n\
+         train:    --epochs N --batch N --out FILE --telemetry FILE.jsonl\n\
          evaluate: --model FILE --seqs N --len N\n\
          analyze:  --model FILE\n\
-         trace:    --out FILE.swf"
+         trace:    --out FILE.swf\n\
+         check-telemetry: --file FILE.jsonl   (validate a telemetry sidecar)"
     );
     exit(2)
 }
@@ -121,7 +123,31 @@ fn cmd_train(args: &Args) {
         config.batch_size,
         metric.name()
     );
-    let mut trainer = Trainer::new(train, factory.clone(), config);
+    let telemetry = match args.get("telemetry") {
+        Some(path) => match obs::Telemetry::jsonl(Path::new(path)) {
+            Ok(t) => {
+                println!("telemetry -> {path}");
+                t
+            }
+            Err(e) => {
+                eprintln!("cannot write telemetry file {path}: {e}");
+                exit(2)
+            }
+        },
+        None => obs::Telemetry::disabled(),
+    };
+    let mut trainer = match Trainer::builder(train)
+        .factory(factory.clone())
+        .config(config)
+        .telemetry(telemetry.clone())
+        .build()
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(2)
+        }
+    };
     for epoch in 0..config.epochs {
         let r = trainer.train_epoch(epoch);
         if epoch % 5 == 0 || epoch + 1 == config.epochs {
@@ -134,6 +160,7 @@ fn cmd_train(args: &Args) {
             );
         }
     }
+    telemetry.flush();
     let agent = trainer.inspector();
     let report = evaluate(&agent, &test, &factory, sim, 20, 256, 7, 0);
     println!(
@@ -232,6 +259,43 @@ fn cmd_trace(args: &Args) {
     }
 }
 
+fn cmd_check_telemetry(args: &Args) {
+    let Some(path) = args.get("file") else {
+        eprintln!("--file FILE.jsonl is required");
+        exit(2)
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(2)
+    });
+    let mut counts = std::collections::BTreeMap::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match obs::json::validate_telemetry_line(line) {
+            Ok(event) => {
+                let kind = event
+                    .get("kind")
+                    .and_then(|k| k.as_str())
+                    .unwrap_or("?")
+                    .to_string();
+                *counts.entry(kind).or_insert(0usize) += 1;
+                lines += 1;
+            }
+            Err(e) => {
+                eprintln!("{path}:{}: invalid telemetry line: {e}", i + 1);
+                exit(1)
+            }
+        }
+    }
+    println!("{path}: {lines} valid events");
+    for (kind, n) in counts {
+        println!("  {kind:<10} {n}");
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
@@ -241,6 +305,7 @@ fn main() {
         "evaluate" => cmd_evaluate(&args),
         "analyze" => cmd_analyze(&args),
         "trace" => cmd_trace(&args),
+        "check-telemetry" => cmd_check_telemetry(&args),
         _ => usage(),
     }
 }

@@ -1,0 +1,105 @@
+//! The workspace-level error type: one enum unifying the typed errors of
+//! every layer, so callers of the facade crate can use `?` against a
+//! single `Result<T, schedinspector::Error>`.
+
+use inspector::{ConfigError, TrainError};
+use swf::SwfError;
+use workload::TraceError;
+
+/// Any error the SchedInspector stack can surface through the facade.
+#[derive(Debug)]
+pub enum Error {
+    /// Parsing or writing a Standard Workload Format file failed.
+    Swf(SwfError),
+    /// Constructing a [`workload::JobTrace`] failed.
+    Trace(TraceError),
+    /// An [`inspector::InspectorConfig`] failed validation.
+    Config(ConfigError),
+    /// Building an [`inspector::Trainer`] failed.
+    Train(TrainError),
+    /// An I/O error (model files, telemetry sidecars, trace files).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Swf(e) => write!(f, "SWF: {e}"),
+            Error::Trace(e) => write!(f, "trace: {e}"),
+            Error::Config(e) => write!(f, "config: {e}"),
+            Error::Train(e) => write!(f, "training: {e}"),
+            Error::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Swf(e) => Some(e),
+            Error::Trace(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Train(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<SwfError> for Error {
+    fn from(e: SwfError) -> Self {
+        Error::Swf(e)
+    }
+}
+
+impl From<TraceError> for Error {
+    fn from(e: TraceError) -> Self {
+        Error::Trace(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<TrainError> for Error {
+    fn from(e: TrainError) -> Self {
+        Error::Train(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_converts_and_displays_with_context() {
+        let e: Error = ConfigError::ZeroBatchSize.into();
+        assert!(e.to_string().starts_with("config:"));
+        assert!(e.to_string().contains("batch_size"));
+
+        let e: Error = TrainError::EmptyTrace { trace: "t".into() }.into();
+        assert!(e.to_string().starts_with("training:"));
+
+        let e: Error = TraceError::EmptyMachine.into();
+        assert!(e.to_string().starts_with("trace:"));
+
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_underlying_error() {
+        use std::error::Error as _;
+        let e: Error = TrainError::Config(ConfigError::ZeroSeqLen).into();
+        let source = e.source().expect("has source");
+        assert!(source.to_string().contains("config"));
+    }
+}

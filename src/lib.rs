@@ -19,12 +19,15 @@
 //! * [`rlsched`] — an RLScheduler-style learned selector (the §6 baseline
 //!   and §7 future-work combination partner);
 //! * [`inspector`] — SchedInspector itself: feature building, reward
-//!   functions, training, evaluation, analysis, model persistence.
+//!   functions, training, evaluation, analysis, model persistence;
+//! * [`obs`] — zero-cost-when-disabled telemetry (spans, counters, gauges,
+//!   JSONL sidecars) threaded through the simulator and trainer.
 //!
 //! See `examples/` for runnable walk-throughs and `crates/experiments` for
 //! binaries regenerating every table and figure of the paper.
 
 pub use inspector;
+pub use obs;
 pub use policies;
 pub use rlcore;
 pub use rlsched;
@@ -33,12 +36,17 @@ pub use swf;
 pub use tinynn;
 pub use workload;
 
+mod error;
+pub use error::Error;
+
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
+    pub use crate::Error;
     pub use inspector::{
-        evaluate, factory_for, slurm_factory, FeatureBuilder, FeatureMode, InspectorConfig,
-        Normalizer, RewardKind, SchedInspector, Trainer,
+        evaluate, factory_for, slurm_factory, EpisodeSpec, FeatureBuilder, FeatureMode,
+        InspectorConfig, Normalizer, RewardKind, SchedInspector, Trainer, TrainerBuilder,
     };
+    pub use obs::Telemetry;
     pub use policies::PolicyKind;
     pub use simhpc::{Metric, SimConfig, SimResult, Simulator};
     pub use workload::{profiles, synthetic, Job, JobTrace, SequenceSampler};

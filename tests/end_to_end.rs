@@ -20,7 +20,11 @@ fn train_evaluate_save_load_roundtrip() {
     let (train, test) = trace.split(0.2);
     let factory = factory_for(PolicyKind::Sjf);
     let config = quick_config(1);
-    let mut trainer = Trainer::new(train, factory.clone(), config);
+    let mut trainer = Trainer::builder(train)
+        .factory(factory.clone())
+        .config(config)
+        .build()
+        .expect("valid config");
     let history = trainer.train();
     assert_eq!(history.records.len(), 4);
 
