@@ -1,10 +1,19 @@
 //! The deployable SchedInspector artifact: a trained policy plus its
 //! feature builder.
 
-use rlcore::{BinaryPolicy, REJECT};
+use rlcore::{BinaryPolicy, PolicyScratch, REJECT};
 use simhpc::{InspectorHook, Observation};
 
 use crate::features::FeatureBuilder;
+
+/// One deployment-time accept/reject decision, as served to clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// `true` when the inspector rejects the scheduling decision.
+    pub reject: bool,
+    /// The policy's reject probability for this feature vector.
+    pub p_reject: f32,
+}
 
 /// A trained scheduling inspector.
 ///
@@ -43,6 +52,32 @@ impl SchedInspector {
         let mut buf = Vec::with_capacity(self.features.dim());
         self.features.build(obs, &mut buf);
         self.policy.greedy(&buf) == REJECT
+    }
+
+    /// Expected feature-vector length.
+    pub fn input_dim(&self) -> usize {
+        self.features.dim()
+    }
+
+    /// Decide on an already-built feature vector, allocation-free: one
+    /// scratch forward pass yields both the greedy action and its reject
+    /// probability. This is the serving path (`crates/serve`) — the
+    /// decision is bit-identical to [`SchedInspector::inspect`] on the
+    /// observation the features were built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `features.len()` differs from
+    /// [`SchedInspector::input_dim`]; callers validate lengths upfront.
+    pub fn decide(&self, features: &[f32], scratch: &mut PolicyScratch) -> Decision {
+        debug_assert_eq!(features.len(), self.input_dim());
+        let (action, logp) = self.policy.greedy_scratch(features, scratch);
+        let reject = action == REJECT;
+        let p_action = logp.exp();
+        Decision {
+            reject,
+            p_reject: if reject { p_action } else { 1.0 - p_action },
+        }
     }
 
     /// An [`InspectorHook`] adapter for the simulator (reuses its feature
@@ -116,6 +151,20 @@ mod tests {
         assert_eq!(hook.inspect(&o), insp.inspect(&o));
         // Repeated calls reuse the buffer and stay consistent.
         assert_eq!(hook.inspect(&o), insp.inspect(&o));
+    }
+
+    #[test]
+    fn decide_matches_inspect_and_prob_reject() {
+        let insp = inspector();
+        let o = obs();
+        let mut features = Vec::new();
+        insp.features.build(&o, &mut features);
+        let mut scratch = PolicyScratch::default();
+        let d = insp.decide(&features, &mut scratch);
+        assert_eq!(d.reject, insp.inspect(&o));
+        assert!((d.p_reject - insp.prob_reject(&o)).abs() < 1e-5);
+        // Repeated scratch reuse stays deterministic.
+        assert_eq!(insp.decide(&features, &mut scratch), d);
     }
 
     #[test]

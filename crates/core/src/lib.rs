@@ -51,12 +51,13 @@ pub mod model_io;
 mod reward;
 mod trainer;
 
-pub use agent::{DeployedHook, SchedInspector};
+pub use agent::{Decision, DeployedHook, SchedInspector};
 pub use baseline::BaselineCache;
 pub use config::{ConfigError, InspectorConfig};
 pub use env::{factory_for, run_episode, slurm_factory, Episode, EpisodeSpec, PolicyFactory};
 pub use eval::{evaluate, evaluate_base, EvalCase, EvalReport};
 pub use features::{FeatureBuilder, FeatureMode, Normalizer};
+pub use model_io::ModelIoError;
 pub use reward::RewardKind;
 pub use trainer::{EpochRecord, EpochTiming, TrainError, Trainer, TrainerBuilder, TrainingHistory};
 

@@ -4,8 +4,12 @@
 //! feature configuration it was trained with, so a loaded inspector is
 //! bit-identical in behavior. The format is line-oriented text, stable and
 //! diff-friendly.
+//!
+//! Errors are typed ([`ModelIoError`]) and parse failures carry the
+//! 1-based line number they were detected at, so a corrupt checkpoint is
+//! reported as `model.txt: line 4: ...` rather than an anonymous string.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use rlcore::BinaryPolicy;
 use simhpc::Metric;
@@ -15,6 +19,61 @@ use crate::agent::SchedInspector;
 use crate::features::{FeatureBuilder, FeatureMode, Normalizer};
 
 const HEADER: &str = "schedinspector-model v1";
+
+/// Why reading or writing a model checkpoint failed.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// The file could not be read or written.
+    Io {
+        /// Path of the checkpoint.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The checkpoint text did not parse.
+    Parse {
+        /// 1-based line number the failure was detected at.
+        line: usize,
+        /// What was wrong with that line.
+        msg: String,
+    },
+}
+
+impl ModelIoError {
+    /// The 1-based line number of a parse failure, if this is one.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            ModelIoError::Parse { line, .. } => Some(*line),
+            ModelIoError::Io { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            ModelIoError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelIoError::Io { source, .. } => Some(source),
+            ModelIoError::Parse { .. } => None,
+        }
+    }
+}
+
+/// A parse error at 1-based line `line` (internal shorthand).
+fn parse_err(line: usize, msg: impl Into<String>) -> ModelIoError {
+    ModelIoError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
 
 fn mode_name(m: FeatureMode) -> &'static str {
     match m {
@@ -52,35 +111,46 @@ pub fn to_text(inspector: &SchedInspector) -> String {
 }
 
 /// Parse an inspector from the model text format.
-pub fn from_text(text: &str) -> Result<SchedInspector, String> {
+pub fn from_text(text: &str) -> Result<SchedInspector, ModelIoError> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or("empty model file")?;
+    // Fixed five-line preamble; line numbers are 1-based for messages.
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty model file"))?;
     if header.trim() != HEADER {
-        return Err(format!("bad header {header:?}"));
+        return Err(parse_err(1, format!("bad header {header:?}")));
     }
     let metric: Metric = lines
         .next()
         .and_then(|l| l.strip_prefix("metric "))
-        .ok_or("missing metric line")?
+        .ok_or_else(|| parse_err(2, "missing metric line"))?
         .trim()
-        .parse()?;
+        .parse()
+        .map_err(|e: String| parse_err(2, e))?;
     let mode = mode_parse(
         lines
             .next()
             .and_then(|l| l.strip_prefix("features "))
-            .ok_or("missing features line")?
+            .ok_or_else(|| parse_err(3, "missing features line"))?
             .trim(),
-    )?;
+    )
+    .map_err(|e| parse_err(3, e))?;
     let norm_line = lines
         .next()
         .and_then(|l| l.strip_prefix("norm "))
-        .ok_or("missing norm line")?;
+        .ok_or_else(|| parse_err(4, "missing norm line"))?;
     let vals: Vec<f64> = norm_line
         .split_whitespace()
-        .map(|t| t.parse::<f64>().map_err(|e| format!("bad norm value: {e}")))
+        .map(|t| {
+            t.parse::<f64>()
+                .map_err(|e| parse_err(4, format!("bad norm value: {e}")))
+        })
         .collect::<Result<_, _>>()?;
     if vals.len() != 5 {
-        return Err(format!("norm line: expected 5 values, got {}", vals.len()));
+        return Err(parse_err(
+            4,
+            format!("norm line: expected 5 values, got {}", vals.len()),
+        ));
     }
     let norm = Normalizer {
         max_estimate: vals[0],
@@ -89,31 +159,50 @@ pub fn from_text(text: &str) -> Result<SchedInspector, String> {
         max_interval: vals[3],
         max_rejections: vals[4] as u32,
     };
-    let marker = lines.next().ok_or("missing policy marker")?;
+    let marker = lines
+        .next()
+        .ok_or_else(|| parse_err(5, "missing policy marker"))?;
     if marker.trim() != "policy" {
-        return Err(format!("expected 'policy' marker, got {marker:?}"));
-    }
-    let rest: String = lines.collect::<Vec<_>>().join("\n");
-    let mlp = Mlp::from_text(&rest)?;
-    let features = FeatureBuilder { mode, metric, norm };
-    if mlp.input_dim() != features.dim() {
-        return Err(format!(
-            "policy input dim {} does not match feature dim {}",
-            mlp.input_dim(),
-            features.dim()
+        return Err(parse_err(
+            5,
+            format!("expected 'policy' marker, got {marker:?}"),
         ));
     }
-    Ok(SchedInspector::new(BinaryPolicy::from_mlp(mlp)?, features))
+    // The policy payload is the whole remainder; tinynn's parser does not
+    // track lines, so its errors are attributed to the section start.
+    const POLICY_START: usize = 6;
+    let rest: String = lines.collect::<Vec<_>>().join("\n");
+    let mlp = Mlp::from_text(&rest)
+        .map_err(|e| parse_err(POLICY_START, format!("policy section: {e}")))?;
+    let features = FeatureBuilder { mode, metric, norm };
+    if mlp.input_dim() != features.dim() {
+        return Err(parse_err(
+            POLICY_START,
+            format!(
+                "policy input dim {} does not match feature dim {}",
+                mlp.input_dim(),
+                features.dim()
+            ),
+        ));
+    }
+    let policy = BinaryPolicy::from_mlp(mlp).map_err(|e| parse_err(POLICY_START, e))?;
+    Ok(SchedInspector::new(policy, features))
 }
 
 /// Save an inspector to a file.
-pub fn save(inspector: &SchedInspector, path: &Path) -> std::io::Result<()> {
-    std::fs::write(path, to_text(inspector))
+pub fn save(inspector: &SchedInspector, path: &Path) -> Result<(), ModelIoError> {
+    std::fs::write(path, to_text(inspector)).map_err(|source| ModelIoError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
 }
 
 /// Load an inspector from a file.
-pub fn load(path: &Path) -> Result<SchedInspector, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+pub fn load(path: &Path) -> Result<SchedInspector, ModelIoError> {
+    let text = std::fs::read_to_string(path).map_err(|source| ModelIoError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
     from_text(&text)
 }
 
@@ -181,6 +270,34 @@ mod tests {
         assert!(from_text("wrong\n").is_err());
         let text = to_text(&inspector()).replace("metric bsld", "metric nope");
         assert!(from_text(&text).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        assert_eq!(from_text("").unwrap_err().line(), Some(1));
+        assert_eq!(from_text("wrong\n").unwrap_err().line(), Some(1));
+        let good = to_text(&inspector());
+        let cases = [
+            ("metric bsld", "metric nope", 2),
+            ("features manual", "feature manual", 3),
+            ("norm ", "norms ", 4),
+            ("policy\n", "policies\n", 5),
+            ("tinynn-mlp v1", "tinynn-mlp v9", 6),
+        ];
+        for (from, to, line) in cases {
+            let bad = good.replace(from, to);
+            let err = from_text(&bad).unwrap_err();
+            assert_eq!(err.line(), Some(line), "corrupting {from:?}: {err}");
+            assert!(err.to_string().starts_with(&format!("line {line}:")));
+        }
+    }
+
+    #[test]
+    fn io_errors_carry_the_path() {
+        let err = load(Path::new("/nonexistent/schedinspector/model.txt")).unwrap_err();
+        assert!(err.line().is_none());
+        assert!(err.to_string().contains("/nonexistent/schedinspector"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

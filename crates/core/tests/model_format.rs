@@ -1,0 +1,94 @@
+//! Property tests for the model text format: serialization round-trips
+//! exactly over the whole configuration space, and corrupt input is
+//! rejected with a line-numbered error instead of a panic.
+
+use inspector::model_io::{from_text, to_text};
+use inspector::{FeatureBuilder, FeatureMode, Normalizer, SchedInspector};
+use proptest::prelude::*;
+use rlcore::BinaryPolicy;
+use simhpc::Metric;
+
+fn build(mode_i: usize, metric_i: usize, seed: u64, norm: Normalizer) -> SchedInspector {
+    let mode = [
+        FeatureMode::Manual,
+        FeatureMode::Compacted,
+        FeatureMode::Native,
+    ][mode_i % 3];
+    let metric = [Metric::Bsld, Metric::Wait, Metric::MaxBsld][metric_i % 3];
+    let features = FeatureBuilder { mode, metric, norm };
+    SchedInspector::new(BinaryPolicy::new(features.dim(), seed), features)
+}
+
+proptest! {
+    /// Floats are printed with the shortest representation that re-parses
+    /// to the same value, so a save → load cycle is bit-exact: the whole
+    /// inspector (weights included) compares equal.
+    #[test]
+    fn text_roundtrip_is_exact(
+        mode_i in 0..3usize,
+        metric_i in 0..3usize,
+        seed in 0..u64::MAX,
+        procs in 1u32..10_000,
+        max_estimate in 1.0f64..200_000.0,
+        max_wait in 1.0f64..1_000_000.0,
+        max_interval in 1.0f64..10_000.0,
+        max_rejections in 1u32..1_000,
+    ) {
+        let insp = build(mode_i, metric_i, seed, Normalizer {
+            max_estimate,
+            total_procs: procs,
+            max_wait,
+            max_interval,
+            max_rejections,
+        });
+        let text = to_text(&insp);
+        let back = from_text(&text).expect("serialized model re-parses");
+        prop_assert_eq!(&insp, &back);
+        // And the round-trip is a fixed point.
+        prop_assert_eq!(to_text(&back), text);
+    }
+
+    /// Arbitrary garbage never panics the parser and always reports a
+    /// 1-based line number.
+    #[test]
+    fn garbage_is_rejected_with_a_line_number(
+        text in "[a-z0-9 .\\-]{0,200}",
+    ) {
+        let err = from_text(&text).expect_err("garbage must not parse");
+        let line = err.line().expect("parse failures carry a line number");
+        prop_assert!(line >= 1);
+        prop_assert!(err.to_string().starts_with(&format!("line {line}:")));
+    }
+
+    /// Single-line corruptions of a valid checkpoint are rejected, and the
+    /// reported line number points into the preamble that was damaged.
+    #[test]
+    fn corrupting_one_preamble_line_is_detected(
+        seed in 0..u64::MAX,
+        victim in 0..5usize,
+    ) {
+        let insp = build(0, 0, seed, Normalizer::new(256, 7_200.0));
+        let good = to_text(&insp);
+        let mut lines: Vec<&str> = good.lines().collect();
+        lines[victim] = "garbage line";
+        let bad = lines.join("\n");
+        let err = from_text(&bad).expect_err("corrupt preamble must not parse");
+        prop_assert_eq!(err.line(), Some(victim + 1));
+    }
+
+    /// Truncating the policy payload is caught (attributed to the policy
+    /// section), never a panic or a silently smaller network.
+    #[test]
+    fn truncated_policy_payload_is_rejected(
+        seed in 0..u64::MAX,
+        keep in 6..20usize,
+    ) {
+        let insp = build(0, 0, seed, Normalizer::new(256, 7_200.0));
+        let good = to_text(&insp);
+        let total = good.lines().count();
+        let keep = keep.clamp(6, total - 1);
+        let bad: String = good.lines().take(keep).collect::<Vec<_>>().join("\n");
+        let err = from_text(&bad).expect_err("truncated model must not parse");
+        prop_assert!(err.line().unwrap_or(0) >= 6, "policy errors point at the section: {err}");
+    }
+}

@@ -49,6 +49,90 @@ impl Json {
             _ => None,
         }
     }
+
+    /// This value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value's items, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Append this value as compact JSON to `out`. Non-finite numbers
+    /// encode as `null` (JSON has no NaN/Infinity), matching the telemetry
+    /// encoder; everything written here re-parses with [`parse`].
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(n) => {
+                if n.is_finite() {
+                    let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::String(s) => escape_into(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(key, out);
+                    out.push(':');
+                    value.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Append `s` as a quoted, escaped JSON string to `out`.
+pub fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse one complete JSON value; trailing non-whitespace is an error.
@@ -275,6 +359,41 @@ mod tests {
         assert!(parse("[1, 2,]").is_err());
         assert!(parse(r#"{"a": 1} extra"#).is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn writer_output_reparses_to_the_same_value() {
+        let cases = [
+            r#"{"a": [1, 2.5, -300], "b": {"c": true, "d": null}, "e": "x\ny"}"#,
+            r#"[]"#,
+            r#"{}"#,
+            r#""quote \" backslash \\ tab \t""#,
+            r#"[0.125, -7, 1e300]"#,
+        ];
+        for case in cases {
+            let v = parse(case).expect("valid JSON");
+            let mut s = String::new();
+            v.write_json(&mut s);
+            assert_eq!(parse(&s).expect("writer emits valid JSON"), v, "{case}");
+        }
+    }
+
+    #[test]
+    fn writer_escapes_control_characters() {
+        let v = Json::String("a\u{1}b".into());
+        let mut s = String::new();
+        v.write_json(&mut s);
+        assert_eq!(s, r#""a\u0001b""#);
+        assert_eq!(parse(&s).unwrap(), v);
+        // Display goes through the same encoder.
+        assert_eq!(v.to_string(), s);
+    }
+
+    #[test]
+    fn writer_maps_non_finite_numbers_to_null() {
+        let mut s = String::new();
+        Json::Number(f64::INFINITY).write_json(&mut s);
+        assert_eq!(s, "null");
     }
 
     #[test]

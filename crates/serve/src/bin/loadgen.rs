@@ -1,0 +1,250 @@
+//! `loadgen` — drive a decision server and report throughput/latency.
+//!
+//! Two modes:
+//!
+//! * `loadgen --addr HOST:PORT` — open-loop load against an already
+//!   running server (e.g. `schedinspector serve`); used by the CI smoke
+//!   job. Exits nonzero if no decision came back.
+//! * `loadgen --model FILE` — self-contained benchmark: starts in-process
+//!   servers (micro-batched, then batch-size-1), measures saturation
+//!   capacity on both plus open-loop latency on the batched one, and
+//!   writes the combined `BENCH_serve.json` report.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::exit;
+
+use obs::json::Json;
+use serve::loadgen::{self, LoadConfig};
+use serve::{serve, ServeConfig};
+
+struct Args {
+    map: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Args {
+        let mut map = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it.next().cloned().unwrap_or_default();
+                map.push((key.to_string(), value));
+            }
+        }
+        Args { map }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.map
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen (--addr HOST:PORT | --model FILE) [options]\n\
+         \n\
+         --addr HOST:PORT   open-loop load against a running server\n\
+         --model FILE       in-process benchmark; writes BENCH_serve.json\n\
+         \n\
+         options:\n\
+           --qps N            target arrival rate      (default 50000)\n\
+           --secs N           sending duration         (default 5)\n\
+           --conns N          parallel connections     (default 4)\n\
+           --window N         closed-loop pipelining   (default 64)\n\
+           --batch N          server micro-batch cap   (default 16)\n\
+           --seed N           RNG seed                 (default 0)\n\
+           --label S          report label             (--addr mode)\n\
+           --out FILE         report path (default BENCH_serve.json)\n\
+           --shutdown-after 1 send the shutdown verb when done"
+    );
+    exit(2)
+}
+
+fn load_config(args: &Args) -> LoadConfig {
+    LoadConfig {
+        qps: args.num("qps", 50_000.0f64),
+        secs: args.num("secs", 5.0f64),
+        conns: args.num("conns", 4usize),
+        seed: args.num("seed", 0u64),
+    }
+}
+
+fn write_report(path: &str, report: &Json) {
+    let mut text = String::new();
+    report.write_json(&mut text);
+    text.push('\n');
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(2)
+    });
+    println!("report -> {path}");
+}
+
+fn run_external(args: &Args, addr: &str) {
+    let cfg = load_config(args);
+    println!(
+        "open loop: {} conns, {:.0} qps target, {:.1}s",
+        cfg.conns, cfg.qps, cfg.secs
+    );
+    let mut report = loadgen::open_loop(addr, &cfg).unwrap_or_else(|e| {
+        eprintln!("loadgen failed: {e}");
+        exit(1)
+    });
+    if let Some(label) = args.get("label") {
+        report.label = label.to_string();
+    }
+    println!(
+        "  sent {} ok {} overloaded {} errors {}",
+        report.sent, report.ok, report.overloaded, report.errors
+    );
+    println!(
+        "  achieved {:.0}/s, p50 {:.1}us p95 {:.1}us p99 {:.1}us",
+        report.achieved_qps, report.p50_us, report.p95_us, report.p99_us
+    );
+    if args.num("shutdown-after", 0u8) != 0 {
+        loadgen::send_shutdown(addr).unwrap_or_else(|e| eprintln!("shutdown: {e}"));
+        println!("sent shutdown");
+    }
+    if let Some(out) = args.get("out") {
+        write_report(out, &report.to_json());
+    }
+    if report.ok == 0 {
+        eprintln!("no successful decisions — failing");
+        exit(1);
+    }
+}
+
+fn run_compare(args: &Args, model: &str) {
+    let inspector = inspector::model_io::load(Path::new(model)).unwrap_or_else(|e| {
+        eprintln!("cannot load {model}: {e}");
+        exit(2)
+    });
+    let cfg = load_config(args);
+    let window = args.num("window", 64usize);
+    let max_batch = args.num("batch", 16usize);
+    let cap_secs = (cfg.secs / 2.0).max(1.0);
+
+    let mut capacity = BTreeMap::new();
+    let mut batched_qps = 0.0f64;
+    let mut batch1_qps = 0.0f64;
+    for (key, batch) in [("microbatch", max_batch), ("batch1", 1usize)] {
+        let handle = serve(
+            inspector.clone(),
+            ServeConfig {
+                max_batch: batch,
+                workers: cfg.conns.max(2),
+                ..ServeConfig::default()
+            },
+            obs::Telemetry::disabled(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start server: {e}");
+            exit(1)
+        });
+        let addr = handle.addr().to_string();
+        let mut report = loadgen::closed_loop(&addr, window, cfg.conns, cap_secs, cfg.seed)
+            .unwrap_or_else(|e| {
+                eprintln!("closed loop failed: {e}");
+                exit(1)
+            });
+        report.label = key.to_string();
+        let stats = handle.stats();
+        println!(
+            "  {key}: {:.0} decisions/s (mean batch {:.1})",
+            report.achieved_qps,
+            stats.mean_batch_size()
+        );
+        if key == "microbatch" {
+            batched_qps = report.achieved_qps;
+        } else {
+            batch1_qps = report.achieved_qps;
+        }
+        let mut j = report.to_json();
+        if let Json::Object(m) = &mut j {
+            m.insert(
+                "mean_batch_size".into(),
+                Json::Number(stats.mean_batch_size()),
+            );
+        }
+        capacity.insert(key.to_string(), j);
+        handle.shutdown();
+    }
+    capacity.insert(
+        "speedup".into(),
+        Json::Number(if batch1_qps > 0.0 {
+            batched_qps / batch1_qps
+        } else {
+            0.0
+        }),
+    );
+
+    // Open-loop latency on a fresh micro-batched server.
+    let handle = serve(
+        inspector,
+        ServeConfig {
+            max_batch,
+            workers: cfg.conns.max(2),
+            ..ServeConfig::default()
+        },
+        obs::Telemetry::disabled(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        exit(1)
+    });
+    let addr = handle.addr().to_string();
+    println!(
+        "open loop: {} conns, {:.0} qps target, {:.1}s",
+        cfg.conns, cfg.qps, cfg.secs
+    );
+    let open = loadgen::open_loop(&addr, &cfg).unwrap_or_else(|e| {
+        eprintln!("open loop failed: {e}");
+        exit(1)
+    });
+    println!(
+        "  achieved {:.0}/s, p50 {:.1}us p95 {:.1}us p99 {:.1}us",
+        open.achieved_qps, open.p50_us, open.p95_us, open.p99_us
+    );
+    handle.shutdown();
+
+    let sustained = open.achieved_qps >= 50_000.0 || batched_qps >= 50_000.0;
+    let mut root = BTreeMap::new();
+    root.insert("bench".into(), Json::String("serve".into()));
+    let mut config = BTreeMap::new();
+    config.insert("qps".into(), Json::Number(cfg.qps));
+    config.insert("secs".into(), Json::Number(cfg.secs));
+    config.insert("conns".into(), Json::Number(cfg.conns as f64));
+    config.insert("window".into(), Json::Number(window as f64));
+    config.insert("max_batch".into(), Json::Number(max_batch as f64));
+    config.insert("seed".into(), Json::Number(cfg.seed as f64));
+    root.insert("config".into(), Json::Object(config));
+    root.insert("capacity".into(), Json::Object(capacity));
+    root.insert("open_loop".into(), open.to_json());
+    root.insert("sustained_ge_50k".into(), Json::Bool(sustained));
+    let report = Json::Object(root);
+    write_report(args.get("out").unwrap_or("BENCH_serve.json"), &report);
+    if open.ok == 0 {
+        eprintln!("no successful decisions — failing");
+        exit(1);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&argv);
+    match (args.get("addr"), args.get("model")) {
+        (Some(addr), None) => run_external(&args, addr),
+        (None, Some(model)) => run_compare(&args, model),
+        _ => usage(),
+    }
+}

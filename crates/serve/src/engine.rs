@@ -1,0 +1,428 @@
+//! The micro-batching inference engine.
+//!
+//! Connection handlers submit feature vectors into a bounded queue; a
+//! single inference thread drains up to `max_batch` of them per tick and
+//! runs the forward passes back to back through one reused
+//! [`PolicyScratch`], so the queue amortizes synchronization (one lock
+//! round per batch instead of per request) while keeping the math
+//! allocation-free. Because the engine thread is the only consumer,
+//! completions for any one connection are delivered in submission order.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use inspector::{Decision, SchedInspector};
+use obs::Telemetry;
+use rlcore::PolicyScratch;
+
+use crate::stats::ServerStats;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum requests drained into one inference batch.
+    pub max_batch: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 16,
+            queue_capacity: 4096,
+        }
+    }
+}
+
+/// What the engine eventually reports back for one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Completion {
+    /// The model ran; here is its verdict.
+    Decision(Decision),
+    /// The request expired in the queue before its forward pass.
+    DeadlineExceeded,
+}
+
+/// Why a submission was refused outright (nothing will be sent back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is full; the client should back off for roughly
+    /// `retry_after_ms` before retrying.
+    Overloaded {
+        /// Suggested client backoff, derived from the current backlog and
+        /// observed batch service time.
+        retry_after_ms: u64,
+    },
+    /// The engine is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+struct Pending {
+    token: u64,
+    features: Vec<f32>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    tx: Sender<(u64, Completion)>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    cfg: EngineConfig,
+    stats: Arc<ServerStats>,
+}
+
+/// Cloneable handle to the engine. Submissions may come from any thread;
+/// one background thread owns the model and runs the batches.
+pub struct BatchEngine {
+    shared: Arc<Shared>,
+    input_dim: usize,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl BatchEngine {
+    /// Spawn the inference thread around a loaded model.
+    pub fn start(
+        inspector: SchedInspector,
+        cfg: EngineConfig,
+        stats: Arc<ServerStats>,
+        telemetry: Telemetry,
+    ) -> Arc<BatchEngine> {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cfg.queue_capacity),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            stats,
+        });
+        let input_dim = inspector.input_dim();
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-engine".into())
+                .spawn(move || engine_loop(inspector, shared, telemetry))
+                .expect("spawn inference thread")
+        };
+        Arc::new(BatchEngine {
+            shared,
+            input_dim,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// Feature-vector length the loaded model expects.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Enqueue one request. On success the engine will later send
+    /// `(token, completion)` through `tx`; on failure nothing is sent and
+    /// the caller must answer the client itself.
+    pub fn submit(
+        &self,
+        token: u64,
+        features: Vec<f32>,
+        deadline: Option<Instant>,
+        tx: Sender<(u64, Completion)>,
+    ) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queue.len() >= self.shared.cfg.queue_capacity {
+            return Err(SubmitError::Overloaded {
+                retry_after_ms: self.retry_hint(state.queue.len()),
+            });
+        }
+        state.queue.push_back(Pending {
+            token,
+            features,
+            enqueued: Instant::now(),
+            deadline,
+            tx,
+        });
+        self.shared
+            .stats
+            .queue_depth
+            .store(state.queue.len() as u64, Ordering::Relaxed);
+        drop(state);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Rough time to drain `backlog` requests at the observed batch
+    /// service rate, floored at 1ms so clients always pause.
+    fn retry_hint(&self, backlog: usize) -> u64 {
+        let stats = &self.shared.stats;
+        let mean_batch = stats.mean_batch_size().max(1.0);
+        let batch_ns = stats.infer_batch.mean_ns().max(1_000.0);
+        let drain_ms = (backlog as f64 / mean_batch) * batch_ns / 1_000_000.0;
+        (drain_ms.ceil() as u64).max(1)
+    }
+
+    /// Stop accepting work, finish everything queued, and join the
+    /// inference thread. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        let handle = self.worker.lock().unwrap().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BatchEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for BatchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchEngine")
+            .field("input_dim", &self.input_dim)
+            .field("cfg", &self.shared.cfg)
+            .finish()
+    }
+}
+
+fn engine_loop(inspector: SchedInspector, shared: Arc<Shared>, telemetry: Telemetry) {
+    let mut scratch = PolicyScratch::default();
+    let mut batch: Vec<Pending> = Vec::with_capacity(shared.cfg.max_batch);
+    loop {
+        {
+            let mut state = shared.state.lock().unwrap();
+            while state.queue.is_empty() && !state.shutdown {
+                state = shared.cv.wait(state).unwrap();
+            }
+            if state.queue.is_empty() && state.shutdown {
+                return;
+            }
+            let take = state.queue.len().min(shared.cfg.max_batch);
+            batch.extend(state.queue.drain(..take));
+            shared
+                .stats
+                .queue_depth
+                .store(state.queue.len() as u64, Ordering::Relaxed);
+        }
+
+        let started = Instant::now();
+        let mut served = 0u64;
+        for p in batch.drain(..) {
+            if p.deadline.is_some_and(|d| Instant::now() > d) {
+                shared
+                    .stats
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = p.tx.send((p.token, Completion::DeadlineExceeded));
+                continue;
+            }
+            let decision = inspector.decide(&p.features, &mut scratch);
+            served += 1;
+            shared
+                .stats
+                .e2e
+                .record(p.enqueued.elapsed().as_nanos() as u64);
+            let _ = p.tx.send((p.token, Completion::Decision(decision)));
+        }
+        let infer_elapsed = started.elapsed();
+        shared.stats.ok.fetch_add(served, Ordering::Relaxed);
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .batched_requests
+            .fetch_add(served, Ordering::Relaxed);
+        shared
+            .stats
+            .infer_batch
+            .record(infer_elapsed.as_nanos() as u64);
+        if telemetry.is_enabled() {
+            telemetry.count("serve.batches", 1);
+            telemetry.count("serve.requests", served);
+            telemetry.observe("serve.batch_infer_s", infer_elapsed.as_secs_f64());
+            telemetry.gauge(
+                "serve.queue_depth",
+                shared.stats.queue_depth.load(Ordering::Relaxed) as f64,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn tiny_inspector() -> SchedInspector {
+        use inspector::{FeatureBuilder, FeatureMode, Normalizer};
+        use rlcore::BinaryPolicy;
+        use simhpc::Metric;
+        let fb = FeatureBuilder {
+            mode: FeatureMode::Manual,
+            metric: Metric::Bsld,
+            norm: Normalizer::new(64, 3600.0),
+        };
+        SchedInspector::new(BinaryPolicy::new(fb.dim(), 7), fb)
+    }
+
+    #[test]
+    fn completions_arrive_in_submission_order() {
+        let inspector = tiny_inspector();
+        let dim = inspector.input_dim();
+        let stats = Arc::new(ServerStats::new(dim, 8));
+        let engine = BatchEngine::start(
+            inspector,
+            EngineConfig {
+                max_batch: 8,
+                queue_capacity: 1024,
+            },
+            Arc::clone(&stats),
+            Telemetry::disabled(),
+        );
+        let (tx, rx) = mpsc::channel();
+        for token in 0..100u64 {
+            let features = vec![(token % 7) as f32 / 7.0; dim];
+            engine.submit(token, features, None, tx.clone()).unwrap();
+        }
+        drop(tx);
+        let tokens: Vec<u64> = rx.iter().map(|(t, _)| t).collect();
+        assert_eq!(tokens, (0..100).collect::<Vec<_>>());
+        // Join the engine before reading counters: it bumps them after
+        // sending the completions.
+        engine.shutdown();
+        assert_eq!(stats.ok.load(Ordering::Relaxed), 100);
+        assert!(stats.batches.load(Ordering::Relaxed) >= 100 / 8);
+    }
+
+    #[test]
+    fn engine_matches_direct_inspector_calls() {
+        use rand::{RngExt, SeedableRng, StdRng};
+        let inspector = tiny_inspector();
+        let reference = tiny_inspector();
+        let dim = inspector.input_dim();
+        let stats = Arc::new(ServerStats::new(dim, 16));
+        let engine = BatchEngine::start(
+            inspector,
+            EngineConfig::default(),
+            stats,
+            Telemetry::disabled(),
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut scratch = PolicyScratch::default();
+        let (tx, rx) = mpsc::channel();
+        for token in 0..50u64 {
+            let features: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+            let expect = reference.decide(&features, &mut scratch);
+            engine.submit(token, features, None, tx.clone()).unwrap();
+            match rx.recv().unwrap() {
+                (t, Completion::Decision(got)) => {
+                    assert_eq!(t, token);
+                    assert_eq!(got.reject, expect.reject);
+                    assert_eq!(got.p_reject, expect.p_reject);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_hint() {
+        let inspector = tiny_inspector();
+        let dim = inspector.input_dim();
+        let stats = Arc::new(ServerStats::new(dim, 4));
+        let engine = BatchEngine::start(
+            inspector,
+            EngineConfig {
+                max_batch: 4,
+                queue_capacity: 2,
+            },
+            stats,
+            Telemetry::disabled(),
+        );
+        let (tx, rx) = mpsc::channel();
+        // Saturate: keep submitting until Overloaded shows up. The engine
+        // may drain between submissions, so allow a bounded number of
+        // attempts before asserting.
+        let mut overloaded = None;
+        for token in 0..10_000u64 {
+            match engine.submit(token, vec![0.0; dim], None, tx.clone()) {
+                Ok(()) => {}
+                Err(e) => {
+                    overloaded = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(SubmitError::Overloaded { retry_after_ms }) = overloaded {
+            assert!(retry_after_ms >= 1);
+        }
+        drop(tx);
+        let drained = rx.iter().count();
+        assert!(drained > 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_yields_deadline_exceeded() {
+        let inspector = tiny_inspector();
+        let dim = inspector.input_dim();
+        let stats = Arc::new(ServerStats::new(dim, 4));
+        let engine = BatchEngine::start(
+            inspector,
+            EngineConfig::default(),
+            Arc::clone(&stats),
+            Telemetry::disabled(),
+        );
+        let (tx, rx) = mpsc::channel();
+        let past = Instant::now() - std::time::Duration::from_millis(10);
+        engine.submit(0, vec![0.0; dim], Some(past), tx).unwrap();
+        assert_eq!(rx.recv().unwrap(), (0, Completion::DeadlineExceeded));
+        assert_eq!(stats.deadline_exceeded.load(Ordering::Relaxed), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_then_rejects() {
+        let inspector = tiny_inspector();
+        let dim = inspector.input_dim();
+        let stats = Arc::new(ServerStats::new(dim, 16));
+        let engine = BatchEngine::start(
+            inspector,
+            EngineConfig::default(),
+            Arc::clone(&stats),
+            Telemetry::disabled(),
+        );
+        let (tx, rx) = mpsc::channel();
+        for token in 0..32u64 {
+            engine
+                .submit(token, vec![0.5; dim], None, tx.clone())
+                .unwrap();
+        }
+        engine.shutdown();
+        assert_eq!(
+            engine.submit(99, vec![0.5; dim], None, tx.clone()),
+            Err(SubmitError::ShuttingDown)
+        );
+        drop(tx);
+        let completions = rx.iter().count();
+        assert_eq!(completions, 32, "shutdown must drain queued requests");
+    }
+}

@@ -1,0 +1,47 @@
+//! **serve** — a std-only TCP decision service for trained inspectors.
+//!
+//! Loads a [`SchedInspector`](inspector::SchedInspector) checkpoint and
+//! answers accept/reject queries over line-delimited JSON (the protocol is
+//! specified in [`protocol`]). The stack is three layers, each with
+//! explicit backpressure:
+//!
+//! 1. an acceptor thread feeding a **bounded** connection backlog drained
+//!    by a fixed pool of connection-handler threads;
+//! 2. a single-threaded **micro-batching** inference engine
+//!    ([`engine::BatchEngine`]) that drains up to `max_batch` queued
+//!    requests per tick into scratch-buffer forward passes — batching
+//!    amortizes queue synchronization, which dominates per-request cost
+//!    for an MLP this small;
+//! 3. always-on service stats ([`stats::ServerStats`]) exposed via the
+//!    `stats` protocol verb, plus optional [`obs`] telemetry sidecars.
+//!
+//! Shutdown is graceful: a [`server::ShutdownSignal`] stops the acceptor
+//! (woken through a loopback "wake pipe" connection), workers notice
+//! within one read-timeout tick, and the engine finishes everything
+//! already queued before its thread exits.
+//!
+//! The [`loadgen`] module (and the `loadgen` binary) drives a running
+//! server with open-loop arrivals at a target QPS and writes a
+//! `BENCH_serve.json` throughput/latency report.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use serve::{serve, ServeConfig};
+//!
+//! let inspector = inspector::model_io::load("model.txt".as_ref()).unwrap();
+//! let handle = serve(inspector, ServeConfig::default(), obs::Telemetry::disabled()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! handle.wait(); // until a client sends {"verb":"shutdown"}
+//! ```
+
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use engine::{BatchEngine, Completion, EngineConfig, SubmitError};
+pub use loadgen::{LoadConfig, RunReport};
+pub use server::{serve, ServeConfig, ServerHandle, ShutdownSignal};
+pub use stats::{LatencyHistogram, ServerStats};

@@ -1,0 +1,395 @@
+//! Load-generation clients for the decision service.
+//!
+//! Two complementary modes:
+//!
+//! * [`open_loop`] — arrivals follow an exponential inter-arrival process
+//!   at a target QPS regardless of how fast the server answers (the
+//!   honest way to measure latency under load: a closed loop hides
+//!   queueing by self-throttling);
+//! * [`closed_loop`] — each connection keeps a fixed window of requests
+//!   outstanding, measuring the server's saturation throughput.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use obs::json::Json;
+use rand::{RngExt, SeedableRng, StdRng};
+use workload::distributions::{Exponential, Sample};
+
+use crate::protocol::{self, Response};
+use crate::stats::LatencyHistogram;
+
+/// Open-loop run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Aggregate target arrival rate across all connections.
+    pub qps: f64,
+    /// Sending duration in seconds.
+    pub secs: f64,
+    /// Parallel connections (arrivals are split evenly).
+    pub conns: usize,
+    /// RNG seed for inter-arrival times and feature payloads.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            qps: 50_000.0,
+            secs: 5.0,
+            conns: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Human label (e.g. `open_loop` / `microbatch`).
+    pub label: String,
+    /// Target rate (0 for closed-loop runs).
+    pub offered_qps: f64,
+    /// Decisions per second actually completed.
+    pub achieved_qps: f64,
+    /// Requests sent.
+    pub sent: u64,
+    /// Decisions received.
+    pub ok: u64,
+    /// `overloaded` responses received.
+    pub overloaded: u64,
+    /// Any other error responses.
+    pub errors: u64,
+    /// First send → last response, seconds.
+    pub elapsed_s: f64,
+    /// Client-observed mean latency (µs; open loop only).
+    pub mean_us: f64,
+    /// Client-observed p50 latency (µs).
+    pub p50_us: f64,
+    /// Client-observed p95 latency (µs).
+    pub p95_us: f64,
+    /// Client-observed p99 latency (µs).
+    pub p99_us: f64,
+}
+
+impl RunReport {
+    /// The report as a JSON object (for `BENCH_serve.json`).
+    pub fn to_json(&self) -> Json {
+        let mut m = BTreeMap::new();
+        m.insert("label".into(), Json::String(self.label.clone()));
+        m.insert("offered_qps".into(), Json::Number(self.offered_qps));
+        m.insert("achieved_qps".into(), Json::Number(self.achieved_qps));
+        m.insert("sent".into(), Json::Number(self.sent as f64));
+        m.insert("ok".into(), Json::Number(self.ok as f64));
+        m.insert("overloaded".into(), Json::Number(self.overloaded as f64));
+        m.insert("errors".into(), Json::Number(self.errors as f64));
+        m.insert("elapsed_s".into(), Json::Number(self.elapsed_s));
+        m.insert("mean_us".into(), Json::Number(self.mean_us));
+        m.insert("p50_us".into(), Json::Number(self.p50_us));
+        m.insert("p95_us".into(), Json::Number(self.p95_us));
+        m.insert("p99_us".into(), Json::Number(self.p99_us));
+        Json::Object(m)
+    }
+}
+
+/// Fetch the server's stats snapshot over the wire.
+pub fn query_stats(addr: &str) -> Result<Json, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(b"{\"verb\":\"stats\"}\n")
+        .map_err(|e| format!("send stats: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read stats: {e}"))?;
+    match protocol::parse_response(line.trim())? {
+        Response::Stats(s) => Ok(s),
+        other => Err(format!("expected stats reply, got {other:?}")),
+    }
+}
+
+/// The loaded model's feature dimension, read from the `stats` verb.
+pub fn query_input_dim(addr: &str) -> Result<usize, String> {
+    query_stats(addr)?
+        .get("input_dim")
+        .and_then(Json::as_f64)
+        .map(|x| x as usize)
+        .ok_or_else(|| "stats reply missing input_dim".into())
+}
+
+/// Ask the server to drain and exit.
+pub fn send_shutdown(addr: &str) -> Result<(), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(b"{\"verb\":\"shutdown\"}\n")
+        .map_err(|e| format!("send shutdown: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let _ = reader.read_line(&mut line);
+    Ok(())
+}
+
+/// Pre-rendered infer-line payload pool so the send path does no float
+/// formatting.
+fn payload_pool(dim: usize, rng: &mut StdRng) -> Vec<String> {
+    (0..64)
+        .map(|_| {
+            (0..dim)
+                .map(|_| format!("{}", rng.random_range(-1.0f32..1.0)))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect()
+}
+
+/// Sleep-then-spin until the deadline; plain `sleep` oversleeps by more
+/// than an inter-arrival gap at tens of kQPS.
+fn wait_until(t: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= t {
+            return;
+        }
+        let left = t - now;
+        if left > Duration::from_millis(1) {
+            std::thread::sleep(left - Duration::from_micros(500));
+        } else {
+            // Yield rather than spin: on small machines a spinning sender
+            // starves the very server it is measuring.
+            std::thread::yield_now();
+        }
+    }
+}
+
+struct ConnOutcome {
+    sent: u64,
+    ok: u64,
+    overloaded: u64,
+    errors: u64,
+    last_response_ns: u64,
+}
+
+/// Drive `cfg.qps` exponential arrivals at the server for `cfg.secs`
+/// seconds and report client-observed latency quantiles.
+pub fn open_loop(addr: &str, cfg: &LoadConfig) -> Result<RunReport, String> {
+    // Fetch the model dimension on a dedicated connection BEFORE opening
+    // the load connections: with conns >= workers, long-lived load
+    // connections occupy the whole worker pool and a stats connection
+    // opened afterwards would starve behind them.
+    let dim = query_input_dim(addr)?;
+    let hist = Arc::new(LatencyHistogram::new());
+    let t0 = Instant::now();
+    let per_conn_qps = cfg.qps / cfg.conns.max(1) as f64;
+    // Generous id-space bound per connection; senders stop at the cap.
+    let cap = ((per_conn_qps * cfg.secs * 2.0) as usize).max(1024);
+
+    let mut handles = Vec::new();
+    for c in 0..cfg.conns.max(1) {
+        let addr = addr.to_string();
+        let hist = Arc::clone(&hist);
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(
+            move || -> Result<ConnOutcome, String> {
+                let stream =
+                    TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                stream.set_nodelay(true).ok();
+                let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+                let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+
+                let sent_at: Arc<Vec<AtomicU64>> =
+                    Arc::new((0..cap).map(|_| AtomicU64::new(0)).collect());
+                let recv_hist = Arc::clone(&hist);
+                let recv_sent_at = Arc::clone(&sent_at);
+                let receiver = std::thread::spawn(move || {
+                    let mut ok = 0u64;
+                    let mut overloaded = 0u64;
+                    let mut errors = 0u64;
+                    let mut last_ns = 0u64;
+                    let mut reader = reader;
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
+                        }
+                        match protocol::parse_response(line.trim()) {
+                            Ok(Response::Decision { id, .. }) => {
+                                let now_ns = t0.elapsed().as_nanos() as u64;
+                                let sent_ns = recv_sent_at
+                                    .get(id as usize)
+                                    .map(|a| a.load(Ordering::Relaxed))
+                                    .unwrap_or(now_ns);
+                                recv_hist.record(now_ns.saturating_sub(sent_ns));
+                                last_ns = now_ns;
+                                ok += 1;
+                            }
+                            Ok(Response::Error { code, .. }) => {
+                                if code == protocol::ERR_OVERLOADED {
+                                    overloaded += 1;
+                                } else {
+                                    errors += 1;
+                                }
+                                last_ns = t0.elapsed().as_nanos() as u64;
+                            }
+                            _ => errors += 1,
+                        }
+                    }
+                    (ok, overloaded, errors, last_ns)
+                });
+
+                let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(c as u64));
+                let pool = payload_pool(dim, &mut rng);
+                let gap = Exponential::with_mean(1.0 / per_conn_qps.max(1e-9));
+                let mut t = 0.0f64;
+                let mut sent = 0u64;
+                let mut line = String::with_capacity(128);
+                while t0.elapsed().as_secs_f64() < cfg.secs && (sent as usize) < cap {
+                    t += gap.sample(&mut rng);
+                    wait_until(t0 + Duration::from_secs_f64(t));
+                    let id = sent;
+                    line.clear();
+                    line.push_str("{\"verb\":\"infer\",\"id\":");
+                    line.push_str(&id.to_string());
+                    line.push_str(",\"features\":[");
+                    line.push_str(&pool[id as usize % pool.len()]);
+                    line.push_str("]}\n");
+                    sent_at[id as usize].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    if writer.write_all(line.as_bytes()).is_err() {
+                        break;
+                    }
+                    sent += 1;
+                }
+                let _ = stream.shutdown(Shutdown::Write);
+                let (ok, overloaded, errors, last_ns) =
+                    receiver.join().map_err(|_| "receiver thread panicked")?;
+                Ok(ConnOutcome {
+                    sent,
+                    ok,
+                    overloaded,
+                    errors,
+                    last_response_ns: last_ns,
+                })
+            },
+        ));
+    }
+
+    let mut sent = 0;
+    let mut ok = 0;
+    let mut overloaded = 0;
+    let mut errors = 0;
+    let mut last_ns = 0u64;
+    for h in handles {
+        let o = h.join().map_err(|_| "sender thread panicked")??;
+        sent += o.sent;
+        ok += o.ok;
+        overloaded += o.overloaded;
+        errors += o.errors;
+        last_ns = last_ns.max(o.last_response_ns);
+    }
+    let elapsed_s = (last_ns as f64 / 1e9).max(1e-9);
+    Ok(RunReport {
+        label: "open_loop".into(),
+        offered_qps: cfg.qps,
+        achieved_qps: ok as f64 / elapsed_s,
+        sent,
+        ok,
+        overloaded,
+        errors,
+        elapsed_s,
+        mean_us: hist.mean_ns() / 1_000.0,
+        p50_us: hist.quantile_ns(0.50) as f64 / 1_000.0,
+        p95_us: hist.quantile_ns(0.95) as f64 / 1_000.0,
+        p99_us: hist.quantile_ns(0.99) as f64 / 1_000.0,
+    })
+}
+
+/// Saturate the server: each connection keeps `window` requests in flight
+/// for `secs` seconds. Reports capacity (achieved QPS); latency fields
+/// reflect whole-window round trips and are not per-request latency.
+pub fn closed_loop(
+    addr: &str,
+    window: usize,
+    conns: usize,
+    secs: f64,
+    seed: u64,
+) -> Result<RunReport, String> {
+    let dim = query_input_dim(addr)?; // before the load connections; see open_loop
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..conns.max(1) {
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(
+            move || -> Result<(u64, u64, u64), String> {
+                let stream =
+                    TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                stream.set_nodelay(true).ok();
+                let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+                let mut reader = BufReader::new(stream);
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(c as u64));
+                let pool = payload_pool(dim, &mut rng);
+
+                let mut batch = String::with_capacity(window * 96);
+                let mut ok = 0u64;
+                let mut other = 0u64;
+                let mut sent = 0u64;
+                let mut line = String::new();
+                while t0.elapsed().as_secs_f64() < secs {
+                    batch.clear();
+                    for _ in 0..window.max(1) {
+                        batch.push_str("{\"verb\":\"infer\",\"id\":");
+                        batch.push_str(&sent.to_string());
+                        batch.push_str(",\"features\":[");
+                        batch.push_str(&pool[sent as usize % pool.len()]);
+                        batch.push_str("]}\n");
+                        sent += 1;
+                    }
+                    writer
+                        .write_all(batch.as_bytes())
+                        .map_err(|e| format!("send batch: {e}"))?;
+                    for _ in 0..window.max(1) {
+                        line.clear();
+                        if matches!(reader.read_line(&mut line), Ok(0) | Err(_)) {
+                            return Ok((sent, ok, other));
+                        }
+                        match protocol::parse_response(line.trim()) {
+                            Ok(Response::Decision { .. }) => ok += 1,
+                            _ => other += 1,
+                        }
+                    }
+                }
+                Ok((sent, ok, other))
+            },
+        ));
+    }
+
+    let mut sent = 0;
+    let mut ok = 0;
+    let mut other = 0;
+    for h in handles {
+        let (s, o, e) = h.join().map_err(|_| "closed-loop thread panicked")??;
+        sent += s;
+        ok += o;
+        other += e;
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64().max(1e-9);
+    Ok(RunReport {
+        label: "closed_loop".into(),
+        offered_qps: 0.0,
+        achieved_qps: ok as f64 / elapsed_s,
+        sent,
+        ok,
+        overloaded: 0,
+        errors: other,
+        elapsed_s,
+        mean_us: 0.0,
+        p50_us: 0.0,
+        p95_us: 0.0,
+        p99_us: 0.0,
+    })
+}

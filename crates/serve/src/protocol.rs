@@ -1,0 +1,384 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line. Requests are parsed with
+//! the hand-rolled `obs::json` codec; responses are emitted with the same
+//! codec (structured payloads) or direct formatting (the infer hot path,
+//! mirroring `obs::Event::write_json`).
+//!
+//! # Grammar
+//!
+//! ```text
+//! request  = infer | stats | ping | shutdown
+//! infer    = {"verb":"infer","id":N,"features":[x, ...][,"deadline_ms":N]}
+//! stats    = {"verb":"stats"}
+//! ping     = {"verb":"ping"}
+//! shutdown = {"verb":"shutdown"}
+//!
+//! response = decision | error | pong | stats-reply | draining
+//! decision = {"id":N,"ok":true,"decision":"accept"|"reject","p_reject":x}
+//! error    = {"id":N|null,"ok":false,"error":CODE,"detail":S[,"retry_after_ms":N]}
+//! pong     = {"ok":true,"pong":true}
+//! stats-reply = {"ok":true,"stats":{...}}
+//! draining = {"ok":true,"draining":true}
+//! ```
+//!
+//! Responses to one connection are written in the order its requests were
+//! received. Clients should nevertheless correlate by `id`: ids are chosen
+//! by the client and echoed verbatim.
+
+use obs::json::{escape_into, parse, Json};
+
+use inspector::Decision;
+
+/// Error code: the request line was not valid protocol JSON.
+pub const ERR_MALFORMED: &str = "malformed";
+/// Error code: the request parsed but is semantically invalid (wrong
+/// feature dimension, unknown verb, bad field type).
+pub const ERR_BAD_REQUEST: &str = "bad_request";
+/// Error code: the request queue is full; retry after `retry_after_ms`.
+pub const ERR_OVERLOADED: &str = "overloaded";
+/// Error code: the request sat in the queue past its deadline.
+pub const ERR_DEADLINE: &str = "deadline_exceeded";
+/// Error code: the server is draining and takes no new work.
+pub const ERR_SHUTTING_DOWN: &str = "shutting_down";
+/// Error code: the inference engine died (should never happen).
+pub const ERR_INTERNAL: &str = "internal";
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Decide accept/reject for one feature vector.
+    Infer {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// The feature vector (must match the model's input dimension).
+        features: Vec<f32>,
+        /// Optional per-request deadline, milliseconds from receipt.
+        deadline_ms: Option<u64>,
+    },
+    /// Snapshot the server's counters and latency histograms.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to drain and exit (if enabled in its config).
+    Shutdown,
+}
+
+/// Parse one request line. The error string is safe to echo back in an
+/// [`ERR_MALFORMED`]/[`ERR_BAD_REQUEST`] response's `detail`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line)?;
+    let verb = v
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"verb\"")?;
+    match verb {
+        "infer" => {
+            let id = v
+                .get("id")
+                .and_then(Json::as_f64)
+                .ok_or("infer requires a numeric \"id\"")? as u64;
+            let raw = v
+                .get("features")
+                .and_then(Json::as_array)
+                .ok_or("infer requires an array \"features\"")?;
+            let mut features = Vec::with_capacity(raw.len());
+            for x in raw {
+                features.push(x.as_f64().ok_or("\"features\" must contain only numbers")? as f32);
+            }
+            let deadline_ms = match v.get("deadline_ms") {
+                None => None,
+                Some(d) => Some(d.as_f64().ok_or("\"deadline_ms\" must be a number")? as u64),
+            };
+            Ok(Request::Infer {
+                id,
+                features,
+                deadline_ms,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown verb {other:?}")),
+    }
+}
+
+/// Append a decision response line (with trailing newline).
+pub fn write_decision(out: &mut String, id: u64, d: Decision) {
+    use std::fmt::Write as _;
+    let decision = if d.reject { "reject" } else { "accept" };
+    let _ = writeln!(
+        out,
+        "{{\"id\":{id},\"ok\":true,\"decision\":\"{decision}\",\"p_reject\":{}}}",
+        d.p_reject
+    );
+}
+
+/// Append an error response line (with trailing newline). `detail` is
+/// escaped; `id` of `None` encodes as `null` (line-level failures where no
+/// id could be recovered).
+pub fn write_error(
+    out: &mut String,
+    id: Option<u64>,
+    code: &str,
+    detail: &str,
+    retry_after_ms: Option<u64>,
+) {
+    use std::fmt::Write as _;
+    match id {
+        Some(id) => {
+            let _ = write!(out, "{{\"id\":{id},\"ok\":false,\"error\":\"{code}\"");
+        }
+        None => {
+            let _ = write!(out, "{{\"id\":null,\"ok\":false,\"error\":\"{code}\"");
+        }
+    }
+    out.push_str(",\"detail\":");
+    escape_into(detail, out);
+    if let Some(ms) = retry_after_ms {
+        let _ = write!(out, ",\"retry_after_ms\":{ms}");
+    }
+    out.push_str("}\n");
+}
+
+/// Append a pong response line.
+pub fn write_pong(out: &mut String) {
+    out.push_str("{\"ok\":true,\"pong\":true}\n");
+}
+
+/// Append a draining acknowledgement line.
+pub fn write_draining(out: &mut String) {
+    out.push_str("{\"ok\":true,\"draining\":true}\n");
+}
+
+/// Append a stats response line wrapping the given snapshot.
+pub fn write_stats(out: &mut String, stats: &Json) {
+    out.push_str("{\"ok\":true,\"stats\":");
+    stats.write_json(out);
+    out.push_str("}\n");
+}
+
+/// A parsed server response (client side: loadgen, tests, tooling).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A served decision.
+    Decision {
+        /// Echoed request id.
+        id: u64,
+        /// `true` when the inspector rejected the scheduling decision.
+        reject: bool,
+        /// The policy's reject probability.
+        p_reject: f32,
+    },
+    /// A request- or line-level error.
+    Error {
+        /// Echoed request id (absent for unparseable lines).
+        id: Option<u64>,
+        /// One of the `ERR_*` codes.
+        code: String,
+        /// Backpressure hint, present with [`ERR_OVERLOADED`].
+        retry_after_ms: Option<u64>,
+    },
+    /// Reply to `ping`.
+    Pong,
+    /// Reply to `stats`: the snapshot object.
+    Stats(Json),
+    /// Reply to `shutdown`: the server is draining.
+    Draining,
+}
+
+/// Parse one response line.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let v = parse(line)?;
+    let ok = v
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or("missing bool field \"ok\"")?;
+    if !ok {
+        let id = v.get("id").and_then(Json::as_f64).map(|x| x as u64);
+        let code = v
+            .get("error")
+            .and_then(Json::as_str)
+            .ok_or("error response missing \"error\"")?
+            .to_string();
+        let retry_after_ms = v
+            .get("retry_after_ms")
+            .and_then(Json::as_f64)
+            .map(|x| x as u64);
+        return Ok(Response::Error {
+            id,
+            code,
+            retry_after_ms,
+        });
+    }
+    if v.get("pong").is_some() {
+        return Ok(Response::Pong);
+    }
+    if v.get("draining").is_some() {
+        return Ok(Response::Draining);
+    }
+    if let Some(stats) = v.get("stats") {
+        return Ok(Response::Stats(stats.clone()));
+    }
+    let id = v
+        .get("id")
+        .and_then(Json::as_f64)
+        .ok_or("decision response missing \"id\"")? as u64;
+    let reject = match v.get("decision").and_then(Json::as_str) {
+        Some("reject") => true,
+        Some("accept") => false,
+        _ => return Err("decision response missing \"decision\"".into()),
+    };
+    let p_reject = v
+        .get("p_reject")
+        .and_then(Json::as_f64)
+        .ok_or("decision response missing \"p_reject\"")? as f32;
+    Ok(Response::Decision {
+        id,
+        reject,
+        p_reject,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse_request(r#"{"verb":"infer","id":7,"features":[0.5,1]}"#).unwrap(),
+            Request::Infer {
+                id: 7,
+                features: vec![0.5, 1.0],
+                deadline_ms: None
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"infer","id":1,"features":[],"deadline_ms":250}"#).unwrap(),
+            Request::Infer {
+                id: 1,
+                features: vec![],
+                deadline_ms: Some(250)
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"stats"}"#).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(parse_request(r#"{"verb":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(r#"{"verb":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("{").is_err());
+        assert!(parse_request(r#"{"verb":"nope"}"#).is_err());
+        assert!(parse_request(r#"{"verb":"infer","features":[1]}"#).is_err());
+        assert!(parse_request(r#"{"verb":"infer","id":1,"features":[true]}"#).is_err());
+        assert!(parse_request(r#"{"verb":"infer","id":1}"#).is_err());
+    }
+
+    #[test]
+    fn decision_roundtrip() {
+        let mut out = String::new();
+        write_decision(
+            &mut out,
+            42,
+            Decision {
+                reject: true,
+                p_reject: 0.8125,
+            },
+        );
+        assert!(out.ends_with('\n'));
+        match parse_response(out.trim()).unwrap() {
+            Response::Decision {
+                id,
+                reject,
+                p_reject,
+            } => {
+                assert_eq!(id, 42);
+                assert!(reject);
+                assert_eq!(p_reject, 0.8125);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_payloads_survive_the_wire_bit_exactly() {
+        // `{}` prints the shortest representation that re-parses to the
+        // same f32 — including through an f64 intermediate.
+        for p in [0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 0.999_999_94] {
+            let mut out = String::new();
+            write_decision(
+                &mut out,
+                1,
+                Decision {
+                    reject: false,
+                    p_reject: p,
+                },
+            );
+            match parse_response(out.trim()).unwrap() {
+                Response::Decision { p_reject, .. } => assert_eq!(p_reject, p),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_roundtrip_with_retry_hint() {
+        let mut out = String::new();
+        write_error(
+            &mut out,
+            Some(3),
+            ERR_OVERLOADED,
+            "queue full \"now\"",
+            Some(12),
+        );
+        match parse_response(out.trim()).unwrap() {
+            Response::Error {
+                id,
+                code,
+                retry_after_ms,
+            } => {
+                assert_eq!(id, Some(3));
+                assert_eq!(code, ERR_OVERLOADED);
+                assert_eq!(retry_after_ms, Some(12));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut out = String::new();
+        write_error(&mut out, None, ERR_MALFORMED, "bad line", None);
+        match parse_response(out.trim()).unwrap() {
+            Response::Error { id, code, .. } => {
+                assert_eq!(id, None);
+                assert_eq!(code, ERR_MALFORMED);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_responses_roundtrip() {
+        let mut out = String::new();
+        write_pong(&mut out);
+        assert_eq!(parse_response(out.trim()).unwrap(), Response::Pong);
+        out.clear();
+        write_draining(&mut out);
+        assert_eq!(parse_response(out.trim()).unwrap(), Response::Draining);
+        out.clear();
+        let snapshot = crate::stats::ServerStats::new(8, 16).to_json();
+        write_stats(&mut out, &snapshot);
+        match parse_response(out.trim()).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.get("input_dim").and_then(Json::as_f64), Some(8.0))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

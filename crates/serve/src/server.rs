@@ -1,0 +1,698 @@
+//! The TCP front end: acceptor, fixed worker pool, connection handler.
+//!
+//! ```text
+//! acceptor thread ──sync_channel(max_pending_conns)──▶ worker pool (N threads)
+//!                                                        │  parse lines
+//!                                                        ▼
+//!                                           BatchEngine (1 inference thread)
+//! ```
+//!
+//! Backpressure is explicit at both layers: the acceptor's bounded
+//! connection channel answers `overloaded` and closes when the pool is
+//! saturated, and the engine's bounded request queue answers `overloaded`
+//! with a `retry_after_ms` hint. Graceful shutdown sets a flag and pokes
+//! the listener with a loopback connection so the blocking `accept` wakes;
+//! workers notice the flag within one read-timeout tick, and the engine
+//! drains everything already queued before its thread exits.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use inspector::SchedInspector;
+use obs::Telemetry;
+
+use crate::engine::{BatchEngine, Completion, EngineConfig, SubmitError};
+use crate::protocol::{self, Request};
+use crate::stats::ServerStats;
+
+/// Server configuration. The defaults suit tests and local benchmarking;
+/// production deployments mainly tune `workers`, `max_batch` and
+/// `queue_capacity`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Connection-handler threads.
+    pub workers: usize,
+    /// Accepted-but-unclaimed connection backlog; beyond it new
+    /// connections get an `overloaded` line and are closed.
+    pub max_pending_conns: usize,
+    /// Micro-batch cap for the inference engine.
+    pub max_batch: usize,
+    /// Bounded inference queue depth.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Socket read timeout; also the shutdown-flag polling period.
+    pub read_timeout_ms: u64,
+    /// Whether the `shutdown` protocol verb is honoured.
+    pub allow_shutdown_verb: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_pending_conns: 64,
+            max_batch: 16,
+            queue_capacity: 4096,
+            default_deadline_ms: None,
+            read_timeout_ms: 25,
+            allow_shutdown_verb: true,
+        }
+    }
+}
+
+/// Flag + wake-pipe pair that unblocks the acceptor. Cloneable via `Arc`;
+/// safe to trigger from any thread (including a connection handler serving
+/// the `shutdown` verb).
+#[derive(Debug)]
+pub struct ShutdownSignal {
+    flag: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ShutdownSignal {
+    fn new(addr: SocketAddr) -> Self {
+        ShutdownSignal {
+            flag: AtomicBool::new(false),
+            addr,
+        }
+    }
+
+    /// Begin draining: no new connections, no new requests. Idempotent.
+    pub fn trigger(&self) {
+        if !self.flag.swap(true, Ordering::SeqCst) {
+            // Wake the blocking accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Whether draining has begun.
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down; call
+/// [`ServerHandle::wait`] to instead block until something else (the
+/// `shutdown` verb, [`ShutdownSignal::trigger`]) stops it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    signal: Arc<ShutdownSignal>,
+    engine: Arc<BatchEngine>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server counters (shared with the running threads).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// A signal that shuts this server down; hand it to e.g. a Ctrl-C
+    /// handler.
+    pub fn shutdown_signal(&self) -> Arc<ShutdownSignal> {
+        Arc::clone(&self.signal)
+    }
+
+    /// Drain and stop: close the listener, finish queued inference, join
+    /// every thread.
+    pub fn shutdown(mut self) {
+        self.signal.trigger();
+        self.join_threads();
+    }
+
+    /// Block until the server stops on its own (e.g. via the `shutdown`
+    /// verb), then join every thread.
+    pub fn wait(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.engine.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.signal.trigger();
+        self.join_threads();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("draining", &self.signal.is_triggered())
+            .finish()
+    }
+}
+
+/// Bind, spawn the engine + acceptor + worker pool, and return
+/// immediately.
+pub fn serve(
+    inspector: SchedInspector,
+    cfg: ServeConfig,
+    telemetry: Telemetry,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ServerStats::new(inspector.input_dim(), cfg.max_batch));
+    let engine = BatchEngine::start(
+        inspector,
+        EngineConfig {
+            max_batch: cfg.max_batch,
+            queue_capacity: cfg.queue_capacity,
+        },
+        Arc::clone(&stats),
+        telemetry,
+    );
+    let signal = Arc::new(ShutdownSignal::new(addr));
+
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.max_pending_conns.max(1));
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for i in 0..cfg.workers.max(1) {
+        let conn_rx = Arc::clone(&conn_rx);
+        let engine = Arc::clone(&engine);
+        let stats = Arc::clone(&stats);
+        let signal = Arc::clone(&signal);
+        let cfg = cfg.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&conn_rx, &engine, &stats, &signal, &cfg))
+                .expect("spawn connection worker"),
+        );
+    }
+
+    let acceptor = {
+        let signal = Arc::clone(&signal);
+        let stats = Arc::clone(&stats);
+        std::thread::Builder::new()
+            .name("serve-acceptor".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if signal.is_triggered() {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    match conn_tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut stream)) => {
+                            stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                            let mut line = String::new();
+                            protocol::write_error(
+                                &mut line,
+                                None,
+                                protocol::ERR_OVERLOADED,
+                                "connection backlog full",
+                                Some(50),
+                            );
+                            let _ = stream.write_all(line.as_bytes());
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                // conn_tx drops here; workers drain the backlog then exit.
+            })
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stats,
+        signal,
+        engine,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn worker_loop(
+    conn_rx: &Mutex<Receiver<TcpStream>>,
+    engine: &BatchEngine,
+    stats: &ServerStats,
+    signal: &ShutdownSignal,
+    cfg: &ServeConfig,
+) {
+    loop {
+        let conn = { conn_rx.lock().unwrap().recv() };
+        match conn {
+            Ok(stream) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = handle_connection(stream, engine, stats, signal, cfg);
+            }
+            Err(_) => break, // acceptor gone and backlog drained
+        }
+    }
+}
+
+/// One in-order response slot for a processed request line.
+enum Part {
+    /// Response text already decided (errors, pong, stats, draining).
+    Ready(String),
+    /// Waiting on the engine; `(token, client id)`.
+    Pending(u64, u64),
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    engine: &BatchEngine,
+    stats: &ServerStats,
+    signal: &ShutdownSignal,
+    cfg: &ServeConfig,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))?;
+
+    let (done_tx, done_rx) = mpsc::channel::<(u64, Completion)>();
+    let mut next_token = 0u64;
+    let mut acc: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 8192];
+    let mut parts: Vec<Part> = Vec::new();
+    let mut stash: BTreeMap<u64, Completion> = BTreeMap::new();
+    let mut out = String::new();
+    let mut close_after_flush = false;
+
+    loop {
+        if signal.is_triggered() {
+            return Ok(());
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        acc.extend_from_slice(&chunk[..n]);
+
+        // Split off every complete line and process it.
+        let mut start = 0usize;
+        while let Some(nl) = acc[start..].iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&acc[start..start + nl]);
+            process_line(
+                line.trim(),
+                engine,
+                stats,
+                signal,
+                cfg,
+                &done_tx,
+                &mut next_token,
+                &mut parts,
+                &mut close_after_flush,
+            );
+            start += nl + 1;
+        }
+        acc.drain(..start);
+
+        // Assemble responses in request order; engine completions for this
+        // connection arrive FIFO, so this never blocks longer than the
+        // engine takes to reach our newest submission.
+        out.clear();
+        for part in parts.drain(..) {
+            match part {
+                Part::Ready(text) => out.push_str(&text),
+                Part::Pending(token, id) => {
+                    let completion = loop {
+                        if let Some(c) = stash.remove(&token) {
+                            break c;
+                        }
+                        match done_rx.recv() {
+                            Ok((t, c)) if t == token => break c,
+                            Ok((t, c)) => {
+                                stash.insert(t, c);
+                            }
+                            Err(_) => break Completion::DeadlineExceeded,
+                        }
+                    };
+                    match completion {
+                        Completion::Decision(d) => protocol::write_decision(&mut out, id, d),
+                        Completion::DeadlineExceeded => protocol::write_error(
+                            &mut out,
+                            Some(id),
+                            protocol::ERR_DEADLINE,
+                            "request expired in queue",
+                            None,
+                        ),
+                    }
+                }
+            }
+        }
+        if !out.is_empty() {
+            stream.write_all(out.as_bytes())?;
+        }
+        if close_after_flush {
+            return Ok(());
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_line(
+    line: &str,
+    engine: &BatchEngine,
+    stats: &ServerStats,
+    signal: &ShutdownSignal,
+    cfg: &ServeConfig,
+    done_tx: &mpsc::Sender<(u64, Completion)>,
+    next_token: &mut u64,
+    parts: &mut Vec<Part>,
+    close_after_flush: &mut bool,
+) {
+    if line.is_empty() {
+        return;
+    }
+    let mut ready = String::new();
+    match protocol::parse_request(line) {
+        Err(msg) => {
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            protocol::write_error(&mut ready, None, protocol::ERR_MALFORMED, &msg, None);
+        }
+        Ok(Request::Ping) => protocol::write_pong(&mut ready),
+        Ok(Request::Stats) => protocol::write_stats(&mut ready, &stats.to_json()),
+        Ok(Request::Shutdown) => {
+            if cfg.allow_shutdown_verb {
+                protocol::write_draining(&mut ready);
+                signal.trigger();
+                *close_after_flush = true;
+            } else {
+                protocol::write_error(
+                    &mut ready,
+                    None,
+                    protocol::ERR_BAD_REQUEST,
+                    "shutdown verb disabled",
+                    None,
+                );
+            }
+        }
+        Ok(Request::Infer {
+            id,
+            features,
+            deadline_ms,
+        }) => {
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            if features.len() != engine.input_dim() {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let msg = format!(
+                    "expected {} features, got {}",
+                    engine.input_dim(),
+                    features.len()
+                );
+                protocol::write_error(&mut ready, Some(id), protocol::ERR_BAD_REQUEST, &msg, None);
+            } else {
+                let deadline = deadline_ms
+                    .or(cfg.default_deadline_ms)
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
+                let token = *next_token;
+                *next_token += 1;
+                match engine.submit(token, features, deadline, done_tx.clone()) {
+                    Ok(()) => {
+                        parts.push(Part::Pending(token, id));
+                        return;
+                    }
+                    Err(SubmitError::Overloaded { retry_after_ms }) => {
+                        stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                        protocol::write_error(
+                            &mut ready,
+                            Some(id),
+                            protocol::ERR_OVERLOADED,
+                            "inference queue full",
+                            Some(retry_after_ms),
+                        );
+                    }
+                    Err(SubmitError::ShuttingDown) => {
+                        protocol::write_error(
+                            &mut ready,
+                            Some(id),
+                            protocol::ERR_SHUTTING_DOWN,
+                            "server is draining",
+                            None,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    parts.push(Part::Ready(ready));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_response, Response};
+    use inspector::{FeatureBuilder, FeatureMode, Normalizer};
+    use rlcore::{BinaryPolicy, PolicyScratch};
+    use simhpc::Metric;
+    use std::io::{BufRead, BufReader};
+
+    fn tiny_inspector() -> SchedInspector {
+        let fb = FeatureBuilder {
+            mode: FeatureMode::Manual,
+            metric: Metric::Bsld,
+            norm: Normalizer::new(64, 3600.0),
+        };
+        SchedInspector::new(BinaryPolicy::new(fb.dim(), 13), fb)
+    }
+
+    fn start() -> (ServerHandle, SchedInspector) {
+        let inspector = tiny_inspector();
+        let handle = serve(
+            inspector.clone(),
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+            Telemetry::disabled(),
+        )
+        .expect("bind ephemeral port");
+        (handle, inspector)
+    }
+
+    fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    fn roundtrip(
+        stream: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        line: &str,
+    ) -> Response {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        parse_response(reply.trim()).expect("server replies with valid protocol JSON")
+    }
+
+    #[test]
+    fn ping_stats_and_infer_roundtrip() {
+        let (handle, inspector) = start();
+        let (mut stream, mut reader) = connect(&handle);
+
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, r#"{"verb":"ping"}"#),
+            Response::Pong
+        );
+
+        let dim = inspector.input_dim();
+        let features: Vec<f32> = (0..dim).map(|i| i as f32 / dim as f32).collect();
+        let mut scratch = PolicyScratch::default();
+        let expect = inspector.decide(&features, &mut scratch);
+        let payload = features
+            .iter()
+            .map(|x| format!("{x}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let reply = roundtrip(
+            &mut stream,
+            &mut reader,
+            &format!(r#"{{"verb":"infer","id":5,"features":[{payload}]}}"#),
+        );
+        match reply {
+            Response::Decision {
+                id,
+                reject,
+                p_reject,
+            } => {
+                assert_eq!(id, 5);
+                assert_eq!(reject, expect.reject);
+                assert_eq!(p_reject, expect.p_reject);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        match roundtrip(&mut stream, &mut reader, r#"{"verb":"stats"}"#) {
+            Response::Stats(s) => {
+                use obs::json::Json;
+                assert_eq!(s.get("requests").and_then(Json::as_f64), Some(1.0));
+                assert_eq!(s.get("ok").and_then(Json::as_f64), Some(1.0));
+                assert_eq!(s.get("input_dim").and_then(Json::as_f64), Some(dim as f64));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_bad_dim_lines_keep_the_connection_alive() {
+        let (handle, inspector) = start();
+        let (mut stream, mut reader) = connect(&handle);
+
+        match roundtrip(&mut stream, &mut reader, "this is not json") {
+            Response::Error { id, code, .. } => {
+                assert_eq!(id, None);
+                assert_eq!(code, protocol::ERR_MALFORMED);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"verb":"infer","id":9,"features":[1,2]}"#,
+        ) {
+            Response::Error { id, code, .. } => {
+                assert_eq!(id, Some(9));
+                assert_eq!(code, protocol::ERR_BAD_REQUEST);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Still serving after both errors.
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, r#"{"verb":"ping"}"#),
+            Response::Pong
+        );
+        let _ = inspector;
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let (handle, inspector) = start();
+        let (mut stream, mut reader) = connect(&handle);
+        let dim = inspector.input_dim();
+        let mut batch = String::new();
+        for id in 0..64 {
+            let payload = vec![format!("{}", id as f32 / 64.0); dim].join(",");
+            batch.push_str(&format!(
+                "{{\"verb\":\"infer\",\"id\":{id},\"features\":[{payload}]}}\n"
+            ));
+        }
+        stream.write_all(batch.as_bytes()).unwrap();
+        for id in 0..64 {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            match parse_response(reply.trim()).unwrap() {
+                Response::Decision { id: got, .. } => assert_eq!(got, id),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let (handle, inspector) = start();
+        let (mut stream, mut reader) = connect(&handle);
+        let dim = inspector.input_dim();
+        let payload = vec!["0.5"; dim].join(",");
+        match roundtrip(
+            &mut stream,
+            &mut reader,
+            &format!(r#"{{"verb":"infer","id":1,"features":[{payload}],"deadline_ms":0}}"#),
+        ) {
+            Response::Error { id, code, .. } => {
+                assert_eq!(id, Some(1));
+                assert_eq!(code, protocol::ERR_DEADLINE);
+            }
+            // A fast enough engine may still beat a 0ms deadline's clock
+            // granularity; either outcome is protocol-correct.
+            Response::Decision { id, .. } => assert_eq!(id, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_verb_drains_and_stops_the_server() {
+        let (handle, _inspector) = start();
+        let addr = handle.addr();
+        let (mut stream, mut reader) = connect(&handle);
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, r#"{"verb":"shutdown"}"#),
+            Response::Draining
+        );
+        handle.wait(); // returns only because the verb triggered the signal
+        assert!(
+            TcpStream::connect(addr).is_err()
+                || TcpStream::connect(addr)
+                    .and_then(|mut s| {
+                        s.write_all(b"{\"verb\":\"ping\"}\n")?;
+                        let mut buf = String::new();
+                        BufReader::new(s).read_line(&mut buf)
+                    })
+                    .map(|n| n == 0)
+                    .unwrap_or(true),
+            "server must stop accepting after shutdown"
+        );
+    }
+
+    #[test]
+    fn shutdown_verb_can_be_disabled() {
+        let inspector = tiny_inspector();
+        let handle = serve(
+            inspector,
+            ServeConfig {
+                allow_shutdown_verb: false,
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let (mut stream, mut reader) = connect(&handle);
+        match roundtrip(&mut stream, &mut reader, r#"{"verb":"shutdown"}"#) {
+            Response::Error { code, .. } => assert_eq!(code, protocol::ERR_BAD_REQUEST),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Still alive.
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, r#"{"verb":"ping"}"#),
+            Response::Pong
+        );
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,289 @@
+//! Always-on service counters and latency histograms.
+//!
+//! Every live request path touches only atomics here, so keeping the stats
+//! hot costs a handful of relaxed `fetch_add`s per request — cheap enough
+//! to never switch off. The `stats` protocol verb serializes a snapshot of
+//! this state; `obs` telemetry (when enabled) additionally streams
+//! per-batch events to a sidecar.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use obs::json::Json;
+
+/// Sub-bucket resolution: 2^3 = 8 linear sub-buckets per power-of-two
+/// octave, bounding the relative quantile error at 12.5%.
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+/// Enough buckets for the full `u64` nanosecond range (index ≤ 495).
+const BUCKETS: usize = 512;
+
+/// A lock-free log-linear histogram of nanosecond latencies (HDR-style:
+/// power-of-two octaves split into [`SUB`] linear sub-buckets). Recording
+/// is one relaxed increment; quantiles are read from a snapshot sweep.
+pub struct LatencyHistogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - u64::from(v.leading_zeros());
+        let shift = msb - u64::from(SUB_BITS);
+        let sub = (v >> shift) - SUB;
+        ((shift + 1) * SUB + sub) as usize
+    }
+}
+
+/// Largest value that lands in bucket `i` (the reported quantile bound).
+/// Computed in `u128`: the top few of the 512 indices are unreachable from
+/// any `u64` input and would overflow a `u64` shift.
+fn bucket_upper(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        i
+    } else {
+        let shift = i / SUB - 1;
+        let sub = i % SUB;
+        let hi = u128::from(SUB + sub + 1) << shift;
+        (hi - 1).min(u128::from(u64::MAX)) as u64
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one latency sample, in nanoseconds.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// The `q`-quantile in nanoseconds (upper bound of the bucket the
+    /// quantile falls in; 0 when empty). `q` is clamped to `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Summary object for the `stats` verb: count, mean and key quantiles
+    /// in microseconds.
+    pub fn to_json(&self) -> Json {
+        let us = |ns: u64| Json::Number(ns as f64 / 1_000.0);
+        let mut m = BTreeMap::new();
+        m.insert("count".into(), Json::Number(self.count() as f64));
+        m.insert("mean_us".into(), Json::Number(self.mean_ns() / 1_000.0));
+        m.insert("p50_us".into(), us(self.quantile_ns(0.50)));
+        m.insert("p95_us".into(), us(self.quantile_ns(0.95)));
+        m.insert("p99_us".into(), us(self.quantile_ns(0.99)));
+        Json::Object(m)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .field("mean_ns", &self.mean_ns())
+            .finish()
+    }
+}
+
+/// Shared, always-on service metrics. One instance per server; every field
+/// is updated with relaxed atomics on the request path and read by the
+/// `stats` verb.
+#[derive(Debug)]
+pub struct ServerStats {
+    /// Feature-vector length the loaded model expects (constant).
+    pub input_dim: usize,
+    /// Configured micro-batch cap (constant).
+    pub max_batch: usize,
+    /// Infer requests received (including ones later rejected).
+    pub requests: AtomicU64,
+    /// Decisions successfully returned.
+    pub ok: AtomicU64,
+    /// Requests rejected with `overloaded` backpressure.
+    pub overloaded: AtomicU64,
+    /// Requests that missed their deadline while queued.
+    pub deadline_exceeded: AtomicU64,
+    /// Lines that failed to parse or validate.
+    pub malformed: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Inference batches executed.
+    pub batches: AtomicU64,
+    /// Requests served through batches (sum of batch sizes).
+    pub batched_requests: AtomicU64,
+    /// Current queued-request depth (gauge, updated by the engine).
+    pub queue_depth: AtomicU64,
+    /// End-to-end latency: enqueue → decision produced.
+    pub e2e: LatencyHistogram,
+    /// Inference-only latency of each executed batch.
+    pub infer_batch: LatencyHistogram,
+}
+
+impl ServerStats {
+    /// Fresh zeroed stats for a server with the given constants.
+    pub fn new(input_dim: usize, max_batch: usize) -> Self {
+        ServerStats {
+            input_dim,
+            max_batch,
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            e2e: LatencyHistogram::new(),
+            infer_batch: LatencyHistogram::new(),
+        }
+    }
+
+    /// Mean executed batch size (0 when no batch ran yet).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches = self.batches.load(Ordering::Relaxed);
+        if batches == 0 {
+            0.0
+        } else {
+            self.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64
+        }
+    }
+
+    /// Snapshot the whole stats block as the `stats` verb's payload.
+    pub fn to_json(&self) -> Json {
+        let n = |v: &AtomicU64| Json::Number(v.load(Ordering::Relaxed) as f64);
+        let mut m = BTreeMap::new();
+        m.insert("input_dim".into(), Json::Number(self.input_dim as f64));
+        m.insert("max_batch".into(), Json::Number(self.max_batch as f64));
+        m.insert("requests".into(), n(&self.requests));
+        m.insert("ok".into(), n(&self.ok));
+        m.insert("overloaded".into(), n(&self.overloaded));
+        m.insert("deadline_exceeded".into(), n(&self.deadline_exceeded));
+        m.insert("malformed".into(), n(&self.malformed));
+        m.insert("connections".into(), n(&self.connections));
+        m.insert("batches".into(), n(&self.batches));
+        m.insert("batched_requests".into(), n(&self.batched_requests));
+        m.insert(
+            "mean_batch_size".into(),
+            Json::Number(self.mean_batch_size()),
+        );
+        m.insert("queue_depth".into(), n(&self.queue_depth));
+        m.insert("e2e".into(), self.e2e.to_json());
+        m.insert("infer_batch".into(), self.infer_batch.to_json());
+        Json::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        let mut v = 0u64;
+        while v < 1 << 40 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index regressed at {v}");
+            assert!(i < BUCKETS);
+            last = i;
+            v = v * 2 + 1;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_its_own_bucket() {
+        // Indices past bucket_index(u64::MAX) can't be hit by any input.
+        for i in 0..=bucket_index(u64::MAX) {
+            let hi = bucket_upper(i);
+            assert_eq!(bucket_index(hi), i, "upper({i}) = {hi}");
+            if hi < u64::MAX {
+                assert!(bucket_index(hi + 1) > i);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 1..=1000 µs, uniform.
+        for us in 1..=1000u64 {
+            h.record(us * 1_000);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_ns(0.50) as f64 / 1_000.0;
+        let p99 = h.quantile_ns(0.99) as f64 / 1_000.0;
+        // Log-linear buckets are accurate to 12.5% on the upper bound.
+        assert!((430.0..=580.0).contains(&p50), "p50 {p50}");
+        assert!((930.0..=1150.0).contains(&p99), "p99 {p99}");
+        assert!((h.mean_ns() / 1_000.0 - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn stats_snapshot_is_valid_json_with_all_fields() {
+        let s = ServerStats::new(8, 16);
+        s.requests.fetch_add(3, Ordering::Relaxed);
+        s.e2e.record(42_000);
+        let mut text = String::new();
+        s.to_json().write_json(&mut text);
+        let v = obs::json::parse(&text).expect("stats serialize to valid JSON");
+        assert_eq!(v.get("input_dim").and_then(Json::as_f64), Some(8.0));
+        assert_eq!(v.get("requests").and_then(Json::as_f64), Some(3.0));
+        assert!(v.get("e2e").and_then(|e| e.get("count")).is_some());
+    }
+}

@@ -5,6 +5,8 @@
 //!                         --epochs 40 --out model.txt --telemetry run.jsonl
 //! schedinspector evaluate --model model.txt --trace SDSC-SP2 --policy SJF
 //! schedinspector analyze  --model model.txt --trace SDSC-SP2 --policy SJF
+//! schedinspector serve    --model model.txt --addr 127.0.0.1:7171
+//! schedinspector infer    --model model.txt --in features.jsonl
 //! schedinspector trace    --trace Lublin --jobs 5000 --out trace.swf
 //! schedinspector check-telemetry --file run.jsonl
 //! ```
@@ -50,7 +52,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: schedinspector <train|evaluate|analyze|trace|check-telemetry> [options]\n\
+        "usage: schedinspector <train|evaluate|analyze|serve|infer|trace|check-telemetry> [options]\n\
          \n\
          common options:\n\
            --trace   SDSC-SP2|CTC-SP2|HPC2N|Lublin   (default SDSC-SP2)\n\
@@ -62,6 +64,10 @@ fn usage() -> ! {
          train:    --epochs N --batch N --out FILE --telemetry FILE.jsonl\n\
          evaluate: --model FILE --seqs N --len N\n\
          analyze:  --model FILE\n\
+         serve:    --model FILE --addr HOST:PORT --workers N --batch N\n\
+         \x20          --queue N --deadline-ms N --telemetry FILE.jsonl\n\
+         \x20          (TCP decision service; port 0 = ephemeral, printed on stdout)\n\
+         infer:    --model FILE [--in FILE.jsonl]   (feature lines -> decisions)\n\
          trace:    --out FILE.swf\n\
          check-telemetry: --file FILE.jsonl   (validate a telemetry sidecar)"
     );
@@ -246,6 +252,98 @@ fn cmd_analyze(args: &Args) {
     }
 }
 
+fn cmd_serve(args: &Args) {
+    let agent = load_model(args);
+    let telemetry = match args.get("telemetry") {
+        Some(path) => match obs::Telemetry::jsonl(Path::new(path)) {
+            Ok(t) => {
+                println!("telemetry -> {path}");
+                t
+            }
+            Err(e) => {
+                eprintln!("cannot write telemetry file {path}: {e}");
+                exit(2)
+            }
+        },
+        None => obs::Telemetry::disabled(),
+    };
+    let cfg = serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
+        workers: args.num("workers", 4usize),
+        max_batch: args.num("batch", 16usize),
+        queue_capacity: args.num("queue", 4096usize),
+        default_deadline_ms: args.get("deadline-ms").and_then(|v| v.parse().ok()),
+        ..serve::ServeConfig::default()
+    };
+    let handle = serve::serve(agent, cfg, telemetry.clone()).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        exit(1)
+    });
+    println!("listening on {}", handle.addr());
+    handle.wait(); // until a client sends {"verb":"shutdown"}
+    telemetry.flush();
+    println!("server stopped");
+}
+
+fn cmd_infer(args: &Args) {
+    use std::io::BufRead;
+    let agent = load_model(args);
+    let dim = agent.input_dim();
+    let input: Box<dyn std::io::Read> = match args.get("in") {
+        Some(path) => Box::new(std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(2)
+        })),
+        None => Box::new(std::io::stdin()),
+    };
+    let mut scratch = rlcore::PolicyScratch::default();
+    let mut decided = 0usize;
+    for (i, line) in std::io::BufReader::new(input).lines().enumerate() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("read error on line {}: {e}", i + 1);
+            exit(1)
+        });
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Accept a bare array of numbers or an object with "features".
+        let value = obs::json::parse(line).unwrap_or_else(|e| {
+            eprintln!("line {}: {e}", i + 1);
+            exit(1)
+        });
+        let raw = value
+            .as_array()
+            .or_else(|| value.get("features").and_then(obs::json::Json::as_array))
+            .unwrap_or_else(|| {
+                eprintln!("line {}: expected an array or {{\"features\":[..]}}", i + 1);
+                exit(1)
+            });
+        let features: Vec<f32> = raw
+            .iter()
+            .map(|x| {
+                x.as_f64().unwrap_or_else(|| {
+                    eprintln!("line {}: features must be numbers", i + 1);
+                    exit(1)
+                }) as f32
+            })
+            .collect();
+        if features.len() != dim {
+            eprintln!(
+                "line {}: expected {dim} features, got {}",
+                i + 1,
+                features.len()
+            );
+            exit(1)
+        }
+        let d = agent.decide(&features, &mut scratch);
+        let verdict = if d.reject { "reject" } else { "accept" };
+        println!("{{\"decision\":\"{verdict}\",\"p_reject\":{}}}", d.p_reject);
+        decided += 1;
+    }
+    eprintln!("{decided} decisions");
+}
+
 fn cmd_trace(args: &Args) {
     let (trace, _, _, _) = build_world(args);
     let s = trace.stats();
@@ -304,6 +402,8 @@ fn main() {
         "train" => cmd_train(&args),
         "evaluate" => cmd_evaluate(&args),
         "analyze" => cmd_analyze(&args),
+        "serve" => cmd_serve(&args),
+        "infer" => cmd_infer(&args),
         "trace" => cmd_trace(&args),
         "check-telemetry" => cmd_check_telemetry(&args),
         _ => usage(),

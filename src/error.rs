@@ -2,7 +2,7 @@
 //! every layer, so callers of the facade crate can use `?` against a
 //! single `Result<T, schedinspector::Error>`.
 
-use inspector::{ConfigError, TrainError};
+use inspector::{ConfigError, ModelIoError, TrainError};
 use swf::SwfError;
 use workload::TraceError;
 
@@ -17,6 +17,8 @@ pub enum Error {
     Config(ConfigError),
     /// Building an [`inspector::Trainer`] failed.
     Train(TrainError),
+    /// Reading or writing a model checkpoint failed.
+    ModelIo(ModelIoError),
     /// An I/O error (model files, telemetry sidecars, trace files).
     Io(std::io::Error),
 }
@@ -28,6 +30,7 @@ impl std::fmt::Display for Error {
             Error::Trace(e) => write!(f, "trace: {e}"),
             Error::Config(e) => write!(f, "config: {e}"),
             Error::Train(e) => write!(f, "training: {e}"),
+            Error::ModelIo(e) => write!(f, "model: {e}"),
             Error::Io(e) => write!(f, "I/O: {e}"),
         }
     }
@@ -40,6 +43,7 @@ impl std::error::Error for Error {
             Error::Trace(e) => Some(e),
             Error::Config(e) => Some(e),
             Error::Train(e) => Some(e),
+            Error::ModelIo(e) => Some(e),
             Error::Io(e) => Some(e),
         }
     }
@@ -69,6 +73,12 @@ impl From<TrainError> for Error {
     }
 }
 
+impl From<ModelIoError> for Error {
+    fn from(e: ModelIoError) -> Self {
+        Error::ModelIo(e)
+    }
+}
+
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
         Error::Io(e)
@@ -90,6 +100,13 @@ mod tests {
 
         let e: Error = TraceError::EmptyMachine.into();
         assert!(e.to_string().starts_with("trace:"));
+
+        let e: Error = ModelIoError::Parse {
+            line: 4,
+            msg: "bad norm value".into(),
+        }
+        .into();
+        assert!(e.to_string().starts_with("model: line 4:"));
 
         let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(e.to_string().contains("gone"));

@@ -20,6 +20,8 @@
 //!   and §7 future-work combination partner);
 //! * [`inspector`] — SchedInspector itself: feature building, reward
 //!   functions, training, evaluation, analysis, model persistence;
+//! * [`serve`] — a micro-batched TCP decision service for trained
+//!   inspectors (line-delimited JSON protocol) plus a load generator;
 //! * [`obs`] — zero-cost-when-disabled telemetry (spans, counters, gauges,
 //!   JSONL sidecars) threaded through the simulator and trainer.
 //!
@@ -31,6 +33,7 @@ pub use obs;
 pub use policies;
 pub use rlcore;
 pub use rlsched;
+pub use serve;
 pub use simhpc;
 pub use swf;
 pub use tinynn;
