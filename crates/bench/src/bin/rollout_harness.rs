@@ -85,21 +85,32 @@ fn measure_pair(fx: &RolloutFixture, workers: usize, cache: &BaselineCache) -> (
     (episodes / opt_secs, episodes / ctl_secs)
 }
 
-/// Episodes/sec for (disabled, NullSink, JsonlSink) telemetry at the given
-/// worker count — the `telemetry_overhead` case. Disabled vs NullSink
-/// isolates the cost of the per-point `Option` check and event
-/// construction; JsonlSink adds serialization and buffered file I/O.
-fn measure_telemetry(fx: &RolloutFixture, workers: usize, cache: &BaselineCache) -> [f64; 3] {
+/// Episodes/sec for (disabled, NullSink, RegistrySink, JsonlSink)
+/// telemetry at the given worker count — the `telemetry_overhead` case.
+/// Disabled vs NullSink isolates the cost of the per-point `Option` check
+/// and event construction (null and registry sinks decline per-event
+/// timestamps, so no clock read is charged); RegistrySink adds live atomic
+/// aggregation (the `/metrics` path); JsonlSink adds timestamping,
+/// serialization, and buffered file I/O.
+///
+/// JsonlSink is measured *last* in each round and its dirty pages are
+/// synced to disk outside the timed windows: asynchronous kernel
+/// writeback from the growing sidecar would otherwise tax whichever
+/// variant happens to run next, not the one that wrote the data.
+fn measure_telemetry(fx: &RolloutFixture, workers: usize, cache: &BaselineCache) -> [f64; 4] {
     let sink_path = std::env::temp_dir().join("bench-telemetry-overhead.jsonl");
+    let registry = std::sync::Arc::new(obs::Registry::new());
     let variants = [
         Telemetry::disabled(),
         Telemetry::new(std::sync::Arc::new(NullSink)),
+        Telemetry::with_registry(registry),
         Telemetry::jsonl(&sink_path).expect("create JSONL telemetry"),
     ];
+    let jsonl = &variants[3];
     for telemetry in &variants {
         fx.epoch_traced(usize::MAX / 2, workers, Some(cache), false, telemetry);
     }
-    let mut secs = [0.0f64; 3];
+    let mut secs = [0.0f64; 4];
     for round in 0..ROUNDS {
         let first = round * EPOCHS_PER_ROUND;
         for (k, telemetry) in variants.iter().enumerate() {
@@ -109,11 +120,15 @@ fn measure_telemetry(fx: &RolloutFixture, workers: usize, cache: &BaselineCache)
             }
             secs[k] += t0.elapsed().as_secs_f64();
         }
+        jsonl.flush();
+        if let Ok(f) = std::fs::File::open(&sink_path) {
+            f.sync_all().ok();
+        }
     }
-    variants[2].flush();
     std::fs::remove_file(&sink_path).ok();
     let episodes = (MEASURE_EPOCHS * BATCH) as f64;
-    secs.map(|s| episodes / s)
+    let [off, null, registry, jsonl] = secs.map(|s| episodes / s);
+    [off, null, jsonl, registry]
 }
 
 /// Allocations per scheduling point of a steady-state *base* simulation
@@ -170,12 +185,14 @@ fn main() {
         rows.push((workers, opt_eps, ctl_eps, speedup));
     }
 
-    let [off_eps, null_eps, jsonl_eps] = measure_telemetry(&fx, 4, &cache);
+    let [off_eps, null_eps, jsonl_eps, registry_eps] = measure_telemetry(&fx, 4, &cache);
     let null_pct = (off_eps / null_eps - 1.0) * 100.0;
     let jsonl_pct = (off_eps / jsonl_eps - 1.0) * 100.0;
+    let registry_pct = (off_eps / registry_eps - 1.0) * 100.0;
     eprintln!(
         "telemetry overhead (4 workers): disabled {off_eps:.1} eps/s, \
-         NullSink {null_eps:.1} ({null_pct:+.2}%), JsonlSink {jsonl_eps:.1} ({jsonl_pct:+.2}%)"
+         NullSink {null_eps:.1} ({null_pct:+.2}%), JsonlSink {jsonl_eps:.1} ({jsonl_pct:+.2}%), \
+         RegistrySink {registry_eps:.1} ({registry_pct:+.2}%)"
     );
 
     let per_point = steady_state_allocs(&fx);
@@ -193,7 +210,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"batch\": {BATCH},\n  \"seq_len\": {SEQ_LEN},\n  \"trace\": \"SDSC-SP2 synthetic, {} jobs, {} procs\",\n  \"measure_epochs\": {MEASURE_EPOCHS},\n  \"episodes_per_sec\": [\n{}\n  ],\n  \"baseline_cache\": {{\n    \"distinct_offsets\": {},\n    \"base_runs\": {},\n    \"lookups\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \"telemetry_overhead\": {{\n    \"workers\": 4,\n    \"disabled_eps\": {:.1},\n    \"null_sink_eps\": {:.1},\n    \"jsonl_sink_eps\": {:.1},\n    \"null_sink_overhead_pct\": {:.2},\n    \"jsonl_sink_overhead_pct\": {:.2}\n  }},\n  \"allocations\": {{\n    \"steady_state_allocs_per_scheduling_point\": {:.4},\n    \"avoided_per_scheduling_point_vs_old_loop\": {:.2},\n    \"approx_avoided_per_measured_run\": {}\n  }}\n}}\n",
+        "{{\n  \"batch\": {BATCH},\n  \"seq_len\": {SEQ_LEN},\n  \"trace\": \"SDSC-SP2 synthetic, {} jobs, {} procs\",\n  \"measure_epochs\": {MEASURE_EPOCHS},\n  \"episodes_per_sec\": [\n{}\n  ],\n  \"baseline_cache\": {{\n    \"distinct_offsets\": {},\n    \"base_runs\": {},\n    \"lookups\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \"telemetry_overhead\": {{\n    \"workers\": 4,\n    \"disabled_eps\": {:.1},\n    \"null_sink_eps\": {:.1},\n    \"jsonl_sink_eps\": {:.1},\n    \"registry_sink_eps\": {:.1},\n    \"null_sink_overhead_pct\": {:.2},\n    \"jsonl_sink_overhead_pct\": {:.2},\n    \"registry_sink_overhead_pct\": {:.2}\n  }},\n  \"allocations\": {{\n    \"steady_state_allocs_per_scheduling_point\": {:.4},\n    \"avoided_per_scheduling_point_vs_old_loop\": {:.2},\n    \"approx_avoided_per_measured_run\": {}\n  }}\n}}\n",
         fx.trace.len(),
         fx.trace.procs,
         rows.iter()
@@ -209,8 +226,10 @@ fn main() {
         off_eps,
         null_eps,
         jsonl_eps,
+        registry_eps,
         null_pct,
         jsonl_pct,
+        registry_pct,
         per_point,
         avoided_per_point,
         (avoided_per_point * points_per_run as f64) as u64,

@@ -436,6 +436,11 @@ impl Trainer {
                 self.telemetry
                     .gauge("rollout.points_per_sec", inspections as f64 / rollout_secs);
             }
+            let epoch_secs = _epoch_span.elapsed();
+            if epoch_secs > 0.0 {
+                self.telemetry
+                    .heartbeat("train", epoch as u64, n as f64 / epoch_secs);
+            }
         }
 
         EpochRecord {
@@ -719,6 +724,22 @@ mod tests {
             sink.gauge_values("epoch.rejection_ratio"),
             vec![rec.rejection_ratio]
         );
+        // Exactly one liveness heartbeat per epoch, with a plausible rate.
+        let heartbeats: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                obs::Event::Heartbeat {
+                    name, epoch, eps, ..
+                } => Some((name, epoch, eps)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(heartbeats.len(), 1);
+        assert_eq!(heartbeats[0].0, "train");
+        assert_eq!(heartbeats[0].1, 0);
+        assert!(heartbeats[0].2 > 0.0);
+
         // The epoch span covers the whole call, so its duration bounds the
         // per-stage wall times recorded in the EpochRecord.
         let epoch_dur = sink.span_durations("epoch")[0];

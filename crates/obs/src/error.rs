@@ -1,0 +1,69 @@
+//! Typed errors for telemetry I/O and the metrics exposition endpoint.
+//!
+//! These used to be raw `std::io::Error`s (or worse, silently swallowed);
+//! they now carry the path/address context and convert into the workspace
+//! `schedinspector::Error`.
+
+use std::path::PathBuf;
+
+/// An observability-layer failure.
+#[derive(Debug)]
+pub enum ObsError {
+    /// Creating or writing a telemetry JSONL sidecar failed.
+    Sidecar {
+        /// Sidecar file path.
+        path: PathBuf,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The metrics exposition endpoint could not bind its listen address.
+    Bind {
+        /// The requested `--metrics-addr`.
+        addr: String,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ObsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsError::Sidecar { path, source } => {
+                write!(f, "telemetry sidecar {}: {source}", path.display())
+            }
+            ObsError::Bind { addr, source } => {
+                write!(f, "metrics endpoint failed to bind {addr}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObsError::Sidecar { source, .. } | ObsError::Bind { source, .. } => Some(source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_path_or_addr() {
+        let e = ObsError::Sidecar {
+            path: PathBuf::from("/tmp/run.telemetry.jsonl"),
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/run.telemetry.jsonl") && msg.contains("denied"));
+
+        let e = ObsError::Bind {
+            addr: "127.0.0.1:9".into(),
+            source: std::io::Error::new(std::io::ErrorKind::AddrInUse, "in use"),
+        };
+        assert!(e.to_string().contains("127.0.0.1:9"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -56,6 +56,34 @@ pub enum Event {
         /// Sampled value.
         value: f64,
     },
+    /// A trainer liveness beacon, emitted once per epoch so dashboards and
+    /// `schedinspector report` can track progress without replaying every
+    /// counter.
+    Heartbeat {
+        /// Heartbeat source, e.g. `"train"` or `"selector"`.
+        name: &'static str,
+        /// Seconds since handle creation.
+        t: f64,
+        /// Epoch index just completed.
+        epoch: u64,
+        /// Episodes per second over that epoch.
+        eps: f64,
+    },
+    /// A periodic summary of the live metrics registry, emitted by the
+    /// `/metrics` exporter thread on each scrape so sidecars record that
+    /// (and how much) the registry was being observed.
+    RegistrySnapshot {
+        /// Snapshot source, e.g. `"metrics_exporter"`.
+        name: &'static str,
+        /// Seconds since handle creation.
+        t: f64,
+        /// Registered counter families at snapshot time.
+        counters: u64,
+        /// Registered gauge families at snapshot time.
+        gauges: u64,
+        /// Registered histogram families at snapshot time.
+        histograms: u64,
+    },
 }
 
 impl Event {
@@ -66,7 +94,9 @@ impl Event {
             | Event::SpanClose { name, .. }
             | Event::Counter { name, .. }
             | Event::Gauge { name, .. }
-            | Event::Histogram { name, .. } => name,
+            | Event::Histogram { name, .. }
+            | Event::Heartbeat { name, .. }
+            | Event::RegistrySnapshot { name, .. } => name,
         }
     }
 
@@ -77,7 +107,9 @@ impl Event {
             | Event::SpanClose { t, .. }
             | Event::Counter { t, .. }
             | Event::Gauge { t, .. }
-            | Event::Histogram { t, .. } => *t,
+            | Event::Histogram { t, .. }
+            | Event::Heartbeat { t, .. }
+            | Event::RegistrySnapshot { t, .. } => *t,
         }
     }
 
@@ -89,6 +121,8 @@ impl Event {
             Event::Counter { .. } => "counter",
             Event::Gauge { .. } => "gauge",
             Event::Histogram { .. } => "histogram",
+            Event::Heartbeat { .. } => "heartbeat",
+            Event::RegistrySnapshot { .. } => "registry_snapshot",
         }
     }
 
@@ -120,6 +154,26 @@ impl Event {
                 out,
                 r#"{{"kind":"histogram","name":"{name}","t":{t:.9},"value":{}}}"#,
                 json_f64(*value)
+            ),
+            Event::Heartbeat {
+                name,
+                t,
+                epoch,
+                eps,
+            } => write!(
+                out,
+                r#"{{"kind":"heartbeat","name":"{name}","t":{t:.9},"epoch":{epoch},"eps":{}}}"#,
+                json_f64(*eps)
+            ),
+            Event::RegistrySnapshot {
+                name,
+                t,
+                counters,
+                gauges,
+                histograms,
+            } => write!(
+                out,
+                r#"{{"kind":"registry_snapshot","name":"{name}","t":{t:.9},"counters":{counters},"gauges":{gauges},"histograms":{histograms}}}"#
             ),
         };
     }
@@ -163,12 +217,35 @@ mod tests {
                 t: 5.0,
                 value: 2.5,
             },
+            Event::Heartbeat {
+                name: "train",
+                t: 6.0,
+                epoch: 3,
+                eps: 100.0,
+            },
+            Event::RegistrySnapshot {
+                name: "metrics_exporter",
+                t: 7.0,
+                counters: 4,
+                gauges: 2,
+                histograms: 1,
+            },
         ];
         let kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(
             kinds,
-            ["span_open", "span_close", "counter", "gauge", "histogram"]
+            [
+                "span_open",
+                "span_close",
+                "counter",
+                "gauge",
+                "histogram",
+                "heartbeat",
+                "registry_snapshot"
+            ]
         );
+        assert_eq!(events[5].name(), "train");
+        assert_eq!(events[6].t(), 7.0);
         assert_eq!(events[2].name(), "c");
         assert_eq!(events[3].t(), 4.0);
     }
@@ -186,6 +263,35 @@ mod tests {
             s,
             r#"{"kind":"counter","name":"sim.reject","t":0.250000000,"delta":3}"#
         );
+    }
+
+    #[test]
+    fn heartbeat_and_snapshot_encode_with_their_payload_fields() {
+        let mut s = String::new();
+        Event::Heartbeat {
+            name: "train",
+            t: 1.5,
+            epoch: 9,
+            eps: 250.5,
+        }
+        .write_json(&mut s);
+        assert_eq!(
+            s,
+            r#"{"kind":"heartbeat","name":"train","t":1.500000000,"epoch":9,"eps":250.5}"#
+        );
+        crate::json::validate_telemetry_line(&s).expect("heartbeat validates");
+
+        s.clear();
+        Event::RegistrySnapshot {
+            name: "metrics_exporter",
+            t: 2.0,
+            counters: 3,
+            gauges: 1,
+            histograms: 2,
+        }
+        .write_json(&mut s);
+        assert!(s.contains(r#""counters":3"#) && s.contains(r#""histograms":2"#));
+        crate::json::validate_telemetry_line(&s).expect("snapshot validates");
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! A std-only, pull-based metrics exposition endpoint.
+//!
+//! [`MetricsExporter::bind`] starts one background thread serving
+//! `GET /metrics` (Prometheus text format, rendered live from a shared
+//! [`Registry`]) over plain HTTP/1.1 — no framework, no dependency, the
+//! same hand-rolled TCP approach as the serve daemon. One request per
+//! connection (`Connection: close`), which is exactly the access pattern
+//! of a Prometheus scraper or a debugging `curl`.
+//!
+//! Shutdown mirrors the serve daemon's listener trick: a shared stop flag
+//! plus a loopback connection to wake the blocking `accept`, then a thread
+//! join — so `train` runs exit cleanly instead of leaking the exporter.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::registry::Registry;
+use crate::{ObsError, Telemetry};
+
+/// Content type of the Prometheus text exposition format.
+const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A running `/metrics` endpoint. Dropping the handle without calling
+/// [`MetricsExporter::shutdown`] detaches the thread (it keeps serving
+/// until the process exits).
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`, port 0 for ephemeral) and
+    /// serve `registry` until [`shutdown`](MetricsExporter::shutdown).
+    ///
+    /// Each scrape increments `obs.metrics.scrapes` (malformed requests
+    /// increment `obs.metrics.scrape_errors`) and, when `telemetry` is
+    /// enabled, records a `registry_snapshot` event in the sidecar so
+    /// offline analysis can see the run was being observed.
+    pub fn bind(
+        addr: &str,
+        registry: Arc<Registry>,
+        telemetry: Telemetry,
+    ) -> Result<Self, ObsError> {
+        let listener = TcpListener::bind(addr).map_err(|source| ObsError::Bind {
+            addr: addr.to_string(),
+            source,
+        })?;
+        let local = listener.local_addr().map_err(|source| ObsError::Bind {
+            addr: addr.to_string(),
+            source,
+        })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("metrics-exporter".into())
+                .spawn(move || exporter_loop(listener, registry, telemetry, stop))
+                .expect("spawn metrics exporter thread")
+        };
+        Ok(MetricsExporter {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the acceptor, and join the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl std::fmt::Debug for MetricsExporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsExporter")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+fn exporter_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    telemetry: Telemetry,
+    stop: Arc<AtomicBool>,
+) {
+    let scrapes = registry.counter("obs.metrics.scrapes", "successful /metrics scrapes");
+    let errors = registry.counter(
+        "obs.metrics.scrape_errors",
+        "malformed or unroutable exposition requests",
+    );
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        match handle_scrape(stream, &registry) {
+            Ok(()) => {
+                scrapes.inc();
+                let c = registry.counts();
+                telemetry.registry_snapshot("metrics_exporter", c);
+            }
+            Err(()) => errors.inc(),
+        }
+    }
+}
+
+/// Serve one connection: parse the request line, answer `GET /metrics`
+/// with the rendered registry, anything else with 404 (or 400 when the
+/// request is not parseable). `Err(())` means the scrape did not produce
+/// a 200.
+fn handle_scrape(mut stream: TcpStream, registry: &Registry) -> Result<(), ()> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_nodelay(true);
+
+    // Read until the end of the request head (CRLFCRLF) or the buffer/
+    // timeout limit; scrapers send small GETs, so 4 KiB is plenty.
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    loop {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    if method != "GET" {
+        let _ = write_response(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            b"GET only\n",
+        );
+        return Err(());
+    }
+    match path {
+        p if p == "/metrics" || p.starts_with("/metrics?") => {
+            let mut body = String::with_capacity(4096);
+            registry.render(&mut body);
+            write_response(&mut stream, "200 OK", CONTENT_TYPE, body.as_bytes()).map_err(|_| ())
+        }
+        "/" => {
+            let _ = write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain",
+                b"schedinspector metrics endpoint; scrape /metrics\n",
+            );
+            Err(()) // not a scrape
+        }
+        _ => {
+            let _ = write_response(&mut stream, "404 Not Found", "text/plain", b"not found\n");
+            Err(())
+        }
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect exporter");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut body = String::new();
+        // Skip headers, then read the body to EOF (Connection: close).
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line.is_empty() {
+                break;
+            }
+        }
+        reader.read_to_string(&mut body).unwrap();
+        (status.trim().to_string(), body)
+    }
+
+    #[test]
+    fn serves_metrics_and_counts_scrapes() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("test.hits", "test counter").add(3);
+        registry.gauge("test.level", "test gauge").set(1.5);
+        registry
+            .histogram("test.lat", "test histogram")
+            .observe(0.1);
+        let exporter =
+            MetricsExporter::bind("127.0.0.1:0", Arc::clone(&registry), Telemetry::disabled())
+                .expect("bind ephemeral port");
+        let addr = exporter.local_addr();
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("schedinspector_test_hits_total 3"));
+        assert!(body.contains("schedinspector_test_level 1.5"));
+        assert!(body.contains("# TYPE schedinspector_test_lat histogram"));
+
+        let (status, _) = http_get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        // The second /metrics scrape sees the first one counted.
+        let (_, body) = http_get(addr, "/metrics");
+        assert!(
+            body.contains("schedinspector_obs_metrics_scrapes_total"),
+            "scrape counter exposed"
+        );
+        exporter.shutdown();
+        assert_eq!(registry.counter("obs.metrics.scrape_errors", "").get(), 1);
+    }
+
+    #[test]
+    fn snapshot_events_flow_into_telemetry() {
+        let registry = Arc::new(Registry::new());
+        let (telemetry, sink) = Telemetry::in_memory();
+        let exporter =
+            MetricsExporter::bind("127.0.0.1:0", Arc::clone(&registry), telemetry).expect("bind");
+        let (status, _) = http_get(exporter.local_addr(), "/metrics");
+        assert!(status.contains("200"));
+        exporter.shutdown();
+        let snapshots: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, crate::Event::RegistrySnapshot { .. }))
+            .collect();
+        assert_eq!(snapshots.len(), 1);
+    }
+
+    #[test]
+    fn bind_failure_is_a_typed_error() {
+        let registry = Arc::new(Registry::new());
+        let err = MetricsExporter::bind("definitely not an addr", registry, Telemetry::disabled())
+            .expect_err("bad addr fails");
+        assert!(err.to_string().contains("definitely not an addr"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Prometheus text exposition format (version 0.0.4) encoding for the
+//! metrics [`Registry`](crate::registry::Registry).
+//!
+//! Dotted telemetry names (`train.episodes`) become Prometheus-legal
+//! names (`schedinspector_train_episodes`): every metric is prefixed with
+//! the process namespace, illegal characters map to `_`, counters gain the
+//! conventional `_total` suffix, and histograms expand into cumulative
+//! `_bucket{le="…"}` series plus `_sum` / `_count`.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Histogram, MetricKind, Registry};
+
+/// Namespace prefix for every exposed metric.
+pub const NAMESPACE: &str = "schedinspector";
+
+/// Sanitize `name` into a legal Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixed with [`NAMESPACE`]. Dots and any
+/// other illegal characters become `_`; an empty or all-illegal name still
+/// yields a legal one (`schedinspector_`).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(NAMESPACE.len() + 1 + name.len());
+    out.push_str(NAMESPACE);
+    out.push('_');
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a label *value*: backslash, double-quote, and newline must be
+/// backslash-escaped per the exposition format.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a `# HELP` text: backslash and newline only (no quote escaping).
+fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a sample value. Prometheus text accepts Go-style floats;
+/// non-finite values are spelled `+Inf` / `-Inf` / `NaN`.
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Append one counter family (HELP, TYPE, and the `_total` sample).
+pub fn write_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let n = sanitize_metric_name(name);
+    if !help.is_empty() {
+        let _ = writeln!(out, "# HELP {n}_total {}", escape_help(help));
+    }
+    let _ = writeln!(out, "# TYPE {n}_total counter");
+    let _ = writeln!(out, "{n}_total {value}");
+}
+
+/// Append one gauge family.
+pub fn write_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let n = sanitize_metric_name(name);
+    if !help.is_empty() {
+        let _ = writeln!(out, "# HELP {n} {}", escape_help(help));
+    }
+    let _ = writeln!(out, "# TYPE {n} gauge");
+    let _ = writeln!(out, "{n} {}", fmt_value(value));
+}
+
+/// Append one histogram family: cumulative `_bucket{le="…"}` series ending
+/// with `le="+Inf"`, then `_sum` and `_count`.
+pub fn write_histogram(out: &mut String, name: &str, help: &str, hist: &Histogram) {
+    let n = sanitize_metric_name(name);
+    if !help.is_empty() {
+        let _ = writeln!(out, "# HELP {n} {}", escape_help(help));
+    }
+    let _ = writeln!(out, "# TYPE {n} histogram");
+    let count = hist.count();
+    for (upper, cum) in hist.cumulative_buckets() {
+        let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", fmt_value(upper));
+    }
+    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {count}");
+    let _ = writeln!(out, "{n}_sum {}", fmt_value(hist.sum()));
+    let _ = writeln!(out, "{n}_count {count}");
+}
+
+/// Render the whole registry: a `build_info` gauge with a `version` label,
+/// then every registered family in name order, then span-duration
+/// histograms as `…_span_<name>_seconds`.
+pub fn render_registry(registry: &Registry, out: &mut String) {
+    let info = sanitize_metric_name("build_info");
+    let _ = writeln!(out, "# HELP {info} build metadata of the exposing process");
+    let _ = writeln!(out, "# TYPE {info} gauge");
+    let _ = writeln!(
+        out,
+        "{info}{{version=\"{}\"}} 1",
+        escape_label_value(env!("CARGO_PKG_VERSION"))
+    );
+    registry.with_families(|families, spans| {
+        for (name, family) in families {
+            match &family.metric {
+                MetricKind::Counter(c) => write_counter(out, name, family.help, c.get()),
+                MetricKind::Gauge(g) => write_gauge(out, name, family.help, g.get()),
+                MetricKind::Histogram(h) => write_histogram(out, name, family.help, h),
+            }
+        }
+        for (name, hist) in spans {
+            let metric = format!("span.{name}.seconds");
+            write_histogram(
+                out,
+                &metric,
+                "span duration aggregated from telemetry",
+                hist,
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn legal_metric_name(s: &str) -> bool {
+        let mut chars = s.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    #[test]
+    fn sanitization_produces_legal_names() {
+        for raw in [
+            "train.episodes",
+            "ppo.minibatch.kl",
+            "weird name/with-stuff",
+            "",
+            "9starts.with.digit",
+            "ünïcode",
+        ] {
+            let n = sanitize_metric_name(raw);
+            assert!(legal_metric_name(&n), "{raw:?} -> {n:?}");
+            assert!(n.starts_with("schedinspector_"));
+        }
+        assert_eq!(
+            sanitize_metric_name("train.episodes"),
+            "schedinspector_train_episodes"
+        );
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_newlines() {
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+        assert_eq!(escape_label_value("plain"), "plain");
+    }
+
+    #[test]
+    fn counter_and_gauge_families_are_well_formed() {
+        let mut out = String::new();
+        write_counter(&mut out, "train.episodes", "episodes completed", 42);
+        write_gauge(&mut out, "ppo.kl", "help with \\ and \n inside", 0.5);
+        let text = out;
+        assert!(text.contains("# TYPE schedinspector_train_episodes_total counter\n"));
+        assert!(text.contains("schedinspector_train_episodes_total 42\n"));
+        assert!(text.contains("# TYPE schedinspector_ppo_kl gauge\n"));
+        assert!(text.contains("schedinspector_ppo_kl 0.5\n"));
+        // Help text newline/backslash are escaped, keeping one line per entry.
+        assert!(text.contains(r"help with \\ and \n inside"));
+        for line in text.lines() {
+            assert!(!line.is_empty());
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let h = Histogram::detached();
+        for v in [0.001, 0.002, 0.002, 0.5] {
+            h.observe(v);
+        }
+        let mut out = String::new();
+        write_histogram(&mut out, "lat", "", &h);
+        let mut last_cum = 0u64;
+        let mut last_le = f64::NEG_INFINITY;
+        let mut saw_inf = false;
+        for line in out.lines().filter(|l| l.contains("_bucket")) {
+            let le_start = line.find("le=\"").unwrap() + 4;
+            let le_end = line[le_start..].find('"').unwrap() + le_start;
+            let le_raw = &line[le_start..le_end];
+            let cum: u64 = line[le_end + 2..].trim().parse().unwrap();
+            assert!(cum >= last_cum, "cumulative counts regressed: {line}");
+            last_cum = cum;
+            if le_raw == "+Inf" {
+                saw_inf = true;
+                assert_eq!(cum, 4, "+Inf bucket holds the total count");
+            } else {
+                let le: f64 = le_raw.parse().unwrap();
+                assert!(le > last_le, "le bounds not increasing: {line}");
+                last_le = le;
+            }
+        }
+        assert!(saw_inf);
+        assert!(out.contains("schedinspector_lat_count 4\n"));
+        let sum_line = out
+            .lines()
+            .find(|l| l.starts_with("schedinspector_lat_sum"))
+            .unwrap();
+        let sum: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((sum - 0.505).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_registry_contains_all_three_kinds_and_build_info() {
+        let r = Registry::new();
+        r.counter("c.one", "a counter").inc();
+        r.gauge("g.one", "a gauge").set(2.5);
+        r.histogram("h.one", "a histogram").observe(0.25);
+        r.span_histogram("epoch").observe(1.5);
+        let mut out = String::new();
+        r.render(&mut out);
+        assert!(out.contains("schedinspector_build_info{version="));
+        assert!(out.contains("# TYPE schedinspector_c_one_total counter"));
+        assert!(out.contains("# TYPE schedinspector_g_one gauge"));
+        assert!(out.contains("# TYPE schedinspector_h_one histogram"));
+        assert!(out.contains("# TYPE schedinspector_span_epoch_seconds histogram"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in out.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap();
+            let value = parts.next().unwrap();
+            assert!(parts.next().is_none(), "extra tokens: {line}");
+            let bare = name.split('{').next().unwrap();
+            assert!(legal_metric_name(bare), "illegal name in {line}");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "unparsable value in {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn exposition_round_trips_recorded_counts() {
+        // proptest-style round trip: random-ish counter values survive
+        // render → parse.
+        let values: Vec<u64> = (0..50).map(|i| (i * 2654435761u64) % 1_000_003).collect();
+        let r = Arc::new(Registry::new());
+        let c = r.counter("rt.counter", "");
+        for &v in &values {
+            c.add(v);
+        }
+        let mut out = String::new();
+        r.render(&mut out);
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("schedinspector_rt_counter_total"))
+            .expect("counter rendered");
+        let rendered: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert_eq!(rendered, values.iter().sum::<u64>());
+    }
+}

@@ -313,20 +313,38 @@ pub fn validate_telemetry_line(line: &str) -> Result<Json, String> {
     if !t.is_finite() || t < 0.0 {
         return Err(format!("timestamp {t} is not a finite non-negative number"));
     }
-    let payload = match kind.as_str() {
-        "span_open" => None,
-        "span_close" => Some("dur"),
-        "counter" => Some("delta"),
-        "gauge" | "histogram" => Some("value"),
+    let payload: &[&str] = match kind.as_str() {
+        "span_open" => &[],
+        "span_close" => &["dur"],
+        "counter" => &["delta"],
+        "gauge" | "histogram" => &["value"],
+        "heartbeat" => &["epoch", "eps"],
+        "registry_snapshot" => &["counters", "gauges", "histograms"],
         other => return Err(format!("unknown event kind {other:?}")),
     };
-    if let Some(field) = payload {
+    for field in payload {
         let present = matches!(
             v.get(field),
             Some(Json::Number(_)) | Some(Json::Null) // non-finite values encode as null
         );
         if !present {
             return Err(format!("kind {kind:?} requires numeric field {field:?}"));
+        }
+    }
+    // Integer-valued fields must actually be non-negative integers.
+    let integral: &[&str] = match kind.as_str() {
+        "counter" => &["delta"],
+        "heartbeat" => &["epoch"],
+        "registry_snapshot" => &["counters", "gauges", "histograms"],
+        _ => &[],
+    };
+    for field in integral {
+        if let Some(n) = v.get(field).and_then(Json::as_f64) {
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!(
+                    "kind {kind:?} field {field:?} must be a non-negative integer, got {n}"
+                ));
+            }
         }
     }
     Ok(v)
@@ -408,6 +426,36 @@ mod tests {
         assert!(
             validate_telemetry_line(r#"{"kind":"gauge","name":"x","t":-1,"value":1}"#).is_err()
         );
+    }
+
+    #[test]
+    fn validates_heartbeat_and_registry_snapshot_lines() {
+        validate_telemetry_line(
+            r#"{"kind":"heartbeat","name":"train","t":1.0,"epoch":4,"eps":88.5}"#,
+        )
+        .expect("valid heartbeat");
+        validate_telemetry_line(
+            r#"{"kind":"registry_snapshot","name":"metrics_exporter","t":2.0,"counters":5,"gauges":3,"histograms":2}"#,
+        )
+        .expect("valid snapshot");
+        // Missing payload fields.
+        assert!(validate_telemetry_line(
+            r#"{"kind":"heartbeat","name":"train","t":1.0,"epoch":4}"#
+        )
+        .is_err());
+        assert!(validate_telemetry_line(
+            r#"{"kind":"registry_snapshot","name":"m","t":2.0,"counters":5,"gauges":3}"#
+        )
+        .is_err());
+        // Integer fields reject fractional or negative values.
+        assert!(validate_telemetry_line(
+            r#"{"kind":"heartbeat","name":"train","t":1.0,"epoch":4.5,"eps":1.0}"#
+        )
+        .is_err());
+        assert!(validate_telemetry_line(
+            r#"{"kind":"registry_snapshot","name":"m","t":2.0,"counters":-1,"gauges":0,"histograms":0}"#
+        )
+        .is_err());
     }
 
     #[test]

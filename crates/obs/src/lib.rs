@@ -34,11 +34,21 @@
 //! sink.check_monotonic_timestamps().unwrap();
 //! ```
 
+mod error;
 mod event;
+pub mod exporter;
+pub mod expose;
+pub mod hist;
 pub mod json;
+pub mod registry;
+pub mod report;
 mod sink;
 
+pub use error::ObsError;
 pub use event::Event;
+pub use exporter::MetricsExporter;
+pub use hist::LogLinearHistogram;
+pub use registry::{Counter, Gauge, Histogram, Registry, RegistryCounts, RegistrySink, TeeSink};
 pub use sink::{InMemorySink, JsonlSink, NullSink, Sink};
 
 use std::path::Path;
@@ -48,6 +58,10 @@ use std::time::Instant;
 struct Inner {
     t0: Instant,
     sink: Arc<dyn Sink>,
+    /// Whether the sink reads event timestamps ([`Sink::wants_time`],
+    /// cached here so the hot path pays a field load, not a dyn call).
+    /// When `false`, events carry `t == 0.0` and no clock is read.
+    timed: bool,
 }
 
 /// A telemetry handle: the single type every instrumented component takes.
@@ -76,17 +90,42 @@ impl Telemetry {
     /// An enabled handle delivering events to `sink`. The handle's clock
     /// starts now: event timestamps are seconds since this call.
     pub fn new(sink: Arc<dyn Sink>) -> Self {
+        let timed = sink.wants_time();
         Telemetry {
             inner: Some(Arc::new(Inner {
                 t0: Instant::now(),
                 sink,
+                timed,
             })),
         }
     }
 
     /// An enabled handle writing JSONL to a freshly created file.
-    pub fn jsonl(path: &Path) -> std::io::Result<Self> {
+    /// Creation failures surface as [`ObsError::Sidecar`] naming the path.
+    pub fn jsonl(path: &Path) -> Result<Self, ObsError> {
         Ok(Self::new(Arc::new(JsonlSink::create(path)?)))
+    }
+
+    /// An enabled handle that both streams JSONL to `path` *and*
+    /// aggregates every event into `registry` live, so the same
+    /// instrumentation feeds offline analysis and `/metrics`. Sidecar
+    /// write failures are counted on the registry's
+    /// `obs.sink.dropped_events` counter.
+    pub fn jsonl_with_registry(path: &Path, registry: Arc<Registry>) -> Result<Self, ObsError> {
+        let dropped = registry.counter(
+            "obs.sink.dropped_events",
+            "telemetry events dropped by sidecar write failures",
+        );
+        let jsonl = JsonlSink::create(path)?.with_dropped_counter(dropped);
+        Ok(Self::new(Arc::new(TeeSink::new(vec![
+            Arc::new(jsonl),
+            Arc::new(RegistrySink::new(registry)),
+        ]))))
+    }
+
+    /// An enabled handle aggregating into `registry` only (no sidecar).
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Self::new(Arc::new(RegistrySink::new(registry)))
     }
 
     /// An enabled handle backed by an [`InMemorySink`]; returns the sink
@@ -118,6 +157,16 @@ impl Telemetry {
         }
     }
 
+    /// Event timestamp: seconds since creation, or `0.0` without touching
+    /// the clock when every sink declines timestamps ([`Sink::wants_time`]).
+    #[inline]
+    fn event_t(&self) -> f64 {
+        match &self.inner {
+            Some(inner) if inner.timed => inner.t0.elapsed().as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
     /// Open a timed span; the span records its duration when dropped.
     /// Prefer the [`span!`] macro, which reads as a statement.
     #[inline]
@@ -125,7 +174,11 @@ impl Telemetry {
         match &self.inner {
             Some(inner) => {
                 let start = Instant::now();
-                let t = start.duration_since(inner.t0).as_secs_f64();
+                let t = if inner.timed {
+                    start.duration_since(inner.t0).as_secs_f64()
+                } else {
+                    0.0
+                };
                 inner.sink.record(&Event::SpanOpen { name, t });
                 Span {
                     telemetry: self.clone(),
@@ -147,7 +200,7 @@ impl Telemetry {
         if self.is_enabled() {
             self.record(Event::Counter {
                 name,
-                t: self.now(),
+                t: self.event_t(),
                 delta,
             });
         }
@@ -159,7 +212,7 @@ impl Telemetry {
         if self.is_enabled() {
             self.record(Event::Gauge {
                 name,
-                t: self.now(),
+                t: self.event_t(),
                 value,
             });
         }
@@ -171,8 +224,37 @@ impl Telemetry {
         if self.is_enabled() {
             self.record(Event::Histogram {
                 name,
-                t: self.now(),
+                t: self.event_t(),
                 value,
+            });
+        }
+    }
+
+    /// Record a trainer liveness heartbeat: `epoch` just completed at
+    /// `eps` episodes per second.
+    #[inline]
+    pub fn heartbeat(&self, name: &'static str, epoch: u64, eps: f64) {
+        if self.is_enabled() {
+            self.record(Event::Heartbeat {
+                name,
+                t: self.event_t(),
+                epoch,
+                eps,
+            });
+        }
+    }
+
+    /// Record a registry-size snapshot (emitted by the metrics exporter on
+    /// each scrape).
+    #[inline]
+    pub fn registry_snapshot(&self, name: &'static str, counts: RegistryCounts) {
+        if self.is_enabled() {
+            self.record(Event::RegistrySnapshot {
+                name,
+                t: self.event_t(),
+                counters: counts.counters,
+                gauges: counts.gauges,
+                histograms: counts.histograms,
             });
         }
     }
@@ -212,7 +294,7 @@ impl Drop for Span {
             let dur = start.elapsed().as_secs_f64();
             self.telemetry.record(Event::SpanClose {
                 name: self.name,
-                t: self.telemetry.now(),
+                t: self.telemetry.event_t(),
                 dur,
             });
         }
@@ -306,6 +388,53 @@ mod tests {
         let span = t.span("s");
         std::thread::sleep(std::time::Duration::from_millis(2));
         assert!(span.elapsed() > 0.0);
+    }
+
+    #[test]
+    fn sinks_that_decline_timestamps_see_zero_but_real_durations() {
+        struct Untimed(std::sync::Mutex<Vec<(f64, f64)>>);
+        impl Sink for Untimed {
+            fn record(&self, event: &Event) {
+                let dur = match *event {
+                    Event::SpanClose { dur, .. } => dur,
+                    _ => -1.0,
+                };
+                self.0.lock().unwrap().push((event.t(), dur));
+            }
+            fn wants_time(&self) -> bool {
+                false
+            }
+        }
+        let sink = Arc::new(Untimed(std::sync::Mutex::new(Vec::new())));
+        let t = Telemetry::new(sink.clone());
+        t.count("c", 1);
+        {
+            let _span = span!(t, "s");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let events = sink.0.lock().unwrap().clone();
+        // Timestamps are zeroed (no clock read), but span durations are
+        // still measured for aggregation.
+        assert!(events.iter().all(|&(t, _)| t == 0.0));
+        let (_, dur) = events[events.len() - 1];
+        assert!(dur > 0.0);
+    }
+
+    #[test]
+    fn timed_sinks_still_get_monotonic_timestamps() {
+        // InMemorySink keeps the default `wants_time`, so the tee must
+        // report timestamps wanted and events must carry real times.
+        let mem = Arc::new(InMemorySink::new());
+        let tee = TeeSink::new(vec![
+            Arc::new(RegistrySink::new(Arc::new(Registry::new()))),
+            mem.clone(),
+        ]);
+        assert!(tee.wants_time());
+        let t = Telemetry::new(Arc::new(tee));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.count("c", 1);
+        let events = mem.events();
+        assert!(events[0].t() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,804 @@
+//! **The live metrics registry** — process-wide aggregated counters,
+//! gauges, and histograms, readable at any time by the pull-based
+//! exposition endpoint ([`crate::exporter`]) or the serve daemon's `stats`
+//! verb.
+//!
+//! Two ways in:
+//!
+//! * **handles** — [`Registry::counter`] / [`Registry::gauge`] /
+//!   [`Registry::histogram`] return cheaply-cloneable handles whose update
+//!   path is *lock-free*: a relaxed atomic op, no allocation, no map
+//!   lookup. Long-lived components (the serve daemon's `ServerStats`,
+//!   trainer heartbeats) register once and update through handles;
+//! * **[`RegistrySink`]** — a [`Sink`](crate::Sink) that aggregates the
+//!   existing [`Telemetry`](crate::Telemetry) event stream live, so every
+//!   instrumentation point added for JSONL sidecars also shows up on
+//!   `/metrics` with no extra code. The sink keeps a lock-free
+//!   pointer-keyed handle cache: after a name's first event, recording is
+//!   one acquire-load on an unchanging cache slot plus the handle's
+//!   relaxed atomic op — no lock word, no map walk, no allocation. (Event
+//!   names are `&'static str`, so the string's address is a stable cache
+//!   key; distinct addresses with equal text simply occupy two slots that
+//!   resolve to the same registry metric.)
+//!
+//! Metric names are dotted telemetry identifiers (`train.episodes`);
+//! Prometheus-legal names are produced at exposition time by
+//! [`crate::expose`].
+
+use std::cell::UnsafeCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::hist::LogLinearHistogram;
+use crate::{Event, Sink};
+
+/// A monotonically increasing counter handle. Clones share the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter, not registered anywhere (still fully usable).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time measurement handle (stores `f64` bits atomically).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A detached gauge, not registered anywhere.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the current value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 until first `set`).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistCore {
+    hist: LogLinearHistogram,
+    /// Exact `f64` sum of observed values (CAS loop; negative samples
+    /// contribute here even though they clamp to bucket 0).
+    fsum: AtomicU64,
+    /// Ticks per unit: an f64 observation of `v` records
+    /// `(v.max(0) * scale)` ticks. The default `1e9` gives nanosecond
+    /// resolution to seconds-valued samples.
+    scale: f64,
+}
+
+/// A distribution handle backed by a shared [`LogLinearHistogram`].
+///
+/// Values are `f64` in the metric's natural unit (seconds for latencies);
+/// raw tick recording ([`Histogram::observe_ticks`]) is provided for hot
+/// paths that already hold integer ticks (the serve daemon's nanosecond
+/// latencies). Negative observations clamp to the zero bucket but are
+/// summed exactly.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistCore>);
+
+/// Default ticks-per-unit scale (nanosecond resolution for seconds).
+pub const DEFAULT_HIST_SCALE: f64 = 1e9;
+
+impl Histogram {
+    /// A detached histogram with the default scale.
+    pub fn detached() -> Self {
+        Histogram(Arc::new(HistCore {
+            hist: LogLinearHistogram::new(),
+            fsum: AtomicU64::new(0f64.to_bits()),
+            scale: DEFAULT_HIST_SCALE,
+        }))
+    }
+
+    fn add_sum(&self, v: f64) {
+        let _ = self
+            .0
+            .fsum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+    }
+
+    /// Record one observation in the metric's unit.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        let ticks = (value.max(0.0) * self.0.scale).min(u64::MAX as f64) as u64;
+        self.0.hist.record(ticks);
+        self.add_sum(value);
+    }
+
+    /// Record one observation already expressed in ticks.
+    #[inline]
+    pub fn observe_ticks(&self, ticks: u64) {
+        self.0.hist.record(ticks);
+        self.add_sum(ticks as f64 / self.0.scale);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.hist.count()
+    }
+
+    /// Exact sum of observations, in the metric's unit.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.fsum.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation in ticks (0 when empty).
+    pub fn mean_ticks(&self) -> f64 {
+        self.0.hist.mean()
+    }
+
+    /// The `q`-quantile in ticks.
+    pub fn quantile_ticks(&self, q: f64) -> u64 {
+        self.0.hist.quantile(q)
+    }
+
+    /// Ticks-per-unit scale.
+    pub fn scale(&self) -> f64 {
+        self.0.scale
+    }
+
+    /// Cumulative `(upper_bound_in_units, count)` pairs for exposition.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        self.0
+            .hist
+            .cumulative_buckets()
+            .into_iter()
+            .map(|(upper, cum)| (upper as f64 / self.0.scale, cum))
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::detached()
+    }
+}
+
+/// One registered metric.
+pub(crate) enum MetricKind {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+pub(crate) struct Family {
+    pub(crate) help: &'static str,
+    pub(crate) metric: MetricKind,
+}
+
+/// Registry size summary (for `registry_snapshot` telemetry events and
+/// tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryCounts {
+    /// Registered counter families.
+    pub counters: u64,
+    /// Registered gauge families.
+    pub gauges: u64,
+    /// Registered histogram families, span-duration histograms included.
+    pub histograms: u64,
+}
+
+/// The metrics registry. Cheap to share (`Arc` it); see the module docs
+/// for the two ingestion paths.
+pub struct Registry {
+    families: RwLock<BTreeMap<&'static str, Family>>,
+    /// Span-duration histograms live in their own namespace so a span and
+    /// a counter may share a name without conflict.
+    spans: RwLock<BTreeMap<&'static str, Histogram>>,
+    /// Events the registry could not aggregate (name registered under a
+    /// different kind). Exposed as `obs.registry_conflicts` in `/metrics`.
+    conflicts: Counter,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        let r = Registry {
+            families: RwLock::new(BTreeMap::new()),
+            spans: RwLock::new(BTreeMap::new()),
+            conflicts: Counter::detached(),
+        };
+        let c = r.conflicts.clone();
+        r.families.write().expect("registry lock").insert(
+            "obs.registry_conflicts",
+            Family {
+                help: "events dropped because the metric name was registered under another kind",
+                metric: MetricKind::Counter(c),
+            },
+        );
+        r
+    }
+
+    fn get_or_register<H: Clone>(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        pick: impl Fn(&MetricKind) -> Option<H>,
+        make: impl Fn(H) -> MetricKind,
+        fresh: impl Fn() -> H,
+    ) -> H {
+        if let Some(family) = self.families.read().expect("registry lock").get(name) {
+            if let Some(h) = pick(&family.metric) {
+                return h;
+            }
+            // Registered under a different kind: hand back a detached
+            // handle so the caller still works, and count the conflict.
+            self.conflicts.inc();
+            return fresh();
+        }
+        let mut families = self.families.write().expect("registry lock");
+        // Re-check under the write lock (another thread may have won).
+        if let Some(family) = families.get(name) {
+            return match pick(&family.metric) {
+                Some(h) => h,
+                None => {
+                    self.conflicts.inc();
+                    fresh()
+                }
+            };
+        }
+        let h = fresh();
+        families.insert(
+            name,
+            Family {
+                help,
+                metric: make(h.clone()),
+            },
+        );
+        h
+    }
+
+    /// The counter registered under `name`, registering it on first use.
+    /// If `name` is already a gauge or histogram, a detached handle is
+    /// returned and the conflict counted.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        self.get_or_register(
+            name,
+            help,
+            |m| match m {
+                MetricKind::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            MetricKind::Counter,
+            Counter::detached,
+        )
+    }
+
+    /// The gauge registered under `name`, registering it on first use.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        self.get_or_register(
+            name,
+            help,
+            |m| match m {
+                MetricKind::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            MetricKind::Gauge,
+            Gauge::detached,
+        )
+    }
+
+    /// The histogram registered under `name`, registering it on first use.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        self.get_or_register(
+            name,
+            help,
+            |m| match m {
+                MetricKind::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            MetricKind::Histogram,
+            Histogram::detached,
+        )
+    }
+
+    /// The span-duration histogram for span `name` (own namespace; exposed
+    /// as `…_span_<name>_seconds`).
+    pub fn span_histogram(&self, name: &'static str) -> Histogram {
+        if let Some(h) = self.spans.read().expect("registry lock").get(name) {
+            return h.clone();
+        }
+        let mut spans = self.spans.write().expect("registry lock");
+        spans.entry(name).or_default().clone()
+    }
+
+    /// Registry size summary.
+    pub fn counts(&self) -> RegistryCounts {
+        let families = self.families.read().expect("registry lock");
+        let mut counts = RegistryCounts {
+            counters: 0,
+            gauges: 0,
+            histograms: self.spans.read().expect("registry lock").len() as u64,
+        };
+        for family in families.values() {
+            match family.metric {
+                MetricKind::Counter(_) => counts.counters += 1,
+                MetricKind::Gauge(_) => counts.gauges += 1,
+                MetricKind::Histogram(_) => counts.histograms += 1,
+            }
+        }
+        counts
+    }
+
+    /// Render the whole registry in Prometheus text exposition format.
+    pub fn render(&self, out: &mut String) {
+        crate::expose::render_registry(self, out);
+    }
+
+    pub(crate) fn with_families<R>(
+        &self,
+        f: impl FnOnce(&BTreeMap<&'static str, Family>, &BTreeMap<&'static str, Histogram>) -> R,
+    ) -> R {
+        let families = self.families.read().expect("registry lock");
+        let spans = self.spans.read().expect("registry lock");
+        f(&families, &spans)
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.counts();
+        f.debug_struct("Registry")
+            .field("counters", &c.counters)
+            .field("gauges", &c.gauges)
+            .field("histograms", &c.histograms)
+            .finish()
+    }
+}
+
+/// A resolved handle in the [`RegistrySink`] cache. Span histograms get
+/// their own variant because spans live in a separate registry namespace:
+/// a span and a counter may share a name, so they must also be
+/// distinguishable in the cache.
+enum CachedHandle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    Span(Histogram),
+}
+
+const CACHE_SLOTS: usize = 256;
+const CACHE_PROBES: usize = 8;
+const KEY_EMPTY: usize = 0;
+const KEY_CLAIMED: usize = 1;
+
+/// One cache slot. `key` is [`KEY_EMPTY`], [`KEY_CLAIMED`] (a writer is
+/// mid-publication), or the address of the event name's `&'static str`
+/// data. `value` is written exactly once, between the empty→claimed CAS
+/// and the release-store of the final key, so any reader that observes
+/// `key == name_ptr` with acquire ordering sees a fully initialized,
+/// never-again-mutated value.
+struct CacheSlot {
+    key: AtomicUsize,
+    value: UnsafeCell<Option<CachedHandle>>,
+}
+
+struct HandleCache {
+    slots: Box<[CacheSlot]>,
+}
+
+// SAFETY: the publication protocol above makes cross-thread reads of
+// `value` data-race-free; slots are never mutated after publication.
+unsafe impl Sync for HandleCache {}
+unsafe impl Send for HandleCache {}
+
+impl HandleCache {
+    fn new() -> Self {
+        HandleCache {
+            slots: (0..CACHE_SLOTS)
+                .map(|_| CacheSlot {
+                    key: AtomicUsize::new(KEY_EMPTY),
+                    value: UnsafeCell::new(None),
+                })
+                .collect(),
+        }
+    }
+
+    /// Apply `apply` to the handle cached for `name` (accepting only the
+    /// variant `matches` recognizes); on a miss, resolve through
+    /// `resolve`, apply, and publish into a free probed slot if any.
+    fn with(
+        &self,
+        name: &'static str,
+        matches: impl Fn(&CachedHandle) -> bool,
+        resolve: impl FnOnce() -> CachedHandle,
+        apply: impl Fn(&CachedHandle),
+    ) {
+        let key = name.as_ptr() as usize;
+        debug_assert!(key > KEY_CLAIMED);
+        let mask = CACHE_SLOTS - 1;
+        let mut idx = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) & mask;
+        let mut free: Option<&CacheSlot> = None;
+        for _ in 0..CACHE_PROBES {
+            let slot = &self.slots[idx];
+            match slot.key.load(Ordering::Acquire) {
+                k if k == key => {
+                    // SAFETY: published slots are immutable (see CacheSlot).
+                    if let Some(h) = unsafe { &*slot.value.get() } {
+                        if matches(h) {
+                            apply(h);
+                            return;
+                        }
+                        // Same name in another namespace; keep probing.
+                    }
+                }
+                KEY_EMPTY if free.is_none() => free = Some(slot),
+                _ => {}
+            }
+            idx = (idx + 1) & mask;
+        }
+        let handle = resolve();
+        apply(&handle);
+        if let Some(slot) = free {
+            if slot
+                .key
+                .compare_exchange(KEY_EMPTY, KEY_CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: the CAS gives this thread exclusive write access;
+                // no reader dereferences while the key is KEY_CLAIMED.
+                unsafe { *slot.value.get() = Some(handle) };
+                slot.key.store(key, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// A [`Sink`] that aggregates telemetry events into a [`Registry`] live:
+/// counter events add to counters, gauges overwrite gauges, histogram
+/// samples feed histograms, span closes feed per-span duration
+/// histograms, and heartbeats set `<name>.epoch` / `<name>.eps` gauges.
+/// `span_open` and `registry_snapshot` events carry no aggregate state
+/// and are ignored.
+pub struct RegistrySink {
+    registry: Arc<Registry>,
+    cache: HandleCache,
+}
+
+impl RegistrySink {
+    /// A sink aggregating into `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        RegistrySink {
+            registry,
+            cache: HandleCache::new(),
+        }
+    }
+
+    /// The registry this sink feeds.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+const EVENT_HELP: &str = "aggregated from telemetry events";
+
+impl Sink for RegistrySink {
+    fn record(&self, event: &Event) {
+        match *event {
+            Event::Counter { name, delta, .. } => self.cache.with(
+                name,
+                |h| matches!(h, CachedHandle::Counter(_)),
+                || CachedHandle::Counter(self.registry.counter(name, EVENT_HELP)),
+                |h| {
+                    if let CachedHandle::Counter(c) = h {
+                        c.add(delta);
+                    }
+                },
+            ),
+            Event::Gauge { name, value, .. } => self.cache.with(
+                name,
+                |h| matches!(h, CachedHandle::Gauge(_)),
+                || CachedHandle::Gauge(self.registry.gauge(name, EVENT_HELP)),
+                |h| {
+                    if let CachedHandle::Gauge(g) = h {
+                        g.set(value);
+                    }
+                },
+            ),
+            Event::Histogram { name, value, .. } => self.cache.with(
+                name,
+                |h| matches!(h, CachedHandle::Histogram(_)),
+                || CachedHandle::Histogram(self.registry.histogram(name, EVENT_HELP)),
+                |h| {
+                    if let CachedHandle::Histogram(hist) = h {
+                        hist.observe(value);
+                    }
+                },
+            ),
+            Event::SpanClose { name, dur, .. } => self.cache.with(
+                name,
+                |h| matches!(h, CachedHandle::Span(_)),
+                || CachedHandle::Span(self.registry.span_histogram(name)),
+                |h| {
+                    if let CachedHandle::Span(hist) = h {
+                        hist.observe(dur);
+                    }
+                },
+            ),
+            Event::Heartbeat {
+                name, epoch, eps, ..
+            } => {
+                // Static composite names for the two trainers we ship;
+                // other heartbeat sources aggregate under generic names.
+                let (epoch_name, eps_name) = match name {
+                    "train" => ("train.epoch", "train.episodes_per_sec"),
+                    "selector" => ("selector.epoch", "selector.episodes_per_sec"),
+                    _ => ("heartbeat.epoch", "heartbeat.eps"),
+                };
+                self.registry
+                    .gauge(epoch_name, "last heartbeat epoch index")
+                    .set(epoch as f64);
+                self.registry
+                    .gauge(eps_name, "episodes per second at last heartbeat")
+                    .set(eps);
+            }
+            Event::SpanOpen { .. } | Event::RegistrySnapshot { .. } => {}
+        }
+    }
+
+    /// Aggregation only reads names and values; registry-only handles
+    /// skip the per-event clock read entirely.
+    fn wants_time(&self) -> bool {
+        false
+    }
+}
+
+/// Fans every event (and flush) out to several sinks, so a run can stream
+/// a JSONL sidecar *and* aggregate live metrics at once.
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl TeeSink {
+    /// A sink forwarding to every sink in `sinks`, in order.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl Sink for TeeSink {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+
+    /// Timestamps are produced if *any* fan-out target reads them.
+    fn wants_time(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_time())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_and_register_once() {
+        let r = Registry::new();
+        let a = r.counter("c", "help");
+        let b = r.counter("c", "other help ignored");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(r.counts().counters, 2); // c + obs.registry_conflicts
+
+        let g = r.gauge("g", "");
+        g.set(0.25);
+        assert_eq!(r.gauge("g", "").get(), 0.25);
+
+        let h = r.histogram("h", "");
+        h.observe(1.5);
+        assert_eq!(r.histogram("h", "").count(), 1);
+        assert_eq!(
+            r.counts(),
+            RegistryCounts {
+                counters: 2,
+                gauges: 1,
+                histograms: 1
+            }
+        );
+    }
+
+    #[test]
+    fn kind_conflicts_return_detached_handles_and_are_counted() {
+        let r = Registry::new();
+        let c = r.counter("x", "");
+        c.add(3);
+        let g = r.gauge("x", ""); // wrong kind
+        g.set(9.0);
+        assert_eq!(r.counter("x", "").get(), 3, "original survives");
+        assert_eq!(r.counter("obs.registry_conflicts", "").get(), 1);
+        // The detached gauge still works, it is just invisible.
+        assert_eq!(g.get(), 9.0);
+    }
+
+    #[test]
+    fn histogram_units_and_negative_samples() {
+        let h = Histogram::detached();
+        h.observe(0.001); // 1ms -> 1e6 ticks
+        h.observe(-2.0); // clamps to bucket 0, sums exactly
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - (-1.999)).abs() < 1e-9);
+        assert!(h.quantile_ticks(1.0) >= 900_000);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, 2);
+        assert_eq!(buckets[0].1, 1, "negative sample lands in bucket 0");
+    }
+
+    #[test]
+    fn registry_sink_aggregates_every_event_kind() {
+        let registry = Arc::new(Registry::new());
+        let sink = RegistrySink::new(Arc::clone(&registry));
+        sink.record(&Event::Counter {
+            name: "n",
+            t: 0.0,
+            delta: 2,
+        });
+        sink.record(&Event::Counter {
+            name: "n",
+            t: 0.1,
+            delta: 3,
+        });
+        sink.record(&Event::Gauge {
+            name: "kl",
+            t: 0.2,
+            value: 0.01,
+        });
+        sink.record(&Event::Histogram {
+            name: "loss",
+            t: 0.3,
+            value: 0.5,
+        });
+        sink.record(&Event::SpanOpen {
+            name: "epoch",
+            t: 0.0,
+        });
+        sink.record(&Event::SpanClose {
+            name: "epoch",
+            t: 0.4,
+            dur: 0.4,
+        });
+        sink.record(&Event::Heartbeat {
+            name: "train",
+            t: 0.5,
+            epoch: 7,
+            eps: 123.0,
+        });
+        assert_eq!(registry.counter("n", "").get(), 5);
+        assert_eq!(registry.gauge("kl", "").get(), 0.01);
+        assert_eq!(registry.histogram("loss", "").count(), 1);
+        assert_eq!(registry.span_histogram("epoch").count(), 1);
+        assert_eq!(registry.gauge("train.epoch", "").get(), 7.0);
+        assert_eq!(registry.gauge("train.episodes_per_sec", "").get(), 123.0);
+    }
+
+    #[test]
+    fn tee_sink_delivers_to_all() {
+        let (a, b) = (
+            Arc::new(crate::InMemorySink::new()),
+            Arc::new(crate::InMemorySink::new()),
+        );
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        tee.record(&Event::Counter {
+            name: "c",
+            t: 0.0,
+            delta: 1,
+        });
+        tee.flush();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn sink_cache_survives_span_and_counter_sharing_a_name() {
+        // "epoch" as both a counter and a span must aggregate separately
+        // even though both cache under the same name pointer.
+        let registry = Arc::new(Registry::new());
+        let sink = RegistrySink::new(Arc::clone(&registry));
+        for i in 0..100 {
+            sink.record(&Event::Counter {
+                name: "epoch",
+                t: i as f64,
+                delta: 1,
+            });
+            sink.record(&Event::SpanClose {
+                name: "epoch",
+                t: i as f64,
+                dur: 0.5,
+            });
+        }
+        assert_eq!(registry.counter("epoch", "").get(), 100);
+        assert_eq!(registry.span_histogram("epoch").count(), 100);
+        assert_eq!(registry.counter("obs.registry_conflicts", "").get(), 0);
+    }
+
+    #[test]
+    fn sink_records_concurrently_without_losing_events() {
+        let registry = Arc::new(Registry::new());
+        let sink = Arc::new(RegistrySink::new(Arc::clone(&registry)));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let sink = Arc::clone(&sink);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        sink.record(&Event::Counter {
+                            name: "hot.counter",
+                            t: i as f64,
+                            delta: 1,
+                        });
+                        if i % 100 == 0 {
+                            sink.record(&Event::Histogram {
+                                name: "hot.hist",
+                                t: i as f64,
+                                value: 0.25,
+                            });
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.counter("hot.counter", "").get(), 40_000);
+        assert_eq!(registry.histogram("hot.hist", "").count(), 400);
+        assert_eq!(registry.counter("obs.registry_conflicts", "").get(), 0);
+    }
+
+    #[test]
+    fn concurrent_handle_updates_are_exact() {
+        let r = Arc::new(Registry::new());
+        let c = r.counter("hot", "");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,764 @@
+//! Offline analysis of telemetry JSONL sidecars: the engine behind
+//! `schedinspector report`.
+//!
+//! A multi-hour training run leaves a 100k-line sidecar; this module turns
+//! it into the three things the paper's §4 evaluation reasons about:
+//!
+//! 1. **per-epoch summaries** — episodes, throughput, mean reward,
+//!    improvement, KL, rejection ratio, one row per `epoch` span;
+//! 2. **span wall-time aggregation** — a flamegraph-style tree of
+//!    total/self time per span path, tolerant of unpaired opens/closes
+//!    (truncated runs, crashed workers);
+//! 3. **throughput regression checks** — measured rollout/serve
+//!    throughput compared against the committed `BENCH_rollout.json` /
+//!    `BENCH_serve.json` baselines with a configurable tolerance.
+//!
+//! Parse errors name the offending file and line number.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::json::{self, Json};
+
+/// One parsed sidecar event (owned names, unlike the recording-side
+/// [`Event`](crate::Event) whose names are `&'static str`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportEvent {
+    /// `span_open`
+    SpanOpen {
+        /// Span name.
+        name: String,
+        /// Seconds since run start.
+        t: f64,
+    },
+    /// `span_close`
+    SpanClose {
+        /// Span name.
+        name: String,
+        /// Seconds since run start.
+        t: f64,
+        /// Span duration in seconds.
+        dur: f64,
+    },
+    /// `counter`
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Seconds since run start.
+        t: f64,
+        /// Amount added.
+        delta: u64,
+    },
+    /// `gauge`
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Seconds since run start.
+        t: f64,
+        /// Observed value (NaN when the sidecar recorded `null`).
+        value: f64,
+    },
+    /// `histogram`
+    Histogram {
+        /// Distribution name.
+        name: String,
+        /// Seconds since run start.
+        t: f64,
+        /// Sampled value (NaN when the sidecar recorded `null`).
+        value: f64,
+    },
+    /// `heartbeat`
+    Heartbeat {
+        /// Source name (`train`, `selector`).
+        name: String,
+        /// Seconds since run start.
+        t: f64,
+        /// Epoch index just completed.
+        epoch: u64,
+        /// Episodes per second over that epoch.
+        eps: f64,
+    },
+    /// `registry_snapshot` (payload not used by the analyzer).
+    RegistrySnapshot {
+        /// Source name.
+        name: String,
+        /// Seconds since run start.
+        t: f64,
+    },
+}
+
+impl ReportEvent {
+    fn t(&self) -> f64 {
+        match self {
+            ReportEvent::SpanOpen { t, .. }
+            | ReportEvent::SpanClose { t, .. }
+            | ReportEvent::Counter { t, .. }
+            | ReportEvent::Gauge { t, .. }
+            | ReportEvent::Histogram { t, .. }
+            | ReportEvent::Heartbeat { t, .. }
+            | ReportEvent::RegistrySnapshot { t, .. } => *t,
+        }
+    }
+}
+
+fn field_f64(v: &Json, field: &str) -> f64 {
+    match v.get(field) {
+        Some(Json::Number(n)) => *n,
+        _ => f64::NAN, // non-finite values encode as null
+    }
+}
+
+fn field_u64(v: &Json, field: &str) -> u64 {
+    v.get(field).and_then(Json::as_f64).unwrap_or(0.0) as u64
+}
+
+/// Parse one sidecar line into a [`ReportEvent`] (schema-validating it
+/// first).
+pub fn parse_line(line: &str) -> Result<ReportEvent, String> {
+    let v = json::validate_telemetry_line(line)?;
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    let t = field_f64(&v, "t");
+    Ok(match kind.as_str() {
+        "span_open" => ReportEvent::SpanOpen { name, t },
+        "span_close" => ReportEvent::SpanClose {
+            name,
+            t,
+            dur: field_f64(&v, "dur"),
+        },
+        "counter" => ReportEvent::Counter {
+            name,
+            t,
+            delta: field_u64(&v, "delta"),
+        },
+        "gauge" => ReportEvent::Gauge {
+            name,
+            t,
+            value: field_f64(&v, "value"),
+        },
+        "histogram" => ReportEvent::Histogram {
+            name,
+            t,
+            value: field_f64(&v, "value"),
+        },
+        "heartbeat" => ReportEvent::Heartbeat {
+            name,
+            t,
+            epoch: field_u64(&v, "epoch"),
+            eps: field_f64(&v, "eps"),
+        },
+        "registry_snapshot" => ReportEvent::RegistrySnapshot { name, t },
+        other => return Err(format!("unknown event kind {other:?}")),
+    })
+}
+
+/// Parse a whole sidecar file. Errors are `"path:line: message"`.
+pub fn parse_sidecar(path: &Path) -> Result<Vec<ReportEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_line(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?);
+    }
+    Ok(events)
+}
+
+/// One node of the aggregated span tree. The same span name reached
+/// through different parents aggregates separately (it is a *path* tree).
+#[derive(Debug, Default, Clone)]
+pub struct SpanNode {
+    /// Number of closes recorded at this path.
+    pub count: u64,
+    /// Total wall seconds across those closes.
+    pub total: f64,
+    /// Children, by span name.
+    pub children: BTreeMap<String, SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall time spent at this node minus time attributed to children
+    /// (clamped at 0: overlapping/unpaired spans can over-count children).
+    pub fn self_time(&self) -> f64 {
+        let child_total: f64 = self.children.values().map(|c| c.total).sum();
+        (self.total - child_total).max(0.0)
+    }
+
+    fn at_path(&mut self, path: &[String]) -> &mut SpanNode {
+        let mut node = self;
+        for name in path {
+            node = node.children.entry(name.clone()).or_default();
+        }
+        node
+    }
+}
+
+/// Replay span events into an aggregated path tree.
+///
+/// Malformed streams are tolerated, not fatal: a close with no matching
+/// open is skipped with a warning; closes that skip over still-open inner
+/// spans implicitly close them (attributing time up to the closing
+/// event); spans still open at end-of-stream are closed at the last
+/// event's timestamp, with a warning each.
+pub fn aggregate_spans(events: &[ReportEvent]) -> (SpanNode, Vec<String>) {
+    let mut root = SpanNode::default();
+    let mut warnings = Vec::new();
+    // Stack of (name, open_t).
+    let mut stack: Vec<(String, f64)> = Vec::new();
+    let last_t = events.last().map_or(0.0, ReportEvent::t);
+
+    let close_top = |root: &mut SpanNode, stack: &mut Vec<(String, f64)>, dur: f64| {
+        let path: Vec<String> = stack.iter().map(|(n, _)| n.clone()).collect();
+        let node = root.at_path(&path);
+        node.count += 1;
+        node.total += dur.max(0.0);
+        stack.pop();
+    };
+
+    for event in events {
+        match event {
+            ReportEvent::SpanOpen { name, t } => stack.push((name.clone(), *t)),
+            ReportEvent::SpanClose { name, t, dur } => {
+                match stack.iter().rposition(|(n, _)| n == name) {
+                    None => {
+                        warnings.push(format!(
+                            "span_close {name:?} at t={t:.3} with no matching open; skipped"
+                        ));
+                    }
+                    Some(pos) => {
+                        // Implicitly close anything opened inside the span
+                        // being closed (crashed worker, truncated stream).
+                        while stack.len() > pos + 1 {
+                            let (inner, open_t) = stack.last().cloned().expect("non-empty");
+                            warnings.push(format!(
+                                "span {inner:?} implicitly closed by span_close {name:?} at t={t:.3}"
+                            ));
+                            close_top(&mut root, &mut stack, t - open_t);
+                        }
+                        close_top(&mut root, &mut stack, *dur);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    while let Some((name, open_t)) = stack.last().cloned() {
+        warnings.push(format!(
+            "span {name:?} opened at t={open_t:.3} never closed; closed at end of stream"
+        ));
+        close_top(&mut root, &mut stack, last_t - open_t);
+    }
+    (root, warnings)
+}
+
+/// One row of the per-epoch summary table.
+#[derive(Debug, Clone)]
+pub struct EpochSummary {
+    /// Epoch index (heartbeat-provided, else sequential).
+    pub index: u64,
+    /// Epoch duration in seconds (the `epoch` span's `dur`).
+    pub dur: f64,
+    /// Episodes completed this epoch (`train.episodes` deltas).
+    pub episodes: u64,
+    /// Episodes per second from the epoch's heartbeat, if any.
+    pub eps: Option<f64>,
+    /// Last value of each gauge recorded during the epoch.
+    pub gauges: BTreeMap<String, f64>,
+    /// Sum of each counter recorded during the epoch.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Whole-sidecar analysis result.
+#[derive(Debug, Clone)]
+pub struct SidecarReport {
+    /// Per-epoch rows, in order.
+    pub epochs: Vec<EpochSummary>,
+    /// Aggregated span path tree.
+    pub spans: SpanNode,
+    /// Sum of every counter over the whole run.
+    pub counter_totals: BTreeMap<String, u64>,
+    /// Heartbeat episodes-per-second samples, in order, per source.
+    pub heartbeat_eps: BTreeMap<String, Vec<f64>>,
+    /// Total events analyzed.
+    pub events: usize,
+    /// Timestamp of the last event (run wall time in seconds).
+    pub wall: f64,
+    /// Non-fatal anomalies (unpaired spans, …).
+    pub warnings: Vec<String>,
+}
+
+/// Analyze a parsed event stream.
+pub fn analyze(events: &[ReportEvent]) -> SidecarReport {
+    let (spans, warnings) = aggregate_spans(events);
+    let mut epochs = Vec::new();
+    let mut counter_totals: BTreeMap<String, u64> = BTreeMap::new();
+    let mut heartbeat_eps: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+
+    // Accumulators for the epoch currently being filled: everything since
+    // the last `epoch` span closed.
+    let mut cur_gauges: BTreeMap<String, f64> = BTreeMap::new();
+    let mut cur_counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut cur_eps: Option<f64> = None;
+    let mut cur_index: Option<u64> = None;
+
+    for event in events {
+        match event {
+            ReportEvent::Counter { name, delta, .. } => {
+                *counter_totals.entry(name.clone()).or_insert(0) += delta;
+                *cur_counters.entry(name.clone()).or_insert(0) += delta;
+            }
+            ReportEvent::Gauge { name, value, .. } => {
+                cur_gauges.insert(name.clone(), *value);
+            }
+            ReportEvent::Heartbeat {
+                name, epoch, eps, ..
+            } => {
+                heartbeat_eps.entry(name.clone()).or_default().push(*eps);
+                cur_eps = Some(*eps);
+                cur_index = Some(*epoch);
+            }
+            ReportEvent::SpanClose { name, dur, .. } if name == "epoch" => {
+                epochs.push(EpochSummary {
+                    index: cur_index.unwrap_or(epochs.len() as u64),
+                    dur: *dur,
+                    episodes: cur_counters.get("train.episodes").copied().unwrap_or(0),
+                    eps: cur_eps.take(),
+                    gauges: std::mem::take(&mut cur_gauges),
+                    counters: std::mem::take(&mut cur_counters),
+                });
+                cur_index = None;
+            }
+            _ => {}
+        }
+    }
+
+    SidecarReport {
+        epochs,
+        spans,
+        counter_totals,
+        heartbeat_eps,
+        events: events.len(),
+        wall: events.last().map_or(0.0, ReportEvent::t),
+        warnings,
+    }
+}
+
+/// Parse and analyze a sidecar file. Errors name the file and line.
+pub fn analyze_file(path: &Path) -> Result<SidecarReport, String> {
+    Ok(analyze(&parse_sidecar(path)?))
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v:.3}"),
+        _ => "-".to_string(),
+    }
+}
+
+impl SidecarReport {
+    /// Mean heartbeat episodes/s across all sources (None without
+    /// heartbeats).
+    pub fn mean_heartbeat_eps(&self) -> Option<f64> {
+        let all: Vec<f64> = self
+            .heartbeat_eps
+            .values()
+            .flatten()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        if all.is_empty() {
+            None
+        } else {
+            Some(all.iter().sum::<f64>() / all.len() as f64)
+        }
+    }
+
+    /// Measured rollout throughput: heartbeat eps when available, else
+    /// total `train.episodes` over total `rollout` span time.
+    pub fn rollout_eps(&self) -> Option<f64> {
+        if let Some(eps) = self.mean_heartbeat_eps() {
+            return Some(eps);
+        }
+        let episodes = *self.counter_totals.get("train.episodes")? as f64;
+        let rollout = self
+            .spans
+            .children
+            .get("epoch")
+            .and_then(|e| e.children.get("rollout"))
+            .or_else(|| self.spans.children.get("rollout"))?;
+        (rollout.total > 0.0).then(|| episodes / rollout.total)
+    }
+
+    /// Measured serve throughput: `serve.requests` over run wall time.
+    pub fn serve_qps(&self) -> Option<f64> {
+        let requests = *self.counter_totals.get("serve.requests")? as f64;
+        (self.wall > 0.0).then(|| requests / self.wall)
+    }
+
+    /// Render the human-readable report (summary, per-epoch table, span
+    /// tree, warnings).
+    pub fn render(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "{} events over {:.3}s wall; {} epochs",
+            self.events,
+            self.wall,
+            self.epochs.len()
+        );
+        if !self.counter_totals.is_empty() {
+            let _ = writeln!(out, "\ncounter totals");
+            for (name, total) in &self.counter_totals {
+                let _ = writeln!(out, "  {name:<32} {total:>12}");
+            }
+        }
+        if !self.epochs.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:>5} {:>9} {:>9} {:>10} {:>12} {:>9} {:>8} {:>8}",
+                "epoch", "dur_s", "episodes", "eps", "mean_reward", "improve%", "kl", "reject%"
+            );
+            for e in &self.epochs {
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>9.3} {:>9} {:>10} {:>12} {:>9} {:>8} {:>8}",
+                    e.index,
+                    e.dur,
+                    e.episodes,
+                    fmt_opt(e.eps),
+                    fmt_opt(e.gauges.get("epoch.mean_reward").copied()),
+                    fmt_opt(e.gauges.get("epoch.improvement_pct").copied()),
+                    fmt_opt(e.gauges.get("ppo.kl").copied()),
+                    fmt_opt(e.gauges.get("epoch.rejection_ratio").copied()),
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\nspan wall-time breakdown\n  {:<34} {:>8} {:>12} {:>12}",
+            "span", "count", "total_s", "self_s"
+        );
+        fn walk(out: &mut String, name: &str, node: &SpanNode, depth: usize) {
+            if depth > 0 {
+                let label = format!("{}{}", "  ".repeat(depth - 1), name);
+                let _ = writeln!(
+                    out,
+                    "  {label:<34} {:>8} {:>12.4} {:>12.4}",
+                    node.count,
+                    node.total,
+                    node.self_time()
+                );
+            }
+            for (child_name, child) in &node.children {
+                walk(out, child_name, child, depth + 1);
+            }
+        }
+        walk(out, "", &self.spans, 0);
+        if !self.warnings.is_empty() {
+            let _ = writeln!(out, "\nwarnings ({})", self.warnings.len());
+            for w in self.warnings.iter().take(20) {
+                let _ = writeln!(out, "  {w}");
+            }
+            if self.warnings.len() > 20 {
+                let _ = writeln!(out, "  … {} more", self.warnings.len() - 20);
+            }
+        }
+    }
+}
+
+/// One throughput comparison against a committed benchmark baseline.
+#[derive(Debug, Clone)]
+pub struct ThroughputCheck {
+    /// What was compared (`rollout`, `serve`).
+    pub name: &'static str,
+    /// Throughput measured from the sidecar.
+    pub measured: f64,
+    /// Baseline throughput from the BENCH file.
+    pub baseline: f64,
+    /// Allowed fractional shortfall before failing (0.5 = may run at half
+    /// the baseline).
+    pub tolerance: f64,
+}
+
+impl ThroughputCheck {
+    /// Whether the measurement regressed beyond tolerance.
+    pub fn regressed(&self) -> bool {
+        self.measured < self.baseline * (1.0 - self.tolerance)
+    }
+
+    /// `measured / baseline` (0 when the baseline is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.measured / self.baseline
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Load a BENCH_*.json file. Errors name the file.
+pub fn load_bench(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    json::parse(text.trim()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Best committed rollout throughput: max `optimized` episodes/s across
+/// worker configurations in `BENCH_rollout.json`.
+pub fn rollout_baseline(bench: &Json) -> Option<f64> {
+    bench
+        .get("episodes_per_sec")?
+        .as_array()?
+        .iter()
+        .filter_map(|row| row.get("optimized").and_then(Json::as_f64))
+        .fold(None, |best, v| Some(best.map_or(v, |b: f64| b.max(v))))
+}
+
+/// Committed serve throughput: `open_loop.achieved_qps` in
+/// `BENCH_serve.json`.
+pub fn serve_baseline(bench: &Json) -> Option<f64> {
+    bench.get("open_loop")?.get("achieved_qps")?.as_f64()
+}
+
+/// Compare the report's measured throughputs against whichever baselines
+/// are provided and applicable. A check is emitted only when both a
+/// measurement and its baseline exist.
+pub fn throughput_checks(
+    report: &SidecarReport,
+    bench_rollout: Option<&Json>,
+    bench_serve: Option<&Json>,
+    tolerance: f64,
+) -> Vec<ThroughputCheck> {
+    let mut checks = Vec::new();
+    if let (Some(measured), Some(baseline)) = (
+        report.rollout_eps(),
+        bench_rollout.and_then(rollout_baseline),
+    ) {
+        checks.push(ThroughputCheck {
+            name: "rollout",
+            measured,
+            baseline,
+            tolerance,
+        });
+    }
+    if let (Some(measured), Some(baseline)) =
+        (report.serve_qps(), bench_serve.and_then(serve_baseline))
+    {
+        checks.push(ThroughputCheck {
+            name: "serve",
+            measured,
+            baseline,
+            tolerance,
+        });
+    }
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(name: &str, t: f64) -> ReportEvent {
+        ReportEvent::SpanOpen {
+            name: name.into(),
+            t,
+        }
+    }
+    fn close(name: &str, t: f64, dur: f64) -> ReportEvent {
+        ReportEvent::SpanClose {
+            name: name.into(),
+            t,
+            dur,
+        }
+    }
+    fn count(name: &str, t: f64, delta: u64) -> ReportEvent {
+        ReportEvent::Counter {
+            name: name.into(),
+            t,
+            delta,
+        }
+    }
+    fn gauge(name: &str, t: f64, value: f64) -> ReportEvent {
+        ReportEvent::Gauge {
+            name: name.into(),
+            t,
+            value,
+        }
+    }
+
+    #[test]
+    fn nested_spans_aggregate_total_and_self_time() {
+        let events = [
+            open("epoch", 0.0),
+            open("rollout", 0.1),
+            close("rollout", 1.1, 1.0),
+            open("ppo_update", 1.2),
+            close("ppo_update", 1.7, 0.5),
+            close("epoch", 2.0, 2.0),
+            open("epoch", 2.0),
+            open("rollout", 2.1),
+            close("rollout", 3.1, 1.0),
+            close("epoch", 4.0, 2.0),
+        ];
+        let (tree, warnings) = aggregate_spans(&events);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let epoch = &tree.children["epoch"];
+        assert_eq!(epoch.count, 2);
+        assert!((epoch.total - 4.0).abs() < 1e-9);
+        assert_eq!(epoch.children["rollout"].count, 2);
+        assert!((epoch.children["rollout"].total - 2.0).abs() < 1e-9);
+        // self = 4.0 - (2.0 rollout + 0.5 ppo) = 1.5
+        assert!((epoch.self_time() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unpaired_spans_warn_but_still_aggregate() {
+        // close with no open; open never closed; close skipping an inner.
+        let events = [
+            close("ghost", 0.5, 0.5),
+            open("outer", 1.0),
+            open("inner", 1.2),
+            close("outer", 2.0, 1.0), // implicitly closes inner
+            open("dangling", 2.5),
+            count("tick", 3.0, 1), // stream ends at t=3.0
+        ];
+        let (tree, warnings) = aggregate_spans(&events);
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        assert!(warnings[0].contains("ghost"));
+        assert!(!tree.children.contains_key("ghost"));
+        let outer = &tree.children["outer"];
+        assert_eq!(outer.count, 1);
+        assert!((outer.children["inner"].total - 0.8).abs() < 1e-9);
+        assert!((tree.children["dangling"].total - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_summaries_window_counters_and_gauges() {
+        let events = [
+            open("epoch", 0.0),
+            count("train.episodes", 0.5, 20),
+            gauge("epoch.mean_reward", 0.9, 1.25),
+            gauge("ppo.kl", 0.95, 0.01),
+            ReportEvent::Heartbeat {
+                name: "train".into(),
+                t: 1.0,
+                epoch: 0,
+                eps: 40.0,
+            },
+            close("epoch", 1.0, 1.0),
+            open("epoch", 1.0),
+            count("train.episodes", 1.5, 22),
+            gauge("epoch.mean_reward", 1.9, 1.5),
+            ReportEvent::Heartbeat {
+                name: "train".into(),
+                t: 2.0,
+                epoch: 1,
+                eps: 44.0,
+            },
+            close("epoch", 2.0, 1.0),
+        ];
+        let report = analyze(&events);
+        assert_eq!(report.epochs.len(), 2);
+        assert_eq!(report.epochs[0].episodes, 20);
+        assert_eq!(report.epochs[1].episodes, 22);
+        assert_eq!(report.epochs[1].index, 1);
+        assert_eq!(report.epochs[0].eps, Some(40.0));
+        assert_eq!(report.epochs[0].gauges["epoch.mean_reward"], 1.25);
+        assert_eq!(report.epochs[1].gauges["epoch.mean_reward"], 1.5);
+        assert_eq!(report.counter_totals["train.episodes"], 42);
+        assert_eq!(report.mean_heartbeat_eps(), Some(42.0));
+        assert_eq!(report.rollout_eps(), Some(42.0));
+        let mut text = String::new();
+        report.render(&mut text);
+        assert!(text.contains("epoch") && text.contains("1.25"));
+    }
+
+    #[test]
+    fn rollout_eps_falls_back_to_episodes_over_rollout_span() {
+        let events = [
+            open("epoch", 0.0),
+            open("rollout", 0.0),
+            count("train.episodes", 1.0, 100),
+            close("rollout", 2.0, 2.0),
+            close("epoch", 2.5, 2.5),
+        ];
+        let report = analyze(&events);
+        assert_eq!(report.rollout_eps(), Some(50.0));
+    }
+
+    #[test]
+    fn regression_check_uses_tolerance() {
+        let bench = json::parse(
+            r#"{"episodes_per_sec":[{"workers":1,"optimized":1000.0},{"workers":4,"optimized":2000.0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(rollout_baseline(&bench), Some(2000.0));
+        let slow = ThroughputCheck {
+            name: "rollout",
+            measured: 900.0,
+            baseline: 2000.0,
+            tolerance: 0.5,
+        };
+        assert!(slow.regressed());
+        let ok = ThroughputCheck {
+            tolerance: 0.6,
+            ..slow.clone()
+        };
+        assert!(!ok.regressed());
+        assert!((ok.ratio() - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_baseline_reads_open_loop_qps() {
+        let bench = json::parse(r#"{"open_loop":{"achieved_qps":59809.76},"config":{}}"#).unwrap();
+        assert_eq!(serve_baseline(&bench), Some(59809.76));
+        let report = analyze(&[
+            count("serve.requests", 1.0, 500),
+            count("serve.requests", 2.0, 500),
+        ]);
+        assert_eq!(report.serve_qps(), Some(500.0));
+        let checks = throughput_checks(&report, None, Some(&bench), 0.5);
+        assert_eq!(checks.len(), 1);
+        assert!(checks[0].regressed(), "500 qps vs ~60k baseline");
+    }
+
+    #[test]
+    fn parse_line_handles_every_kind_and_rejects_garbage() {
+        let ev = parse_line(r#"{"kind":"heartbeat","name":"train","t":1.0,"epoch":2,"eps":10.5}"#)
+            .unwrap();
+        assert_eq!(
+            ev,
+            ReportEvent::Heartbeat {
+                name: "train".into(),
+                t: 1.0,
+                epoch: 2,
+                eps: 10.5
+            }
+        );
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"kind":"mystery","name":"x","t":0}"#).is_err());
+    }
+
+    #[test]
+    fn sidecar_file_errors_name_path_and_line() {
+        let dir = std::env::temp_dir().join("obs-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(
+            &path,
+            "{\"kind\":\"counter\",\"name\":\"a\",\"t\":0.1,\"delta\":1}\nBROKEN LINE\n",
+        )
+        .unwrap();
+        let err = parse_sidecar(&path).expect_err("parse fails");
+        assert!(err.contains("bad.jsonl:2:"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -6,6 +6,8 @@ use std::path::Path;
 use std::sync::Mutex;
 
 use crate::event::Event;
+use crate::registry::Counter;
+use crate::ObsError;
 
 /// A destination for telemetry events.
 ///
@@ -18,15 +20,31 @@ pub trait Sink: Send + Sync {
 
     /// Flush buffered output (no-op for in-memory sinks).
     fn flush(&self) {}
+
+    /// Whether this sink reads event timestamps (the `t` field). Sinks
+    /// that ignore them — live aggregation, the null sink — return
+    /// `false`, and when *every* sink behind a handle declines, the
+    /// [`Telemetry`](crate::Telemetry) front end skips the clock read on
+    /// each event (tens of nanoseconds on the rollout hot path) and
+    /// delivers `t == 0.0`.
+    fn wants_time(&self) -> bool {
+        true
+    }
 }
 
 /// Discards every event. An *enabled* handle with a `NullSink` measures the
-/// framework's own overhead: event construction happens, delivery is free.
+/// framework's own overhead: event construction and dispatch happen,
+/// delivery is free (and, like any sink that declines timestamps, no clock
+/// is read).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;
 
 impl Sink for NullSink {
     fn record(&self, _event: &Event) {}
+
+    fn wants_time(&self) -> bool {
+        false
+    }
 }
 
 /// Writes one JSON object per line (JSONL) to a buffered writer.
@@ -34,8 +52,16 @@ impl Sink for NullSink {
 /// The line buffer is reused across events, so steady-state recording does
 /// not allocate beyond the writer's own buffering. Lines from concurrent
 /// workers are serialized by the internal mutex, never interleaved.
+///
+/// Recording still never panics or blocks training, but write failures are
+/// no longer invisible: every event that could not be written increments a
+/// dropped-events [`Counter`], which callers can register into a metrics
+/// [`Registry`](crate::registry::Registry) (the CLI exposes it as
+/// `obs.sink.dropped_events` on `/metrics`) via
+/// [`JsonlSink::with_dropped_counter`].
 pub struct JsonlSink {
     out: Mutex<JsonlState>,
+    dropped: Counter,
 }
 
 struct JsonlState {
@@ -51,26 +77,47 @@ impl JsonlSink {
                 writer: BufWriter::new(writer),
                 line: String::with_capacity(128),
             }),
+            dropped: Counter::detached(),
         }
     }
 
     /// A sink writing to a freshly created (truncated) file at `path`.
-    pub fn create(path: &Path) -> std::io::Result<Self> {
-        let file = std::fs::File::create(path)?;
+    /// Creation failures surface as [`ObsError::Sidecar`] naming the path.
+    pub fn create(path: &Path) -> Result<Self, ObsError> {
+        let file = std::fs::File::create(path).map_err(|source| ObsError::Sidecar {
+            path: path.to_path_buf(),
+            source,
+        })?;
         Ok(Self::new(Box::new(file)))
+    }
+
+    /// Count write failures on `counter` (typically a registry handle, so
+    /// drops show up on `/metrics`) instead of this sink's private counter.
+    pub fn with_dropped_counter(mut self, counter: Counter) -> Self {
+        self.dropped = counter;
+        self
+    }
+
+    /// Number of events dropped because a write (or the sink lock) failed.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.get()
     }
 }
 
 impl Sink for JsonlSink {
     fn record(&self, event: &Event) {
         let Ok(mut state) = self.out.lock() else {
-            return; // poisoned by a panicking worker: drop the event
+            // Poisoned by a panicking worker: drop the event, but count it.
+            self.dropped.inc();
+            return;
         };
         let state = &mut *state;
         state.line.clear();
         event.write_json(&mut state.line);
         state.line.push('\n');
-        let _ = state.writer.write_all(state.line.as_bytes());
+        if state.writer.write_all(state.line.as_bytes()).is_err() {
+            self.dropped.inc();
+        }
     }
 
     fn flush(&self) {
@@ -275,6 +322,36 @@ mod tests {
         assert!(sink.check_monotonic_timestamps().is_ok());
         sink.record(&counter("a", 0.5, 1));
         assert!(sink.check_monotonic_timestamps().is_err());
+    }
+
+    #[test]
+    fn jsonl_sink_counts_dropped_events_on_write_failure() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _data: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let dropped = Counter::detached();
+        // BufWriter only hits the writer once its 8 KiB buffer fills, so
+        // record until the failure becomes visible.
+        let sink = JsonlSink::new(Box::new(FailingWriter)).with_dropped_counter(dropped.clone());
+        for _ in 0..2000 {
+            sink.record(&counter("x", 0.0, 1));
+        }
+        assert!(sink.dropped_events() > 0, "write failures were counted");
+        assert_eq!(sink.dropped_events(), dropped.get());
+    }
+
+    #[test]
+    fn jsonl_create_error_names_the_path() {
+        let Err(err) = JsonlSink::create(Path::new("/nonexistent-dir/x.jsonl")) else {
+            panic!("create should fail");
+        };
+        assert!(err.to_string().contains("/nonexistent-dir/x.jsonl"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! distribution ranges over queue slots instead of {accept, reject}, with
 //! the kernel network shared across slots.
 
+use obs::Telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rlcore::normalize;
@@ -81,6 +82,7 @@ pub struct SelectorTrainer {
     trace: JobTrace,
     sim: Simulator,
     rng: StdRng,
+    telemetry: Telemetry,
 }
 
 /// Value-function input: aggregate queue statistics.
@@ -129,7 +131,16 @@ impl SelectorTrainer {
             trace,
             sim,
             rng,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; each epoch then emits an `epoch` span, a
+    /// `selector.mean_reward` gauge, `selector.episodes` counts, and a
+    /// `selector` heartbeat (epoch index + episodes/s).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The current network (e.g. for freezing mid-training).
@@ -181,6 +192,7 @@ impl SelectorTrainer {
 
     /// One training epoch: rollouts + PPO update.
     pub fn train_epoch(&mut self, epoch: usize) -> SelectorEpoch {
+        let epoch_span = obs::span!(self.telemetry, "epoch");
         let trajectories = self.rollout(epoch);
         let n_steps: usize = trajectories.iter().map(|t| t.steps.len()).sum();
         if n_steps == 0 {
@@ -256,6 +268,20 @@ impl SelectorTrainer {
 
         let mean_reward =
             trajectories.iter().map(|t| t.reward).sum::<f32>() / trajectories.len() as f32;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .count("selector.episodes", trajectories.len() as u64);
+            self.telemetry
+                .gauge("selector.mean_reward", mean_reward as f64);
+            let epoch_secs = epoch_span.elapsed();
+            if epoch_secs > 0.0 {
+                self.telemetry.heartbeat(
+                    "selector",
+                    epoch as u64,
+                    trajectories.len() as f64 / epoch_secs,
+                );
+            }
+        }
         SelectorEpoch { epoch, mean_reward }
     }
 
@@ -319,6 +345,40 @@ mod tests {
         // Network still produces finite logits after the update.
         let (rl, rf) = t.evaluate(3, 24, 9);
         assert!(rl.is_finite() && rf.is_finite());
+    }
+
+    #[test]
+    fn telemetry_emits_epoch_span_heartbeat_and_gauges() {
+        let config = SelectorConfig {
+            batch_size: 4,
+            seq_len: 24,
+            epochs: 1,
+            ..Default::default()
+        };
+        let (telemetry, sink) = obs::Telemetry::in_memory();
+        let mut t = SelectorTrainer::new(trace(), config).with_telemetry(telemetry);
+        let e = t.train_epoch(0);
+        let pairs = sink.check_span_pairing().expect("spans pair");
+        assert_eq!(pairs.get("epoch"), Some(&1));
+        assert_eq!(sink.counter_total("selector.episodes"), 4);
+        assert_eq!(
+            sink.gauge_values("selector.mean_reward"),
+            vec![e.mean_reward as f64]
+        );
+        let heartbeats = sink
+            .events()
+            .into_iter()
+            .filter(|ev| {
+                matches!(
+                    ev,
+                    obs::Event::Heartbeat {
+                        name: "selector",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(heartbeats, 1);
     }
 
     #[test]

@@ -9,7 +9,6 @@
 //! completions for any one connection are delivered in submission order.
 
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -154,10 +153,7 @@ impl BatchEngine {
             deadline,
             tx,
         });
-        self.shared
-            .stats
-            .queue_depth
-            .store(state.queue.len() as u64, Ordering::Relaxed);
+        self.shared.stats.queue_depth.set(state.queue.len() as f64);
         drop(state);
         self.shared.cv.notify_one();
         Ok(())
@@ -168,7 +164,7 @@ impl BatchEngine {
     fn retry_hint(&self, backlog: usize) -> u64 {
         let stats = &self.shared.stats;
         let mean_batch = stats.mean_batch_size().max(1.0);
-        let batch_ns = stats.infer_batch.mean_ns().max(1_000.0);
+        let batch_ns = stats.infer_batch.mean_ticks().max(1_000.0);
         let drain_ms = (backlog as f64 / mean_batch) * batch_ns / 1_000_000.0;
         (drain_ms.ceil() as u64).max(1)
     }
@@ -217,20 +213,14 @@ fn engine_loop(inspector: SchedInspector, shared: Arc<Shared>, telemetry: Teleme
             }
             let take = state.queue.len().min(shared.cfg.max_batch);
             batch.extend(state.queue.drain(..take));
-            shared
-                .stats
-                .queue_depth
-                .store(state.queue.len() as u64, Ordering::Relaxed);
+            shared.stats.queue_depth.set(state.queue.len() as f64);
         }
 
         let started = Instant::now();
         let mut served = 0u64;
         for p in batch.drain(..) {
             if p.deadline.is_some_and(|d| Instant::now() > d) {
-                shared
-                    .stats
-                    .deadline_exceeded
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.stats.deadline_exceeded.inc();
                 let _ = p.tx.send((p.token, Completion::DeadlineExceeded));
                 continue;
             }
@@ -239,28 +229,22 @@ fn engine_loop(inspector: SchedInspector, shared: Arc<Shared>, telemetry: Teleme
             shared
                 .stats
                 .e2e
-                .record(p.enqueued.elapsed().as_nanos() as u64);
+                .observe_ticks(p.enqueued.elapsed().as_nanos() as u64);
             let _ = p.tx.send((p.token, Completion::Decision(decision)));
         }
         let infer_elapsed = started.elapsed();
-        shared.stats.ok.fetch_add(served, Ordering::Relaxed);
-        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-        shared
-            .stats
-            .batched_requests
-            .fetch_add(served, Ordering::Relaxed);
+        shared.stats.ok.add(served);
+        shared.stats.batches.inc();
+        shared.stats.batched_requests.add(served);
         shared
             .stats
             .infer_batch
-            .record(infer_elapsed.as_nanos() as u64);
+            .observe_ticks(infer_elapsed.as_nanos() as u64);
         if telemetry.is_enabled() {
             telemetry.count("serve.batches", 1);
             telemetry.count("serve.requests", served);
             telemetry.observe("serve.batch_infer_s", infer_elapsed.as_secs_f64());
-            telemetry.gauge(
-                "serve.queue_depth",
-                shared.stats.queue_depth.load(Ordering::Relaxed) as f64,
-            );
+            telemetry.gauge("serve.queue_depth", shared.stats.queue_depth.get());
         }
     }
 }
@@ -307,8 +291,8 @@ mod tests {
         // Join the engine before reading counters: it bumps them after
         // sending the completions.
         engine.shutdown();
-        assert_eq!(stats.ok.load(Ordering::Relaxed), 100);
-        assert!(stats.batches.load(Ordering::Relaxed) >= 100 / 8);
+        assert_eq!(stats.ok.get(), 100);
+        assert!(stats.batches.get() >= 100 / 8);
     }
 
     #[test]
@@ -395,7 +379,7 @@ mod tests {
         let past = Instant::now() - std::time::Duration::from_millis(10);
         engine.submit(0, vec![0.0; dim], Some(past), tx).unwrap();
         assert_eq!(rx.recv().unwrap(), (0, Completion::DeadlineExceeded));
-        assert_eq!(stats.deadline_exceeded.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.deadline_exceeded.get(), 1);
         engine.shutdown();
     }
 

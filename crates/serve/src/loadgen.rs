@@ -302,10 +302,10 @@ pub fn open_loop(addr: &str, cfg: &LoadConfig) -> Result<RunReport, String> {
         overloaded,
         errors,
         elapsed_s,
-        mean_us: hist.mean_ns() / 1_000.0,
-        p50_us: hist.quantile_ns(0.50) as f64 / 1_000.0,
-        p95_us: hist.quantile_ns(0.95) as f64 / 1_000.0,
-        p99_us: hist.quantile_ns(0.99) as f64 / 1_000.0,
+        mean_us: hist.mean() / 1_000.0,
+        p50_us: hist.quantile(0.50) as f64 / 1_000.0,
+        p95_us: hist.quantile(0.95) as f64 / 1_000.0,
+        p99_us: hist.quantile(0.99) as f64 / 1_000.0,
     })
 }
 

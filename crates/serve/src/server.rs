@@ -125,6 +125,13 @@ impl ServerHandle {
         Arc::clone(&self.stats)
     }
 
+    /// The metrics registry backing [`ServerHandle::stats`]; share it with
+    /// an [`obs::MetricsExporter`] to expose the live counters on
+    /// `/metrics`.
+    pub fn registry(&self) -> Arc<obs::Registry> {
+        Arc::clone(self.stats.registry())
+    }
+
     /// A signal that shuts this server down; hand it to e.g. a Ctrl-C
     /// handler.
     pub fn shutdown_signal(&self) -> Arc<ShutdownSignal> {
@@ -224,7 +231,7 @@ pub fn serve(
                     match conn_tx.try_send(stream) {
                         Ok(()) => {}
                         Err(TrySendError::Full(mut stream)) => {
-                            stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                            stats.overloaded.inc();
                             let mut line = String::new();
                             protocol::write_error(
                                 &mut line,
@@ -264,7 +271,7 @@ fn worker_loop(
         let conn = { conn_rx.lock().unwrap().recv() };
         match conn {
             Ok(stream) => {
-                stats.connections.fetch_add(1, Ordering::Relaxed);
+                stats.connections.inc();
                 let _ = handle_connection(stream, engine, stats, signal, cfg);
             }
             Err(_) => break, // acceptor gone and backlog drained
@@ -397,7 +404,7 @@ fn process_line(
     let mut ready = String::new();
     match protocol::parse_request(line) {
         Err(msg) => {
-            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            stats.malformed.inc();
             protocol::write_error(&mut ready, None, protocol::ERR_MALFORMED, &msg, None);
         }
         Ok(Request::Ping) => protocol::write_pong(&mut ready),
@@ -422,9 +429,9 @@ fn process_line(
             features,
             deadline_ms,
         }) => {
-            stats.requests.fetch_add(1, Ordering::Relaxed);
+            stats.requests.inc();
             if features.len() != engine.input_dim() {
-                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                stats.malformed.inc();
                 let msg = format!(
                     "expected {} features, got {}",
                     engine.input_dim(),
@@ -443,7 +450,7 @@ fn process_line(
                         return;
                     }
                     Err(SubmitError::Overloaded { retry_after_ms }) => {
-                        stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                        stats.overloaded.inc();
                         protocol::write_error(
                             &mut ready,
                             Some(id),

@@ -1,141 +1,48 @@
 //! Always-on service counters and latency histograms.
 //!
 //! Every live request path touches only atomics here, so keeping the stats
-//! hot costs a handful of relaxed `fetch_add`s per request — cheap enough
-//! to never switch off. The `stats` protocol verb serializes a snapshot of
-//! this state; `obs` telemetry (when enabled) additionally streams
-//! per-batch events to a sidecar.
+//! hot costs a handful of relaxed updates per request — cheap enough to
+//! never switch off. The state itself now lives in a shared
+//! [`obs::Registry`]: each field is a registry handle, so the `stats`
+//! protocol verb and the `/metrics` exposition endpoint snapshot the *same*
+//! atomics — there is no second copy to drift. `obs` telemetry (when
+//! enabled) additionally streams per-batch events to a sidecar.
+//!
+//! The HDR-style histogram previously defined here moved to
+//! [`obs::hist::LogLinearHistogram`]; the old name is re-exported for
+//! compatibility. Latencies are recorded in nanosecond ticks
+//! ([`obs::Histogram::observe_ticks`]), which the exposition layer scales
+//! to seconds.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use obs::json::Json;
+use obs::{Counter, Gauge, Histogram, Registry};
 
-/// Sub-bucket resolution: 2^3 = 8 linear sub-buckets per power-of-two
-/// octave, bounding the relative quantile error at 12.5%.
-const SUB_BITS: u32 = 3;
-const SUB: u64 = 1 << SUB_BITS;
-/// Enough buckets for the full `u64` nanosecond range (index ≤ 495).
-const BUCKETS: usize = 512;
+/// The serve daemon's latency histogram type (moved to `obs`, re-exported
+/// here for compatibility). Values are nanosecond ticks; the old `_ns`
+/// method names are now unit-agnostic ([`LatencyHistogram::mean`],
+/// [`LatencyHistogram::quantile`]).
+pub use obs::LogLinearHistogram as LatencyHistogram;
 
-/// A lock-free log-linear histogram of nanosecond latencies (HDR-style:
-/// power-of-two octaves split into [`SUB`] linear sub-buckets). Recording
-/// is one relaxed increment; quantiles are read from a snapshot sweep.
-pub struct LatencyHistogram {
-    count: AtomicU64,
-    sum_ns: AtomicU64,
-    buckets: Box<[AtomicU64]>,
-}
-
-fn bucket_index(v: u64) -> usize {
-    if v < SUB {
-        v as usize
-    } else {
-        let msb = 63 - u64::from(v.leading_zeros());
-        let shift = msb - u64::from(SUB_BITS);
-        let sub = (v >> shift) - SUB;
-        ((shift + 1) * SUB + sub) as usize
-    }
-}
-
-/// Largest value that lands in bucket `i` (the reported quantile bound).
-/// Computed in `u128`: the top few of the 512 indices are unreachable from
-/// any `u64` input and would overflow a `u64` shift.
-fn bucket_upper(i: usize) -> u64 {
-    let i = i as u64;
-    if i < SUB {
-        i
-    } else {
-        let shift = i / SUB - 1;
-        let sub = i % SUB;
-        let hi = u128::from(SUB + sub + 1) << shift;
-        (hi - 1).min(u128::from(u64::MAX)) as u64
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-        }
-    }
-
-    /// Record one latency sample, in nanoseconds.
-    #[inline]
-    pub fn record(&self, ns: u64) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// The `q`-quantile in nanoseconds (upper bound of the bucket the
-    /// quantile falls in; 0 when empty). `q` is clamped to `[0, 1]`.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return bucket_upper(i);
-            }
-        }
-        bucket_upper(BUCKETS - 1)
-    }
-
-    /// Summary object for the `stats` verb: count, mean and key quantiles
-    /// in microseconds.
-    pub fn to_json(&self) -> Json {
-        let us = |ns: u64| Json::Number(ns as f64 / 1_000.0);
-        let mut m = BTreeMap::new();
-        m.insert("count".into(), Json::Number(self.count() as f64));
-        m.insert("mean_us".into(), Json::Number(self.mean_ns() / 1_000.0));
-        m.insert("p50_us".into(), us(self.quantile_ns(0.50)));
-        m.insert("p95_us".into(), us(self.quantile_ns(0.95)));
-        m.insert("p99_us".into(), us(self.quantile_ns(0.99)));
-        Json::Object(m)
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl std::fmt::Debug for LatencyHistogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LatencyHistogram")
-            .field("count", &self.count())
-            .field("mean_ns", &self.mean_ns())
-            .finish()
-    }
+/// Summary object for a nanosecond-ticks histogram handle: count, mean and
+/// key quantiles in microseconds.
+fn hist_json(h: &Histogram) -> Json {
+    let us = |ticks: u64| Json::Number(ticks as f64 / 1_000.0);
+    let mut m = BTreeMap::new();
+    m.insert("count".into(), Json::Number(h.count() as f64));
+    m.insert("mean_us".into(), Json::Number(h.mean_ticks() / 1_000.0));
+    m.insert("p50_us".into(), us(h.quantile_ticks(0.50)));
+    m.insert("p95_us".into(), us(h.quantile_ticks(0.95)));
+    m.insert("p99_us".into(), us(h.quantile_ticks(0.99)));
+    Json::Object(m)
 }
 
 /// Shared, always-on service metrics. One instance per server; every field
-/// is updated with relaxed atomics on the request path and read by the
-/// `stats` verb.
+/// is a cheaply-cloneable [`obs::Registry`] handle updated with relaxed
+/// atomics on the request path and read by both the `stats` verb and the
+/// `/metrics` endpoint.
 #[derive(Debug)]
 pub struct ServerStats {
     /// Feature-vector length the loaded model expects (constant).
@@ -143,62 +50,92 @@ pub struct ServerStats {
     /// Configured micro-batch cap (constant).
     pub max_batch: usize,
     /// Infer requests received (including ones later rejected).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Decisions successfully returned.
-    pub ok: AtomicU64,
+    pub ok: Counter,
     /// Requests rejected with `overloaded` backpressure.
-    pub overloaded: AtomicU64,
+    pub overloaded: Counter,
     /// Requests that missed their deadline while queued.
-    pub deadline_exceeded: AtomicU64,
+    pub deadline_exceeded: Counter,
     /// Lines that failed to parse or validate.
-    pub malformed: AtomicU64,
+    pub malformed: Counter,
     /// Connections accepted.
-    pub connections: AtomicU64,
+    pub connections: Counter,
     /// Inference batches executed.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Requests served through batches (sum of batch sizes).
-    pub batched_requests: AtomicU64,
+    pub batched_requests: Counter,
     /// Current queued-request depth (gauge, updated by the engine).
-    pub queue_depth: AtomicU64,
-    /// End-to-end latency: enqueue → decision produced.
-    pub e2e: LatencyHistogram,
-    /// Inference-only latency of each executed batch.
-    pub infer_batch: LatencyHistogram,
+    pub queue_depth: Gauge,
+    /// End-to-end latency in ns ticks: enqueue → decision produced.
+    pub e2e: Histogram,
+    /// Inference-only latency in ns ticks of each executed batch.
+    pub infer_batch: Histogram,
+    registry: Arc<Registry>,
 }
 
 impl ServerStats {
-    /// Fresh zeroed stats for a server with the given constants.
+    /// Fresh stats for a server with the given constants, registered into
+    /// a private registry. Use [`ServerStats::with_registry`] to share one
+    /// with a `/metrics` endpoint.
     pub fn new(input_dim: usize, max_batch: usize) -> Self {
+        Self::with_registry(Arc::new(Registry::new()), input_dim, max_batch)
+    }
+
+    /// Fresh stats registered into `registry` under the `serve.*`
+    /// namespace, so an exposition endpoint rendering that registry serves
+    /// the exact atomics the request path updates.
+    pub fn with_registry(registry: Arc<Registry>, input_dim: usize, max_batch: usize) -> Self {
+        let r = &registry;
         ServerStats {
             input_dim,
             max_batch,
-            requests: AtomicU64::new(0),
-            ok: AtomicU64::new(0),
-            overloaded: AtomicU64::new(0),
-            deadline_exceeded: AtomicU64::new(0),
-            malformed: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_requests: AtomicU64::new(0),
-            queue_depth: AtomicU64::new(0),
-            e2e: LatencyHistogram::new(),
-            infer_batch: LatencyHistogram::new(),
+            requests: r.counter("serve.requests", "infer requests received"),
+            ok: r.counter("serve.ok", "decisions successfully returned"),
+            overloaded: r.counter("serve.overloaded", "requests rejected with backpressure"),
+            deadline_exceeded: r.counter(
+                "serve.deadline_exceeded",
+                "requests that missed their deadline while queued",
+            ),
+            malformed: r.counter("serve.malformed", "lines that failed to parse or validate"),
+            connections: r.counter("serve.connections", "connections accepted"),
+            batches: r.counter("serve.batches", "inference batches executed"),
+            batched_requests: r.counter(
+                "serve.batched_requests",
+                "requests served through batches (sum of batch sizes)",
+            ),
+            queue_depth: r.gauge("serve.queue_depth", "current queued-request depth"),
+            e2e: r.histogram(
+                "serve.e2e_seconds",
+                "end-to-end latency, enqueue to decision",
+            ),
+            infer_batch: r.histogram(
+                "serve.infer_batch_seconds",
+                "inference-only latency per executed batch",
+            ),
+            registry,
         }
+    }
+
+    /// The registry backing these stats (share it with a
+    /// [`obs::MetricsExporter`] to expose `/metrics`).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Mean executed batch size (0 when no batch ran yet).
     pub fn mean_batch_size(&self) -> f64 {
-        let batches = self.batches.load(Ordering::Relaxed);
+        let batches = self.batches.get();
         if batches == 0 {
             0.0
         } else {
-            self.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64
+            self.batched_requests.get() as f64 / batches as f64
         }
     }
 
     /// Snapshot the whole stats block as the `stats` verb's payload.
     pub fn to_json(&self) -> Json {
-        let n = |v: &AtomicU64| Json::Number(v.load(Ordering::Relaxed) as f64);
+        let n = |c: &Counter| Json::Number(c.get() as f64);
         let mut m = BTreeMap::new();
         m.insert("input_dim".into(), Json::Number(self.input_dim as f64));
         m.insert("max_batch".into(), Json::Number(self.max_batch as f64));
@@ -214,9 +151,9 @@ impl ServerStats {
             "mean_batch_size".into(),
             Json::Number(self.mean_batch_size()),
         );
-        m.insert("queue_depth".into(), n(&self.queue_depth));
-        m.insert("e2e".into(), self.e2e.to_json());
-        m.insert("infer_batch".into(), self.infer_batch.to_json());
+        m.insert("queue_depth".into(), Json::Number(self.queue_depth.get()));
+        m.insert("e2e".into(), hist_json(&self.e2e));
+        m.insert("infer_batch".into(), hist_json(&self.infer_batch));
         Json::Object(m)
     }
 }
@@ -226,64 +163,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_index_is_monotone_and_in_range() {
-        let mut last = 0usize;
-        let mut v = 0u64;
-        while v < 1 << 40 {
-            let i = bucket_index(v);
-            assert!(i >= last, "index regressed at {v}");
-            assert!(i < BUCKETS);
-            last = i;
-            v = v * 2 + 1;
-        }
-        assert!(bucket_index(u64::MAX) < BUCKETS);
-    }
-
-    #[test]
-    fn bucket_upper_bounds_its_own_bucket() {
-        // Indices past bucket_index(u64::MAX) can't be hit by any input.
-        for i in 0..=bucket_index(u64::MAX) {
-            let hi = bucket_upper(i);
-            assert_eq!(bucket_index(hi), i, "upper({i}) = {hi}");
-            if hi < u64::MAX {
-                assert!(bucket_index(hi + 1) > i);
-            }
-        }
-    }
-
-    #[test]
-    fn quantiles_bracket_known_distribution() {
-        let h = LatencyHistogram::new();
-        // 1..=1000 µs, uniform.
-        for us in 1..=1000u64 {
-            h.record(us * 1_000);
-        }
-        assert_eq!(h.count(), 1000);
-        let p50 = h.quantile_ns(0.50) as f64 / 1_000.0;
-        let p99 = h.quantile_ns(0.99) as f64 / 1_000.0;
-        // Log-linear buckets are accurate to 12.5% on the upper bound.
-        assert!((430.0..=580.0).contains(&p50), "p50 {p50}");
-        assert!((930.0..=1150.0).contains(&p99), "p99 {p99}");
-        assert!((h.mean_ns() / 1_000.0 - 500.5).abs() < 1.0);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zeros() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_ns(0.99), 0);
-        assert_eq!(h.mean_ns(), 0.0);
-    }
-
-    #[test]
     fn stats_snapshot_is_valid_json_with_all_fields() {
         let s = ServerStats::new(8, 16);
-        s.requests.fetch_add(3, Ordering::Relaxed);
-        s.e2e.record(42_000);
+        s.requests.add(3);
+        s.e2e.observe_ticks(42_000);
         let mut text = String::new();
         s.to_json().write_json(&mut text);
         let v = obs::json::parse(&text).expect("stats serialize to valid JSON");
         assert_eq!(v.get("input_dim").and_then(Json::as_f64), Some(8.0));
         assert_eq!(v.get("requests").and_then(Json::as_f64), Some(3.0));
         assert!(v.get("e2e").and_then(|e| e.get("count")).is_some());
+    }
+
+    #[test]
+    fn stats_verb_and_metrics_exposition_read_the_same_atomics() {
+        let s = ServerStats::new(4, 8);
+        s.requests.add(7);
+        s.queue_depth.set(3.0);
+        s.e2e.observe_ticks(1_000_000); // 1ms
+        let mut metrics = String::new();
+        s.registry().render(&mut metrics);
+        assert!(metrics.contains("schedinspector_serve_requests_total 7"));
+        assert!(metrics.contains("schedinspector_serve_queue_depth 3"));
+        assert!(metrics.contains("# TYPE schedinspector_serve_e2e_seconds histogram"));
+        // The verb snapshot agrees, because it is the same storage.
+        let json = s.to_json();
+        assert_eq!(json.get("requests").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(json.get("queue_depth").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn latency_histogram_reexport_still_works() {
+        let h = LatencyHistogram::new();
+        h.record(42_000);
+        assert_eq!(h.count(), 1);
+        assert!(h.mean() > 0.0);
+        assert!(h.quantile(0.99) >= 42_000 / 2);
     }
 }

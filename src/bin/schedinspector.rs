@@ -21,19 +21,23 @@ use schedinspector::prelude::*;
 
 struct Args {
     map: Vec<(String, String)>,
+    positional: Vec<String>,
 }
 
 impl Args {
     fn parse(args: &[String]) -> Args {
         let mut map = Vec::new();
+        let mut positional = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
                 let value = it.next().cloned().unwrap_or_default();
                 map.push((key.to_string(), value));
+            } else {
+                positional.push(a.clone());
             }
         }
-        Args { map }
+        Args { map, positional }
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -52,7 +56,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: schedinspector <train|evaluate|analyze|serve|infer|trace|check-telemetry> [options]\n\
+        "usage: schedinspector <train|evaluate|analyze|serve|infer|trace|check-telemetry|report> [options]\n\
          \n\
          common options:\n\
            --trace   SDSC-SP2|CTC-SP2|HPC2N|Lublin   (default SDSC-SP2)\n\
@@ -62,14 +66,20 @@ fn usage() -> ! {
            --seed N       RNG seed          (default 1)\n\
            --backfill 1   enable EASY backfilling\n\
          train:    --epochs N --batch N --out FILE --telemetry FILE.jsonl\n\
+         \x20          --metrics-addr HOST:PORT   (live /metrics during training)\n\
          evaluate: --model FILE --seqs N --len N\n\
          analyze:  --model FILE\n\
          serve:    --model FILE --addr HOST:PORT --workers N --batch N\n\
          \x20          --queue N --deadline-ms N --telemetry FILE.jsonl\n\
+         \x20          --metrics-addr HOST:PORT   (Prometheus exposition endpoint)\n\
          \x20          (TCP decision service; port 0 = ephemeral, printed on stdout)\n\
          infer:    --model FILE [--in FILE.jsonl]   (feature lines -> decisions)\n\
          trace:    --out FILE.swf\n\
-         check-telemetry: --file FILE.jsonl   (validate a telemetry sidecar)"
+         check-telemetry: --file FILE.jsonl   (validate a telemetry sidecar)\n\
+         report:   FILE.jsonl [FILE.jsonl ...] [--tolerance F]\n\
+         \x20          [--bench-rollout FILE] [--bench-serve FILE]\n\
+         \x20          (per-epoch summaries, span wall-time breakdown, and a\n\
+         \x20           throughput regression check; exits 1 on regression)"
     );
     exit(2)
 }
@@ -129,19 +139,44 @@ fn cmd_train(args: &Args) {
         config.batch_size,
         metric.name()
     );
-    let telemetry = match args.get("telemetry") {
-        Some(path) => match obs::Telemetry::jsonl(Path::new(path)) {
-            Ok(t) => {
-                println!("telemetry -> {path}");
-                t
+    let registry = args
+        .get("metrics-addr")
+        .map(|_| std::sync::Arc::new(obs::Registry::new()));
+    let telemetry = match (args.get("telemetry"), &registry) {
+        (Some(path), reg) => {
+            let made = match reg {
+                Some(reg) => {
+                    obs::Telemetry::jsonl_with_registry(Path::new(path), std::sync::Arc::clone(reg))
+                }
+                None => obs::Telemetry::jsonl(Path::new(path)),
+            };
+            match made {
+                Ok(t) => {
+                    println!("telemetry -> {path}");
+                    t
+                }
+                Err(e) => {
+                    eprintln!("cannot write telemetry file {path}: {e}");
+                    exit(2)
+                }
+            }
+        }
+        (None, Some(reg)) => obs::Telemetry::with_registry(std::sync::Arc::clone(reg)),
+        (None, None) => obs::Telemetry::disabled(),
+    };
+    let exporter = registry.map(|reg| {
+        let addr = args.get("metrics-addr").unwrap();
+        match obs::MetricsExporter::bind(addr, reg, telemetry.clone()) {
+            Ok(ex) => {
+                println!("metrics -> http://{}/metrics", ex.local_addr());
+                ex
             }
             Err(e) => {
-                eprintln!("cannot write telemetry file {path}: {e}");
+                eprintln!("cannot start metrics exporter: {e}");
                 exit(2)
             }
-        },
-        None => obs::Telemetry::disabled(),
-    };
+        }
+    });
     let mut trainer = match Trainer::builder(train)
         .factory(factory.clone())
         .config(config)
@@ -167,6 +202,9 @@ fn cmd_train(args: &Args) {
         }
     }
     telemetry.flush();
+    if let Some(exporter) = exporter {
+        exporter.shutdown();
+    }
     let agent = trainer.inspector();
     let report = evaluate(&agent, &test, &factory, sim, 20, 256, 7, 0);
     println!(
@@ -280,7 +318,24 @@ fn cmd_serve(args: &Args) {
         exit(1)
     });
     println!("listening on {}", handle.addr());
+    // The server's stats live in its registry; exposing that same registry
+    // means `/metrics` and the `stats` verb read the same atomics.
+    let exporter = args.get("metrics-addr").map(|addr| {
+        match obs::MetricsExporter::bind(addr, handle.registry(), telemetry.clone()) {
+            Ok(ex) => {
+                println!("metrics -> http://{}/metrics", ex.local_addr());
+                ex
+            }
+            Err(e) => {
+                eprintln!("cannot start metrics exporter: {e}");
+                exit(1)
+            }
+        }
+    });
     handle.wait(); // until a client sends {"verb":"shutdown"}
+    if let Some(exporter) = exporter {
+        exporter.shutdown();
+    }
     telemetry.flush();
     println!("server stopped");
 }
@@ -394,6 +449,84 @@ fn cmd_check_telemetry(args: &Args) {
     }
 }
 
+/// Load a BENCH_*.json baseline. An explicitly named file that fails to
+/// load is fatal; the conventional default is used only when present.
+fn load_bench_baseline(explicit: Option<&str>, default: &str) -> Option<obs::json::Json> {
+    let path = match explicit {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let p = std::path::PathBuf::from(default);
+            if !p.exists() {
+                return None;
+            }
+            p
+        }
+    };
+    match obs::report::load_bench(&path) {
+        Ok(bench) => Some(bench),
+        Err(e) => {
+            eprintln!("cannot load bench baseline: {e}");
+            if explicit.is_some() {
+                exit(2)
+            }
+            None
+        }
+    }
+}
+
+fn cmd_report(args: &Args) {
+    if args.positional.is_empty() {
+        eprintln!("report: at least one telemetry sidecar (FILE.jsonl) is required");
+        exit(2)
+    }
+    let tolerance = args.num("tolerance", 0.5f64);
+    if !(0.0..1.0).contains(&tolerance) {
+        eprintln!("--tolerance must be in [0, 1), got {tolerance}");
+        exit(2)
+    }
+    let bench_rollout = load_bench_baseline(args.get("bench-rollout"), "BENCH_rollout.json");
+    let bench_serve = load_bench_baseline(args.get("bench-serve"), "BENCH_serve.json");
+    let mut regressed = false;
+    for path in &args.positional {
+        let report = obs::report::analyze_file(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2)
+        });
+        let mut out = String::new();
+        report.render(&mut out);
+        print!("{out}");
+        let checks = obs::report::throughput_checks(
+            &report,
+            bench_rollout.as_ref(),
+            bench_serve.as_ref(),
+            tolerance,
+        );
+        if checks.is_empty() {
+            println!("throughput: no measurement/baseline pair to check");
+        }
+        for check in checks {
+            let verdict = if check.regressed() {
+                regressed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "throughput {:<8} {:.1}/s vs baseline {:.1}/s ({:.0}% of baseline, floor {:.0}%): {verdict}",
+                check.name,
+                check.measured,
+                check.baseline,
+                check.ratio() * 100.0,
+                (1.0 - check.tolerance) * 100.0,
+            );
+        }
+        println!();
+    }
+    if regressed {
+        exit(1)
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
@@ -406,6 +539,7 @@ fn main() {
         "infer" => cmd_infer(&args),
         "trace" => cmd_trace(&args),
         "check-telemetry" => cmd_check_telemetry(&args),
+        "report" => cmd_report(&args),
         _ => usage(),
     }
 }

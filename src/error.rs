@@ -3,6 +3,7 @@
 //! single `Result<T, schedinspector::Error>`.
 
 use inspector::{ConfigError, ModelIoError, TrainError};
+use obs::ObsError;
 use swf::SwfError;
 use workload::TraceError;
 
@@ -21,6 +22,9 @@ pub enum Error {
     ModelIo(ModelIoError),
     /// An I/O error (model files, telemetry sidecars, trace files).
     Io(std::io::Error),
+    /// The observability layer failed (telemetry sidecar creation, metrics
+    /// exposition bind) — carries the path or address that failed.
+    Obs(ObsError),
 }
 
 impl std::fmt::Display for Error {
@@ -32,6 +36,7 @@ impl std::fmt::Display for Error {
             Error::Train(e) => write!(f, "training: {e}"),
             Error::ModelIo(e) => write!(f, "model: {e}"),
             Error::Io(e) => write!(f, "I/O: {e}"),
+            Error::Obs(e) => write!(f, "observability: {e}"),
         }
     }
 }
@@ -45,6 +50,7 @@ impl std::error::Error for Error {
             Error::Train(e) => Some(e),
             Error::ModelIo(e) => Some(e),
             Error::Io(e) => Some(e),
+            Error::Obs(e) => Some(e),
         }
     }
 }
@@ -85,6 +91,12 @@ impl From<std::io::Error> for Error {
     }
 }
 
+impl From<ObsError> for Error {
+    fn from(e: ObsError) -> Self {
+        Error::Obs(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +122,14 @@ mod tests {
 
         let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(e.to_string().contains("gone"));
+
+        let e: Error = ObsError::Sidecar {
+            path: "run.jsonl".into(),
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        }
+        .into();
+        assert!(e.to_string().starts_with("observability:"));
+        assert!(e.to_string().contains("run.jsonl"));
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! * [`serve`] — a micro-batched TCP decision service for trained
 //!   inspectors (line-delimited JSON protocol) plus a load generator;
 //! * [`obs`] — zero-cost-when-disabled telemetry (spans, counters, gauges,
-//!   JSONL sidecars) threaded through the simulator and trainer.
+//!   JSONL sidecars) threaded through the simulator and trainer, plus a
+//!   live metrics registry with Prometheus text exposition and an offline
+//!   sidecar report engine.
 //!
 //! See `examples/` for runnable walk-throughs and `crates/experiments` for
 //! binaries regenerating every table and figure of the paper.
