@@ -1,0 +1,145 @@
+//! Injectable time sources.
+//!
+//! Timeout behaviour (request deadlines, drain paths) is untestable
+//! against wall time without sleeps, and sleeps make tests slow *and*
+//! flaky. Components that compare "now" against deadlines therefore take
+//! an `Arc<dyn Clock>` and express instants as **nanoseconds since the
+//! clock's epoch** (`u64` ticks) instead of [`std::time::Instant`], which
+//! cannot be fabricated by a test.
+//!
+//! Two implementations:
+//!
+//! * [`SystemClock`] — the production impl: a monotonic [`Instant`]
+//!   anchored at construction; `now_ns` is one `Instant::elapsed` call.
+//! * [`VirtualClock`] — a test impl backed by an `AtomicU64` that only
+//!   moves when a test calls [`VirtualClock::advance`]. Deadline logic can
+//!   be driven through expiry deterministically, with zero wall-clock
+//!   sleeps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source. Instants are nanosecond ticks since the
+/// clock's own epoch; ticks from different clocks are not comparable.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds elapsed since this clock's epoch. Monotone
+    /// non-decreasing.
+    fn now_ns(&self) -> u64;
+}
+
+/// Ticks for a deadline `ms` milliseconds after `now_ns`, saturating
+/// instead of wrapping for absurd inputs (`u64::MAX` ≈ 584 years).
+pub fn deadline_after_ms(now_ns: u64, ms: u64) -> u64 {
+    now_ns.saturating_add(ms.saturating_mul(1_000_000))
+}
+
+/// The production clock: monotonic wall time since construction.
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// An `Arc<dyn Clock>` handle (the shape components store).
+    pub fn shared() -> Arc<dyn Clock> {
+        Arc::new(Self::new())
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A manually advanced clock for deterministic timeout tests. Time stands
+/// still until [`VirtualClock::advance`] (or `set_ns`) moves it.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ns: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared handle plus its `dyn Clock` view, for handing to a
+    /// component while keeping the advance handle.
+    pub fn shared() -> (Arc<VirtualClock>, Arc<dyn Clock>) {
+        let clock = Arc::new(VirtualClock::new());
+        let dynamic: Arc<dyn Clock> = Arc::clone(&clock) as Arc<dyn Clock>;
+        (clock, dynamic)
+    }
+
+    /// Move time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.advance_ns(d.as_nanos() as u64);
+    }
+
+    /// Move time forward by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.ns.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute tick. Panics (debug) on attempts to move
+    /// backwards — a virtual clock must stay monotone like the real one.
+    pub fn set_ns(&self, ns: u64) {
+        let prev = self.ns.swap(ns, Ordering::SeqCst);
+        debug_assert!(prev <= ns, "virtual clock moved backwards: {prev} -> {ns}");
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone_and_moves() {
+        let c = SystemClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_advanced() {
+        let (vc, clock) = VirtualClock::shared();
+        assert_eq!(clock.now_ns(), 0);
+        assert_eq!(clock.now_ns(), 0);
+        vc.advance(Duration::from_millis(5));
+        assert_eq!(clock.now_ns(), 5_000_000);
+        vc.advance_ns(7);
+        assert_eq!(clock.now_ns(), 5_000_007);
+        vc.set_ns(6_000_000);
+        assert_eq!(clock.now_ns(), 6_000_000);
+    }
+
+    #[test]
+    fn deadline_arithmetic_saturates() {
+        assert_eq!(deadline_after_ms(100, 2), 2_000_100);
+        assert_eq!(deadline_after_ms(u64::MAX - 1, 50), u64::MAX);
+        assert_eq!(deadline_after_ms(0, u64::MAX), u64::MAX);
+    }
+}

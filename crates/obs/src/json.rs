@@ -135,11 +135,19 @@ pub fn escape_into(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting the recursive-descent parser accepts. The
+/// parser recurses once per `[`/`{` level, so without a cap a short
+/// adversarial input like `[[[[…` overflows the thread stack (an abort,
+/// not a catchable error). 128 is far beyond any telemetry or protocol
+/// payload while keeping worst-case stack use a few tens of KiB.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse one complete JSON value; trailing non-whitespace is an error.
+/// Inputs nested deeper than [`MAX_DEPTH`] are rejected, not recursed into.
 pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -153,12 +161,12 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
         Some(b'"') => parse_string(b, pos).map(Json::String),
         Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
@@ -238,7 +246,13 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth >= MAX_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_DEPTH} at byte {pos}",
+            pos = *pos
+        ));
+    }
     *pos += 1; // '['
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -247,7 +261,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Array(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -260,7 +274,13 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth >= MAX_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_DEPTH} at byte {pos}",
+            pos = *pos
+        ));
+    }
     *pos += 1; // '{'
     let mut map = BTreeMap::new();
     skip_ws(b, pos);
@@ -279,7 +299,7 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
             return Err(format!("expected ':' at byte {pos}", pos = *pos));
         }
         *pos += 1;
-        let value = parse_value(b, pos)?;
+        let value = parse_value(b, pos, depth + 1)?;
         map.insert(key, value);
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -377,6 +397,34 @@ mod tests {
         assert!(parse("[1, 2,]").is_err());
         assert!(parse(r#"{"a": 1} extra"#).is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // Well past MAX_DEPTH: must return Err, not recurse to an abort.
+        let deep_array = "[".repeat(100_000);
+        assert!(parse(&deep_array).is_err());
+        let mut deep_object = String::new();
+        for _ in 0..100_000 {
+            deep_object.push_str("{\"a\":");
+        }
+        assert!(parse(&deep_object).is_err());
+        // Mixed nesting trips the same cap.
+        let mixed: String = "[{\"k\":".repeat(50_000);
+        assert!(parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn nesting_just_under_the_cap_still_parses() {
+        let depth = MAX_DEPTH - 1;
+        let text = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(parse(&text).is_ok());
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&over).is_err());
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! sink.check_monotonic_timestamps().unwrap();
 //! ```
 
+pub mod clock;
 mod error;
 mod event;
 pub mod exporter;
@@ -44,6 +45,7 @@ pub mod registry;
 pub mod report;
 mod sink;
 
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use error::ObsError;
 pub use event::Event;
 pub use exporter::MetricsExporter;

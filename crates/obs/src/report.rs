@@ -174,6 +174,29 @@ pub fn parse_sidecar(path: &Path) -> Result<Vec<ReportEvent>, String> {
     Ok(events)
 }
 
+/// Parse a sidecar file, skipping malformed lines instead of failing.
+///
+/// A crashed or killed run leaves a sidecar whose final line is torn
+/// mid-JSON; a newer writer may emit event kinds this analyzer does not
+/// know. Neither should make the whole report unreadable. Every line that
+/// fails to parse becomes a `"path:line: message"` warning; only an
+/// unreadable *file* is an error.
+pub fn parse_sidecar_lenient(path: &Path) -> Result<(Vec<ReportEvent>, Vec<String>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut events = Vec::new();
+    let mut malformed = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(event) => events.push(event),
+            Err(e) => malformed.push(format!("{}:{}: {e}", path.display(), i + 1)),
+        }
+    }
+    Ok((events, malformed))
+}
+
 /// One node of the aggregated span tree. The same span name reached
 /// through different parents aggregates separately (it is a *path* tree).
 #[derive(Debug, Default, Clone)]
@@ -293,7 +316,12 @@ pub struct SidecarReport {
     pub events: usize,
     /// Timestamp of the last event (run wall time in seconds).
     pub wall: f64,
-    /// Non-fatal anomalies (unpaired spans, …).
+    /// Sidecar lines that failed to parse and were skipped (only nonzero
+    /// for lenient analysis; each also appears in `warnings`). A report
+    /// consumer should treat a nonzero count as a degraded — not clean —
+    /// run.
+    pub malformed_lines: usize,
+    /// Non-fatal anomalies (unpaired spans, skipped malformed lines, …).
     pub warnings: Vec<String>,
 }
 
@@ -349,6 +377,7 @@ pub fn analyze(events: &[ReportEvent]) -> SidecarReport {
         heartbeat_eps,
         events: events.len(),
         wall: events.last().map_or(0.0, ReportEvent::t),
+        malformed_lines: 0,
         warnings,
     }
 }
@@ -356,6 +385,21 @@ pub fn analyze(events: &[ReportEvent]) -> SidecarReport {
 /// Parse and analyze a sidecar file. Errors name the file and line.
 pub fn analyze_file(path: &Path) -> Result<SidecarReport, String> {
     Ok(analyze(&parse_sidecar(path)?))
+}
+
+/// Parse and analyze a sidecar file leniently: malformed lines are
+/// skipped, counted in [`SidecarReport::malformed_lines`], and reported as
+/// warnings. Only an unreadable file is an error.
+pub fn analyze_file_lenient(path: &Path) -> Result<SidecarReport, String> {
+    let (events, malformed) = parse_sidecar_lenient(path)?;
+    let mut report = analyze(&events);
+    report.malformed_lines = malformed.len();
+    // Malformed-line warnings go first: they explain any oddities the
+    // span-pairing warnings that follow might show.
+    let mut warnings = malformed;
+    warnings.append(&mut report.warnings);
+    report.warnings = warnings;
+    Ok(report)
 }
 
 fn fmt_opt(v: Option<f64>) -> String {
@@ -415,6 +459,13 @@ impl SidecarReport {
             self.wall,
             self.epochs.len()
         );
+        if self.malformed_lines > 0 {
+            let _ = writeln!(
+                out,
+                "DEGRADED: {} malformed sidecar line(s) skipped",
+                self.malformed_lines
+            );
+        }
         if !self.counter_totals.is_empty() {
             let _ = writeln!(out, "\ncounter totals");
             for (name, total) in &self.counter_totals {

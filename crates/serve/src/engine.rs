@@ -15,7 +15,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use inspector::{Decision, SchedInspector};
-use obs::Telemetry;
+use obs::{Clock, Telemetry};
 use rlcore::PolicyScratch;
 
 use crate::stats::ServerStats;
@@ -65,8 +65,10 @@ pub enum SubmitError {
 struct Pending {
     token: u64,
     features: Vec<f32>,
-    enqueued: Instant,
-    deadline: Option<Instant>,
+    /// Clock tick (ns) at submission, for e2e latency.
+    enqueued_ns: u64,
+    /// Clock tick (ns) after which the request is expired, if any.
+    deadline_ns: Option<u64>,
     tx: Sender<(u64, Completion)>,
 }
 
@@ -80,6 +82,10 @@ struct Shared {
     cv: Condvar,
     cfg: EngineConfig,
     stats: Arc<ServerStats>,
+    /// Deadline time source. Production passes [`obs::SystemClock`];
+    /// tests pass an [`obs::VirtualClock`] to drive requests through
+    /// expiry — including during the shutdown drain — without sleeping.
+    clock: Arc<dyn Clock>,
 }
 
 /// Cloneable handle to the engine. Submissions may come from any thread;
@@ -91,12 +97,14 @@ pub struct BatchEngine {
 }
 
 impl BatchEngine {
-    /// Spawn the inference thread around a loaded model.
+    /// Spawn the inference thread around a loaded model. Deadlines are
+    /// interpreted as ticks of `clock` (production: [`obs::SystemClock`]).
     pub fn start(
         inspector: SchedInspector,
         cfg: EngineConfig,
         stats: Arc<ServerStats>,
         telemetry: Telemetry,
+        clock: Arc<dyn Clock>,
     ) -> Arc<BatchEngine> {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -106,6 +114,7 @@ impl BatchEngine {
             cv: Condvar::new(),
             cfg,
             stats,
+            clock,
         });
         let input_dim = inspector.input_dim();
         let worker = {
@@ -127,14 +136,15 @@ impl BatchEngine {
         self.input_dim
     }
 
-    /// Enqueue one request. On success the engine will later send
-    /// `(token, completion)` through `tx`; on failure nothing is sent and
-    /// the caller must answer the client itself.
+    /// Enqueue one request. `deadline_ns` is a tick of the engine's clock
+    /// (see [`obs::clock::deadline_after_ms`]). On success the engine will
+    /// later send `(token, completion)` through `tx`; on failure nothing
+    /// is sent and the caller must answer the client itself.
     pub fn submit(
         &self,
         token: u64,
         features: Vec<f32>,
-        deadline: Option<Instant>,
+        deadline_ns: Option<u64>,
         tx: Sender<(u64, Completion)>,
     ) -> Result<(), SubmitError> {
         let mut state = self.shared.state.lock().unwrap();
@@ -149,8 +159,8 @@ impl BatchEngine {
         state.queue.push_back(Pending {
             token,
             features,
-            enqueued: Instant::now(),
-            deadline,
+            enqueued_ns: self.shared.clock.now_ns(),
+            deadline_ns,
             tx,
         });
         self.shared.stats.queue_depth.set(state.queue.len() as f64);
@@ -219,7 +229,7 @@ fn engine_loop(inspector: SchedInspector, shared: Arc<Shared>, telemetry: Teleme
         let started = Instant::now();
         let mut served = 0u64;
         for p in batch.drain(..) {
-            if p.deadline.is_some_and(|d| Instant::now() > d) {
+            if p.deadline_ns.is_some_and(|d| shared.clock.now_ns() > d) {
                 shared.stats.deadline_exceeded.inc();
                 let _ = p.tx.send((p.token, Completion::DeadlineExceeded));
                 continue;
@@ -229,7 +239,7 @@ fn engine_loop(inspector: SchedInspector, shared: Arc<Shared>, telemetry: Teleme
             shared
                 .stats
                 .e2e
-                .observe_ticks(p.enqueued.elapsed().as_nanos() as u64);
+                .observe_ticks(shared.clock.now_ns().saturating_sub(p.enqueued_ns));
             let _ = p.tx.send((p.token, Completion::Decision(decision)));
         }
         let infer_elapsed = started.elapsed();
@@ -279,6 +289,7 @@ mod tests {
             },
             Arc::clone(&stats),
             Telemetry::disabled(),
+            obs::SystemClock::shared(),
         );
         let (tx, rx) = mpsc::channel();
         for token in 0..100u64 {
@@ -307,6 +318,7 @@ mod tests {
             EngineConfig::default(),
             stats,
             Telemetry::disabled(),
+            obs::SystemClock::shared(),
         );
         let mut rng = StdRng::seed_from_u64(11);
         let mut scratch = PolicyScratch::default();
@@ -340,6 +352,7 @@ mod tests {
             },
             stats,
             Telemetry::disabled(),
+            obs::SystemClock::shared(),
         );
         let (tx, rx) = mpsc::channel();
         // Saturate: keep submitting until Overloaded shows up. The engine
@@ -369,18 +382,97 @@ mod tests {
         let inspector = tiny_inspector();
         let dim = inspector.input_dim();
         let stats = Arc::new(ServerStats::new(dim, 4));
+        // Virtual clock: start it past the deadline so expiry is certain,
+        // with no sleeps and no reliance on wall-clock granularity.
+        let (vc, clock) = obs::VirtualClock::shared();
+        vc.advance_ns(10_000_000);
         let engine = BatchEngine::start(
             inspector,
             EngineConfig::default(),
             Arc::clone(&stats),
             Telemetry::disabled(),
+            clock,
         );
         let (tx, rx) = mpsc::channel();
-        let past = Instant::now() - std::time::Duration::from_millis(10);
-        engine.submit(0, vec![0.0; dim], Some(past), tx).unwrap();
+        engine.submit(0, vec![0.0; dim], Some(1), tx).unwrap();
         assert_eq!(rx.recv().unwrap(), (0, Completion::DeadlineExceeded));
         assert_eq!(stats.deadline_exceeded.get(), 1);
         engine.shutdown();
+    }
+
+    #[test]
+    fn virtual_clock_drives_deadlines_deterministically() {
+        let inspector = tiny_inspector();
+        let dim = inspector.input_dim();
+        let stats = Arc::new(ServerStats::new(dim, 4));
+        let (vc, clock) = obs::VirtualClock::shared();
+        let engine = BatchEngine::start(
+            inspector,
+            EngineConfig::default(),
+            Arc::clone(&stats),
+            Telemetry::disabled(),
+            clock,
+        );
+        let (tx, rx) = mpsc::channel();
+        // Deadline at tick 5ms; clock still at 0 → must succeed.
+        engine
+            .submit(0, vec![0.2; dim], Some(5_000_000), tx.clone())
+            .unwrap();
+        assert!(matches!(rx.recv().unwrap(), (0, Completion::Decision(_))));
+        // Advance past the deadline before submitting → must expire.
+        vc.advance_ns(6_000_000);
+        engine
+            .submit(1, vec![0.2; dim], Some(5_000_000), tx)
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), (1, Completion::DeadlineExceeded));
+        assert_eq!(stats.deadline_exceeded.get(), 1);
+        assert_eq!(stats.ok.get(), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drain_still_honours_expired_deadlines() {
+        // The drain path must expire requests by the injected clock too:
+        // queue work with deadlines, advance time past them, then shut
+        // down. Everything queued must complete as DeadlineExceeded, and
+        // the request ledger must balance.
+        let inspector = tiny_inspector();
+        let dim = inspector.input_dim();
+        let stats = Arc::new(ServerStats::new(dim, 4));
+        let (vc, clock) = obs::VirtualClock::shared();
+        // Park the engine thread on a first request so the rest stay
+        // queued until shutdown's drain.
+        let engine = BatchEngine::start(
+            inspector,
+            EngineConfig {
+                max_batch: 1,
+                queue_capacity: 64,
+            },
+            Arc::clone(&stats),
+            Telemetry::disabled(),
+            clock,
+        );
+        let (tx, rx) = mpsc::channel();
+        for token in 0..8u64 {
+            engine
+                .submit(token, vec![0.1; dim], Some(1_000_000), tx.clone())
+                .unwrap();
+        }
+        vc.advance_ns(2_000_000); // all deadlines are now in the past
+        engine.shutdown();
+        drop(tx);
+        let completions: Vec<(u64, Completion)> = rx.iter().collect();
+        assert_eq!(completions.len(), 8, "drain must answer everything");
+        // At least the tail of the queue expired (the engine may have
+        // raced the first few through before the clock advanced).
+        assert!(completions
+            .iter()
+            .any(|(_, c)| *c == Completion::DeadlineExceeded));
+        assert_eq!(
+            stats.ok.get() + stats.deadline_exceeded.get(),
+            8,
+            "ledger balances after drain"
+        );
     }
 
     #[test]
@@ -393,6 +485,7 @@ mod tests {
             EngineConfig::default(),
             Arc::clone(&stats),
             Telemetry::disabled(),
+            obs::SystemClock::shared(),
         );
         let (tx, rx) = mpsc::channel();
         for token in 0..32u64 {

@@ -40,8 +40,10 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod stats;
+pub mod transport;
 
 pub use engine::{BatchEngine, Completion, EngineConfig, SubmitError};
 pub use loadgen::{LoadConfig, RunReport};
-pub use server::{serve, ServeConfig, ServerHandle, ShutdownSignal};
+pub use server::{serve, serve_with, ServeConfig, ServerHandle, ShutdownSignal};
 pub use stats::{LatencyHistogram, ServerStats};
+pub use transport::{AcceptPolicy, DirectAccept, Transport};

@@ -53,12 +53,26 @@ pub struct ServerStats {
     pub requests: Counter,
     /// Decisions successfully returned.
     pub ok: Counter,
-    /// Requests rejected with `overloaded` backpressure.
+    /// Requests rejected with `overloaded` backpressure (inference queue
+    /// full). Together with `ok`, `deadline_exceeded`, `bad_dim` and
+    /// `draining_rejected` this partitions `requests` exactly once the
+    /// server has drained — the ledger the chaos harness reconciles.
     pub overloaded: Counter,
+    /// Connections refused at accept time because the worker-pool backlog
+    /// was full (these never became requests).
+    pub accept_overloaded: Counter,
     /// Requests that missed their deadline while queued.
     pub deadline_exceeded: Counter,
     /// Lines that failed to parse or validate.
     pub malformed: Counter,
+    /// Infer requests whose feature vector had the wrong length (also
+    /// counted in `malformed`; split out so the request ledger balances).
+    pub bad_dim: Counter,
+    /// Infer requests refused because the server was draining.
+    pub draining_rejected: Counter,
+    /// Server threads that exited by panic (incremented at join time;
+    /// must stay 0 under any fault sequence).
+    pub thread_panics: Counter,
     /// Connections accepted.
     pub connections: Counter,
     /// Inference batches executed.
@@ -93,11 +107,24 @@ impl ServerStats {
             requests: r.counter("serve.requests", "infer requests received"),
             ok: r.counter("serve.ok", "decisions successfully returned"),
             overloaded: r.counter("serve.overloaded", "requests rejected with backpressure"),
+            accept_overloaded: r.counter(
+                "serve.accept_overloaded",
+                "connections refused at accept time (backlog full)",
+            ),
             deadline_exceeded: r.counter(
                 "serve.deadline_exceeded",
                 "requests that missed their deadline while queued",
             ),
             malformed: r.counter("serve.malformed", "lines that failed to parse or validate"),
+            bad_dim: r.counter(
+                "serve.bad_dim",
+                "infer requests with a wrong-length feature vector",
+            ),
+            draining_rejected: r.counter(
+                "serve.draining_rejected",
+                "infer requests refused because the server was draining",
+            ),
+            thread_panics: r.counter("serve.thread_panics", "server threads that exited by panic"),
             connections: r.counter("serve.connections", "connections accepted"),
             batches: r.counter("serve.batches", "inference batches executed"),
             batched_requests: r.counter(
@@ -123,6 +150,18 @@ impl ServerStats {
         &self.registry
     }
 
+    /// Sum of every terminal request outcome. After the server drains,
+    /// this equals `requests` exactly — every accepted infer request got
+    /// exactly one decision or one typed error. The chaos harness asserts
+    /// this under arbitrary fault sequences.
+    pub fn accounted_requests(&self) -> u64 {
+        self.ok.get()
+            + self.deadline_exceeded.get()
+            + self.overloaded.get()
+            + self.bad_dim.get()
+            + self.draining_rejected.get()
+    }
+
     /// Mean executed batch size (0 when no batch ran yet).
     pub fn mean_batch_size(&self) -> f64 {
         let batches = self.batches.get();
@@ -142,8 +181,12 @@ impl ServerStats {
         m.insert("requests".into(), n(&self.requests));
         m.insert("ok".into(), n(&self.ok));
         m.insert("overloaded".into(), n(&self.overloaded));
+        m.insert("accept_overloaded".into(), n(&self.accept_overloaded));
         m.insert("deadline_exceeded".into(), n(&self.deadline_exceeded));
         m.insert("malformed".into(), n(&self.malformed));
+        m.insert("bad_dim".into(), n(&self.bad_dim));
+        m.insert("draining_rejected".into(), n(&self.draining_rejected));
+        m.insert("thread_panics".into(), n(&self.thread_panics));
         m.insert("connections".into(), n(&self.connections));
         m.insert("batches".into(), n(&self.batches));
         m.insert("batched_requests".into(), n(&self.batched_requests));

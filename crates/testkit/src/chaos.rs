@@ -1,0 +1,614 @@
+//! The chaos soak: drive a real [`serve`] server through a seeded
+//! [`FaultPlan`](crate::FaultPlan) and check the invariants that must
+//! survive *any* fault sequence:
+//!
+//! 1. no server thread panics;
+//! 2. every accepted infer request terminates exactly once — the ledger
+//!    `requests == ok + deadline_exceeded + overloaded + bad_dim +
+//!    draining_rejected` balances after the drain;
+//! 3. per connection, responses are an in-order prefix of the expected
+//!    response sequence (nothing reordered, nothing duplicated, nothing
+//!    invented);
+//! 4. clients never observe more outcomes of a category than the server
+//!    counted;
+//! 5. the `/metrics` exposition agrees exactly with the `stats` counters
+//!    (same atomics, zero drift);
+//! 6. graceful shutdown still drains — enforced by a watchdog that prints
+//!    the `(fault_seed, workload_seed)` reproduction pair and exits if the
+//!    drain hangs.
+//!
+//! Every failure message embeds the seed pair, and
+//! [`ChaosConfig::new`] derives everything else from it, so a red run is
+//! reproducible from the printed seeds alone.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use inspector::{FeatureBuilder, FeatureMode, Normalizer, SchedInspector};
+use obs::Telemetry;
+use rlcore::BinaryPolicy;
+use serve::protocol::{self, Response};
+use serve::{serve_with, ServeConfig};
+use simhpc::Metric;
+
+use crate::fault::{render_fault_log, FaultConfig, FaultPlan, SplitMix64};
+
+/// What one request line expects back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Expect {
+    /// Infer with this id: a decision or a typed id-carrying error.
+    Infer(u64),
+    /// A pong.
+    Ping,
+    /// Junk: a `malformed` error with no id.
+    Junk,
+}
+
+/// Soak parameters. All randomness derives from the two seeds.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Fault schedule.
+    pub fault: FaultConfig,
+    /// Seed of the client workload (request mix, feature values).
+    pub workload_seed: u64,
+    /// Concurrent client threads (each owns its connections serially).
+    pub clients: usize,
+    /// Connections each client opens, one after another.
+    pub conns_per_client: usize,
+    /// Request lines pipelined per connection.
+    pub requests_per_conn: usize,
+    /// Server worker threads (keep ≥ `clients` so open connections cannot
+    /// starve each other).
+    pub workers: usize,
+    /// Abort the run (exit code 3, after printing the seed pair) if the
+    /// post-soak drain takes longer than this. 0 disables the watchdog.
+    pub watchdog_secs: u64,
+}
+
+impl ChaosConfig {
+    /// The standard soak for a `(fault_seed, workload_seed)` pair.
+    pub fn new(fault_seed: u64, workload_seed: u64) -> Self {
+        ChaosConfig {
+            fault: FaultConfig::standard(fault_seed),
+            workload_seed,
+            clients: 4,
+            conns_per_client: 8,
+            requests_per_conn: 6,
+            workers: 4,
+            watchdog_secs: 60,
+        }
+    }
+}
+
+/// Client-side tallies, accumulated across all connections.
+#[derive(Debug, Default, Clone)]
+pub struct ClientTally {
+    /// Infer lines written (whether or not a response arrived).
+    pub infer_sent: u64,
+    /// Decisions received.
+    pub decisions: u64,
+    /// `deadline_exceeded` errors received.
+    pub deadline: u64,
+    /// `overloaded` errors with an id (queue-full rejections).
+    pub overloaded: u64,
+    /// `overloaded` errors without an id (accept-time backlog rejections).
+    pub accept_overloaded: u64,
+    /// `bad_request` errors received (wrong-dimension infers).
+    pub bad_request: u64,
+    /// `malformed` errors received (junk lines).
+    pub malformed: u64,
+    /// `shutting_down` errors received.
+    pub draining: u64,
+    /// Pongs received.
+    pub pongs: u64,
+    /// Connections that ended early (reset, EOF, timeout).
+    pub conn_errors: u64,
+    /// Ordering/correlation violations (must stay empty).
+    pub violations: Vec<String>,
+}
+
+impl ClientTally {
+    fn merge(&mut self, other: ClientTally) {
+        self.infer_sent += other.infer_sent;
+        self.decisions += other.decisions;
+        self.deadline += other.deadline;
+        self.overloaded += other.overloaded;
+        self.accept_overloaded += other.accept_overloaded;
+        self.bad_request += other.bad_request;
+        self.malformed += other.malformed;
+        self.draining += other.draining;
+        self.pongs += other.pongs;
+        self.conn_errors += other.conn_errors;
+        self.violations.extend(other.violations);
+    }
+}
+
+/// Everything the soak observed, plus the invariant verdict.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// The seed pair that reproduces this run.
+    pub fault_seed: u64,
+    /// See [`ChaosReport::fault_seed`].
+    pub workload_seed: u64,
+    /// Aggregated client observations.
+    pub client: ClientTally,
+    /// Server counters after the drain, as `(name, value)` pairs.
+    pub server: Vec<(String, u64)>,
+    /// Invariant violations (empty = green run).
+    pub violations: Vec<String>,
+    /// Rendered fault log (the CI artifact on failure).
+    pub fault_log: String,
+}
+
+impl ChaosReport {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable summary (one screen).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "chaos soak: fault_seed={} workload_seed={}\n",
+            self.fault_seed, self.workload_seed
+        );
+        out.push_str(&format!(
+            "client: {} infers sent, {} decisions, {} deadline, {} overloaded, {} bad_request, \
+             {} malformed, {} draining, {} pongs, {} conn errors\n",
+            self.client.infer_sent,
+            self.client.decisions,
+            self.client.deadline,
+            self.client.overloaded,
+            self.client.bad_request,
+            self.client.malformed,
+            self.client.draining,
+            self.client.pongs,
+            self.client.conn_errors
+        ));
+        out.push_str("server: ");
+        for (name, value) in &self.server {
+            out.push_str(&format!("{name}={value} "));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "faults injected: {}\n",
+            self.fault_log.lines().count()
+        ));
+        if self.violations.is_empty() {
+            out.push_str("PASS: all invariants held\n");
+        } else {
+            for v in &self.violations {
+                out.push_str(&format!("VIOLATION: {v}\n"));
+            }
+            out.push_str(&format!(
+                "reproduce with: cargo run -p testkit --bin chaos -- \
+                 --fault-seed {} --workload-seed {}\n",
+                self.fault_seed, self.workload_seed
+            ));
+        }
+        out
+    }
+}
+
+fn tiny_inspector(seed: u64) -> SchedInspector {
+    let fb = FeatureBuilder {
+        mode: FeatureMode::Manual,
+        metric: Metric::Bsld,
+        norm: Normalizer::new(64, 3600.0),
+    };
+    SchedInspector::new(BinaryPolicy::new(fb.dim(), seed), fb)
+}
+
+/// Run one soak to completion and report.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    let inspector = tiny_inspector(cfg.workload_seed);
+    let dim = inspector.input_dim();
+    let plan = FaultPlan::new(cfg.fault);
+    let fault_log_handle = plan.log();
+    let handle = serve_with(
+        inspector,
+        ServeConfig {
+            workers: cfg.workers.max(1),
+            // Shutdown is driven by the harness, not by a (possibly
+            // corrupted) wire verb.
+            allow_shutdown_verb: false,
+            read_timeout_ms: 10,
+            ..ServeConfig::default()
+        },
+        Telemetry::disabled(),
+        plan,
+    )
+    .expect("bind chaos server");
+    let addr = handle.addr();
+
+    let mut threads = Vec::new();
+    for client_idx in 0..cfg.clients.max(1) {
+        let cfg = cfg.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::for_conn(cfg.workload_seed, client_idx as u64);
+            let mut tally = ClientTally::default();
+            for _ in 0..cfg.conns_per_client {
+                run_connection(addr, dim, &cfg, &mut rng, &mut tally);
+            }
+            tally
+        }));
+    }
+    let mut client = ClientTally::default();
+    for t in threads {
+        match t.join() {
+            Ok(tally) => client.merge(tally),
+            Err(_) => client.violations.push("client thread panicked".to_string()),
+        }
+    }
+
+    // The drain must finish; a hang is itself an invariant violation. The
+    // watchdog prints the reproduction pair before killing the process so
+    // CI logs are actionable.
+    let drained = Arc::new(AtomicBool::new(false));
+    if cfg.watchdog_secs > 0 {
+        let drained = Arc::clone(&drained);
+        let (fs, ws) = (cfg.fault.seed, cfg.workload_seed);
+        let deadline = cfg.watchdog_secs * 10;
+        std::thread::spawn(move || {
+            for _ in 0..deadline {
+                if drained.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            eprintln!(
+                "chaos watchdog: drain hung; reproduce with \
+                 --fault-seed {fs} --workload-seed {ws}"
+            );
+            std::process::exit(3);
+        });
+    }
+    let stats = handle.stats();
+    let registry = handle.registry();
+    handle.shutdown();
+    drained.store(true, Ordering::SeqCst);
+
+    // Invariant checks against the post-drain counters.
+    let mut violations = std::mem::take(&mut client.violations);
+    if stats.thread_panics.get() != 0 {
+        violations.push(format!(
+            "{} server thread(s) panicked",
+            stats.thread_panics.get()
+        ));
+    }
+    if stats.accounted_requests() != stats.requests.get() {
+        violations.push(format!(
+            "request ledger does not balance: {} requests vs {} accounted \
+             (ok {} + deadline {} + overloaded {} + bad_dim {} + draining {})",
+            stats.requests.get(),
+            stats.accounted_requests(),
+            stats.ok.get(),
+            stats.deadline_exceeded.get(),
+            stats.overloaded.get(),
+            stats.bad_dim.get(),
+            stats.draining_rejected.get(),
+        ));
+    }
+    let bounded = [
+        ("decisions", client.decisions, "ok", stats.ok.get()),
+        (
+            "deadline errors",
+            client.deadline,
+            "deadline_exceeded",
+            stats.deadline_exceeded.get(),
+        ),
+        (
+            "overloaded errors",
+            client.overloaded,
+            "overloaded",
+            stats.overloaded.get(),
+        ),
+        (
+            "accept-overload errors",
+            client.accept_overloaded,
+            "accept_overloaded",
+            stats.accept_overloaded.get(),
+        ),
+        (
+            "bad_request errors",
+            client.bad_request,
+            "bad_dim",
+            stats.bad_dim.get(),
+        ),
+        (
+            "draining errors",
+            client.draining,
+            "draining_rejected",
+            stats.draining_rejected.get(),
+        ),
+    ];
+    for (what, seen, counter, counted) in bounded {
+        if seen > counted {
+            violations.push(format!(
+                "clients observed {seen} {what} but the server only counted {counted} ({counter})"
+            ));
+        }
+    }
+    // Wire totals: the server cannot have received more infer requests
+    // than clients wrote (faults drop bytes, never invent them).
+    if stats.requests.get() > client.infer_sent {
+        violations.push(format!(
+            "server counted {} infer requests but clients only sent {}",
+            stats.requests.get(),
+            client.infer_sent
+        ));
+    }
+    // /metrics must expose the exact same atomics as the stats verb.
+    let mut exposition = String::new();
+    registry.render(&mut exposition);
+    for (metric, value) in [
+        ("schedinspector_serve_requests_total", stats.requests.get()),
+        ("schedinspector_serve_ok_total", stats.ok.get()),
+        (
+            "schedinspector_serve_malformed_total",
+            stats.malformed.get(),
+        ),
+        (
+            "schedinspector_serve_thread_panics_total",
+            stats.thread_panics.get(),
+        ),
+    ] {
+        match exposition_value(&exposition, metric) {
+            Some(got) if got == value as f64 => {}
+            Some(got) => violations.push(format!(
+                "/metrics disagrees with stats: {metric} exposes {got} vs counter {value}"
+            )),
+            None => violations.push(format!("/metrics is missing {metric}")),
+        }
+    }
+
+    let fault_log = {
+        let records = fault_log_handle.lock().unwrap();
+        render_fault_log(&records)
+    };
+    let server = vec![
+        ("requests".to_string(), stats.requests.get()),
+        ("ok".to_string(), stats.ok.get()),
+        (
+            "deadline_exceeded".to_string(),
+            stats.deadline_exceeded.get(),
+        ),
+        ("overloaded".to_string(), stats.overloaded.get()),
+        (
+            "accept_overloaded".to_string(),
+            stats.accept_overloaded.get(),
+        ),
+        ("bad_dim".to_string(), stats.bad_dim.get()),
+        (
+            "draining_rejected".to_string(),
+            stats.draining_rejected.get(),
+        ),
+        ("malformed".to_string(), stats.malformed.get()),
+        ("connections".to_string(), stats.connections.get()),
+        ("thread_panics".to_string(), stats.thread_panics.get()),
+    ];
+    ChaosReport {
+        fault_seed: cfg.fault.seed,
+        workload_seed: cfg.workload_seed,
+        client,
+        server,
+        violations,
+        fault_log,
+    }
+}
+
+/// Extract a sample value from rendered Prometheus text.
+fn exposition_value(text: &str, metric: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(metric)?;
+        rest.trim().parse::<f64>().ok()
+    })
+}
+
+/// One connection: pipeline a seeded request mix, then read responses and
+/// check they form an in-order prefix of the expected sequence.
+fn run_connection(
+    addr: std::net::SocketAddr,
+    dim: usize,
+    cfg: &ChaosConfig,
+    rng: &mut SplitMix64,
+    tally: &mut ClientTally,
+) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        tally.conn_errors += 1;
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    // Bounded patience: a faulted connection that goes quiet is abandoned,
+    // never waited on indefinitely.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            tally.conn_errors += 1;
+            return;
+        }
+    };
+
+    let mut expected: Vec<Expect> = Vec::new();
+    let mut batch = String::new();
+    let mut next_id = 1u64;
+    for _ in 0..cfg.requests_per_conn {
+        let roll = rng.unit();
+        if roll < 0.70 {
+            let id = next_id;
+            next_id += 1;
+            let features: Vec<String> = (0..dim).map(|_| format!("{:.3}", rng.unit())).collect();
+            let deadline = if rng.chance(0.2) {
+                ",\"deadline_ms\":0"
+            } else {
+                ""
+            };
+            batch.push_str(&format!(
+                "{{\"verb\":\"infer\",\"id\":{id},\"features\":[{}]{deadline}}}\n",
+                features.join(",")
+            ));
+            expected.push(Expect::Infer(id));
+            tally.infer_sent += 1;
+        } else if roll < 0.80 {
+            let id = next_id;
+            next_id += 1;
+            batch.push_str(&format!(
+                "{{\"verb\":\"infer\",\"id\":{id},\"features\":[1,2,3]}}\n"
+            ));
+            expected.push(Expect::Infer(id));
+            tally.infer_sent += 1;
+        } else if roll < 0.90 {
+            batch.push_str("{\"verb\":\"ping\"}\n");
+            expected.push(Expect::Ping);
+        } else {
+            batch.push_str("this is not protocol json\n");
+            expected.push(Expect::Junk);
+        }
+    }
+    if Write::write_all(&mut stream, batch.as_bytes()).is_err() {
+        tally.conn_errors += 1;
+        return;
+    }
+
+    let mut reader = BufReader::new(reader_stream);
+    let mut pos = 0usize;
+    while pos < expected.len() {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                tally.conn_errors += 1;
+                return; // prefix ended early — allowed under faults
+            }
+            Ok(_) => {}
+            Err(_) => {
+                tally.conn_errors += 1;
+                return;
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Ok(resp) = protocol::parse_response(trimmed) else {
+            // A torn write may truncate the final line of a dying
+            // connection; a *parseable but wrong* line is a violation,
+            // an unparseable one only if the connection then stays alive.
+            let mut probe = String::new();
+            if reader.read_line(&mut probe).unwrap_or(0) > 0 {
+                tally.violations.push(format!(
+                    "mid-stream garbage response {trimmed:?} (fault_seed {}, workload_seed {})",
+                    cfg.fault.seed, cfg.workload_seed
+                ));
+            } else {
+                tally.conn_errors += 1;
+            }
+            return;
+        };
+        // An accept-time backlog rejection arrives before any request is
+        // answered and the connection is closed after it.
+        if pos == 0 {
+            if let Response::Error {
+                id: None, ref code, ..
+            } = resp
+            {
+                if code == protocol::ERR_OVERLOADED {
+                    tally.accept_overloaded += 1;
+                    return;
+                }
+            }
+        }
+        match check_response(&expected[pos], &resp, tally) {
+            Ok(()) => pos += 1,
+            Err(msg) => {
+                tally.violations.push(format!(
+                    "{msg} (position {pos}, fault_seed {}, workload_seed {})",
+                    cfg.fault.seed, cfg.workload_seed
+                ));
+                return;
+            }
+        }
+    }
+}
+
+/// Check one response against its slot in the expected sequence.
+fn check_response(expect: &Expect, resp: &Response, tally: &mut ClientTally) -> Result<(), String> {
+    match (expect, resp) {
+        (Expect::Infer(want), Response::Decision { id, .. }) if id == want => {
+            tally.decisions += 1;
+            Ok(())
+        }
+        (
+            Expect::Infer(want),
+            Response::Error {
+                id: Some(id), code, ..
+            },
+        ) if id == want => {
+            match code.as_str() {
+                protocol::ERR_DEADLINE => tally.deadline += 1,
+                protocol::ERR_OVERLOADED => tally.overloaded += 1,
+                protocol::ERR_BAD_REQUEST => tally.bad_request += 1,
+                protocol::ERR_SHUTTING_DOWN => tally.draining += 1,
+                other => return Err(format!("unexpected error code {other:?} for infer {want}")),
+            }
+            Ok(())
+        }
+        (Expect::Ping, Response::Pong) => {
+            tally.pongs += 1;
+            Ok(())
+        }
+        (Expect::Junk, Response::Error { id: None, code, .. })
+            if code == protocol::ERR_MALFORMED =>
+        {
+            tally.malformed += 1;
+            Ok(())
+        }
+        (expect, resp) => Err(format!("expected {expect:?}, got {resp:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_soak_is_fully_accounted() {
+        let cfg = ChaosConfig {
+            fault: FaultConfig::none(1),
+            workload_seed: 2,
+            clients: 2,
+            conns_per_client: 3,
+            requests_per_conn: 5,
+            workers: 2,
+            watchdog_secs: 60,
+        };
+        let report = run_chaos(&cfg);
+        assert!(report.ok(), "{}", report.render());
+        assert_eq!(report.client.conn_errors, 0, "{}", report.render());
+        assert_eq!(report.fault_log, "");
+        // Without faults every infer got a terminal answer at the client.
+        assert_eq!(
+            report.client.decisions
+                + report.client.deadline
+                + report.client.overloaded
+                + report.client.bad_request
+                + report.client.draining,
+            report.client.infer_sent,
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn standard_fault_mix_soak_holds_invariants() {
+        let report = run_chaos(&ChaosConfig::new(7, 11));
+        assert!(report.ok(), "{}", report.render());
+        assert!(
+            !report.fault_log.is_empty(),
+            "the standard mix should inject at least one fault"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! **testkit** — deterministic fault injection and differential oracles
+//! for the SchedInspector reproduction.
+//!
+//! Three pillars, all seeded and therefore replayable:
+//!
+//! - [`fault`]: a [`FaultPlan`] that wraps every connection a
+//!   [`serve`] server accepts in a deterministic failure shim
+//!   ([`FaultStream`]) — torn reads/writes, resets, stalls, accept-time
+//!   drops — keyed by `(fault_seed, accept-order index)`;
+//! - [`refsim`]: a naive, obviously-correct transcription of the paper's
+//!   §3.2 event loop, sharing no bookkeeping code with the optimized
+//!   [`simhpc::Simulator`];
+//! - [`oracle`] and [`chaos`]: the differential oracle (both simulators
+//!   must produce identical schedules, rejection counts, and percentage
+//!   rewards on generated traces) and the chaos soak (a real server under
+//!   a fault plan must uphold its request-ledger, ordering, and drain
+//!   invariants).
+//!
+//! The `chaos` binary (`cargo run -p testkit --bin chaos`) runs the soak
+//! standalone for CI; any failure prints the `(fault_seed,
+//! workload_seed)` pair that reproduces it.
+
+pub mod chaos;
+pub mod fault;
+pub mod oracle;
+pub mod refsim;
+
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ClientTally};
+pub use fault::{
+    render_fault_log, FaultConfig, FaultKind, FaultPlan, FaultRecord, FaultStream, SplitMix64,
+};
+pub use oracle::{case_from_seed, check_case, DigestInspector, OracleCase};
+pub use refsim::reference_simulate;

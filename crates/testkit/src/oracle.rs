@@ -1,0 +1,282 @@
+//! The differential oracle: run the same case through the optimized
+//! simulator ([`simhpc::Simulator`]) and the naive reference
+//! ([`crate::refsim`]) and demand identical results.
+//!
+//! "Identical" is strict: the full [`SimResult`] (every outcome's start,
+//! end, backfill flag and rejection count, in completion order), the
+//! inspection and rejection totals, and the percentage reward each
+//! simulator computes against its *own* base-policy run. Floating-point
+//! equality is intentional — both simulators perform the same arithmetic
+//! on the same values in the same order, so any drift is a real
+//! divergence, not noise.
+
+use inspector::RewardKind;
+use simhpc::{InspectorHook, NoInspector, Observation, SimConfig, SimResult, Simulator};
+use workload::Job;
+
+use crate::fault::SplitMix64;
+use crate::refsim::reference_simulate;
+
+/// One differential test case: a job sequence, a machine, a simulator
+/// configuration, and which base policy to schedule with.
+#[derive(Debug, Clone)]
+pub struct OracleCase {
+    /// Jobs sorted by submit time.
+    pub jobs: Vec<Job>,
+    /// Machine size (≥ the widest job).
+    pub procs: u32,
+    /// Simulator configuration under test.
+    pub config: SimConfig,
+    /// Base policy, by registry name (fresh instances are built per run so
+    /// stateful policies cannot leak accounting across simulators).
+    pub policy: policies::PolicyKind,
+    /// Seed of the digest inspector (`None` = no inspection).
+    pub inspector_seed: Option<u64>,
+}
+
+/// A deterministic inspector whose decision is a pure function of the
+/// observation content: it hashes every field the simulator exposes
+/// (queue entries combined order-independently) and rejects ~25% of
+/// decisions. Because it reads *all* of the observation, any divergence in
+/// what the two simulators show the inspector cascades into divergent
+/// schedules — the oracle's most sensitive probe.
+#[derive(Debug, Clone)]
+pub struct DigestInspector {
+    seed: u64,
+}
+
+impl DigestInspector {
+    /// An inspector keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        DigestInspector { seed }
+    }
+
+    fn mix(mut h: u64, v: u64) -> u64 {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01B3);
+        h ^ (h >> 29)
+    }
+
+    fn digest(&self, obs: &Observation) -> u64 {
+        let mut h = self.seed;
+        h = Self::mix(h, obs.job.id);
+        h = Self::mix(h, obs.now.to_bits());
+        h = Self::mix(h, obs.wait.to_bits());
+        h = Self::mix(h, obs.rejections as u64);
+        h = Self::mix(h, obs.free_procs as u64);
+        h = Self::mix(h, obs.runnable as u64);
+        h = Self::mix(h, obs.backfillable as u64);
+        // XOR-combine queue entries so the digest is order-independent:
+        // queue *order* is checked by strict SimResult equality already,
+        // and an order-sensitive digest would make every downstream
+        // divergence look like an inspector disagreement.
+        let mut q = 0u64;
+        for e in &obs.queue {
+            let mut eh = Self::mix(0x9E37_79B9, e.id);
+            eh = Self::mix(eh, e.wait.to_bits());
+            eh = Self::mix(eh, e.estimate.to_bits());
+            eh = Self::mix(eh, e.procs as u64);
+            q ^= eh;
+        }
+        Self::mix(h, q)
+    }
+}
+
+impl InspectorHook for DigestInspector {
+    fn inspect(&mut self, obs: &Observation) -> bool {
+        SplitMix64::new(self.digest(obs)).next_u64().is_multiple_of(4)
+    }
+}
+
+/// Generate a random oracle case from one seed. Everything about the case
+/// — trace shape, machine size, configuration, policy, inspector — derives
+/// from the seed, so a failing case is reproducible from the seed alone.
+pub fn case_from_seed(seed: u64) -> OracleCase {
+    let mut rng = SplitMix64::new(seed);
+    let procs = [4u32, 8, 16, 64][rng.range_u64(0, 3) as usize];
+    let n_jobs = rng.range_u64(1, 40) as usize;
+    let mut submit = 0.0f64;
+    let mut jobs = Vec::with_capacity(n_jobs);
+    for i in 0..n_jobs {
+        // Bursty arrivals: often simultaneous, sometimes far apart.
+        if rng.chance(0.6) {
+            submit += (rng.unit() * 300.0).floor();
+        }
+        let runtime = 1.0 + (rng.unit() * 500.0).floor();
+        // Estimates are ≥ runtime sometimes, < runtime sometimes — both
+        // happen in real traces and both must schedule identically.
+        let estimate = (runtime * (0.5 + rng.unit() * 2.0)).ceil().max(1.0);
+        let width = 1 + rng.range_u64(0, (procs - 1) as u64) as u32;
+        jobs.push(Job::new(i as u64 + 1, submit, runtime, estimate, width));
+    }
+    let config = SimConfig {
+        backfill: rng.chance(0.5),
+        max_interval: [1.0, 5.0, 600.0][rng.range_u64(0, 2) as usize],
+        max_rejections: rng.range_u64(0, 3) as u32,
+    };
+    let policy = match rng.range_u64(0, 4) {
+        0 => policies::PolicyKind::Fcfs,
+        1 => policies::PolicyKind::Sjf,
+        2 => policies::PolicyKind::Saf,
+        3 => policies::PolicyKind::F1,
+        _ => policies::PolicyKind::Srf,
+    };
+    let inspector_seed = if rng.chance(0.8) {
+        Some(rng.next_u64())
+    } else {
+        None
+    };
+    OracleCase {
+        jobs,
+        procs,
+        config,
+        policy,
+        inspector_seed,
+    }
+}
+
+fn run_both(case: &OracleCase, inspected: bool) -> (SimResult, SimResult) {
+    let run_one = |reference: bool| -> SimResult {
+        let mut policy = case.policy.build();
+        let mut digest = case.inspector_seed.map(DigestInspector::new);
+        let hook: &mut dyn InspectorHook = match (inspected, digest.as_mut()) {
+            (true, Some(d)) => d,
+            _ => &mut NoInspector,
+        };
+        if reference {
+            reference_simulate(&case.jobs, case.procs, &case.config, policy.as_mut(), hook)
+        } else {
+            Simulator::new(case.procs, case.config).run_inspected(&case.jobs, policy.as_mut(), hook)
+        }
+    };
+    (run_one(true), run_one(false))
+}
+
+/// Run `case` through both simulators (inspected and base-policy runs)
+/// and return a description of the first divergence, or `Ok` with the
+/// agreed inspected result.
+pub fn check_case(case: &OracleCase) -> Result<SimResult, String> {
+    // Base-policy (fault-free, uninspected) runs must agree...
+    let (ref_base, opt_base) = run_both(case, false);
+    if ref_base != opt_base {
+        return Err(divergence("base run", case, &ref_base, &opt_base));
+    }
+    // ...and so must inspected runs, including the decision counters.
+    let (ref_insp, opt_insp) = run_both(case, true);
+    if ref_insp != opt_insp {
+        return Err(divergence("inspected run", case, &ref_insp, &opt_insp));
+    }
+    if ref_insp.inspections != opt_insp.inspections {
+        return Err(format!(
+            "inspection counts diverge: reference {} vs optimized {}",
+            ref_insp.inspections, opt_insp.inspections
+        ));
+    }
+    // Percentage rewards computed from each side's own baseline must be
+    // bit-identical too (this is the quantity training actually consumes).
+    let ref_reward = RewardKind::Percentage.compute(ref_base.bsld(), ref_insp.bsld());
+    let opt_reward = RewardKind::Percentage.compute(opt_base.bsld(), opt_insp.bsld());
+    if ref_reward != opt_reward {
+        return Err(format!(
+            "percentage rewards diverge: reference {ref_reward} vs optimized {opt_reward}"
+        ));
+    }
+    Ok(opt_insp)
+}
+
+fn divergence(
+    phase: &str,
+    case: &OracleCase,
+    reference: &SimResult,
+    optimized: &SimResult,
+) -> String {
+    let mut msg = format!(
+        "{phase} diverged (policy {:?}, procs {}, backfill {}, max_rejections {}, {} jobs)\n",
+        case.policy,
+        case.procs,
+        case.config.backfill,
+        case.config.max_rejections,
+        case.jobs.len()
+    );
+    let first_diff = reference
+        .outcomes
+        .iter()
+        .zip(&optimized.outcomes)
+        .position(|(a, b)| a != b);
+    match first_diff {
+        Some(i) => {
+            msg.push_str(&format!(
+                "first differing outcome at position {i}:\n  reference: {:?}\n  optimized: {:?}\n",
+                reference.outcomes[i], optimized.outcomes[i]
+            ));
+        }
+        None => {
+            msg.push_str(&format!(
+                "outcome counts / totals differ: reference {} jobs ({} rejections), optimized {} jobs ({} rejections)\n",
+                reference.outcomes.len(),
+                reference.rejections,
+                optimized.outcomes.len(),
+                optimized.rejections
+            ));
+        }
+    }
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_inspector_is_deterministic() {
+        let obs = Observation {
+            now: 12.0,
+            job: Job::new(3, 2.0, 10.0, 12.0, 2),
+            wait: 10.0,
+            rejections: 1,
+            max_rejections: 72,
+            free_procs: 1,
+            total_procs: 8,
+            runnable: false,
+            backfill_enabled: true,
+            backfillable: 2,
+            queue: vec![],
+        };
+        let mut a = DigestInspector::new(42);
+        let mut b = DigestInspector::new(42);
+        let mut c = DigestInspector::new(43);
+        assert_eq!(a.inspect(&obs), b.inspect(&obs));
+        // Different seeds must be able to disagree on *some* observation.
+        let disagree = (0..64).any(|i| {
+            let mut o = obs.clone();
+            o.job.id = i;
+            let mut a = DigestInspector::new(42);
+            a.inspect(&o) != c.inspect(&o)
+        });
+        assert!(disagree);
+    }
+
+    #[test]
+    fn case_generation_is_reproducible_and_valid() {
+        for seed in 0..50 {
+            let a = case_from_seed(seed);
+            let b = case_from_seed(seed);
+            assert_eq!(a.jobs, b.jobs);
+            assert_eq!(a.config, b.config);
+            assert!(!a.jobs.is_empty());
+            assert!(a.jobs.iter().all(|j| j.procs >= 1 && j.procs <= a.procs));
+            assert!(a.jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+            assert!(a.jobs.iter().all(|j| j.runtime >= 1.0 && j.estimate >= 1.0));
+        }
+    }
+
+    #[test]
+    fn seeded_cases_pass_the_oracle() {
+        for seed in 0..32 {
+            let case = case_from_seed(seed);
+            if let Err(msg) = check_case(&case) {
+                panic!("seed {seed}: {msg}");
+            }
+        }
+    }
+}

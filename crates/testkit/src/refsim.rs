@@ -1,0 +1,419 @@
+//! The reference simulator: a naive, obviously-correct transcription of
+//! the paper's event loop (§3.2), used as the differential oracle's ground
+//! truth for [`simhpc::Simulator`].
+//!
+//! Everything the optimized simulator does cleverly is done plainly here:
+//! running jobs live in a flat `Vec` (no slot map, no completion heap, no
+//! free-processor cache), every observation and reservation allocates
+//! fresh storage, and free processors are recomputed by summation on every
+//! query. The two implementations share **no** cluster or backfill code —
+//! only the trait definitions (`SchedulingPolicy`, `InspectorHook`) and
+//! the result types, so an arithmetic or bookkeeping bug in either side
+//! shows up as a schedule divergence.
+//!
+//! One discipline is deliberately shared, because it is part of the
+//! simulator's observable contract rather than an optimization: the
+//! waiting queue is a `Vec<usize>` mutated with `swap_remove`. Observation
+//! queue *order* feeds order-dependent float summations in the manual
+//! feature builder, so a reference simulator with a different queue order
+//! would disagree with the real one on inspector inputs, not on
+//! scheduling semantics.
+
+use simhpc::{
+    InspectorHook, JobOutcome, Observation, PolicyContext, QueueEntry, SchedulingPolicy, SimConfig,
+    SimResult,
+};
+use workload::Job;
+
+/// A running job, bookkept naively.
+#[derive(Debug, Clone, Copy)]
+struct RefRunning {
+    procs: u32,
+    /// Actual completion time (drives completions).
+    end: f64,
+    /// Estimated completion time (drives reservations).
+    est_end: f64,
+}
+
+/// Naive cluster state: a flat list of running jobs, everything recomputed
+/// on demand.
+#[derive(Debug, Default)]
+struct RefCluster {
+    total: u32,
+    running: Vec<RefRunning>,
+}
+
+impl RefCluster {
+    fn new(total: u32) -> Self {
+        assert!(total > 0, "cluster needs at least one processor");
+        RefCluster {
+            total,
+            running: Vec::new(),
+        }
+    }
+
+    fn free(&self) -> u32 {
+        self.total - self.running.iter().map(|r| r.procs).sum::<u32>()
+    }
+
+    fn can_run(&self, procs: u32) -> bool {
+        procs <= self.free()
+    }
+
+    fn start(&mut self, procs: u32, now: f64, runtime: f64, estimate: f64) {
+        assert!(self.can_run(procs), "over-allocation in reference cluster");
+        self.running.push(RefRunning {
+            procs,
+            end: now + runtime,
+            est_end: now + estimate,
+        });
+    }
+
+    fn next_completion(&self) -> Option<f64> {
+        self.running
+            .iter()
+            .map(|r| r.end)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Release every job whose actual completion time is ≤ `now`
+    /// (inclusive, like the optimized cluster).
+    fn release_up_to(&mut self, now: f64) {
+        self.running.retain(|r| r.end > now);
+    }
+
+    /// EASY reservation: earliest time enough processors are *estimated*
+    /// free, plus the spare processors at that time. All releases sharing
+    /// the crossing instant are absorbed before the spare count is taken.
+    fn reservation(&self, procs: u32, now: f64) -> Option<(f64, u32)> {
+        let free = self.free();
+        if procs <= free {
+            return Some((now, free - procs));
+        }
+        if procs > self.total {
+            return None;
+        }
+        let mut releases: Vec<(f64, u32)> = self
+            .running
+            .iter()
+            .map(|r| (r.est_end.max(now), r.procs))
+            .collect();
+        releases.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut free = free;
+        let mut i = 0;
+        while i < releases.len() {
+            let t = releases[i].0;
+            while i < releases.len() && releases[i].0 == t {
+                free += releases[i].1;
+                i += 1;
+            }
+            if free >= procs {
+                return Some((t, free - procs));
+            }
+        }
+        None
+    }
+}
+
+/// §3.2's backfill admission rule, restated from the paper: a candidate
+/// may start out of order iff it fits right now and either finishes (by
+/// estimate) before the committed job's reservation or fits into the
+/// processors spare at reservation time.
+fn can_backfill(candidate: &Job, now: f64, cluster: &RefCluster, t_res: f64, extra: u32) -> bool {
+    cluster.can_run(candidate.procs)
+        && (now + candidate.estimate <= t_res || candidate.procs <= extra)
+}
+
+/// Run `jobs` on a `procs`-processor machine under `policy`, with
+/// `inspector` scrutinizing every decision — semantically identical to
+/// [`simhpc::Simulator::run_inspected`], implemented independently.
+pub fn reference_simulate(
+    jobs: &[Job],
+    procs: u32,
+    config: &SimConfig,
+    policy: &mut dyn SchedulingPolicy,
+    inspector: &mut dyn InspectorHook,
+) -> SimResult {
+    assert!(
+        jobs.iter().all(|j| j.procs <= procs),
+        "sequence contains a job wider than the machine"
+    );
+    RefSim::new(jobs, procs, *config).run(policy, inspector)
+}
+
+struct RefSim<'a> {
+    jobs: &'a [Job],
+    config: SimConfig,
+    cluster: RefCluster,
+    queue: Vec<usize>,
+    rejections: Vec<u32>,
+    next_arrival: usize,
+    now: f64,
+    outcomes: Vec<JobOutcome>,
+    inspections: u64,
+    total_rejections: u64,
+}
+
+impl<'a> RefSim<'a> {
+    fn new(jobs: &'a [Job], procs: u32, config: SimConfig) -> Self {
+        RefSim {
+            jobs,
+            config,
+            cluster: RefCluster::new(procs),
+            queue: Vec::new(),
+            rejections: vec![0; jobs.len()],
+            next_arrival: 0,
+            now: 0.0,
+            outcomes: Vec::new(),
+            inspections: 0,
+            total_rejections: 0,
+        }
+    }
+
+    fn run(
+        mut self,
+        policy: &mut dyn SchedulingPolicy,
+        inspector: &mut dyn InspectorHook,
+    ) -> SimResult {
+        loop {
+            self.admit_arrivals();
+            if self.queue.is_empty() {
+                if self.next_arrival < self.jobs.len() {
+                    self.now = self.now.max(self.jobs[self.next_arrival].submit);
+                    self.cluster.release_up_to(self.now);
+                    continue;
+                }
+                break;
+            }
+
+            let ctx = self.ctx();
+            let qpos = policy.select(&self.queue, self.jobs, &ctx);
+            assert!(qpos < self.queue.len(), "policy selected past queue end");
+            let jidx = self.queue[qpos];
+            let job = self.jobs[jidx];
+
+            if self.rejections[jidx] < self.config.max_rejections {
+                self.inspections += 1;
+                let obs = self.observe(jidx);
+                if inspector.inspect(&obs) {
+                    self.total_rejections += 1;
+                    self.rejections[jidx] += 1;
+                    self.advance_after_rejection();
+                    continue;
+                }
+            }
+
+            self.queue.swap_remove(qpos);
+            self.wait_and_start(job, self.rejections[jidx], policy);
+        }
+        SimResult {
+            outcomes: self.outcomes,
+            total_procs: self.cluster.total,
+            inspections: self.inspections,
+            rejections: self.total_rejections,
+        }
+    }
+
+    fn ctx(&self) -> PolicyContext {
+        PolicyContext {
+            now: self.now,
+            total_procs: self.cluster.total,
+            free_procs: self.cluster.free(),
+        }
+    }
+
+    fn admit_arrivals(&mut self) {
+        while self.next_arrival < self.jobs.len() && self.jobs[self.next_arrival].submit <= self.now
+        {
+            self.queue.push(self.next_arrival);
+            self.next_arrival += 1;
+        }
+    }
+
+    fn observe(&self, jidx: usize) -> Observation {
+        let job = self.jobs[jidx];
+        let runnable = self.cluster.can_run(job.procs);
+        let backfillable = if self.config.backfill && !runnable {
+            match self.cluster.reservation(job.procs, self.now) {
+                Some((t_res, extra)) => self
+                    .queue
+                    .iter()
+                    .filter(|&&q| q != jidx)
+                    .filter(|&&q| {
+                        can_backfill(&self.jobs[q], self.now, &self.cluster, t_res, extra)
+                    })
+                    .count() as u32,
+                None => 0,
+            }
+        } else {
+            0
+        };
+        let queue: Vec<QueueEntry> = self
+            .queue
+            .iter()
+            .filter(|&&q| q != jidx)
+            .map(|&q| {
+                let j = &self.jobs[q];
+                QueueEntry {
+                    id: j.id,
+                    wait: self.now - j.submit,
+                    estimate: j.estimate,
+                    procs: j.procs,
+                }
+            })
+            .collect();
+        Observation {
+            now: self.now,
+            job,
+            wait: self.now - job.submit,
+            rejections: self.rejections[jidx],
+            max_rejections: self.config.max_rejections,
+            free_procs: self.cluster.free(),
+            total_procs: self.cluster.total,
+            runnable,
+            backfill_enabled: self.config.backfill,
+            backfillable,
+            queue,
+        }
+    }
+
+    fn advance_after_rejection(&mut self) {
+        let mut t_next = self.now + self.config.max_interval;
+        if self.next_arrival < self.jobs.len() {
+            t_next = t_next.min(self.jobs[self.next_arrival].submit);
+        }
+        if let Some(tc) = self.cluster.next_completion() {
+            t_next = t_next.min(tc);
+        }
+        self.now = t_next;
+        self.cluster.release_up_to(self.now);
+    }
+
+    fn wait_and_start(&mut self, job: Job, rejections: u32, policy: &mut dyn SchedulingPolicy) {
+        while !self.cluster.can_run(job.procs) {
+            if self.config.backfill {
+                self.backfill_pass(&job, policy);
+                if self.cluster.can_run(job.procs) {
+                    break;
+                }
+            }
+            let tc = self
+                .cluster
+                .next_completion()
+                .expect("job cannot run on an idle cluster");
+            let t_next = match self.jobs.get(self.next_arrival) {
+                Some(next) if next.submit < tc => next.submit,
+                _ => tc,
+            };
+            self.now = self.now.max(t_next);
+            self.cluster.release_up_to(self.now);
+            self.admit_arrivals();
+        }
+        self.start_job(job, rejections, false, policy);
+    }
+
+    fn backfill_pass(&mut self, committed: &Job, policy: &mut dyn SchedulingPolicy) {
+        loop {
+            let Some((t_res, extra)) = self.cluster.reservation(committed.procs, self.now) else {
+                return;
+            };
+            let ctx = self.ctx();
+            let mut best: Option<(usize, (f64, u64))> = None;
+            for (pos, &jidx) in self.queue.iter().enumerate() {
+                let j = &self.jobs[jidx];
+                if !can_backfill(j, self.now, &self.cluster, t_res, extra) {
+                    continue;
+                }
+                let key = (policy.score(j, &ctx), j.id);
+                let better = match &best {
+                    None => true,
+                    Some((_, bk)) => key.0 < bk.0 || (key.0 == bk.0 && key.1 < bk.1),
+                };
+                if better {
+                    best = Some((pos, key));
+                }
+            }
+            let Some((pos, _)) = best else { return };
+            let jidx = self.queue.swap_remove(pos);
+            let job = self.jobs[jidx];
+            let rejections = self.rejections[jidx];
+            self.start_job(job, rejections, true, policy);
+        }
+    }
+
+    fn start_job(
+        &mut self,
+        job: Job,
+        rejections: u32,
+        backfilled: bool,
+        policy: &mut dyn SchedulingPolicy,
+    ) {
+        self.cluster
+            .start(job.procs, self.now, job.runtime, job.estimate);
+        policy.on_start(&job, self.now);
+        self.outcomes.push(JobOutcome {
+            id: job.id,
+            submit: job.submit,
+            start: self.now,
+            end: self.now + job.runtime,
+            runtime: job.runtime,
+            procs: job.procs,
+            backfilled,
+            rejections,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policies::{Fcfs, Sjf};
+    use simhpc::{NoInspector, Simulator};
+
+    #[test]
+    fn trivial_sequence_matches_hand_schedule() {
+        let jobs = vec![
+            Job::new(1, 0.0, 10.0, 10.0, 2),
+            Job::new(2, 0.0, 5.0, 5.0, 2),
+        ];
+        // 4 procs: both start at t=0 regardless of policy.
+        let r = reference_simulate(&jobs, 4, &SimConfig::default(), &mut Fcfs, &mut NoInspector);
+        assert_eq!(r.outcomes.len(), 2);
+        assert!(r.outcomes.iter().all(|o| o.start == 0.0));
+        assert_eq!(r.inspections, 2);
+        assert_eq!(r.rejections, 0);
+    }
+
+    #[test]
+    fn contended_sequence_matches_optimized_simulator() {
+        let jobs = vec![
+            Job::new(1, 0.0, 100.0, 120.0, 3),
+            Job::new(2, 1.0, 10.0, 15.0, 3),
+            Job::new(3, 2.0, 50.0, 60.0, 2),
+            Job::new(4, 3.0, 5.0, 8.0, 1),
+        ];
+        for config in [SimConfig::default(), SimConfig::with_backfill()] {
+            let reference = reference_simulate(&jobs, 4, &config, &mut Sjf, &mut NoInspector);
+            let optimized = Simulator::new(4, config).run(&jobs, &mut Sjf);
+            assert_eq!(reference, optimized);
+        }
+    }
+
+    #[test]
+    fn reject_everything_still_terminates_and_counts() {
+        let jobs = vec![
+            Job::new(1, 0.0, 10.0, 10.0, 1),
+            Job::new(2, 0.5, 10.0, 10.0, 1),
+        ];
+        let config = SimConfig {
+            max_rejections: 3,
+            ..SimConfig::default()
+        };
+        let mut always_reject = |_: &Observation| true;
+        let r = reference_simulate(&jobs, 2, &config, &mut Fcfs, &mut always_reject);
+        assert_eq!(r.outcomes.len(), 2, "capped rejections cannot starve jobs");
+        assert_eq!(r.rejections, 6);
+        assert_eq!(r.inspections, 6);
+        assert!(r.outcomes.iter().all(|o| o.rejections == 3));
+    }
+}

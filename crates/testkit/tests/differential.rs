@@ -1,0 +1,131 @@
+//! The differential oracle at scale: proptest-generated traces plus
+//! seeded realistic episodes, all required to schedule identically on the
+//! optimized simulator and the naive reference transcription.
+
+use proptest::prelude::*;
+use simhpc::{NoInspector, SimConfig, Simulator};
+use testkit::{case_from_seed, check_case, reference_simulate, DigestInspector};
+use workload::Job;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// ≥1000 generated traces through both simulators: identical
+    /// schedules, rejection counts, and percentage rewards (the
+    /// acceptance bar for the oracle).
+    #[test]
+    fn optimized_and_reference_simulators_agree(seed in any::<u64>()) {
+        let case = case_from_seed(seed);
+        if let Err(msg) = check_case(&case) {
+            panic!("case seed {seed}: {msg}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Directly generated micro-traces (independent of the case
+    /// generator) with extreme shapes: single-proc floods, simultaneous
+    /// arrivals, estimates far off actuals.
+    #[test]
+    fn micro_traces_agree(
+        raw in prop::collection::vec(
+            (0u64..200, 1u64..400, 1u64..600, 1u32..8),
+            1..12,
+        ),
+        backfill in any::<bool>(),
+        max_rejections in 0u32..3,
+        inspector_seed in any::<u64>(),
+    ) {
+        let mut jobs: Vec<Job> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, runtime, estimate, procs))| {
+                Job::new(i as u64 + 1, submit as f64, runtime as f64, estimate as f64, procs)
+            })
+            .collect();
+        jobs.sort_by(|a, b| a.submit.total_cmp(&b.submit));
+        let config = SimConfig { backfill, max_interval: 600.0, max_rejections };
+        let procs = 8;
+
+        let mut opt_policy = policies::PolicyKind::Sjf.build();
+        let mut ref_policy = policies::PolicyKind::Sjf.build();
+        let mut opt_hook = DigestInspector::new(inspector_seed);
+        let mut ref_hook = DigestInspector::new(inspector_seed);
+        let optimized = Simulator::new(procs, config)
+            .run_inspected(&jobs, opt_policy.as_mut(), &mut opt_hook);
+        let reference =
+            reference_simulate(&jobs, procs, &config, ref_policy.as_mut(), &mut ref_hook);
+        prop_assert_eq!(optimized, reference);
+    }
+}
+
+/// Seeded fault-free "episodes": realistic synthetic traces at paper
+/// scale, uninspected and digest-inspected, through both simulators.
+#[test]
+fn synthetic_trace_episodes_agree() {
+    let trace = workload::synthetic::generate(&workload::profiles::SDSC_SP2, 256, 42);
+    let procs = trace.procs;
+    for (start, len, seed) in [(0usize, 64usize, 1u64), (64, 128, 2), (100, 96, 3)] {
+        // An episode slice, rebased to start at t = 0 like training does.
+        let jobs: Vec<Job> = trace.sequence(start, len);
+        for config in [SimConfig::default(), SimConfig::with_backfill()] {
+            for kind in [policies::PolicyKind::Fcfs, policies::PolicyKind::F1] {
+                let mut opt_policy = kind.build();
+                let mut ref_policy = kind.build();
+                let base_opt = Simulator::new(procs, config).run(&jobs, opt_policy.as_mut());
+                let base_ref = reference_simulate(
+                    &jobs,
+                    procs,
+                    &config,
+                    ref_policy.as_mut(),
+                    &mut NoInspector,
+                );
+                assert_eq!(
+                    base_opt, base_ref,
+                    "base {kind:?} backfill={}",
+                    config.backfill
+                );
+
+                let mut opt_policy = kind.build();
+                let mut ref_policy = kind.build();
+                let mut opt_hook = DigestInspector::new(seed);
+                let mut ref_hook = DigestInspector::new(seed);
+                let insp_opt = Simulator::new(procs, config).run_inspected(
+                    &jobs,
+                    opt_policy.as_mut(),
+                    &mut opt_hook,
+                );
+                let insp_ref =
+                    reference_simulate(&jobs, procs, &config, ref_policy.as_mut(), &mut ref_hook);
+                assert_eq!(
+                    insp_opt, insp_ref,
+                    "inspected {kind:?} backfill={} seed={seed}",
+                    config.backfill
+                );
+                assert!(insp_opt.rejections > 0 || insp_opt.inspections == 0);
+            }
+        }
+    }
+}
+
+/// A stateful policy (Slurm multifactor fairshare) must also agree: its
+/// `on_start` accounting is order-sensitive, so any divergence in start
+/// order compounds — a sharp probe for scheduling-order bugs.
+#[test]
+fn stateful_slurm_policy_agrees() {
+    let trace = workload::synthetic::generate(&workload::profiles::SDSC_SP2, 96, 7);
+    let jobs = &trace.jobs[..];
+    for config in [SimConfig::default(), SimConfig::with_backfill()] {
+        let mut opt_policy = policies::SlurmMultifactor::from_trace(&trace);
+        let mut ref_policy = policies::SlurmMultifactor::from_trace(&trace);
+        let mut opt_hook = DigestInspector::new(99);
+        let mut ref_hook = DigestInspector::new(99);
+        let optimized =
+            Simulator::new(trace.procs, config).run_inspected(jobs, &mut opt_policy, &mut opt_hook);
+        let reference =
+            reference_simulate(jobs, trace.procs, &config, &mut ref_policy, &mut ref_hook);
+        assert_eq!(optimized, reference, "slurm backfill={}", config.backfill);
+    }
+}

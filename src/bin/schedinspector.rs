@@ -488,10 +488,16 @@ fn cmd_report(args: &Args) {
     let bench_serve = load_bench_baseline(args.get("bench-serve"), "BENCH_serve.json");
     let mut regressed = false;
     for path in &args.positional {
-        let report = obs::report::analyze_file(Path::new(path)).unwrap_or_else(|e| {
+        // Lenient parsing: a truncated or partially corrupt sidecar (the
+        // process died mid-write) still yields a summary, but malformed
+        // lines mark the run DEGRADED and fail the exit code below.
+        let report = obs::report::analyze_file_lenient(Path::new(path)).unwrap_or_else(|e| {
             eprintln!("{e}");
             exit(2)
         });
+        if report.malformed_lines > 0 {
+            regressed = true;
+        }
         let mut out = String::new();
         report.render(&mut out);
         print!("{out}");
