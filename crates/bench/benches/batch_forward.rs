@@ -1,0 +1,80 @@
+//! Fused batched inference vs per-row scalar forwards — the tinynn-level
+//! half of the sharded-serving optimisation. Three variants over the
+//! paper's policy-net shape at serving batch sizes:
+//!
+//! * `scalar_rows`   — N independent `forward_scratch` calls (the old
+//!   engine inner loop);
+//! * `fused_batch`   — one `forward_batch` over a packed row matrix
+//!   (cache-blocked, 8-lane unrolled dot products);
+//! * `fused_int8`    — the same fused pass through the quantized net.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{RngExt, SeedableRng, StdRng};
+use std::hint::black_box;
+use tinynn::{Activation, BatchForwardScratch, ForwardScratch, Mlp, QuantScratch, QuantizedMlp};
+
+/// The serving policy-net shape: paper features -> two logits.
+const SIZES: &[usize] = &[38, 32, 16, 8, 2];
+
+fn rows(dim: usize, n: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+fn bench_batch_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mlp = Mlp::new(SIZES, Activation::Relu, Activation::Identity, &mut rng);
+    let quantized = QuantizedMlp::quantize(&mlp);
+    let dim = mlp.input_dim();
+
+    let mut group = c.benchmark_group("batch_forward");
+    for batch in [1usize, 4, 16, 64] {
+        let inputs = rows(dim, batch, &mut rng);
+
+        group.bench_function(format!("scalar_rows_{batch}"), |b| {
+            let mut scratch = ForwardScratch::default();
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for x in &inputs {
+                    let out = mlp.forward_scratch(black_box(x), &mut scratch);
+                    acc += out[0];
+                }
+                black_box(acc)
+            })
+        });
+
+        group.bench_function(format!("fused_batch_{batch}"), |b| {
+            let mut scratch = BatchForwardScratch::default();
+            b.iter(|| {
+                scratch.clear(dim);
+                for x in &inputs {
+                    scratch.push_row(black_box(x));
+                }
+                let out = mlp.forward_batch(&mut scratch);
+                black_box(out[0])
+            })
+        });
+
+        group.bench_function(format!("fused_int8_{batch}"), |b| {
+            let mut scratch = BatchForwardScratch::default();
+            let mut qscratch = QuantScratch::default();
+            b.iter(|| {
+                scratch.clear(dim);
+                for x in &inputs {
+                    scratch.push_row(black_box(x));
+                }
+                let out = quantized.forward_batch(&mut scratch, &mut qscratch);
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = fused;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_batch_forward
+}
+criterion_main!(fused);

@@ -15,6 +15,22 @@ pub struct Decision {
     pub p_reject: f32,
 }
 
+impl Decision {
+    /// Build a decision from raw `[accept, reject]` logits — the same
+    /// computation as [`SchedInspector::decide`] after its forward pass
+    /// (via [`rlcore::greedy_from_logits`]), so a batched inference path
+    /// that produced identical logits yields a bit-identical decision.
+    pub fn from_logits(l0: f32, l1: f32) -> Decision {
+        let (action, logp) = rlcore::greedy_from_logits(l0, l1);
+        let reject = action == REJECT;
+        let p_action = logp.exp();
+        Decision {
+            reject,
+            p_reject: if reject { p_action } else { 1.0 - p_action },
+        }
+    }
+}
+
 /// A trained scheduling inspector.
 ///
 /// At deployment time the inspector is deterministic: a decision is

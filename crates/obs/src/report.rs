@@ -312,6 +312,9 @@ pub struct SidecarReport {
     pub counter_totals: BTreeMap<String, u64>,
     /// Heartbeat episodes-per-second samples, in order, per source.
     pub heartbeat_eps: BTreeMap<String, Vec<f64>>,
+    /// Finite histogram samples per distribution name, in order (e.g.
+    /// `serve.e2e_s` end-to-end decision latencies in seconds).
+    pub histogram_samples: BTreeMap<String, Vec<f64>>,
     /// Total events analyzed.
     pub events: usize,
     /// Timestamp of the last event (run wall time in seconds).
@@ -331,6 +334,7 @@ pub fn analyze(events: &[ReportEvent]) -> SidecarReport {
     let mut epochs = Vec::new();
     let mut counter_totals: BTreeMap<String, u64> = BTreeMap::new();
     let mut heartbeat_eps: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut histogram_samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
 
     // Accumulators for the epoch currently being filled: everything since
     // the last `epoch` span closed.
@@ -347,6 +351,12 @@ pub fn analyze(events: &[ReportEvent]) -> SidecarReport {
             }
             ReportEvent::Gauge { name, value, .. } => {
                 cur_gauges.insert(name.clone(), *value);
+            }
+            ReportEvent::Histogram { name, value, .. } if value.is_finite() => {
+                histogram_samples
+                    .entry(name.clone())
+                    .or_default()
+                    .push(*value);
             }
             ReportEvent::Heartbeat {
                 name, epoch, eps, ..
@@ -375,6 +385,7 @@ pub fn analyze(events: &[ReportEvent]) -> SidecarReport {
         spans,
         counter_totals,
         heartbeat_eps,
+        histogram_samples,
         events: events.len(),
         wall: events.last().map_or(0.0, ReportEvent::t),
         malformed_lines: 0,
@@ -400,6 +411,19 @@ pub fn analyze_file_lenient(path: &Path) -> Result<SidecarReport, String> {
     warnings.append(&mut report.warnings);
     report.warnings = warnings;
     Ok(report)
+}
+
+/// Empirical quantile of unsorted samples (None when empty). Uses the
+/// nearest-rank definition: the smallest sample with cumulative frequency
+/// >= q.
+fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    Some(sorted[rank])
 }
 
 fn fmt_opt(v: Option<f64>) -> String {
@@ -447,6 +471,14 @@ impl SidecarReport {
     pub fn serve_qps(&self) -> Option<f64> {
         let requests = *self.counter_totals.get("serve.requests")? as f64;
         (self.wall > 0.0).then(|| requests / self.wall)
+    }
+
+    /// Measured p99 end-to-end decision latency in microseconds, from the
+    /// per-request `serve.e2e_s` histogram samples the engine streams when
+    /// telemetry is enabled (None without samples).
+    pub fn serve_p99_us(&self) -> Option<f64> {
+        let samples = self.histogram_samples.get("serve.e2e_s")?;
+        quantile(samples, 0.99).map(|s| s * 1e6)
     }
 
     /// Render the human-readable report (summary, per-epoch table, span
@@ -577,6 +609,69 @@ pub fn rollout_baseline(bench: &Json) -> Option<f64> {
 /// `BENCH_serve.json`.
 pub fn serve_baseline(bench: &Json) -> Option<f64> {
     bench.get("open_loop")?.get("achieved_qps")?.as_f64()
+}
+
+/// Committed serve tail latency under load: `open_loop.p99_us` in
+/// `BENCH_serve.json` (the open-loop run is the honest latency
+/// measurement; closed-loop capacity cases self-throttle).
+pub fn serve_p99_baseline(bench: &Json) -> Option<f64> {
+    let p99 = bench.get("open_loop")?.get("p99_us")?.as_f64()?;
+    (p99 > 0.0).then_some(p99)
+}
+
+/// One tail-latency comparison against a committed benchmark baseline.
+/// Unlike [`ThroughputCheck`], higher is *worse*: the check regresses when
+/// the measurement exceeds the baseline by more than the tolerance.
+#[derive(Debug, Clone)]
+pub struct LatencyCheck {
+    /// What was compared (`serve_p99`).
+    pub name: &'static str,
+    /// Latency measured from the sidecar, in microseconds.
+    pub measured: f64,
+    /// Baseline latency from the BENCH file, in microseconds.
+    pub baseline: f64,
+    /// Allowed fractional growth before failing (1.0 = may run at twice
+    /// the baseline).
+    pub tolerance: f64,
+}
+
+impl LatencyCheck {
+    /// Whether the measurement regressed beyond tolerance (got slower).
+    pub fn regressed(&self) -> bool {
+        self.measured > self.baseline * (1.0 + self.tolerance)
+    }
+
+    /// `measured / baseline` (0 when the baseline is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.measured / self.baseline
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Compare the report's measured p99 decision latency against the
+/// committed serve baseline. A check is emitted only when the sidecar has
+/// `serve.e2e_s` samples and the BENCH file has a nonzero open-loop p99.
+pub fn latency_checks(
+    report: &SidecarReport,
+    bench_serve: Option<&Json>,
+    tolerance: f64,
+) -> Vec<LatencyCheck> {
+    let mut checks = Vec::new();
+    if let (Some(measured), Some(baseline)) = (
+        report.serve_p99_us(),
+        bench_serve.and_then(serve_p99_baseline),
+    ) {
+        checks.push(LatencyCheck {
+            name: "serve_p99",
+            measured,
+            baseline,
+            tolerance,
+        });
+    }
+    checks
 }
 
 /// Compare the report's measured throughputs against whichever baselines
@@ -779,6 +874,50 @@ mod tests {
         let checks = throughput_checks(&report, None, Some(&bench), 0.5);
         assert_eq!(checks.len(), 1);
         assert!(checks[0].regressed(), "500 qps vs ~60k baseline");
+    }
+
+    fn hist(name: &str, t: f64, value: f64) -> ReportEvent {
+        ReportEvent::Histogram {
+            name: name.into(),
+            t,
+            value,
+        }
+    }
+
+    #[test]
+    fn serve_p99_gate_compares_e2e_samples_to_open_loop_baseline() {
+        // 100 samples: 90 fast (100us) and 10 slow (10ms). Nearest-rank
+        // p99 is the 99th smallest, which lands in the slow tail -> 10ms.
+        let mut events: Vec<ReportEvent> = (0..90)
+            .map(|i| hist("serve.e2e_s", i as f64 * 0.01, 100e-6))
+            .collect();
+        events.extend((0..10).map(|i| hist("serve.e2e_s", 1.0 + i as f64 * 0.01, 10_000e-6)));
+        events.push(hist("serve.e2e_s", 1.1, f64::NAN)); // ignored
+        let report = analyze(&events);
+        let p99 = report.serve_p99_us().expect("samples present");
+        assert!((p99 - 10_000.0).abs() < 1e-6, "{p99}");
+
+        let bench = json::parse(r#"{"open_loop":{"achieved_qps":1.0,"p99_us":400.0}}"#).unwrap();
+        assert_eq!(serve_p99_baseline(&bench), Some(400.0));
+        let checks = latency_checks(&report, Some(&bench), 1.0);
+        assert_eq!(checks.len(), 1);
+        assert!(checks[0].regressed(), "10ms vs 400us*(1+1.0)");
+        assert!((checks[0].ratio() - 25.0).abs() < 1e-9);
+
+        // Generous tolerance passes; a zero baseline emits no check.
+        assert!(!latency_checks(&report, Some(&bench), 30.0)[0].regressed());
+        let zero = json::parse(r#"{"open_loop":{"p99_us":0.0}}"#).unwrap();
+        assert!(latency_checks(&report, Some(&zero), 1.0).is_empty());
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[7.0], 0.99), Some(7.0));
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&v, 0.50), Some(50.0));
+        assert_eq!(quantile(&v, 0.99), Some(99.0));
+        assert_eq!(quantile(&v, 1.0), Some(100.0));
     }
 
     #[test]

@@ -30,7 +30,7 @@ mod trajectory;
 mod value;
 
 pub use advantage::{compute as compute_advantages, normalize, Advantages};
-pub use policy::{BinaryPolicy, PolicyScratch, ACCEPT, REJECT};
+pub use policy::{greedy_from_logits, BinaryPolicy, PolicyScratch, ACCEPT, REJECT};
 pub use ppo::{PpoConfig, PpoTrainer, UpdateStats};
 pub use rollout::{default_workers, parallel_map};
 pub use trajectory::{Batch, Step, Trajectory};

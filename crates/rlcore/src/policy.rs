@@ -18,6 +18,24 @@ pub struct PolicyScratch {
     fwd: ForwardScratch,
 }
 
+/// Greedy action and its log-probability from raw `[accept, reject]`
+/// logits — the exact computation [`BinaryPolicy::greedy_scratch`] performs
+/// after its forward pass, exposed so batched inference paths that run the
+/// network themselves (e.g. the serving engine's fused forward) produce
+/// bit-identical decisions.
+#[inline]
+pub fn greedy_from_logits(l0: f32, l1: f32) -> (u8, f32) {
+    let max = l0.max(l1);
+    let lse = ((l0 - max).exp() + (l1 - max).exp()).ln() + max;
+    let lp = [l0 - lse, l1 - lse];
+    let action = if lp[REJECT as usize].exp() > 0.5 {
+        REJECT
+    } else {
+        ACCEPT
+    };
+    (action, lp[action as usize])
+}
+
 /// A categorical policy over {accept, reject}, backed by an MLP emitting two
 /// logits (the paper's policy network: hidden layers 32/16/8, §3.1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -138,13 +156,8 @@ impl BinaryPolicy {
     /// Allocation-free greedy action plus its log-probability (one forward
     /// pass instead of the two that `greedy` + `logp` would make).
     pub fn greedy_scratch(&self, state: &[f32], scratch: &mut PolicyScratch) -> (u8, f32) {
-        let lp = self.log_probs_scratch(state, scratch);
-        let action = if lp[REJECT as usize].exp() > 0.5 {
-            REJECT
-        } else {
-            ACCEPT
-        };
-        (action, lp[action as usize])
+        let logits = self.net.forward_scratch(state, &mut scratch.fwd);
+        greedy_from_logits(logits[0], logits[1])
     }
 
     /// Mutable access for the PPO updater.

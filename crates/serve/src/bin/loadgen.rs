@@ -6,9 +6,10 @@
 //!   running server (e.g. `schedinspector serve`); used by the CI smoke
 //!   job. Exits nonzero if no decision came back.
 //! * `loadgen --model FILE` — self-contained benchmark: starts in-process
-//!   servers (micro-batched, then batch-size-1), measures saturation
-//!   capacity on both plus open-loop latency on the batched one, and
-//!   writes the combined `BENCH_serve.json` report.
+//!   servers (micro-batched at 1/2/4 engine shards, batch-size-1, and
+//!   optionally int8-quantized), measures saturation capacity on each plus
+//!   open-loop latency on the batched one, and writes the combined
+//!   `BENCH_serve.json` report with per-shard batch-size distributions.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -62,6 +63,7 @@ fn usage() -> ! {
            --conns N          parallel connections     (default 4)\n\
            --window N         closed-loop pipelining   (default 64)\n\
            --batch N          server micro-batch cap   (default 16)\n\
+           --quantized 1      add an int8 capacity case (--model mode)\n\
            --seed N           RNG seed                 (default 0)\n\
            --label S          report label             (--addr mode)\n\
            --out FILE         report path (default BENCH_serve.json)\n\
@@ -124,6 +126,92 @@ fn run_external(args: &Args, addr: &str) {
     }
 }
 
+/// One capacity-sweep entry: a server configuration to saturate.
+struct CaseSpec {
+    key: String,
+    max_batch: usize,
+    shards: usize,
+    quantized: bool,
+}
+
+/// One capacity case: start an in-process server with the given
+/// batch/shard/quantized settings, saturate it closed-loop, and return the
+/// achieved QPS plus the case's JSON report (including the per-shard
+/// batch-size distribution pulled from the live stats block).
+fn capacity_case(
+    inspector: &inspector::SchedInspector,
+    spec: &CaseSpec,
+    window: usize,
+    conns: usize,
+    secs: f64,
+    seed: u64,
+) -> (f64, Json) {
+    let (key, shards) = (spec.key.as_str(), spec.shards);
+    let handle = serve(
+        inspector.clone(),
+        ServeConfig {
+            max_batch: spec.max_batch,
+            shards,
+            quantized: spec.quantized,
+            workers: conns.max(2),
+            ..ServeConfig::default()
+        },
+        obs::Telemetry::disabled(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        exit(1)
+    });
+    let addr = handle.addr().to_string();
+    let mut report = loadgen::closed_loop(&addr, window, conns, secs, seed).unwrap_or_else(|e| {
+        eprintln!("closed loop failed: {e}");
+        exit(1)
+    });
+    report.label = key.to_string();
+    let stats = handle.stats();
+    println!(
+        "  {key}: {:.0} decisions/s (mean batch {:.1}, p99 {:.1}us, {} shard{})",
+        report.achieved_qps,
+        stats.mean_batch_size(),
+        report.p99_us,
+        shards,
+        if shards == 1 { "" } else { "s" }
+    );
+    let mut j = report.to_json();
+    if let Json::Object(m) = &mut j {
+        m.insert("shards".into(), Json::Number(shards as f64));
+        m.insert("quantized".into(), Json::Bool(spec.quantized));
+        m.insert(
+            "mean_batch_size".into(),
+            Json::Number(stats.mean_batch_size()),
+        );
+        // Per-shard batch-size distribution: how evenly routing spread the
+        // load and how well each shard's micro-batching amortized.
+        let per_shard = stats
+            .shards
+            .iter()
+            .map(|s| {
+                let mut sm = BTreeMap::new();
+                sm.insert("ok".into(), Json::Number(s.ok.get() as f64));
+                sm.insert("batches".into(), Json::Number(s.batches.get() as f64));
+                sm.insert("mean_batch_size".into(), Json::Number(s.mean_batch_size()));
+                sm.insert(
+                    "batch_size_p50".into(),
+                    Json::Number(s.batch_size.quantile_ticks(0.50) as f64),
+                );
+                sm.insert(
+                    "batch_size_p95".into(),
+                    Json::Number(s.batch_size.quantile_ticks(0.95) as f64),
+                );
+                Json::Object(sm)
+            })
+            .collect();
+        m.insert("per_shard".into(), Json::Array(per_shard));
+    }
+    handle.shutdown();
+    (report.achieved_qps, j)
+}
+
 fn run_compare(args: &Args, model: &str) {
     let inspector = inspector::model_io::load(Path::new(model)).unwrap_or_else(|e| {
         eprintln!("cannot load {model}: {e}");
@@ -132,53 +220,44 @@ fn run_compare(args: &Args, model: &str) {
     let cfg = load_config(args);
     let window = args.num("window", 64usize);
     let max_batch = args.num("batch", 16usize);
+    let quantized = args.num("quantized", 0u8) != 0;
     let cap_secs = (cfg.secs / 2.0).max(1.0);
 
-    let mut capacity = BTreeMap::new();
-    let mut batched_qps = 0.0f64;
-    let mut batch1_qps = 0.0f64;
-    for (key, batch) in [("microbatch", max_batch), ("batch1", 1usize)] {
-        let handle = serve(
-            inspector.clone(),
-            ServeConfig {
-                max_batch: batch,
-                workers: cfg.conns.max(2),
-                ..ServeConfig::default()
-            },
-            obs::Telemetry::disabled(),
-        )
-        .unwrap_or_else(|e| {
-            eprintln!("cannot start server: {e}");
-            exit(1)
-        });
-        let addr = handle.addr().to_string();
-        let mut report = loadgen::closed_loop(&addr, window, cfg.conns, cap_secs, cfg.seed)
-            .unwrap_or_else(|e| {
-                eprintln!("closed loop failed: {e}");
-                exit(1)
-            });
-        report.label = key.to_string();
-        let stats = handle.stats();
-        println!(
-            "  {key}: {:.0} decisions/s (mean batch {:.1})",
-            report.achieved_qps,
-            stats.mean_batch_size()
-        );
-        if key == "microbatch" {
-            batched_qps = report.achieved_qps;
-        } else {
-            batch1_qps = report.achieved_qps;
-        }
-        let mut j = report.to_json();
-        if let Json::Object(m) = &mut j {
-            m.insert(
-                "mean_batch_size".into(),
-                Json::Number(stats.mean_batch_size()),
-            );
-        }
-        capacity.insert(key.to_string(), j);
-        handle.shutdown();
+    // The batch1/microbatch pair isolates the micro-batching win; the
+    // shards sweep isolates the sharding win on top of it.
+    let case = |key: &str, max_batch: usize, shards: usize, quantized: bool| CaseSpec {
+        key: key.to_string(),
+        max_batch,
+        shards,
+        quantized,
+    };
+    let mut cases = vec![
+        case("microbatch", max_batch, 1, false),
+        case("batch1", 1, 1, false),
+        case("microbatch_shards2", max_batch, 2, false),
+        case("microbatch_shards4", max_batch, 4, false),
+    ];
+    if quantized {
+        cases.push(case("microbatch_quantized", max_batch, 1, true));
     }
+
+    let mut capacity = BTreeMap::new();
+    let mut qps_by_key: BTreeMap<String, f64> = BTreeMap::new();
+    for spec in &cases {
+        let (qps, j) = capacity_case(&inspector, spec, window, cfg.conns, cap_secs, cfg.seed);
+        qps_by_key.insert(spec.key.clone(), qps);
+        capacity.insert(spec.key.clone(), j);
+    }
+    let batched_qps = qps_by_key.get("microbatch").copied().unwrap_or(0.0);
+    let batch1_qps = qps_by_key.get("batch1").copied().unwrap_or(0.0);
+    let ratio = |num: &str| {
+        let n = qps_by_key.get(num).copied().unwrap_or(0.0);
+        if batched_qps > 0.0 {
+            n / batched_qps
+        } else {
+            0.0
+        }
+    };
     capacity.insert(
         "speedup".into(),
         Json::Number(if batch1_qps > 0.0 {
@@ -186,6 +265,14 @@ fn run_compare(args: &Args, model: &str) {
         } else {
             0.0
         }),
+    );
+    capacity.insert(
+        "shard_scaling_2x".into(),
+        Json::Number(ratio("microbatch_shards2")),
+    );
+    capacity.insert(
+        "shard_scaling_4x".into(),
+        Json::Number(ratio("microbatch_shards4")),
     );
 
     // Open-loop latency on a fresh micro-batched server.
@@ -226,6 +313,7 @@ fn run_compare(args: &Args, model: &str) {
     config.insert("conns".into(), Json::Number(cfg.conns as f64));
     config.insert("window".into(), Json::Number(window as f64));
     config.insert("max_batch".into(), Json::Number(max_batch as f64));
+    config.insert("quantized".into(), Json::Bool(quantized));
     config.insert("seed".into(), Json::Number(cfg.seed as f64));
     root.insert("config".into(), Json::Object(config));
     root.insert("capacity".into(), Json::Object(capacity));

@@ -1,33 +1,59 @@
-//! The micro-batching inference engine.
+//! The sharded micro-batching inference engine.
 //!
-//! Connection handlers submit feature vectors into a bounded queue; a
-//! single inference thread drains up to `max_batch` of them per tick and
-//! runs the forward passes back to back through one reused
-//! [`PolicyScratch`], so the queue amortizes synchronization (one lock
-//! round per batch instead of per request) while keeping the math
-//! allocation-free. Because the engine thread is the only consumer,
-//! completions for any one connection are delivered in submission order.
+//! Connection handlers submit feature vectors into one of N engine
+//! *shards*, selected consistently by connection id ([`shard_for`]). Each
+//! shard owns a bounded **lock-free MPSC ring** (a Vyukov-style sequenced
+//! ring buffer; the same CAS publication idiom as the `obs::registry`
+//! handle cache), its own inference thread with a reused
+//! [`BatchForwardScratch`], and its own stats block — so shards share no
+//! hot cache lines and scale with cores. A `Condvar` is used **only** for
+//! sleep/wake parking of an idle shard thread; the request path itself
+//! never takes a lock.
+//!
+//! Per-connection ordering: a connection maps to exactly one shard for its
+//! whole lifetime, the ring is FIFO, and the shard thread is the only
+//! consumer — so completions for any one connection are delivered in
+//! submission order, exactly as in the single-queue engine.
+//!
+//! Exactness of the request ledger across shutdown: a producer *reserves*
+//! a slot with `len.fetch_add(SeqCst)` **before** it checks the shutdown
+//! flag, and the consumer exits only when `shutdown && len == 0` (both
+//! SeqCst). In the SeqCst total order, a producer that saw `shutdown ==
+//! false` has its reservation ordered before the consumer's final `len`
+//! read, so the consumer drains that request; otherwise the producer rolls
+//! the reservation back and the caller answers the client itself. No
+//! accepted request can be lost, which is what keeps
+//! `requests == ok + deadline_exceeded + overloaded + bad_dim +
+//! draining_rejected` exact per shard and in the global sum.
 
-use std::collections::VecDeque;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use inspector::{Decision, SchedInspector};
 use obs::{Clock, Telemetry};
-use rlcore::PolicyScratch;
+use tinynn::{BatchForwardScratch, QuantScratch, QuantizedMlp};
 
 use crate::stats::ServerStats;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Maximum requests drained into one inference batch.
+    /// Maximum requests drained into one inference batch (per shard).
     pub max_batch: usize,
-    /// Bounded queue capacity; submissions beyond it are rejected with
-    /// [`SubmitError::Overloaded`].
+    /// Bounded queue capacity **per shard**; submissions beyond it are
+    /// rejected with [`SubmitError::Overloaded`].
     pub queue_capacity: usize,
+    /// Number of engine shards (inference threads + rings). Connections
+    /// are routed by [`shard_for`].
+    pub shards: usize,
+    /// Run the int8-quantized forward path ([`tinynn::QuantizedMlp`])
+    /// instead of the bit-exact f32 fused path.
+    pub quantized: bool,
 }
 
 impl Default for EngineConfig {
@@ -35,8 +61,18 @@ impl Default for EngineConfig {
         EngineConfig {
             max_batch: 16,
             queue_capacity: 4096,
+            shards: 1,
+            quantized: false,
         }
     }
+}
+
+/// Consistent connection→shard routing: a connection id maps to one shard
+/// for its whole lifetime (pure function of the id), so per-connection
+/// FIFO ordering is preserved no matter how many requests it pipelines.
+#[inline]
+pub fn shard_for(conn_id: u64, shards: usize) -> usize {
+    (conn_id % shards.max(1) as u64) as usize
 }
 
 /// What the engine eventually reports back for one submitted request.
@@ -51,7 +87,7 @@ pub enum Completion {
 /// Why a submission was refused outright (nothing will be sent back).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The queue is full; the client should back off for roughly
+    /// The shard's queue is full; the client should back off for roughly
     /// `retry_after_ms` before retrying.
     Overloaded {
         /// Suggested client backoff, derived from the current backlog and
@@ -72,14 +108,155 @@ struct Pending {
     tx: Sender<(u64, Completion)>,
 }
 
-struct State {
-    queue: VecDeque<Pending>,
-    shutdown: bool,
+/// One slot of the sequenced ring. `seq` is the publication protocol:
+/// producers claim a position with a CAS on `head`, write the value, then
+/// store `seq = pos + 1` (Release) to publish; the consumer reads the
+/// value once `seq == tail + 1` (Acquire) and re-arms the slot with
+/// `seq = tail + capacity` for the next lap.
+struct Slot {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<Pending>>,
+}
+
+/// Vyukov-style bounded ring used MPSC: many producers CAS `head`; the
+/// shard thread is the single consumer advancing `tail`. Occupancy is
+/// bounded *outside* the ring by the shard's `len` reservation counter
+/// (which enforces `queue_capacity` exactly), so a producer that claimed a
+/// position only ever waits for a concurrent pop to re-arm its slot —
+/// never for queue space.
+struct Ring {
+    mask: usize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    slots: Box<[Slot]>,
+}
+
+// SAFETY: `Pending` values are moved through the `UnsafeCell`s under the
+// `seq` publication protocol — exactly one producer writes a claimed slot
+// and exactly one consumer reads it after the Release/Acquire handshake.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            slots,
+        }
+    }
+
+    /// Multi-producer push. Never fails: the caller's `len` reservation
+    /// guarantees a slot is (or is about to be) free, so the only wait is
+    /// a bounded spin for a concurrent pop's re-arm store.
+    fn push(&self, value: Pending) {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave this producer exclusive
+                        // ownership of the slot until the seq publication.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                // The consumer claimed this slot's previous value but has
+                // not re-armed it yet; reservation bounds say it will.
+                std::hint::spin_loop();
+                pos = self.head.load(Ordering::Relaxed);
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Single-consumer pop (only the shard thread calls this).
+    fn pop(&self) -> Option<Pending> {
+        let pos = self.tail.load(Ordering::Relaxed);
+        let slot = &self.slots[pos & self.mask];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq == pos.wrapping_add(1) {
+            self.tail.store(pos + 1, Ordering::Relaxed);
+            // SAFETY: seq == pos + 1 means the producer's Release store
+            // published this value; we are the only consumer.
+            let value = unsafe { (*slot.value.get()).assume_init_read() };
+            slot.seq
+                .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+            Some(value)
+        } else {
+            None
+        }
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        // Drop any values still published (e.g. after a panicked shard
+        // thread); single-threaded here by &mut.
+        while self.pop().is_some() {}
+    }
+}
+
+/// Idle-parking backstop: even if a wakeup is missed, the shard thread
+/// re-polls its ring at this period, bounding added latency.
+const PARK_BACKSTOP: Duration = Duration::from_millis(5);
+
+struct Shard {
+    ring: Ring,
+    /// Reserved-occupancy counter — the exact-capacity gate (see module
+    /// docs for the SeqCst shutdown handshake).
+    len: AtomicUsize,
+    /// True while the shard thread is parked on `cv`.
+    sleeping: AtomicBool,
+    park: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            ring: Ring::new(capacity),
+            len: AtomicUsize::new(0),
+            sleeping: AtomicBool::new(false),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wake(&self) {
+        if self.sleeping.load(Ordering::SeqCst) {
+            // Lock/unlock pairs the notify with the consumer's re-check
+            // under the same mutex, closing the classic missed-wakeup race.
+            drop(self.park.lock().unwrap());
+            self.cv.notify_one();
+        }
+    }
 }
 
 struct Shared {
-    state: Mutex<State>,
-    cv: Condvar,
+    shards: Vec<Shard>,
+    shutdown: AtomicBool,
     cfg: EngineConfig,
     stats: Arc<ServerStats>,
     /// Deadline time source. Production passes [`obs::SystemClock`];
@@ -88,17 +265,33 @@ struct Shared {
     clock: Arc<dyn Clock>,
 }
 
-/// Cloneable handle to the engine. Submissions may come from any thread;
-/// one background thread owns the model and runs the batches.
+impl Shared {
+    fn total_queued(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.len.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Handle to the sharded engine. Submissions may come from any thread; one
+/// background thread per shard owns a model clone and runs the batches.
 pub struct BatchEngine {
     shared: Arc<Shared>,
     input_dim: usize,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl BatchEngine {
-    /// Spawn the inference thread around a loaded model. Deadlines are
-    /// interpreted as ticks of `clock` (production: [`obs::SystemClock`]).
+    /// Spawn one inference thread per shard around a loaded model (each
+    /// shard clones the 938-parameter network; for `quantized` configs it
+    /// also builds its own [`QuantizedMlp`]). Deadlines are interpreted as
+    /// ticks of `clock` (production: [`obs::SystemClock`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` was built for a different shard count than
+    /// `cfg.shards` — the per-shard stats blocks must line up.
     pub fn start(
         inspector: SchedInspector,
         cfg: EngineConfig,
@@ -106,28 +299,37 @@ impl BatchEngine {
         telemetry: Telemetry,
         clock: Arc<dyn Clock>,
     ) -> Arc<BatchEngine> {
+        let shards = cfg.shards.max(1);
+        assert_eq!(
+            stats.shards.len(),
+            shards,
+            "ServerStats shard count must match EngineConfig.shards"
+        );
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::with_capacity(cfg.queue_capacity),
-                shutdown: false,
-            }),
-            cv: Condvar::new(),
+            shards: (0..shards)
+                .map(|_| Shard::new(cfg.queue_capacity))
+                .collect(),
+            shutdown: AtomicBool::new(false),
             cfg,
             stats,
             clock,
         });
         let input_dim = inspector.input_dim();
-        let worker = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("serve-engine".into())
-                .spawn(move || engine_loop(inspector, shared, telemetry))
-                .expect("spawn inference thread")
-        };
+        let workers = (0..shards)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let telemetry = telemetry.clone();
+                let model = inspector.policy.mlp().clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-engine-{i}"))
+                    .spawn(move || shard_loop(i, model, shared, telemetry))
+                    .expect("spawn inference thread")
+            })
+            .collect();
         Arc::new(BatchEngine {
             shared,
             input_dim,
-            worker: Mutex::new(Some(worker)),
+            workers: Mutex::new(workers),
         })
     }
 
@@ -136,36 +338,53 @@ impl BatchEngine {
         self.input_dim
     }
 
-    /// Enqueue one request. `deadline_ns` is a tick of the engine's clock
-    /// (see [`obs::clock::deadline_after_ms`]). On success the engine will
+    /// Number of engine shards.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Enqueue one request from connection `conn` (routed via
+    /// [`shard_for`]). `deadline_ns` is a tick of the engine's clock (see
+    /// [`obs::clock::deadline_after_ms`]). On success the engine will
     /// later send `(token, completion)` through `tx`; on failure nothing
     /// is sent and the caller must answer the client itself.
     pub fn submit(
         &self,
+        conn: u64,
         token: u64,
         features: Vec<f32>,
         deadline_ns: Option<u64>,
         tx: Sender<(u64, Completion)>,
     ) -> Result<(), SubmitError> {
-        let mut state = self.shared.state.lock().unwrap();
-        if state.shutdown {
-            return Err(SubmitError::ShuttingDown);
-        }
-        if state.queue.len() >= self.shared.cfg.queue_capacity {
+        let idx = shard_for(conn, self.shared.shards.len());
+        let shard = &self.shared.shards[idx];
+        // Reserve before the shutdown check — the SeqCst handshake that
+        // makes the drain exact (module docs).
+        let prev = shard.len.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.shared.cfg.queue_capacity {
+            shard.len.fetch_sub(1, Ordering::SeqCst);
+            self.shared.stats.shards[idx].overloaded.inc();
             return Err(SubmitError::Overloaded {
-                retry_after_ms: self.retry_hint(state.queue.len()),
+                retry_after_ms: self.retry_hint(prev),
             });
         }
-        state.queue.push_back(Pending {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            shard.len.fetch_sub(1, Ordering::SeqCst);
+            return Err(SubmitError::ShuttingDown);
+        }
+        shard.ring.push(Pending {
             token,
             features,
             enqueued_ns: self.shared.clock.now_ns(),
             deadline_ns,
             tx,
         });
-        self.shared.stats.queue_depth.set(state.queue.len() as f64);
-        drop(state);
-        self.shared.cv.notify_one();
+        let stats = &self.shared.stats;
+        stats.shards[idx]
+            .queue_depth
+            .set(shard.len.load(Ordering::Relaxed) as f64);
+        stats.queue_depth.set(self.shared.total_queued() as f64);
+        shard.wake();
         Ok(())
     }
 
@@ -179,16 +398,16 @@ impl BatchEngine {
         (drain_ms.ceil() as u64).max(1)
     }
 
-    /// Stop accepting work, finish everything queued, and join the
-    /// inference thread. Idempotent.
+    /// Stop accepting work, finish everything queued on every shard, and
+    /// join the inference threads. Idempotent.
     pub fn shutdown(&self) {
-        {
-            let mut state = self.shared.state.lock().unwrap();
-            state.shutdown = true;
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.shared.shards {
+            let _guard = shard.park.lock().unwrap();
+            shard.cv.notify_all();
         }
-        self.shared.cv.notify_all();
-        let handle = self.worker.lock().unwrap().take();
-        if let Some(handle) = handle {
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -209,52 +428,109 @@ impl std::fmt::Debug for BatchEngine {
     }
 }
 
-fn engine_loop(inspector: SchedInspector, shared: Arc<Shared>, telemetry: Telemetry) {
-    let mut scratch = PolicyScratch::default();
+/// Per-shard inference loop: drain ≤ `max_batch` requests, expire stale
+/// ones, run one fused forward over the survivors, answer in submission
+/// order, park when idle.
+fn shard_loop(idx: usize, model: tinynn::Mlp, shared: Arc<Shared>, telemetry: Telemetry) {
+    let shard = &shared.shards[idx];
+    let sstats = &shared.stats.shards[idx];
+    let input_dim = model.input_dim();
+    let quantized = shared.cfg.quantized.then(|| QuantizedMlp::quantize(&model));
+    let mut qscratch = QuantScratch::default();
+    let mut fwd = BatchForwardScratch::default();
     let mut batch: Vec<Pending> = Vec::with_capacity(shared.cfg.max_batch);
+    let mut expired: Vec<bool> = Vec::with_capacity(shared.cfg.max_batch);
+
     loop {
-        {
-            let mut state = shared.state.lock().unwrap();
-            while state.queue.is_empty() && !state.shutdown {
-                state = shared.cv.wait(state).unwrap();
+        batch.clear();
+        while batch.len() < shared.cfg.max_batch {
+            if let Some(p) = shard.ring.pop() {
+                shard.len.fetch_sub(1, Ordering::SeqCst);
+                batch.push(p);
+            } else if batch.is_empty() && shard.len.load(Ordering::SeqCst) > 0 {
+                // A producer reserved but has not finished its push yet.
+                std::hint::spin_loop();
+            } else {
+                break;
             }
-            if state.queue.is_empty() && state.shutdown {
-                return;
-            }
-            let take = state.queue.len().min(shared.cfg.max_batch);
-            batch.extend(state.queue.drain(..take));
-            shared.stats.queue_depth.set(state.queue.len() as f64);
         }
 
+        if batch.is_empty() {
+            if shared.shutdown.load(Ordering::SeqCst) && shard.len.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            // Park until a producer wakes us; the timeout is a liveness
+            // backstop against any missed notify.
+            shard.sleeping.store(true, Ordering::SeqCst);
+            let guard = shard.park.lock().unwrap();
+            if shard.len.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
+                let _ = shard.cv.wait_timeout(guard, PARK_BACKSTOP).unwrap();
+            }
+            shard.sleeping.store(false, Ordering::SeqCst);
+            continue;
+        }
+
+        // Pass 1: expire by deadline, pack the live rows contiguously.
         let started = Instant::now();
-        let mut served = 0u64;
-        for p in batch.drain(..) {
-            if p.deadline_ns.is_some_and(|d| shared.clock.now_ns() > d) {
-                shared.stats.deadline_exceeded.inc();
+        expired.clear();
+        fwd.clear(input_dim);
+        for p in &batch {
+            let late = p.deadline_ns.is_some_and(|d| shared.clock.now_ns() > d);
+            expired.push(late);
+            if !late {
+                fwd.push_row(&p.features);
+            }
+        }
+
+        // Pass 2: one fused forward over the whole micro-batch.
+        let logits: &[f32] = if let Some(qmodel) = &quantized {
+            qmodel.forward_batch(&mut fwd, &mut qscratch)
+        } else {
+            model.forward_batch(&mut fwd)
+        };
+
+        // Pass 3: answer in submission order (per-connection FIFO). Error
+        // counters are bumped *before* the send so a client that observed
+        // the completion also observes the counter.
+        let mut served = 0usize;
+        let stats = &shared.stats;
+        for (p, late) in batch.drain(..).zip(expired.drain(..)) {
+            if late {
+                stats.deadline_exceeded.inc();
+                sstats.deadline_exceeded.inc();
                 let _ = p.tx.send((p.token, Completion::DeadlineExceeded));
                 continue;
             }
-            let decision = inspector.decide(&p.features, &mut scratch);
+            let decision = Decision::from_logits(logits[served * 2], logits[served * 2 + 1]);
             served += 1;
-            shared
-                .stats
-                .e2e
-                .observe_ticks(shared.clock.now_ns().saturating_sub(p.enqueued_ns));
+            let e2e_ticks = shared.clock.now_ns().saturating_sub(p.enqueued_ns);
+            stats.e2e.observe_ticks(e2e_ticks);
+            if telemetry.is_enabled() {
+                telemetry.observe("serve.e2e_s", e2e_ticks as f64 / 1e9);
+            }
             let _ = p.tx.send((p.token, Completion::Decision(decision)));
         }
         let infer_elapsed = started.elapsed();
-        shared.stats.ok.add(served);
-        shared.stats.batches.inc();
-        shared.stats.batched_requests.add(served);
-        shared
-            .stats
+        let served = served as u64;
+        stats.ok.add(served);
+        stats.batches.inc();
+        stats.batched_requests.add(served);
+        stats
             .infer_batch
             .observe_ticks(infer_elapsed.as_nanos() as u64);
+        sstats.ok.add(served);
+        sstats.batches.inc();
+        sstats.batched_requests.add(served);
+        sstats.batch_size.observe_ticks(served);
+        sstats
+            .queue_depth
+            .set(shard.len.load(Ordering::Relaxed) as f64);
+        stats.queue_depth.set(shared.total_queued() as f64);
         if telemetry.is_enabled() {
             telemetry.count("serve.batches", 1);
             telemetry.count("serve.requests", served);
             telemetry.observe("serve.batch_infer_s", infer_elapsed.as_secs_f64());
-            telemetry.gauge("serve.queue_depth", shared.stats.queue_depth.get());
+            telemetry.gauge("serve.queue_depth", stats.queue_depth.get());
         }
     }
 }
@@ -262,6 +538,7 @@ fn engine_loop(inspector: SchedInspector, shared: Arc<Shared>, telemetry: Teleme
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rlcore::PolicyScratch;
     use std::sync::mpsc;
 
     fn tiny_inspector() -> SchedInspector {
@@ -286,6 +563,7 @@ mod tests {
             EngineConfig {
                 max_batch: 8,
                 queue_capacity: 1024,
+                ..EngineConfig::default()
             },
             Arc::clone(&stats),
             Telemetry::disabled(),
@@ -294,7 +572,7 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         for token in 0..100u64 {
             let features = vec![(token % 7) as f32 / 7.0; dim];
-            engine.submit(token, features, None, tx.clone()).unwrap();
+            engine.submit(0, token, features, None, tx.clone()).unwrap();
         }
         drop(tx);
         let tokens: Vec<u64> = rx.iter().map(|(t, _)| t).collect();
@@ -326,12 +604,109 @@ mod tests {
         for token in 0..50u64 {
             let features: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
             let expect = reference.decide(&features, &mut scratch);
-            engine.submit(token, features, None, tx.clone()).unwrap();
+            engine.submit(0, token, features, None, tx.clone()).unwrap();
             match rx.recv().unwrap() {
                 (t, Completion::Decision(got)) => {
                     assert_eq!(t, token);
                     assert_eq!(got.reject, expect.reject);
                     assert_eq!(got.p_reject, expect.p_reject);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sharded_engine_matches_direct_inspector_calls_bit_exactly() {
+        // The fused batched forward must not change a single decision bit
+        // relative to the scalar path, across every shard.
+        use rand::{RngExt, SeedableRng, StdRng};
+        let inspector = tiny_inspector();
+        let reference = tiny_inspector();
+        let dim = inspector.input_dim();
+        let stats = Arc::new(ServerStats::sharded(dim, 16, 4));
+        let engine = BatchEngine::start(
+            inspector,
+            EngineConfig {
+                shards: 4,
+                ..EngineConfig::default()
+            },
+            Arc::clone(&stats),
+            Telemetry::disabled(),
+            obs::SystemClock::shared(),
+        );
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut scratch = PolicyScratch::default();
+        for conn in 0..8u64 {
+            let (tx, rx) = mpsc::channel();
+            for token in 0..32u64 {
+                let features: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+                let expect = reference.decide(&features, &mut scratch);
+                engine
+                    .submit(conn, token, features, None, tx.clone())
+                    .unwrap();
+                match rx.recv().unwrap() {
+                    (t, Completion::Decision(got)) => {
+                        assert_eq!(t, token);
+                        assert_eq!(got.reject, expect.reject);
+                        assert_eq!(got.p_reject.to_bits(), expect.p_reject.to_bits());
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        engine.shutdown();
+        // Work landed on every shard, and shard sums equal the global
+        // ledger counters.
+        for shard in &stats.shards {
+            assert!(shard.ok.get() > 0, "every shard saw traffic");
+        }
+        let shard_ok: u64 = stats.shards.iter().map(|s| s.ok.get()).sum();
+        assert_eq!(shard_ok, stats.ok.get());
+        assert_eq!(stats.ok.get(), 8 * 32);
+    }
+
+    #[test]
+    fn quantized_engine_decisions_track_f32_probabilities() {
+        use rand::{RngExt, SeedableRng, StdRng};
+        let inspector = tiny_inspector();
+        let reference = tiny_inspector();
+        let dim = inspector.input_dim();
+        let stats = Arc::new(ServerStats::sharded(dim, 16, 2));
+        let engine = BatchEngine::start(
+            inspector,
+            EngineConfig {
+                shards: 2,
+                quantized: true,
+                ..EngineConfig::default()
+            },
+            stats,
+            Telemetry::disabled(),
+            obs::SystemClock::shared(),
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut scratch = PolicyScratch::default();
+        let (tx, rx) = mpsc::channel();
+        for token in 0..64u64 {
+            let features: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+            let expect = reference.decide(&features, &mut scratch);
+            engine
+                .submit(token, token, features, None, tx.clone())
+                .unwrap();
+            match rx.recv().unwrap() {
+                (_, Completion::Decision(got)) => {
+                    // Int8 error budget: probabilities stay close; the
+                    // binary decision may only flip near p == 0.5.
+                    assert!(
+                        (got.p_reject - expect.p_reject).abs() < 0.05,
+                        "p_reject {} vs f32 {}",
+                        got.p_reject,
+                        expect.p_reject
+                    );
+                    if (expect.p_reject - 0.5).abs() > 0.05 {
+                        assert_eq!(got.reject, expect.reject);
+                    }
                 }
                 other => panic!("unexpected {other:?}"),
             }
@@ -349,8 +724,9 @@ mod tests {
             EngineConfig {
                 max_batch: 4,
                 queue_capacity: 2,
+                ..EngineConfig::default()
             },
-            stats,
+            Arc::clone(&stats),
             Telemetry::disabled(),
             obs::SystemClock::shared(),
         );
@@ -360,7 +736,7 @@ mod tests {
         // attempts before asserting.
         let mut overloaded = None;
         for token in 0..10_000u64 {
-            match engine.submit(token, vec![0.0; dim], None, tx.clone()) {
+            match engine.submit(0, token, vec![0.0; dim], None, tx.clone()) {
                 Ok(()) => {}
                 Err(e) => {
                     overloaded = Some(e);
@@ -370,6 +746,7 @@ mod tests {
         }
         if let Some(SubmitError::Overloaded { retry_after_ms }) = overloaded {
             assert!(retry_after_ms >= 1);
+            assert!(stats.shards[0].overloaded.get() >= 1);
         }
         drop(tx);
         let drained = rx.iter().count();
@@ -394,10 +771,11 @@ mod tests {
             clock,
         );
         let (tx, rx) = mpsc::channel();
-        engine.submit(0, vec![0.0; dim], Some(1), tx).unwrap();
+        engine.submit(0, 0, vec![0.0; dim], Some(1), tx).unwrap();
         assert_eq!(rx.recv().unwrap(), (0, Completion::DeadlineExceeded));
         assert_eq!(stats.deadline_exceeded.get(), 1);
         engine.shutdown();
+        assert_eq!(stats.shards[0].deadline_exceeded.get(), 1);
     }
 
     #[test]
@@ -416,13 +794,13 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         // Deadline at tick 5ms; clock still at 0 → must succeed.
         engine
-            .submit(0, vec![0.2; dim], Some(5_000_000), tx.clone())
+            .submit(0, 0, vec![0.2; dim], Some(5_000_000), tx.clone())
             .unwrap();
         assert!(matches!(rx.recv().unwrap(), (0, Completion::Decision(_))));
         // Advance past the deadline before submitting → must expire.
         vc.advance_ns(6_000_000);
         engine
-            .submit(1, vec![0.2; dim], Some(5_000_000), tx)
+            .submit(0, 1, vec![0.2; dim], Some(5_000_000), tx)
             .unwrap();
         assert_eq!(rx.recv().unwrap(), (1, Completion::DeadlineExceeded));
         assert_eq!(stats.deadline_exceeded.get(), 1);
@@ -447,6 +825,7 @@ mod tests {
             EngineConfig {
                 max_batch: 1,
                 queue_capacity: 64,
+                ..EngineConfig::default()
             },
             Arc::clone(&stats),
             Telemetry::disabled(),
@@ -455,7 +834,7 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         for token in 0..8u64 {
             engine
-                .submit(token, vec![0.1; dim], Some(1_000_000), tx.clone())
+                .submit(0, token, vec![0.1; dim], Some(1_000_000), tx.clone())
                 .unwrap();
         }
         vc.advance_ns(2_000_000); // all deadlines are now in the past
@@ -490,16 +869,73 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         for token in 0..32u64 {
             engine
-                .submit(token, vec![0.5; dim], None, tx.clone())
+                .submit(0, token, vec![0.5; dim], None, tx.clone())
                 .unwrap();
         }
         engine.shutdown();
         assert_eq!(
-            engine.submit(99, vec![0.5; dim], None, tx.clone()),
+            engine.submit(0, 99, vec![0.5; dim], None, tx.clone()),
             Err(SubmitError::ShuttingDown)
         );
         drop(tx);
         let completions = rx.iter().count();
         assert_eq!(completions, 32, "shutdown must drain queued requests");
+    }
+
+    #[test]
+    fn multi_shard_drain_answers_every_connection() {
+        // Queue work across all shards, then shut down: every request
+        // gets exactly one completion and the per-shard ledgers sum to
+        // the global one.
+        let inspector = tiny_inspector();
+        let dim = inspector.input_dim();
+        let stats = Arc::new(ServerStats::sharded(dim, 8, 4));
+        let engine = BatchEngine::start(
+            inspector,
+            EngineConfig {
+                max_batch: 8,
+                queue_capacity: 256,
+                shards: 4,
+                ..EngineConfig::default()
+            },
+            Arc::clone(&stats),
+            Telemetry::disabled(),
+            obs::SystemClock::shared(),
+        );
+        let (tx, rx) = mpsc::channel();
+        let mut submitted = 0u64;
+        for conn in 0..16u64 {
+            for token in 0..25u64 {
+                if engine
+                    .submit(conn, conn * 100 + token, vec![0.3; dim], None, tx.clone())
+                    .is_ok()
+                {
+                    submitted += 1;
+                }
+            }
+        }
+        engine.shutdown();
+        drop(tx);
+        let completions = rx.iter().count() as u64;
+        assert_eq!(completions, submitted, "one completion per submission");
+        let shard_ok: u64 = stats.shards.iter().map(|s| s.ok.get()).sum();
+        let shard_dl: u64 = stats.shards.iter().map(|s| s.deadline_exceeded.get()).sum();
+        assert_eq!(shard_ok, stats.ok.get());
+        assert_eq!(shard_dl, stats.deadline_exceeded.get());
+        assert_eq!(shard_ok + shard_dl, submitted);
+    }
+
+    #[test]
+    fn shard_routing_is_consistent_and_total() {
+        for shards in 1..=8usize {
+            for conn in 0..1000u64 {
+                let s = shard_for(conn, shards);
+                assert!(s < shards);
+                // Pure function: same connection, same shard, every time.
+                assert_eq!(s, shard_for(conn, shards));
+            }
+        }
+        // Degenerate shard count still routes.
+        assert_eq!(shard_for(42, 0), 0);
     }
 }

@@ -42,8 +42,8 @@ pub mod server;
 pub mod stats;
 pub mod transport;
 
-pub use engine::{BatchEngine, Completion, EngineConfig, SubmitError};
+pub use engine::{shard_for, BatchEngine, Completion, EngineConfig, SubmitError};
 pub use loadgen::{LoadConfig, RunReport};
 pub use server::{serve, serve_with, ServeConfig, ServerHandle, ShutdownSignal};
-pub use stats::{LatencyHistogram, ServerStats};
+pub use stats::{LatencyHistogram, ServerStats, ShardStats};
 pub use transport::{AcceptPolicy, DirectAccept, Transport};

@@ -310,8 +310,11 @@ pub fn open_loop(addr: &str, cfg: &LoadConfig) -> Result<RunReport, String> {
 }
 
 /// Saturate the server: each connection keeps `window` requests in flight
-/// for `secs` seconds. Reports capacity (achieved QPS); latency fields
-/// reflect whole-window round trips and are not per-request latency.
+/// for `secs` seconds. Reports capacity (achieved QPS) plus real
+/// per-request latency quantiles: each request is timestamped at send and
+/// matched to its in-order response (the protocol guarantees per-connection
+/// FIFO), so capacity cases report the same histogram fields as open-loop
+/// runs instead of zeros.
 pub fn closed_loop(
     addr: &str,
     window: usize,
@@ -320,10 +323,12 @@ pub fn closed_loop(
     seed: u64,
 ) -> Result<RunReport, String> {
     let dim = query_input_dim(addr)?; // before the load connections; see open_loop
+    let hist = Arc::new(LatencyHistogram::new());
     let t0 = Instant::now();
     let mut handles = Vec::new();
     for c in 0..conns.max(1) {
         let addr = addr.to_string();
+        let hist = Arc::clone(&hist);
         handles.push(std::thread::spawn(
             move || -> Result<(u64, u64, u64), String> {
                 let stream =
@@ -335,12 +340,18 @@ pub fn closed_loop(
                 let pool = payload_pool(dim, &mut rng);
 
                 let mut batch = String::with_capacity(window * 96);
+                // Send timestamps (ns since t0) for in-flight requests;
+                // responses arrive in submission order per connection, so
+                // front-of-queue always matches the next response line.
+                let mut in_flight: std::collections::VecDeque<u64> =
+                    std::collections::VecDeque::with_capacity(window.max(1));
                 let mut ok = 0u64;
                 let mut other = 0u64;
                 let mut sent = 0u64;
                 let mut line = String::new();
                 while t0.elapsed().as_secs_f64() < secs {
                     batch.clear();
+                    in_flight.clear();
                     for _ in 0..window.max(1) {
                         batch.push_str("{\"verb\":\"infer\",\"id\":");
                         batch.push_str(&sent.to_string());
@@ -348,6 +359,7 @@ pub fn closed_loop(
                         batch.push_str(&pool[sent as usize % pool.len()]);
                         batch.push_str("]}\n");
                         sent += 1;
+                        in_flight.push_back(t0.elapsed().as_nanos() as u64);
                     }
                     writer
                         .write_all(batch.as_bytes())
@@ -357,8 +369,15 @@ pub fn closed_loop(
                         if matches!(reader.read_line(&mut line), Ok(0) | Err(_)) {
                             return Ok((sent, ok, other));
                         }
+                        let sent_ns = in_flight.pop_front();
                         match protocol::parse_response(line.trim()) {
-                            Ok(Response::Decision { .. }) => ok += 1,
+                            Ok(Response::Decision { .. }) => {
+                                let now_ns = t0.elapsed().as_nanos() as u64;
+                                if let Some(s) = sent_ns {
+                                    hist.record(now_ns.saturating_sub(s));
+                                }
+                                ok += 1;
+                            }
                             _ => other += 1,
                         }
                     }
@@ -387,9 +406,9 @@ pub fn closed_loop(
         overloaded: 0,
         errors: other,
         elapsed_s,
-        mean_us: 0.0,
-        p50_us: 0.0,
-        p95_us: 0.0,
-        p99_us: 0.0,
+        mean_us: hist.mean() / 1_000.0,
+        p50_us: hist.quantile(0.50) as f64 / 1_000.0,
+        p95_us: hist.quantile(0.95) as f64 / 1_000.0,
+        p99_us: hist.quantile(0.99) as f64 / 1_000.0,
     })
 }

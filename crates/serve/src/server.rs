@@ -48,8 +48,13 @@ pub struct ServeConfig {
     pub max_pending_conns: usize,
     /// Micro-batch cap for the inference engine.
     pub max_batch: usize,
-    /// Bounded inference queue depth.
+    /// Bounded inference queue depth (per engine shard).
     pub queue_capacity: usize,
+    /// Engine shards (per-core inference threads); connections are routed
+    /// to shards consistently by connection id.
+    pub shards: usize,
+    /// Serve decisions through the int8-quantized forward path.
+    pub quantized: bool,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline_ms: Option<u64>,
     /// Socket read timeout; also the shutdown-flag polling period.
@@ -75,6 +80,8 @@ impl Default for ServeConfig {
             max_pending_conns: 64,
             max_batch: 16,
             queue_capacity: 4096,
+            shards: 1,
+            quantized: false,
             default_deadline_ms: None,
             read_timeout_ms: 25,
             allow_shutdown_verb: true,
@@ -218,18 +225,27 @@ pub fn serve_with<A: AcceptPolicy>(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let stats = Arc::new(ServerStats::new(inspector.input_dim(), cfg.max_batch));
+    let stats = Arc::new(ServerStats::sharded(
+        inspector.input_dim(),
+        cfg.max_batch,
+        cfg.shards.max(1),
+    ));
     let engine = BatchEngine::start(
         inspector,
         EngineConfig {
             max_batch: cfg.max_batch,
             queue_capacity: cfg.queue_capacity,
+            shards: cfg.shards.max(1),
+            quantized: cfg.quantized,
         },
         Arc::clone(&stats),
         telemetry,
         Arc::clone(&cfg.clock),
     );
     let signal = Arc::new(ShutdownSignal::new(addr));
+    // Connection ids: assigned once at accept, the routing key that pins a
+    // connection to one engine shard for its whole lifetime.
+    let next_conn_id = Arc::new(std::sync::atomic::AtomicU64::new(0));
 
     let (conn_tx, conn_rx) = mpsc::sync_channel::<A::Conn>(cfg.max_pending_conns.max(1));
     let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -240,11 +256,12 @@ pub fn serve_with<A: AcceptPolicy>(
         let engine = Arc::clone(&engine);
         let stats = Arc::clone(&stats);
         let signal = Arc::clone(&signal);
+        let next_conn_id = Arc::clone(&next_conn_id);
         let cfg = cfg.clone();
         workers.push(
             std::thread::Builder::new()
                 .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(&conn_rx, &engine, &stats, &signal, &cfg))
+                .spawn(move || worker_loop(&conn_rx, &engine, &stats, &signal, &cfg, &next_conn_id))
                 .expect("spawn connection worker"),
         );
     }
@@ -303,13 +320,15 @@ fn worker_loop<T: Transport>(
     stats: &ServerStats,
     signal: &ShutdownSignal,
     cfg: &ServeConfig,
+    next_conn_id: &std::sync::atomic::AtomicU64,
 ) {
     loop {
         let conn = { conn_rx.lock().unwrap().recv() };
         match conn {
             Ok(stream) => {
                 stats.connections.inc();
-                let _ = handle_connection(stream, engine, stats, signal, cfg);
+                let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
+                let _ = handle_connection(stream, conn_id, engine, stats, signal, cfg);
             }
             Err(_) => break, // acceptor gone and backlog drained
         }
@@ -326,6 +345,7 @@ enum Part {
 
 fn handle_connection<T: Transport>(
     mut stream: T,
+    conn_id: u64,
     engine: &BatchEngine,
     stats: &ServerStats,
     signal: &ShutdownSignal,
@@ -367,6 +387,7 @@ fn handle_connection<T: Transport>(
             let line = String::from_utf8_lossy(&acc[start..start + nl]);
             process_line(
                 line.trim(),
+                conn_id,
                 engine,
                 stats,
                 signal,
@@ -442,6 +463,7 @@ fn handle_connection<T: Transport>(
 #[allow(clippy::too_many_arguments)]
 fn process_line(
     line: &str,
+    conn_id: u64,
     engine: &BatchEngine,
     stats: &ServerStats,
     signal: &ShutdownSignal,
@@ -498,7 +520,7 @@ fn process_line(
                     .map(|ms| deadline_after_ms(cfg.clock.now_ns(), ms));
                 let token = *next_token;
                 *next_token += 1;
-                match engine.submit(token, features, deadline_ns, done_tx.clone()) {
+                match engine.submit(conn_id, token, features, deadline_ns, done_tx.clone()) {
                     Ok(()) => {
                         parts.push(Part::Pending(token, id));
                         return;

@@ -39,6 +39,83 @@ fn hist_json(h: &Histogram) -> Json {
     Json::Object(m)
 }
 
+/// Per-shard engine counters, registered under `serve.shard{N}.*` so
+/// `/metrics` and the `stats` verb show shard balance. Summed across
+/// shards these reconcile exactly with the global engine counters — the
+/// sharding test suite asserts it.
+#[derive(Debug)]
+pub struct ShardStats {
+    /// Decisions this shard returned.
+    pub ok: Counter,
+    /// Requests that expired on this shard's queue.
+    pub deadline_exceeded: Counter,
+    /// Submissions this shard refused with backpressure.
+    pub overloaded: Counter,
+    /// Inference batches this shard executed.
+    pub batches: Counter,
+    /// Requests served through this shard's batches.
+    pub batched_requests: Counter,
+    /// Current queued-request depth on this shard.
+    pub queue_depth: Gauge,
+    /// Executed batch sizes (a count histogram, not a latency).
+    pub batch_size: Histogram,
+}
+
+impl ShardStats {
+    fn new(r: &Registry, idx: usize) -> ShardStats {
+        // Registry handles want `&'static str` names; shard counts are
+        // small and fixed for the process lifetime, so a one-time leak per
+        // metric name is the simplest correct answer.
+        let name = |suffix: &str| -> &'static str {
+            Box::leak(format!("serve.shard{idx}.{suffix}").into_boxed_str())
+        };
+        ShardStats {
+            ok: r.counter(name("ok"), "decisions returned by this shard"),
+            deadline_exceeded: r.counter(
+                name("deadline_exceeded"),
+                "requests expired on this shard's queue",
+            ),
+            overloaded: r.counter(
+                name("overloaded"),
+                "submissions refused by this shard with backpressure",
+            ),
+            batches: r.counter(name("batches"), "inference batches executed by this shard"),
+            batched_requests: r.counter(
+                name("batched_requests"),
+                "requests served through this shard's batches",
+            ),
+            queue_depth: r.gauge(name("queue_depth"), "queued requests on this shard"),
+            batch_size: r.histogram(name("batch_size"), "executed batch sizes on this shard"),
+        }
+    }
+
+    /// Mean executed batch size on this shard (0 when no batch ran yet).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches = self.batches.get();
+        if batches == 0 {
+            0.0
+        } else {
+            self.batched_requests.get() as f64 / batches as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let n = |c: &Counter| Json::Number(c.get() as f64);
+        let mut m = BTreeMap::new();
+        m.insert("ok".into(), n(&self.ok));
+        m.insert("deadline_exceeded".into(), n(&self.deadline_exceeded));
+        m.insert("overloaded".into(), n(&self.overloaded));
+        m.insert("batches".into(), n(&self.batches));
+        m.insert("batched_requests".into(), n(&self.batched_requests));
+        m.insert(
+            "mean_batch_size".into(),
+            Json::Number(self.mean_batch_size()),
+        );
+        m.insert("queue_depth".into(), Json::Number(self.queue_depth.get()));
+        Json::Object(m)
+    }
+}
+
 /// Shared, always-on service metrics. One instance per server; every field
 /// is a cheaply-cloneable [`obs::Registry`] handle updated with relaxed
 /// atomics on the request path and read by both the `stats` verb and the
@@ -85,6 +162,9 @@ pub struct ServerStats {
     pub e2e: Histogram,
     /// Inference-only latency in ns ticks of each executed batch.
     pub infer_batch: Histogram,
+    /// Per-shard engine counters (`serve.shard{N}.*`); their sums
+    /// reconcile with the global counters above.
+    pub shards: Vec<ShardStats>,
     registry: Arc<Registry>,
 }
 
@@ -93,15 +173,26 @@ impl ServerStats {
     /// a private registry. Use [`ServerStats::with_registry`] to share one
     /// with a `/metrics` endpoint.
     pub fn new(input_dim: usize, max_batch: usize) -> Self {
-        Self::with_registry(Arc::new(Registry::new()), input_dim, max_batch)
+        Self::sharded(input_dim, max_batch, 1)
+    }
+
+    /// Fresh stats with `shards` per-shard blocks, in a private registry.
+    pub fn sharded(input_dim: usize, max_batch: usize, shards: usize) -> Self {
+        Self::with_registry(Arc::new(Registry::new()), input_dim, max_batch, shards)
     }
 
     /// Fresh stats registered into `registry` under the `serve.*`
     /// namespace, so an exposition endpoint rendering that registry serves
     /// the exact atomics the request path updates.
-    pub fn with_registry(registry: Arc<Registry>, input_dim: usize, max_batch: usize) -> Self {
+    pub fn with_registry(
+        registry: Arc<Registry>,
+        input_dim: usize,
+        max_batch: usize,
+        shards: usize,
+    ) -> Self {
         let r = &registry;
         ServerStats {
+            shards: (0..shards.max(1)).map(|i| ShardStats::new(r, i)).collect(),
             input_dim,
             max_batch,
             requests: r.counter("serve.requests", "infer requests received"),
@@ -197,6 +288,10 @@ impl ServerStats {
         m.insert("queue_depth".into(), Json::Number(self.queue_depth.get()));
         m.insert("e2e".into(), hist_json(&self.e2e));
         m.insert("infer_batch".into(), hist_json(&self.infer_batch));
+        m.insert(
+            "shards".into(),
+            Json::Array(self.shards.iter().map(ShardStats::to_json).collect()),
+        );
         Json::Object(m)
     }
 }

@@ -63,6 +63,10 @@ pub struct ChaosConfig {
     /// Server worker threads (keep ≥ `clients` so open connections cannot
     /// starve each other).
     pub workers: usize,
+    /// Engine shards (consistent per-connection routing). The default soak
+    /// uses 2 so every run exercises the sharded handoff path and the
+    /// per-shard ledger reconciliation below.
+    pub shards: usize,
     /// Abort the run (exit code 3, after printing the seed pair) if the
     /// post-soak drain takes longer than this. 0 disables the watchdog.
     pub watchdog_secs: u64,
@@ -78,6 +82,7 @@ impl ChaosConfig {
             conns_per_client: 8,
             requests_per_conn: 6,
             workers: 4,
+            shards: 2,
             watchdog_secs: 60,
         }
     }
@@ -212,6 +217,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         inspector,
         ServeConfig {
             workers: cfg.workers.max(1),
+            shards: cfg.shards.max(1),
             // Shutdown is driven by the harness, not by a (possibly
             // corrupted) wire verb.
             allow_shutdown_verb: false,
@@ -329,6 +335,58 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         if seen > counted {
             violations.push(format!(
                 "clients observed {seen} {what} but the server only counted {counted} ({counter})"
+            ));
+        }
+    }
+    // Per-shard ledger: the engine-owned outcome counters must reconcile
+    // exactly with their shard-level breakdown — a lost or double-counted
+    // handoff between the lock-free rings and a shard's inference thread
+    // would show up here first.
+    if stats.shards.len() != cfg.shards.max(1) {
+        violations.push(format!(
+            "expected {} shard stat blocks, found {}",
+            cfg.shards.max(1),
+            stats.shards.len()
+        ));
+    }
+    for (what, global, per_shard) in [
+        (
+            "ok",
+            stats.ok.get(),
+            stats.shards.iter().map(|s| s.ok.get()).sum::<u64>(),
+        ),
+        (
+            "deadline_exceeded",
+            stats.deadline_exceeded.get(),
+            stats
+                .shards
+                .iter()
+                .map(|s| s.deadline_exceeded.get())
+                .sum::<u64>(),
+        ),
+        (
+            "overloaded",
+            stats.overloaded.get(),
+            stats.shards.iter().map(|s| s.overloaded.get()).sum::<u64>(),
+        ),
+        (
+            "batched_requests",
+            stats.batched_requests.get(),
+            stats
+                .shards
+                .iter()
+                .map(|s| s.batched_requests.get())
+                .sum::<u64>(),
+        ),
+        (
+            "batches",
+            stats.batches.get(),
+            stats.shards.iter().map(|s| s.batches.get()).sum::<u64>(),
+        ),
+    ] {
+        if global != per_shard {
+            violations.push(format!(
+                "shard ledger does not reconcile: global {what} {global} vs shard sum {per_shard}"
             ));
         }
     }
@@ -583,6 +641,7 @@ mod tests {
             conns_per_client: 3,
             requests_per_conn: 5,
             workers: 2,
+            shards: 1,
             watchdog_secs: 60,
         };
         let report = run_chaos(&cfg);
@@ -609,6 +668,51 @@ mod tests {
         assert!(
             !report.fault_log.is_empty(),
             "the standard mix should inject at least one fault"
+        );
+    }
+
+    /// Sharded soak under a stall-heavy plan: long `WouldBlock` runs park
+    /// a subset of connections — and, through consistent routing, starve
+    /// the shard(s) those connections map to — while the other shards keep
+    /// serving. The drain must still be bounded (watchdog), the exact
+    /// ledger must balance globally, and the per-shard sums must reconcile
+    /// with it even though the stalled connections' requests raced the
+    /// shutdown handshake.
+    #[test]
+    fn stall_heavy_sharded_soak_drains_bounded_with_exact_ledger() {
+        let mut fault = FaultConfig::none(23);
+        fault.stall = 0.6;
+        fault.max_stall_ops = 12;
+        let cfg = ChaosConfig {
+            fault,
+            workload_seed: 29,
+            clients: 4,
+            conns_per_client: 6,
+            requests_per_conn: 8,
+            workers: 4,
+            shards: 4,
+            watchdog_secs: 60,
+        };
+        let report = run_chaos(&cfg);
+        assert!(report.ok(), "{}", report.render());
+        assert!(
+            !report.fault_log.is_empty(),
+            "the stall-heavy plan should inject at least one stall"
+        );
+        // One response per request: clients never see more terminal infer
+        // outcomes than infers they wrote (run_chaos also checks each
+        // category against the server's counters).
+        let outcomes = report.client.decisions
+            + report.client.deadline
+            + report.client.overloaded
+            + report.client.bad_request
+            + report.client.draining;
+        assert!(
+            outcomes <= report.client.infer_sent,
+            "{} outcomes for {} infers\n{}",
+            outcomes,
+            report.client.infer_sent,
+            report.render()
         );
     }
 }

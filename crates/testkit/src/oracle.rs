@@ -84,7 +84,9 @@ impl DigestInspector {
 
 impl InspectorHook for DigestInspector {
     fn inspect(&mut self, obs: &Observation) -> bool {
-        SplitMix64::new(self.digest(obs)).next_u64().is_multiple_of(4)
+        SplitMix64::new(self.digest(obs))
+            .next_u64()
+            .is_multiple_of(4)
     }
 }
 

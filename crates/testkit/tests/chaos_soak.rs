@@ -36,6 +36,7 @@ fn soak_under_aggressive_resets() {
         conns_per_client: 4,
         requests_per_conn: 5,
         workers: 3,
+        shards: 2,
         watchdog_secs: 60,
     };
     let report = run_chaos(&cfg);

@@ -59,16 +59,17 @@ impl Dense {
     }
 
     /// Forward pass writing pre-activations into `z` and outputs into `a`.
+    ///
+    /// Uses the 8-lane [`crate::batch::dot8`] inner product — the same
+    /// summation order as the fused batched forward, which keeps
+    /// [`crate::Mlp::forward_batch`] bit-exact against this path.
     pub fn forward(&self, x: &[f32], z: &mut Vec<f32>, a: &mut Vec<f32>) {
         debug_assert_eq!(x.len(), self.fan_in);
         z.clear();
         a.clear();
         for o in 0..self.fan_out {
             let row = &self.w[o * self.fan_in..(o + 1) * self.fan_in];
-            let mut acc = self.b[o];
-            for (wi, xi) in row.iter().zip(x) {
-                acc += wi * xi;
-            }
+            let acc = crate::batch::dot8(row, x) + self.b[o];
             z.push(acc);
             a.push(self.act.apply(acc));
         }

@@ -27,12 +27,16 @@
 
 mod activation;
 mod adam;
+mod batch;
 mod layer;
 pub mod loss;
 mod mlp;
+mod quant;
 mod serialize;
 
 pub use activation::Activation;
 pub use adam::Adam;
+pub use batch::{dot8, BatchForwardScratch};
 pub use layer::Dense;
 pub use mlp::{ForwardScratch, Mlp, Tape};
+pub use quant::{QuantScratch, QuantizedDense, QuantizedMlp};

@@ -70,6 +70,8 @@ fn usage() -> ! {
          evaluate: --model FILE --seqs N --len N\n\
          analyze:  --model FILE\n\
          serve:    --model FILE --addr HOST:PORT --workers N --batch N\n\
+         \x20          --shards N     (per-core engine shards, default 1)\n\
+         \x20          --quantized 1  (int8 fused inference path)\n\
          \x20          --queue N --deadline-ms N --telemetry FILE.jsonl\n\
          \x20          --metrics-addr HOST:PORT   (Prometheus exposition endpoint)\n\
          \x20          (TCP decision service; port 0 = ephemeral, printed on stdout)\n\
@@ -77,9 +79,10 @@ fn usage() -> ! {
          trace:    --out FILE.swf\n\
          check-telemetry: --file FILE.jsonl   (validate a telemetry sidecar)\n\
          report:   FILE.jsonl [FILE.jsonl ...] [--tolerance F]\n\
-         \x20          [--bench-rollout FILE] [--bench-serve FILE]\n\
-         \x20          (per-epoch summaries, span wall-time breakdown, and a\n\
-         \x20           throughput regression check; exits 1 on regression)"
+         \x20          [--latency-tolerance F] [--bench-rollout FILE] [--bench-serve FILE]\n\
+         \x20          (per-epoch summaries, span wall-time breakdown, plus\n\
+         \x20           throughput and p99-latency regression checks vs the\n\
+         \x20           committed BENCH baselines; exits 1 on regression)"
     );
     exit(2)
 }
@@ -309,6 +312,8 @@ fn cmd_serve(args: &Args) {
         addr: args.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
         workers: args.num("workers", 4usize),
         max_batch: args.num("batch", 16usize),
+        shards: args.num("shards", 1usize),
+        quantized: args.num("quantized", 0u8) != 0,
         queue_capacity: args.num("queue", 4096usize),
         default_deadline_ms: args.get("deadline-ms").and_then(|v| v.parse().ok()),
         ..serve::ServeConfig::default()
@@ -484,6 +489,14 @@ fn cmd_report(args: &Args) {
         eprintln!("--tolerance must be in [0, 1), got {tolerance}");
         exit(2)
     }
+    // Tail latency is noisier than throughput, so its gate gets its own
+    // (more generous) knob: fail only when measured p99 exceeds the
+    // committed open-loop baseline by more than this fraction.
+    let latency_tolerance = args.num("latency-tolerance", 1.0f64);
+    if latency_tolerance < 0.0 {
+        eprintln!("--latency-tolerance must be >= 0, got {latency_tolerance}");
+        exit(2)
+    }
     let bench_rollout = load_bench_baseline(args.get("bench-rollout"), "BENCH_rollout.json");
     let bench_serve = load_bench_baseline(args.get("bench-serve"), "BENCH_serve.json");
     let mut regressed = false;
@@ -524,6 +537,22 @@ fn cmd_report(args: &Args) {
                 check.baseline,
                 check.ratio() * 100.0,
                 (1.0 - check.tolerance) * 100.0,
+            );
+        }
+        for check in obs::report::latency_checks(&report, bench_serve.as_ref(), latency_tolerance) {
+            let verdict = if check.regressed() {
+                regressed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "latency    {:<8} p99 {:.1}us vs baseline {:.1}us ({:.0}% of baseline, ceiling {:.0}%): {verdict}",
+                check.name,
+                check.measured,
+                check.baseline,
+                check.ratio() * 100.0,
+                (1.0 + check.tolerance) * 100.0,
             );
         }
         println!();
