@@ -119,6 +119,14 @@ pub enum TrainError {
         /// Name of the offending trace.
         trace: String,
     },
+    /// A [`workload::TraceSource`] failed to load
+    /// (see [`Trainer::builder_source`]).
+    Source {
+        /// The source's [`workload::TraceSource::id`].
+        id: String,
+        /// The rendered [`workload::SourceError`].
+        message: String,
+    },
 }
 
 impl std::fmt::Display for TrainError {
@@ -128,6 +136,9 @@ impl std::fmt::Display for TrainError {
             TrainError::EmptyTrace { trace } => {
                 write!(f, "trace '{trace}' has no jobs to train on")
             }
+            TrainError::Source { id, message } => {
+                write!(f, "cannot load trace source {id}: {message}")
+            }
         }
     }
 }
@@ -136,7 +147,7 @@ impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrainError::Config(e) => Some(e),
-            TrainError::EmptyTrace { .. } => None,
+            TrainError::EmptyTrace { .. } | TrainError::Source { .. } => None,
         }
     }
 }
@@ -243,6 +254,20 @@ impl Trainer {
             config: InspectorConfig::default(),
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Start building a trainer over the trace produced by any
+    /// [`workload::TraceSource`] (SWF archive, synthetic profile,
+    /// scenario-compiled). The source is loaded eagerly so ingestion
+    /// failures surface here, not at `build()`.
+    pub fn builder_source(
+        source: &dyn workload::TraceSource,
+    ) -> Result<TrainerBuilder, TrainError> {
+        let trace = source.load().map_err(|e| TrainError::Source {
+            id: source.id(),
+            message: e.to_string(),
+        })?;
+        Ok(Trainer::builder(trace))
     }
 
     /// Create a trainer over `trace` improving the base policy produced by

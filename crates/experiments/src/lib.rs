@@ -13,7 +13,7 @@ pub use harness::{train_combo, train_combo_traced, ComboSpec, TrainOutcome};
 pub use output::{print_table, write_csv};
 pub use scale::{parse_args, Scale};
 
-use workload::JobTrace;
+use workload::{JobTrace, SyntheticSource, TraceSource};
 
 /// Sidecar telemetry for an experiment binary. Opt-in: when
 /// `SCHEDINSPECTOR_TELEMETRY` is set (to anything), training events stream
@@ -53,8 +53,16 @@ pub const TRACES: [&str; 4] = ["SDSC-SP2", "CTC-SP2", "Lublin", "HPC2N"];
 /// Generate a paper trace at the scale's job count, deterministically from
 /// `seed`.
 pub fn load_trace(name: &str, scale: &Scale, seed: u64) -> JobTrace {
-    workload::paper_trace(name, scale.trace_jobs, seed ^ trace_salt(name))
-        .unwrap_or_else(|| panic!("unknown trace {name:?}"))
+    trace_source(name, scale, seed)
+        .load()
+        .unwrap_or_else(|e| panic!("cannot load trace {name:?}: {e}"))
+}
+
+/// The [`TraceSource`] behind [`load_trace`]: the named calibrated profile
+/// at the scale's job count, salted per trace name so cross-trace
+/// experiments never share an RNG stream.
+pub fn trace_source(name: &str, scale: &Scale, seed: u64) -> SyntheticSource {
+    SyntheticSource::new(name, scale.trace_jobs, seed ^ trace_salt(name))
 }
 
 fn trace_salt(name: &str) -> u64 {

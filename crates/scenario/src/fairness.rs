@@ -1,0 +1,433 @@
+//! Per-tenant fairness and tail metrics.
+//!
+//! A [`FairnessReport`] joins simulation outcomes (or serve replay
+//! latencies) back to the tenant ranges a scenario compiled, and summarizes
+//! each tenant's wait/slowdown distribution plus a Jain fairness index
+//! across tenants. The JSON form is what `schedinspector report
+//! --fairness` renders, so the simulator path and the serving path emit
+//! the same schema.
+
+use std::collections::BTreeMap;
+
+use obs::json::Json;
+use simhpc::SimResult;
+use workload::Job;
+
+use crate::compile::TenantRange;
+
+/// Summary statistics for one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMetrics {
+    /// Tenant name.
+    pub name: String,
+    /// Jobs (or requests) attributed to the tenant.
+    pub jobs: u64,
+    /// Mean wait (sim) or mean latency (serve), seconds.
+    pub mean_wait_s: f64,
+    /// 99th percentile wait/latency, seconds.
+    pub p99_wait_s: f64,
+    /// Mean bounded slowdown (sim only; 0 for serve sources).
+    pub mean_bsld: f64,
+    /// 99th percentile bounded slowdown (sim only; 0 for serve sources).
+    pub p99_bsld: f64,
+}
+
+/// Fairness report across a scenario's tenants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Where the numbers came from: `"sim"` or `"serve"`.
+    pub source: String,
+    /// Per-tenant rows, in tenant order.
+    pub tenants: Vec<TenantMetrics>,
+    /// Jain fairness index over per-tenant mean slowdown (sim) or mean
+    /// latency (serve). 1.0 = perfectly even, 1/n = one tenant takes all
+    /// the pain.
+    pub jain: f64,
+}
+
+/// `p`-th percentile (0–100) by nearest-rank on a sorted slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over non-negative values.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+fn summarize(name: &str, mut waits: Vec<f64>, mut bslds: Vec<f64>) -> TenantMetrics {
+    waits.sort_by(f64::total_cmp);
+    bslds.sort_by(f64::total_cmp);
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    TenantMetrics {
+        name: name.to_string(),
+        jobs: waits.len() as u64,
+        mean_wait_s: mean(&waits),
+        p99_wait_s: percentile(&waits, 99.0),
+        mean_bsld: mean(&bslds),
+        p99_bsld: percentile(&bslds, 99.0),
+    }
+}
+
+impl FairnessReport {
+    /// Build a report from a simulation: outcomes are joined to the input
+    /// jobs by id to recover the submitting user, and users map to tenants
+    /// through the compiled ranges. Jobs outside every range land in an
+    /// `"(other)"` row so nothing is silently dropped.
+    pub fn from_sim(
+        scenario: impl Into<String>,
+        result: &SimResult,
+        jobs: &[Job],
+        tenants: &[TenantRange],
+    ) -> Self {
+        let user_of: BTreeMap<u64, u32> = jobs.iter().map(|j| (j.id, j.user)).collect();
+        let mut waits: Vec<Vec<f64>> = vec![Vec::new(); tenants.len() + 1];
+        let mut bslds: Vec<Vec<f64>> = vec![Vec::new(); tenants.len() + 1];
+        for o in &result.outcomes {
+            let slot = user_of
+                .get(&o.id)
+                .and_then(|&u| tenants.iter().position(|t| t.contains(u)))
+                .unwrap_or(tenants.len());
+            waits[slot].push(o.wait());
+            bslds[slot].push(o.bsld());
+        }
+        let mut rows = Vec::with_capacity(tenants.len() + 1);
+        for (i, t) in tenants.iter().enumerate() {
+            rows.push(summarize(
+                &t.name,
+                std::mem::take(&mut waits[i]),
+                std::mem::take(&mut bslds[i]),
+            ));
+        }
+        if !waits[tenants.len()].is_empty() {
+            rows.push(summarize(
+                "(other)",
+                std::mem::take(&mut waits[tenants.len()]),
+                std::mem::take(&mut bslds[tenants.len()]),
+            ));
+        }
+        Self::assemble(scenario, "sim", rows)
+    }
+
+    /// Build a report from per-tenant latency samples (seconds), as
+    /// collected by a serve replay. Slowdown columns are zero.
+    pub fn from_latencies(scenario: impl Into<String>, samples: Vec<(String, Vec<f64>)>) -> Self {
+        let rows = samples
+            .into_iter()
+            .map(|(name, lat)| summarize(&name, lat, Vec::new()))
+            .collect();
+        Self::assemble(scenario, "serve", rows)
+    }
+
+    /// Assemble a report from pre-computed rows. The serve replay records
+    /// latencies in log-linear histograms rather than raw vectors, so it
+    /// summarizes per tenant itself and hands the rows over here.
+    pub fn from_rows(
+        scenario: impl Into<String>,
+        source: &str,
+        tenants: Vec<TenantMetrics>,
+    ) -> Self {
+        Self::assemble(scenario, source, tenants)
+    }
+
+    fn assemble(scenario: impl Into<String>, source: &str, tenants: Vec<TenantMetrics>) -> Self {
+        // Fairness over the tenant means of the source's primary metric:
+        // bounded slowdown for simulations, latency for serve replays.
+        let xs: Vec<f64> = tenants
+            .iter()
+            .filter(|t| t.jobs > 0)
+            .map(|t| {
+                if source == "sim" {
+                    t.mean_bsld
+                } else {
+                    t.mean_wait_s
+                }
+            })
+            .collect();
+        FairnessReport {
+            scenario: scenario.into(),
+            source: source.to_string(),
+            tenants,
+            jain: jain_index(&xs),
+        }
+    }
+
+    /// Serialize to the JSON schema consumed by `schedinspector report`.
+    pub fn to_json(&self) -> Json {
+        let mut root = BTreeMap::new();
+        root.insert("kind".into(), Json::String("fairness".into()));
+        root.insert("scenario".into(), Json::String(self.scenario.clone()));
+        root.insert("source".into(), Json::String(self.source.clone()));
+        root.insert("jain".into(), Json::Number(self.jain));
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let mut row = BTreeMap::new();
+                row.insert("name".into(), Json::String(t.name.clone()));
+                row.insert("jobs".into(), Json::Number(t.jobs as f64));
+                row.insert("mean_wait_s".into(), Json::Number(t.mean_wait_s));
+                row.insert("p99_wait_s".into(), Json::Number(t.p99_wait_s));
+                row.insert("mean_bsld".into(), Json::Number(t.mean_bsld));
+                row.insert("p99_bsld".into(), Json::Number(t.p99_bsld));
+                Json::Object(row)
+            })
+            .collect();
+        root.insert("tenants".into(), Json::Array(tenants));
+        Json::Object(root)
+    }
+
+    /// Parse the JSON form back (for `schedinspector report --fairness`).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        if v.get("kind").and_then(Json::as_str) != Some("fairness") {
+            return Err("not a fairness report (kind != \"fairness\")".into());
+        }
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let scenario = str_field("scenario")?;
+        let source = str_field("source")?;
+        let jain = v
+            .get("jain")
+            .and_then(Json::as_f64)
+            .ok_or("missing numeric field \"jain\"")?;
+        let rows = v
+            .get("tenants")
+            .and_then(Json::as_array)
+            .ok_or("missing array field \"tenants\"")?;
+        let mut tenants = Vec::with_capacity(rows.len());
+        for row in rows {
+            let num = |key: &str| -> Result<f64, String> {
+                row.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("tenant row missing numeric field {key:?}"))
+            };
+            tenants.push(TenantMetrics {
+                name: row
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("tenant row missing \"name\"")?
+                    .to_string(),
+                jobs: num("jobs")? as u64,
+                mean_wait_s: num("mean_wait_s")?,
+                p99_wait_s: num("p99_wait_s")?,
+                mean_bsld: num("mean_bsld")?,
+                p99_bsld: num("p99_bsld")?,
+            });
+        }
+        Ok(FairnessReport {
+            scenario,
+            source,
+            tenants,
+            jain,
+        })
+    }
+
+    /// Render an aligned plain-text table. Column labels follow the
+    /// source: simulation rows report wait/slowdown, serve rows latency.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let sim = self.source == "sim";
+        let (c1, c2) = if sim {
+            ("mean_wait_s", "p99_wait_s")
+        } else {
+            ("mean_lat_s", "p99_lat_s")
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fairness: scenario={} source={} jain={:.4}",
+            self.scenario, self.source, self.jain
+        );
+        let name_w = self
+            .tenants
+            .iter()
+            .map(|t| t.name.len())
+            .chain(["tenant".len()])
+            .max()
+            .unwrap_or(6);
+        if sim {
+            let _ = writeln!(
+                out,
+                "{:name_w$}  {:>8}  {:>12}  {:>12}  {:>10}  {:>10}",
+                "tenant", "jobs", c1, c2, "mean_bsld", "p99_bsld"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:name_w$}  {:>8}  {:>12}  {:>12}",
+                "tenant", "reqs", c1, c2
+            );
+        }
+        for t in &self.tenants {
+            if sim {
+                let _ = writeln!(
+                    out,
+                    "{:name_w$}  {:>8}  {:>12.2}  {:>12.2}  {:>10.3}  {:>10.3}",
+                    t.name, t.jobs, t.mean_wait_s, t.p99_wait_s, t.mean_bsld, t.p99_bsld
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{:name_w$}  {:>8}  {:>12.6}  {:>12.6}",
+                    t.name, t.jobs, t.mean_wait_s, t.p99_wait_s
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simhpc::{JobOutcome, SimResult};
+
+    fn outcome(id: u64, submit: f64, start: f64, runtime: f64) -> JobOutcome {
+        JobOutcome {
+            id,
+            submit,
+            start,
+            end: start + runtime,
+            runtime,
+            procs: 1,
+            backfilled: false,
+            rejections: 0,
+        }
+    }
+
+    fn ranges() -> Vec<TenantRange> {
+        vec![
+            TenantRange {
+                name: "a".into(),
+                user_lo: 0,
+                user_hi: 10,
+            },
+            TenantRange {
+                name: "b".into(),
+                user_lo: 10,
+                user_hi: 20,
+            },
+        ]
+    }
+
+    fn job(id: u64, user: u32) -> Job {
+        Job {
+            id,
+            submit: 0.0,
+            runtime: 100.0,
+            estimate: 100.0,
+            procs: 1,
+            user,
+            queue: 0,
+        }
+    }
+
+    #[test]
+    fn from_sim_joins_outcomes_to_tenants() {
+        let jobs = vec![job(1, 0), job(2, 5), job(3, 15)];
+        let result = SimResult {
+            outcomes: vec![
+                outcome(1, 0.0, 0.0, 100.0),
+                outcome(2, 0.0, 100.0, 100.0),
+                outcome(3, 0.0, 300.0, 100.0),
+            ],
+            total_procs: 4,
+            inspections: 0,
+            rejections: 0,
+        };
+        let r = FairnessReport::from_sim("s", &result, &jobs, &ranges());
+        assert_eq!(r.tenants.len(), 2);
+        assert_eq!(r.tenants[0].jobs, 2);
+        assert_eq!(r.tenants[0].mean_wait_s, 50.0);
+        assert_eq!(r.tenants[1].jobs, 1);
+        assert_eq!(r.tenants[1].mean_wait_s, 300.0);
+        assert!(r.jain > 0.0 && r.jain <= 1.0);
+        // tenant b waits 6× longer → meaningfully unfair.
+        assert!(r.jain < 0.95, "jain {}", r.jain);
+    }
+
+    #[test]
+    fn unknown_users_get_an_other_row() {
+        let jobs = vec![job(1, 999)];
+        let result = SimResult {
+            outcomes: vec![outcome(1, 0.0, 10.0, 100.0)],
+            total_procs: 4,
+            inspections: 0,
+            rejections: 0,
+        };
+        let r = FairnessReport::from_sim("s", &result, &jobs, &ranges());
+        assert_eq!(r.tenants.len(), 3);
+        assert_eq!(r.tenants[2].name, "(other)");
+        assert_eq!(r.tenants[2].jobs, 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let jobs = vec![job(1, 0), job(2, 15)];
+        let result = SimResult {
+            outcomes: vec![outcome(1, 0.0, 5.0, 50.0), outcome(2, 0.0, 80.0, 50.0)],
+            total_procs: 4,
+            inspections: 3,
+            rejections: 1,
+        };
+        let r = FairnessReport::from_sim("round", &result, &jobs, &ranges());
+        let text = r.to_json().to_string();
+        let back = FairnessReport::from_json(&obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn serve_source_renders_latency_columns() {
+        let r = FairnessReport::from_latencies(
+            "replay",
+            vec![
+                ("a".into(), vec![0.001, 0.002, 0.003]),
+                ("b".into(), vec![0.010]),
+            ],
+        );
+        assert_eq!(r.source, "serve");
+        assert_eq!(r.tenants[0].jobs, 3);
+        assert_eq!(r.tenants[0].mean_bsld, 0.0);
+        let table = r.render();
+        assert!(table.contains("mean_lat_s"), "{table}");
+        assert!(table.contains("jain"), "{table}");
+    }
+
+    #[test]
+    fn percentile_and_jain_edge_cases() {
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        assert_eq!(percentile(&[5.0], 99.0), 5.0);
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let skew = jain_index(&[10.0, 0.1, 0.1]);
+        assert!(skew < 0.5, "jain {skew}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Declarative traffic scenarios for the SchedInspector reproduction.
+//!
+//! The north-star deployment serves scheduling decisions for clusters with
+//! very large, multi-tenant user populations. This crate lets an operator
+//! describe that traffic declaratively — tenants with Zipf-skewed user
+//! activity, diurnal or bursty arrival processes, flash crowds, and
+//! maintenance drains — and compile the description **deterministically**
+//! into the two artifact kinds the rest of the workspace consumes:
+//!
+//! * a synthetic SWF trace (via [`compile`] / [`swf_text`]) usable
+//!   anywhere a [`workload::TraceSource`] is accepted, with tenant
+//!   user-id ranges recorded in the SWF header; and
+//! * a typed [`LoadProfile`] replayed open-loop against the serving
+//!   engine, replacing the loadgen binary's ad-hoc flags.
+//!
+//! [`FairnessReport`] closes the loop: it joins simulation outcomes or
+//! replay latencies back to tenants and reports per-tenant tail metrics
+//! plus a Jain fairness index, rendered by `schedinspector report`.
+//!
+//! ```
+//! let spec = scenario::ScenarioSpec::parse(r#"
+//! [scenario]
+//! name = "demo"
+//! procs = 64
+//! horizon_hours = 1.0
+//!
+//! [[tenant]]
+//! name = "batch"
+//! users = 20
+//! rate_per_hour = 120.0
+//! "#).unwrap();
+//! let a = scenario::compile(&spec, 42).unwrap();
+//! let b = scenario::compile(&spec, 42).unwrap();
+//! assert_eq!(scenario::swf_text(&a), scenario::swf_text(&b));
+//! assert_eq!(a.profile.to_toml(), b.profile.to_toml());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod fairness;
+pub mod profile;
+pub mod spec;
+pub mod toml;
+
+pub use compile::{
+    compile, swf_text, tenant_ranges_from_header, CompileError, Compiled, TenantRange,
+    PROFILE_PHASES,
+};
+pub use fairness::{jain_index, percentile, FairnessReport, TenantMetrics};
+pub use profile::{LoadProfile, ProfileError, TenantShare};
+pub use spec::{
+    ArrivalKind, EventKind, EventSpec, ReplaySpec, ScenarioSpec, SpecError, TenantSpec,
+};
+
+use std::path::{Path, PathBuf};
+
+use workload::{JobTrace, SourceError, TraceSource};
+
+/// A [`TraceSource`] that compiles a scenario spec file on `load`.
+///
+/// This is the third ingestion backend next to
+/// [`workload::SwfFileSource`] and [`workload::SyntheticSource`]: the
+/// simulator, trainer, and experiment binaries can consume a scenario
+/// without knowing anything about the grammar.
+#[derive(Debug, Clone)]
+pub struct ScenarioSource {
+    path: PathBuf,
+    seed: u64,
+}
+
+impl ScenarioSource {
+    /// Source for the spec at `path`, compiled with `seed`.
+    pub fn new(path: impl Into<PathBuf>, seed: u64) -> Self {
+        ScenarioSource {
+            path: path.into(),
+            seed,
+        }
+    }
+
+    /// The spec file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Parse the spec and compile the full artifact set (trace, tenant
+    /// ranges, load profile). `load` keeps only the trace.
+    pub fn compile(&self) -> Result<Compiled, SourceError> {
+        let text = std::fs::read_to_string(&self.path).map_err(SourceError::Io)?;
+        let spec = ScenarioSpec::parse(&text)
+            .map_err(|e| SourceError::Other(format!("{}: {e}", self.path.display())))?;
+        compile::compile(&spec, self.seed).map_err(|e| SourceError::Other(e.to_string()))
+    }
+}
+
+impl TraceSource for ScenarioSource {
+    fn id(&self) -> String {
+        format!("scenario:{}:{}", self.path.display(), self.seed)
+    }
+
+    fn load(&self) -> Result<JobTrace, SourceError> {
+        Ok(self.compile()?.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_source_compiles_through_the_trait() {
+        let dir = std::env::temp_dir().join(format!("scn-src-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"demo\"\nprocs = 32\nhorizon_hours = 1.0\n\
+             [[tenant]]\nname = \"t\"\nusers = 5\nrate_per_hour = 240.0\n",
+        )
+        .unwrap();
+        let src = ScenarioSource::new(&path, 9);
+        assert!(src.id().starts_with("scenario:"));
+        let trace = src.load().unwrap();
+        assert_eq!(trace.procs, 32);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.jobs, src.load().unwrap().jobs, "load is pure");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_source_surfaces_errors() {
+        let missing = ScenarioSource::new("/nonexistent/spec.toml", 1);
+        assert!(matches!(missing.load(), Err(SourceError::Io(_))));
+        let dir = std::env::temp_dir().join(format!("scn-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.toml");
+        std::fs::write(&path, "[scenario]\nname = \"x\"\n").unwrap();
+        assert!(matches!(
+            ScenarioSource::new(&path, 1).load(),
+            Err(SourceError::Other(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

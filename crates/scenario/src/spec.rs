@@ -1,0 +1,745 @@
+//! The declarative scenario grammar.
+//!
+//! A scenario spec is a TOML document describing a machine, a set of tenant
+//! populations, and a timeline of load events:
+//!
+//! ```toml
+//! [scenario]
+//! name = "flash-crowd"
+//! procs = 256
+//! horizon_hours = 6.0
+//!
+//! [[tenant]]
+//! name = "batch"
+//! users = 200
+//! rate_per_hour = 300.0
+//! arrival = "diurnal"
+//!
+//! [[tenant]]
+//! name = "interactive"
+//! users = 1500
+//! rate_per_hour = 120.0
+//! mean_runtime_s = 300.0
+//!
+//! [[event]]
+//! kind = "flash_crowd"
+//! tenant = "interactive"
+//! start_hours = 2.0
+//! duration_hours = 0.5
+//! multiplier = 8.0
+//!
+//! [replay]
+//! qps = 50.0
+//! secs = 5.0
+//! conns = 8
+//! ```
+//!
+//! Parsing is strict: unknown sections or keys are errors, so a typo fails
+//! `scenario validate` instead of silently compiling to the defaults.
+
+use crate::toml::{Doc, Table, TomlError, Value};
+
+/// Hard cap on the expected job count of a compiled scenario
+/// (`Σ rate × horizon`), so a fat-fingered rate cannot OOM the compiler.
+pub const MAX_EXPECTED_JOBS: f64 = 5_000_000.0;
+
+/// Hard cap on the total user population across tenants (the compiler
+/// builds an O(users) Zipf CDF table per tenant, so this bounds memory).
+pub const MAX_TOTAL_USERS: u64 = 10_000_000;
+
+/// How a tenant's jobs arrive over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Homogeneous Poisson arrivals.
+    Steady,
+    /// Poisson modulated by the shared diurnal cycle
+    /// ([`workload::synthetic::daily_cycle_weight`]).
+    Diurnal,
+    /// Steady base process plus correlated submission campaigns.
+    Bursty,
+}
+
+impl ArrivalKind {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "steady" => Some(ArrivalKind::Steady),
+            "diurnal" => Some(ArrivalKind::Diurnal),
+            "bursty" => Some(ArrivalKind::Bursty),
+            _ => None,
+        }
+    }
+
+    /// The spec keyword for this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalKind::Steady => "steady",
+            ArrivalKind::Diurnal => "diurnal",
+            ArrivalKind::Bursty => "bursty",
+        }
+    }
+}
+
+/// One tenant: a user population with its own workload shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Unique tenant name.
+    pub name: String,
+    /// User population size (users get a disjoint global id range).
+    pub users: u64,
+    /// Mean submissions per hour for the whole tenant.
+    pub rate_per_hour: f64,
+    /// Zipf exponent of the user activity skew (0 = uniform).
+    pub user_skew: f64,
+    /// Arrival process shape.
+    pub arrival: ArrivalKind,
+    /// Probability an arrival starts a submission campaign (bursty only).
+    pub burst_prob: f64,
+    /// Mean extra jobs per campaign (bursty only).
+    pub burst_mean: f64,
+    /// Target mean requested processors.
+    pub mean_procs: f64,
+    /// Probability of a serial (1-proc) job.
+    pub serial_prob: f64,
+    /// Probability a parallel size snaps to a power of two.
+    pub pow2_prob: f64,
+    /// Mean actual runtime, seconds.
+    pub mean_runtime_s: f64,
+    /// Log-scale spread of the runtime log-normal.
+    pub runtime_sigma: f64,
+    /// Mean walltime over-estimation factor (≥ 1).
+    pub overest: f64,
+}
+
+/// What a timeline event does to the arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// Multiply the arrival rate by `multiplier` for the window.
+    FlashCrowd {
+        /// Rate multiplier (> 1).
+        multiplier: f64,
+    },
+    /// Maintenance drain: suppress submissions entirely for the window.
+    Drain,
+}
+
+/// One timeline event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSpec {
+    /// What happens.
+    pub kind: EventKind,
+    /// Affected tenant, or `None` for all tenants.
+    pub tenant: Option<String>,
+    /// Window start, seconds from scenario origin.
+    pub start_s: f64,
+    /// Window length, seconds.
+    pub duration_s: f64,
+}
+
+impl EventSpec {
+    /// The rate multiplier this event applies at time `t` for tenant
+    /// `tenant` (1.0 outside the window or for other tenants).
+    pub fn multiplier_at(&self, t: f64, tenant: &str) -> f64 {
+        if let Some(target) = &self.tenant {
+            if target != tenant {
+                return 1.0;
+            }
+        }
+        if t < self.start_s || t >= self.start_s + self.duration_s {
+            return 1.0;
+        }
+        match self.kind {
+            EventKind::FlashCrowd { multiplier } => multiplier,
+            EventKind::Drain => 0.0,
+        }
+    }
+}
+
+/// Serve-replay parameters compiled into the [`LoadProfile`]
+/// (`crate::profile::LoadProfile`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplaySpec {
+    /// Mean request rate for open-loop replay.
+    pub qps: f64,
+    /// Replay duration, seconds.
+    pub secs: f64,
+    /// Client connection count (before shard balancing).
+    pub conns: u32,
+}
+
+impl Default for ReplaySpec {
+    fn default() -> Self {
+        ReplaySpec {
+            qps: 50.0,
+            secs: 5.0,
+            conns: 8,
+        }
+    }
+}
+
+/// A validated scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (becomes the trace name).
+    pub name: String,
+    /// Machine processor count.
+    pub procs: u32,
+    /// Timeline length, seconds.
+    pub horizon_s: f64,
+    /// Tenant populations (at least one).
+    pub tenants: Vec<TenantSpec>,
+    /// Timeline events.
+    pub events: Vec<EventSpec>,
+    /// Serve-replay parameters.
+    pub replay: ReplaySpec,
+}
+
+impl ScenarioSpec {
+    /// Parse and validate a spec document.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let doc = Doc::parse(text)?;
+        Self::from_doc(&doc)
+    }
+
+    fn from_doc(doc: &Doc) -> Result<Self, SpecError> {
+        if let Some((key, _)) = doc.root.entries.first() {
+            return Err(SpecError::at(
+                "top level",
+                format!("key {key:?} outside any section; keys go under [scenario]"),
+            ));
+        }
+        for path in doc.section_paths() {
+            if !matches!(path, "scenario" | "tenant" | "event" | "replay") {
+                return Err(SpecError::at(
+                    "top level",
+                    format!("unknown section [{path}]"),
+                ));
+            }
+        }
+
+        let scenario = doc
+            .table("scenario")
+            .ok_or_else(|| SpecError::at("top level", "missing [scenario] section"))?;
+        check_keys(scenario, "scenario", &["name", "procs", "horizon_hours"])?;
+        let name = req_str(scenario, "scenario", "name")?;
+        let procs = req_f64(scenario, "scenario", "procs")?;
+        if !(1.0..=1_048_576.0).contains(&procs) || procs.fract() != 0.0 {
+            return Err(SpecError::at(
+                "scenario",
+                format!("procs must be an integer in [1, 1048576], got {procs}"),
+            ));
+        }
+        let horizon_hours = req_f64(scenario, "scenario", "horizon_hours")?;
+        if !(horizon_hours > 0.0 && horizon_hours <= 24.0 * 365.0) {
+            return Err(SpecError::at(
+                "scenario",
+                format!("horizon_hours must be in (0, 8760], got {horizon_hours}"),
+            ));
+        }
+        let horizon_s = horizon_hours * 3600.0;
+
+        let tenant_tables = doc.array("tenant");
+        if tenant_tables.is_empty() {
+            return Err(SpecError::at(
+                "top level",
+                "at least one [[tenant]] required",
+            ));
+        }
+        let mut tenants = Vec::with_capacity(tenant_tables.len());
+        for t in &tenant_tables {
+            tenants.push(parse_tenant(t, procs as u32)?);
+        }
+        for i in 1..tenants.len() {
+            if tenants[..i].iter().any(|t| t.name == tenants[i].name) {
+                return Err(SpecError::at(
+                    "tenant",
+                    format!("duplicate tenant name {:?}", tenants[i].name),
+                ));
+            }
+        }
+        let total_users: u64 = tenants.iter().map(|t| t.users).sum();
+        if total_users > MAX_TOTAL_USERS {
+            return Err(SpecError::at(
+                "tenant",
+                format!("total user population {total_users} exceeds {MAX_TOTAL_USERS}"),
+            ));
+        }
+        let expected_jobs: f64 = tenants
+            .iter()
+            .map(|t| t.rate_per_hour * horizon_hours)
+            .sum();
+        if expected_jobs > MAX_EXPECTED_JOBS {
+            return Err(SpecError::at(
+                "tenant",
+                format!(
+                    "expected job count {expected_jobs:.0} (Σ rate_per_hour × horizon) \
+                     exceeds {MAX_EXPECTED_JOBS:.0}"
+                ),
+            ));
+        }
+
+        let mut events = Vec::new();
+        for e in doc.array("event") {
+            events.push(parse_event(e, horizon_s, &tenants)?);
+        }
+
+        let replay = match doc.table("replay") {
+            None => ReplaySpec::default(),
+            Some(r) => parse_replay(r)?,
+        };
+
+        Ok(ScenarioSpec {
+            name,
+            procs: procs as u32,
+            horizon_s,
+            tenants,
+            events,
+            replay,
+        })
+    }
+
+    /// The combined rate multiplier (events only) for `tenant` at `t`.
+    pub fn event_multiplier(&self, t: f64, tenant: &str) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.multiplier_at(t, tenant))
+            .product()
+    }
+
+    /// Upper bound of [`event_multiplier`](Self::event_multiplier) over the
+    /// whole horizon for `tenant` (drains never raise it).
+    pub fn max_event_multiplier(&self, tenant: &str) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| match e.tenant.as_deref() {
+                None => true,
+                Some(t) => t == tenant,
+            })
+            .map(|e| match e.kind {
+                EventKind::FlashCrowd { multiplier } => multiplier,
+                EventKind::Drain => 1.0,
+            })
+            .product()
+    }
+}
+
+fn parse_tenant(t: &Table, procs: u32) -> Result<TenantSpec, SpecError> {
+    const KEYS: &[&str] = &[
+        "name",
+        "users",
+        "rate_per_hour",
+        "user_skew",
+        "arrival",
+        "burst_prob",
+        "burst_mean",
+        "mean_procs",
+        "serial_prob",
+        "pow2_prob",
+        "mean_runtime_s",
+        "runtime_sigma",
+        "overest",
+    ];
+    check_keys(t, "tenant", KEYS)?;
+    let name = req_str(t, "tenant", "name")?;
+    let ctx = format!("tenant {name:?}");
+
+    let users = req_f64(t, &ctx, "users")?;
+    if users < 1.0 || users.fract() != 0.0 || users > MAX_TOTAL_USERS as f64 {
+        return Err(SpecError::at(
+            &ctx,
+            format!("users must be a positive integer, got {users}"),
+        ));
+    }
+    let rate_per_hour = req_f64(t, &ctx, "rate_per_hour")?;
+    if rate_per_hour.is_nan() || rate_per_hour <= 0.0 {
+        return Err(SpecError::at(
+            &ctx,
+            format!("rate_per_hour must be positive, got {rate_per_hour}"),
+        ));
+    }
+
+    let user_skew = opt_f64(t, &ctx, "user_skew", 1.1)?;
+    if !(0.0..=10.0).contains(&user_skew) {
+        return Err(SpecError::at(&ctx, "user_skew must be in [0, 10]"));
+    }
+    let arrival = match t.get("arrival") {
+        None => ArrivalKind::Steady,
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| SpecError::at(&ctx, "arrival must be a string"))?;
+            ArrivalKind::parse(s).ok_or_else(|| {
+                SpecError::at(
+                    &ctx,
+                    format!("arrival must be steady|diurnal|bursty, got {s:?}"),
+                )
+            })?
+        }
+    };
+    let burst_prob = opt_f64(t, &ctx, "burst_prob", 0.05)?;
+    let burst_mean = opt_f64(t, &ctx, "burst_mean", 4.0)?;
+    let serial_prob = opt_f64(t, &ctx, "serial_prob", 0.25)?;
+    let pow2_prob = opt_f64(t, &ctx, "pow2_prob", 0.75)?;
+    for (key, v) in [
+        ("burst_prob", burst_prob),
+        ("serial_prob", serial_prob),
+        ("pow2_prob", pow2_prob),
+    ] {
+        if !(0.0..=1.0).contains(&v) {
+            return Err(SpecError::at(
+                &ctx,
+                format!("{key} must be in [0, 1], got {v}"),
+            ));
+        }
+    }
+    if burst_mean.is_nan() || burst_mean <= 0.0 {
+        return Err(SpecError::at(&ctx, "burst_mean must be positive"));
+    }
+
+    let default_mean_procs = (procs as f64 / 16.0).max(1.0);
+    let mean_procs = opt_f64(t, &ctx, "mean_procs", default_mean_procs)?;
+    if !(1.0 <= mean_procs && mean_procs <= procs as f64) {
+        return Err(SpecError::at(
+            &ctx,
+            format!("mean_procs must be in [1, {procs}], got {mean_procs}"),
+        ));
+    }
+    let mean_runtime_s = opt_f64(t, &ctx, "mean_runtime_s", 3600.0)?;
+    if mean_runtime_s.is_nan() || mean_runtime_s < 10.0 {
+        return Err(SpecError::at(&ctx, "mean_runtime_s must be ≥ 10"));
+    }
+    let runtime_sigma = opt_f64(t, &ctx, "runtime_sigma", 1.2)?;
+    if !(runtime_sigma > 0.0 && runtime_sigma <= 5.0) {
+        return Err(SpecError::at(&ctx, "runtime_sigma must be in (0, 5]"));
+    }
+    let overest = opt_f64(t, &ctx, "overest", 1.5)?;
+    if !(1.0..=100.0).contains(&overest) {
+        return Err(SpecError::at(&ctx, "overest must be in [1, 100]"));
+    }
+
+    Ok(TenantSpec {
+        name,
+        users: users as u64,
+        rate_per_hour,
+        user_skew,
+        arrival,
+        burst_prob,
+        burst_mean,
+        mean_procs,
+        serial_prob,
+        pow2_prob,
+        mean_runtime_s,
+        runtime_sigma,
+        overest,
+    })
+}
+
+fn parse_event(e: &Table, horizon_s: f64, tenants: &[TenantSpec]) -> Result<EventSpec, SpecError> {
+    const KEYS: &[&str] = &[
+        "kind",
+        "tenant",
+        "start_hours",
+        "duration_hours",
+        "multiplier",
+    ];
+    check_keys(e, "event", KEYS)?;
+    let kind_name = req_str(e, "event", "kind")?;
+    let ctx = format!("event {kind_name:?}");
+
+    let tenant = match e.get("tenant") {
+        None => None,
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| SpecError::at(&ctx, "tenant must be a string"))?;
+            if !tenants.iter().any(|t| t.name == s) {
+                return Err(SpecError::at(&ctx, format!("unknown tenant {s:?}")));
+            }
+            Some(s.to_string())
+        }
+    };
+    let start_s = req_f64(e, &ctx, "start_hours")? * 3600.0;
+    let duration_s = req_f64(e, &ctx, "duration_hours")? * 3600.0;
+    if !(start_s >= 0.0 && start_s < horizon_s) {
+        return Err(SpecError::at(
+            &ctx,
+            format!(
+                "start_hours must be in [0, horizon), got {}",
+                start_s / 3600.0
+            ),
+        ));
+    }
+    if duration_s.is_nan() || duration_s <= 0.0 {
+        return Err(SpecError::at(&ctx, "duration_hours must be positive"));
+    }
+
+    let kind = match kind_name.as_str() {
+        "flash_crowd" => {
+            let multiplier = req_f64(e, &ctx, "multiplier")?;
+            if !(multiplier > 1.0 && multiplier <= 1000.0) {
+                return Err(SpecError::at(
+                    &ctx,
+                    format!("multiplier must be in (1, 1000], got {multiplier}"),
+                ));
+            }
+            EventKind::FlashCrowd { multiplier }
+        }
+        "drain" => {
+            if e.get("multiplier").is_some() {
+                return Err(SpecError::at(&ctx, "drain events take no multiplier"));
+            }
+            EventKind::Drain
+        }
+        other => {
+            return Err(SpecError::at(
+                "event",
+                format!("kind must be flash_crowd|drain, got {other:?}"),
+            ))
+        }
+    };
+
+    Ok(EventSpec {
+        kind,
+        tenant,
+        start_s,
+        duration_s,
+    })
+}
+
+fn parse_replay(r: &Table) -> Result<ReplaySpec, SpecError> {
+    check_keys(r, "replay", &["qps", "secs", "conns"])?;
+    let d = ReplaySpec::default();
+    let qps = opt_f64(r, "replay", "qps", d.qps)?;
+    let secs = opt_f64(r, "replay", "secs", d.secs)?;
+    let conns = opt_f64(r, "replay", "conns", d.conns as f64)?;
+    if !(qps > 0.0 && qps <= 1e6) {
+        return Err(SpecError::at("replay", "qps must be in (0, 1e6]"));
+    }
+    if !(secs > 0.0 && secs <= 3600.0) {
+        return Err(SpecError::at("replay", "secs must be in (0, 3600]"));
+    }
+    if conns < 1.0 || conns.fract() != 0.0 || conns > 4096.0 {
+        return Err(SpecError::at(
+            "replay",
+            "conns must be an integer in [1, 4096]",
+        ));
+    }
+    Ok(ReplaySpec {
+        qps,
+        secs,
+        conns: conns as u32,
+    })
+}
+
+fn check_keys(t: &Table, section: &str, allowed: &[&str]) -> Result<(), SpecError> {
+    for key in t.keys() {
+        if !allowed.contains(&key) {
+            return Err(SpecError::at(
+                section,
+                format!("unknown key {key:?} (allowed: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn req_str(t: &Table, section: &str, key: &str) -> Result<String, SpecError> {
+    let v = t
+        .get(key)
+        .ok_or_else(|| SpecError::at(section, format!("missing key {key:?}")))?;
+    let s = v
+        .as_str()
+        .ok_or_else(|| SpecError::at(section, format!("{key} must be a string")))?;
+    if s.is_empty() {
+        return Err(SpecError::at(section, format!("{key} must be non-empty")));
+    }
+    Ok(s.to_string())
+}
+
+fn req_f64(t: &Table, section: &str, key: &str) -> Result<f64, SpecError> {
+    let v = t
+        .get(key)
+        .ok_or_else(|| SpecError::at(section, format!("missing key {key:?}")))?;
+    num(v, section, key)
+}
+
+fn opt_f64(t: &Table, section: &str, key: &str, default: f64) -> Result<f64, SpecError> {
+    match t.get(key) {
+        None => Ok(default),
+        Some(v) => num(v, section, key),
+    }
+}
+
+fn num(v: &Value, section: &str, key: &str) -> Result<f64, SpecError> {
+    let n = v
+        .as_f64()
+        .ok_or_else(|| SpecError::at(section, format!("{key} must be a number")))?;
+    if !n.is_finite() {
+        return Err(SpecError::at(section, format!("{key} must be finite")));
+    }
+    Ok(n)
+}
+
+/// A spec syntax or validation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// TOML-level syntax error.
+    Toml(TomlError),
+    /// Semantic validation failure, with the section that failed.
+    Invalid {
+        /// Which section or entity the error is about.
+        section: String,
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl SpecError {
+    fn at(section: impl Into<String>, message: impl Into<String>) -> Self {
+        SpecError::Invalid {
+            section: section.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl From<TomlError> for SpecError {
+    fn from(e: TomlError) -> Self {
+        SpecError::Toml(e)
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Toml(e) => write!(f, "spec syntax: {e}"),
+            SpecError::Invalid { section, message } => write!(f, "spec {section}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Toml(e) => Some(e),
+            SpecError::Invalid { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+[scenario]
+name = "mini"
+procs = 64
+horizon_hours = 2.0
+
+[[tenant]]
+name = "batch"
+users = 10
+rate_per_hour = 60.0
+"#;
+
+    #[test]
+    fn minimal_spec_parses_with_defaults() {
+        let s = ScenarioSpec::parse(MINIMAL).unwrap();
+        assert_eq!(s.name, "mini");
+        assert_eq!(s.procs, 64);
+        assert_eq!(s.horizon_s, 7200.0);
+        assert_eq!(s.tenants.len(), 1);
+        let t = &s.tenants[0];
+        assert_eq!(t.arrival, ArrivalKind::Steady);
+        assert_eq!(t.user_skew, 1.1);
+        assert_eq!(t.mean_procs, 4.0);
+        assert_eq!(s.replay, ReplaySpec::default());
+        assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn full_spec_parses() {
+        let text = format!(
+            "{MINIMAL}\n\
+             [[tenant]]\nname = \"ui\"\nusers = 1000\nrate_per_hour = 30.0\n\
+             arrival = \"diurnal\"\nmean_runtime_s = 120.0\n\
+             [[event]]\nkind = \"flash_crowd\"\ntenant = \"ui\"\n\
+             start_hours = 0.5\nduration_hours = 0.25\nmultiplier = 6.0\n\
+             [[event]]\nkind = \"drain\"\nstart_hours = 1.5\nduration_hours = 0.5\n\
+             [replay]\nqps = 80.0\nsecs = 3.0\nconns = 6\n"
+        );
+        let s = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(s.tenants.len(), 2);
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.replay.qps, 80.0);
+        // Multiplier timeline: flash crowd hits only "ui"; drain hits both.
+        assert_eq!(s.event_multiplier(0.6 * 3600.0, "ui"), 6.0);
+        assert_eq!(s.event_multiplier(0.6 * 3600.0, "batch"), 1.0);
+        assert_eq!(s.event_multiplier(1.6 * 3600.0, "batch"), 0.0);
+        assert_eq!(s.max_event_multiplier("ui"), 6.0);
+        assert_eq!(s.max_event_multiplier("batch"), 1.0);
+    }
+
+    #[test]
+    fn rejects_semantic_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("", "missing [scenario]"),
+            (
+                "[scenario]\nname = \"x\"\nprocs = 0\nhorizon_hours = 1.0\n",
+                "procs",
+            ),
+            (
+                "[scenario]\nname = \"x\"\nprocs = 4\nhorizon_hours = 1.0\n",
+                "tenant",
+            ),
+            (
+                "[scenario]\nname = \"x\"\nprocs = 4\nhorizon_hours = 1.0\ntypo = 1\n",
+                "unknown key",
+            ),
+            (
+                "[scenario]\nname = \"x\"\nprocs = 4\nhorizon_hours = 1.0\n\
+                 [[tenant]]\nname = \"a\"\nusers = 1\nrate_per_hour = 1.0\n\
+                 [[tenant]]\nname = \"a\"\nusers = 1\nrate_per_hour = 1.0\n",
+                "duplicate",
+            ),
+            (
+                "[scenario]\nname = \"x\"\nprocs = 4\nhorizon_hours = 1.0\n\
+                 [[tenant]]\nname = \"a\"\nusers = 1\nrate_per_hour = 1.0\n\
+                 [[event]]\nkind = \"flash_crowd\"\nstart_hours = 0.0\n\
+                 duration_hours = 0.5\nmultiplier = 0.5\n",
+                "multiplier",
+            ),
+            (
+                "[scenario]\nname = \"x\"\nprocs = 4\nhorizon_hours = 1.0\n\
+                 [[tenant]]\nname = \"a\"\nusers = 1\nrate_per_hour = 1.0\n\
+                 [[event]]\nkind = \"drain\"\ntenant = \"ghost\"\n\
+                 start_hours = 0.0\nduration_hours = 0.5\n",
+                "unknown tenant",
+            ),
+            (
+                "[scenario]\nname = \"x\"\nprocs = 4\nhorizon_hours = 1.0\n\
+                 [[tenant]]\nname = \"a\"\nusers = 1\nrate_per_hour = 1e9\n",
+                "expected job count",
+            ),
+            ("[bogus]\nx = 1\n", "unknown section"),
+        ];
+        for (text, _hint) in cases {
+            assert!(
+                ScenarioSpec::parse(text).is_err(),
+                "should reject: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_messages_name_the_section() {
+        let err = ScenarioSpec::parse(
+            "[scenario]\nname = \"x\"\nprocs = 4\nhorizon_hours = 1.0\n\
+             [[tenant]]\nname = \"a\"\nusers = 1\nrate_per_hour = 1.0\nuser_skew = 99\n",
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("tenant \"a\""), "{msg}");
+        assert!(msg.contains("user_skew"), "{msg}");
+    }
+}

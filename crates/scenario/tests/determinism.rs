@@ -1,0 +1,81 @@
+//! Property: scenario compilation is a pure function of `(spec, seed)`.
+//!
+//! Two independent parse+compile passes over the same spec text with the
+//! same seed must produce **byte-identical** artifacts — both the SWF
+//! text (trace plus tenant-range header) and the serialized load profile.
+//! This is the contract CI's scenario matrix relies on (`compile` twice,
+//! `cmp` the outputs), so it is enforced here over generated specs, not
+//! just the checked-in examples.
+
+use proptest::prelude::*;
+use scenario::{compile, swf_text, ScenarioSpec};
+
+const ARRIVALS: [&str; 3] = ["steady", "diurnal", "bursty"];
+
+/// Render a spec document from generated parameters. Building the TOML
+/// text (rather than the struct) exercises the parser on every case too.
+fn spec_text(tenants: &[(u64, u64, usize)], event: Option<(usize, u64)>) -> String {
+    let mut s = String::from("[scenario]\nname = \"prop\"\nprocs = 128\nhorizon_hours = 2.0\n");
+    for (i, &(users, rate, arrival)) in tenants.iter().enumerate() {
+        s.push_str(&format!(
+            "\n[[tenant]]\nname = \"t{i}\"\nusers = {users}\n\
+             rate_per_hour = {rate}.0\narrival = \"{}\"\n",
+            ARRIVALS[arrival % ARRIVALS.len()]
+        ));
+    }
+    match event {
+        Some((0, start)) => s.push_str(&format!(
+            "\n[[event]]\nkind = \"flash_crowd\"\nstart_hours = 0.{start}\n\
+             duration_hours = 0.5\nmultiplier = 3.0\n"
+        )),
+        Some((_, start)) => s.push_str(&format!(
+            "\n[[event]]\nkind = \"drain\"\nstart_hours = 0.{start}\n\
+             duration_hours = 0.5\n"
+        )),
+        None => {}
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compile_is_pure_in_spec_and_seed(
+        seed in any::<u64>(),
+        tenants in prop::collection::vec((1u64..2000, 1u64..40, 0usize..3), 1..4),
+        event_pick in 0usize..3,
+        event_start in 1u64..9,
+    ) {
+        // 0 = flash crowd, 1 = drain, 2 = no event.
+        let event = (event_pick < 2).then_some((event_pick, event_start));
+        let text = spec_text(&tenants, event);
+
+        // Two fully independent passes: parse the text twice, compile
+        // each spec separately, serialize both artifact sets.
+        let a = compile(&ScenarioSpec::parse(&text).unwrap(), seed).unwrap();
+        let b = compile(&ScenarioSpec::parse(&text).unwrap(), seed).unwrap();
+        prop_assert_eq!(swf_text(&a), swf_text(&b));
+        prop_assert_eq!(a.profile.to_toml(), b.profile.to_toml());
+        prop_assert_eq!(a.trace.jobs.clone(), b.trace.jobs.clone());
+
+        // The seed must actually matter: a different seed on a non-empty
+        // trace reshuffles at least the arrival process (compared on the
+        // jobs themselves — the SWF header differs trivially by seed).
+        if !a.trace.jobs.is_empty() {
+            let c = compile(&ScenarioSpec::parse(&text).unwrap(), seed ^ 0x9E37_79B9).unwrap();
+            prop_assert!(a.trace.jobs != c.trace.jobs, "seed did not affect the trace");
+        }
+    }
+}
+
+/// The round-trip leg of the same contract: the emitted profile parses
+/// back to an equal profile, and re-serializes to the same bytes.
+#[test]
+fn profile_toml_round_trips() {
+    let text = spec_text(&[(500, 20, 1), (50, 8, 2)], Some((0, 3)));
+    let compiled = compile(&ScenarioSpec::parse(&text).unwrap(), 7).unwrap();
+    let toml = compiled.profile.to_toml();
+    let reparsed = scenario::LoadProfile::parse(&toml).expect("emitted profile parses");
+    assert_eq!(reparsed.to_toml(), toml);
+}

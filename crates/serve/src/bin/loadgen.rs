@@ -16,6 +16,7 @@ use std::path::Path;
 use std::process::exit;
 
 use obs::json::Json;
+use scenario::LoadProfile;
 use serve::loadgen::{self, LoadConfig};
 use serve::{serve, ServeConfig};
 
@@ -58,6 +59,11 @@ fn usage() -> ! {
          --model FILE       in-process benchmark; writes BENCH_serve.json\n\
          \n\
          options:\n\
+           --profile FILE     typed load profile (TOML); flags below\n\
+                              override its fields     (--addr mode)\n\
+           --shards N         server shard count, for connection\n\
+                              balancing                (default 1)\n\
+           --fairness-out F   write the per-tenant fairness JSON\n\
            --qps N            target arrival rate      (default 50000)\n\
            --secs N           sending duration         (default 5)\n\
            --conns N          parallel connections     (default 4)\n\
@@ -92,16 +98,53 @@ fn write_report(path: &str, report: &Json) {
     println!("report -> {path}");
 }
 
+/// Resolve the effective load profile for `--addr` mode: start from
+/// `--profile FILE` when given (else a steady profile), then let any
+/// explicit CLI flags override the corresponding fields.
+fn resolve_profile(args: &Args) -> LoadProfile {
+    let mut profile = match args.get("profile") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(2)
+            });
+            LoadProfile::parse(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                exit(2)
+            })
+        }
+        None => LoadProfile::steady("open_loop", 50_000.0, 5.0, 4, 0),
+    };
+    if let Some(v) = args.get("qps") {
+        profile.qps = v.parse().unwrap_or(profile.qps);
+    }
+    if let Some(v) = args.get("secs") {
+        profile.secs = v.parse().unwrap_or(profile.secs);
+    }
+    if let Some(v) = args.get("conns") {
+        profile.conns = v.parse().unwrap_or(profile.conns);
+    }
+    if let Some(v) = args.get("seed") {
+        profile.seed = v.parse().unwrap_or(profile.seed);
+    }
+    profile
+}
+
 fn run_external(args: &Args, addr: &str) {
-    let cfg = load_config(args);
+    let profile = resolve_profile(args);
+    let shards = args.num("shards", 1usize);
     println!(
-        "open loop: {} conns, {:.0} qps target, {:.1}s",
-        cfg.conns, cfg.qps, cfg.secs
+        "open loop [{}]: {} conns, {:.0} qps target, {:.1}s",
+        profile.name,
+        profile.balanced_conns(shards),
+        profile.qps,
+        profile.secs
     );
-    let mut report = loadgen::open_loop(addr, &cfg).unwrap_or_else(|e| {
-        eprintln!("loadgen failed: {e}");
-        exit(1)
-    });
+    let (mut report, fairness) =
+        loadgen::replay_profile(addr, &profile, shards).unwrap_or_else(|e| {
+            eprintln!("loadgen failed: {e}");
+            exit(1)
+        });
     if let Some(label) = args.get("label") {
         report.label = label.to_string();
     }
@@ -113,12 +156,18 @@ fn run_external(args: &Args, addr: &str) {
         "  achieved {:.0}/s, p50 {:.1}us p95 {:.1}us p99 {:.1}us",
         report.achieved_qps, report.p50_us, report.p95_us, report.p99_us
     );
+    if !fairness.tenants.is_empty() {
+        print!("{}", fairness.render());
+    }
     if args.num("shutdown-after", 0u8) != 0 {
         loadgen::send_shutdown(addr).unwrap_or_else(|e| eprintln!("shutdown: {e}"));
         println!("sent shutdown");
     }
     if let Some(out) = args.get("out") {
         write_report(out, &report.to_json());
+    }
+    if let Some(out) = args.get("fairness-out") {
+        write_report(out, &fairness.to_json());
     }
     if report.ok == 0 {
         eprintln!("no successful decisions — failing");
@@ -147,6 +196,12 @@ fn capacity_case(
     seed: u64,
 ) -> (f64, Json) {
     let (key, shards) = (spec.key.as_str(), spec.shards);
+    // Connections pin to engine shards by `conn_id % shards`, so an
+    // arbitrary `--conns` leaves some shards with an extra closed loop and
+    // skews the per-shard batch-size stats. Round the connection count up
+    // to a shard multiple so every shard sees the same offered load.
+    let conns =
+        LoadProfile::steady(key, 1.0, 1.0, conns as u32, seed).balanced_conns(shards) as usize;
     let handle = serve(
         inspector.clone(),
         ServeConfig {

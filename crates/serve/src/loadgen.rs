@@ -18,12 +18,17 @@ use std::time::{Duration, Instant};
 
 use obs::json::Json;
 use rand::{RngExt, SeedableRng, StdRng};
+use scenario::{FairnessReport, LoadProfile, TenantMetrics};
 use workload::distributions::{Exponential, Sample};
 
 use crate::protocol::{self, Response};
 use crate::stats::LatencyHistogram;
 
 /// Open-loop run parameters.
+///
+/// This is the legacy flag-level view; [`replay_profile`] accepts the
+/// richer [`scenario::LoadProfile`] (phases, tenant mix) and [`open_loop`]
+/// now delegates to it through [`LoadConfig::to_profile`].
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
     /// Aggregate target arrival rate across all connections.
@@ -44,6 +49,19 @@ impl Default for LoadConfig {
             conns: 4,
             seed: 0,
         }
+    }
+}
+
+impl LoadConfig {
+    /// The equivalent flat single-tenant [`LoadProfile`].
+    pub fn to_profile(&self) -> LoadProfile {
+        LoadProfile::steady(
+            "open_loop",
+            self.qps,
+            self.secs,
+            self.conns.clamp(1, u32::MAX as usize) as u32,
+            self.seed,
+        )
     }
 }
 
@@ -177,22 +195,65 @@ struct ConnOutcome {
 /// Drive `cfg.qps` exponential arrivals at the server for `cfg.secs`
 /// seconds and report client-observed latency quantiles.
 pub fn open_loop(addr: &str, cfg: &LoadConfig) -> Result<RunReport, String> {
+    let (report, _) = profile_run(addr, &cfg.to_profile(), 1, "open_loop")?;
+    Ok(report)
+}
+
+/// Replay a [`LoadProfile`] open-loop against a server with `shards`
+/// engine shards and report both the aggregate latency numbers and a
+/// per-tenant [`FairnessReport`].
+///
+/// The connection count is [`LoadProfile::balanced_conns`] — rounded up to
+/// a multiple of the shard count so the engine's `conn_id % shards`
+/// pinning loads every shard with the same number of connections; the
+/// tenant mix rides on deterministic request-id attribution
+/// ([`LoadProfile::tenant_for`]) instead of on connection placement, so an
+/// uneven mix cannot skew per-shard batch statistics.
+pub fn replay_profile(
+    addr: &str,
+    profile: &LoadProfile,
+    shards: usize,
+) -> Result<(RunReport, FairnessReport), String> {
+    let label = format!("replay:{}", profile.name);
+    profile_run(addr, profile, shards, &label)
+}
+
+/// The shared open-loop driver behind [`open_loop`] and [`replay_profile`]:
+/// per-connection exponential arrivals thinned through the profile's phase
+/// histogram, with per-tenant latency recording.
+fn profile_run(
+    addr: &str,
+    profile: &LoadProfile,
+    shards: usize,
+    label: &str,
+) -> Result<(RunReport, FairnessReport), String> {
+    profile.validate().map_err(|e| e.to_string())?;
     // Fetch the model dimension on a dedicated connection BEFORE opening
     // the load connections: with conns >= workers, long-lived load
     // connections occupy the whole worker pool and a stats connection
     // opened afterwards would starve behind them.
     let dim = query_input_dim(addr)?;
+    let n_tenants = profile.tenants.len().max(1);
     let hist = Arc::new(LatencyHistogram::new());
+    let tenant_hists: Arc<Vec<LatencyHistogram>> =
+        Arc::new((0..n_tenants).map(|_| LatencyHistogram::new()).collect());
+    let profile = Arc::new(profile.clone());
     let t0 = Instant::now();
-    let per_conn_qps = cfg.qps / cfg.conns.max(1) as f64;
+    let conns = profile.balanced_conns(shards) as usize;
+    let per_conn_qps = profile.qps / conns as f64;
+    let peak_mult = profile.phases.iter().copied().fold(1.0f64, f64::max);
     // Generous id-space bound per connection; senders stop at the cap.
-    let cap = ((per_conn_qps * cfg.secs * 2.0) as usize).max(1024);
+    let cap = ((per_conn_qps * profile.secs * 2.0 * peak_mult) as usize).max(1024);
 
     let mut handles = Vec::new();
-    for c in 0..cfg.conns.max(1) {
+    for c in 0..conns {
         let addr = addr.to_string();
         let hist = Arc::clone(&hist);
-        let cfg = cfg.clone();
+        let tenant_hists = Arc::clone(&tenant_hists);
+        let profile = Arc::clone(&profile);
+        // Globally disjoint id ranges per connection: tenant attribution
+        // hashes the request id, so ids must not repeat across connections.
+        let base_id = (c * cap) as u64;
         handles.push(std::thread::spawn(
             move || -> Result<ConnOutcome, String> {
                 let stream =
@@ -204,6 +265,8 @@ pub fn open_loop(addr: &str, cfg: &LoadConfig) -> Result<RunReport, String> {
                 let sent_at: Arc<Vec<AtomicU64>> =
                     Arc::new((0..cap).map(|_| AtomicU64::new(0)).collect());
                 let recv_hist = Arc::clone(&hist);
+                let recv_tenant_hists = Arc::clone(&tenant_hists);
+                let recv_profile = Arc::clone(&profile);
                 let recv_sent_at = Arc::clone(&sent_at);
                 let receiver = std::thread::spawn(move || {
                     let mut ok = 0u64;
@@ -221,11 +284,18 @@ pub fn open_loop(addr: &str, cfg: &LoadConfig) -> Result<RunReport, String> {
                         match protocol::parse_response(line.trim()) {
                             Ok(Response::Decision { id, .. }) => {
                                 let now_ns = t0.elapsed().as_nanos() as u64;
-                                let sent_ns = recv_sent_at
-                                    .get(id as usize)
+                                let sent_ns = id
+                                    .checked_sub(base_id)
+                                    .and_then(|slot| recv_sent_at.get(slot as usize))
                                     .map(|a| a.load(Ordering::Relaxed))
                                     .unwrap_or(now_ns);
-                                recv_hist.record(now_ns.saturating_sub(sent_ns));
+                                let lat = now_ns.saturating_sub(sent_ns);
+                                recv_hist.record(lat);
+                                // Same id → tenant mapping as the sender
+                                // side; nothing rides the wire.
+                                let tenant = recv_profile.tenant_for(id);
+                                recv_tenant_hists[tenant.min(recv_tenant_hists.len() - 1)]
+                                    .record(lat);
                                 last_ns = now_ns;
                                 ok += 1;
                             }
@@ -243,23 +313,31 @@ pub fn open_loop(addr: &str, cfg: &LoadConfig) -> Result<RunReport, String> {
                     (ok, overloaded, errors, last_ns)
                 });
 
-                let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(c as u64));
+                let mut rng = StdRng::seed_from_u64(profile.seed.wrapping_add(c as u64));
                 let pool = payload_pool(dim, &mut rng);
                 let gap = Exponential::with_mean(1.0 / per_conn_qps.max(1e-9));
                 let mut t = 0.0f64;
                 let mut sent = 0u64;
                 let mut line = String::with_capacity(128);
-                while t0.elapsed().as_secs_f64() < cfg.secs && (sent as usize) < cap {
-                    t += gap.sample(&mut rng);
+                while t0.elapsed().as_secs_f64() < profile.secs && (sent as usize) < cap {
+                    // Inhomogeneous arrivals: stretch the exponential gap
+                    // by the inverse phase multiplier at the current point
+                    // of the run (a drained phase ≈ no arrivals).
+                    let mult = profile.phase_multiplier(t / profile.secs).max(1e-3);
+                    t += gap.sample(&mut rng) / mult;
+                    if t >= profile.secs {
+                        break;
+                    }
                     wait_until(t0 + Duration::from_secs_f64(t));
-                    let id = sent;
+                    let slot = sent as usize;
+                    let id = base_id + sent;
                     line.clear();
                     line.push_str("{\"verb\":\"infer\",\"id\":");
                     line.push_str(&id.to_string());
                     line.push_str(",\"features\":[");
-                    line.push_str(&pool[id as usize % pool.len()]);
+                    line.push_str(&pool[slot % pool.len()]);
                     line.push_str("]}\n");
-                    sent_at[id as usize].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    sent_at[slot].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     if writer.write_all(line.as_bytes()).is_err() {
                         break;
                     }
@@ -293,9 +371,9 @@ pub fn open_loop(addr: &str, cfg: &LoadConfig) -> Result<RunReport, String> {
         last_ns = last_ns.max(o.last_response_ns);
     }
     let elapsed_s = (last_ns as f64 / 1e9).max(1e-9);
-    Ok(RunReport {
-        label: "open_loop".into(),
-        offered_qps: cfg.qps,
+    let report = RunReport {
+        label: label.to_string(),
+        offered_qps: profile.qps,
         achieved_qps: ok as f64 / elapsed_s,
         sent,
         ok,
@@ -306,7 +384,28 @@ pub fn open_loop(addr: &str, cfg: &LoadConfig) -> Result<RunReport, String> {
         p50_us: hist.quantile(0.50) as f64 / 1_000.0,
         p95_us: hist.quantile(0.95) as f64 / 1_000.0,
         p99_us: hist.quantile(0.99) as f64 / 1_000.0,
-    })
+    };
+
+    let rows: Vec<TenantMetrics> = (0..n_tenants)
+        .map(|i| {
+            let name = profile
+                .tenants
+                .get(i)
+                .map(|t| t.name.clone())
+                .unwrap_or_else(|| "(all)".to_string());
+            let h = &tenant_hists[i];
+            TenantMetrics {
+                name,
+                jobs: h.count(),
+                mean_wait_s: h.mean() / 1e9,
+                p99_wait_s: h.quantile(0.99) as f64 / 1e9,
+                mean_bsld: 0.0,
+                p99_bsld: 0.0,
+            }
+        })
+        .collect();
+    let fairness = FairnessReport::from_rows(profile.name.clone(), "serve", rows);
+    Ok((report, fairness))
 }
 
 /// Saturate the server: each connection keeps `window` requests in flight

@@ -41,7 +41,7 @@ pub use cluster::{Cluster, F64Ord, RunningJob};
 pub use config::SimConfig;
 pub use metrics::{JobOutcome, Metric, SimResult, BSLD_THRESHOLD};
 pub use policy::{InspectorHook, NoInspector, PolicyContext, SchedulingPolicy};
-pub use sim::{simulate, Simulator};
+pub use sim::{simulate, simulate_source, Simulator};
 pub use state::{Observation, QueueEntry};
 
 #[cfg(test)]

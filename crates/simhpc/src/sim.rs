@@ -91,6 +91,19 @@ pub fn simulate(jobs: &[Job], policy: &mut dyn SchedulingPolicy, config: &SimCon
     Simulator::new(procs, *config).run(jobs, policy)
 }
 
+/// Simulate a whole trace obtained from any [`workload::TraceSource`]
+/// (SWF archive, calibrated synthetic profile, scenario-compiled, ...) on
+/// its own machine size. This is the source-based entry point the unified
+/// ingestion API routes through; the underlying loop is [`Simulator::run`].
+pub fn simulate_source(
+    source: &dyn workload::TraceSource,
+    policy: &mut dyn SchedulingPolicy,
+    config: &SimConfig,
+) -> Result<SimResult, workload::SourceError> {
+    let trace = source.load()?;
+    Ok(Simulator::new(trace.procs, *config).run(&trace.jobs, policy))
+}
+
 struct Sim<'a> {
     jobs: &'a [Job],
     config: SimConfig,

@@ -1,0 +1,77 @@
+//! Scenario-compiled traces through the differential simulator oracle.
+//!
+//! The scenario engine produces job shapes the calibrated synthetic
+//! generators never emit (tenant-skewed users, burst campaigns landing a
+//! second apart, drained arrival windows), so its output must be pushed
+//! through the same optimized-vs-reference check as every other trace
+//! source: identical schedules, rejection counts, and decision counters
+//! on both simulators, inspected and uninspected.
+
+use scenario::{compile, ScenarioSpec};
+use simhpc::SimConfig;
+use testkit::{check_case, OracleCase};
+
+const SPEC: &str = r#"
+[scenario]
+name = "oracle-mix"
+procs = 64
+horizon_hours = 2.0
+
+[[tenant]]
+name = "batch"
+users = 400
+rate_per_hour = 50.0
+arrival = "diurnal"
+
+[[tenant]]
+name = "interactive"
+users = 30
+rate_per_hour = 25.0
+arrival = "bursty"
+mean_runtime_s = 600.0
+
+[[event]]
+kind = "flash_crowd"
+tenant = "interactive"
+start_hours = 0.5
+duration_hours = 0.25
+multiplier = 4.0
+
+[[event]]
+kind = "drain"
+tenant = "batch"
+start_hours = 1.5
+duration_hours = 0.5
+"#;
+
+#[test]
+fn scenario_traces_agree_on_both_simulators() {
+    let spec = ScenarioSpec::parse(SPEC).expect("spec parses");
+    for seed in [1u64, 7, 1234] {
+        let compiled = compile(&spec, seed).expect("compiles");
+        assert!(
+            !compiled.trace.jobs.is_empty(),
+            "seed {seed}: scenario compiled to an empty trace"
+        );
+        for config in [SimConfig::default(), SimConfig::with_backfill()] {
+            for policy in [policies::PolicyKind::Fcfs, policies::PolicyKind::Sjf] {
+                for inspector_seed in [None, Some(seed ^ 0xABCD)] {
+                    let case = OracleCase {
+                        jobs: compiled.trace.jobs.clone(),
+                        procs: compiled.trace.procs,
+                        config,
+                        policy,
+                        inspector_seed,
+                    };
+                    if let Err(msg) = check_case(&case) {
+                        panic!(
+                            "seed {seed} policy {policy:?} backfill={} inspected={}: {msg}",
+                            config.backfill,
+                            inspector_seed.is_some()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

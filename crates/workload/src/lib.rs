@@ -24,6 +24,7 @@ pub mod job;
 pub mod lublin;
 pub mod profiles;
 pub mod sampling;
+pub mod source;
 pub mod stats;
 pub mod synthetic;
 pub mod tools;
@@ -32,6 +33,7 @@ mod trace;
 pub use job::Job;
 pub use profiles::TraceProfile;
 pub use sampling::SequenceSampler;
+pub use source::{MemorySource, SourceError, SwfFileSource, SyntheticSource, TraceSource};
 pub use stats::TraceStats;
 pub use trace::{JobTrace, TraceError};
 
@@ -39,13 +41,13 @@ pub use trace::{JobTrace, TraceError};
 ///
 /// `"Lublin"` routes to the Lublin–Feitelson model; the archive traces route
 /// to the calibrated synthetic generators. Returns `None` for unknown names.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `workload::SyntheticSource::new(name, n_jobs, seed)` through the \
+            `TraceSource` trait instead"
+)]
 pub fn paper_trace(name: &str, n_jobs: usize, seed: u64) -> Option<JobTrace> {
-    let profile = profiles::profile_by_name(name)?;
-    Some(if profile.name == "Lublin" {
-        lublin::generate(n_jobs, seed)
-    } else {
-        synthetic::generate(profile, n_jobs, seed)
-    })
+    SyntheticSource::new(name, n_jobs, seed).load().ok()
 }
 
 #[cfg(test)]
@@ -53,6 +55,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
     fn paper_trace_dispatches() {
         let t = paper_trace("Lublin", 200, 1).unwrap();
         assert_eq!(t.procs, 256);

@@ -1,0 +1,270 @@
+//! The unified trace-ingestion surface.
+//!
+//! Historically the simulator, trainer, and experiment binaries each had
+//! their own way of obtaining jobs: `workload::paper_trace` for the
+//! calibrated synthetic archives, ad-hoc `swf::SwfTrace::read_file` +
+//! `JobTrace::from_swf` plumbing for on-disk logs, and scenario-shaped
+//! generation nowhere at all. [`TraceSource`] collapses those into one
+//! trait every consumer speaks:
+//!
+//! * [`SyntheticSource`] — a calibrated Table 2 profile (or the Lublin
+//!   model) at a given job count and seed;
+//! * [`SwfFileSource`] — an SWF archive file on disk;
+//! * [`MemorySource`] — an already-materialized [`JobTrace`] (used by the
+//!   scenario compiler and by tests).
+//!
+//! Loading is deterministic for deterministic sources: the same source
+//! value always yields the same trace. [`TraceSource::id`] returns a
+//! stable human-readable identity string suitable for logs and salting.
+
+use std::path::PathBuf;
+
+use crate::trace::{JobTrace, TraceError};
+
+/// Anything that can produce a [`JobTrace`].
+///
+/// Implementations must be deterministic: two calls to [`load`] on the
+/// same value return equal traces (file-backed sources are deterministic
+/// modulo the file itself changing).
+///
+/// [`load`]: TraceSource::load
+pub trait TraceSource {
+    /// Stable, human-readable identity (e.g. `"synthetic:SDSC-SP2:10000:1"`).
+    fn id(&self) -> String;
+
+    /// Materialize the trace.
+    fn load(&self) -> Result<JobTrace, SourceError>;
+}
+
+/// Errors loading a trace from a [`TraceSource`].
+#[derive(Debug)]
+pub enum SourceError {
+    /// The named calibration profile does not exist.
+    UnknownProfile(String),
+    /// Reading the backing file failed.
+    Io(std::io::Error),
+    /// The SWF document failed to parse.
+    Swf(swf::SwfError),
+    /// The records did not form a valid trace.
+    Trace(TraceError),
+    /// Any other source-specific failure (e.g. scenario compilation).
+    Other(String),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::UnknownProfile(name) => write!(f, "unknown trace profile {name:?}"),
+            SourceError::Io(e) => write!(f, "cannot read trace: {e}"),
+            SourceError::Swf(e) => write!(f, "cannot parse SWF: {e}"),
+            SourceError::Trace(e) => write!(f, "invalid trace: {e}"),
+            SourceError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SourceError::Io(e) => Some(e),
+            SourceError::Swf(e) => Some(e),
+            SourceError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for SourceError {
+    fn from(e: TraceError) -> Self {
+        SourceError::Trace(e)
+    }
+}
+
+/// A calibrated synthetic trace: a Table 2 profile name (or `"Lublin"`),
+/// a job count, and a seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticSource {
+    /// Profile name (`SDSC-SP2`, `CTC-SP2`, `HPC2N`, `Lublin`).
+    pub profile: String,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl SyntheticSource {
+    /// Source for the named profile.
+    pub fn new(profile: impl Into<String>, jobs: usize, seed: u64) -> Self {
+        SyntheticSource {
+            profile: profile.into(),
+            jobs,
+            seed,
+        }
+    }
+}
+
+impl TraceSource for SyntheticSource {
+    fn id(&self) -> String {
+        format!("synthetic:{}:{}:{}", self.profile, self.jobs, self.seed)
+    }
+
+    fn load(&self) -> Result<JobTrace, SourceError> {
+        let profile = crate::profiles::profile_by_name(&self.profile)
+            .ok_or_else(|| SourceError::UnknownProfile(self.profile.clone()))?;
+        Ok(if profile.name == "Lublin" {
+            crate::lublin::generate(self.jobs, self.seed)
+        } else {
+            crate::synthetic::generate(profile, self.jobs, self.seed)
+        })
+    }
+}
+
+/// An SWF archive file on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwfFileSource {
+    /// Path to the `.swf` file.
+    pub path: PathBuf,
+    /// Trace name; defaults to the file stem.
+    pub name: Option<String>,
+}
+
+impl SwfFileSource {
+    /// Source for the file at `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        SwfFileSource {
+            path: path.into(),
+            name: None,
+        }
+    }
+
+    fn trace_name(&self) -> String {
+        self.name.clone().unwrap_or_else(|| {
+            self.path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "swf".to_string())
+        })
+    }
+}
+
+impl TraceSource for SwfFileSource {
+    fn id(&self) -> String {
+        format!("swf:{}", self.path.display())
+    }
+
+    fn load(&self) -> Result<JobTrace, SourceError> {
+        let swf = swf::SwfTrace::read_file(&self.path).map_err(|e| match e {
+            swf::SwfError::Io { .. } => SourceError::Io(std::io::Error::other(format!(
+                "{}: {e}",
+                self.path.display()
+            ))),
+            other => SourceError::Swf(other),
+        })?;
+        Ok(JobTrace::from_swf(self.trace_name(), &swf)?)
+    }
+}
+
+/// An already-materialized trace (scenario-compiled traces, tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySource {
+    /// Identity tag reported by [`TraceSource::id`].
+    pub tag: String,
+    trace: JobTrace,
+}
+
+impl MemorySource {
+    /// Wrap a trace; `tag` should describe where it came from
+    /// (e.g. `"scenario:flash-crowd:7"`).
+    pub fn new(tag: impl Into<String>, trace: JobTrace) -> Self {
+        MemorySource {
+            tag: tag.into(),
+            trace,
+        }
+    }
+}
+
+impl TraceSource for MemorySource {
+    fn id(&self) -> String {
+        self.tag.clone()
+    }
+
+    fn load(&self) -> Result<JobTrace, SourceError> {
+        Ok(self.trace.clone())
+    }
+}
+
+/// Blanket impl so `&S` and boxed sources are sources too.
+impl<S: TraceSource + ?Sized> TraceSource for &S {
+    fn id(&self) -> String {
+        (**self).id()
+    }
+
+    fn load(&self) -> Result<JobTrace, SourceError> {
+        (**self).load()
+    }
+}
+
+impl TraceSource for Box<dyn TraceSource> {
+    fn id(&self) -> String {
+        (**self).id()
+    }
+
+    fn load(&self) -> Result<JobTrace, SourceError> {
+        (**self).load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_source_matches_paper_trace() {
+        let src = SyntheticSource::new("HPC2N", 300, 9);
+        let a = src.load().unwrap();
+        #[allow(deprecated)]
+        let b = crate::paper_trace("HPC2N", 300, 9).unwrap();
+        assert_eq!(a, b, "source must reproduce the deprecated entry point");
+        assert_eq!(src.id(), "synthetic:HPC2N:300:9");
+    }
+
+    #[test]
+    fn synthetic_source_rejects_unknown_profile() {
+        let err = SyntheticSource::new("nope", 10, 1).load().unwrap_err();
+        assert!(matches!(err, SourceError::UnknownProfile(_)));
+    }
+
+    #[test]
+    fn swf_file_source_roundtrips() {
+        let trace = SyntheticSource::new("SDSC-SP2", 50, 3).load().unwrap();
+        let dir = std::env::temp_dir().join("schedinspector-source-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.swf");
+        trace.to_swf().write_file(&path).unwrap();
+        let src = SwfFileSource::new(&path);
+        let back = src.load().unwrap();
+        assert_eq!(back.procs, trace.procs);
+        assert_eq!(back.len(), trace.len());
+        assert_eq!(back.name, "roundtrip");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn swf_file_source_missing_file_is_io() {
+        let err = SwfFileSource::new("/nonexistent/trace.swf")
+            .load()
+            .unwrap_err();
+        assert!(matches!(err, SourceError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn memory_source_returns_trace() {
+        let trace = SyntheticSource::new("SDSC-SP2", 20, 1).load().unwrap();
+        let src = MemorySource::new("test:mem", trace.clone());
+        assert_eq!(src.load().unwrap(), trace);
+        assert_eq!(src.id(), "test:mem");
+        // And through a trait object.
+        let boxed: Box<dyn TraceSource> = Box::new(src);
+        assert_eq!(boxed.load().unwrap(), trace);
+    }
+}

@@ -32,8 +32,9 @@ const CANONICAL_ESTIMATES: [f64; 19] = [
     28800.0, 43200.0, 64800.0, 86400.0, 129600.0, 172800.0, 259200.0, 432000.0,
 ];
 
-/// Round an estimate up to the next canonical request value.
-fn canonical_estimate(raw: f64) -> f64 {
+/// Round an estimate up to the next canonical request value. Shared with
+/// the scenario engine so compiled traces request the same walltime grid.
+pub fn canonical_estimate(raw: f64) -> f64 {
     for &c in &CANONICAL_ESTIMATES {
         if raw <= c {
             return c;
@@ -44,7 +45,9 @@ fn canonical_estimate(raw: f64) -> f64 {
 
 /// Diurnal arrival-rate multiplier: peak mid-afternoon, trough at night.
 /// Mean over a day is 1 so it reshapes, not rescales, the arrival process.
-fn daily_cycle_weight(time_s: f64) -> f64 {
+/// Shared with the scenario engine so both generators agree on what a
+/// "diurnal" arrival process is.
+pub fn daily_cycle_weight(time_s: f64) -> f64 {
     let hour = (time_s / 3600.0) % 24.0;
     1.0 + 0.8 * (std::f64::consts::TAU * (hour - 14.0) / 24.0).cos()
 }

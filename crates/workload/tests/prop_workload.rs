@@ -81,7 +81,7 @@ proptest! {
     #[test]
     fn generators_produce_valid_traces(seed in any::<u64>(), idx in 0usize..4) {
         let name = ["SDSC-SP2", "CTC-SP2", "HPC2N", "Lublin"][idx];
-        let t = workload::paper_trace(name, 300, seed).unwrap();
+        let t = workload::TraceSource::load(&workload::SyntheticSource::new(name, 300, seed)).unwrap();
         prop_assert_eq!(t.len(), 300);
         for j in &t.jobs {
             prop_assert!(j.procs >= 1 && j.procs <= t.procs);

@@ -11,7 +11,9 @@ use schedinspector::prelude::*;
 
 fn main() {
     for trace_name in ["SDSC-SP2", "Lublin"] {
-        let trace = workload::paper_trace(trace_name, 4_000, 11).unwrap();
+        let trace = workload::SyntheticSource::new(trace_name, 4_000, 11)
+            .load()
+            .unwrap();
         let mut sampler = SequenceSampler::new(trace.clone(), 256, 5);
         let sequences = sampler.sample_many(20);
 

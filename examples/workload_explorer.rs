@@ -31,8 +31,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("SDSC-SP2");
     let n_jobs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5_000);
-    let trace = workload::paper_trace(name, n_jobs, 1234)
-        .unwrap_or_else(|| panic!("unknown trace {name:?}; try SDSC-SP2, CTC-SP2, HPC2N, Lublin"));
+    let trace = workload::SyntheticSource::new(name, n_jobs, 1234)
+        .load()
+        .unwrap_or_else(|e| panic!("cannot load trace {name:?}: {e}"));
 
     let s = trace.stats();
     println!(

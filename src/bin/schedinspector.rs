@@ -8,6 +8,10 @@
 //! schedinspector serve    --model model.txt --addr 127.0.0.1:7171
 //! schedinspector infer    --model model.txt --in features.jsonl
 //! schedinspector trace    --trace Lublin --jobs 5000 --out trace.swf
+//! schedinspector scenario compile --spec flash_crowd.toml --seed 7 \
+//!                         --out-swf flash.swf --out-profile flash_profile.toml
+//! schedinspector scenario replay  --spec flash_crowd.toml --policy SJF \
+//!                         --fairness-out fairness.json
 //! schedinspector check-telemetry --file run.jsonl
 //! ```
 
@@ -56,10 +60,12 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: schedinspector <train|evaluate|analyze|serve|infer|trace|check-telemetry|report> [options]\n\
+        "usage: schedinspector <train|evaluate|analyze|serve|infer|trace|scenario|check-telemetry|report> [options]\n\
          \n\
          common options:\n\
            --trace   SDSC-SP2|CTC-SP2|HPC2N|Lublin   (default SDSC-SP2)\n\
+           --trace-file FILE.swf   load an SWF archive instead\n\
+           --scenario FILE.toml    compile a scenario spec instead\n\
            --policy  FCFS|LCFS|SJF|SAF|SRF|F1|Slurm  (default SJF)\n\
            --metric  bsld|wait|mbsld                  (default bsld)\n\
            --jobs N       trace size        (default 10000)\n\
@@ -77,8 +83,14 @@ fn usage() -> ! {
          \x20          (TCP decision service; port 0 = ephemeral, printed on stdout)\n\
          infer:    --model FILE [--in FILE.jsonl]   (feature lines -> decisions)\n\
          trace:    --out FILE.swf\n\
+         scenario: <validate|compile|replay> --spec FILE.toml --seed N\n\
+         \x20          compile: --out-swf FILE.swf --out-profile FILE.toml\n\
+         \x20          replay:  --policy P --backfill 1 --fairness-out FILE.json\n\
+         \x20          (validate/compile a multi-tenant scenario spec, or replay\n\
+         \x20           it through the simulator and print per-tenant fairness)\n\
          check-telemetry: --file FILE.jsonl   (validate a telemetry sidecar)\n\
          report:   FILE.jsonl [FILE.jsonl ...] [--tolerance F]\n\
+         \x20          [--fairness FILE.json]  (render a fairness report)\n\
          \x20          [--latency-tolerance F] [--bench-rollout FILE] [--bench-serve FILE]\n\
          \x20          (per-epoch summaries, span wall-time breakdown, plus\n\
          \x20           throughput and p99-latency regression checks vs the\n\
@@ -87,12 +99,30 @@ fn usage() -> ! {
     exit(2)
 }
 
-fn build_world(args: &Args) -> (JobTrace, inspector::PolicyFactory, SimConfig, Metric) {
-    let trace_name = args.get("trace").unwrap_or("SDSC-SP2");
-    let jobs = args.num("jobs", 10_000usize);
+/// Resolve the unified trace source for the `--trace`/`--trace-file`/
+/// `--scenario` flag triple. All commands that consume a trace route
+/// through here, so every ingestion path (calibrated synthetic profile,
+/// SWF archive, scenario-compiled) is available everywhere.
+fn trace_source(args: &Args) -> Box<dyn TraceSource> {
     let seed = args.num("seed", 1u64);
-    let trace = workload::paper_trace(trace_name, jobs, seed).unwrap_or_else(|| {
-        eprintln!("unknown trace {trace_name:?}");
+    if let Some(path) = args.get("trace-file") {
+        Box::new(SwfFileSource::new(path))
+    } else if let Some(path) = args.get("scenario") {
+        Box::new(ScenarioSource::new(path, seed))
+    } else {
+        let name = args.get("trace").unwrap_or("SDSC-SP2");
+        Box::new(SyntheticSource::new(
+            name,
+            args.num("jobs", 10_000usize),
+            seed,
+        ))
+    }
+}
+
+fn build_world(args: &Args) -> (JobTrace, inspector::PolicyFactory, SimConfig, Metric) {
+    let source = trace_source(args);
+    let trace = source.load().unwrap_or_else(|e| {
+        eprintln!("cannot load {}: {e}", source.id());
         exit(2)
     });
     let policy = args.get("policy").unwrap_or("SJF");
@@ -417,6 +447,121 @@ fn cmd_trace(args: &Args) {
     }
 }
 
+/// `scenario <validate|compile|replay>` — the scenario-engine front end.
+///
+/// * `validate` parses the spec and prints the population summary;
+/// * `compile` deterministically materializes the SWF trace and the typed
+///   load profile (byte-identical for equal `(spec, seed)`);
+/// * `replay` runs the compiled trace through the simulator under a
+///   baseline policy and prints the per-tenant fairness table.
+fn cmd_scenario(args: &Args) {
+    let Some(sub) = args.positional.first() else {
+        eprintln!("scenario: a subcommand (validate|compile|replay) is required");
+        exit(2)
+    };
+    let Some(spec_path) = args.get("spec") else {
+        eprintln!("scenario {sub}: --spec FILE.toml is required");
+        exit(2)
+    };
+    let seed = args.num("seed", 1u64);
+    let text = std::fs::read_to_string(spec_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {spec_path}: {e}");
+        exit(2)
+    });
+    let spec = ScenarioSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{spec_path}: {e}");
+        exit(2)
+    });
+    println!(
+        "scenario {:?}: {} procs, {:.1}h horizon, {} tenant(s), {} event(s)",
+        spec.name,
+        spec.procs,
+        spec.horizon_s / 3600.0,
+        spec.tenants.len(),
+        spec.events.len()
+    );
+    for t in &spec.tenants {
+        println!(
+            "  tenant {:<12} {:>9} users, {:.1} jobs/h, {:?} arrivals",
+            t.name, t.users, t.rate_per_hour, t.arrival
+        );
+    }
+    if sub == "validate" {
+        println!("{spec_path}: ok");
+        return;
+    }
+
+    let compiled = scenario::compile(&spec, seed).unwrap_or_else(|e| {
+        eprintln!("{spec_path}: {e}");
+        exit(2)
+    });
+    println!(
+        "compiled (seed {seed}): {} jobs on {} procs",
+        compiled.trace.len(),
+        compiled.trace.procs
+    );
+    match sub.as_str() {
+        "compile" => {
+            if let Some(out) = args.get("out-swf") {
+                std::fs::write(out, scenario::swf_text(&compiled)).unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    exit(2)
+                });
+                println!("swf -> {out}");
+            }
+            if let Some(out) = args.get("out-profile") {
+                std::fs::write(out, compiled.profile.to_toml()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    exit(2)
+                });
+                println!("profile -> {out}");
+            }
+        }
+        "replay" => {
+            let policy = args.get("policy").unwrap_or("SJF");
+            let factory = if policy.eq_ignore_ascii_case("slurm") {
+                slurm_factory(&compiled.trace)
+            } else {
+                match policy.parse::<PolicyKind>() {
+                    Ok(kind) => factory_for(kind),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        exit(2)
+                    }
+                }
+            };
+            let sim = SimConfig {
+                backfill: args.num("backfill", 0u8) != 0,
+                ..SimConfig::default()
+            };
+            let mut policy = factory();
+            let result = Simulator::new(compiled.trace.procs, sim)
+                .run(&compiled.trace.jobs, policy.as_mut());
+            let fairness = FairnessReport::from_sim(
+                spec.name.clone(),
+                &result,
+                &compiled.trace.jobs,
+                &compiled.tenants,
+            );
+            print!("{}", fairness.render());
+            if let Some(out) = args.get("fairness-out") {
+                let mut text = String::new();
+                fairness.to_json().write_json(&mut text);
+                text.push('\n');
+                std::fs::write(out, text).unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    exit(2)
+                });
+                println!("fairness -> {out}");
+            }
+        }
+        other => {
+            eprintln!("scenario: unknown subcommand {other:?} (validate|compile|replay)");
+            exit(2)
+        }
+    }
+}
+
 fn cmd_check_telemetry(args: &Args) {
     let Some(path) = args.get("file") else {
         eprintln!("--file FILE.jsonl is required");
@@ -480,6 +625,26 @@ fn load_bench_baseline(explicit: Option<&str>, default: &str) -> Option<obs::jso
 }
 
 fn cmd_report(args: &Args) {
+    // A fairness artifact (from `scenario replay` or `loadgen
+    // --fairness-out`) renders standalone; sidecars remain optional then.
+    if let Some(path) = args.get("fairness") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(2)
+        });
+        let json = obs::json::parse(text.trim()).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(2)
+        });
+        let fairness = FairnessReport::from_json(&json).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(2)
+        });
+        print!("{}", fairness.render());
+        if args.positional.is_empty() {
+            return;
+        }
+    }
     if args.positional.is_empty() {
         eprintln!("report: at least one telemetry sidecar (FILE.jsonl) is required");
         exit(2)
@@ -573,6 +738,7 @@ fn main() {
         "serve" => cmd_serve(&args),
         "infer" => cmd_infer(&args),
         "trace" => cmd_trace(&args),
+        "scenario" => cmd_scenario(&args),
         "check-telemetry" => cmd_check_telemetry(&args),
         "report" => cmd_report(&args),
         _ => usage(),

@@ -20,6 +20,9 @@
 //!   and §7 future-work combination partner);
 //! * [`inspector`] — SchedInspector itself: feature building, reward
 //!   functions, training, evaluation, analysis, model persistence;
+//! * [`scenario`] — declarative multi-tenant scenario engine: TOML specs
+//!   of user populations compile deterministically to SWF traces, typed
+//!   [`scenario::LoadProfile`]s, and per-tenant fairness reports;
 //! * [`serve`] — a micro-batched TCP decision service for trained
 //!   inspectors (line-delimited JSON protocol) plus a load generator;
 //! * [`obs`] — zero-cost-when-disabled telemetry (spans, counters, gauges,
@@ -35,6 +38,7 @@ pub use obs;
 pub use policies;
 pub use rlcore;
 pub use rlsched;
+pub use scenario;
 pub use serve;
 pub use simhpc;
 pub use swf;
@@ -53,6 +57,12 @@ pub mod prelude {
     };
     pub use obs::Telemetry;
     pub use policies::PolicyKind;
+    pub use scenario::{
+        Compiled, FairnessReport, LoadProfile, ScenarioSource, ScenarioSpec, TenantRange,
+    };
     pub use simhpc::{Metric, SimConfig, SimResult, Simulator};
-    pub use workload::{profiles, synthetic, Job, JobTrace, SequenceSampler};
+    pub use workload::{
+        profiles, synthetic, Job, JobTrace, SequenceSampler, SourceError, SwfFileSource,
+        SyntheticSource, TraceSource,
+    };
 }

@@ -98,7 +98,7 @@ fn backfilling_never_hurts_fcfs_makespan_on_average() {
 #[test]
 fn all_policies_complete_all_traces() {
     for name in ["SDSC-SP2", "CTC-SP2", "HPC2N", "Lublin"] {
-        let trace = workload::paper_trace(name, 600, 2).unwrap();
+        let trace = workload::SyntheticSource::new(name, 600, 2).load().unwrap();
         let jobs = trace.sequence(100, 128);
         let sim = Simulator::new(trace.procs, SimConfig::default());
         for kind in PolicyKind::ALL {
