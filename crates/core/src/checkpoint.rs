@@ -1,0 +1,208 @@
+//! Mid-training checkpoints: the complete trainer state needed to
+//! resume a killed run **bit-identically**.
+//!
+//! A checkpoint captures everything that evolves across epochs — both
+//! networks and both Adam optimizers (moment vectors and step counts) —
+//! plus the epoch count and seed. What it deliberately does *not*
+//! capture:
+//!
+//! * the trainer RNG — the rand crate's `StdRng` exposes no state
+//!   accessors, but its consumption pattern is exactly `batch_size`
+//!   bounded draws per epoch (zero when the trace admits only one start
+//!   offset), so [`Trainer::restore`](crate::Trainer::restore)
+//!   fast-forwards a fresh seeded RNG by replaying that many draws;
+//! * the baseline cache — proven bit-identical on/off by the trainer's
+//!   `cached_and_uncached_training_are_bit_identical` test;
+//! * the trace, features, and config — rebuilt deterministically from
+//!   the same CLI arguments / builder inputs on resume.
+//!
+//! The text format composes the existing exact-roundtrip encodings
+//! (`tinynn-mlp v1`, `tinynn-adam v1`) under one header:
+//!
+//! ```text
+//! schedinspector-checkpoint v1
+//! epochs_done 3
+//! seed 42
+//! policy
+//! <tinynn-mlp v1 …>
+//! critic
+//! <tinynn-mlp v1 …>
+//! pi_opt
+//! <tinynn-adam v1 …>
+//! vf_opt
+//! <tinynn-adam v1 …>
+//! ```
+
+use rlcore::{BinaryPolicy, PpoTrainer, ValueNet};
+use tinynn::{Adam, Mlp};
+
+const HEADER: &str = "schedinspector-checkpoint v1";
+const SECTIONS: [&str; 4] = ["policy", "critic", "pi_opt", "vf_opt"];
+
+/// A parsed training checkpoint.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Fully completed epochs (resume continues at this epoch index).
+    pub epochs_done: usize,
+    /// Training seed the run was started with (validated on restore).
+    pub seed: u64,
+    /// The policy network.
+    pub policy: BinaryPolicy,
+    /// The critic network.
+    pub critic: ValueNet,
+    /// Policy optimizer state.
+    pub pi_opt: Adam,
+    /// Critic optimizer state.
+    pub vf_opt: Adam,
+}
+
+impl Checkpoint {
+    /// Snapshot a PPO trainer after `epochs_done` completed epochs.
+    pub fn from_ppo(ppo: &PpoTrainer, epochs_done: usize, seed: u64) -> Self {
+        let (pi_opt, vf_opt) = ppo.optimizers();
+        Checkpoint {
+            epochs_done,
+            seed,
+            policy: ppo.policy.clone(),
+            critic: ppo.critic.clone(),
+            pi_opt: pi_opt.clone(),
+            vf_opt: vf_opt.clone(),
+        }
+    }
+
+    /// Serialize. Exact: `from_text(to_text(c))` reproduces every bit,
+    /// and equal trainer states produce byte-equal text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("epochs_done {}\n", self.epochs_done));
+        out.push_str(&format!("seed {}\n", self.seed));
+        for (name, body) in SECTIONS.iter().zip([
+            self.policy.mlp().to_text(),
+            self.critic.mlp().to_text(),
+            self.pi_opt.to_text(),
+            self.vf_opt.to_text(),
+        ]) {
+            out.push_str(name);
+            out.push('\n');
+            out.push_str(&body);
+        }
+        out
+    }
+
+    /// Parse checkpoint text.
+    pub fn from_text(text: &str) -> Result<Checkpoint, String> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return Err(format!("bad checkpoint header (expected {HEADER:?})"));
+        }
+        let epochs_done: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("epochs_done "))
+            .ok_or("missing epochs_done line")?
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad epochs_done: {e}"))?;
+        let seed: u64 = lines
+            .next()
+            .and_then(|l| l.strip_prefix("seed "))
+            .ok_or("missing seed line")?
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad seed: {e}"))?;
+
+        // Split the rest into the four named sections. Section marker
+        // lines are bare names, which never collide with the payload
+        // formats (every payload line starts with a known keyword and
+        // at least one argument).
+        let mut bodies: Vec<String> = Vec::new();
+        let mut current: Option<String> = None;
+        let mut expected = SECTIONS.iter();
+        for line in lines {
+            if SECTIONS.contains(&line.trim()) {
+                let want = expected
+                    .next()
+                    .ok_or_else(|| format!("unexpected extra section {:?}", line.trim()))?;
+                if line.trim() != *want {
+                    return Err(format!(
+                        "section {:?} out of order (expected {want:?})",
+                        line.trim()
+                    ));
+                }
+                if let Some(done) = current.take() {
+                    bodies.push(done);
+                }
+                current = Some(String::new());
+            } else if let Some(body) = current.as_mut() {
+                body.push_str(line);
+                body.push('\n');
+            } else if !line.trim().is_empty() {
+                return Err(format!("unexpected content before sections: {line:?}"));
+            }
+        }
+        if let Some(done) = current.take() {
+            bodies.push(done);
+        }
+        if bodies.len() != SECTIONS.len() {
+            return Err(format!(
+                "expected {} sections, found {}",
+                SECTIONS.len(),
+                bodies.len()
+            ));
+        }
+
+        let policy_net = Mlp::from_text(&bodies[0]).map_err(|e| format!("policy section: {e}"))?;
+        let policy =
+            BinaryPolicy::from_mlp(policy_net).map_err(|e| format!("policy section: {e}"))?;
+        let critic_net = Mlp::from_text(&bodies[1]).map_err(|e| format!("critic section: {e}"))?;
+        let critic = ValueNet::from_mlp(critic_net).map_err(|e| format!("critic section: {e}"))?;
+        let pi_opt = Adam::from_text(&bodies[2], policy.param_count())
+            .map_err(|e| format!("pi_opt section: {e}"))?;
+        let vf_opt = Adam::from_text(&bodies[3], critic.param_count())
+            .map_err(|e| format!("vf_opt section: {e}"))?;
+        Ok(Checkpoint {
+            epochs_done,
+            seed,
+            policy,
+            critic,
+            pi_opt,
+            vf_opt,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlcore::PpoConfig;
+
+    #[test]
+    fn text_roundtrips_bit_identically() {
+        let ppo = PpoTrainer::new(7, PpoConfig::default(), 42);
+        let ck = Checkpoint::from_ppo(&ppo, 3, 42);
+        let text = ck.to_text();
+        let back = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(back.epochs_done, 3);
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.to_text(), text, "re-serialization must be byte-equal");
+        assert_eq!(back.policy.mlp().to_text(), ppo.policy.mlp().to_text());
+        let (pi, vf) = ppo.optimizers();
+        assert_eq!(&back.pi_opt, pi);
+        assert_eq!(&back.vf_opt, vf);
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        assert!(Checkpoint::from_text("").is_err());
+        assert!(Checkpoint::from_text("wrong header\n").is_err());
+        let ppo = PpoTrainer::new(5, PpoConfig::default(), 1);
+        let text = Checkpoint::from_ppo(&ppo, 0, 1).to_text();
+        // Drop a section marker.
+        let broken = text.replacen("vf_opt\n", "", 1);
+        assert!(Checkpoint::from_text(&broken).is_err());
+        // Corrupt a float count inside the policy.
+        let broken = text.replacen("layers 4", "layers 9", 1);
+        assert!(Checkpoint::from_text(&broken).is_err());
+    }
+}

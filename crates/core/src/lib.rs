@@ -43,6 +43,7 @@
 mod agent;
 pub mod analysis;
 mod baseline;
+pub mod checkpoint;
 mod config;
 mod env;
 mod eval;
@@ -53,6 +54,7 @@ mod trainer;
 
 pub use agent::{Decision, DeployedHook, SchedInspector};
 pub use baseline::BaselineCache;
+pub use checkpoint::Checkpoint;
 pub use config::{ConfigError, InspectorConfig};
 pub use env::{factory_for, run_episode, slurm_factory, Episode, EpisodeSpec, PolicyFactory};
 pub use eval::{evaluate, evaluate_base, EvalCase, EvalReport};

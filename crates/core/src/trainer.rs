@@ -127,6 +127,9 @@ pub enum TrainError {
         /// The rendered [`workload::SourceError`].
         message: String,
     },
+    /// A checkpoint could not be restored into this trainer
+    /// (see [`Trainer::restore`]).
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for TrainError {
@@ -139,6 +142,7 @@ impl std::fmt::Display for TrainError {
             TrainError::Source { id, message } => {
                 write!(f, "cannot load trace source {id}: {message}")
             }
+            TrainError::Checkpoint(msg) => write!(f, "cannot restore checkpoint: {msg}"),
         }
     }
 }
@@ -147,7 +151,9 @@ impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrainError::Config(e) => Some(e),
-            TrainError::EmptyTrace { .. } | TrainError::Source { .. } => None,
+            TrainError::EmptyTrace { .. }
+            | TrainError::Source { .. }
+            | TrainError::Checkpoint(_) => None,
         }
     }
 }
@@ -496,6 +502,58 @@ impl Trainer {
         history
     }
 
+    /// Snapshot the complete evolving trainer state after `epochs_done`
+    /// fully completed epochs, as exact-roundtrip text (see
+    /// [`Checkpoint`](crate::checkpoint::Checkpoint)).
+    pub fn checkpoint_text(&self, epochs_done: usize) -> String {
+        crate::checkpoint::Checkpoint::from_ppo(&self.ppo, epochs_done, self.config.seed).to_text()
+    }
+
+    /// Restore a checkpoint produced by
+    /// [`checkpoint_text`](Trainer::checkpoint_text) on an equivalently
+    /// built trainer (same trace, config, and base policy). Returns the
+    /// epoch index to continue from. After this, training epochs
+    /// `epochs_done..` produces results bit-identical to a run that was
+    /// never interrupted.
+    pub fn restore(&mut self, text: &str) -> Result<usize, TrainError> {
+        let ck = crate::checkpoint::Checkpoint::from_text(text).map_err(TrainError::Checkpoint)?;
+        if ck.seed != self.config.seed {
+            return Err(TrainError::Checkpoint(format!(
+                "checkpoint was trained with seed {}, trainer has seed {}",
+                ck.seed, self.config.seed
+            )));
+        }
+        if ck.policy.input_dim() != self.features.dim() {
+            return Err(TrainError::Checkpoint(format!(
+                "checkpoint policy takes {} features, trainer builds {}",
+                ck.policy.input_dim(),
+                self.features.dim()
+            )));
+        }
+        self.ppo = PpoTrainer::from_parts(
+            ck.policy,
+            ck.critic,
+            PpoConfig::default(),
+            ck.pi_opt,
+            ck.vf_opt,
+        )
+        .map_err(TrainError::Checkpoint)?;
+        // The trainer RNG has no serializable state; replay the exact
+        // draw pattern of the completed epochs instead. Each epoch draws
+        // `batch_size` start offsets, unless the trace admits only one
+        // (max_start == 0), in which case `train_epoch` draws nothing.
+        self.rng = StdRng::seed_from_u64(self.config.seed ^ 0x7261_696E);
+        let max_start = self.trace.len().saturating_sub(self.config.seq_len);
+        if max_start > 0 {
+            for _ in 0..ck.epochs_done {
+                for _ in 0..self.config.batch_size {
+                    let _ = self.rng.random_range(0..=max_start);
+                }
+            }
+        }
+        Ok(ck.epochs_done)
+    }
+
     /// Snapshot the current policy as a deployable inspector.
     pub fn inspector(&self) -> SchedInspector {
         SchedInspector::new(self.ppo.policy.clone(), self.features)
@@ -642,6 +700,90 @@ mod tests {
         assert_eq!(cache.base_runs() as usize, cache.len());
         assert_eq!(cache.lookups(), 12 * 2);
         assert_eq!(cache.hits(), cache.lookups() - cache.base_runs());
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical() {
+        let config = InspectorConfig {
+            batch_size: 4,
+            seq_len: 16,
+            epochs: 5,
+            seed: 17,
+            workers: 2,
+            ..Default::default()
+        };
+        let build = || {
+            Trainer::builder(tiny_trace())
+                .policy(PolicyKind::Sjf)
+                .config(config)
+                .build()
+                .unwrap()
+        };
+        // Uninterrupted reference run, checkpointing each epoch.
+        let mut reference = build();
+        let mut ref_records = Vec::new();
+        for epoch in 0..config.epochs {
+            ref_records.push(reference.train_epoch(epoch));
+        }
+        let final_ck = reference.checkpoint_text(config.epochs);
+
+        // Kill after 3 epochs, resume in a fresh trainer from the
+        // checkpoint text alone.
+        for kill_at in [1usize, 3] {
+            let mut first = build();
+            for epoch in 0..kill_at {
+                first.train_epoch(epoch);
+            }
+            let ck = first.checkpoint_text(kill_at);
+            drop(first);
+
+            let mut resumed = build();
+            let next = resumed.restore(&ck).unwrap();
+            assert_eq!(next, kill_at);
+            for (epoch, want) in ref_records.iter().enumerate().skip(kill_at) {
+                let got = resumed.train_epoch(epoch);
+                assert_eq!(
+                    &got, want,
+                    "epoch {epoch} diverged after resume at {kill_at}"
+                );
+            }
+            assert_eq!(
+                resumed.checkpoint_text(config.epochs),
+                final_ck,
+                "final checkpoint must be byte-identical (resume at {kill_at})"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_checkpoints() {
+        let config = InspectorConfig {
+            batch_size: 4,
+            seq_len: 16,
+            epochs: 1,
+            seed: 23,
+            workers: 1,
+            ..Default::default()
+        };
+        let mut t = Trainer::builder(tiny_trace())
+            .policy(PolicyKind::Sjf)
+            .config(config)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            t.restore("not a checkpoint"),
+            Err(TrainError::Checkpoint(_))
+        ));
+        // Seed mismatch.
+        let other = InspectorConfig { seed: 24, ..config };
+        let wrong_seed = Trainer::builder(tiny_trace())
+            .policy(PolicyKind::Sjf)
+            .config(other)
+            .build()
+            .unwrap()
+            .checkpoint_text(0);
+        let err = t.restore(&wrong_seed).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
     }
 
     #[test]

@@ -97,6 +97,46 @@ impl PpoTrainer {
         &self.config
     }
 
+    /// The optimizer states `(policy, critic)` — exposed so trainers can
+    /// checkpoint mid-run and resume bit-identically.
+    pub fn optimizers(&self) -> (&Adam, &Adam) {
+        (&self.pi_opt, &self.vf_opt)
+    }
+
+    /// Reassemble a trainer from checkpointed parts. Optimizer moment
+    /// vectors must match the corresponding network sizes.
+    pub fn from_parts(
+        policy: BinaryPolicy,
+        critic: ValueNet,
+        config: PpoConfig,
+        pi_opt: Adam,
+        vf_opt: Adam,
+    ) -> Result<Self, String> {
+        // Adam::step asserts the same invariant; checking here turns a
+        // mismatched checkpoint into an error instead of a later panic.
+        if pi_opt.param_len() != policy.param_count() {
+            return Err(format!(
+                "policy optimizer covers {} params, network has {}",
+                pi_opt.param_len(),
+                policy.param_count()
+            ));
+        }
+        if vf_opt.param_len() != critic.param_count() {
+            return Err(format!(
+                "critic optimizer covers {} params, network has {}",
+                vf_opt.param_len(),
+                critic.param_count()
+            ));
+        }
+        Ok(PpoTrainer {
+            policy,
+            critic,
+            config,
+            pi_opt,
+            vf_opt,
+        })
+    }
+
     /// One PPO update from a batch of trajectories.
     pub fn update(&mut self, batch: &Batch) -> UpdateStats {
         self.update_traced(batch, &Telemetry::disabled())

@@ -40,6 +40,24 @@ impl ValueNet {
         self.net.param_count()
     }
 
+    /// The underlying network (checkpoint serialization).
+    pub fn mlp(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Rebuild a critic around an existing network; it must end in a
+    /// single output unit.
+    pub fn from_mlp(net: Mlp) -> Result<Self, String> {
+        match net.layers().last() {
+            Some(last) if last.fan_out == 1 => Ok(ValueNet { net }),
+            Some(last) => Err(format!(
+                "value network must output 1 value, got {}",
+                last.fan_out
+            )),
+            None => Err("value network has no layers".to_string()),
+        }
+    }
+
     pub(crate) fn net_mut(&mut self) -> &mut Mlp {
         &mut self.net
     }

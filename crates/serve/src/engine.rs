@@ -36,7 +36,8 @@ use std::time::{Duration, Instant};
 
 use inspector::{Decision, SchedInspector};
 use obs::{Clock, Telemetry};
-use tinynn::{BatchForwardScratch, QuantScratch, QuantizedMlp};
+use store::SwapCell;
+use tinynn::{BatchForwardScratch, Mlp, QuantScratch, QuantizedMlp};
 
 use crate::stats::ServerStats;
 
@@ -54,6 +55,10 @@ pub struct EngineConfig {
     /// Run the int8-quantized forward path ([`tinynn::QuantizedMlp`])
     /// instead of the bit-exact f32 fused path.
     pub quantized: bool,
+    /// Generation tag of the initially loaded model. `0` for models that
+    /// did not come from a store; [`BatchEngine::swap_model`] only accepts
+    /// strictly newer generations.
+    pub model_generation: u64,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +68,7 @@ impl Default for EngineConfig {
             queue_capacity: 4096,
             shards: 1,
             quantized: false,
+            model_generation: 0,
         }
     }
 }
@@ -254,11 +260,35 @@ impl Shard {
     }
 }
 
+/// The swappable inference payload: the f32 network plus, for quantized
+/// configs, its int8 companion built **once** at publish time and shared
+/// by every shard (forwards take `&self`; scratch stays per-shard).
+struct ServeModel {
+    mlp: Mlp,
+    quantized: Option<QuantizedMlp>,
+}
+
+impl ServeModel {
+    fn build(mlp: Mlp, quantize: bool) -> ServeModel {
+        let quantized = quantize.then(|| QuantizedMlp::quantize(&mlp));
+        ServeModel { mlp, quantized }
+    }
+}
+
 struct Shared {
     shards: Vec<Shard>,
     shutdown: AtomicBool,
     cfg: EngineConfig,
     stats: Arc<ServerStats>,
+    /// The live model, hot-swappable mid-traffic. Shard threads pin it
+    /// for the duration of one forward pass (epoch-based reclamation —
+    /// see [`store::SwapCell`]); a publish blocks only until in-flight
+    /// batches finish, never dropping or misrouting a request.
+    model: SwapCell<ServeModel>,
+    input_dim: usize,
+    /// Serializes writers: [`BatchEngine::swap_model`] may be called from
+    /// the registry watcher and an admin path concurrently.
+    swap_lock: Mutex<()>,
     /// Deadline time source. Production passes [`obs::SystemClock`];
     /// tests pass an [`obs::VirtualClock`] to drive requests through
     /// expiry — including during the shutdown drain — without sleeping.
@@ -305,24 +335,28 @@ impl BatchEngine {
             shards,
             "ServerStats shard count must match EngineConfig.shards"
         );
+        let input_dim = inspector.input_dim();
+        let model = ServeModel::build(inspector.policy.mlp().clone(), cfg.quantized);
+        stats.model_generation.set(cfg.model_generation as f64);
         let shared = Arc::new(Shared {
             shards: (0..shards)
                 .map(|_| Shard::new(cfg.queue_capacity))
                 .collect(),
             shutdown: AtomicBool::new(false),
+            model: SwapCell::new(shards, cfg.model_generation, model),
+            input_dim,
+            swap_lock: Mutex::new(()),
             cfg,
             stats,
             clock,
         });
-        let input_dim = inspector.input_dim();
         let workers = (0..shards)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let telemetry = telemetry.clone();
-                let model = inspector.policy.mlp().clone();
                 std::thread::Builder::new()
                     .name(format!("serve-engine-{i}"))
-                    .spawn(move || shard_loop(i, model, shared, telemetry))
+                    .spawn(move || shard_loop(i, shared, telemetry))
                     .expect("spawn inference thread")
             })
             .collect();
@@ -341,6 +375,48 @@ impl BatchEngine {
     /// Number of engine shards.
     pub fn shards(&self) -> usize {
         self.shared.shards.len()
+    }
+
+    /// Generation of the model currently serving decisions.
+    pub fn model_generation(&self) -> u64 {
+        self.shared.model.generation()
+    }
+
+    /// Hot-swap the serving model mid-traffic. Validates the network
+    /// shape and that `generation` strictly advances, builds the int8
+    /// companion when the engine runs quantized, publishes, and blocks
+    /// until no in-flight batch can still see the old model. Requests are
+    /// never dropped or misrouted across the swap — each batch runs
+    /// entirely on one model; the ledger stays exact.
+    pub fn swap_model(&self, generation: u64, model: Mlp) -> Result<(), String> {
+        if model.input_dim() != self.input_dim {
+            self.shared.stats.model_swap_errors.inc();
+            return Err(format!(
+                "model expects {} inputs, engine serves {}",
+                model.input_dim(),
+                self.input_dim
+            ));
+        }
+        if model.output_dim() != 2 {
+            self.shared.stats.model_swap_errors.inc();
+            return Err(format!(
+                "binary policy needs 2 logits, network has {}",
+                model.output_dim()
+            ));
+        }
+        let _writer = self.shared.swap_lock.lock().unwrap();
+        let current = self.shared.model.generation();
+        if generation <= current {
+            self.shared.stats.model_swap_errors.inc();
+            return Err(format!(
+                "stale model generation {generation} (serving {current})"
+            ));
+        }
+        let model = ServeModel::build(model, self.shared.cfg.quantized);
+        self.shared.model.publish(generation, model);
+        self.shared.stats.model_generation.set(generation as f64);
+        self.shared.stats.model_swaps.inc();
+        Ok(())
     }
 
     /// Enqueue one request from connection `conn` (routed via
@@ -430,12 +506,13 @@ impl std::fmt::Debug for BatchEngine {
 
 /// Per-shard inference loop: drain ≤ `max_batch` requests, expire stale
 /// ones, run one fused forward over the survivors, answer in submission
-/// order, park when idle.
-fn shard_loop(idx: usize, model: tinynn::Mlp, shared: Arc<Shared>, telemetry: Telemetry) {
+/// order, park when idle. The model is pinned from the shared
+/// [`SwapCell`] for exactly one batch at a time, so a hot-swap lands
+/// between batches and each batch runs entirely on one generation.
+fn shard_loop(idx: usize, shared: Arc<Shared>, telemetry: Telemetry) {
     let shard = &shared.shards[idx];
     let sstats = &shared.stats.shards[idx];
-    let input_dim = model.input_dim();
-    let quantized = shared.cfg.quantized.then(|| QuantizedMlp::quantize(&model));
+    let input_dim = shared.input_dim;
     let mut qscratch = QuantScratch::default();
     let mut fwd = BatchForwardScratch::default();
     let mut batch: Vec<Pending> = Vec::with_capacity(shared.cfg.max_batch);
@@ -482,11 +559,15 @@ fn shard_loop(idx: usize, model: tinynn::Mlp, shared: Arc<Shared>, telemetry: Te
             }
         }
 
-        // Pass 2: one fused forward over the whole micro-batch.
-        let logits: &[f32] = if let Some(qmodel) = &quantized {
+        // Pass 2: one fused forward over the whole micro-batch, on a
+        // pinned snapshot of the live model. The pin is per-batch: a
+        // concurrent publish waits (at most one batch) for this guard to
+        // drop, then frees the old model — no locks on this path.
+        let model = shared.model.pin(idx);
+        let logits: &[f32] = if let Some(qmodel) = &model.quantized {
             qmodel.forward_batch(&mut fwd, &mut qscratch)
         } else {
-            model.forward_batch(&mut fwd)
+            model.mlp.forward_batch(&mut fwd)
         };
 
         // Pass 3: answer in submission order (per-connection FIFO). Error
@@ -541,7 +622,7 @@ mod tests {
     use rlcore::PolicyScratch;
     use std::sync::mpsc;
 
-    fn tiny_inspector() -> SchedInspector {
+    fn tiny_inspector_seeded(seed: u64) -> SchedInspector {
         use inspector::{FeatureBuilder, FeatureMode, Normalizer};
         use rlcore::BinaryPolicy;
         use simhpc::Metric;
@@ -550,7 +631,11 @@ mod tests {
             metric: Metric::Bsld,
             norm: Normalizer::new(64, 3600.0),
         };
-        SchedInspector::new(BinaryPolicy::new(fb.dim(), 7), fb)
+        SchedInspector::new(BinaryPolicy::new(fb.dim(), seed), fb)
+    }
+
+    fn tiny_inspector() -> SchedInspector {
+        tiny_inspector_seeded(7)
     }
 
     #[test]
@@ -712,6 +797,122 @@ mod tests {
             }
         }
         engine.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_serves_the_new_model_bit_exactly_and_validates_updates() {
+        use rand::{RngExt, SeedableRng, StdRng};
+        let old = tiny_inspector_seeded(7);
+        let next = tiny_inspector_seeded(31);
+        let reference = tiny_inspector_seeded(31);
+        let dim = old.input_dim();
+        let stats = Arc::new(ServerStats::new(dim, 8));
+        let engine = BatchEngine::start(
+            old,
+            EngineConfig::default(),
+            Arc::clone(&stats),
+            Telemetry::disabled(),
+            obs::SystemClock::shared(),
+        );
+        assert_eq!(engine.model_generation(), 0);
+
+        engine.swap_model(3, next.policy.mlp().clone()).unwrap();
+        assert_eq!(engine.model_generation(), 3);
+        assert_eq!(stats.model_generation.get(), 3.0);
+
+        // Every post-swap decision matches the new model bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut scratch = PolicyScratch::default();
+        let (tx, rx) = mpsc::channel();
+        for token in 0..40u64 {
+            let features: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+            let expect = reference.decide(&features, &mut scratch);
+            engine.submit(0, token, features, None, tx.clone()).unwrap();
+            match rx.recv().unwrap() {
+                (t, Completion::Decision(got)) => {
+                    assert_eq!(t, token);
+                    assert_eq!(got.p_reject.to_bits(), expect.p_reject.to_bits());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        // Stale generation, wrong input dim, wrong logit head: all
+        // rejected, serving untouched.
+        let mut nrng = StdRng::seed_from_u64(1);
+        assert!(engine.swap_model(3, next.policy.mlp().clone()).is_err());
+        let wrong_in = Mlp::new(
+            &[dim + 1, 4, 2],
+            tinynn::Activation::Tanh,
+            tinynn::Activation::Identity,
+            &mut nrng,
+        );
+        assert!(engine.swap_model(4, wrong_in).is_err());
+        let wrong_out = Mlp::new(
+            &[dim, 4, 3],
+            tinynn::Activation::Tanh,
+            tinynn::Activation::Identity,
+            &mut nrng,
+        );
+        assert!(engine.swap_model(4, wrong_out).is_err());
+        assert_eq!(engine.model_generation(), 3);
+        assert_eq!(stats.model_swaps.get(), 1);
+        assert_eq!(stats.model_swap_errors.get(), 3);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn mid_traffic_swaps_never_drop_requests() {
+        // Hammer a sharded engine from the main thread while a swapper
+        // thread publishes 50 generations: every accepted request must
+        // complete exactly once and the ledger must balance — the same
+        // invariant the chaos harness asserts end-to-end.
+        let dim = tiny_inspector().input_dim();
+        let stats = Arc::new(ServerStats::sharded(dim, 8, 2));
+        let engine = BatchEngine::start(
+            tiny_inspector_seeded(7),
+            EngineConfig {
+                shards: 2,
+                queue_capacity: 4096,
+                ..EngineConfig::default()
+            },
+            Arc::clone(&stats),
+            Telemetry::disabled(),
+            obs::SystemClock::shared(),
+        );
+        let swapper = {
+            let engine = Arc::clone(&engine);
+            let a = tiny_inspector_seeded(31).policy.mlp().clone();
+            let b = tiny_inspector_seeded(47).policy.mlp().clone();
+            std::thread::spawn(move || {
+                for generation in 1..=50u64 {
+                    let net = if generation % 2 == 0 { &a } else { &b };
+                    engine.swap_model(generation, net.clone()).unwrap();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let (tx, rx) = mpsc::channel();
+        let mut submitted = 0u64;
+        for token in 0..4000u64 {
+            if engine
+                .submit(token % 8, token, vec![0.25; dim], None, tx.clone())
+                .is_ok()
+            {
+                submitted += 1;
+            }
+        }
+        swapper.join().unwrap();
+        engine.shutdown();
+        drop(tx);
+        assert_eq!(rx.iter().count() as u64, submitted);
+        assert_eq!(engine.model_generation(), 50);
+        assert_eq!(stats.model_swaps.get(), 50);
+        assert_eq!(
+            stats.ok.get() + stats.deadline_exceeded.get(),
+            submitted,
+            "ledger balances across 50 mid-traffic swaps"
+        );
     }
 
     #[test]

@@ -70,6 +70,17 @@ pub struct ServeConfig {
     /// [`SystemClock`]; tests inject an [`obs::VirtualClock`] to drive
     /// deadline and drain behavior without wall-clock sleeps.
     pub clock: Arc<dyn Clock>,
+    /// Run-store directory to watch for new model generations
+    /// (`schedinspector train --store DIR` publishes there). When set, a
+    /// watcher thread polls the store's manifest and hot-swaps each new
+    /// checkpoint into the engine mid-traffic — zero dropped requests.
+    pub model_dir: Option<String>,
+    /// Registry poll period for `model_dir`, in milliseconds.
+    pub model_poll_ms: u64,
+    /// Generation of the model the server starts with (`0` unless the
+    /// initial model was loaded from the run store). The watcher only
+    /// reports generations strictly newer than this.
+    pub initial_model_generation: u64,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +98,9 @@ impl Default for ServeConfig {
             allow_shutdown_verb: true,
             max_line_bytes: 1 << 20,
             clock: SystemClock::shared(),
+            model_dir: None,
+            model_poll_ms: 50,
+            initial_model_generation: 0,
         }
     }
 }
@@ -132,6 +146,7 @@ pub struct ServerHandle {
     engine: Arc<BatchEngine>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    model_watcher: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -158,6 +173,21 @@ impl ServerHandle {
         Arc::clone(&self.signal)
     }
 
+    /// Generation of the model currently serving decisions.
+    pub fn model_generation(&self) -> u64 {
+        self.engine.model_generation()
+    }
+
+    /// Hot-swap the serving model mid-traffic (same contract as
+    /// [`BatchEngine::swap_model`]): validates the network shape and that
+    /// `generation` strictly advances, then publishes with zero dropped
+    /// or misrouted requests. This is the admin-path twin of the
+    /// `model_dir` registry watcher; the chaos harness drives it to
+    /// assert the swap invariant deterministically.
+    pub fn swap_model(&self, generation: u64, model: tinynn::Mlp) -> Result<(), String> {
+        self.engine.swap_model(generation, model)
+    }
+
     /// Drain and stop: close the listener, finish queued inference, join
     /// every thread.
     pub fn shutdown(mut self) {
@@ -179,6 +209,11 @@ impl ServerHandle {
         }
         for worker in self.workers.drain(..) {
             if worker.join().is_err() {
+                self.stats.thread_panics.inc();
+            }
+        }
+        if let Some(watcher) = self.model_watcher.take() {
+            if watcher.join().is_err() {
                 self.stats.thread_panics.inc();
             }
         }
@@ -237,6 +272,7 @@ pub fn serve_with<A: AcceptPolicy>(
             queue_capacity: cfg.queue_capacity,
             shards: cfg.shards.max(1),
             quantized: cfg.quantized,
+            model_generation: cfg.initial_model_generation,
         },
         Arc::clone(&stats),
         telemetry,
@@ -304,6 +340,18 @@ pub fn serve_with<A: AcceptPolicy>(
             .expect("spawn acceptor")
     };
 
+    let model_watcher = cfg.model_dir.as_ref().map(|dir| {
+        let dir = std::path::PathBuf::from(dir);
+        let engine = Arc::clone(&engine);
+        let stats = Arc::clone(&stats);
+        let signal = Arc::clone(&signal);
+        let poll = Duration::from_millis(cfg.model_poll_ms.max(1));
+        std::thread::Builder::new()
+            .name("serve-model-watcher".into())
+            .spawn(move || model_watcher_loop(&dir, &engine, &stats, &signal, poll))
+            .expect("spawn model watcher")
+    });
+
     Ok(ServerHandle {
         addr,
         stats,
@@ -311,7 +359,37 @@ pub fn serve_with<A: AcceptPolicy>(
         engine,
         acceptor: Some(acceptor),
         workers,
+        model_watcher,
     })
+}
+
+/// Registry-watcher thread: poll the run store's manifest and hot-swap
+/// each new model generation into the engine. A bad checkpoint (corrupt
+/// text, wrong dimensions) or a transient store error is counted and
+/// skipped — serving continues on the previous generation.
+fn model_watcher_loop(
+    dir: &std::path::Path,
+    engine: &BatchEngine,
+    stats: &ServerStats,
+    signal: &ShutdownSignal,
+    poll: Duration,
+) {
+    let mut watcher = store::ModelWatcher::starting_after(dir, engine.model_generation());
+    while !signal.is_triggered() {
+        match watcher.poll() {
+            Ok(Some((generation, text))) => match inspector::model_io::from_text(&text) {
+                // A rejected swap (shape/generation) is already counted
+                // by swap_model itself.
+                Ok(insp) => {
+                    let _ = engine.swap_model(generation, insp.policy.mlp().clone());
+                }
+                Err(_) => stats.model_swap_errors.inc(),
+            },
+            Ok(None) => {}
+            Err(_) => stats.model_swap_errors.inc(),
+        }
+        std::thread::sleep(poll);
+    }
 }
 
 fn worker_loop<T: Transport>(
@@ -874,6 +952,73 @@ mod tests {
         let stats = handle.stats();
         handle.shutdown();
         assert_eq!(stats.accounted_requests(), stats.requests.get());
+    }
+
+    #[test]
+    fn model_dir_watcher_hot_swaps_new_generations() {
+        let dir = std::env::temp_dir().join(format!("serve-model-watch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut registry = store::RunStore::open(&dir).unwrap();
+        let handle = serve(
+            tiny_inspector(),
+            ServeConfig {
+                workers: 1,
+                model_dir: Some(dir.display().to_string()),
+                model_poll_ms: 2,
+                ..ServeConfig::default()
+            },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        assert_eq!(handle.model_generation(), 0);
+
+        // Publish a retrained model (same shape, different weights): the
+        // watcher must hot-swap it in while the server keeps answering.
+        let fb = FeatureBuilder {
+            mode: FeatureMode::Manual,
+            metric: Metric::Bsld,
+            norm: Normalizer::new(64, 3600.0),
+        };
+        let retrained = SchedInspector::new(BinaryPolicy::new(fb.dim(), 91), fb);
+        let generation = registry
+            .publish_model(&inspector::model_io::to_text(&retrained))
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.model_generation() < generation && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(handle.model_generation(), generation);
+        assert_eq!(handle.stats().model_swaps.get(), 1);
+        assert_eq!(
+            handle.stats().model_generation.get(),
+            generation as f64,
+            "serve.model.generation gauge advanced with the swap"
+        );
+
+        // Decisions now come from the retrained network, bit-exactly.
+        let (mut stream, mut reader) = connect(&handle);
+        let dim = retrained.input_dim();
+        let features: Vec<f32> = (0..dim).map(|i| i as f32 / dim as f32).collect();
+        let mut scratch = PolicyScratch::default();
+        let expect = retrained.decide(&features, &mut scratch);
+        let payload = features
+            .iter()
+            .map(|x| format!("{x}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        match roundtrip(
+            &mut stream,
+            &mut reader,
+            &format!(r#"{{"verb":"infer","id":1,"features":[{payload}]}}"#),
+        ) {
+            Response::Decision { id, p_reject, .. } => {
+                assert_eq!(id, 1);
+                assert_eq!(p_reject.to_bits(), expect.p_reject.to_bits());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -158,6 +158,15 @@ pub struct ServerStats {
     pub batched_requests: Counter,
     /// Current queued-request depth (gauge, updated by the engine).
     pub queue_depth: Gauge,
+    /// Generation of the model currently serving decisions. Advances on
+    /// every hot-swap; the chaos harness asserts it moved while the
+    /// request ledger stayed exact.
+    pub model_generation: Gauge,
+    /// Successful model hot-swaps since startup.
+    pub model_swaps: Counter,
+    /// Model updates that failed validation (dimension mismatch, stale
+    /// generation, unreadable/corrupt checkpoint text).
+    pub model_swap_errors: Counter,
     /// End-to-end latency in ns ticks: enqueue → decision produced.
     pub e2e: Histogram,
     /// Inference-only latency in ns ticks of each executed batch.
@@ -223,6 +232,15 @@ impl ServerStats {
                 "requests served through batches (sum of batch sizes)",
             ),
             queue_depth: r.gauge("serve.queue_depth", "current queued-request depth"),
+            model_generation: r.gauge(
+                "serve.model.generation",
+                "generation of the model currently serving decisions",
+            ),
+            model_swaps: r.counter("serve.model.swaps", "successful model hot-swaps"),
+            model_swap_errors: r.counter(
+                "serve.model.swap_errors",
+                "model updates that failed validation",
+            ),
             e2e: r.histogram(
                 "serve.e2e_seconds",
                 "end-to-end latency, enqueue to decision",
@@ -286,6 +304,11 @@ impl ServerStats {
             Json::Number(self.mean_batch_size()),
         );
         m.insert("queue_depth".into(), Json::Number(self.queue_depth.get()));
+        m.insert(
+            "model_generation".into(),
+            Json::Number(self.model_generation.get()),
+        );
+        m.insert("model_swaps".into(), n(&self.model_swaps));
         m.insert("e2e".into(), hist_json(&self.e2e));
         m.insert("infer_batch".into(), hist_json(&self.infer_batch));
         m.insert(

@@ -1,0 +1,160 @@
+//! Typed store failures.
+//!
+//! Every fallible store operation returns [`StoreError`]. The variants
+//! mirror the durability invariants: framing corruption carries the byte
+//! offset of the bad record, checksum mismatches carry both sums, and
+//! manifest version skew carries the versions involved so operators can
+//! tell a stale reader from a second writer.
+
+use std::io;
+use std::path::PathBuf;
+
+/// Errors from the durable run store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// What the store was doing (`"open wal"`, `"rename manifest"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A record frame is structurally invalid (impossible length, short
+    /// payload, unknown tag) at `offset`.
+    CorruptRecord {
+        /// File containing the bad frame.
+        path: PathBuf,
+        /// Byte offset of the frame header.
+        offset: u64,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A record's CRC32 did not match its payload at `offset`.
+    ChecksumMismatch {
+        /// File containing the bad frame.
+        path: PathBuf,
+        /// Byte offset of the frame header.
+        offset: u64,
+        /// Checksum stored in the frame.
+        expected: u32,
+        /// Checksum of the payload as read.
+        actual: u32,
+    },
+    /// The `MANIFEST` file is malformed.
+    CorruptManifest {
+        /// Manifest path.
+        path: PathBuf,
+        /// 1-based line of the first offending entry (0 = whole file).
+        line: usize,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// The manifest version moved backwards between two reads — either a
+    /// second writer is live on the same directory or the directory was
+    /// replaced underneath the reader.
+    ManifestVersionSkew {
+        /// Manifest path.
+        path: PathBuf,
+        /// Highest version this handle had previously observed.
+        seen: u64,
+        /// Version found on disk now.
+        found: u64,
+    },
+    /// The requested model generation is not in the manifest.
+    UnknownGeneration(u64),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "store io: {op} {}: {source}", path.display())
+            }
+            StoreError::CorruptRecord {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt record in {} at offset {offset}: {detail}",
+                path.display()
+            ),
+            StoreError::ChecksumMismatch {
+                path,
+                offset,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {} at offset {offset}: stored {expected:#010x}, \
+                 computed {actual:#010x}",
+                path.display()
+            ),
+            StoreError::CorruptManifest { path, line, msg } => {
+                write!(f, "corrupt manifest {} line {line}: {msg}", path.display())
+            }
+            StoreError::ManifestVersionSkew { path, seen, found } => write!(
+                f,
+                "manifest version skew in {}: had seen v{seen}, disk now has v{found} \
+                 (second writer or replaced store directory?)",
+                path.display()
+            ),
+            StoreError::UnknownGeneration(generation) => {
+                write!(f, "unknown model generation {generation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl StoreError {
+    pub(crate) fn io(op: &'static str, path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::Io {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_essentials() {
+        let e = StoreError::ChecksumMismatch {
+            path: PathBuf::from("/tmp/wal"),
+            offset: 40,
+            expected: 0xdead_beef,
+            actual: 0x0bad_f00d,
+        };
+        let s = e.to_string();
+        assert!(s.contains("offset 40"), "{s}");
+        assert!(s.contains("0xdeadbeef"), "{s}");
+
+        let e = StoreError::ManifestVersionSkew {
+            path: PathBuf::from("/tmp/MANIFEST"),
+            seen: 9,
+            found: 3,
+        };
+        assert!(e.to_string().contains("v9"), "{e}");
+
+        let e = StoreError::io(
+            "open wal",
+            "/nope",
+            io::Error::from(io::ErrorKind::NotFound),
+        );
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

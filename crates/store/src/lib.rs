@@ -1,0 +1,69 @@
+//! # store — the embedded LSM-flavored durable run store
+//!
+//! Everything the system learns flows through this crate when
+//! durability matters: training checkpoints journal through a
+//! write-ahead log so a `kill -9` loses at most the uncommitted tail,
+//! and trained models publish into a versioned registry that the serve
+//! daemon hot-swaps from without dropping a request.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! run-store/
+//!   wal             append-only log of recent mutations (crc-framed)
+//!   seg-000001.seg  immutable sorted segments (crc-framed, fsync+rename)
+//!   MANIFEST        versioned source of truth (crc-trailed, atomic rename)
+//!   models/         published model generations (gen-000001.model, …)
+//! ```
+//!
+//! The moving parts, bottom-up:
+//!
+//! * [`record`] — the shared length-prefixed, CRC-32-checksummed frame;
+//! * [`wal`] — group-commit append log whose recovery replays exactly
+//!   the durable record prefix (torn tails are truncated, not fatal);
+//! * [`memtable`] / [`segment`] — the in-memory table and the immutable
+//!   sorted files it freezes into;
+//! * [`manifest`] — the versioned `MANIFEST` naming live segments and
+//!   model generations, replaced atomically;
+//! * [`RunStore`] — the put/get/commit/flush/compact surface plus the
+//!   model-publishing write side of the registry;
+//! * [`ModelWatcher`] — the poll-based read side serve uses to notice
+//!   new generations;
+//! * [`SwapCell`] — the epoch-reclaimed hot-swap slot that hands a new
+//!   model to serve shards with zero dropped requests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use store::RunStore;
+//!
+//! let dir = std::env::temp_dir().join(format!("store-doc-{}", std::process::id()));
+//! let mut run = RunStore::open(&dir).unwrap();
+//! run.put("checkpoint/latest", b"epoch 3 ...".as_slice());
+//! run.commit().unwrap(); // one fsync, however many puts
+//!
+//! let generation = run.publish_model("model text").unwrap();
+//! assert_eq!(run.latest_model().unwrap().unwrap().0, generation);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod crc;
+mod error;
+pub mod manifest;
+pub mod memtable;
+mod metrics;
+pub mod record;
+mod registry;
+pub mod segment;
+mod store;
+mod swap;
+pub mod wal;
+
+pub use error::StoreError;
+pub use manifest::{Manifest, ModelEntry};
+pub use metrics::StoreMetrics;
+pub use record::Op;
+pub use registry::ModelWatcher;
+pub use store::{RunStore, StoreConfig, StoreStatus};
+pub use swap::{SwapCell, SwapGuard};
+pub use wal::{replay, Replay, TailCorruption, Wal};

@@ -1,0 +1,282 @@
+//! The versioned `MANIFEST`: the single source of truth for which
+//! segments are live and which model generations exist.
+//!
+//! Plain text, CRC-trailed, and replaced atomically (tmp + fsync +
+//! rename + dir fsync) so readers always see a complete manifest:
+//!
+//! ```text
+//! schedstore-manifest v1
+//! version 12
+//! next_segment 4
+//! segment 1 142 8310
+//! segment 3 10 512
+//! model 2 models/gen-000002.model
+//! crc 89abcdef
+//! ```
+//!
+//! `version` increases by exactly one per rewrite; a reader that ever
+//! observes it decrease reports [`StoreError::ManifestVersionSkew`].
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::segment::{sync_dir, SegmentMeta};
+
+const HEADER: &str = "schedstore-manifest v1";
+
+/// `MANIFEST` inside `dir`.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST")
+}
+
+/// One published model generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelEntry {
+    /// Monotonic generation counter (1 = first publish).
+    pub generation: u64,
+    /// Path of the checkpoint file, relative to the store directory.
+    pub path: String,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Rewrite counter; +1 per store.
+    pub version: u64,
+    /// Next unused segment id.
+    pub next_segment: u64,
+    /// Live segments, oldest first (ids ascend).
+    pub segments: Vec<SegmentMeta>,
+    /// Published model generations, oldest first.
+    pub models: Vec<ModelEntry>,
+}
+
+impl Manifest {
+    /// A fresh manifest for an empty store.
+    pub fn empty() -> Self {
+        Manifest {
+            version: 0,
+            next_segment: 1,
+            segments: Vec::new(),
+            models: Vec::new(),
+        }
+    }
+
+    /// The newest model entry, if any.
+    pub fn latest_model(&self) -> Option<&ModelEntry> {
+        self.models.last()
+    }
+
+    /// Serialize (without writing).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("version {}\n", self.version));
+        out.push_str(&format!("next_segment {}\n", self.next_segment));
+        for seg in &self.segments {
+            out.push_str(&format!(
+                "segment {} {} {}\n",
+                seg.id, seg.records, seg.bytes
+            ));
+        }
+        for model in &self.models {
+            out.push_str(&format!("model {} {}\n", model.generation, model.path));
+        }
+        let crc = crc32(out.as_bytes());
+        out.push_str(&format!("crc {crc:08x}\n"));
+        out
+    }
+
+    /// Parse manifest text (as found at `path`, for error reporting).
+    pub fn from_text(text: &str, path: &Path) -> Result<Manifest, StoreError> {
+        let corrupt = |line: usize, msg: String| StoreError::CorruptManifest {
+            path: path.to_path_buf(),
+            line,
+            msg,
+        };
+        // Split off and verify the crc trailer first.
+        let trailer_start = text
+            .trim_end_matches('\n')
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let trailer = text[trailer_start..].trim_end();
+        let stored = trailer
+            .strip_prefix("crc ")
+            .ok_or_else(|| corrupt(0, "missing crc trailer".to_string()))?;
+        let stored = u32::from_str_radix(stored, 16)
+            .map_err(|e| corrupt(0, format!("bad crc trailer: {e}")))?;
+        let body = &text[..trailer_start];
+        let actual = crc32(body.as_bytes());
+        if actual != stored {
+            return Err(corrupt(
+                0,
+                format!("crc mismatch: stored {stored:08x}, computed {actual:08x}"),
+            ));
+        }
+
+        let mut lines = body.lines().enumerate();
+        let (_, first) = lines
+            .next()
+            .ok_or_else(|| corrupt(1, "empty manifest".to_string()))?;
+        if first != HEADER {
+            return Err(corrupt(1, format!("bad header {first:?}")));
+        }
+        let mut manifest = Manifest::empty();
+        let mut saw_version = false;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("version") => {
+                    manifest.version = parse_u64(parts.next(), lineno, "version", path)?;
+                    saw_version = true;
+                }
+                Some("next_segment") => {
+                    manifest.next_segment = parse_u64(parts.next(), lineno, "next_segment", path)?;
+                }
+                Some("segment") => {
+                    let id = parse_u64(parts.next(), lineno, "segment id", path)?;
+                    let records = parse_u64(parts.next(), lineno, "segment records", path)?;
+                    let bytes = parse_u64(parts.next(), lineno, "segment bytes", path)?;
+                    manifest.segments.push(SegmentMeta { id, records, bytes });
+                }
+                Some("model") => {
+                    let generation = parse_u64(parts.next(), lineno, "model generation", path)?;
+                    let rel = parts
+                        .next()
+                        .ok_or_else(|| corrupt(lineno, "model entry missing path".to_string()))?;
+                    manifest.models.push(ModelEntry {
+                        generation,
+                        path: rel.to_string(),
+                    });
+                }
+                Some(other) => return Err(corrupt(lineno, format!("unknown directive {other:?}"))),
+                None => {}
+            }
+        }
+        if !saw_version {
+            return Err(corrupt(0, "missing version".to_string()));
+        }
+        Ok(manifest)
+    }
+
+    /// Load the manifest in `dir`; `Ok(None)` when the store has never
+    /// been committed (no `MANIFEST`).
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, StoreError> {
+        let path = manifest_path(dir);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io("read manifest", &path, e)),
+        };
+        Self::from_text(&text, &path).map(Some)
+    }
+
+    /// Durably replace the manifest in `dir` with this one: write tmp,
+    /// fsync, rename over `MANIFEST`, fsync the directory.
+    pub fn store(&self, dir: &Path) -> Result<(), StoreError> {
+        let final_path = manifest_path(dir);
+        let tmp_path = dir.join("MANIFEST.tmp");
+        let text = self.to_text();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(|e| StoreError::io("create manifest", &tmp_path, e))?;
+        file.write_all(text.as_bytes())
+            .map_err(|e| StoreError::io("write manifest", &tmp_path, e))?;
+        file.sync_all()
+            .map_err(|e| StoreError::io("fsync manifest", &tmp_path, e))?;
+        drop(file);
+        std::fs::rename(&tmp_path, &final_path)
+            .map_err(|e| StoreError::io("rename manifest", &final_path, e))?;
+        sync_dir(dir)
+    }
+}
+
+fn parse_u64(field: Option<&str>, line: usize, what: &str, path: &Path) -> Result<u64, StoreError> {
+    field
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| StoreError::CorruptManifest {
+            path: path.to_path_buf(),
+            line,
+            msg: format!("bad or missing {what}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("schedstore-man-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            version: 12,
+            next_segment: 4,
+            segments: vec![
+                SegmentMeta {
+                    id: 1,
+                    records: 142,
+                    bytes: 8310,
+                },
+                SegmentMeta {
+                    id: 3,
+                    records: 10,
+                    bytes: 512,
+                },
+            ],
+            models: vec![ModelEntry {
+                generation: 2,
+                path: "models/gen-000002.model".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn text_roundtrips() {
+        let m = sample();
+        let back = Manifest::from_text(&m.to_text(), Path::new("MANIFEST")).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.latest_model().unwrap().generation, 2);
+    }
+
+    #[test]
+    fn load_store_roundtrips_and_missing_is_none() {
+        let dir = tmp_dir("roundtrip");
+        assert!(Manifest::load(&dir).unwrap().is_none());
+        let m = sample();
+        m.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().unwrap(), m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_byte_fails_the_crc() {
+        let m = sample();
+        let mut text = m.to_text();
+        // Corrupt a digit inside the body.
+        text = text.replacen("142", "143", 1);
+        let err = Manifest::from_text(&text, Path::new("MANIFEST")).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptManifest { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_manifest_is_corrupt() {
+        let text = sample().to_text();
+        let cut = &text[..text.len() / 2];
+        assert!(Manifest::from_text(cut, Path::new("MANIFEST")).is_err());
+        assert!(Manifest::from_text("", Path::new("MANIFEST")).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! The in-memory table: the freshest view of every key, flushed to an
+//! immutable segment when it grows past the configured threshold.
+
+use std::collections::BTreeMap;
+
+use crate::record::Op;
+
+/// Sorted in-memory key → value map. `None` values are tombstones
+/// (deletions that must shadow older segment entries until compaction
+/// drops them).
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<String, Option<Vec<u8>>>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one operation.
+    pub fn apply(&mut self, op: Op) {
+        match op {
+            Op::Put { key, value } => self.insert(key, value),
+            Op::Delete { key } => self.delete(key),
+        }
+    }
+
+    /// Bind `key` to `value`.
+    pub fn insert(&mut self, key: String, value: Vec<u8>) {
+        self.approx_bytes += key.len() + value.len();
+        if let Some(old) = self.map.insert(key, Some(value)) {
+            self.approx_bytes = self.approx_bytes.saturating_sub(old.map_or(0, |v| v.len()));
+        }
+    }
+
+    /// Record a tombstone for `key`.
+    pub fn delete(&mut self, key: String) {
+        self.approx_bytes += key.len();
+        if let Some(old) = self.map.insert(key, None) {
+            self.approx_bytes = self.approx_bytes.saturating_sub(old.map_or(0, |v| v.len()));
+        }
+    }
+
+    /// The freshest state of `key`: `None` = never seen here,
+    /// `Some(None)` = tombstoned, `Some(Some(v))` = live.
+    pub fn get(&self, key: &str) -> Option<Option<&[u8]>> {
+        self.map.get(key).map(|v| v.as_deref())
+    }
+
+    /// Number of entries (tombstones included).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Rough resident size in bytes, for flush triggering.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Option<&[u8]>)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_deref()))
+    }
+
+    /// Drop everything (after a flush).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.approx_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latest_write_wins_and_tombstones_shadow() {
+        let mut mem = MemTable::new();
+        mem.insert("k".into(), b"one".to_vec());
+        mem.insert("k".into(), b"two".to_vec());
+        assert_eq!(mem.get("k"), Some(Some(b"two".as_slice())));
+        mem.delete("k".into());
+        assert_eq!(mem.get("k"), Some(None));
+        assert_eq!(mem.get("other"), None);
+        assert_eq!(mem.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut mem = MemTable::new();
+        mem.insert("b".into(), vec![2]);
+        mem.insert("a".into(), vec![1]);
+        mem.delete("c".into());
+        let keys: Vec<&str> = mem.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_replacements() {
+        let mut mem = MemTable::new();
+        mem.insert("key".into(), vec![0; 100]);
+        let full = mem.approx_bytes();
+        mem.insert("key".into(), vec![0; 10]);
+        assert!(mem.approx_bytes() < full);
+        mem.clear();
+        assert_eq!(mem.approx_bytes(), 0);
+    }
+}

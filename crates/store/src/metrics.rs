@@ -1,0 +1,80 @@
+//! Store metrics handles, registerable on an [`obs::Registry`] so they
+//! surface on the Prometheus `/metrics` endpoint.
+
+use obs::registry::{Counter, Gauge, Registry};
+
+/// Lock-free handles for the store's operational counters. Cheap to
+/// clone; clones share the underlying cells.
+#[derive(Clone, Debug)]
+pub struct StoreMetrics {
+    /// `store.wal.fsyncs` — group commits flushed to stable storage.
+    pub wal_fsyncs: Counter,
+    /// `store.wal.records` — records appended to the WAL.
+    pub wal_records: Counter,
+    /// `store.segments.live` — segments currently listed in the manifest.
+    pub segments_live: Gauge,
+    /// `store.flushes` — memtable-to-segment flushes.
+    pub flushes: Counter,
+    /// `store.compactions` — completed compactions.
+    pub compactions: Counter,
+    /// `store.models.published` — model checkpoints published.
+    pub models_published: Counter,
+}
+
+impl StoreMetrics {
+    /// Handles not registered anywhere (still fully usable).
+    pub fn detached() -> Self {
+        StoreMetrics {
+            wal_fsyncs: Counter::detached(),
+            wal_records: Counter::detached(),
+            segments_live: Gauge::detached(),
+            flushes: Counter::detached(),
+            compactions: Counter::detached(),
+            models_published: Counter::detached(),
+        }
+    }
+
+    /// Handles registered on `registry` under the `store.*` names.
+    pub fn registered(registry: &Registry) -> Self {
+        StoreMetrics {
+            wal_fsyncs: registry.counter(
+                "store.wal.fsyncs",
+                "WAL group commits flushed to stable storage",
+            ),
+            wal_records: registry.counter("store.wal.records", "records appended to the WAL"),
+            segments_live: registry.gauge(
+                "store.segments.live",
+                "segment files currently listed in the manifest",
+            ),
+            flushes: registry.counter("store.flushes", "memtable-to-segment flushes"),
+            compactions: registry.counter("store.compactions", "completed segment compactions"),
+            models_published: registry.counter(
+                "store.models.published",
+                "model checkpoint generations published to the registry",
+            ),
+        }
+    }
+}
+
+impl Default for StoreMetrics {
+    fn default() -> Self {
+        Self::detached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_handles_share_registry_state() {
+        let registry = Registry::new();
+        let a = StoreMetrics::registered(&registry);
+        let b = StoreMetrics::registered(&registry);
+        a.wal_fsyncs.inc();
+        b.wal_fsyncs.add(2);
+        assert_eq!(registry.counter("store.wal.fsyncs", "").get(), 3);
+        a.segments_live.set(4.0);
+        assert_eq!(registry.gauge("store.segments.live", "").get(), 4.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! The shared record framing for WAL and segment files.
+//!
+//! Every record is a self-checking frame:
+//!
+//! ```text
+//! +------------+------------+------------------+
+//! | len: u32LE | crc: u32LE | payload (len B)  |
+//! +------------+------------+------------------+
+//! ```
+//!
+//! `crc` is the CRC-32 of the payload. The payload encodes one operation:
+//!
+//! ```text
+//! tag: u8 (1 = put, 2 = delete)
+//! key_len: u32LE
+//! key: key_len bytes (UTF-8)
+//! value: remaining bytes (puts only)
+//! ```
+//!
+//! A frame either decodes completely and checksums clean, or the reader
+//! knows the exact byte offset and reason it stopped.
+
+use crate::crc::crc32;
+
+/// Hard upper bound on a single payload; anything larger in a length
+/// header is treated as framing corruption rather than attempted.
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// Bytes of frame header (length + checksum).
+pub const FRAME_HEADER: usize = 8;
+
+const TAG_PUT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+/// One logical store mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Bind `key` to `value`.
+    Put {
+        /// Record key.
+        key: String,
+        /// Record value.
+        value: Vec<u8>,
+    },
+    /// Remove `key` (a tombstone until compaction drops it).
+    Delete {
+        /// Record key.
+        key: String,
+    },
+}
+
+impl Op {
+    /// The key this operation touches.
+    pub fn key(&self) -> &str {
+        match self {
+            Op::Put { key, .. } | Op::Delete { key } => key,
+        }
+    }
+}
+
+/// Append the framed encoding of `op` to `out`.
+pub fn encode_frame(op: &Op, out: &mut Vec<u8>) {
+    let payload_at = out.len() + FRAME_HEADER;
+    out.extend_from_slice(&[0u8; FRAME_HEADER]);
+    match op {
+        Op::Put { key, value } => {
+            out.push(TAG_PUT);
+            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            out.extend_from_slice(key.as_bytes());
+            out.extend_from_slice(value);
+        }
+        Op::Delete { key } => {
+            out.push(TAG_DELETE);
+            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            out.extend_from_slice(key.as_bytes());
+        }
+    }
+    let len = (out.len() - payload_at) as u32;
+    let crc = crc32(&out[payload_at..]);
+    out[payload_at - FRAME_HEADER..payload_at - 4].copy_from_slice(&len.to_le_bytes());
+    out[payload_at - 4..payload_at].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Fewer than [`FRAME_HEADER`] + `len` bytes remain — a torn write.
+    Truncated,
+    /// The length header is impossibly large.
+    BadLength(u32),
+    /// Stored vs computed CRC-32.
+    Checksum {
+        /// Checksum stored in the frame.
+        expected: u32,
+        /// Checksum of the payload as read.
+        actual: u32,
+    },
+    /// The payload did not parse as an operation.
+    BadPayload(String),
+}
+
+impl std::fmt::Display for FrameFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameFault::Truncated => write!(f, "truncated frame"),
+            FrameFault::BadLength(len) => write!(f, "impossible frame length {len}"),
+            FrameFault::Checksum { expected, actual } => {
+                write!(
+                    f,
+                    "crc mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+            FrameFault::BadPayload(msg) => write!(f, "bad payload: {msg}"),
+        }
+    }
+}
+
+/// Decode the frame starting at `buf[offset..]`. On success returns the
+/// operation and the offset just past the frame.
+pub fn decode_frame(buf: &[u8], offset: usize) -> Result<(Op, usize), FrameFault> {
+    let rest = &buf[offset.min(buf.len())..];
+    if rest.len() < FRAME_HEADER {
+        return Err(FrameFault::Truncated);
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+    let expected = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(FrameFault::BadLength(len));
+    }
+    let len = len as usize;
+    if rest.len() < FRAME_HEADER + len {
+        return Err(FrameFault::Truncated);
+    }
+    let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(FrameFault::Checksum { expected, actual });
+    }
+    let op = decode_payload(payload).map_err(FrameFault::BadPayload)?;
+    Ok((op, offset + FRAME_HEADER + len))
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Op, String> {
+    if payload.len() < 5 {
+        return Err(format!("payload too short ({} bytes)", payload.len()));
+    }
+    let tag = payload[0];
+    let key_len = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as usize;
+    let rest = &payload[5..];
+    if rest.len() < key_len {
+        return Err(format!("key length {key_len} exceeds payload"));
+    }
+    let key = std::str::from_utf8(&rest[..key_len])
+        .map_err(|e| format!("key is not UTF-8: {e}"))?
+        .to_string();
+    match tag {
+        TAG_PUT => Ok(Op::Put {
+            key,
+            value: rest[key_len..].to_vec(),
+        }),
+        TAG_DELETE if rest.len() == key_len => Ok(Op::Delete { key }),
+        TAG_DELETE => Err("delete record carries a value".to_string()),
+        other => Err(format!("unknown record tag {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(op: Op) {
+        let mut buf = Vec::new();
+        encode_frame(&op, &mut buf);
+        let (back, end) = decode_frame(&buf, 0).expect("decodes");
+        assert_eq!(back, op);
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(Op::Put {
+            key: "checkpoint/latest".into(),
+            value: vec![0, 1, 2, 255],
+        });
+        roundtrip(Op::Put {
+            key: String::new(),
+            value: Vec::new(),
+        });
+        roundtrip(Op::Delete {
+            key: "epoch/00000004".into(),
+        });
+    }
+
+    #[test]
+    fn several_frames_decode_in_sequence() {
+        let mut buf = Vec::new();
+        let ops = vec![
+            Op::Put {
+                key: "a".into(),
+                value: b"1".to_vec(),
+            },
+            Op::Delete { key: "a".into() },
+            Op::Put {
+                key: "b".into(),
+                value: b"22".to_vec(),
+            },
+        ];
+        for op in &ops {
+            encode_frame(op, &mut buf);
+        }
+        let mut offset = 0;
+        let mut back = Vec::new();
+        while offset < buf.len() {
+            let (op, next) = decode_frame(&buf, offset).expect("decodes");
+            back.push(op);
+            offset = next;
+        }
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &Op::Put {
+                key: "k".into(),
+                value: b"value".to_vec(),
+            },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            let err = decode_frame(&buf[..cut], 0).expect_err("short frame must not decode");
+            assert_eq!(err, FrameFault::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_bit_is_checksum_mismatch() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &Op::Put {
+                key: "k".into(),
+                value: b"value".to_vec(),
+            },
+            &mut buf,
+        );
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        assert!(matches!(
+            decode_frame(&buf, 0),
+            Err(FrameFault::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_not_allocated() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&buf, 0),
+            Err(FrameFault::BadLength(_))
+        ));
+    }
+}

@@ -1,0 +1,151 @@
+//! The read side of the model registry: a poll-based watcher `serve`
+//! runs to notice new checkpoint generations.
+//!
+//! The watcher never holds the store open — each poll reads `MANIFEST`
+//! (atomically replaced by the writer, so always complete) and, when the
+//! latest generation advanced, the checkpoint file it names. A publish
+//! racing the poll can at worst make the file read fail (compaction
+//! retired it); the watcher reports `Ok(None)` for that poll and catches
+//! up on the next one.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+use crate::manifest::Manifest;
+
+/// Watches a store directory for new model generations.
+#[derive(Debug)]
+pub struct ModelWatcher {
+    dir: PathBuf,
+    last_version: u64,
+    last_generation: u64,
+}
+
+impl ModelWatcher {
+    /// Watch the store at `dir`. The first poll reports the newest
+    /// generation already present (if any).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ModelWatcher {
+            dir: dir.into(),
+            last_version: 0,
+            last_generation: 0,
+        }
+    }
+
+    /// Watch starting *after* `generation` — generations at or below it
+    /// are not reported (used when serve already loaded its initial
+    /// model from the registry).
+    pub fn starting_after(dir: impl Into<PathBuf>, generation: u64) -> Self {
+        ModelWatcher {
+            dir: dir.into(),
+            last_version: 0,
+            last_generation: generation,
+        }
+    }
+
+    /// The store directory being watched.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Newest generation reported so far.
+    pub fn last_generation(&self) -> u64 {
+        self.last_generation
+    }
+
+    /// Check for a newer model. `Ok(Some((generation, text)))` when one
+    /// appeared since the last poll; `Ok(None)` otherwise (including
+    /// "no manifest yet" and "checkpoint briefly unreadable mid-retire").
+    /// A manifest whose version went backwards is
+    /// [`StoreError::ManifestVersionSkew`].
+    pub fn poll(&mut self) -> Result<Option<(u64, String)>, StoreError> {
+        let manifest = match Manifest::load(&self.dir)? {
+            Some(m) => m,
+            None => return Ok(None),
+        };
+        if manifest.version < self.last_version {
+            return Err(StoreError::ManifestVersionSkew {
+                path: crate::manifest::manifest_path(&self.dir),
+                seen: self.last_version,
+                found: manifest.version,
+            });
+        }
+        self.last_version = manifest.version;
+        let entry = match manifest.latest_model() {
+            Some(e) if e.generation > self.last_generation => e,
+            _ => return Ok(None),
+        };
+        let path = self.dir.join(&entry.path);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            // Retired underneath us between manifest read and file read;
+            // the next poll sees the newer manifest.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io("read model", &path, e)),
+        };
+        self.last_generation = entry.generation;
+        Ok(Some((entry.generation, text)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::RunStore;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("schedstore-watch-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn watcher_sees_each_generation_once() {
+        let dir = tmp_dir("once");
+        let mut store = RunStore::open(&dir).unwrap();
+        let mut watcher = ModelWatcher::new(&dir);
+        assert_eq!(watcher.poll().unwrap(), None, "nothing published yet");
+
+        store.publish_model("gen-one").unwrap();
+        assert_eq!(watcher.poll().unwrap(), Some((1, "gen-one".to_string())));
+        assert_eq!(watcher.poll().unwrap(), None, "no repeat");
+
+        store.publish_model("gen-two").unwrap();
+        store.publish_model("gen-three").unwrap();
+        // Two publishes between polls: only the newest is served.
+        assert_eq!(watcher.poll().unwrap(), Some((3, "gen-three".to_string())));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn starting_after_skips_known_generations() {
+        let dir = tmp_dir("after");
+        let mut store = RunStore::open(&dir).unwrap();
+        store.publish_model("initial").unwrap();
+        let mut watcher = ModelWatcher::starting_after(&dir, 1);
+        assert_eq!(watcher.poll().unwrap(), None);
+        store.publish_model("updated").unwrap();
+        assert_eq!(watcher.poll().unwrap(), Some((2, "updated".to_string())));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_skew_is_detected() {
+        let dir = tmp_dir("skew");
+        let mut store = RunStore::open(&dir).unwrap();
+        store.publish_model("a").unwrap();
+        store.publish_model("b").unwrap();
+        let mut watcher = ModelWatcher::new(&dir);
+        watcher.poll().unwrap();
+        // Roll the manifest back (as a replaced store directory would).
+        let mut manifest = Manifest::load(&dir).unwrap().unwrap();
+        manifest.version = 0;
+        manifest.store(&dir).unwrap();
+        assert!(matches!(
+            watcher.poll(),
+            Err(StoreError::ManifestVersionSkew { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,221 @@
+//! Immutable, sorted segment files.
+//!
+//! A segment is a memtable frozen to disk: a magic line followed by
+//! [`crate::record`] frames in strictly ascending key order (tombstones
+//! included — they shadow older segments until compaction). Segments are
+//! written to a temporary name, fsynced, and renamed into place, so a
+//! segment either exists completely or not at all; readers therefore
+//! treat any corruption inside a segment as a hard error, unlike the
+//! WAL's tolerated torn tail.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+use crate::record::{decode_frame, encode_frame, FrameFault, Op};
+
+const MAGIC: &[u8] = b"schedstore-segment v1\n";
+
+/// Manifest-level description of one live segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Monotonic segment id; higher ids hold fresher data.
+    pub id: u64,
+    /// Records in the file (tombstones included).
+    pub records: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// A decoded segment: `(key, value)` pairs in key order, `None` values
+/// marking tombstones.
+pub type SegmentEntries = Vec<(String, Option<Vec<u8>>)>;
+
+/// `seg-000042.seg` inside `dir`.
+pub fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:06}.seg"))
+}
+
+/// Write a segment from already-sorted `entries` (`(key, None)` =
+/// tombstone). Durable on return: tmp file + fsync + rename + dir fsync.
+pub fn write_segment<'a>(
+    dir: &Path,
+    id: u64,
+    entries: impl Iterator<Item = (&'a str, Option<&'a [u8]>)>,
+) -> Result<SegmentMeta, StoreError> {
+    let final_path = segment_path(dir, id);
+    let tmp_path = final_path.with_extension("seg.tmp");
+    let mut buf = Vec::with_capacity(4096);
+    buf.extend_from_slice(MAGIC);
+    let mut records = 0u64;
+    let mut last_key: Option<String> = None;
+    for (key, value) in entries {
+        if let Some(prev) = &last_key {
+            debug_assert!(
+                prev.as_str() < key,
+                "segment entries must be sorted: {prev} >= {key}"
+            );
+        }
+        last_key = Some(key.to_string());
+        let op = match value {
+            Some(v) => Op::Put {
+                key: key.to_string(),
+                value: v.to_vec(),
+            },
+            None => Op::Delete {
+                key: key.to_string(),
+            },
+        };
+        encode_frame(&op, &mut buf);
+        records += 1;
+    }
+    let bytes = buf.len() as u64;
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp_path)
+        .map_err(|e| StoreError::io("create segment", &tmp_path, e))?;
+    file.write_all(&buf)
+        .map_err(|e| StoreError::io("write segment", &tmp_path, e))?;
+    file.sync_all()
+        .map_err(|e| StoreError::io("fsync segment", &tmp_path, e))?;
+    drop(file);
+    std::fs::rename(&tmp_path, &final_path)
+        .map_err(|e| StoreError::io("rename segment", &final_path, e))?;
+    sync_dir(dir)?;
+    Ok(SegmentMeta { id, records, bytes })
+}
+
+/// Read a segment fully, strictly: any framing or checksum fault is an
+/// error carrying the offending offset.
+pub fn read_segment(dir: &Path, id: u64) -> Result<SegmentEntries, StoreError> {
+    let path = segment_path(dir, id);
+    let buf = std::fs::read(&path).map_err(|e| StoreError::io("read segment", &path, e))?;
+    if !buf.starts_with(MAGIC) {
+        return Err(StoreError::CorruptRecord {
+            path,
+            offset: 0,
+            detail: "missing segment magic".to_string(),
+        });
+    }
+    let mut offset = MAGIC.len();
+    let mut entries = Vec::new();
+    while offset < buf.len() {
+        match decode_frame(&buf, offset) {
+            Ok((Op::Put { key, value }, next)) => {
+                entries.push((key, Some(value)));
+                offset = next;
+            }
+            Ok((Op::Delete { key }, next)) => {
+                entries.push((key, None));
+                offset = next;
+            }
+            Err(FrameFault::Checksum { expected, actual }) => {
+                return Err(StoreError::ChecksumMismatch {
+                    path,
+                    offset: offset as u64,
+                    expected,
+                    actual,
+                })
+            }
+            Err(fault) => {
+                return Err(StoreError::CorruptRecord {
+                    path,
+                    offset: offset as u64,
+                    detail: fault.to_string(),
+                })
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Delete a retired segment file; missing files are fine (a crash
+/// between manifest write and unlink leaves orphans that a later
+/// compaction retires again).
+pub fn remove_segment(dir: &Path, id: u64) -> Result<(), StoreError> {
+    let path = segment_path(dir, id);
+    match std::fs::remove_file(&path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(StoreError::io("remove segment", &path, e)),
+    }
+}
+
+/// Fsync a directory so renames within it are durable.
+pub fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    let handle = File::open(dir).map_err(|e| StoreError::io("open dir", dir, e))?;
+    handle
+        .sync_all()
+        .map_err(|e| StoreError::io("fsync dir", dir, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("schedstore-seg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_with_tombstones() {
+        let dir = tmp_dir("roundtrip");
+        let entries: Vec<(&str, Option<&[u8]>)> = vec![
+            ("alpha", Some(b"1".as_slice())),
+            ("beta", None),
+            ("gamma", Some(b"33".as_slice())),
+        ];
+        let meta = write_segment(&dir, 7, entries.iter().map(|(k, v)| (*k, *v))).unwrap();
+        assert_eq!(meta.id, 7);
+        assert_eq!(meta.records, 3);
+        let back = read_segment(&dir, 7).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], ("alpha".to_string(), Some(b"1".to_vec())));
+        assert_eq!(back[1], ("beta".to_string(), None));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_a_hard_error_with_offset() {
+        let dir = tmp_dir("corrupt");
+        write_segment(&dir, 1, [("k", Some(b"value".as_slice()))].into_iter()).unwrap();
+        let path = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_segment(&dir, 1) {
+            Err(StoreError::ChecksumMismatch { offset, .. }) => {
+                assert_eq!(offset, MAGIC.len() as u64)
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_magic_is_corrupt() {
+        let dir = tmp_dir("magic");
+        std::fs::write(segment_path(&dir, 2), b"not a segment").unwrap();
+        assert!(matches!(
+            read_segment(&dir, 2),
+            Err(StoreError::CorruptRecord { offset: 0, .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let dir = tmp_dir("remove");
+        write_segment(&dir, 3, std::iter::empty()).unwrap();
+        remove_segment(&dir, 3).unwrap();
+        remove_segment(&dir, 3).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

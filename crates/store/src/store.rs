@@ -1,0 +1,566 @@
+//! [`RunStore`] — the embedded LSM-flavored store tying WAL, memtable,
+//! segments, and manifest together, plus the versioned model registry
+//! that `serve` watches.
+//!
+//! Write path: [`put`](RunStore::put)/[`delete`](RunStore::delete)
+//! journal to the WAL buffer and apply to the memtable;
+//! [`commit`](RunStore::commit) group-commits the WAL (one fsync) and,
+//! when the memtable has outgrown `flush_bytes`, flushes it to a fresh
+//! immutable segment and truncates the WAL. Crash ordering: segment
+//! first, manifest second, WAL truncation last — replaying a WAL whose
+//! contents already landed in a segment is idempotent.
+//!
+//! Read path: memtable, then segments newest-to-oldest. Tombstones
+//! shadow older entries until [`compact`](RunStore::compact) merges all
+//! live segments into one and drops them.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use obs::registry::Registry;
+
+use crate::error::StoreError;
+use crate::manifest::{Manifest, ModelEntry};
+use crate::memtable::MemTable;
+use crate::metrics::StoreMetrics;
+use crate::record::Op;
+use crate::segment::{read_segment, remove_segment, segment_path, sync_dir, write_segment};
+use crate::wal::{Replay, Wal};
+
+/// Tunables for a [`RunStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Flush the memtable to a segment once it holds roughly this many
+    /// bytes (checked at commit).
+    pub flush_bytes: usize,
+    /// Compact automatically when a flush leaves at least this many live
+    /// segments (0 disables auto-compaction).
+    pub compact_at_segments: usize,
+    /// Model generations to keep on disk at compaction (older files and
+    /// manifest entries are retired).
+    pub keep_models: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            flush_bytes: 256 * 1024,
+            compact_at_segments: 4,
+            keep_models: 2,
+        }
+    }
+}
+
+/// A point-in-time description of the store, for `store inspect`.
+#[derive(Debug, Clone)]
+pub struct StoreStatus {
+    /// Manifest version on disk.
+    pub manifest_version: u64,
+    /// Live segments (id, records, bytes).
+    pub segments: Vec<(u64, u64, u64)>,
+    /// WAL bytes currently durable.
+    pub wal_durable_len: u64,
+    /// Keys visible through the full read path.
+    pub live_keys: u64,
+    /// Entries resident in the memtable (tombstones included).
+    pub memtable_entries: u64,
+    /// Published model generations.
+    pub model_generations: Vec<u64>,
+}
+
+/// The durable run store. Single-writer: open one handle per directory.
+#[derive(Debug)]
+pub struct RunStore {
+    dir: PathBuf,
+    wal: Wal,
+    mem: MemTable,
+    manifest: Manifest,
+    cfg: StoreConfig,
+    metrics: StoreMetrics,
+}
+
+impl RunStore {
+    /// Open (creating if needed) the store in `dir` with defaults and
+    /// detached metrics.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open_with(dir, StoreConfig::default(), None)
+    }
+
+    /// Open with explicit config; metrics register on `registry` when
+    /// given (under `store.*` names).
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        cfg: StoreConfig,
+        registry: Option<&Registry>,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("create store dir", &dir, e))?;
+        std::fs::create_dir_all(dir.join("models"))
+            .map_err(|e| StoreError::io("create models dir", &dir, e))?;
+        let metrics = match registry {
+            Some(r) => StoreMetrics::registered(r),
+            None => StoreMetrics::detached(),
+        };
+        let manifest = Manifest::load(&dir)?.unwrap_or_else(Manifest::empty);
+        let (wal, replayed) = Wal::open(dir.join("wal"), metrics.clone())?;
+        let mut mem = MemTable::new();
+        for op in replayed.ops {
+            mem.apply(op);
+        }
+        metrics.segments_live.set(manifest.segments.len() as f64);
+        Ok(RunStore {
+            dir,
+            wal,
+            mem,
+            manifest,
+            cfg,
+            metrics,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The WAL file path (fault-injection hooks live on this).
+    pub fn wal_path(&self) -> &Path {
+        self.wal.path()
+    }
+
+    /// WAL bytes guaranteed durable (covered by the last fsync).
+    pub fn wal_synced_len(&self) -> u64 {
+        self.wal.synced_len()
+    }
+
+    /// The metrics handles this store updates.
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    /// Stage a write. Not durable until [`commit`](RunStore::commit).
+    pub fn put(&mut self, key: impl Into<String>, value: impl Into<Vec<u8>>) {
+        let op = Op::Put {
+            key: key.into(),
+            value: value.into(),
+        };
+        self.wal.append(&op);
+        self.mem.apply(op);
+    }
+
+    /// Stage a deletion. Not durable until [`commit`](RunStore::commit).
+    pub fn delete(&mut self, key: impl Into<String>) {
+        let op = Op::Delete { key: key.into() };
+        self.wal.append(&op);
+        self.mem.apply(op);
+    }
+
+    /// Group-commit every staged operation (one fsync), then flush the
+    /// memtable to a segment if it outgrew `flush_bytes`.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        self.wal.commit()?;
+        if self.mem.approx_bytes() >= self.cfg.flush_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The freshest value of `key` through memtable then segments
+    /// newest-to-oldest. Uncommitted staged writes are visible (they are
+    /// in the memtable).
+    pub fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        if let Some(state) = self.mem.get(key) {
+            return Ok(state.map(|v| v.to_vec()));
+        }
+        for seg in self.manifest.segments.iter().rev() {
+            // Segment files are small (memtable-sized); a linear scan per
+            // lookup is fine for the checkpoint/registry workload.
+            for (k, v) in read_segment(&self.dir, seg.id)? {
+                if k == key {
+                    return Ok(v);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Every live key, sorted (tombstoned keys excluded).
+    pub fn keys(&self) -> Result<Vec<String>, StoreError> {
+        Ok(self
+            .merged_view()?
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|_| k))
+            .collect())
+    }
+
+    /// Freshest state of every key ever written (tombstones as `None`).
+    fn merged_view(&self) -> Result<BTreeMap<String, Option<Vec<u8>>>, StoreError> {
+        let mut view = BTreeMap::new();
+        for seg in &self.manifest.segments {
+            for (k, v) in read_segment(&self.dir, seg.id)? {
+                view.insert(k, v);
+            }
+        }
+        for (k, v) in self.mem.iter() {
+            view.insert(k.to_string(), v.map(|b| b.to_vec()));
+        }
+        Ok(view)
+    }
+
+    /// Force the memtable into a fresh immutable segment, publish it in
+    /// the manifest, and truncate the WAL. No-op on an empty memtable
+    /// (after committing any staged records).
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.wal.commit()?;
+        if self.mem.is_empty() {
+            return Ok(());
+        }
+        let id = self.manifest.next_segment;
+        let meta = write_segment(&self.dir, id, self.mem.iter())?;
+        self.manifest.next_segment = id + 1;
+        self.manifest.segments.push(meta);
+        self.manifest.version += 1;
+        self.manifest.store(&self.dir)?;
+        // Only after the manifest says the segment is live may the WAL
+        // forget those records.
+        self.wal.reset()?;
+        self.mem.clear();
+        self.metrics.flushes.inc();
+        self.metrics
+            .segments_live
+            .set(self.manifest.segments.len() as f64);
+        if self.cfg.compact_at_segments > 0
+            && self.manifest.segments.len() >= self.cfg.compact_at_segments
+        {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Merge all live segments into one, dropping tombstones and
+    /// superseded values, and retire old model generations beyond
+    /// `keep_models`. Returns the number of segments retired.
+    pub fn compact(&mut self) -> Result<usize, StoreError> {
+        // Flush staged/memtable state first so the compacted segment is
+        // complete.
+        self.wal.commit()?;
+        if !self.mem.is_empty() {
+            let id = self.manifest.next_segment;
+            let meta = write_segment(&self.dir, id, self.mem.iter())?;
+            self.manifest.next_segment = id + 1;
+            self.manifest.segments.push(meta);
+            self.mem.clear();
+            self.wal.reset()?;
+            self.metrics.flushes.inc();
+        }
+        let old: Vec<u64> = self.manifest.segments.iter().map(|s| s.id).collect();
+        if old.is_empty() {
+            return Ok(0);
+        }
+        let mut view = BTreeMap::new();
+        for seg in &self.manifest.segments {
+            for (k, v) in read_segment(&self.dir, seg.id)? {
+                view.insert(k, v);
+            }
+        }
+        // Live values only; compaction is where tombstones die.
+        let live: Vec<(String, Vec<u8>)> = view
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect();
+        let id = self.manifest.next_segment;
+        let meta = write_segment(
+            &self.dir,
+            id,
+            live.iter().map(|(k, v)| (k.as_str(), Some(v.as_slice()))),
+        )?;
+        self.manifest.next_segment = id + 1;
+        self.manifest.segments = vec![meta];
+
+        // Retire superseded model generations (keep the newest K).
+        let keep = self.cfg.keep_models.max(1);
+        let retired_models: Vec<ModelEntry> = if self.manifest.models.len() > keep {
+            self.manifest
+                .models
+                .drain(..self.manifest.models.len() - keep)
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        self.manifest.version += 1;
+        self.manifest.store(&self.dir)?;
+        // Manifest no longer references the old files; unlink them.
+        for seg_id in &old {
+            remove_segment(&self.dir, *seg_id)?;
+        }
+        for entry in &retired_models {
+            // Orphans from a failed unlink are retried next compaction.
+            let _ = std::fs::remove_file(self.dir.join(&entry.path));
+        }
+        self.metrics.compactions.inc();
+        self.metrics
+            .segments_live
+            .set(self.manifest.segments.len() as f64);
+        Ok(old.len())
+    }
+
+    /// Publish `text` as the next model generation: the checkpoint file
+    /// lands durably under `models/`, then the manifest records it.
+    /// Returns the new generation number.
+    pub fn publish_model(&mut self, text: &str) -> Result<u64, StoreError> {
+        let generation = self
+            .manifest
+            .latest_model()
+            .map(|m| m.generation + 1)
+            .unwrap_or(1);
+        let rel = format!("models/gen-{generation:06}.model");
+        let final_path = self.dir.join(&rel);
+        let tmp_path = self.dir.join(format!("models/gen-{generation:06}.tmp"));
+        std::fs::write(&tmp_path, text).map_err(|e| StoreError::io("write model", &tmp_path, e))?;
+        let file = std::fs::File::open(&tmp_path)
+            .map_err(|e| StoreError::io("open model", &tmp_path, e))?;
+        file.sync_all()
+            .map_err(|e| StoreError::io("fsync model", &tmp_path, e))?;
+        drop(file);
+        std::fs::rename(&tmp_path, &final_path)
+            .map_err(|e| StoreError::io("rename model", &final_path, e))?;
+        sync_dir(&self.dir.join("models"))?;
+        self.manifest.models.push(ModelEntry {
+            generation,
+            path: rel,
+        });
+        self.manifest.version += 1;
+        self.manifest.store(&self.dir)?;
+        self.metrics.models_published.inc();
+        Ok(generation)
+    }
+
+    /// Read the checkpoint text of `generation`.
+    pub fn model(&self, generation: u64) -> Result<String, StoreError> {
+        let entry = self
+            .manifest
+            .models
+            .iter()
+            .find(|m| m.generation == generation)
+            .ok_or(StoreError::UnknownGeneration(generation))?;
+        let path = self.dir.join(&entry.path);
+        std::fs::read_to_string(&path).map_err(|e| StoreError::io("read model", &path, e))
+    }
+
+    /// The newest `(generation, text)`, if any model was ever published.
+    pub fn latest_model(&self) -> Result<Option<(u64, String)>, StoreError> {
+        match self.manifest.latest_model() {
+            Some(entry) => Ok(Some((entry.generation, self.model(entry.generation)?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Point-in-time description for `store inspect`.
+    pub fn status(&self) -> Result<StoreStatus, StoreError> {
+        Ok(StoreStatus {
+            manifest_version: self.manifest.version,
+            segments: self
+                .manifest
+                .segments
+                .iter()
+                .map(|s| (s.id, s.records, s.bytes))
+                .collect(),
+            wal_durable_len: self.wal.synced_len(),
+            live_keys: self.keys()?.len() as u64,
+            memtable_entries: self.mem.len() as u64,
+            model_generations: self.manifest.models.iter().map(|m| m.generation).collect(),
+        })
+    }
+
+    /// Verify every on-disk structure strictly: manifest CRC, every
+    /// listed segment, and the WAL (a torn WAL tail is an error here,
+    /// unlike recovery). Returns the number of records checked.
+    pub fn verify(&self) -> Result<u64, StoreError> {
+        let mut records = 0u64;
+        for seg in &self.manifest.segments {
+            records += read_segment(&self.dir, seg.id)?.len() as u64;
+            let meta_bytes = std::fs::metadata(segment_path(&self.dir, seg.id))
+                .map_err(|e| StoreError::io("stat segment", segment_path(&self.dir, seg.id), e))?
+                .len();
+            if meta_bytes != seg.bytes {
+                return Err(StoreError::CorruptManifest {
+                    path: crate::manifest::manifest_path(&self.dir),
+                    line: 0,
+                    msg: format!(
+                        "segment {} is {meta_bytes} bytes on disk but manifest says {}",
+                        seg.id, seg.bytes
+                    ),
+                });
+            }
+        }
+        let replayed: Replay = crate::wal::replay(self.wal.path())?;
+        if let Some(err) = replayed.tail_error(self.wal.path()) {
+            return Err(err);
+        }
+        records += replayed.ops.len() as u64;
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("schedstore-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_commit_survives_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut store = RunStore::open(&dir).unwrap();
+            store.put("checkpoint/latest", b"state-1".as_slice());
+            store.put("epoch/00000000", b"{}".as_slice());
+            store.commit().unwrap();
+        }
+        let store = RunStore::open(&dir).unwrap();
+        assert_eq!(store.get("checkpoint/latest").unwrap().unwrap(), b"state-1");
+        assert_eq!(store.keys().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_writes_do_not_survive() {
+        let dir = tmp_dir("uncommitted");
+        {
+            let mut store = RunStore::open(&dir).unwrap();
+            store.put("durable", b"yes".as_slice());
+            store.commit().unwrap();
+            store.put("volatile", b"no".as_slice());
+            // dropped without commit
+        }
+        let store = RunStore::open(&dir).unwrap();
+        assert_eq!(store.get("durable").unwrap().unwrap(), b"yes");
+        assert_eq!(store.get("volatile").unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_moves_data_to_segments_and_empties_wal() {
+        let dir = tmp_dir("flush");
+        let mut store = RunStore::open(&dir).unwrap();
+        store.put("a", b"1".as_slice());
+        store.put("b", b"2".as_slice());
+        store.flush().unwrap();
+        let status = store.status().unwrap();
+        assert_eq!(status.segments.len(), 1);
+        assert_eq!(status.wal_durable_len, 0);
+        assert_eq!(store.get("a").unwrap().unwrap(), b"1");
+        // Newer write shadows the segment.
+        store.put("a", b"1b".as_slice());
+        store.commit().unwrap();
+        assert_eq!(store.get("a").unwrap().unwrap(), b"1b");
+        // And survives reopen with both layers present.
+        drop(store);
+        let store = RunStore::open(&dir).unwrap();
+        assert_eq!(store.get("a").unwrap().unwrap(), b"1b");
+        assert_eq!(store.get("b").unwrap().unwrap(), b"2");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deletes_shadow_across_flush_and_die_in_compaction() {
+        let dir = tmp_dir("tombstone");
+        let mut store = RunStore::open(&dir).unwrap();
+        store.put("gone", b"x".as_slice());
+        store.flush().unwrap();
+        store.delete("gone");
+        store.put("kept", b"y".as_slice());
+        store.flush().unwrap();
+        assert_eq!(store.get("gone").unwrap(), None);
+        let retired = store.compact().unwrap();
+        assert_eq!(retired, 2);
+        assert_eq!(store.get("gone").unwrap(), None);
+        assert_eq!(store.get("kept").unwrap().unwrap(), b"y");
+        let status = store.status().unwrap();
+        assert_eq!(status.segments.len(), 1);
+        assert_eq!(status.live_keys, 1);
+        store.verify().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_flush_and_auto_compact_trigger_on_thresholds() {
+        let dir = tmp_dir("auto");
+        let cfg = StoreConfig {
+            flush_bytes: 64,
+            compact_at_segments: 3,
+            keep_models: 2,
+        };
+        let registry = Registry::new();
+        let mut store = RunStore::open_with(&dir, cfg, Some(&registry)).unwrap();
+        for i in 0..30 {
+            store.put(format!("key/{i:04}"), vec![7u8; 32]);
+            store.commit().unwrap();
+        }
+        let status = store.status().unwrap();
+        assert!(
+            status.segments.len() < 3,
+            "auto-compaction keeps segment count bounded: {status:?}"
+        );
+        assert_eq!(status.live_keys, 30);
+        assert!(registry.counter("store.wal.fsyncs", "").get() >= 30);
+        assert!(registry.counter("store.compactions", "").get() >= 1);
+        assert_eq!(
+            registry.gauge("store.segments.live", "").get(),
+            status.segments.len() as f64
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn model_registry_publishes_monotonic_generations() {
+        let dir = tmp_dir("models");
+        let mut store = RunStore::open(&dir).unwrap();
+        assert!(store.latest_model().unwrap().is_none());
+        assert_eq!(store.publish_model("model-a").unwrap(), 1);
+        assert_eq!(store.publish_model("model-b").unwrap(), 2);
+        assert_eq!(store.publish_model("model-c").unwrap(), 3);
+        let (generation, text) = store.latest_model().unwrap().unwrap();
+        assert_eq!((generation, text.as_str()), (3, "model-c"));
+        assert_eq!(store.model(2).unwrap(), "model-b");
+        assert!(matches!(
+            store.model(99),
+            Err(StoreError::UnknownGeneration(99))
+        ));
+        // Compaction keeps only the newest keep_models generations.
+        store.put("k", b"v".as_slice());
+        store.compact().unwrap();
+        assert!(matches!(
+            store.model(1),
+            Err(StoreError::UnknownGeneration(1))
+        ));
+        assert_eq!(store.model(3).unwrap(), "model-c");
+        // Reopen sees the same registry.
+        drop(store);
+        let store = RunStore::open(&dir).unwrap();
+        assert_eq!(store.latest_model().unwrap().unwrap().0, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_catches_manifest_segment_size_lies() {
+        let dir = tmp_dir("verify");
+        let mut store = RunStore::open(&dir).unwrap();
+        store.put("a", b"1".as_slice());
+        store.flush().unwrap();
+        store.verify().unwrap();
+        // Append garbage to the segment file behind the manifest's back.
+        let seg = segment_path(store.dir(), 1);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes.push(0xFF);
+        std::fs::write(&seg, &bytes).unwrap();
+        assert!(store.verify().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,253 @@
+//! [`SwapCell`] — a single-writer, multi-reader hot-swap slot with
+//! epoch-based reclamation, built for zero-drop model swaps in `serve`.
+//!
+//! Each reader (a serve shard) owns one cache-line-padded epoch counter.
+//! A quiescent reader's epoch is **even**; [`SwapCell::pin`] makes it
+//! odd, loads the current value pointer, and the guard's drop makes it
+//! even again. [`SwapCell::publish`] swaps the pointer in, then waits
+//! until every reader epoch is even or has moved past its snapshot
+//! before freeing the old value — so a reader never observes a freed
+//! model, and the writer never blocks readers (readers are wait-free;
+//! only the writer spins).
+//!
+//! The ordering argument is the classic store-load fence pairing: a
+//! reader's pin (`fetch_add` SeqCst) happens before its pointer load
+//! (SeqCst), and the writer's pointer swap (SeqCst) happens before its
+//! epoch snapshot (SeqCst). Either the reader's load sees the new
+//! pointer, or the writer's snapshot sees the odd epoch and waits.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+#[repr(align(64))]
+struct Epoch(AtomicU64);
+
+struct Slot<T> {
+    generation: u64,
+    value: T,
+}
+
+/// The hot-swap cell. `T` is the shared payload (e.g. a model); readers
+/// clone what they need out of it under a short pin.
+pub struct SwapCell<T> {
+    ptr: AtomicPtr<Slot<T>>,
+    /// Mirror of the current slot's generation, readable without a pin.
+    /// Updated after the pointer swap, so a reader that sees the new
+    /// generation here is guaranteed to pin at least that generation.
+    generation: AtomicU64,
+    epochs: Box<[Epoch]>,
+}
+
+// SAFETY: the epoch protocol serializes destruction of `T` after all
+// reader pins of it end; `T` crosses threads, hence the bounds.
+unsafe impl<T: Send + Sync> Sync for SwapCell<T> {}
+unsafe impl<T: Send> Send for SwapCell<T> {}
+
+/// A pinned read of the current value. Keep it short: a publish cannot
+/// complete while any guard from an older generation is live.
+pub struct SwapGuard<'a, T> {
+    slot: &'a Slot<T>,
+    epoch: &'a AtomicU64,
+}
+
+impl<T> std::ops::Deref for SwapGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.slot.value
+    }
+}
+
+impl<T> SwapGuard<'_, T> {
+    /// Generation of the value this guard pinned.
+    pub fn generation(&self) -> u64 {
+        self.slot.generation
+    }
+}
+
+impl<T> Drop for SwapGuard<'_, T> {
+    fn drop(&mut self) {
+        // Odd -> even: the reader is quiescent again.
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl<T> SwapCell<T> {
+    /// A cell with `readers` reader slots holding (`generation`,
+    /// `value`).
+    pub fn new(readers: usize, generation: u64, value: T) -> Self {
+        let slot = Box::into_raw(Box::new(Slot { generation, value }));
+        SwapCell {
+            ptr: AtomicPtr::new(slot),
+            generation: AtomicU64::new(generation),
+            epochs: (0..readers.max(1))
+                .map(|_| Epoch(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Number of reader slots.
+    pub fn readers(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Generation of the newest published value. May briefly lag a
+    /// concurrent publish; never runs ahead of what [`pin`](Self::pin)
+    /// returns.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Pin the current value for reader slot `reader`. Wait-free.
+    ///
+    /// # Panics
+    /// If `reader >= self.readers()`, or if this slot already holds a
+    /// live guard (pins do not nest).
+    pub fn pin(&self, reader: usize) -> SwapGuard<'_, T> {
+        let epoch = &self.epochs[reader].0;
+        let before = epoch.fetch_add(1, Ordering::SeqCst);
+        assert!(
+            before.is_multiple_of(2),
+            "SwapCell pins do not nest (reader {reader})"
+        );
+        let slot = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: the slot cannot be freed while this reader's epoch is
+        // odd — publish waits for it (see module docs).
+        let slot = unsafe { &*slot };
+        SwapGuard { slot, epoch }
+    }
+
+    /// Publish a new value and block until no reader can still see the
+    /// old one, then free it. Single writer at a time (callers hold the
+    /// watcher/CLI side; enforce externally or wrap in a mutex).
+    pub fn publish(&self, generation: u64, value: T) {
+        let new = Box::into_raw(Box::new(Slot { generation, value }));
+        let old = self.ptr.swap(new, Ordering::SeqCst);
+        self.generation.store(generation, Ordering::Release);
+        // Wait for every reader pinned before the swap to unpin.
+        for epoch in self.epochs.iter() {
+            let snapshot = epoch.0.load(Ordering::SeqCst);
+            if snapshot % 2 == 0 {
+                continue; // quiescent at snapshot time; cannot hold `old`
+            }
+            while epoch.0.load(Ordering::Acquire) == snapshot {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: every reader that could have loaded `old` has since
+        // unpinned; no new reader can load it (the pointer now points at
+        // `new`).
+        drop(unsafe { Box::from_raw(old) });
+    }
+}
+
+impl<T> Drop for SwapCell<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no guards can outlive the cell (lifetimes).
+        drop(unsafe { Box::from_raw(*self.ptr.get_mut()) });
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SwapCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwapCell")
+            .field("generation", &self.generation())
+            .field("readers", &self.readers())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn pin_sees_published_values_and_generations_advance() {
+        let cell = SwapCell::new(2, 1, "one".to_string());
+        assert_eq!(*cell.pin(0), "one");
+        assert_eq!(cell.pin(1).generation(), 1);
+        cell.publish(2, "two".to_string());
+        assert_eq!(cell.generation(), 2);
+        assert_eq!(*cell.pin(0), "two");
+    }
+
+    #[test]
+    fn publish_waits_for_pinned_readers_before_freeing() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked(#[allow(dead_code)] u64);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let cell = Arc::new(SwapCell::new(1, 1, Tracked(1)));
+        let guard_cell = Arc::clone(&cell);
+        std::thread::scope(|scope| {
+            let guard = guard_cell.pin(0);
+            assert_eq!(guard.0, 1);
+            let publisher = scope.spawn(|| {
+                cell.publish(2, Tracked(2));
+            });
+            // The publisher must not complete (and must not free the old
+            // value) while the guard is live.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert_eq!(
+                DROPS.load(Ordering::SeqCst),
+                0,
+                "old value freed under a pin"
+            );
+            assert!(
+                !publisher.is_finished(),
+                "publish returned under a live pin"
+            );
+            drop(guard);
+            publisher.join().unwrap();
+            assert_eq!(
+                DROPS.load(Ordering::SeqCst),
+                1,
+                "old value freed exactly once"
+            );
+        });
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_or_freed_values() {
+        // Value carries its generation twice; a torn/freed read would
+        // break the invariant value.0 == value.1 == slot generation.
+        let cell = Arc::new(SwapCell::new(4, 0, (0u64, 0u64)));
+        let stop = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for reader in 0..4 {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut last_seen = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let guard = cell.pin(reader);
+                        let (a, b) = *guard;
+                        assert_eq!(a, b, "torn value");
+                        assert_eq!(a, guard.generation(), "value does not match generation");
+                        assert!(a >= last_seen, "generation went backwards");
+                        last_seen = a;
+                    }
+                });
+            }
+            for g in 1..=500u64 {
+                cell.publish(g, (g, g));
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+        assert_eq!(cell.generation(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not nest")]
+    fn nested_pins_panic() {
+        let cell = SwapCell::new(1, 0, ());
+        let _a = cell.pin(0);
+        let _b = cell.pin(0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The append-only write-ahead log.
+//!
+//! Mutations are framed with [`crate::record`] encoding, buffered in
+//! memory, and made durable by [`Wal::commit`] — one `write` + one
+//! `fdatasync` per commit regardless of how many records it covers
+//! (group commit). The recovery invariant:
+//!
+//! > After any crash, replay yields **exactly the prefix of records that
+//! > were fully written**, in append order. The first torn, truncated, or
+//! > checksum-failing frame ends the replay; everything before it is
+//! > intact (frames are self-checking), everything at or after it is
+//! > discarded and the file is truncated back to the durable prefix on
+//! > the next open.
+//!
+//! Records past the last `commit` may survive a crash (the kernel may
+//! have written them) or not — both outcomes are valid prefixes, which is
+//! what the testkit's torn-write fault plans exercise.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+use crate::metrics::StoreMetrics;
+use crate::record::{decode_frame, encode_frame, FrameFault, Op, FRAME_HEADER};
+
+/// Why a replay stopped before the end of the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailCorruption {
+    /// Byte offset of the first unusable frame.
+    pub offset: u64,
+    /// What was wrong with it.
+    pub fault: FrameFault,
+}
+
+/// The result of scanning a WAL file.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every fully-durable operation, in append order.
+    pub ops: Vec<Op>,
+    /// Length in bytes of the durable prefix.
+    pub durable_len: u64,
+    /// Set when trailing bytes after the durable prefix were unusable
+    /// (a torn write); `None` when the file ended exactly on a frame
+    /// boundary.
+    pub tail: Option<TailCorruption>,
+}
+
+impl Replay {
+    /// The tail corruption as a typed error, for strict consumers
+    /// (`store inspect --strict`); recovery itself treats a torn tail as
+    /// normal crash residue.
+    pub fn tail_error(&self, path: &Path) -> Option<StoreError> {
+        let tail = self.tail.as_ref()?;
+        Some(match tail.fault {
+            FrameFault::Checksum { expected, actual } => StoreError::ChecksumMismatch {
+                path: path.to_path_buf(),
+                offset: tail.offset,
+                expected,
+                actual,
+            },
+            ref fault => StoreError::CorruptRecord {
+                path: path.to_path_buf(),
+                offset: tail.offset,
+                detail: fault.to_string(),
+            },
+        })
+    }
+}
+
+/// Scan the WAL at `path` and return its durable prefix. Missing file =
+/// empty replay.
+pub fn replay(path: &Path) -> Result<Replay, StoreError> {
+    let buf = match std::fs::read(path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Replay {
+                ops: Vec::new(),
+                durable_len: 0,
+                tail: None,
+            })
+        }
+        Err(e) => return Err(StoreError::io("read wal", path, e)),
+    };
+    let mut ops = Vec::new();
+    let mut offset = 0usize;
+    let mut tail = None;
+    while offset < buf.len() {
+        match decode_frame(&buf, offset) {
+            Ok((op, next)) => {
+                ops.push(op);
+                offset = next;
+            }
+            Err(fault) => {
+                tail = Some(TailCorruption {
+                    offset: offset as u64,
+                    fault,
+                });
+                break;
+            }
+        }
+    }
+    Ok(Replay {
+        ops,
+        durable_len: offset as u64,
+        tail,
+    })
+}
+
+/// The writable WAL handle.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Frames appended but not yet written to the file.
+    pending: Vec<u8>,
+    pending_records: u64,
+    /// Bytes written to the file (durable prefix + uncommitted writes —
+    /// equal to `synced_len` outside of `commit` itself).
+    len: u64,
+    /// Bytes covered by the last fsync.
+    synced_len: u64,
+    metrics: StoreMetrics,
+}
+
+impl Wal {
+    /// Open (or create) the WAL at `path`, repairing any torn tail:
+    /// the file is truncated back to the durable prefix. Returns the
+    /// handle and the replayed operations.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        metrics: StoreMetrics,
+    ) -> Result<(Wal, Replay), StoreError> {
+        let path = path.into();
+        let replayed = replay(&path)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| StoreError::io("open wal", &path, e))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| StoreError::io("stat wal", &path, e))?
+            .len();
+        if file_len > replayed.durable_len {
+            file.set_len(replayed.durable_len)
+                .map_err(|e| StoreError::io("truncate torn wal tail", &path, e))?;
+            file.sync_data()
+                .map_err(|e| StoreError::io("fsync wal after repair", &path, e))?;
+        }
+        file.seek(SeekFrom::Start(replayed.durable_len))
+            .map_err(|e| StoreError::io("seek wal", &path, e))?;
+        let wal = Wal {
+            path,
+            file,
+            pending: Vec::new(),
+            pending_records: 0,
+            len: replayed.durable_len,
+            synced_len: replayed.durable_len,
+            metrics,
+        };
+        Ok((wal, replayed))
+    }
+
+    /// Buffer one operation. Nothing reaches the file (let alone stable
+    /// storage) until [`commit`](Wal::commit).
+    pub fn append(&mut self, op: &Op) {
+        encode_frame(op, &mut self.pending);
+        self.pending_records += 1;
+    }
+
+    /// Records buffered since the last commit.
+    pub fn pending_records(&self) -> u64 {
+        self.pending_records
+    }
+
+    /// Group-commit everything buffered: one write, one `fdatasync`.
+    /// A no-op (not even an fsync) when nothing is pending.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.file
+            .write_all(&self.pending)
+            .map_err(|e| StoreError::io("write wal", &self.path, e))?;
+        self.len += self.pending.len() as u64;
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io("fsync wal", &self.path, e))?;
+        self.synced_len = self.len;
+        self.metrics.wal_records.add(self.pending_records);
+        self.metrics.wal_fsyncs.inc();
+        self.pending.clear();
+        self.pending_records = 0;
+        Ok(())
+    }
+
+    /// Discard the log after its contents were flushed to a segment:
+    /// truncate to zero and fsync. Pending uncommitted records are
+    /// dropped (callers flush from the memtable, which already holds
+    /// them).
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.pending.clear();
+        self.pending_records = 0;
+        self.file
+            .set_len(0)
+            .map_err(|e| StoreError::io("truncate wal", &self.path, e))?;
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| StoreError::io("seek wal", &self.path, e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io("fsync wal", &self.path, e))?;
+        self.len = 0;
+        self.synced_len = 0;
+        Ok(())
+    }
+
+    /// Bytes covered by the last fsync — everything at or before this
+    /// offset survives `kill -9`.
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
+    /// Bytes written to the file (≥ [`synced_len`](Wal::synced_len)).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The file backing this log.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read back the raw file contents (test/inspect helper).
+    pub fn raw_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        let mut file =
+            File::open(&self.path).map_err(|e| StoreError::io("read wal", &self.path, e))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)
+            .map_err(|e| StoreError::io("read wal", &self.path, e))?;
+        Ok(buf)
+    }
+}
+
+/// The minimum bytes a frame occupies (empty key, empty value).
+pub const MIN_FRAME: usize = FRAME_HEADER + 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("schedstore-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn put(key: &str, value: &[u8]) -> Op {
+        Op::Put {
+            key: key.into(),
+            value: value.to_vec(),
+        }
+    }
+
+    #[test]
+    fn appends_replay_in_order_after_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("wal");
+        let ops = vec![
+            put("a", b"1"),
+            Op::Delete { key: "a".into() },
+            put("b", b"2"),
+        ];
+        {
+            let (mut wal, replayed) = Wal::open(&path, StoreMetrics::detached()).unwrap();
+            assert!(replayed.ops.is_empty());
+            for op in &ops {
+                wal.append(op);
+            }
+            wal.commit().unwrap();
+            assert_eq!(wal.synced_len(), wal.len());
+        }
+        let (_, replayed) = Wal::open(&path, StoreMetrics::detached()).unwrap();
+        assert_eq!(replayed.ops, ops);
+        assert!(replayed.tail.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commit_is_group_not_per_record() {
+        let dir = tmp_dir("group");
+        let metrics = StoreMetrics::detached();
+        let (mut wal, _) = Wal::open(dir.join("wal"), metrics.clone()).unwrap();
+        for i in 0..100 {
+            wal.append(&put(&format!("k{i}"), b"v"));
+        }
+        wal.commit().unwrap();
+        wal.commit().unwrap(); // empty commit: free
+        assert_eq!(metrics.wal_fsyncs.get(), 1);
+        assert_eq!(metrics.wal_records.get(), 100);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("wal");
+        let durable;
+        {
+            let (mut wal, _) = Wal::open(&path, StoreMetrics::detached()).unwrap();
+            wal.append(&put("good", b"record"));
+            wal.commit().unwrap();
+            durable = wal.synced_len();
+        }
+        // Simulate a torn write: garbage appended past the durable prefix.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&[0xAB; 13]).unwrap();
+        drop(file);
+
+        let (wal, replayed) = Wal::open(&path, StoreMetrics::detached()).unwrap();
+        assert_eq!(replayed.ops, vec![put("good", b"record")]);
+        assert_eq!(replayed.durable_len, durable);
+        assert!(replayed.tail.is_some());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), durable);
+        assert!(replayed.tail_error(wal.path()).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_bit_inside_record_stops_replay_at_that_record() {
+        let dir = tmp_dir("flip");
+        let path = dir.join("wal");
+        {
+            let (mut wal, _) = Wal::open(&path, StoreMetrics::detached()).unwrap();
+            wal.append(&put("first", b"ok"));
+            wal.append(&put("second", b"will corrupt"));
+            wal.commit().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.ops, vec![put("first", b"ok")]);
+        assert!(matches!(
+            replayed.tail.as_ref().unwrap().fault,
+            FrameFault::Checksum { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let dir = tmp_dir("reset");
+        let path = dir.join("wal");
+        let (mut wal, _) = Wal::open(&path, StoreMetrics::detached()).unwrap();
+        wal.append(&put("k", b"v"));
+        wal.commit().unwrap();
+        wal.reset().unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(replay(&path).unwrap().ops, Vec::<Op>::new());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! chaos [--fault-seed N] [--workload-seed N] [--clients N] [--conns N]
-//!       [--requests N] [--shards N] [--watchdog-secs N] [--log PATH]
-//!       [--oracle-cases N]
+//!       [--requests N] [--shards N] [--swaps N] [--watchdog-secs N]
+//!       [--log PATH] [--oracle-cases N]
 //! ```
 //!
 //! Runs the differential oracle over `--oracle-cases` seeded traces, then
@@ -18,7 +18,8 @@ use testkit::{case_from_seed, check_case, run_chaos, ChaosConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--fault-seed N] [--workload-seed N] [--clients N] [--conns N] \
-         [--requests N] [--shards N] [--watchdog-secs N] [--log PATH] [--oracle-cases N]"
+         [--requests N] [--shards N] [--swaps N] [--watchdog-secs N] [--log PATH] \
+         [--oracle-cases N]"
     );
     std::process::exit(2);
 }
@@ -44,6 +45,7 @@ fn main() {
             "--conns" => cfg.conns_per_client = value.parse().unwrap_or_else(|_| usage()),
             "--requests" => cfg.requests_per_conn = value.parse().unwrap_or_else(|_| usage()),
             "--shards" => cfg.shards = value.parse().unwrap_or_else(|_| usage()),
+            "--swaps" => cfg.swaps = value.parse().unwrap_or_else(|_| usage()),
             "--watchdog-secs" => cfg.watchdog_secs = value.parse().unwrap_or_else(|_| usage()),
             "--oracle-cases" => oracle_cases = value.parse().unwrap_or_else(|_| usage()),
             "--log" => log_path = value.clone(),

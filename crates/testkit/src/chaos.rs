@@ -70,6 +70,13 @@ pub struct ChaosConfig {
     /// Abort the run (exit code 3, after printing the seed pair) if the
     /// post-soak drain takes longer than this. 0 disables the watchdog.
     pub watchdog_secs: u64,
+    /// Mid-soak model hot-swaps to publish while clients hammer the
+    /// server (0 disables). Each swap installs a differently-seeded
+    /// network of the same shape; the harness then asserts the exact
+    /// request ledger *still* balances, `serve.model.generation` advanced
+    /// by exactly this count, and `/metrics` agrees — i.e. zero requests
+    /// were dropped or misrouted across any swap.
+    pub swaps: u64,
 }
 
 impl ChaosConfig {
@@ -84,6 +91,7 @@ impl ChaosConfig {
             workers: 4,
             shards: 2,
             watchdog_secs: 60,
+            swaps: 0,
         }
     }
 }
@@ -230,25 +238,60 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     .expect("bind chaos server");
     let addr = handle.addr();
 
-    let mut threads = Vec::new();
-    for client_idx in 0..cfg.clients.max(1) {
-        let cfg = cfg.clone();
-        threads.push(std::thread::spawn(move || {
-            let mut rng = SplitMix64::for_conn(cfg.workload_seed, client_idx as u64);
-            let mut tally = ClientTally::default();
-            for _ in 0..cfg.conns_per_client {
-                run_connection(addr, dim, &cfg, &mut rng, &mut tally);
-            }
-            tally
-        }));
-    }
     let mut client = ClientTally::default();
-    for t in threads {
-        match t.join() {
-            Ok(tally) => client.merge(tally),
-            Err(_) => client.violations.push("client thread panicked".to_string()),
+    let mut swap_violations: Vec<String> = Vec::new();
+    // Scoped so the mid-soak swapper can borrow the server handle while
+    // client threads hammer it.
+    let swaps_done: u64 = std::thread::scope(|s| {
+        let mut threads = Vec::new();
+        for client_idx in 0..cfg.clients.max(1) {
+            let cfg = cfg.clone();
+            threads.push(s.spawn(move || {
+                let mut rng = SplitMix64::for_conn(cfg.workload_seed, client_idx as u64);
+                let mut tally = ClientTally::default();
+                for _ in 0..cfg.conns_per_client {
+                    run_connection(addr, dim, &cfg, &mut rng, &mut tally);
+                }
+                tally
+            }));
         }
-    }
+        let swapper = (cfg.swaps > 0).then(|| {
+            s.spawn(|| -> Result<u64, String> {
+                let base = handle.model_generation();
+                for i in 1..=cfg.swaps {
+                    // A different same-shape network per generation,
+                    // derived from the workload seed for reproducibility.
+                    let net = tiny_inspector(cfg.workload_seed ^ (0xA11C_E000 + i))
+                        .policy
+                        .mlp()
+                        .clone();
+                    handle
+                        .swap_model(base + i, net)
+                        .map_err(|e| format!("mid-soak swap {i} rejected: {e}"))?;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(cfg.swaps)
+            })
+        });
+        for t in threads {
+            match t.join() {
+                Ok(tally) => client.merge(tally),
+                Err(_) => client.violations.push("client thread panicked".to_string()),
+            }
+        }
+        match swapper.map(|sw| sw.join()) {
+            None => 0,
+            Some(Ok(Ok(done))) => done,
+            Some(Ok(Err(msg))) => {
+                swap_violations.push(msg);
+                0
+            }
+            Some(Err(_)) => {
+                swap_violations.push("swapper thread panicked".to_string());
+                0
+            }
+        }
+    });
 
     // The drain must finish; a hang is itself an invariant violation. The
     // watchdog prints the reproduction pair before killing the process so
@@ -274,11 +317,38 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     }
     let stats = handle.stats();
     let registry = handle.registry();
+    let final_generation = handle.model_generation();
     handle.shutdown();
     drained.store(true, Ordering::SeqCst);
 
     // Invariant checks against the post-drain counters.
     let mut violations = std::mem::take(&mut client.violations);
+    violations.extend(swap_violations);
+    if cfg.swaps > 0 {
+        if swaps_done != cfg.swaps {
+            violations.push(format!(
+                "only {swaps_done} of {} mid-soak swaps were published",
+                cfg.swaps
+            ));
+        }
+        if stats.model_swaps.get() != swaps_done {
+            violations.push(format!(
+                "server counted {} model swaps, harness published {swaps_done}",
+                stats.model_swaps.get()
+            ));
+        }
+        if final_generation != swaps_done {
+            violations.push(format!(
+                "serve.model.generation is {final_generation} after {swaps_done} swaps"
+            ));
+        }
+        if stats.model_generation.get() != final_generation as f64 {
+            violations.push(format!(
+                "model generation gauge {} disagrees with engine generation {final_generation}",
+                stats.model_generation.get()
+            ));
+        }
+    }
     if stats.thread_panics.get() != 0 {
         violations.push(format!(
             "{} server thread(s) panicked",
@@ -422,6 +492,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             None => violations.push(format!("/metrics is missing {metric}")),
         }
     }
+    match exposition_value(&exposition, "schedinspector_serve_model_generation") {
+        Some(got) if got == final_generation as f64 => {}
+        Some(got) => violations.push(format!(
+            "/metrics model generation {got} disagrees with engine generation {final_generation}"
+        )),
+        None => violations.push("/metrics is missing schedinspector_serve_model_generation".into()),
+    }
 
     let fault_log = {
         let records = fault_log_handle.lock().unwrap();
@@ -447,6 +524,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         ("malformed".to_string(), stats.malformed.get()),
         ("connections".to_string(), stats.connections.get()),
         ("thread_panics".to_string(), stats.thread_panics.get()),
+        ("model_swaps".to_string(), stats.model_swaps.get()),
+        ("model_generation".to_string(), final_generation),
     ];
     ChaosReport {
         fault_seed: cfg.fault.seed,
@@ -643,6 +722,7 @@ mod tests {
             workers: 2,
             shards: 1,
             watchdog_secs: 60,
+            swaps: 0,
         };
         let report = run_chaos(&cfg);
         assert!(report.ok(), "{}", report.render());
@@ -671,6 +751,28 @@ mod tests {
         );
     }
 
+    #[test]
+    fn mid_soak_hot_swaps_keep_the_ledger_exact() {
+        // Publish 8 model generations while clients hammer the server
+        // under the standard fault mix: run_chaos asserts the exact
+        // request ledger, that serve.model.generation advanced by exactly
+        // 8, and that /metrics agrees — zero drops across every swap.
+        let mut cfg = ChaosConfig::new(13, 17);
+        cfg.swaps = 8;
+        let report = run_chaos(&cfg);
+        assert!(report.ok(), "{}", report.render());
+        let get = |name: &str| {
+            report
+                .server
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("model_swaps"), 8);
+        assert_eq!(get("model_generation"), 8);
+    }
+
     /// Sharded soak under a stall-heavy plan: long `WouldBlock` runs park
     /// a subset of connections — and, through consistent routing, starve
     /// the shard(s) those connections map to — while the other shards keep
@@ -692,6 +794,7 @@ mod tests {
             workers: 4,
             shards: 4,
             watchdog_secs: 60,
+            swaps: 0,
         };
         let report = run_chaos(&cfg);
         assert!(report.ok(), "{}", report.render());

@@ -14,7 +14,11 @@
 //!   must produce identical schedules, rejection counts, and percentage
 //!   rewards on generated traces) and the chaos soak (a real server under
 //!   a fault plan must uphold its request-ledger, ordering, and drain
-//!   invariants).
+//!   invariants — including across mid-soak model hot-swaps);
+//! - [`storefault`]: a seeded disk-crash simulator ([`DiskFaultPlan`])
+//!   for the durable run store's WAL — truncate-to-durable-floor plus
+//!   torn garbage tails, driving the crash-recovery and
+//!   resume-determinism suites.
 //!
 //! The `chaos` binary (`cargo run -p testkit --bin chaos`) runs the soak
 //! standalone for CI; any failure prints the `(fault_seed,
@@ -24,6 +28,7 @@ pub mod chaos;
 pub mod fault;
 pub mod oracle;
 pub mod refsim;
+pub mod storefault;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ClientTally};
 pub use fault::{
@@ -31,3 +36,4 @@ pub use fault::{
 };
 pub use oracle::{case_from_seed, check_case, DigestInspector, OracleCase};
 pub use refsim::reference_simulate;
+pub use storefault::{CrashOutcome, DiskFaultPlan};

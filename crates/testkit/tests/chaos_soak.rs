@@ -38,6 +38,7 @@ fn soak_under_aggressive_resets() {
         workers: 3,
         shards: 2,
         watchdog_secs: 60,
+        swaps: 0,
     };
     let report = run_chaos(&cfg);
     assert!(report.ok(), "{}", report.render());

@@ -1,0 +1,160 @@
+//! Crash-safe training end to end: checkpoints journaled through the
+//! durable run store, a simulated `kill -9` (including torn-write /
+//! partial-fsync fault plans against the WAL), then `restore` — and the
+//! resumed run's final checkpoint must be **byte-identical** to an
+//! uninterrupted run of the same seed.
+
+use inspector::{InspectorConfig, Trainer};
+use policies::PolicyKind;
+use store::{RunStore, StoreConfig};
+use testkit::DiskFaultPlan;
+use workload::{profiles, synthetic};
+
+const EPOCHS: usize = 4;
+const CKPT_KEY: &str = "checkpoint/latest";
+
+fn config() -> InspectorConfig {
+    InspectorConfig {
+        batch_size: 4,
+        seq_len: 32,
+        epochs: EPOCHS,
+        seed: 11,
+        workers: 2,
+        ..Default::default()
+    }
+}
+
+fn trainer() -> Trainer {
+    let trace = synthetic::generate(&profiles::SDSC_SP2, 400, 3);
+    Trainer::builder(trace)
+        .policy(PolicyKind::Sjf)
+        .config(config())
+        .build()
+        .unwrap()
+}
+
+/// Keep everything in the WAL (no segment flush) so the crash plan
+/// exercises WAL recovery, the hard case.
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        flush_bytes: 64 << 20,
+        ..StoreConfig::default()
+    }
+}
+
+fn tmp_dir(tag: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("schedstore-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn uninterrupted_reference() -> String {
+    let mut t = trainer();
+    for e in 0..EPOCHS {
+        t.train_epoch(e);
+    }
+    t.checkpoint_text(EPOCHS)
+}
+
+#[test]
+fn killed_training_resumes_byte_identically_under_crash_faults() {
+    let reference = uninterrupted_reference();
+    for fault_seed in [1u64, 2, 3] {
+        let dir = tmp_dir(fault_seed);
+
+        // Train 2 of 4 epochs, journaling a checkpoint per epoch, then
+        // die: the process vanishes and the fault plan mangles the WAL
+        // tail (truncate to a seeded point >= the fsynced length, maybe
+        // a torn garbage tail).
+        {
+            let mut store = RunStore::open_with(&dir, store_config(), None).unwrap();
+            let mut t = trainer();
+            for e in 0..2 {
+                t.train_epoch(e);
+                store.put(CKPT_KEY, t.checkpoint_text(e + 1).into_bytes());
+                store.commit().unwrap();
+            }
+            let durable = store.wal_synced_len();
+            let wal = store.wal_path().to_path_buf();
+            drop(store);
+            DiskFaultPlan::new(fault_seed).crash(&wal, durable).unwrap();
+        }
+
+        // Resume: recover the durable checkpoint, restore, finish.
+        let store = RunStore::open_with(&dir, store_config(), None).unwrap();
+        let text = String::from_utf8(
+            store
+                .get(CKPT_KEY)
+                .unwrap()
+                .expect("fsynced checkpoint must survive the crash"),
+        )
+        .unwrap();
+        let mut t = trainer();
+        let done = t.restore(&text).unwrap();
+        assert_eq!(done, 2, "fault seed {fault_seed}");
+        for e in done..EPOCHS {
+            t.train_epoch(e);
+        }
+        assert_eq!(
+            t.checkpoint_text(EPOCHS),
+            reference,
+            "fault seed {fault_seed}: resumed run diverged from the uninterrupted one"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn torn_inflight_checkpoint_falls_back_to_the_previous_epoch() {
+    // The kill lands *during* the epoch-2 checkpoint commit: only the
+    // epoch-1 commit is fsynced, so the crash may cut anywhere inside
+    // the in-flight frame. Recovery yields epoch 1 or epoch 2 — whichever
+    // survived whole — and resuming from either must reconverge on the
+    // byte-identical final checkpoint.
+    let reference = uninterrupted_reference();
+    let mut seen = std::collections::BTreeSet::new();
+    for fault_seed in 0..6u64 {
+        let dir = tmp_dir(0xF00D ^ fault_seed);
+        let (wal, durable_floor) = {
+            let mut store = RunStore::open_with(&dir, store_config(), None).unwrap();
+            let mut t = trainer();
+            t.train_epoch(0);
+            store.put(CKPT_KEY, t.checkpoint_text(1).into_bytes());
+            store.commit().unwrap();
+            let floor = store.wal_synced_len();
+            t.train_epoch(1);
+            store.put(CKPT_KEY, t.checkpoint_text(2).into_bytes());
+            store.commit().unwrap();
+            (store.wal_path().to_path_buf(), floor)
+        };
+        DiskFaultPlan::new(fault_seed)
+            .crash(&wal, durable_floor)
+            .unwrap();
+
+        let store = RunStore::open_with(&dir, store_config(), None).unwrap();
+        let text = String::from_utf8(
+            store
+                .get(CKPT_KEY)
+                .unwrap()
+                .expect("the epoch-1 checkpoint was fsynced"),
+        )
+        .unwrap();
+        let mut t = trainer();
+        let done = t.restore(&text).unwrap();
+        assert!(done == 1 || done == 2, "recovered epochs_done {done}");
+        seen.insert(done);
+        for e in done..EPOCHS {
+            t.train_epoch(e);
+        }
+        assert_eq!(
+            t.checkpoint_text(EPOCHS),
+            reference,
+            "fault seed {fault_seed}: resume from epoch {done} diverged"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert!(
+        seen.contains(&1),
+        "across the seeds, at least one crash should cut the in-flight frame"
+    );
+}

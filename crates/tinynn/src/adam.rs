@@ -39,6 +39,59 @@ impl Adam {
         self.t
     }
 
+    /// Number of parameters this optimizer's moment vectors cover.
+    pub fn param_len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Serialize the full optimizer state (hyperparameters, moment
+    /// vectors, step count) in the same diff-friendly text style as
+    /// [`Mlp::to_text`]. Floats use `{:e}`, which roundtrips `f32`
+    /// exactly — resuming from text is bit-identical.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("tinynn-adam v1\n");
+        out.push_str(&format!(
+            "hyper {:e} {:e} {:e} {:e}\n",
+            self.lr, self.beta1, self.beta2, self.eps
+        ));
+        out.push_str(&format!("t {}\n", self.t));
+        crate::serialize::write_floats(&mut out, "m", &self.m);
+        crate::serialize::write_floats(&mut out, "v", &self.v);
+        out
+    }
+
+    /// Parse optimizer state written by [`Adam::to_text`]. `n_params`
+    /// must match the network this optimizer will step.
+    pub fn from_text(text: &str, n_params: usize) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty optimizer state")?;
+        if header.trim() != "tinynn-adam v1" {
+            return Err(format!("bad optimizer header {header:?}"));
+        }
+        let hyper =
+            crate::serialize::parse_floats(lines.next().ok_or("missing hyper line")?, "hyper", 4)?;
+        let t: u64 = lines
+            .next()
+            .and_then(|l| l.strip_prefix("t "))
+            .ok_or("missing t line")?
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad step count: {e}"))?;
+        let m =
+            crate::serialize::parse_floats(lines.next().ok_or("missing m line")?, "m", n_params)?;
+        let v =
+            crate::serialize::parse_floats(lines.next().ok_or("missing v line")?, "v", n_params)?;
+        Ok(Adam {
+            lr: hyper[0],
+            beta1: hyper[1],
+            beta2: hyper[2],
+            eps: hyper[3],
+            m,
+            v,
+            t,
+        })
+    }
+
     /// Apply one Adam step using the gradients currently accumulated in the
     /// network, scaled by `grad_scale` (e.g. `1 / batch_size`).
     pub fn step(&mut self, net: &mut Mlp, grad_scale: f32) {
@@ -103,6 +156,46 @@ mod tests {
         let fin = loss_at(&net);
         assert!(fin < 0.01, "loss did not converge: {initial} -> {fin}");
         assert_eq!(opt.steps(), 2000);
+    }
+
+    #[test]
+    fn state_text_roundtrips_bit_identically() {
+        // Train a few steps so m/v/t are non-trivial, snapshot, train one
+        // more step on both the original and the restored copy: the
+        // resulting networks must match bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = Mlp::new(&[3, 4, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut opt = Adam::new(0.01, net.param_count());
+        let mut tape = Tape::default();
+        let step = |net: &mut Mlp, opt: &mut Adam, tape: &mut Tape| {
+            net.zero_grads();
+            let out = net.forward_train(&[0.3, -0.2, 0.9], tape)[0];
+            net.backward(tape, &[2.0 * (out - 0.5)]);
+            opt.step(net, 1.0);
+        };
+        for _ in 0..5 {
+            step(&mut net, &mut opt, &mut tape);
+        }
+        let restored = Adam::from_text(&opt.to_text(), net.param_count()).unwrap();
+        assert_eq!(restored, opt);
+        let mut net2 = Mlp::from_text(&net.to_text()).unwrap();
+        let (mut opt2, mut tape2) = (restored, Tape::default());
+        step(&mut net, &mut opt, &mut tape);
+        step(&mut net2, &mut opt2, &mut tape2);
+        assert_eq!(net.to_text(), net2.to_text(), "divergence after restore");
+        assert_eq!(opt.to_text(), opt2.to_text());
+    }
+
+    #[test]
+    fn state_text_rejects_corruption() {
+        let opt = Adam::new(0.01, 3);
+        assert!(Adam::from_text("", 3).is_err());
+        assert!(
+            Adam::from_text(&opt.to_text(), 4).is_err(),
+            "param count mismatch"
+        );
+        let bad = opt.to_text().replace("tinynn-adam", "tinynn-sgd");
+        assert!(Adam::from_text(&bad, 3).is_err());
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn act_parse(s: &str) -> Result<Activation, String> {
     }
 }
 
-fn write_floats(out: &mut String, prefix: &str, xs: &[f32]) {
+pub(crate) fn write_floats(out: &mut String, prefix: &str, xs: &[f32]) {
     out.push_str(prefix);
     for x in xs {
         out.push(' ');
@@ -44,7 +44,7 @@ fn write_floats(out: &mut String, prefix: &str, xs: &[f32]) {
     out.push('\n');
 }
 
-fn parse_floats(line: &str, prefix: &str, expect: usize) -> Result<Vec<f32>, String> {
+pub(crate) fn parse_floats(line: &str, prefix: &str, expect: usize) -> Result<Vec<f32>, String> {
     let rest = line
         .strip_prefix(prefix)
         .ok_or_else(|| format!("expected line starting with {prefix:?}, got {line:?}"))?;

@@ -36,31 +36,3 @@ pub use sampling::SequenceSampler;
 pub use source::{MemorySource, SourceError, SwfFileSource, SyntheticSource, TraceSource};
 pub use stats::TraceStats;
 pub use trace::{JobTrace, TraceError};
-
-/// Generate the named paper trace (Table 2 row) with `n_jobs` jobs.
-///
-/// `"Lublin"` routes to the Lublin–Feitelson model; the archive traces route
-/// to the calibrated synthetic generators. Returns `None` for unknown names.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `workload::SyntheticSource::new(name, n_jobs, seed)` through the \
-            `TraceSource` trait instead"
-)]
-pub fn paper_trace(name: &str, n_jobs: usize, seed: u64) -> Option<JobTrace> {
-    SyntheticSource::new(name, n_jobs, seed).load().ok()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    #[allow(deprecated)]
-    fn paper_trace_dispatches() {
-        let t = paper_trace("Lublin", 200, 1).unwrap();
-        assert_eq!(t.procs, 256);
-        let t = paper_trace("HPC2N", 200, 1).unwrap();
-        assert_eq!(t.procs, 240);
-        assert!(paper_trace("unknown", 200, 1).is_none());
-    }
-}

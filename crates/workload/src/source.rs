@@ -1,7 +1,7 @@
 //! The unified trace-ingestion surface.
 //!
 //! Historically the simulator, trainer, and experiment binaries each had
-//! their own way of obtaining jobs: `workload::paper_trace` for the
+//! their own way of obtaining jobs: a name-dispatch helper for the
 //! calibrated synthetic archives, ad-hoc `swf::SwfTrace::read_file` +
 //! `JobTrace::from_swf` plumbing for on-disk logs, and scenario-shaped
 //! generation nowhere at all. [`TraceSource`] collapses those into one
@@ -219,13 +219,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn synthetic_source_matches_paper_trace() {
+    fn synthetic_source_matches_the_direct_generators() {
         let src = SyntheticSource::new("HPC2N", 300, 9);
         let a = src.load().unwrap();
-        #[allow(deprecated)]
-        let b = crate::paper_trace("HPC2N", 300, 9).unwrap();
-        assert_eq!(a, b, "source must reproduce the deprecated entry point");
+        let b = crate::synthetic::generate(&crate::profiles::HPC2N, 300, 9);
+        assert_eq!(a, b, "source must reproduce the calibrated generator");
         assert_eq!(src.id(), "synthetic:HPC2N:300:9");
+        // The Lublin name routes to the Lublin–Feitelson model instead.
+        let lublin = SyntheticSource::new("Lublin", 200, 1).load().unwrap();
+        assert_eq!(lublin, crate::lublin::generate(200, 1));
+        assert_eq!(lublin.procs, 256);
     }
 
     #[test]

@@ -3,6 +3,9 @@
 //! ```text
 //! schedinspector train    --trace SDSC-SP2 --policy SJF --metric bsld \
 //!                         --epochs 40 --out model.txt --telemetry run.jsonl
+//! schedinspector train    --store run-store --resume   (crash-safe training)
+//! schedinspector store    inspect --dir run-store
+//! schedinspector serve    --model-dir run-store --addr 127.0.0.1:7171
 //! schedinspector evaluate --model model.txt --trace SDSC-SP2 --policy SJF
 //! schedinspector analyze  --model model.txt --trace SDSC-SP2 --policy SJF
 //! schedinspector serve    --model model.txt --addr 127.0.0.1:7171
@@ -23,6 +26,10 @@ use inspector::analysis::{
 };
 use schedinspector::prelude::*;
 
+/// Store key the trainer journals its latest checkpoint under; `train
+/// --resume` reads the same key back.
+const CHECKPOINT_KEY: &str = "checkpoint/latest";
+
 struct Args {
     map: Vec<(String, String)>,
     positional: Vec<String>,
@@ -32,10 +39,15 @@ impl Args {
     fn parse(args: &[String]) -> Args {
         let mut map = Vec::new();
         let mut positional = Vec::new();
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = it.next().cloned().unwrap_or_default();
+                // Bare flags (`--resume`) must not swallow the next
+                // option as their value.
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().cloned().unwrap_or_default(),
+                    _ => String::new(),
+                };
                 map.push((key.to_string(), value));
             } else {
                 positional.push(a.clone());
@@ -60,7 +72,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: schedinspector <train|evaluate|analyze|serve|infer|trace|scenario|check-telemetry|report> [options]\n\
+        "usage: schedinspector <train|evaluate|analyze|serve|infer|trace|scenario|store|check-telemetry|report> [options]\n\
          \n\
          common options:\n\
            --trace   SDSC-SP2|CTC-SP2|HPC2N|Lublin   (default SDSC-SP2)\n\
@@ -73,9 +85,15 @@ fn usage() -> ! {
            --backfill 1   enable EASY backfilling\n\
          train:    --epochs N --batch N --out FILE --telemetry FILE.jsonl\n\
          \x20          --metrics-addr HOST:PORT   (live /metrics during training)\n\
+         \x20          --store DIR    journal epoch checkpoints durably and\n\
+         \x20                         publish the final model as a generation\n\
+         \x20          --resume       continue a killed run from the store's\n\
+         \x20                         last durable checkpoint (byte-identical)\n\
          evaluate: --model FILE --seqs N --len N\n\
          analyze:  --model FILE\n\
          serve:    --model FILE --addr HOST:PORT --workers N --batch N\n\
+         \x20          --model-dir DIR  serve the store's latest model and\n\
+         \x20                         hot-swap each newly published generation\n\
          \x20          --shards N     (per-core engine shards, default 1)\n\
          \x20          --quantized 1  (int8 fused inference path)\n\
          \x20          --queue N --deadline-ms N --telemetry FILE.jsonl\n\
@@ -88,6 +106,9 @@ fn usage() -> ! {
          \x20          replay:  --policy P --backfill 1 --fairness-out FILE.json\n\
          \x20          (validate/compile a multi-tenant scenario spec, or replay\n\
          \x20           it through the simulator and print per-tenant fairness)\n\
+         store:    <inspect|compact> --dir DIR\n\
+         \x20          (inspect: manifest/segments/WAL/models + strict verify;\n\
+         \x20           compact: merge segments, retire old model generations)\n\
          check-telemetry: --file FILE.jsonl   (validate a telemetry sidecar)\n\
          report:   FILE.jsonl [FILE.jsonl ...] [--tolerance F]\n\
          \x20          [--fairness FILE.json]  (render a fairness report)\n\
@@ -197,7 +218,7 @@ fn cmd_train(args: &Args) {
         (None, Some(reg)) => obs::Telemetry::with_registry(std::sync::Arc::clone(reg)),
         (None, None) => obs::Telemetry::disabled(),
     };
-    let exporter = registry.map(|reg| {
+    let exporter = registry.clone().map(|reg| {
         let addr = args.get("metrics-addr").unwrap();
         match obs::MetricsExporter::bind(addr, reg, telemetry.clone()) {
             Ok(ex) => {
@@ -222,8 +243,63 @@ fn cmd_train(args: &Args) {
             exit(2)
         }
     };
-    for epoch in 0..config.epochs {
+    // With `--store DIR` every epoch checkpoint is journaled through the
+    // durable run store, so a killed run (`kill -9`, power loss) resumes
+    // byte-identically with `--resume`.
+    let mut run_store = args.get("store").map(|dir| {
+        match RunStore::open_with(dir, StoreConfig::default(), registry.as_deref()) {
+            Ok(s) => {
+                println!("store -> {dir}");
+                s
+            }
+            Err(e) => {
+                eprintln!("cannot open store {dir}: {e}");
+                exit(2)
+            }
+        }
+    });
+    let mut start_epoch = 0usize;
+    if args.get("resume").is_some() {
+        let Some(store) = &run_store else {
+            eprintln!("--resume requires --store DIR");
+            exit(2)
+        };
+        match store.get(CHECKPOINT_KEY) {
+            Ok(Some(bytes)) => {
+                let text = String::from_utf8(bytes).unwrap_or_else(|e| {
+                    eprintln!("checkpoint is not UTF-8: {e}");
+                    exit(2)
+                });
+                match trainer.restore(&text) {
+                    Ok(done) => {
+                        println!("resuming at epoch {done}");
+                        start_epoch = done;
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        exit(2)
+                    }
+                }
+            }
+            Ok(None) => println!("no checkpoint in the store; starting fresh"),
+            Err(e) => {
+                eprintln!("cannot read checkpoint: {e}");
+                exit(2)
+            }
+        }
+    }
+    for epoch in start_epoch..config.epochs {
         let r = trainer.train_epoch(epoch);
+        if let Some(store) = run_store.as_mut() {
+            store.put(
+                CHECKPOINT_KEY,
+                trainer.checkpoint_text(epoch + 1).into_bytes(),
+            );
+            if let Err(e) = store.commit() {
+                eprintln!("cannot journal checkpoint for epoch {epoch}: {e}");
+                exit(1)
+            }
+        }
         if epoch % 5 == 0 || epoch + 1 == config.epochs {
             println!(
                 "  epoch {:>3}: improvement {:+.3} ({:+.1}%), rejection ratio {:.1}%",
@@ -250,6 +326,15 @@ fn cmd_train(args: &Args) {
     if let Some(out) = args.get("out") {
         inspector::model_io::save(&agent, Path::new(out)).expect("write model");
         println!("model written to {out}");
+    }
+    if let Some(store) = run_store.as_mut() {
+        match store.publish_model(&inspector::model_io::to_text(&agent)) {
+            Ok(generation) => println!("model published to store as generation {generation}"),
+            Err(e) => {
+                eprintln!("cannot publish model: {e}");
+                exit(1)
+            }
+        }
     }
 }
 
@@ -324,7 +409,42 @@ fn cmd_analyze(args: &Args) {
 }
 
 fn cmd_serve(args: &Args) {
-    let agent = load_model(args);
+    // `--model-dir DIR` serves the store's latest published generation
+    // and keeps watching: each later `publish_model` hot-swaps into the
+    // running engine with zero dropped requests. `--model FILE` is the
+    // fallback when the store holds no model yet.
+    let model_dir = args.get("model-dir");
+    let (agent, initial_generation) = match model_dir {
+        Some(dir) => {
+            let store = RunStore::open(dir).unwrap_or_else(|e| {
+                eprintln!("cannot open store {dir}: {e}");
+                exit(2)
+            });
+            match store.latest_model() {
+                Ok(Some((generation, text))) => {
+                    let agent = inspector::model_io::from_text(&text).unwrap_or_else(|e| {
+                        eprintln!("store {dir} generation {generation}: {e}");
+                        exit(2)
+                    });
+                    println!("serving generation {generation} from {dir}");
+                    (agent, generation)
+                }
+                Ok(None) if args.get("model").is_some() => (load_model(args), 0),
+                Ok(None) => {
+                    eprintln!(
+                        "{dir}: no published model (run `train --store {dir}` first, \
+                         or pass --model FILE as the initial model)"
+                    );
+                    exit(2)
+                }
+                Err(e) => {
+                    eprintln!("cannot read store {dir}: {e}");
+                    exit(2)
+                }
+            }
+        }
+        None => (load_model(args), 0),
+    };
     let telemetry = match args.get("telemetry") {
         Some(path) => match obs::Telemetry::jsonl(Path::new(path)) {
             Ok(t) => {
@@ -346,6 +466,8 @@ fn cmd_serve(args: &Args) {
         quantized: args.num("quantized", 0u8) != 0,
         queue_capacity: args.num("queue", 4096usize),
         default_deadline_ms: args.get("deadline-ms").and_then(|v| v.parse().ok()),
+        model_dir: model_dir.map(String::from),
+        initial_model_generation: initial_generation,
         ..serve::ServeConfig::default()
     };
     let handle = serve::serve(agent, cfg, telemetry.clone()).unwrap_or_else(|e| {
@@ -562,6 +684,71 @@ fn cmd_scenario(args: &Args) {
     }
 }
 
+/// `store <inspect|compact>` — examine or maintain a durable run store.
+///
+/// * `inspect` prints the manifest version, live segments, WAL/memtable
+///   state, published model generations, and runs a strict integrity
+///   check over every on-disk structure;
+/// * `compact` merges all live segments into one and retires superseded
+///   model generations.
+fn cmd_store(args: &Args) {
+    let Some(sub) = args.positional.first() else {
+        eprintln!("store: a subcommand (inspect|compact) is required");
+        exit(2)
+    };
+    let Some(dir) = args.get("dir") else {
+        eprintln!("store {sub}: --dir DIR is required");
+        exit(2)
+    };
+    let mut store = RunStore::open(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open store {dir}: {e}");
+        exit(2)
+    });
+    match sub.as_str() {
+        "inspect" => {
+            let status = store.status().unwrap_or_else(|e| {
+                eprintln!("{dir}: {e}");
+                exit(1)
+            });
+            println!("store {dir}");
+            println!("  manifest version  {}", status.manifest_version);
+            println!("  wal durable bytes {}", status.wal_durable_len);
+            println!("  memtable entries  {}", status.memtable_entries);
+            println!("  live keys         {}", status.live_keys);
+            println!("  segments          {}", status.segments.len());
+            for (id, records, bytes) in &status.segments {
+                println!("    seg {id:>6}: {records} records, {bytes} bytes");
+            }
+            match status.model_generations.as_slice() {
+                [] => println!("  models            none"),
+                gens => println!(
+                    "  models            {} (latest generation {})",
+                    gens.len(),
+                    gens.last().unwrap()
+                ),
+            }
+            match store.verify() {
+                Ok(records) => println!("  verify            ok ({records} records checked)"),
+                Err(e) => {
+                    eprintln!("  verify            FAILED: {e}");
+                    exit(1)
+                }
+            }
+        }
+        "compact" => match store.compact() {
+            Ok(retired) => println!("{dir}: compacted, {retired} segment(s) retired"),
+            Err(e) => {
+                eprintln!("{dir}: compaction failed: {e}");
+                exit(1)
+            }
+        },
+        other => {
+            eprintln!("store: unknown subcommand {other:?} (inspect|compact)");
+            exit(2)
+        }
+    }
+}
+
 fn cmd_check_telemetry(args: &Args) {
     let Some(path) = args.get("file") else {
         eprintln!("--file FILE.jsonl is required");
@@ -739,6 +926,7 @@ fn main() {
         "infer" => cmd_infer(&args),
         "trace" => cmd_trace(&args),
         "scenario" => cmd_scenario(&args),
+        "store" => cmd_store(&args),
         "check-telemetry" => cmd_check_telemetry(&args),
         "report" => cmd_report(&args),
         _ => usage(),

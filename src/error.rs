@@ -4,6 +4,7 @@
 
 use inspector::{ConfigError, ModelIoError, TrainError};
 use obs::ObsError;
+use store::StoreError;
 use swf::SwfError;
 use workload::TraceError;
 
@@ -25,6 +26,10 @@ pub enum Error {
     /// The observability layer failed (telemetry sidecar creation, metrics
     /// exposition bind) — carries the path or address that failed.
     Obs(ObsError),
+    /// The durable run store failed (corrupt WAL record, checksum
+    /// mismatch, manifest version skew) — carries the offending path and
+    /// offset where applicable.
+    Store(StoreError),
 }
 
 impl std::fmt::Display for Error {
@@ -37,6 +42,7 @@ impl std::fmt::Display for Error {
             Error::ModelIo(e) => write!(f, "model: {e}"),
             Error::Io(e) => write!(f, "I/O: {e}"),
             Error::Obs(e) => write!(f, "observability: {e}"),
+            Error::Store(e) => write!(f, "store: {e}"),
         }
     }
 }
@@ -51,6 +57,7 @@ impl std::error::Error for Error {
             Error::ModelIo(e) => Some(e),
             Error::Io(e) => Some(e),
             Error::Obs(e) => Some(e),
+            Error::Store(e) => Some(e),
         }
     }
 }
@@ -97,6 +104,12 @@ impl From<ObsError> for Error {
     }
 }
 
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +143,17 @@ mod tests {
         .into();
         assert!(e.to_string().starts_with("observability:"));
         assert!(e.to_string().contains("run.jsonl"));
+
+        let e: Error = StoreError::ChecksumMismatch {
+            path: "wal.log".into(),
+            offset: 128,
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(e.to_string().starts_with("store:"));
+        assert!(e.to_string().contains("wal.log"));
+        assert!(e.to_string().contains("128"));
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //!   of user populations compile deterministically to SWF traces, typed
 //!   [`scenario::LoadProfile`]s, and per-tenant fairness reports;
 //! * [`serve`] — a micro-batched TCP decision service for trained
-//!   inspectors (line-delimited JSON protocol) plus a load generator;
+//!   inspectors (line-delimited JSON protocol) plus a load generator,
+//!   with zero-drop hot-swapping of newly published model generations;
+//! * [`store`] — an embedded LSM-style durable run store: checksummed
+//!   write-ahead log, immutable segments, a versioned manifest, and a
+//!   model registry driving crash-safe training and live serving swaps;
 //! * [`obs`] — zero-cost-when-disabled telemetry (spans, counters, gauges,
 //!   JSONL sidecars) threaded through the simulator and trainer, plus a
 //!   live metrics registry with Prometheus text exposition and an offline
@@ -41,6 +45,7 @@ pub use rlsched;
 pub use scenario;
 pub use serve;
 pub use simhpc;
+pub use store;
 pub use swf;
 pub use tinynn;
 pub use workload;
@@ -61,6 +66,7 @@ pub mod prelude {
         Compiled, FairnessReport, LoadProfile, ScenarioSource, ScenarioSpec, TenantRange,
     };
     pub use simhpc::{Metric, SimConfig, SimResult, Simulator};
+    pub use store::{ModelWatcher, RunStore, StoreConfig, StoreError, StoreStatus};
     pub use workload::{
         profiles, synthetic, Job, JobTrace, SequenceSampler, SourceError, SwfFileSource,
         SyntheticSource, TraceSource,
