@@ -84,6 +84,49 @@ pub enum Event {
         /// Registered histogram families at snapshot time.
         histograms: u64,
     },
+    /// A trace was promoted out of the flight recorder by tail-based
+    /// sampling (slow, error, or swap-coincident). The promoted spans
+    /// follow as [`Event::FlightRecord`] lines sharing the trace id.
+    TracePromoted {
+        /// Promotion source, e.g. `"serve.trace"`.
+        name: &'static str,
+        /// Seconds since handle creation.
+        t: f64,
+        /// The promoted trace id (never 0; 0 is reserved = unsampled).
+        trace: u64,
+        /// Why the trace was kept: `"slow"`, `"error"`, or `"swap"`.
+        reason: &'static str,
+        /// Spans collected from the flight recorder for this trace.
+        spans: u64,
+    },
+    /// One span collected from the flight recorder — ids are encoded as
+    /// 16-hex-digit strings so 64-bit values survive JSON readers that
+    /// store numbers as `f64`.
+    FlightRecord {
+        /// Span kind (`"request"`, `"queue"`, `"batch"`, `"forward"`,
+        /// `"write"`, `"dropped"`).
+        name: &'static str,
+        /// Seconds since handle creation, at promotion time.
+        t: f64,
+        /// Trace id (never 0).
+        trace: u64,
+        /// This span's id.
+        span: u64,
+        /// Parent span id (0 = root).
+        parent: u64,
+        /// Span outcome (`"ok"` or a drop reason).
+        status: &'static str,
+        /// Shard that handled the request.
+        shard: u64,
+        /// Batch sequence linking spans that shared a batch (0 = none).
+        batch_seq: u64,
+        /// Model generation that served (or would have served) it.
+        generation: u64,
+        /// Span start, clock ns.
+        start_ns: u64,
+        /// Span end, clock ns.
+        end_ns: u64,
+    },
 }
 
 impl Event {
@@ -96,7 +139,9 @@ impl Event {
             | Event::Gauge { name, .. }
             | Event::Histogram { name, .. }
             | Event::Heartbeat { name, .. }
-            | Event::RegistrySnapshot { name, .. } => name,
+            | Event::RegistrySnapshot { name, .. }
+            | Event::TracePromoted { name, .. }
+            | Event::FlightRecord { name, .. } => name,
         }
     }
 
@@ -109,7 +154,9 @@ impl Event {
             | Event::Gauge { t, .. }
             | Event::Histogram { t, .. }
             | Event::Heartbeat { t, .. }
-            | Event::RegistrySnapshot { t, .. } => *t,
+            | Event::RegistrySnapshot { t, .. }
+            | Event::TracePromoted { t, .. }
+            | Event::FlightRecord { t, .. } => *t,
         }
     }
 
@@ -123,6 +170,8 @@ impl Event {
             Event::Histogram { .. } => "histogram",
             Event::Heartbeat { .. } => "heartbeat",
             Event::RegistrySnapshot { .. } => "registry_snapshot",
+            Event::TracePromoted { .. } => "trace_promoted",
+            Event::FlightRecord { .. } => "flight_record",
         }
     }
 
@@ -174,6 +223,32 @@ impl Event {
             } => write!(
                 out,
                 r#"{{"kind":"registry_snapshot","name":"{name}","t":{t:.9},"counters":{counters},"gauges":{gauges},"histograms":{histograms}}}"#
+            ),
+            Event::TracePromoted {
+                name,
+                t,
+                trace,
+                reason,
+                spans,
+            } => write!(
+                out,
+                r#"{{"kind":"trace_promoted","name":"{name}","t":{t:.9},"trace":"{trace:016x}","reason":"{reason}","spans":{spans}}}"#
+            ),
+            Event::FlightRecord {
+                name,
+                t,
+                trace,
+                span,
+                parent,
+                status,
+                shard,
+                batch_seq,
+                generation,
+                start_ns,
+                end_ns,
+            } => write!(
+                out,
+                r#"{{"kind":"flight_record","name":"{name}","t":{t:.9},"trace":"{trace:016x}","span":"{span:016x}","parent":"{parent:016x}","status":"{status}","shard":{shard},"batch_seq":{batch_seq},"generation":{generation},"start_ns":{start_ns},"end_ns":{end_ns}}}"#
             ),
         };
     }
@@ -292,6 +367,45 @@ mod tests {
         .write_json(&mut s);
         assert!(s.contains(r#""counters":3"#) && s.contains(r#""histograms":2"#));
         crate::json::validate_telemetry_line(&s).expect("snapshot validates");
+    }
+
+    #[test]
+    fn trace_events_encode_ids_as_hex_strings_and_validate() {
+        let mut s = String::new();
+        Event::TracePromoted {
+            name: "serve.trace",
+            t: 0.5,
+            trace: 0xff,
+            reason: "slow",
+            spans: 5,
+        }
+        .write_json(&mut s);
+        assert_eq!(
+            s,
+            r#"{"kind":"trace_promoted","name":"serve.trace","t":0.500000000,"trace":"00000000000000ff","reason":"slow","spans":5}"#
+        );
+        crate::json::validate_telemetry_line(&s).expect("trace_promoted validates");
+
+        s.clear();
+        Event::FlightRecord {
+            name: "forward",
+            t: 0.75,
+            trace: u64::MAX,
+            span: 0x1234,
+            parent: 0,
+            status: "ok",
+            shard: 2,
+            batch_seq: 9,
+            generation: 4,
+            start_ns: 100,
+            end_ns: 250,
+        }
+        .write_json(&mut s);
+        assert!(s.contains(r#""trace":"ffffffffffffffff""#), "{s}");
+        assert!(s.contains(r#""span":"0000000000001234""#), "{s}");
+        assert!(s.contains(r#""parent":"0000000000000000""#), "{s}");
+        assert!(s.contains(r#""generation":4"#), "{s}");
+        crate::json::validate_telemetry_line(&s).expect("flight_record validates");
     }
 
     #[test]

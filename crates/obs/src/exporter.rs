@@ -255,6 +255,105 @@ mod tests {
         assert_eq!(registry.counter("obs.metrics.scrape_errors", "").get(), 1);
     }
 
+    /// Like [`http_get`] but also returns the response headers, for
+    /// asserting on framing (Content-Length etc).
+    fn http_get_full(addr: SocketAddr, path: &str) -> (String, Vec<String>, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect exporter");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut headers = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line.is_empty() {
+                break;
+            }
+            headers.push(line.trim().to_string());
+        }
+        let mut body = String::new();
+        reader.read_to_string(&mut body).unwrap();
+        (status.trim().to_string(), headers, body)
+    }
+
+    #[test]
+    fn unknown_paths_get_404_with_exact_content_length() {
+        let registry = Arc::new(Registry::new());
+        let exporter =
+            MetricsExporter::bind("127.0.0.1:0", Arc::clone(&registry), Telemetry::disabled())
+                .expect("bind");
+        let addr = exporter.local_addr();
+        for path in ["/nope", "/metrics/extra", "/metricsx", "/favicon.ico"] {
+            let (status, headers, body) = http_get_full(addr, path);
+            assert!(status.starts_with("HTTP/1.1 404"), "{path}: {status}");
+            let clen = headers
+                .iter()
+                .find_map(|h| h.strip_prefix("Content-Length: "))
+                .unwrap_or_else(|| panic!("{path}: 404 without Content-Length: {headers:?}"));
+            assert_eq!(
+                clen.parse::<usize>().unwrap(),
+                body.len(),
+                "{path}: Content-Length does not match body"
+            );
+            assert_eq!(body, "not found\n");
+        }
+        // /metrics with a query string is still a scrape, not a 404.
+        let (status, _, _) = http_get_full(addr, "/metrics?x=1");
+        assert!(status.contains("200"), "{status}");
+        exporter.shutdown();
+        assert_eq!(registry.counter("obs.metrics.scrape_errors", "").get(), 4);
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_get_complete_well_framed_responses() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("test.hits", "test counter").add(7);
+        let exporter =
+            MetricsExporter::bind("127.0.0.1:0", Arc::clone(&registry), Telemetry::disabled())
+                .expect("bind");
+        let addr = exporter.local_addr();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for i in 0..8 {
+                handles.push(scope.spawn(move || {
+                    for _ in 0..5 {
+                        if i % 4 == 3 {
+                            // Interleave bad paths with real scrapes.
+                            let (status, headers, body) = http_get_full(addr, "/bogus");
+                            assert!(status.contains("404"), "{status}");
+                            let clen: usize = headers
+                                .iter()
+                                .find_map(|h| h.strip_prefix("Content-Length: "))
+                                .expect("Content-Length on 404")
+                                .parse()
+                                .unwrap();
+                            assert_eq!(clen, body.len());
+                        } else {
+                            let (status, headers, body) = http_get_full(addr, "/metrics");
+                            assert!(status.contains("200"), "{status}");
+                            let clen: usize = headers
+                                .iter()
+                                .find_map(|h| h.strip_prefix("Content-Length: "))
+                                .expect("Content-Length on 200")
+                                .parse()
+                                .unwrap();
+                            assert_eq!(clen, body.len(), "truncated scrape body");
+                            assert!(body.contains("schedinspector_test_hits_total 7"));
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("scrape thread");
+            }
+        });
+        exporter.shutdown();
+        assert_eq!(registry.counter("obs.metrics.scrapes", "").get(), 30);
+        assert_eq!(registry.counter("obs.metrics.scrape_errors", "").get(), 10);
+    }
+
     #[test]
     fn snapshot_events_flow_into_telemetry() {
         let registry = Arc::new(Registry::new());

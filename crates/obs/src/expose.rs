@@ -95,7 +95,10 @@ pub fn write_gauge(out: &mut String, name: &str, help: &str, value: f64) {
 }
 
 /// Append one histogram family: cumulative `_bucket{le="…"}` series ending
-/// with `le="+Inf"`, then `_sum` and `_count`.
+/// with `le="+Inf"`, then `_sum` and `_count`. Buckets holding a traced
+/// sample gain an OpenMetrics exemplar suffix —
+/// `` # {trace_id="<16 hex>"} <value>`` — pointing the tail bucket at a
+/// concrete flight-recorder trace.
 pub fn write_histogram(out: &mut String, name: &str, help: &str, hist: &Histogram) {
     let n = sanitize_metric_name(name);
     if !help.is_empty() {
@@ -103,8 +106,15 @@ pub fn write_histogram(out: &mut String, name: &str, help: &str, hist: &Histogra
     }
     let _ = writeln!(out, "# TYPE {n} histogram");
     let count = hist.count();
+    // Both sides derive uppers from the same bucket math, so exact f64
+    // equality is the correct join key.
+    let exemplars = hist.exemplars();
     for (upper, cum) in hist.cumulative_buckets() {
-        let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", fmt_value(upper));
+        let _ = write!(out, "{n}_bucket{{le=\"{}\"}} {cum}", fmt_value(upper));
+        if let Some(&(_, value, trace)) = exemplars.iter().find(|&&(u, _, _)| u == upper) {
+            let _ = write!(out, " # {{trace_id=\"{trace:016x}\"}} {}", fmt_value(value));
+        }
+        out.push('\n');
     }
     let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {count}");
     let _ = writeln!(out, "{n}_sum {}", fmt_value(hist.sum()));
@@ -237,6 +247,35 @@ mod tests {
             .unwrap();
         let sum: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
         assert!((sum - 0.505).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_carry_openmetrics_exemplars_for_traced_samples() {
+        let h = Histogram::detached();
+        h.observe(0.001);
+        // ~2ms sample traced as 0xbeef (ticks at the default 1e9 scale).
+        h.observe_ticks_exemplar(2_000_000, 0xbeef);
+        let mut out = String::new();
+        write_histogram(&mut out, "lat", "", &h);
+        let ex_line = out
+            .lines()
+            .find(|l| l.contains("trace_id"))
+            .expect("one bucket line carries an exemplar");
+        assert!(
+            ex_line.contains(r#" # {trace_id="000000000000beef"} "#),
+            "{ex_line}"
+        );
+        // The exemplar value respects its bucket's le bound.
+        let le_start = ex_line.find("le=\"").unwrap() + 4;
+        let le_end = ex_line[le_start..].find('"').unwrap() + le_start;
+        let le: f64 = ex_line[le_start..le_end].parse().unwrap();
+        let value: f64 = ex_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(value <= le, "exemplar value {value} exceeds le {le}");
+        // Untraced buckets stay in the plain two-token format.
+        assert!(out
+            .lines()
+            .filter(|l| l.contains("_bucket") && !l.contains("trace_id"))
+            .all(|l| l.split_whitespace().count() == 2));
     }
 
     #[test]

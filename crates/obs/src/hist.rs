@@ -14,6 +14,7 @@
 //! samples into ticks before recording.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Sub-bucket resolution: 2^3 = 8 linear sub-buckets per power-of-two
 /// octave, bounding the relative quantile error at 12.5%.
@@ -29,6 +30,18 @@ pub struct LogLinearHistogram {
     count: AtomicU64,
     sum: AtomicU64,
     buckets: Box<[AtomicU64]>,
+    /// Per-bucket exemplar slots, allocated on the first traced sample so
+    /// histograms that never see a traced request pay nothing.
+    exemplars: OnceLock<Box<[ExemplarSlot]>>,
+}
+
+/// Last traced sample that landed in one bucket: `(trace, value)`, with
+/// `trace == 0` meaning "no exemplar yet". Concurrent writers race
+/// last-wins; a torn pair still holds a value from the same bucket, so
+/// the exposed exemplar stays plausible for its `le` bound.
+struct ExemplarSlot {
+    trace: AtomicU64,
+    value: AtomicU64,
 }
 
 pub(crate) fn bucket_index(v: u64) -> usize {
@@ -64,6 +77,7 @@ impl LogLinearHistogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: OnceLock::new(),
         }
     }
 
@@ -73,6 +87,40 @@ impl LogLinearHistogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(ticks, Ordering::Relaxed);
         self.buckets[bucket_index(ticks)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one sample and remember it as its bucket's exemplar, so the
+    /// exposition layer can point the bucket at a concrete trace
+    /// (OpenMetrics `# {trace_id="…"}`). A zero trace id (= unsampled)
+    /// records the value without touching exemplar storage.
+    #[inline]
+    pub fn record_exemplar(&self, ticks: u64, trace_id: u64) {
+        self.record(ticks);
+        if trace_id == 0 {
+            return;
+        }
+        let slots = self
+            .exemplars
+            .get_or_init(|| (0..BUCKETS).map(|_| ExemplarSlot::empty()).collect());
+        let slot = &slots[bucket_index(ticks)];
+        slot.value.store(ticks, Ordering::Relaxed);
+        slot.trace.store(trace_id, Ordering::Release);
+    }
+
+    /// Non-empty exemplars as `(bucket_upper_ticks, value_ticks, trace_id)`
+    /// in ascending bucket order. Empty until the first traced sample.
+    pub fn exemplars(&self) -> Vec<(u64, u64, u64)> {
+        let Some(slots) = self.exemplars.get() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            let trace = slot.trace.load(Ordering::Acquire);
+            if trace != 0 {
+                out.push((bucket_upper(i), slot.value.load(Ordering::Relaxed), trace));
+            }
+        }
+        out
     }
 
     /// Number of recorded samples.
@@ -134,6 +182,15 @@ impl LogLinearHistogram {
             }
         }
         out
+    }
+}
+
+impl ExemplarSlot {
+    fn empty() -> ExemplarSlot {
+        ExemplarSlot {
+            trace: AtomicU64::new(0),
+            value: AtomicU64::new(0),
+        }
     }
 }
 
@@ -206,6 +263,27 @@ mod tests {
         let buckets = h.cumulative_buckets();
         assert_eq!(buckets.len(), 1);
         assert_eq!(buckets[0], (0, 0));
+    }
+
+    #[test]
+    fn exemplars_track_the_last_traced_sample_per_bucket() {
+        let h = LogLinearHistogram::new();
+        assert!(h.exemplars().is_empty(), "no storage before first trace");
+        h.record(5); // untraced
+        h.record_exemplar(5, 0); // trace id 0 = unsampled: no exemplar
+        assert!(h.exemplars().is_empty());
+        h.record_exemplar(5, 0xabc);
+        h.record_exemplar(5, 0xdef); // same bucket: last wins
+        h.record_exemplar(40_000, 0x123);
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        let (upper0, value0, trace0) = ex[0];
+        assert_eq!((value0, trace0), (5, 0xdef));
+        assert!(upper0 >= 5);
+        let (upper1, value1, trace1) = ex[1];
+        assert_eq!((value1, trace1), (40_000, 0x123));
+        assert!(value1 <= upper1, "exemplar value exceeds its le bound");
+        assert_eq!(h.count(), 5, "exemplar recording still counts samples");
     }
 
     #[test]

@@ -340,6 +340,8 @@ pub fn validate_telemetry_line(line: &str) -> Result<Json, String> {
         "gauge" | "histogram" => &["value"],
         "heartbeat" => &["epoch", "eps"],
         "registry_snapshot" => &["counters", "gauges", "histograms"],
+        "trace_promoted" => &["spans"],
+        "flight_record" => &["shard", "batch_seq", "generation", "start_ns", "end_ns"],
         other => return Err(format!("unknown event kind {other:?}")),
     };
     for field in payload {
@@ -356,6 +358,8 @@ pub fn validate_telemetry_line(line: &str) -> Result<Json, String> {
         "counter" => &["delta"],
         "heartbeat" => &["epoch"],
         "registry_snapshot" => &["counters", "gauges", "histograms"],
+        "trace_promoted" => &["spans"],
+        "flight_record" => &["shard", "batch_seq", "generation", "start_ns", "end_ns"],
         _ => &[],
     };
     for field in integral {
@@ -366,6 +370,40 @@ pub fn validate_telemetry_line(line: &str) -> Result<Json, String> {
                 ));
             }
         }
+    }
+    // Trace events carry 64-bit ids as 16-hex-digit strings; trace id 0
+    // is reserved (= unsampled) and must never appear on a span line.
+    let hex_ids: &[(&str, bool)] = match kind.as_str() {
+        // (field, zero_allowed)
+        "trace_promoted" => &[("trace", false)],
+        "flight_record" => &[("trace", false), ("span", false), ("parent", true)],
+        _ => &[],
+    };
+    for (field, zero_allowed) in hex_ids {
+        let raw = v
+            .get(field)
+            .and_then(Json::as_str)
+            .ok_or(format!("kind {kind:?} requires hex string field {field:?}"))?;
+        let id = crate::trace::parse_hex16(raw).ok_or(format!(
+            "kind {kind:?} field {field:?} is not a hex id: {raw:?}"
+        ))?;
+        if id == 0 && !zero_allowed {
+            return Err(format!(
+                "kind {kind:?} field {field:?} is 0 (reserved = unsampled)"
+            ));
+        }
+    }
+    if kind == "trace_promoted" {
+        v.get("reason")
+            .and_then(Json::as_str)
+            .ok_or("kind \"trace_promoted\" requires string field \"reason\"")?;
+    }
+    if kind == "flight_record" {
+        let status = v
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or("kind \"flight_record\" requires string field \"status\"")?;
+        crate::trace::SpanStatus::parse(status).ok_or(format!("unknown span status {status:?}"))?;
     }
     Ok(v)
 }
@@ -502,6 +540,45 @@ mod tests {
         .is_err());
         assert!(validate_telemetry_line(
             r#"{"kind":"registry_snapshot","name":"m","t":2.0,"counters":-1,"gauges":0,"histograms":0}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn validates_trace_event_lines_and_rejects_zero_trace_ids() {
+        validate_telemetry_line(
+            r#"{"kind":"trace_promoted","name":"serve.trace","t":0.5,"trace":"00000000000000ff","reason":"slow","spans":5}"#,
+        )
+        .expect("valid trace_promoted");
+        validate_telemetry_line(
+            r#"{"kind":"flight_record","name":"queue","t":0.5,"trace":"00000000000000ff","span":"0000000000000001","parent":"0000000000000000","status":"ok","shard":1,"batch_seq":3,"generation":2,"start_ns":10,"end_ns":20}"#,
+        )
+        .expect("valid flight_record");
+        // Trace id 0 is reserved (= unsampled): reject on both kinds.
+        assert!(validate_telemetry_line(
+            r#"{"kind":"trace_promoted","name":"serve.trace","t":0.5,"trace":"0000000000000000","reason":"slow","spans":5}"#,
+        )
+        .is_err());
+        assert!(validate_telemetry_line(
+            r#"{"kind":"flight_record","name":"queue","t":0.5,"trace":"0000000000000000","span":"0000000000000001","parent":"0000000000000000","status":"ok","shard":1,"batch_seq":3,"generation":2,"start_ns":10,"end_ns":20}"#,
+        )
+        .is_err());
+        // Span id 0 is equally invalid; parent 0 (root) is fine.
+        assert!(validate_telemetry_line(
+            r#"{"kind":"flight_record","name":"queue","t":0.5,"trace":"00000000000000ff","span":"0000000000000000","parent":"0000000000000000","status":"ok","shard":1,"batch_seq":3,"generation":2,"start_ns":10,"end_ns":20}"#,
+        )
+        .is_err());
+        // Non-hex trace id, missing reason, unknown status.
+        assert!(validate_telemetry_line(
+            r#"{"kind":"trace_promoted","name":"serve.trace","t":0.5,"trace":"zz","reason":"slow","spans":5}"#,
+        )
+        .is_err());
+        assert!(validate_telemetry_line(
+            r#"{"kind":"trace_promoted","name":"serve.trace","t":0.5,"trace":"00000000000000ff","spans":5}"#,
+        )
+        .is_err());
+        assert!(validate_telemetry_line(
+            r#"{"kind":"flight_record","name":"queue","t":0.5,"trace":"00000000000000ff","span":"0000000000000001","parent":"0000000000000000","status":"exploded","shard":1,"batch_seq":3,"generation":2,"start_ns":10,"end_ns":20}"#,
         )
         .is_err());
     }

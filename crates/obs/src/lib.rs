@@ -44,6 +44,7 @@ pub mod json;
 pub mod registry;
 pub mod report;
 mod sink;
+pub mod trace;
 
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use error::ObsError;
@@ -52,6 +53,7 @@ pub use exporter::MetricsExporter;
 pub use hist::LogLinearHistogram;
 pub use registry::{Counter, Gauge, Histogram, Registry, RegistryCounts, RegistrySink, TeeSink};
 pub use sink::{InMemorySink, JsonlSink, NullSink, Sink};
+pub use trace::{Recorder, SpanKind, SpanRecord, SpanStatus, TraceStats};
 
 use std::path::Path;
 use std::sync::Arc;
@@ -257,6 +259,41 @@ impl Telemetry {
                 counters: counts.counters,
                 gauges: counts.gauges,
                 histograms: counts.histograms,
+            });
+        }
+    }
+
+    /// Record a tail-sampling promotion: `trace` was kept for `reason`
+    /// with `spans` spans collected from the flight recorder.
+    #[inline]
+    pub fn trace_promoted(&self, name: &'static str, trace: u64, reason: &'static str, spans: u64) {
+        if self.is_enabled() {
+            self.record(Event::TracePromoted {
+                name,
+                t: self.event_t(),
+                trace,
+                reason,
+                spans,
+            });
+        }
+    }
+
+    /// Record one promoted flight-recorder span as a sidecar line.
+    #[inline]
+    pub fn flight_record(&self, rec: &trace::SpanRecord) {
+        if self.is_enabled() {
+            self.record(Event::FlightRecord {
+                name: rec.kind.as_str(),
+                t: self.event_t(),
+                trace: rec.trace_id,
+                span: rec.span_id,
+                parent: rec.parent_id,
+                status: rec.status.as_str(),
+                shard: rec.shard as u64,
+                batch_seq: rec.batch_seq,
+                generation: rec.model_generation,
+                start_ns: rec.start_ns,
+                end_ns: rec.end_ns,
             });
         }
     }

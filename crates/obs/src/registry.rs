@@ -142,6 +142,32 @@ impl Histogram {
         self.add_sum(ticks as f64 / self.0.scale);
     }
 
+    /// Record one tick observation and remember it as its bucket's
+    /// exemplar (`trace_id == 0` records without an exemplar), so the
+    /// `/metrics` bucket line can point at the concrete trace.
+    #[inline]
+    pub fn observe_ticks_exemplar(&self, ticks: u64, trace_id: u64) {
+        self.0.hist.record_exemplar(ticks, trace_id);
+        self.add_sum(ticks as f64 / self.0.scale);
+    }
+
+    /// Non-empty exemplars as `(bucket_upper_units, value_units, trace_id)`
+    /// in ascending bucket order.
+    pub fn exemplars(&self) -> Vec<(f64, f64, u64)> {
+        self.0
+            .hist
+            .exemplars()
+            .into_iter()
+            .map(|(upper, value, trace)| {
+                (
+                    upper as f64 / self.0.scale,
+                    value as f64 / self.0.scale,
+                    trace,
+                )
+            })
+            .collect()
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.0.hist.count()
@@ -568,7 +594,12 @@ impl Sink for RegistrySink {
                     .gauge(eps_name, "episodes per second at last heartbeat")
                     .set(eps);
             }
-            Event::SpanOpen { .. } | Event::RegistrySnapshot { .. } => {}
+            // Trace events are per-request records, not aggregates; the
+            // recorder keeps its own counters (`obs.trace.*`).
+            Event::SpanOpen { .. }
+            | Event::RegistrySnapshot { .. }
+            | Event::TracePromoted { .. }
+            | Event::FlightRecord { .. } => {}
         }
     }
 

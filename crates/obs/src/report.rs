@@ -86,6 +86,29 @@ pub enum ReportEvent {
         /// Seconds since run start.
         t: f64,
     },
+    /// `trace_promoted` — a tail-sampled trace was kept.
+    TracePromoted {
+        /// Promotion source name.
+        name: String,
+        /// Seconds since run start.
+        t: f64,
+        /// Promoted trace id.
+        trace: u64,
+        /// Promotion reason (`slow` / `error` / `swap`).
+        reason: String,
+        /// Spans collected for the trace.
+        spans: u64,
+    },
+    /// `flight_record` — one promoted span (payload beyond the trace id
+    /// is not aggregated here; `schedinspector trace` reconstructs it).
+    FlightRecord {
+        /// Span kind name.
+        name: String,
+        /// Seconds since run start.
+        t: f64,
+        /// Trace id the span belongs to.
+        trace: u64,
+    },
 }
 
 impl ReportEvent {
@@ -97,7 +120,9 @@ impl ReportEvent {
             | ReportEvent::Gauge { t, .. }
             | ReportEvent::Histogram { t, .. }
             | ReportEvent::Heartbeat { t, .. }
-            | ReportEvent::RegistrySnapshot { t, .. } => *t,
+            | ReportEvent::RegistrySnapshot { t, .. }
+            | ReportEvent::TracePromoted { t, .. }
+            | ReportEvent::FlightRecord { t, .. } => *t,
         }
     }
 }
@@ -157,8 +182,32 @@ pub fn parse_line(line: &str) -> Result<ReportEvent, String> {
             eps: field_f64(&v, "eps"),
         },
         "registry_snapshot" => ReportEvent::RegistrySnapshot { name, t },
+        // Ids are validated 16-hex strings (validate_telemetry_line).
+        "trace_promoted" => ReportEvent::TracePromoted {
+            name,
+            t,
+            trace: field_hex(&v, "trace"),
+            reason: v
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            spans: field_u64(&v, "spans"),
+        },
+        "flight_record" => ReportEvent::FlightRecord {
+            name,
+            t,
+            trace: field_hex(&v, "trace"),
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     })
+}
+
+fn field_hex(v: &Json, field: &str) -> u64 {
+    v.get(field)
+        .and_then(Json::as_str)
+        .and_then(crate::trace::parse_hex16)
+        .unwrap_or(0)
 }
 
 /// Parse a whole sidecar file. Errors are `"path:line: message"`.
@@ -315,6 +364,9 @@ pub struct SidecarReport {
     /// Finite histogram samples per distribution name, in order (e.g.
     /// `serve.e2e_s` end-to-end decision latencies in seconds).
     pub histogram_samples: BTreeMap<String, Vec<f64>>,
+    /// Promoted traces seen in the sidecar, as `(trace_id, reason)` in
+    /// order of promotion.
+    pub promoted_traces: Vec<(u64, String)>,
     /// Total events analyzed.
     pub events: usize,
     /// Timestamp of the last event (run wall time in seconds).
@@ -330,8 +382,9 @@ pub struct SidecarReport {
 
 /// Analyze a parsed event stream.
 pub fn analyze(events: &[ReportEvent]) -> SidecarReport {
-    let (spans, warnings) = aggregate_spans(events);
+    let (spans, mut warnings) = aggregate_spans(events);
     let mut epochs = Vec::new();
+    let mut promoted_traces = Vec::new();
     let mut counter_totals: BTreeMap<String, u64> = BTreeMap::new();
     let mut heartbeat_eps: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     let mut histogram_samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
@@ -365,6 +418,9 @@ pub fn analyze(events: &[ReportEvent]) -> SidecarReport {
                 cur_eps = Some(*eps);
                 cur_index = Some(*epoch);
             }
+            ReportEvent::TracePromoted { trace, reason, .. } => {
+                promoted_traces.push((*trace, reason.clone()));
+            }
             ReportEvent::SpanClose { name, dur, .. } if name == "epoch" => {
                 epochs.push(EpochSummary {
                     index: cur_index.unwrap_or(epochs.len() as u64),
@@ -380,12 +436,24 @@ pub fn analyze(events: &[ReportEvent]) -> SidecarReport {
         }
     }
 
+    // A flight recorder that wrapped lost spans: the trace it was sized
+    // for is gone. Make that loud, not a silent counter.
+    if let Some(&overwrites) = counter_totals.get("obs.trace.ring_overwrites") {
+        if overwrites > 0 {
+            warnings.push(format!(
+                "flight recorder overwrote {overwrites} span record(s); \
+                 ring too small for the traced window"
+            ));
+        }
+    }
+
     SidecarReport {
         epochs,
         spans,
         counter_totals,
         heartbeat_eps,
         histogram_samples,
+        promoted_traces,
         events: events.len(),
         wall: events.last().map_or(0.0, ReportEvent::t),
         malformed_lines: 0,
@@ -502,6 +570,51 @@ impl SidecarReport {
             let _ = writeln!(out, "\ncounter totals");
             for (name, total) in &self.counter_totals {
                 let _ = writeln!(out, "  {name:<32} {total:>12}");
+            }
+        }
+        // Observability-of-the-observability: sidecar drops and flight
+        // recorder health, surfaced whenever the run recorded them.
+        let health_names = [
+            "obs.sink.dropped_events",
+            "obs.trace.recorded",
+            "obs.trace.promoted",
+            "obs.trace.ring_overwrites",
+        ];
+        if health_names
+            .iter()
+            .any(|n| self.counter_totals.contains_key(*n))
+            || !self.promoted_traces.is_empty()
+        {
+            let _ = writeln!(out, "\ntelemetry health");
+            for name in health_names {
+                if let Some(total) = self.counter_totals.get(name) {
+                    let _ = writeln!(out, "  {name:<32} {total:>12}");
+                }
+            }
+            if !self.promoted_traces.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  promoted traces in sidecar: {}",
+                    self.promoted_traces.len()
+                );
+                for (trace, reason) in self.promoted_traces.iter().take(10) {
+                    let _ = writeln!(out, "    trace {trace:016x} ({reason})");
+                }
+                if self.promoted_traces.len() > 10 {
+                    let _ = writeln!(out, "    … {} more", self.promoted_traces.len() - 10);
+                }
+            }
+            let overwrites = self
+                .counter_totals
+                .get("obs.trace.ring_overwrites")
+                .copied()
+                .unwrap_or(0);
+            if overwrites > 0 {
+                let _ = writeln!(
+                    out,
+                    "  WARNING: flight recorder overwrote {overwrites} span record(s); \
+                     traces in the overwritten window are incomplete"
+                );
             }
         }
         if !self.epochs.is_empty() {
@@ -935,6 +1048,65 @@ mod tests {
         );
         assert!(parse_line("not json").is_err());
         assert!(parse_line(r#"{"kind":"mystery","name":"x","t":0}"#).is_err());
+    }
+
+    #[test]
+    fn trace_events_parse_and_surface_in_telemetry_health() {
+        let promoted = parse_line(
+            r#"{"kind":"trace_promoted","name":"serve.trace","t":1.0,"trace":"00000000000000ab","reason":"slow","spans":5}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            promoted,
+            ReportEvent::TracePromoted {
+                name: "serve.trace".into(),
+                t: 1.0,
+                trace: 0xab,
+                reason: "slow".into(),
+                spans: 5
+            }
+        );
+        let record = parse_line(
+            r#"{"kind":"flight_record","name":"queue","t":1.1,"trace":"00000000000000ab","span":"0000000000000002","parent":"0000000000000000","status":"ok","shard":0,"batch_seq":1,"generation":1,"start_ns":5,"end_ns":9}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            record,
+            ReportEvent::FlightRecord { trace: 0xab, .. }
+        ));
+
+        let events = [
+            promoted,
+            record,
+            count("obs.trace.recorded", 2.0, 100),
+            count("obs.trace.promoted", 2.0, 1),
+            count("obs.trace.ring_overwrites", 2.0, 3),
+            count("obs.sink.dropped_events", 2.0, 0),
+        ];
+        let report = analyze(&events);
+        assert_eq!(report.promoted_traces, vec![(0xab, "slow".to_string())]);
+        assert!(
+            report.warnings.iter().any(|w| w.contains("overwrote 3")),
+            "{:?}",
+            report.warnings
+        );
+        let mut text = String::new();
+        report.render(&mut text);
+        assert!(text.contains("telemetry health"), "{text}");
+        assert!(text.contains("obs.trace.ring_overwrites"), "{text}");
+        assert!(
+            text.contains("WARNING: flight recorder overwrote 3"),
+            "{text}"
+        );
+        assert!(text.contains("trace 00000000000000ab (slow)"), "{text}");
+
+        // Zero overwrites: counters surface, but no warning line.
+        let clean = analyze(&[count("obs.trace.recorded", 1.0, 10)]);
+        assert!(clean.warnings.is_empty());
+        let mut text = String::new();
+        clean.render(&mut text);
+        assert!(text.contains("telemetry health"));
+        assert!(!text.contains("WARNING: flight recorder"));
     }
 
     #[test]

@@ -70,6 +70,8 @@ fn usage() -> ! {
            --window N         closed-loop pipelining   (default 64)\n\
            --batch N          server micro-batch cap   (default 16)\n\
            --quantized 1      add an int8 capacity case (--model mode)\n\
+           --trace-sample N   trace every Nth request and verify the\n\
+                              decision echoes the id   (default 0 = off)\n\
            --seed N           RNG seed                 (default 0)\n\
            --label S          report label             (--addr mode)\n\
            --out FILE         report path (default BENCH_serve.json)\n\
@@ -84,6 +86,7 @@ fn load_config(args: &Args) -> LoadConfig {
         secs: args.num("secs", 5.0f64),
         conns: args.num("conns", 4usize),
         seed: args.num("seed", 0u64),
+        trace_sample: args.num("trace-sample", 0u64),
     }
 }
 
@@ -133,6 +136,7 @@ fn resolve_profile(args: &Args) -> LoadProfile {
 fn run_external(args: &Args, addr: &str) {
     let profile = resolve_profile(args);
     let shards = args.num("shards", 1usize);
+    let trace_sample = args.num("trace-sample", 0u64);
     println!(
         "open loop [{}]: {} conns, {:.0} qps target, {:.1}s",
         profile.name,
@@ -140,8 +144,8 @@ fn run_external(args: &Args, addr: &str) {
         profile.qps,
         profile.secs
     );
-    let (mut report, fairness) =
-        loadgen::replay_profile(addr, &profile, shards).unwrap_or_else(|e| {
+    let (mut report, fairness) = loadgen::replay_profile(addr, &profile, shards, trace_sample)
+        .unwrap_or_else(|e| {
             eprintln!("loadgen failed: {e}");
             exit(1)
         });
@@ -152,6 +156,12 @@ fn run_external(args: &Args, addr: &str) {
         "  sent {} ok {} overloaded {} errors {}",
         report.sent, report.ok, report.overloaded, report.errors
     );
+    if trace_sample > 0 {
+        println!(
+            "  traced {} round-tripped, {} mismatched",
+            report.traced, report.trace_mismatch
+        );
+    }
     println!(
         "  achieved {:.0}/s, p50 {:.1}us p95 {:.1}us p99 {:.1}us",
         report.achieved_qps, report.p50_us, report.p95_us, report.p99_us
@@ -173,6 +183,10 @@ fn run_external(args: &Args, addr: &str) {
         eprintln!("no successful decisions — failing");
         exit(1);
     }
+    if trace_sample > 0 && (report.trace_mismatch > 0 || report.traced == 0) {
+        eprintln!("trace round-trip failed — failing");
+        exit(1);
+    }
 }
 
 /// One capacity-sweep entry: a server configuration to saturate.
@@ -181,6 +195,9 @@ struct CaseSpec {
     max_batch: usize,
     shards: usize,
     quantized: bool,
+    /// Enable the flight recorder and stamp a trace id on every request
+    /// (with promotion disabled) — the recorder-overhead case.
+    traced: bool,
 }
 
 /// One capacity case: start an in-process server with the given
@@ -202,6 +219,15 @@ fn capacity_case(
     // to a shard multiple so every shard sees the same offered load.
     let conns =
         LoadProfile::steady(key, 1.0, 1.0, conns as u32, seed).balanced_conns(shards) as usize;
+    // The traced case measures raw flight-recorder cost: every request
+    // carries a trace id, but the slow threshold is unreachable so no
+    // trace is ever promoted (the acceptance bar is on recording alone).
+    let trace = spec.traced.then(|| serve::TraceConfig {
+        slow_us: u64::MAX,
+        store_dir: None,
+        dump_path: None,
+        ..serve::TraceConfig::default()
+    });
     let handle = serve(
         inspector.clone(),
         ServeConfig {
@@ -209,6 +235,7 @@ fn capacity_case(
             shards,
             quantized: spec.quantized,
             workers: conns.max(2),
+            trace,
             ..ServeConfig::default()
         },
         obs::Telemetry::disabled(),
@@ -218,10 +245,12 @@ fn capacity_case(
         exit(1)
     });
     let addr = handle.addr().to_string();
-    let mut report = loadgen::closed_loop(&addr, window, conns, secs, seed).unwrap_or_else(|e| {
-        eprintln!("closed loop failed: {e}");
-        exit(1)
-    });
+    let trace_sample = if spec.traced { 1 } else { 0 };
+    let mut report = loadgen::closed_loop(&addr, window, conns, secs, seed, trace_sample)
+        .unwrap_or_else(|e| {
+            eprintln!("closed loop failed: {e}");
+            exit(1)
+        });
     report.label = key.to_string();
     let stats = handle.stats();
     println!(
@@ -285,12 +314,19 @@ fn run_compare(args: &Args, model: &str) {
         max_batch,
         shards,
         quantized,
+        traced: false,
     };
     let mut cases = vec![
         case("microbatch", max_batch, 1, false),
         case("batch1", 1, 1, false),
         case("microbatch_shards2", max_batch, 2, false),
         case("microbatch_shards4", max_batch, 4, false),
+        // Same as `microbatch` but with the flight recorder on and every
+        // request traced; `trace_overhead` below compares the two.
+        CaseSpec {
+            traced: true,
+            ..case("microbatch_traced", max_batch, 1, false)
+        },
     ];
     if quantized {
         cases.push(case("microbatch_quantized", max_batch, 1, true));
@@ -328,6 +364,12 @@ fn run_compare(args: &Args, model: &str) {
     capacity.insert(
         "shard_scaling_4x".into(),
         Json::Number(ratio("microbatch_shards4")),
+    );
+    // Fractional capacity lost to the flight recorder with promotion
+    // disabled (acceptance bar: <= 0.01).
+    capacity.insert(
+        "trace_overhead".into(),
+        Json::Number((1.0 - ratio("microbatch_traced")).max(0.0)),
     );
 
     // Open-loop latency on a fresh micro-batched server.

@@ -35,7 +35,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use inspector::{Decision, SchedInspector};
-use obs::{Clock, Telemetry};
+use obs::trace::span_id;
+use obs::{Clock, Recorder, SpanKind, SpanRecord, SpanStatus, Telemetry};
 use store::SwapCell;
 use tinynn::{BatchForwardScratch, Mlp, QuantScratch, QuantizedMlp};
 
@@ -59,6 +60,11 @@ pub struct EngineConfig {
     /// did not come from a store; [`BatchEngine::swap_model`] only accepts
     /// strictly newer generations.
     pub model_generation: u64,
+    /// Flight recorder the shard loops write queue/batch/forward (and
+    /// deadline-drop) spans into for traced requests. Disabled by default,
+    /// in which case recording is a no-op and the hot path only pays one
+    /// branch on the request's trace id.
+    pub trace: Recorder,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +75,7 @@ impl Default for EngineConfig {
             shards: 1,
             quantized: false,
             model_generation: 0,
+            trace: Recorder::disabled(),
         }
     }
 }
@@ -85,7 +92,14 @@ pub fn shard_for(conn_id: u64, shards: usize) -> usize {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Completion {
     /// The model ran; here is its verdict.
-    Decision(Decision),
+    Decision {
+        /// The inspector's accept/reject verdict.
+        decision: Decision,
+        /// Generation of the model that actually ran this request's batch
+        /// (the per-batch [`store::SwapCell`] pin), so replies and trace
+        /// spans attribute decisions correctly across mid-traffic swaps.
+        generation: u64,
+    },
     /// The request expired in the queue before its forward pass.
     DeadlineExceeded,
 }
@@ -107,6 +121,8 @@ pub enum SubmitError {
 struct Pending {
     token: u64,
     features: Vec<f32>,
+    /// Trace context (0 = untraced: no spans are recorded).
+    trace: u64,
     /// Clock tick (ns) at submission, for e2e latency.
     enqueued_ns: u64,
     /// Clock tick (ns) after which the request is expired, if any.
@@ -421,15 +437,18 @@ impl BatchEngine {
 
     /// Enqueue one request from connection `conn` (routed via
     /// [`shard_for`]). `deadline_ns` is a tick of the engine's clock (see
-    /// [`obs::clock::deadline_after_ms`]). On success the engine will
-    /// later send `(token, completion)` through `tx`; on failure nothing
-    /// is sent and the caller must answer the client itself.
+    /// [`obs::clock::deadline_after_ms`]). A nonzero `trace` id makes the
+    /// shard loop record queue/batch/forward spans for this request into
+    /// the configured flight recorder. On success the engine will later
+    /// send `(token, completion)` through `tx`; on failure nothing is sent
+    /// and the caller must answer the client itself.
     pub fn submit(
         &self,
         conn: u64,
         token: u64,
         features: Vec<f32>,
         deadline_ns: Option<u64>,
+        trace: u64,
         tx: Sender<(u64, Completion)>,
     ) -> Result<(), SubmitError> {
         let idx = shard_for(conn, self.shared.shards.len());
@@ -451,6 +470,7 @@ impl BatchEngine {
         shard.ring.push(Pending {
             token,
             features,
+            trace,
             enqueued_ns: self.shared.clock.now_ns(),
             deadline_ns,
             tx,
@@ -513,10 +533,15 @@ fn shard_loop(idx: usize, shared: Arc<Shared>, telemetry: Telemetry) {
     let shard = &shared.shards[idx];
     let sstats = &shared.stats.shards[idx];
     let input_dim = shared.input_dim;
+    let recorder = &shared.cfg.trace;
     let mut qscratch = QuantScratch::default();
     let mut fwd = BatchForwardScratch::default();
     let mut batch: Vec<Pending> = Vec::with_capacity(shared.cfg.max_batch);
     let mut expired: Vec<bool> = Vec::with_capacity(shared.cfg.max_batch);
+    // Shard-local batch sequence, namespaced by shard in the high bits so
+    // batch ids are globally unique without any cross-shard coordination
+    // (and never 0 — 0 means "not part of a batch" in span records).
+    let mut batch_counter: u64 = 0;
 
     loop {
         batch.clear();
@@ -549,33 +574,49 @@ fn shard_loop(idx: usize, shared: Arc<Shared>, telemetry: Telemetry) {
 
         // Pass 1: expire by deadline, pack the live rows contiguously.
         let started = Instant::now();
+        let t_pack = shared.clock.now_ns();
         expired.clear();
         fwd.clear(input_dim);
+        let mut traced = false;
         for p in &batch {
-            let late = p.deadline_ns.is_some_and(|d| shared.clock.now_ns() > d);
+            let late = p.deadline_ns.is_some_and(|d| t_pack > d);
             expired.push(late);
+            traced |= p.trace != 0;
             if !late {
                 fwd.push_row(&p.features);
             }
         }
+        let tracing = traced && recorder.is_enabled();
+        batch_counter += 1;
+        let batch_seq = (idx as u64) << 48 | batch_counter;
 
         // Pass 2: one fused forward over the whole micro-batch, on a
         // pinned snapshot of the live model. The pin is per-batch: a
         // concurrent publish waits (at most one batch) for this guard to
         // drop, then frees the old model — no locks on this path.
         let model = shared.model.pin(idx);
+        let generation = model.generation();
+        let t_forward = if tracing { shared.clock.now_ns() } else { 0 };
         let logits: &[f32] = if let Some(qmodel) = &model.quantized {
             qmodel.forward_batch(&mut fwd, &mut qscratch)
         } else {
             model.mlp.forward_batch(&mut fwd)
         };
+        let t_done = if tracing { shared.clock.now_ns() } else { 0 };
 
         // Pass 3: answer in submission order (per-connection FIFO). Error
         // counters are bumped *before* the send so a client that observed
-        // the completion also observes the counter.
+        // the completion also observes the counter; flight-recorder spans
+        // are recorded before the send so the reply path can already see
+        // the full shard-side chain.
         let mut served = 0usize;
         let stats = &shared.stats;
         for (p, late) in batch.drain(..).zip(expired.drain(..)) {
+            if tracing && p.trace != 0 {
+                record_shard_spans(
+                    recorder, idx, &p, late, t_pack, t_forward, t_done, batch_seq, generation,
+                );
+            }
             if late {
                 stats.deadline_exceeded.inc();
                 sstats.deadline_exceeded.inc();
@@ -585,11 +626,17 @@ fn shard_loop(idx: usize, shared: Arc<Shared>, telemetry: Telemetry) {
             let decision = Decision::from_logits(logits[served * 2], logits[served * 2 + 1]);
             served += 1;
             let e2e_ticks = shared.clock.now_ns().saturating_sub(p.enqueued_ns);
-            stats.e2e.observe_ticks(e2e_ticks);
+            stats.e2e.observe_ticks_exemplar(e2e_ticks, p.trace);
             if telemetry.is_enabled() {
                 telemetry.observe("serve.e2e_s", e2e_ticks as f64 / 1e9);
             }
-            let _ = p.tx.send((p.token, Completion::Decision(decision)));
+            let _ = p.tx.send((
+                p.token,
+                Completion::Decision {
+                    decision,
+                    generation,
+                },
+            ));
         }
         let infer_elapsed = started.elapsed();
         let served = served as u64;
@@ -614,6 +661,85 @@ fn shard_loop(idx: usize, shared: Arc<Shared>, telemetry: Telemetry) {
             telemetry.gauge("serve.queue_depth", stats.queue_depth.get());
         }
     }
+}
+
+/// Record the shard-side spans for one traced request: always the queue
+/// span (submission → batch formation); then either batch + forward spans
+/// linked by `batch_seq`, or a terminal `dropped` span for a deadline
+/// expiry. Span ids are pure functions of `(trace, kind)`, so the server's
+/// request/write spans chain to these without any shared state.
+#[allow(clippy::too_many_arguments)]
+fn record_shard_spans(
+    recorder: &Recorder,
+    shard: usize,
+    p: &Pending,
+    late: bool,
+    t_pack: u64,
+    t_forward: u64,
+    t_done: u64,
+    batch_seq: u64,
+    generation: u64,
+) {
+    let trace = p.trace;
+    let span = |kind: SpanKind, parent: SpanKind, status, batch_seq, start_ns, end_ns| SpanRecord {
+        trace_id: trace,
+        span_id: span_id(trace, kind),
+        parent_id: span_id(trace, parent),
+        kind,
+        status,
+        shard: shard as u32,
+        batch_seq,
+        model_generation: generation,
+        start_ns,
+        end_ns,
+    };
+    recorder.record(
+        shard,
+        &span(
+            SpanKind::Queue,
+            SpanKind::Request,
+            SpanStatus::Ok,
+            0,
+            p.enqueued_ns,
+            t_pack,
+        ),
+    );
+    if late {
+        recorder.record(
+            shard,
+            &span(
+                SpanKind::Dropped,
+                SpanKind::Queue,
+                SpanStatus::DeadlineExceeded,
+                0,
+                t_pack,
+                t_pack,
+            ),
+        );
+        return;
+    }
+    recorder.record(
+        shard,
+        &span(
+            SpanKind::Batch,
+            SpanKind::Queue,
+            SpanStatus::Ok,
+            batch_seq,
+            t_pack,
+            t_done,
+        ),
+    );
+    recorder.record(
+        shard,
+        &span(
+            SpanKind::Forward,
+            SpanKind::Batch,
+            SpanStatus::Ok,
+            batch_seq,
+            t_forward,
+            t_done,
+        ),
+    );
 }
 
 #[cfg(test)]
@@ -657,7 +783,9 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         for token in 0..100u64 {
             let features = vec![(token % 7) as f32 / 7.0; dim];
-            engine.submit(0, token, features, None, tx.clone()).unwrap();
+            engine
+                .submit(0, token, features, None, 0, tx.clone())
+                .unwrap();
         }
         drop(tx);
         let tokens: Vec<u64> = rx.iter().map(|(t, _)| t).collect();
@@ -689,9 +817,11 @@ mod tests {
         for token in 0..50u64 {
             let features: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
             let expect = reference.decide(&features, &mut scratch);
-            engine.submit(0, token, features, None, tx.clone()).unwrap();
+            engine
+                .submit(0, token, features, None, 0, tx.clone())
+                .unwrap();
             match rx.recv().unwrap() {
-                (t, Completion::Decision(got)) => {
+                (t, Completion::Decision { decision: got, .. }) => {
                     assert_eq!(t, token);
                     assert_eq!(got.reject, expect.reject);
                     assert_eq!(got.p_reject, expect.p_reject);
@@ -729,10 +859,10 @@ mod tests {
                 let features: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
                 let expect = reference.decide(&features, &mut scratch);
                 engine
-                    .submit(conn, token, features, None, tx.clone())
+                    .submit(conn, token, features, None, 0, tx.clone())
                     .unwrap();
                 match rx.recv().unwrap() {
-                    (t, Completion::Decision(got)) => {
+                    (t, Completion::Decision { decision: got, .. }) => {
                         assert_eq!(t, token);
                         assert_eq!(got.reject, expect.reject);
                         assert_eq!(got.p_reject.to_bits(), expect.p_reject.to_bits());
@@ -777,10 +907,10 @@ mod tests {
             let features: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
             let expect = reference.decide(&features, &mut scratch);
             engine
-                .submit(token, token, features, None, tx.clone())
+                .submit(token, token, features, None, 0, tx.clone())
                 .unwrap();
             match rx.recv().unwrap() {
-                (_, Completion::Decision(got)) => {
+                (_, Completion::Decision { decision: got, .. }) => {
                     // Int8 error budget: probabilities stay close; the
                     // binary decision may only flip near p == 0.5.
                     assert!(
@@ -827,9 +957,11 @@ mod tests {
         for token in 0..40u64 {
             let features: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
             let expect = reference.decide(&features, &mut scratch);
-            engine.submit(0, token, features, None, tx.clone()).unwrap();
+            engine
+                .submit(0, token, features, None, 0, tx.clone())
+                .unwrap();
             match rx.recv().unwrap() {
-                (t, Completion::Decision(got)) => {
+                (t, Completion::Decision { decision: got, .. }) => {
                     assert_eq!(t, token);
                     assert_eq!(got.p_reject.to_bits(), expect.p_reject.to_bits());
                 }
@@ -896,7 +1028,7 @@ mod tests {
         let mut submitted = 0u64;
         for token in 0..4000u64 {
             if engine
-                .submit(token % 8, token, vec![0.25; dim], None, tx.clone())
+                .submit(token % 8, token, vec![0.25; dim], None, 0, tx.clone())
                 .is_ok()
             {
                 submitted += 1;
@@ -937,7 +1069,7 @@ mod tests {
         // attempts before asserting.
         let mut overloaded = None;
         for token in 0..10_000u64 {
-            match engine.submit(0, token, vec![0.0; dim], None, tx.clone()) {
+            match engine.submit(0, token, vec![0.0; dim], None, 0, tx.clone()) {
                 Ok(()) => {}
                 Err(e) => {
                     overloaded = Some(e);
@@ -972,7 +1104,7 @@ mod tests {
             clock,
         );
         let (tx, rx) = mpsc::channel();
-        engine.submit(0, 0, vec![0.0; dim], Some(1), tx).unwrap();
+        engine.submit(0, 0, vec![0.0; dim], Some(1), 0, tx).unwrap();
         assert_eq!(rx.recv().unwrap(), (0, Completion::DeadlineExceeded));
         assert_eq!(stats.deadline_exceeded.get(), 1);
         engine.shutdown();
@@ -995,13 +1127,16 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         // Deadline at tick 5ms; clock still at 0 → must succeed.
         engine
-            .submit(0, 0, vec![0.2; dim], Some(5_000_000), tx.clone())
+            .submit(0, 0, vec![0.2; dim], Some(5_000_000), 0, tx.clone())
             .unwrap();
-        assert!(matches!(rx.recv().unwrap(), (0, Completion::Decision(_))));
+        assert!(matches!(
+            rx.recv().unwrap(),
+            (0, Completion::Decision { decision: _, .. })
+        ));
         // Advance past the deadline before submitting → must expire.
         vc.advance_ns(6_000_000);
         engine
-            .submit(0, 1, vec![0.2; dim], Some(5_000_000), tx)
+            .submit(0, 1, vec![0.2; dim], Some(5_000_000), 0, tx)
             .unwrap();
         assert_eq!(rx.recv().unwrap(), (1, Completion::DeadlineExceeded));
         assert_eq!(stats.deadline_exceeded.get(), 1);
@@ -1035,7 +1170,7 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         for token in 0..8u64 {
             engine
-                .submit(0, token, vec![0.1; dim], Some(1_000_000), tx.clone())
+                .submit(0, token, vec![0.1; dim], Some(1_000_000), 0, tx.clone())
                 .unwrap();
         }
         vc.advance_ns(2_000_000); // all deadlines are now in the past
@@ -1070,12 +1205,12 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         for token in 0..32u64 {
             engine
-                .submit(0, token, vec![0.5; dim], None, tx.clone())
+                .submit(0, token, vec![0.5; dim], None, 0, tx.clone())
                 .unwrap();
         }
         engine.shutdown();
         assert_eq!(
-            engine.submit(0, 99, vec![0.5; dim], None, tx.clone()),
+            engine.submit(0, 99, vec![0.5; dim], None, 0, tx.clone()),
             Err(SubmitError::ShuttingDown)
         );
         drop(tx);
@@ -1108,7 +1243,14 @@ mod tests {
         for conn in 0..16u64 {
             for token in 0..25u64 {
                 if engine
-                    .submit(conn, conn * 100 + token, vec![0.3; dim], None, tx.clone())
+                    .submit(
+                        conn,
+                        conn * 100 + token,
+                        vec![0.3; dim],
+                        None,
+                        0,
+                        tx.clone(),
+                    )
                     .is_ok()
                 {
                     submitted += 1;

@@ -44,6 +44,6 @@ pub mod transport;
 
 pub use engine::{shard_for, BatchEngine, Completion, EngineConfig, SubmitError};
 pub use loadgen::{replay_profile, LoadConfig, RunReport};
-pub use server::{serve, serve_with, ServeConfig, ServerHandle, ShutdownSignal};
+pub use server::{serve, serve_with, ServeConfig, ServerHandle, ShutdownSignal, TraceConfig};
 pub use stats::{LatencyHistogram, ServerStats, ShardStats};
 pub use transport::{AcceptPolicy, DirectAccept, Transport};

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use obs::json::Json;
+use obs::trace::{derive_trace_id, hex16};
 use rand::{RngExt, SeedableRng, StdRng};
 use scenario::{FairnessReport, LoadProfile, TenantMetrics};
 use workload::distributions::{Exponential, Sample};
@@ -39,6 +40,10 @@ pub struct LoadConfig {
     pub conns: usize,
     /// RNG seed for inter-arrival times and feature payloads.
     pub seed: u64,
+    /// Trace every Nth request (0 = tracing off): the sender stamps
+    /// `derive_trace_id(seed, id)` on the wire and the receiver verifies
+    /// the response echoes it bit-exactly.
+    pub trace_sample: u64,
 }
 
 impl Default for LoadConfig {
@@ -48,6 +53,7 @@ impl Default for LoadConfig {
             secs: 5.0,
             conns: 4,
             seed: 0,
+            trace_sample: 0,
         }
     }
 }
@@ -82,6 +88,10 @@ pub struct RunReport {
     pub overloaded: u64,
     /// Any other error responses.
     pub errors: u64,
+    /// Decisions that echoed the expected trace id (0 unless tracing).
+    pub traced: u64,
+    /// Traced decisions whose echoed trace id was wrong or missing.
+    pub trace_mismatch: u64,
     /// First send → last response, seconds.
     pub elapsed_s: f64,
     /// Client-observed mean latency (µs; open loop only).
@@ -105,6 +115,11 @@ impl RunReport {
         m.insert("ok".into(), Json::Number(self.ok as f64));
         m.insert("overloaded".into(), Json::Number(self.overloaded as f64));
         m.insert("errors".into(), Json::Number(self.errors as f64));
+        m.insert("traced".into(), Json::Number(self.traced as f64));
+        m.insert(
+            "trace_mismatch".into(),
+            Json::Number(self.trace_mismatch as f64),
+        );
         m.insert("elapsed_s".into(), Json::Number(self.elapsed_s));
         m.insert("mean_us".into(), Json::Number(self.mean_us));
         m.insert("p50_us".into(), Json::Number(self.p50_us));
@@ -189,13 +204,27 @@ struct ConnOutcome {
     ok: u64,
     overloaded: u64,
     errors: u64,
+    traced: u64,
+    trace_mismatch: u64,
     last_response_ns: u64,
+}
+
+/// The trace id request `id` must carry (and its decision must echo)
+/// under `trace_sample`-rate sampling, or 0 for an untraced request.
+/// Sender and receiver both compute this, so nothing extra rides the wire
+/// and a dropped or corrupted echo is detectable.
+fn expected_trace(trace_sample: u64, seed: u64, id: u64) -> u64 {
+    if trace_sample > 0 && id.is_multiple_of(trace_sample) {
+        derive_trace_id(seed, id)
+    } else {
+        0
+    }
 }
 
 /// Drive `cfg.qps` exponential arrivals at the server for `cfg.secs`
 /// seconds and report client-observed latency quantiles.
 pub fn open_loop(addr: &str, cfg: &LoadConfig) -> Result<RunReport, String> {
-    let (report, _) = profile_run(addr, &cfg.to_profile(), 1, "open_loop")?;
+    let (report, _) = profile_run(addr, &cfg.to_profile(), 1, "open_loop", cfg.trace_sample)?;
     Ok(report)
 }
 
@@ -213,9 +242,10 @@ pub fn replay_profile(
     addr: &str,
     profile: &LoadProfile,
     shards: usize,
+    trace_sample: u64,
 ) -> Result<(RunReport, FairnessReport), String> {
     let label = format!("replay:{}", profile.name);
-    profile_run(addr, profile, shards, &label)
+    profile_run(addr, profile, shards, &label, trace_sample)
 }
 
 /// The shared open-loop driver behind [`open_loop`] and [`replay_profile`]:
@@ -226,6 +256,7 @@ fn profile_run(
     profile: &LoadProfile,
     shards: usize,
     label: &str,
+    trace_sample: u64,
 ) -> Result<(RunReport, FairnessReport), String> {
     profile.validate().map_err(|e| e.to_string())?;
     // Fetch the model dimension on a dedicated connection BEFORE opening
@@ -268,10 +299,13 @@ fn profile_run(
                 let recv_tenant_hists = Arc::clone(&tenant_hists);
                 let recv_profile = Arc::clone(&profile);
                 let recv_sent_at = Arc::clone(&sent_at);
+                let profile_seed = profile.seed;
                 let receiver = std::thread::spawn(move || {
                     let mut ok = 0u64;
                     let mut overloaded = 0u64;
                     let mut errors = 0u64;
+                    let mut traced = 0u64;
+                    let mut trace_mismatch = 0u64;
                     let mut last_ns = 0u64;
                     let mut reader = reader;
                     let mut line = String::new();
@@ -282,7 +316,16 @@ fn profile_run(
                             Ok(_) => {}
                         }
                         match protocol::parse_response(line.trim()) {
-                            Ok(Response::Decision { id, .. }) => {
+                            Ok(Response::Decision { id, trace, .. }) => {
+                                // Round-trip check: the decision must echo
+                                // exactly the id this request was stamped
+                                // with (0 for unsampled requests).
+                                let want = expected_trace(trace_sample, profile_seed, id);
+                                if trace != want {
+                                    trace_mismatch += 1;
+                                } else if want != 0 {
+                                    traced += 1;
+                                }
                                 let now_ns = t0.elapsed().as_nanos() as u64;
                                 let sent_ns = id
                                     .checked_sub(base_id)
@@ -310,7 +353,7 @@ fn profile_run(
                             _ => errors += 1,
                         }
                     }
-                    (ok, overloaded, errors, last_ns)
+                    (ok, overloaded, errors, traced, trace_mismatch, last_ns)
                 });
 
                 let mut rng = StdRng::seed_from_u64(profile.seed.wrapping_add(c as u64));
@@ -336,7 +379,14 @@ fn profile_run(
                     line.push_str(&id.to_string());
                     line.push_str(",\"features\":[");
                     line.push_str(&pool[slot % pool.len()]);
-                    line.push_str("]}\n");
+                    line.push(']');
+                    let trace = expected_trace(trace_sample, profile.seed, id);
+                    if trace != 0 {
+                        line.push_str(",\"trace\":\"");
+                        line.push_str(&hex16(trace));
+                        line.push('"');
+                    }
+                    line.push_str("}\n");
                     sent_at[slot].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     if writer.write_all(line.as_bytes()).is_err() {
                         break;
@@ -344,13 +394,15 @@ fn profile_run(
                     sent += 1;
                 }
                 let _ = stream.shutdown(Shutdown::Write);
-                let (ok, overloaded, errors, last_ns) =
+                let (ok, overloaded, errors, traced, trace_mismatch, last_ns) =
                     receiver.join().map_err(|_| "receiver thread panicked")?;
                 Ok(ConnOutcome {
                     sent,
                     ok,
                     overloaded,
                     errors,
+                    traced,
+                    trace_mismatch,
                     last_response_ns: last_ns,
                 })
             },
@@ -361,6 +413,8 @@ fn profile_run(
     let mut ok = 0;
     let mut overloaded = 0;
     let mut errors = 0;
+    let mut traced = 0;
+    let mut trace_mismatch = 0;
     let mut last_ns = 0u64;
     for h in handles {
         let o = h.join().map_err(|_| "sender thread panicked")??;
@@ -368,6 +422,8 @@ fn profile_run(
         ok += o.ok;
         overloaded += o.overloaded;
         errors += o.errors;
+        traced += o.traced;
+        trace_mismatch += o.trace_mismatch;
         last_ns = last_ns.max(o.last_response_ns);
     }
     let elapsed_s = (last_ns as f64 / 1e9).max(1e-9);
@@ -379,6 +435,8 @@ fn profile_run(
         ok,
         overloaded,
         errors,
+        traced,
+        trace_mismatch,
         elapsed_s,
         mean_us: hist.mean() / 1_000.0,
         p50_us: hist.quantile(0.50) as f64 / 1_000.0,
@@ -420,6 +478,7 @@ pub fn closed_loop(
     conns: usize,
     secs: f64,
     seed: u64,
+    trace_sample: u64,
 ) -> Result<RunReport, String> {
     let dim = query_input_dim(addr)?; // before the load connections; see open_loop
     let hist = Arc::new(LatencyHistogram::new());
@@ -428,8 +487,11 @@ pub fn closed_loop(
     for c in 0..conns.max(1) {
         let addr = addr.to_string();
         let hist = Arc::clone(&hist);
+        // Ids restart at 0 on every connection, so decorrelate the trace
+        // ids with a per-connection seed offset.
+        let trace_seed = seed.wrapping_add((c as u64) << 32);
         handles.push(std::thread::spawn(
-            move || -> Result<(u64, u64, u64), String> {
+            move || -> Result<(u64, u64, u64, u64, u64), String> {
                 let stream =
                     TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
                 stream.set_nodelay(true).ok();
@@ -439,13 +501,15 @@ pub fn closed_loop(
                 let pool = payload_pool(dim, &mut rng);
 
                 let mut batch = String::with_capacity(window * 96);
-                // Send timestamps (ns since t0) for in-flight requests;
+                // (send ns, expected trace id) for in-flight requests;
                 // responses arrive in submission order per connection, so
                 // front-of-queue always matches the next response line.
-                let mut in_flight: std::collections::VecDeque<u64> =
+                let mut in_flight: std::collections::VecDeque<(u64, u64)> =
                     std::collections::VecDeque::with_capacity(window.max(1));
                 let mut ok = 0u64;
                 let mut other = 0u64;
+                let mut traced = 0u64;
+                let mut trace_mismatch = 0u64;
                 let mut sent = 0u64;
                 let mut line = String::new();
                 while t0.elapsed().as_secs_f64() < secs {
@@ -456,9 +520,16 @@ pub fn closed_loop(
                         batch.push_str(&sent.to_string());
                         batch.push_str(",\"features\":[");
                         batch.push_str(&pool[sent as usize % pool.len()]);
-                        batch.push_str("]}\n");
+                        batch.push(']');
+                        let want = expected_trace(trace_sample, trace_seed, sent);
+                        if want != 0 {
+                            batch.push_str(",\"trace\":\"");
+                            batch.push_str(&hex16(want));
+                            batch.push('"');
+                        }
+                        batch.push_str("}\n");
                         sent += 1;
-                        in_flight.push_back(t0.elapsed().as_nanos() as u64);
+                        in_flight.push_back((t0.elapsed().as_nanos() as u64, want));
                     }
                     writer
                         .write_all(batch.as_bytes())
@@ -466,14 +537,19 @@ pub fn closed_loop(
                     for _ in 0..window.max(1) {
                         line.clear();
                         if matches!(reader.read_line(&mut line), Ok(0) | Err(_)) {
-                            return Ok((sent, ok, other));
+                            return Ok((sent, ok, other, traced, trace_mismatch));
                         }
-                        let sent_ns = in_flight.pop_front();
+                        let sent_rec = in_flight.pop_front();
                         match protocol::parse_response(line.trim()) {
-                            Ok(Response::Decision { .. }) => {
+                            Ok(Response::Decision { trace, .. }) => {
                                 let now_ns = t0.elapsed().as_nanos() as u64;
-                                if let Some(s) = sent_ns {
+                                if let Some((s, want)) = sent_rec {
                                     hist.record(now_ns.saturating_sub(s));
+                                    if trace != want {
+                                        trace_mismatch += 1;
+                                    } else if want != 0 {
+                                        traced += 1;
+                                    }
                                 }
                                 ok += 1;
                             }
@@ -481,7 +557,7 @@ pub fn closed_loop(
                         }
                     }
                 }
-                Ok((sent, ok, other))
+                Ok((sent, ok, other, traced, trace_mismatch))
             },
         ));
     }
@@ -489,11 +565,15 @@ pub fn closed_loop(
     let mut sent = 0;
     let mut ok = 0;
     let mut other = 0;
+    let mut traced = 0;
+    let mut trace_mismatch = 0;
     for h in handles {
-        let (s, o, e) = h.join().map_err(|_| "closed-loop thread panicked")??;
+        let (s, o, e, t, m) = h.join().map_err(|_| "closed-loop thread panicked")??;
         sent += s;
         ok += o;
         other += e;
+        traced += t;
+        trace_mismatch += m;
     }
     let elapsed_s = t0.elapsed().as_secs_f64().max(1e-9);
     Ok(RunReport {
@@ -504,6 +584,8 @@ pub fn closed_loop(
         ok,
         overloaded: 0,
         errors: other,
+        traced,
+        trace_mismatch,
         elapsed_s,
         mean_us: hist.mean() / 1_000.0,
         p50_us: hist.quantile(0.50) as f64 / 1_000.0,

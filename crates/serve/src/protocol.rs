@@ -9,13 +9,13 @@
 //!
 //! ```text
 //! request  = infer | stats | ping | shutdown
-//! infer    = {"verb":"infer","id":N,"features":[x, ...][,"deadline_ms":N]}
+//! infer    = {"verb":"infer","id":N,"features":[x, ...][,"deadline_ms":N][,"trace":HEX16]}
 //! stats    = {"verb":"stats"}
 //! ping     = {"verb":"ping"}
 //! shutdown = {"verb":"shutdown"}
 //!
 //! response = decision | error | pong | stats-reply | draining
-//! decision = {"id":N,"ok":true,"decision":"accept"|"reject","p_reject":x}
+//! decision = {"id":N,"ok":true,"decision":"accept"|"reject","p_reject":x[,"trace":HEX16]}
 //! error    = {"id":N|null,"ok":false,"error":CODE,"detail":S[,"retry_after_ms":N]}
 //! pong     = {"ok":true,"pong":true}
 //! stats-reply = {"ok":true,"stats":{...}}
@@ -25,8 +25,16 @@
 //! Responses to one connection are written in the order its requests were
 //! received. Clients should nevertheless correlate by `id`: ids are chosen
 //! by the client and echoed verbatim.
+//!
+//! `trace` is an optional 64-bit trace context, encoded as a 16-hex-digit
+//! string (JSON numbers go through f64 and would lose precision). Absent
+//! means untraced — internally represented as trace id 0, which is
+//! reserved and rejected if sent explicitly. A server echoes the id on the
+//! decision so clients can correlate flight-recorder dumps with replies;
+//! lines without the field are byte-identical to the pre-trace protocol.
 
 use obs::json::{escape_into, parse, Json};
+use obs::trace::{hex16, parse_hex16};
 
 use inspector::Decision;
 
@@ -55,6 +63,8 @@ pub enum Request {
         features: Vec<f32>,
         /// Optional per-request deadline, milliseconds from receipt.
         deadline_ms: Option<u64>,
+        /// Trace context (0 = untraced; the field is omitted on the wire).
+        trace: u64,
     },
     /// Snapshot the server's counters and latency histograms.
     Stats,
@@ -90,10 +100,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None => None,
                 Some(d) => Some(d.as_f64().ok_or("\"deadline_ms\" must be a number")? as u64),
             };
+            let trace = parse_trace_field(&v)?;
             Ok(Request::Infer {
                 id,
                 features,
                 deadline_ms,
+                trace,
             })
         }
         "stats" => Ok(Request::Stats),
@@ -103,15 +115,39 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
-/// Append a decision response line (with trailing newline).
-pub fn write_decision(out: &mut String, id: u64, d: Decision) {
+/// Parse the optional `trace` field shared by requests and decisions:
+/// absent → 0 (untraced); present → a nonzero 16-hex-digit string.
+fn parse_trace_field(v: &Json) -> Result<u64, String> {
+    match v.get("trace") {
+        None => Ok(0),
+        Some(t) => {
+            let s = t
+                .as_str()
+                .ok_or("\"trace\" must be a hex string, not a number")?;
+            match parse_hex16(s) {
+                Some(0) => Err("trace id 0 is reserved (means untraced; omit the field)".into()),
+                Some(id) => Ok(id),
+                None => Err(format!("\"trace\" is not a 64-bit hex id: {s:?}")),
+            }
+        }
+    }
+}
+
+/// Append a decision response line (with trailing newline). A nonzero
+/// `trace` echoes the request's trace context; 0 keeps the legacy line
+/// byte-identical.
+pub fn write_decision(out: &mut String, id: u64, d: Decision, trace: u64) {
     use std::fmt::Write as _;
     let decision = if d.reject { "reject" } else { "accept" };
-    let _ = writeln!(
+    let _ = write!(
         out,
-        "{{\"id\":{id},\"ok\":true,\"decision\":\"{decision}\",\"p_reject\":{}}}",
+        "{{\"id\":{id},\"ok\":true,\"decision\":\"{decision}\",\"p_reject\":{}",
         d.p_reject
     );
+    if trace != 0 {
+        let _ = write!(out, ",\"trace\":\"{}\"", hex16(trace));
+    }
+    out.push_str("}\n");
 }
 
 /// Append an error response line (with trailing newline). `detail` is
@@ -169,6 +205,8 @@ pub enum Response {
         reject: bool,
         /// The policy's reject probability.
         p_reject: f32,
+        /// Echoed trace context (0 = untraced).
+        trace: u64,
     },
     /// A request- or line-level error.
     Error {
@@ -233,10 +271,12 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         .get("p_reject")
         .and_then(Json::as_f64)
         .ok_or("decision response missing \"p_reject\"")? as f32;
+    let trace = parse_trace_field(&v)?;
     Ok(Response::Decision {
         id,
         reject,
         p_reject,
+        trace,
     })
 }
 
@@ -251,7 +291,8 @@ mod tests {
             Request::Infer {
                 id: 7,
                 features: vec![0.5, 1.0],
-                deadline_ms: None
+                deadline_ms: None,
+                trace: 0
             }
         );
         assert_eq!(
@@ -259,7 +300,18 @@ mod tests {
             Request::Infer {
                 id: 1,
                 features: vec![],
-                deadline_ms: Some(250)
+                deadline_ms: Some(250),
+                trace: 0
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"infer","id":1,"features":[1],"trace":"00ff0000000000ab"}"#)
+                .unwrap(),
+            Request::Infer {
+                id: 1,
+                features: vec![1.0],
+                deadline_ms: None,
+                trace: 0x00ff_0000_0000_00ab
             }
         );
         assert_eq!(
@@ -281,6 +333,17 @@ mod tests {
         assert!(parse_request(r#"{"verb":"infer","features":[1]}"#).is_err());
         assert!(parse_request(r#"{"verb":"infer","id":1,"features":[true]}"#).is_err());
         assert!(parse_request(r#"{"verb":"infer","id":1}"#).is_err());
+        // Trace ids must be nonzero hex strings.
+        assert!(
+            parse_request(r#"{"verb":"infer","id":1,"features":[1],"trace":7}"#).is_err(),
+            "numeric trace must be rejected"
+        );
+        assert!(parse_request(r#"{"verb":"infer","id":1,"features":[1],"trace":"xyz"}"#).is_err());
+        assert!(
+            parse_request(r#"{"verb":"infer","id":1,"features":[1],"trace":"0000000000000000"}"#)
+                .is_err(),
+            "trace id 0 is reserved"
+        );
     }
 
     #[test]
@@ -293,18 +356,44 @@ mod tests {
                 reject: true,
                 p_reject: 0.8125,
             },
+            0,
         );
         assert!(out.ends_with('\n'));
+        assert!(
+            !out.contains("trace"),
+            "untraced decision must keep the legacy wire shape: {out}"
+        );
         match parse_response(out.trim()).unwrap() {
             Response::Decision {
                 id,
                 reject,
                 p_reject,
+                trace,
             } => {
                 assert_eq!(id, 42);
                 assert!(reject);
                 assert_eq!(p_reject, 0.8125);
+                assert_eq!(trace, 0);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_decision_echoes_full_width_trace_id() {
+        let mut out = String::new();
+        write_decision(
+            &mut out,
+            9,
+            Decision {
+                reject: false,
+                p_reject: 0.25,
+            },
+            0xdead_beef_0000_0001,
+        );
+        assert!(out.contains("\"trace\":\"deadbeef00000001\""), "{out}");
+        match parse_response(out.trim()).unwrap() {
+            Response::Decision { trace, .. } => assert_eq!(trace, 0xdead_beef_0000_0001),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -322,6 +411,7 @@ mod tests {
                     reject: false,
                     p_reject: p,
                 },
+                0,
             );
             match parse_response(out.trim()).unwrap() {
                 Response::Decision { p_reject, .. } => assert_eq!(p_reject, p),

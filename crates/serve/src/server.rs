@@ -26,9 +26,10 @@ use std::time::Duration;
 
 use inspector::SchedInspector;
 use obs::clock::deadline_after_ms;
-use obs::{Clock, SystemClock, Telemetry};
+use obs::trace::{hex16, span_id};
+use obs::{Clock, Recorder, SpanKind, SpanRecord, SpanStatus, SystemClock, Telemetry};
 
-use crate::engine::{BatchEngine, Completion, EngineConfig, SubmitError};
+use crate::engine::{shard_for, BatchEngine, Completion, EngineConfig, SubmitError};
 use crate::protocol::{self, Request};
 use crate::stats::ServerStats;
 use crate::transport::{AcceptPolicy, DirectAccept, Transport};
@@ -81,6 +82,43 @@ pub struct ServeConfig {
     /// initial model was loaded from the run store). The watcher only
     /// reports generations strictly newer than this.
     pub initial_model_generation: u64,
+    /// End-to-end request tracing. `None` (the default) disables the
+    /// flight recorder entirely: traced requests still echo their id on
+    /// the wire, but no spans are recorded and the hot path pays only a
+    /// branch on the trace id.
+    pub trace: Option<TraceConfig>,
+}
+
+/// Flight-recorder and tail-sampling settings (see [`obs::Recorder`]).
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Per-shard flight-recorder ring capacity, in span records. Every
+    /// traced request's spans land here; the ring overwrites its oldest
+    /// records when full (counted as `obs.trace.ring_overwrites`).
+    pub ring_capacity: usize,
+    /// Tail-sampling threshold: traces whose end-to-end latency exceeds
+    /// this many microseconds are promoted to the telemetry sink (and the
+    /// journal, when configured).
+    pub slow_us: u64,
+    /// Journal promoted traces into this run-store directory under
+    /// `trace/<16-hex trace id>` keys; `schedinspector trace DIR`
+    /// reconstructs them.
+    pub store_dir: Option<String>,
+    /// On shutdown, dump the whole flight-recorder ring (every shard) to
+    /// this file as `flight_record` JSONL — the post-mortem escape hatch
+    /// for traces that were never promoted.
+    pub dump_path: Option<String>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_capacity: 4096,
+            slow_us: 50_000,
+            store_dir: None,
+            dump_path: None,
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -101,6 +139,176 @@ impl Default for ServeConfig {
             model_dir: None,
             model_poll_ms: 50,
             initial_model_generation: 0,
+            trace: None,
+        }
+    }
+}
+
+/// Shared server-side tracing state: the flight recorder the engine also
+/// writes into, the tail-sampling threshold, and the promotion sinks.
+struct Tracing {
+    recorder: Recorder,
+    slow_ns: u64,
+    telemetry: Telemetry,
+    /// Journal for promoted traces (`trace/<16hex>` keys).
+    store: Option<Mutex<store::RunStore>>,
+    dump_path: Option<String>,
+    finalized: AtomicBool,
+}
+
+impl Tracing {
+    fn new(cfg: &ServeConfig, telemetry: Telemetry) -> Arc<Tracing> {
+        let (recorder, slow_ns, store, dump_path) = match &cfg.trace {
+            Some(tc) => (
+                Recorder::new(cfg.shards.max(1), tc.ring_capacity),
+                tc.slow_us.saturating_mul(1_000),
+                tc.store_dir
+                    .as_ref()
+                    .and_then(|dir| store::RunStore::open(dir).ok().map(Mutex::new)),
+                tc.dump_path.clone(),
+            ),
+            None => (Recorder::disabled(), u64::MAX, None, None),
+        };
+        Arc::new(Tracing {
+            recorder,
+            slow_ns,
+            telemetry,
+            store,
+            dump_path,
+            finalized: AtomicBool::new(false),
+        })
+    }
+
+    /// Server-side completion of one traced request: records the root
+    /// request span (and, when the engine never saw the request, its
+    /// terminal `dropped` span; for decisions, the reply `write` span),
+    /// then applies the tail-sampling rules. No-op for untraced requests
+    /// or when tracing is disabled.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        trace: u64,
+        shard: usize,
+        status: SpanStatus,
+        generation: u64,
+        accept_ns: u64,
+        write_start_ns: u64,
+        now_ns: u64,
+        accept_gen: u64,
+        engine_saw_it: bool,
+    ) {
+        if trace == 0 || !self.recorder.is_enabled() {
+            return;
+        }
+        let span = |kind, parent_id, status, start_ns, end_ns| SpanRecord {
+            trace_id: trace,
+            span_id: span_id(trace, kind),
+            parent_id,
+            kind,
+            status,
+            shard: shard as u32,
+            batch_seq: 0,
+            model_generation: generation,
+            start_ns,
+            end_ns,
+        };
+        if status == SpanStatus::Ok {
+            // The write span covers reply assembly; the socket write
+            // itself is shared across pipelined replies and not
+            // attributable to one request.
+            self.recorder.record(
+                shard,
+                &span(
+                    SpanKind::Write,
+                    span_id(trace, SpanKind::Forward),
+                    SpanStatus::Ok,
+                    write_start_ns,
+                    now_ns,
+                ),
+            );
+        } else if !engine_saw_it {
+            // Refused before the engine (overloaded / draining / bad
+            // dimension): the terminal span hangs off the request root.
+            self.recorder.record(
+                shard,
+                &span(
+                    SpanKind::Dropped,
+                    span_id(trace, SpanKind::Request),
+                    status,
+                    now_ns,
+                    now_ns,
+                ),
+            );
+        }
+        self.recorder.record(
+            shard,
+            &span(SpanKind::Request, 0, status, accept_ns, now_ns),
+        );
+
+        // Tail-based sampling: everything above recorded into the ring;
+        // only error / swap-coincident / slow traces get promoted out.
+        let reason = if status != SpanStatus::Ok {
+            Some("error")
+        } else if generation != accept_gen {
+            Some("swap")
+        } else if now_ns.saturating_sub(accept_ns) > self.slow_ns {
+            Some("slow")
+        } else {
+            None
+        };
+        let Some(reason) = reason else { return };
+        let spans = self.recorder.collect(trace);
+        self.recorder.note_promoted();
+        self.telemetry
+            .trace_promoted("serve.trace", trace, reason, spans.len() as u64);
+        for s in &spans {
+            self.telemetry.flight_record(s);
+        }
+        if let Some(store) = &self.store {
+            let mut value = String::new();
+            for s in &spans {
+                s.write_flight_record_json(0.0, &mut value);
+            }
+            let mut store = store.lock().unwrap();
+            store.put(format!("trace/{}", hex16(trace)), value.into_bytes());
+            let _ = store.commit();
+        }
+    }
+
+    /// Emit the trace/sink counters once as telemetry `count` events (so
+    /// `schedinspector report` can surface them from the sidecar) and dump
+    /// the ring if configured. Idempotent.
+    fn finalize(&self, registry: &obs::Registry) {
+        if self.finalized.swap(true, Ordering::SeqCst) || !self.recorder.is_enabled() {
+            return;
+        }
+        let ts = self.recorder.stats();
+        self.telemetry.count("obs.trace.recorded", ts.recorded);
+        self.telemetry.count("obs.trace.promoted", ts.promoted);
+        self.telemetry
+            .count("obs.trace.ring_overwrites", ts.ring_overwrites);
+        // Sidecar write failures never reach the sidecar themselves; the
+        // registry counter is the only record, so surface its final value
+        // as one delta event. (The registry copy double-counts from the
+        // echo, but the process is shutting down.)
+        let dropped = registry
+            .counter(
+                "obs.sink.dropped_events",
+                "telemetry events dropped by sidecar write failures",
+            )
+            .get();
+        if dropped > 0 {
+            self.telemetry.count("obs.sink.dropped_events", dropped);
+        }
+        if let Some(path) = &self.dump_path {
+            let mut out = String::new();
+            for s in self.recorder.dump() {
+                s.write_flight_record_json(0.0, &mut out);
+            }
+            let _ = std::fs::write(path, out);
+        }
+        if let Some(store) = &self.store {
+            let _ = store.lock().unwrap().flush();
         }
     }
 }
@@ -144,6 +352,7 @@ pub struct ServerHandle {
     stats: Arc<ServerStats>,
     signal: Arc<ShutdownSignal>,
     engine: Arc<BatchEngine>,
+    tracing: Arc<Tracing>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     model_watcher: Option<JoinHandle<()>>,
@@ -176,6 +385,13 @@ impl ServerHandle {
     /// Generation of the model currently serving decisions.
     pub fn model_generation(&self) -> u64 {
         self.engine.model_generation()
+    }
+
+    /// The flight recorder behind this server (a disabled handle when
+    /// [`ServeConfig::trace`] is `None`). Tests and the chaos harness use
+    /// it to collect span chains without going through promotion.
+    pub fn recorder(&self) -> Recorder {
+        self.tracing.recorder.clone()
     }
 
     /// Hot-swap the serving model mid-traffic (same contract as
@@ -218,6 +434,7 @@ impl ServerHandle {
             }
         }
         self.engine.shutdown();
+        self.tracing.finalize(self.stats.registry());
     }
 }
 
@@ -265,6 +482,7 @@ pub fn serve_with<A: AcceptPolicy>(
         cfg.max_batch,
         cfg.shards.max(1),
     ));
+    let tracing = Tracing::new(&cfg, telemetry.clone());
     let engine = BatchEngine::start(
         inspector,
         EngineConfig {
@@ -273,6 +491,7 @@ pub fn serve_with<A: AcceptPolicy>(
             shards: cfg.shards.max(1),
             quantized: cfg.quantized,
             model_generation: cfg.initial_model_generation,
+            trace: tracing.recorder.clone(),
         },
         Arc::clone(&stats),
         telemetry,
@@ -293,11 +512,22 @@ pub fn serve_with<A: AcceptPolicy>(
         let stats = Arc::clone(&stats);
         let signal = Arc::clone(&signal);
         let next_conn_id = Arc::clone(&next_conn_id);
+        let tracing = Arc::clone(&tracing);
         let cfg = cfg.clone();
         workers.push(
             std::thread::Builder::new()
                 .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(&conn_rx, &engine, &stats, &signal, &cfg, &next_conn_id))
+                .spawn(move || {
+                    worker_loop(
+                        &conn_rx,
+                        &engine,
+                        &stats,
+                        &signal,
+                        &cfg,
+                        &next_conn_id,
+                        &tracing,
+                    )
+                })
                 .expect("spawn connection worker"),
         );
     }
@@ -357,6 +587,7 @@ pub fn serve_with<A: AcceptPolicy>(
         stats,
         signal,
         engine,
+        tracing,
         acceptor: Some(acceptor),
         workers,
         model_watcher,
@@ -392,6 +623,7 @@ fn model_watcher_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<T: Transport>(
     conn_rx: &Mutex<Receiver<T>>,
     engine: &BatchEngine,
@@ -399,6 +631,7 @@ fn worker_loop<T: Transport>(
     signal: &ShutdownSignal,
     cfg: &ServeConfig,
     next_conn_id: &std::sync::atomic::AtomicU64,
+    tracing: &Arc<Tracing>,
 ) {
     loop {
         let conn = { conn_rx.lock().unwrap().recv() };
@@ -406,7 +639,7 @@ fn worker_loop<T: Transport>(
             Ok(stream) => {
                 stats.connections.inc();
                 let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
-                let _ = handle_connection(stream, conn_id, engine, stats, signal, cfg);
+                let _ = handle_connection(stream, conn_id, engine, stats, signal, cfg, tracing);
             }
             Err(_) => break, // acceptor gone and backlog drained
         }
@@ -417,10 +650,23 @@ fn worker_loop<T: Transport>(
 enum Part {
     /// Response text already decided (errors, pong, stats, draining).
     Ready(String),
-    /// Waiting on the engine; `(token, client id)`.
-    Pending(u64, u64),
+    /// Waiting on the engine.
+    Pending {
+        /// Engine completion token.
+        token: u64,
+        /// Client-chosen request id, echoed in the reply.
+        id: u64,
+        /// Trace context (0 = untraced).
+        trace: u64,
+        /// Clock tick at accept, the traced request's root span start.
+        accept_ns: u64,
+        /// Model generation at accept; a differing generation on the
+        /// completion means the request straddled a hot swap.
+        accept_gen: u64,
+    },
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection<T: Transport>(
     mut stream: T,
     conn_id: u64,
@@ -428,6 +674,7 @@ fn handle_connection<T: Transport>(
     stats: &ServerStats,
     signal: &ShutdownSignal,
     cfg: &ServeConfig,
+    tracing: &Arc<Tracing>,
 ) -> io::Result<()> {
     stream.configure(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))?;
 
@@ -470,6 +717,7 @@ fn handle_connection<T: Transport>(
                 stats,
                 signal,
                 cfg,
+                tracing,
                 &done_tx,
                 &mut next_token,
                 &mut parts,
@@ -503,7 +751,13 @@ fn handle_connection<T: Transport>(
         for part in parts.drain(..) {
             match part {
                 Part::Ready(text) => out.push_str(&text),
-                Part::Pending(token, id) => {
+                Part::Pending {
+                    token,
+                    id,
+                    trace,
+                    accept_ns,
+                    accept_gen,
+                } => {
                     let completion = loop {
                         if let Some(c) = stash.remove(&token) {
                             break c;
@@ -516,15 +770,49 @@ fn handle_connection<T: Transport>(
                             Err(_) => break Completion::DeadlineExceeded,
                         }
                     };
+                    let write_start_ns = if trace != 0 { cfg.clock.now_ns() } else { 0 };
                     match completion {
-                        Completion::Decision(d) => protocol::write_decision(&mut out, id, d),
-                        Completion::DeadlineExceeded => protocol::write_error(
-                            &mut out,
-                            Some(id),
-                            protocol::ERR_DEADLINE,
-                            "request expired in queue",
-                            None,
-                        ),
+                        Completion::Decision {
+                            decision,
+                            generation,
+                        } => {
+                            protocol::write_decision(&mut out, id, decision, trace);
+                            if trace != 0 {
+                                tracing.finish(
+                                    trace,
+                                    shard_for(conn_id, engine.shards()),
+                                    SpanStatus::Ok,
+                                    generation,
+                                    accept_ns,
+                                    write_start_ns,
+                                    cfg.clock.now_ns(),
+                                    accept_gen,
+                                    true,
+                                );
+                            }
+                        }
+                        Completion::DeadlineExceeded => {
+                            protocol::write_error(
+                                &mut out,
+                                Some(id),
+                                protocol::ERR_DEADLINE,
+                                "request expired in queue",
+                                None,
+                            );
+                            if trace != 0 {
+                                tracing.finish(
+                                    trace,
+                                    shard_for(conn_id, engine.shards()),
+                                    SpanStatus::DeadlineExceeded,
+                                    engine.model_generation(),
+                                    accept_ns,
+                                    write_start_ns,
+                                    cfg.clock.now_ns(),
+                                    accept_gen,
+                                    true,
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -546,6 +834,7 @@ fn process_line(
     stats: &ServerStats,
     signal: &ShutdownSignal,
     cfg: &ServeConfig,
+    tracing: &Tracing,
     done_tx: &mpsc::Sender<(u64, Completion)>,
     next_token: &mut u64,
     parts: &mut Vec<Part>,
@@ -581,8 +870,19 @@ fn process_line(
             id,
             features,
             deadline_ms,
+            trace,
         }) => {
             stats.requests.inc();
+            // Traced requests stamp their root span's start here and note
+            // the serving generation, so a completion served by a newer
+            // generation is recognisably swap-coincident.
+            let accept_ns = if trace != 0 { cfg.clock.now_ns() } else { 0 };
+            let accept_gen = if trace != 0 {
+                engine.model_generation()
+            } else {
+                0
+            };
+            let shard = shard_for(conn_id, engine.shards());
             if features.len() != engine.input_dim() {
                 stats.malformed.inc();
                 stats.bad_dim.inc();
@@ -592,15 +892,42 @@ fn process_line(
                     features.len()
                 );
                 protocol::write_error(&mut ready, Some(id), protocol::ERR_BAD_REQUEST, &msg, None);
+                if trace != 0 {
+                    let now = cfg.clock.now_ns();
+                    tracing.finish(
+                        trace,
+                        shard,
+                        SpanStatus::BadDim,
+                        accept_gen,
+                        accept_ns,
+                        now,
+                        now,
+                        accept_gen,
+                        false,
+                    );
+                }
             } else {
                 let deadline_ns = deadline_ms
                     .or(cfg.default_deadline_ms)
                     .map(|ms| deadline_after_ms(cfg.clock.now_ns(), ms));
                 let token = *next_token;
                 *next_token += 1;
-                match engine.submit(conn_id, token, features, deadline_ns, done_tx.clone()) {
+                match engine.submit(
+                    conn_id,
+                    token,
+                    features,
+                    deadline_ns,
+                    trace,
+                    done_tx.clone(),
+                ) {
                     Ok(()) => {
-                        parts.push(Part::Pending(token, id));
+                        parts.push(Part::Pending {
+                            token,
+                            id,
+                            trace,
+                            accept_ns,
+                            accept_gen,
+                        });
                         return;
                     }
                     Err(SubmitError::Overloaded { retry_after_ms }) => {
@@ -612,6 +939,20 @@ fn process_line(
                             "inference queue full",
                             Some(retry_after_ms),
                         );
+                        if trace != 0 {
+                            let now = cfg.clock.now_ns();
+                            tracing.finish(
+                                trace,
+                                shard,
+                                SpanStatus::Overloaded,
+                                accept_gen,
+                                accept_ns,
+                                now,
+                                now,
+                                accept_gen,
+                                false,
+                            );
+                        }
                     }
                     Err(SubmitError::ShuttingDown) => {
                         stats.draining_rejected.inc();
@@ -622,6 +963,20 @@ fn process_line(
                             "server is draining",
                             None,
                         );
+                        if trace != 0 {
+                            let now = cfg.clock.now_ns();
+                            tracing.finish(
+                                trace,
+                                shard,
+                                SpanStatus::Draining,
+                                accept_gen,
+                                accept_ns,
+                                now,
+                                now,
+                                accept_gen,
+                                false,
+                            );
+                        }
                     }
                 }
             }
@@ -709,10 +1064,12 @@ mod tests {
                 id,
                 reject,
                 p_reject,
+                trace,
             } => {
                 assert_eq!(id, 5);
                 assert_eq!(reject, expect.reject);
                 assert_eq!(p_reject, expect.p_reject);
+                assert_eq!(trace, 0, "untraced request must stay untraced");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1019,6 +1376,129 @@ mod tests {
         }
         handle.shutdown();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_request_echoes_id_promotes_and_journals_a_complete_chain() {
+        use obs::trace::{hex16, summarize};
+        let dir = std::env::temp_dir().join(format!("serve-trace-store-{}", std::process::id()));
+        let dump =
+            std::env::temp_dir().join(format!("serve-trace-dump-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&dump);
+        let inspector = tiny_inspector();
+        let dim = inspector.input_dim();
+        let (telemetry, sink) = Telemetry::in_memory();
+        let handle = serve(
+            inspector,
+            ServeConfig {
+                workers: 1,
+                trace: Some(TraceConfig {
+                    ring_capacity: 256,
+                    slow_us: 0, // promote everything: every trace is "slow"
+                    store_dir: Some(dir.display().to_string()),
+                    dump_path: Some(dump.display().to_string()),
+                }),
+                ..ServeConfig::default()
+            },
+            telemetry,
+        )
+        .unwrap();
+        let recorder = handle.recorder();
+        assert!(recorder.is_enabled());
+
+        let trace_id = 0xabcd_0000_0000_1234u64;
+        let (mut stream, mut reader) = connect(&handle);
+        let payload = vec!["0.5"; dim].join(",");
+        match roundtrip(
+            &mut stream,
+            &mut reader,
+            &format!(
+                r#"{{"verb":"infer","id":7,"features":[{payload}],"trace":"{trace_id:016x}"}}"#
+            ),
+        ) {
+            Response::Decision { id, trace, .. } => {
+                assert_eq!(id, 7);
+                assert_eq!(trace, trace_id, "decision must echo the trace context");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An untraced request on the same connection stays untraced.
+        match roundtrip(
+            &mut stream,
+            &mut reader,
+            &format!(r#"{{"verb":"infer","id":8,"features":[{payload}]}}"#),
+        ) {
+            Response::Decision { id, trace, .. } => {
+                assert_eq!(id, 8);
+                assert_eq!(trace, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // The flight recorder holds the full chain and it reconstructs.
+        let spans = recorder.collect(trace_id);
+        let summary = summarize(&spans).expect("complete request/queue/batch/forward/write chain");
+        assert_eq!(summary.trace_id, trace_id);
+        assert_eq!(summary.status, obs::SpanStatus::Ok);
+        assert_eq!(summary.model_generation, 0);
+        assert!(summary.batch_seq != 0);
+
+        drop(stream);
+        drop(reader);
+        handle.shutdown();
+
+        // Tail sampling promoted it (slow_us = 0): telemetry carries the
+        // promotion and its spans, and shutdown emitted the counters.
+        let events = sink.events();
+        assert!(
+            events.iter().any(
+                |e| matches!(e, obs::Event::TracePromoted { trace, reason, .. }
+                    if *trace == trace_id && *reason == "slow")
+            ),
+            "promotion event missing"
+        );
+        assert!(
+            events
+                .iter()
+                .filter(
+                    |e| matches!(e, obs::Event::FlightRecord { trace, .. } if *trace == trace_id)
+                )
+                .count()
+                >= 5,
+            "promoted trace must ship its span chain"
+        );
+        assert!(sink.counter_total("obs.trace.recorded") >= 5);
+        assert!(sink.counter_total("obs.trace.promoted") >= 1);
+
+        // The journal holds the same chain under trace/<16hex>.
+        let store = store::RunStore::open(&dir).unwrap();
+        let value = store
+            .get(&format!("trace/{}", hex16(trace_id)))
+            .unwrap()
+            .expect("promoted trace journaled");
+        let mut journaled = Vec::new();
+        for line in String::from_utf8(value).unwrap().lines() {
+            let v = obs::json::parse(line).unwrap();
+            journaled.push(obs::SpanRecord::from_flight_record_json(&v).unwrap());
+        }
+        let journal_summary = summarize(&journaled).expect("journaled chain reconstructs");
+        assert_eq!(journal_summary.trace_id, trace_id);
+
+        // The shutdown dump is parseable flight_record JSONL too.
+        let dumped = std::fs::read_to_string(&dump).unwrap();
+        assert!(
+            dumped
+                .lines()
+                .map(
+                    |l| obs::SpanRecord::from_flight_record_json(&obs::json::parse(l).unwrap())
+                        .unwrap()
+                )
+                .any(|s| s.trace_id == trace_id),
+            "ring dump contains the traced request"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&dump).ok();
     }
 
     #[test]

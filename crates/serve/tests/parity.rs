@@ -72,6 +72,7 @@ fn wire_decisions_match_in_process_calls_bit_exactly() {
                 id: got_id,
                 reject,
                 p_reject,
+                ..
             } => {
                 assert_eq!(got_id, id);
                 assert_eq!(reject, expect.reject, "decision diverged at id {id}");
@@ -141,6 +142,7 @@ fn parity_survives_model_save_load_and_pipelining() {
                 id: got_id,
                 reject,
                 p_reject,
+                ..
             } => {
                 assert_eq!(got_id, id, "responses must come back in order");
                 let e = &expected[id as usize];

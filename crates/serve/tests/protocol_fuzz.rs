@@ -62,6 +62,69 @@ proptest! {
         prop_assert!(parse_request(&line[..at]).is_err());
     }
 
+    /// The wire `trace` field round-trips bit-exactly through the 16-hex
+    /// string encoding on both requests and decision responses, for every
+    /// nonzero 64-bit id.
+    #[test]
+    fn trace_ids_round_trip_bit_exactly(
+        // Wire ids ride JSON numbers (f64), so stay in the exact range;
+        // trace ids are hex *strings* precisely to dodge this.
+        id in 0u64..(1 << 53),
+        dim in 1usize..12,
+        raw_trace in any::<u64>(),
+        p in 0.0f32..1.0,
+        reject in any::<bool>(),
+    ) {
+        let trace = raw_trace.max(1); // 0 is reserved (= untraced)
+        let mut line = valid_infer(id, dim);
+        line.truncate(line.len() - 1); // strip the closing brace
+        line.push_str(&format!(",\"trace\":\"{trace:016x}\"}}"));
+        match parse_request(&line) {
+            Ok(serve::protocol::Request::Infer { trace: got, .. }) => {
+                prop_assert_eq!(got, trace)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut out = String::new();
+        protocol::write_decision(
+            &mut out,
+            id,
+            inspector::Decision { reject, p_reject: p },
+            trace,
+        );
+        match parse_response(out.trim()) {
+            Ok(Response::Decision { trace: got, .. }) => prop_assert_eq!(got, trace),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Legacy requests and responses — no `trace` field anywhere — parse
+    /// exactly as before (trace 0), and the untraced response encoder
+    /// emits a byte-identical legacy line.
+    #[test]
+    fn legacy_lines_parse_unchanged(id in 0u64..(1 << 53), dim in 1usize..12, p in 0.0f32..1.0) {
+        let line = valid_infer(id, dim);
+        match parse_request(&line) {
+            Ok(serve::protocol::Request::Infer { id: got, trace, .. }) => {
+                prop_assert_eq!(got, id);
+                prop_assert_eq!(trace, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut out = String::new();
+        protocol::write_decision(
+            &mut out,
+            id,
+            inspector::Decision { reject: false, p_reject: p },
+            0,
+        );
+        prop_assert!(!out.contains("trace"), "legacy line must not grow a trace field: {}", out);
+        let legacy = format!(
+            "{{\"id\":{id},\"ok\":true,\"decision\":\"accept\",\"p_reject\":{p}}}\n"
+        );
+        prop_assert_eq!(&out, &legacy, "untraced decision must stay byte-identical");
+    }
+
     /// Single-byte mutations (insert, delete, flip) never panic the
     /// parser, and whatever parses still satisfies the request grammar.
     #[test]

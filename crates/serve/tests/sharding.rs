@@ -150,6 +150,7 @@ fn quantized_wire_decisions_track_f32_within_budget() {
                 id: got_id,
                 reject,
                 p_reject,
+                ..
             } => {
                 assert_eq!(got_id, id);
                 assert!(

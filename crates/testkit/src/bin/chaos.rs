@@ -18,8 +18,8 @@ use testkit::{case_from_seed, check_case, run_chaos, ChaosConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--fault-seed N] [--workload-seed N] [--clients N] [--conns N] \
-         [--requests N] [--shards N] [--swaps N] [--watchdog-secs N] [--log PATH] \
-         [--oracle-cases N]"
+         [--requests N] [--shards N] [--swaps N] [--trace 0|1] [--watchdog-secs N] \
+         [--log PATH] [--oracle-cases N]"
     );
     std::process::exit(2);
 }
@@ -46,6 +46,7 @@ fn main() {
             "--requests" => cfg.requests_per_conn = value.parse().unwrap_or_else(|_| usage()),
             "--shards" => cfg.shards = value.parse().unwrap_or_else(|_| usage()),
             "--swaps" => cfg.swaps = value.parse().unwrap_or_else(|_| usage()),
+            "--trace" => cfg.trace = value.parse::<u8>().unwrap_or_else(|_| usage()) != 0,
             "--watchdog-secs" => cfg.watchdog_secs = value.parse().unwrap_or_else(|_| usage()),
             "--oracle-cases" => oracle_cases = value.parse().unwrap_or_else(|_| usage()),
             "--log" => log_path = value.clone(),

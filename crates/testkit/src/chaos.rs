@@ -28,10 +28,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use inspector::{FeatureBuilder, FeatureMode, Normalizer, SchedInspector};
-use obs::Telemetry;
+use obs::trace::{derive_trace_id, hex16, splitmix64, summarize};
+use obs::{SpanStatus, Telemetry};
 use rlcore::BinaryPolicy;
 use serve::protocol::{self, Response};
-use serve::{serve_with, ServeConfig};
+use serve::{serve_with, ServeConfig, TraceConfig};
 use simhpc::Metric;
 
 use crate::fault::{render_fault_log, FaultConfig, FaultPlan, SplitMix64};
@@ -40,7 +41,8 @@ use crate::fault::{render_fault_log, FaultConfig, FaultPlan, SplitMix64};
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Expect {
     /// Infer with this id: a decision or a typed id-carrying error.
-    Infer(u64),
+    /// `trace` is the id stamped on the wire (0 = untraced soak).
+    Infer { id: u64, trace: u64 },
     /// A pong.
     Ping,
     /// Junk: a `malformed` error with no id.
@@ -77,6 +79,13 @@ pub struct ChaosConfig {
     /// by exactly this count, and `/metrics` agrees — i.e. zero requests
     /// were dropped or misrouted across any swap.
     pub swaps: u64,
+    /// Stamp a trace id on every infer line and, after the drain, assert
+    /// that every request a client saw a terminal answer for reconstructs
+    /// from the flight recorder as a complete span chain — gap-free
+    /// decision chain or deliberate `dropped` terminal — whose status
+    /// matches the observed outcome and whose model generation is one the
+    /// server actually published.
+    pub trace: bool,
 }
 
 impl ChaosConfig {
@@ -92,6 +101,7 @@ impl ChaosConfig {
             shards: 2,
             watchdog_secs: 60,
             swaps: 0,
+            trace: false,
         }
     }
 }
@@ -119,6 +129,9 @@ pub struct ClientTally {
     pub pongs: u64,
     /// Connections that ended early (reset, EOF, timeout).
     pub conn_errors: u64,
+    /// `(trace_id, terminal status)` for every traced infer the client got
+    /// an answer for — the population the flight-recorder audit replays.
+    pub traced: Vec<(u64, SpanStatus)>,
     /// Ordering/correlation violations (must stay empty).
     pub violations: Vec<String>,
 }
@@ -135,6 +148,7 @@ impl ClientTally {
         self.draining += other.draining;
         self.pongs += other.pongs;
         self.conn_errors += other.conn_errors;
+        self.traced.extend(other.traced);
         self.violations.extend(other.violations);
     }
 }
@@ -221,6 +235,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let dim = inspector.input_dim();
     let plan = FaultPlan::new(cfg.fault);
     let fault_log_handle = plan.log();
+    // Traced soaks keep promotion out of the picture (unreachable slow
+    // threshold, no journal): the audit below reads the ring directly, so
+    // it exercises recording under faults without conflating sink I/O.
+    let trace = cfg.trace.then_some(TraceConfig {
+        ring_capacity: 1 << 13,
+        slow_us: u64::MAX,
+        store_dir: None,
+        dump_path: None,
+    });
     let handle = serve_with(
         inspector,
         ServeConfig {
@@ -230,6 +253,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             // corrupted) wire verb.
             allow_shutdown_verb: false,
             read_timeout_ms: 10,
+            trace,
             ..ServeConfig::default()
         },
         Telemetry::disabled(),
@@ -249,8 +273,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             threads.push(s.spawn(move || {
                 let mut rng = SplitMix64::for_conn(cfg.workload_seed, client_idx as u64);
                 let mut tally = ClientTally::default();
-                for _ in 0..cfg.conns_per_client {
-                    run_connection(addr, dim, &cfg, &mut rng, &mut tally);
+                for conn in 0..cfg.conns_per_client {
+                    // Request ids restart at 1 per connection, so trace
+                    // ids are derived under a globally unique tag.
+                    let conn_tag = (client_idx * cfg.conns_per_client + conn) as u64;
+                    run_connection(addr, dim, &cfg, conn_tag, &mut rng, &mut tally);
                 }
                 tally
             }));
@@ -318,12 +345,51 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let stats = handle.stats();
     let registry = handle.registry();
     let final_generation = handle.model_generation();
+    let recorder = handle.recorder();
     handle.shutdown();
     drained.store(true, Ordering::SeqCst);
 
     // Invariant checks against the post-drain counters.
     let mut violations = std::mem::take(&mut client.violations);
     violations.extend(swap_violations);
+    // Flight-recorder audit: every request a client holds a terminal
+    // answer for is ledgered, so its spans must reconstruct into a
+    // complete chain (gap-free decision chain, or a deliberate `dropped`
+    // terminal) whose status matches the outcome the client observed and
+    // whose model generation is one the server actually published.
+    if cfg.trace {
+        for (trace_id, want) in &client.traced {
+            let spans = recorder.collect(*trace_id);
+            match summarize(&spans) {
+                Err(e) => violations.push(format!(
+                    "trace {} ({} spans) does not reconstruct: {e} \
+                     (fault_seed {}, workload_seed {})",
+                    hex16(*trace_id),
+                    spans.len(),
+                    cfg.fault.seed,
+                    cfg.workload_seed
+                )),
+                Ok(s) => {
+                    if s.status != *want {
+                        violations.push(format!(
+                            "trace {} reconstructs as {:?} but the client observed {:?}",
+                            hex16(*trace_id),
+                            s.status,
+                            want
+                        ));
+                    }
+                    if s.model_generation > final_generation {
+                        violations.push(format!(
+                            "trace {} claims generation {} but the server only reached {}",
+                            hex16(*trace_id),
+                            s.model_generation,
+                            final_generation
+                        ));
+                    }
+                }
+            }
+        }
+    }
     if cfg.swaps > 0 {
         if swaps_done != cfg.swaps {
             violations.push(format!(
@@ -526,6 +592,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         ("thread_panics".to_string(), stats.thread_panics.get()),
         ("model_swaps".to_string(), stats.model_swaps.get()),
         ("model_generation".to_string(), final_generation),
+        ("traced_requests".to_string(), client.traced.len() as u64),
     ];
     ChaosReport {
         fault_seed: cfg.fault.seed,
@@ -551,6 +618,7 @@ fn run_connection(
     addr: std::net::SocketAddr,
     dim: usize,
     cfg: &ChaosConfig,
+    conn_tag: u64,
     rng: &mut SplitMix64,
     tally: &mut ClientTally,
 ) {
@@ -570,6 +638,23 @@ fn run_connection(
         }
     };
 
+    // Trace-id derivation: request ids restart at 1 on every connection,
+    // so the per-connection tag keeps ids globally unique for the ring.
+    let trace_seed = splitmix64(cfg.workload_seed ^ (0x72AC_E000 + conn_tag));
+    let trace_for = |id: u64| {
+        if cfg.trace {
+            derive_trace_id(trace_seed, id)
+        } else {
+            0
+        }
+    };
+    let trace_suffix = |trace: u64| {
+        if trace != 0 {
+            format!(",\"trace\":\"{}\"", hex16(trace))
+        } else {
+            String::new()
+        }
+    };
     let mut expected: Vec<Expect> = Vec::new();
     let mut batch = String::new();
     let mut next_id = 1u64;
@@ -578,6 +663,7 @@ fn run_connection(
         if roll < 0.70 {
             let id = next_id;
             next_id += 1;
+            let trace = trace_for(id);
             let features: Vec<String> = (0..dim).map(|_| format!("{:.3}", rng.unit())).collect();
             let deadline = if rng.chance(0.2) {
                 ",\"deadline_ms\":0"
@@ -585,18 +671,21 @@ fn run_connection(
                 ""
             };
             batch.push_str(&format!(
-                "{{\"verb\":\"infer\",\"id\":{id},\"features\":[{}]{deadline}}}\n",
-                features.join(",")
+                "{{\"verb\":\"infer\",\"id\":{id},\"features\":[{}]{deadline}{}}}\n",
+                features.join(","),
+                trace_suffix(trace)
             ));
-            expected.push(Expect::Infer(id));
+            expected.push(Expect::Infer { id, trace });
             tally.infer_sent += 1;
         } else if roll < 0.80 {
             let id = next_id;
             next_id += 1;
+            let trace = trace_for(id);
             batch.push_str(&format!(
-                "{{\"verb\":\"infer\",\"id\":{id},\"features\":[1,2,3]}}\n"
+                "{{\"verb\":\"infer\",\"id\":{id},\"features\":[1,2,3]{}}}\n",
+                trace_suffix(trace)
             ));
-            expected.push(Expect::Infer(id));
+            expected.push(Expect::Infer { id, trace });
             tally.infer_sent += 1;
         } else if roll < 0.90 {
             batch.push_str("{\"verb\":\"ping\"}\n");
@@ -674,22 +763,52 @@ fn run_connection(
 /// Check one response against its slot in the expected sequence.
 fn check_response(expect: &Expect, resp: &Response, tally: &mut ClientTally) -> Result<(), String> {
     match (expect, resp) {
-        (Expect::Infer(want), Response::Decision { id, .. }) if id == want => {
+        (
+            Expect::Infer { id: want, trace },
+            Response::Decision {
+                id, trace: echoed, ..
+            },
+        ) if id == want => {
+            if echoed != trace {
+                return Err(format!(
+                    "decision for infer {want} echoed trace {} instead of {}",
+                    hex16(*echoed),
+                    hex16(*trace)
+                ));
+            }
+            if *trace != 0 {
+                tally.traced.push((*trace, SpanStatus::Ok));
+            }
             tally.decisions += 1;
             Ok(())
         }
         (
-            Expect::Infer(want),
+            Expect::Infer { id: want, trace },
             Response::Error {
                 id: Some(id), code, ..
             },
         ) if id == want => {
-            match code.as_str() {
-                protocol::ERR_DEADLINE => tally.deadline += 1,
-                protocol::ERR_OVERLOADED => tally.overloaded += 1,
-                protocol::ERR_BAD_REQUEST => tally.bad_request += 1,
-                protocol::ERR_SHUTTING_DOWN => tally.draining += 1,
+            let status = match code.as_str() {
+                protocol::ERR_DEADLINE => {
+                    tally.deadline += 1;
+                    SpanStatus::DeadlineExceeded
+                }
+                protocol::ERR_OVERLOADED => {
+                    tally.overloaded += 1;
+                    SpanStatus::Overloaded
+                }
+                protocol::ERR_BAD_REQUEST => {
+                    tally.bad_request += 1;
+                    SpanStatus::BadDim
+                }
+                protocol::ERR_SHUTTING_DOWN => {
+                    tally.draining += 1;
+                    SpanStatus::Draining
+                }
                 other => return Err(format!("unexpected error code {other:?} for infer {want}")),
+            };
+            if *trace != 0 {
+                tally.traced.push((*trace, status));
             }
             Ok(())
         }
@@ -723,6 +842,7 @@ mod tests {
             shards: 1,
             watchdog_secs: 60,
             swaps: 0,
+            trace: false,
         };
         let report = run_chaos(&cfg);
         assert!(report.ok(), "{}", report.render());
@@ -773,6 +893,31 @@ mod tests {
         assert_eq!(get("model_generation"), 8);
     }
 
+    /// Traced soak under the standard fault mix with mid-soak hot-swaps:
+    /// run_chaos replays every client-observed outcome against the flight
+    /// recorder and demands a complete, status-matching span chain with a
+    /// published model generation — so this test passing means 100% of
+    /// ledgered requests reconstructed.
+    #[test]
+    fn traced_fault_soak_reconstructs_every_ledgered_request() {
+        let mut cfg = ChaosConfig::new(19, 23);
+        cfg.trace = true;
+        cfg.swaps = 4;
+        let report = run_chaos(&cfg);
+        assert!(report.ok(), "{}", report.render());
+        let traced = report
+            .server
+            .iter()
+            .find(|(n, _)| n == "traced_requests")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(
+            traced > 0,
+            "the soak should have audited at least one traced request\n{}",
+            report.render()
+        );
+    }
+
     /// Sharded soak under a stall-heavy plan: long `WouldBlock` runs park
     /// a subset of connections — and, through consistent routing, starve
     /// the shard(s) those connections map to — while the other shards keep
@@ -795,6 +940,7 @@ mod tests {
             shards: 4,
             watchdog_secs: 60,
             swaps: 0,
+            trace: false,
         };
         let report = run_chaos(&cfg);
         assert!(report.ok(), "{}", report.render());

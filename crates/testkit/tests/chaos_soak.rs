@@ -39,6 +39,7 @@ fn soak_under_aggressive_resets() {
         shards: 2,
         watchdog_secs: 60,
         swaps: 0,
+        trace: false,
     };
     let report = run_chaos(&cfg);
     assert!(report.ok(), "{}", report.render());

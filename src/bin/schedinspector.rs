@@ -98,9 +98,16 @@ fn usage() -> ! {
          \x20          --quantized 1  (int8 fused inference path)\n\
          \x20          --queue N --deadline-ms N --telemetry FILE.jsonl\n\
          \x20          --metrics-addr HOST:PORT   (Prometheus exposition endpoint)\n\
+         \x20          --trace-ring N --trace-slow-us N --trace-store DIR\n\
+         \x20          --trace-dump FILE   (per-shard flight recorder: slow/error/\n\
+         \x20                         swap traces promote to the journal; the ring\n\
+         \x20                         dumps to FILE on shutdown)\n\
          \x20          (TCP decision service; port 0 = ephemeral, printed on stdout)\n\
          infer:    --model FILE [--in FILE.jsonl]   (feature lines -> decisions)\n\
-         trace:    --out FILE.swf\n\
+         trace:    --out FILE.swf   (generate an SWF workload trace), or\n\
+         \x20          trace DIR|FILE    (reconstruct journaled or dumped request\n\
+         \x20                         traces: per-request queue/batch/forward/write\n\
+         \x20                         critical paths, slowest first)\n\
          scenario: <validate|compile|replay> --spec FILE.toml --seed N\n\
          \x20          compile: --out-swf FILE.swf --out-profile FILE.toml\n\
          \x20          replay:  --policy P --backfill 1 --fairness-out FILE.json\n\
@@ -468,8 +475,24 @@ fn cmd_serve(args: &Args) {
         default_deadline_ms: args.get("deadline-ms").and_then(|v| v.parse().ok()),
         model_dir: model_dir.map(String::from),
         initial_model_generation: initial_generation,
+        trace: trace_config(args),
         ..serve::ServeConfig::default()
     };
+    if let Some(t) = &cfg.trace {
+        println!(
+            "tracing: ring {} spans/shard, promote > {}us{}{}",
+            t.ring_capacity,
+            t.slow_us,
+            t.store_dir
+                .as_deref()
+                .map(|d| format!(", journal -> {d}"))
+                .unwrap_or_default(),
+            t.dump_path
+                .as_deref()
+                .map(|p| format!(", dump -> {p}"))
+                .unwrap_or_default()
+        );
+    }
     let handle = serve::serve(agent, cfg, telemetry.clone()).unwrap_or_else(|e| {
         eprintln!("cannot start server: {e}");
         exit(1)
@@ -495,6 +518,25 @@ fn cmd_serve(args: &Args) {
     }
     telemetry.flush();
     println!("server stopped");
+}
+
+/// Flight-recorder settings for `serve`: tracing turns on when any
+/// `--trace-*` flag is present; unset flags keep the [`serve::TraceConfig`]
+/// defaults.
+fn trace_config(args: &Args) -> Option<serve::TraceConfig> {
+    let enabled = ["trace-ring", "trace-slow-us", "trace-store", "trace-dump"]
+        .iter()
+        .any(|k| args.get(k).is_some());
+    if !enabled {
+        return None;
+    }
+    let default = serve::TraceConfig::default();
+    Some(serve::TraceConfig {
+        ring_capacity: args.num("trace-ring", default.ring_capacity),
+        slow_us: args.num("trace-slow-us", default.slow_us),
+        store_dir: args.get("trace-store").map(String::from),
+        dump_path: args.get("trace-dump").map(String::from),
+    })
 }
 
 fn cmd_infer(args: &Args) {
@@ -557,6 +599,13 @@ fn cmd_infer(args: &Args) {
 }
 
 fn cmd_trace(args: &Args) {
+    // `trace DIR|FILE` (positional argument) reconstructs request traces
+    // from a run-store journal or a flight-recorder JSONL dump; the
+    // flag-driven form below generates SWF workload traces as before.
+    if let Some(path) = args.positional.first() {
+        cmd_trace_inspect(path);
+        return;
+    }
     let (trace, _, _, _) = build_world(args);
     let s = trace.stats();
     println!("{}", s.table2_row(&trace.name));
@@ -566,6 +615,121 @@ fn cmd_trace(args: &Args) {
             .write_file(Path::new(out))
             .expect("write SWF");
         println!("wrote {out}");
+    }
+}
+
+/// Load every `flight_record` span from a run-store directory (keys under
+/// `trace/`) or a JSONL dump/sidecar file, reconstruct each trace's
+/// critical path, and pretty-print the breakdown slowest-first.
+fn cmd_trace_inspect(path: &str) {
+    use obs::trace::{hex16, summarize, TraceSummary};
+    use std::collections::BTreeMap;
+
+    let mut spans: Vec<obs::SpanRecord> = Vec::new();
+    let mut malformed = 0usize;
+    let mut ingest_line = |line: &str| {
+        let line = line.trim();
+        if line.is_empty() {
+            return;
+        }
+        match obs::json::parse(line) {
+            // Sidecars interleave other event kinds with flight records;
+            // only `flight_record` lines carry spans.
+            Ok(v) if v.get("kind").and_then(obs::json::Json::as_str) != Some("flight_record") => {}
+            Ok(v) => match obs::SpanRecord::from_flight_record_json(&v) {
+                Ok(rec) => spans.push(rec),
+                Err(_) => malformed += 1,
+            },
+            Err(_) => malformed += 1,
+        }
+    };
+    if Path::new(path).is_dir() {
+        let store = RunStore::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open store {path}: {e}");
+            exit(2)
+        });
+        let keys = store.keys().unwrap_or_else(|e| {
+            eprintln!("cannot list store {path}: {e}");
+            exit(2)
+        });
+        for key in keys.iter().filter(|k| k.starts_with("trace/")) {
+            match store.get(key) {
+                Ok(Some(bytes)) => {
+                    for line in String::from_utf8_lossy(&bytes).lines() {
+                        ingest_line(line);
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("cannot read {key}: {e}");
+                    exit(2)
+                }
+            }
+        }
+    } else {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(2)
+        });
+        for line in text.lines() {
+            ingest_line(line);
+        }
+    }
+
+    let mut by_trace: BTreeMap<u64, Vec<obs::SpanRecord>> = BTreeMap::new();
+    for rec in spans {
+        by_trace.entry(rec.trace_id).or_default().push(rec);
+    }
+    if by_trace.is_empty() {
+        eprintln!("{path}: no flight-record spans found ({malformed} malformed lines)");
+        exit(1)
+    }
+    let mut complete: Vec<TraceSummary> = Vec::new();
+    let mut broken: Vec<(u64, String)> = Vec::new();
+    for (trace_id, chain) in &by_trace {
+        match summarize(chain) {
+            Ok(s) => complete.push(s),
+            Err(e) => broken.push((*trace_id, e)),
+        }
+    }
+    // Slowest first: the whole point is finding where the tail went.
+    complete.sort_by_key(|s| std::cmp::Reverse(s.total_us));
+    println!(
+        "{}: {} trace(s), {} complete, {} incomplete, {} malformed line(s)",
+        path,
+        by_trace.len(),
+        complete.len(),
+        broken.len(),
+        malformed
+    );
+    let mut per_shard: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for s in &complete {
+        let status = format!("{:?}", s.status);
+        println!(
+            "trace {}  shard {}  gen {}  {:<18} total {:>6}us | queue {:>5}us  \
+             batch-wait {:>5}us  forward {:>5}us  write {:>5}us",
+            hex16(s.trace_id),
+            s.shard,
+            s.model_generation,
+            status,
+            s.total_us,
+            s.queue_us,
+            s.batch_wait_us,
+            s.forward_us,
+            s.write_us
+        );
+        let e = per_shard.entry(s.shard).or_default();
+        e.0 += 1;
+        e.1 += s.total_us;
+    }
+    for (shard, (count, total)) in &per_shard {
+        println!(
+            "shard {shard}: {count} trace(s), mean total {}us",
+            total / count.max(&1)
+        );
+    }
+    for (trace_id, why) in &broken {
+        println!("trace {}: incomplete: {why}", hex16(*trace_id));
     }
 }
 
