@@ -1,0 +1,137 @@
+//! Distributed-training scaling harness: measures end-to-end episodes/sec
+//! of the `dist` coordinator/worker trainer at 1, 2, and 4 in-process
+//! workers and writes `BENCH_train.json` — the committed baseline behind
+//! `schedinspector report`'s `train` throughput gate.
+//!
+//! Run from the repo root:
+//!
+//! ```text
+//! cargo run --release -p bench --bin dist_harness
+//! ```
+//!
+//! Every timed run is also checked against the in-process `Trainer`
+//! oracle: a sync-merge distributed run must finish with the byte-exact
+//! checkpoint the local loop produces, so the published scaling numbers
+//! can never come from a run that silently diverged.
+
+use std::time::Instant;
+
+use dist::{spawn_local_workers, Coordinator, DistConfig, FrameKind, MergeMode};
+use inspector::{InspectorConfig, Trainer};
+use obs::Telemetry;
+use policies::PolicyKind;
+use workload::{profiles, synthetic, JobTrace};
+
+// Sized so episode simulation dominates: per-epoch fixed costs
+// (checkpoint serialization, shard hand-off) are noise against 32
+// episodes of 128-job rollouts, which is what a real training run
+// looks like — scaling measured on a toy batch would only measure
+// the protocol.
+const JOBS: usize = 2000;
+const EPOCHS: usize = 4;
+const BATCH: usize = 32;
+const SEQ_LEN: usize = 128;
+const SEED: u64 = 42;
+/// Timed repetitions per worker count; the best round is published
+/// (machine-load dips only ever make a run slower, never faster).
+const ROUNDS: usize = 3;
+
+fn config() -> InspectorConfig {
+    InspectorConfig {
+        epochs: EPOCHS,
+        batch_size: BATCH,
+        seq_len: SEQ_LEN,
+        seed: SEED,
+        workers: 1,
+        ..InspectorConfig::default()
+    }
+}
+
+fn make_trainer(trace: JobTrace) -> Trainer {
+    Trainer::builder(trace)
+        .policy(PolicyKind::Sjf)
+        .config(config())
+        .build()
+        .expect("valid trainer")
+}
+
+/// One full distributed run; returns (final checkpoint, wall seconds).
+fn run_once(trace: &JobTrace, workers: usize) -> (String, f64) {
+    let mut coordinator_trainer = make_trainer(trace.clone());
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+    let handle = spawn_local_workers(
+        coordinator.addr(),
+        (0..workers).map(|_| make_trainer(trace.clone())).collect(),
+    );
+    let cfg = DistConfig {
+        shards: workers.min(BATCH),
+        merge: MergeMode::Sync,
+        frame: FrameKind::Binary,
+        ..DistConfig::default()
+    };
+    let t0 = Instant::now();
+    coordinator
+        .run(&mut coordinator_trainer, &cfg, None, &Telemetry::disabled())
+        .expect("bench run completes");
+    let secs = t0.elapsed().as_secs_f64();
+    let _ = handle.join();
+    (coordinator_trainer.checkpoint_text(EPOCHS), secs)
+}
+
+fn main() {
+    let trace = synthetic::generate(&profiles::SDSC_SP2, JOBS, 7);
+    // Worker rollouts only overlap when there are cores to run them on;
+    // committing the core count makes a baseline measured on a small
+    // machine interpretable on a big one.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "trace: {} jobs on {} procs, batch {BATCH} x {SEQ_LEN} jobs, {EPOCHS} epochs, {cores} core(s)",
+        trace.len(),
+        trace.procs,
+    );
+    let episodes = (EPOCHS * BATCH) as f64;
+
+    // The oracle every distributed run must reproduce byte-for-byte.
+    let mut local = make_trainer(trace.clone());
+    let t0 = Instant::now();
+    local.train();
+    let local_eps = episodes / t0.elapsed().as_secs_f64();
+    let local_ckpt = local.checkpoint_text(EPOCHS);
+    eprintln!("in-process trainer: {local_eps:.1} eps/s");
+
+    let mut rows: Vec<(usize, f64)> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        run_once(&trace, workers); // warm-up: threads, sockets, page cache
+        let mut best = 0.0f64;
+        for _ in 0..ROUNDS {
+            let (ckpt, secs) = run_once(&trace, workers);
+            assert_eq!(
+                ckpt, local_ckpt,
+                "sync distributed run diverged from the in-process oracle"
+            );
+            best = best.max(episodes / secs);
+        }
+        let base = rows.first().map_or(best, |&(_, one)| one);
+        eprintln!(
+            "workers {workers}: {best:.1} eps/s ({:.2}x vs 1 worker, best of {ROUNDS})",
+            best / base
+        );
+        rows.push((workers, best));
+    }
+
+    let one_worker = rows[0].1;
+    let json = format!(
+        "{{\n  \"trace\": \"SDSC-SP2 synthetic, {} jobs, {} procs\",\n  \"epochs\": {EPOCHS},\n  \"batch\": {BATCH},\n  \"seq_len\": {SEQ_LEN},\n  \"merge\": \"sync\",\n  \"frame\": \"binary\",\n  \"cores\": {cores},\n  \"local_eps\": {local_eps:.1},\n  \"episodes_per_sec\": [\n{}\n  ]\n}}\n",
+        trace.len(),
+        trace.procs,
+        rows.iter()
+            .map(|(w, eps)| format!(
+                "    {{\"workers\": {w}, \"eps\": {eps:.1}, \"speedup\": {:.2}}}",
+                eps / one_worker
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    std::fs::write("BENCH_train.json", &json).expect("write BENCH_train.json");
+    println!("{json}");
+}

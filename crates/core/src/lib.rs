@@ -61,7 +61,10 @@ pub use eval::{evaluate, evaluate_base, EvalCase, EvalReport};
 pub use features::{FeatureBuilder, FeatureMode, Normalizer};
 pub use model_io::ModelIoError;
 pub use reward::RewardKind;
-pub use trainer::{EpochRecord, EpochTiming, TrainError, Trainer, TrainerBuilder, TrainingHistory};
+pub use trainer::{
+    EpisodeSummary, EpochPlan, EpochRecord, EpochTiming, RolloutReport, TrainError, Trainer,
+    TrainerBuilder, TrainingHistory,
+};
 
 #[cfg(test)]
 mod tests {

@@ -8,7 +8,10 @@ use std::time::Instant;
 use obs::Telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use rlcore::{default_workers, parallel_map, Batch, PpoConfig, PpoTrainer, UpdateStats};
+use rlcore::{
+    default_workers, parallel_map, Batch, BinaryPolicy, PpoConfig, PpoTrainer, Trajectory,
+    UpdateStats,
+};
 use serde::{Deserialize, Serialize};
 use simhpc::Simulator;
 use workload::JobTrace;
@@ -18,6 +21,59 @@ use crate::baseline::BaselineCache;
 use crate::config::{ConfigError, InspectorConfig};
 use crate::env::{run_episode, EpisodeSpec, PolicyFactory};
 use crate::features::{FeatureBuilder, Normalizer};
+
+/// The deterministic sampling decisions of one training epoch: which
+/// start offsets the batch draws its job sequences from, and the base
+/// seed each episode derives its stochastic-policy stream from.
+///
+/// A plan is a pure function of `(config.seed, epoch)` given the trainer
+/// RNG's position, and every episode is in turn a pure function of
+/// `(start offset, episode seed, policy snapshot)` — which is why a
+/// distributed coordinator can ship plan fragments to rollout workers,
+/// reassign them after a worker dies, or even execute them twice, without
+/// changing a single bit of the training result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochPlan {
+    /// The epoch this plan samples for.
+    pub epoch: usize,
+    /// Base of the per-episode seeds (episode `i` uses `base + i`).
+    pub episode_seed_base: u64,
+    /// Start offset of each episode's job sequence, in episode order.
+    pub starts: Vec<usize>,
+}
+
+/// Everything the PPO update and epoch diagnostics need from one
+/// rolled-out episode — deliberately free of simulator internals so it
+/// can cross a process boundary (the distributed trajectory wire format
+/// carries exactly these fields).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeSummary {
+    /// Position of this episode in the epoch batch.
+    pub index: usize,
+    /// The trajectory collected under the inspected policy.
+    pub trajectory: Trajectory,
+    /// Base-policy metric value for the episode's sequence.
+    pub base_metric: f64,
+    /// Inspected-run metric value.
+    pub inspected_metric: f64,
+    /// Scheduling points the inspector was consulted on.
+    pub inspections: u64,
+    /// Rejections the inspector issued.
+    pub rejections: u64,
+}
+
+/// Wall-time and cache context the epoch-completion step folds into the
+/// [`EpochRecord`] and the telemetry stream. Produced by whoever ran the
+/// rollouts — the local parallel path or a distributed coordinator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RolloutReport {
+    /// Seconds spent collecting the batch.
+    pub rollout_secs: f64,
+    /// Seconds spent inside baseline-policy simulations (cache misses).
+    pub baseline_secs: f64,
+    /// Baseline-cache `(hits, base_runs)` totals when the epoch started.
+    pub cache_before: (u64, u64),
+}
 
 /// Wall-time breakdown of one epoch. Carried by [`EpochRecord`] for
 /// diagnostics but excluded from its `PartialEq`: two runs with identical
@@ -349,13 +405,12 @@ impl Trainer {
         &self.baseline
     }
 
-    /// Run one epoch: collect `batch_size` trajectories in parallel and
-    /// update the networks.
-    pub fn train_epoch(&mut self, epoch: usize) -> EpochRecord {
-        let _epoch_span = obs::span!(self.telemetry, "epoch");
+    /// Draw the sampling plan for `epoch`, advancing the trainer RNG by
+    /// exactly the draw pattern [`Trainer::restore`] replays (one bounded
+    /// draw per episode, none when the trace admits a single offset).
+    pub fn epoch_plan(&mut self, epoch: usize) -> EpochPlan {
         let n = self.config.batch_size;
-        let seq_len = self.config.seq_len;
-        let max_start = self.trace.len().saturating_sub(seq_len);
+        let max_start = self.trace.len().saturating_sub(self.config.seq_len);
         let starts: Vec<usize> = (0..n)
             .map(|_| {
                 if max_start == 0 {
@@ -365,18 +420,36 @@ impl Trainer {
                 }
             })
             .collect();
-        let episode_seed_base = self
-            .config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(epoch as u64);
+        EpochPlan {
+            epoch,
+            episode_seed_base: self
+                .config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(epoch as u64),
+            starts,
+        }
+    }
 
+    /// Roll out the assigned `(episode index, start offset)` pairs under
+    /// `policy` and summarize each episode. Results come back in
+    /// assignment order; each is a pure function of its assignment, the
+    /// seed base, and the policy, so any subset of a plan can run
+    /// anywhere (another thread, another process, twice) and still
+    /// produce identical bytes. Returns the summaries plus nanoseconds
+    /// spent in baseline simulations (cache misses).
+    pub fn rollout_assigned(
+        &self,
+        episode_seed_base: u64,
+        assignments: &[(usize, usize)],
+        policy: &BinaryPolicy,
+    ) -> (Vec<EpisodeSummary>, u64) {
         let workers = if self.config.workers == 0 {
-            default_workers(n)
+            default_workers(assignments.len())
         } else {
             self.config.workers
         };
-        let policy = self.ppo.policy.clone();
+        let seq_len = self.config.seq_len;
         let (sim, features, factory, trace, config, baseline, telemetry) = (
             &self.sim,
             &self.features,
@@ -386,57 +459,147 @@ impl Trainer {
             &self.baseline,
             &self.telemetry,
         );
-        let (hits0, runs0) = (baseline.hits(), baseline.base_runs());
         let baseline_nanos = AtomicU64::new(0);
-        let rollout_span = obs::span!(self.telemetry, "rollout");
-        let rollout_start = Instant::now();
-        let episodes = parallel_map(n, workers, |i| {
-            let jobs = trace.sequence(starts[i], seq_len);
-            let base = baseline.get_or_run(starts[i], || {
+        let summaries = parallel_map(assignments.len(), workers, |k| {
+            let (index, start) = assignments[k];
+            let jobs = trace.sequence(start, seq_len);
+            let base = baseline.get_or_run(start, || {
                 let t0 = Instant::now();
                 let mut p = factory();
                 let r = sim.run(&jobs, p.as_mut());
                 baseline_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 r
             });
-            run_episode(&EpisodeSpec {
-                seed: episode_seed_base.wrapping_add(i as u64),
+            let e = run_episode(&EpisodeSpec {
+                seed: episode_seed_base.wrapping_add(index as u64),
                 base: Some(base),
                 reward: config.reward,
                 metric: config.metric,
                 telemetry: telemetry.clone(),
-                ..EpisodeSpec::new(sim, &jobs, factory, &policy, features)
-            })
+                ..EpisodeSpec::new(sim, &jobs, factory, policy, features)
+            });
+            let m = config.metric;
+            EpisodeSummary {
+                index,
+                base_metric: e.base.metric(m),
+                inspected_metric: e.inspected.metric(m),
+                inspections: e.inspected.inspections,
+                rejections: e.inspected.rejections,
+                trajectory: e.trajectory,
+            }
         });
+        (summaries, baseline_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Run one epoch: collect `batch_size` trajectories in parallel and
+    /// update the networks. Equivalent to [`Trainer::epoch_plan`] → local
+    /// [`Trainer::rollout_assigned`] → [`Trainer::complete_epoch`]; a
+    /// distributed coordinator runs the same three phases with the middle
+    /// one sharded across workers, which is why its results are
+    /// byte-identical to this in-process path.
+    pub fn train_epoch(&mut self, epoch: usize) -> EpochRecord {
+        let epoch_span = obs::span!(self.telemetry, "epoch");
+        let plan = self.epoch_plan(epoch);
+        let assignments: Vec<(usize, usize)> = plan.starts.iter().copied().enumerate().collect();
+        let policy = self.ppo.policy.clone();
+        let cache_before = (self.baseline.hits(), self.baseline.base_runs());
+        let rollout_span = obs::span!(self.telemetry, "rollout");
+        let rollout_start = Instant::now();
+        let (summaries, baseline_nanos) =
+            self.rollout_assigned(plan.episode_seed_base, &assignments, &policy);
         let rollout_secs = rollout_start.elapsed().as_secs_f64();
         drop(rollout_span);
+        self.finish_epoch(
+            epoch,
+            summaries,
+            RolloutReport {
+                rollout_secs,
+                baseline_secs: baseline_nanos as f64 * 1e-9,
+                cache_before,
+            },
+            epoch_span,
+            None,
+        )
+    }
 
-        let m = self.config.metric;
-        let base_metric = episodes.iter().map(|e| e.base.metric(m)).sum::<f64>() / n.max(1) as f64;
+    /// Fold a fully collected batch into the training state: run the
+    /// central PPO update, emit the epoch's telemetry, and return its
+    /// record. `summaries` must cover the whole plan in episode order —
+    /// exactly what a distributed coordinator has after its shard ledger
+    /// closes.
+    pub fn complete_epoch(
+        &mut self,
+        epoch: usize,
+        summaries: Vec<EpisodeSummary>,
+        report: RolloutReport,
+        epoch_span: obs::Span,
+    ) -> EpochRecord {
+        self.finish_epoch(epoch, summaries, report, epoch_span, None)
+    }
+
+    /// [`Trainer::complete_epoch`] for the decentralized merge path: the
+    /// per-shard PPO updates already happened on the workers, so instead
+    /// of running a central update this installs the `merged` replica
+    /// average and records the pre-averaged `stats`.
+    pub fn complete_epoch_premerged(
+        &mut self,
+        epoch: usize,
+        summaries: Vec<EpisodeSummary>,
+        merged: PpoTrainer,
+        stats: UpdateStats,
+        report: RolloutReport,
+        epoch_span: obs::Span,
+    ) -> Result<EpochRecord, TrainError> {
+        if merged.policy.input_dim() != self.features.dim() {
+            return Err(TrainError::Checkpoint(format!(
+                "merged policy takes {} features, trainer builds {}",
+                merged.policy.input_dim(),
+                self.features.dim()
+            )));
+        }
+        Ok(self.finish_epoch(epoch, summaries, report, epoch_span, Some((merged, stats))))
+    }
+
+    fn finish_epoch(
+        &mut self,
+        epoch: usize,
+        summaries: Vec<EpisodeSummary>,
+        report: RolloutReport,
+        epoch_span: obs::Span,
+        premerged: Option<(PpoTrainer, UpdateStats)>,
+    ) -> EpochRecord {
+        let n = summaries.len();
+        debug_assert!(summaries.iter().enumerate().all(|(i, s)| s.index == i));
+        let base_metric = summaries.iter().map(|s| s.base_metric).sum::<f64>() / n.max(1) as f64;
         let inspected_metric =
-            episodes.iter().map(|e| e.inspected.metric(m)).sum::<f64>() / n.max(1) as f64;
-        let improvement_pct = episodes
+            summaries.iter().map(|s| s.inspected_metric).sum::<f64>() / n.max(1) as f64;
+        let improvement_pct = summaries
             .iter()
-            .map(|e| {
-                let b = e.base.metric(m);
-                if b.abs() < 1e-12 {
+            .map(|s| {
+                if s.base_metric.abs() < 1e-12 {
                     0.0
                 } else {
-                    (b - e.inspected.metric(m)) / b
+                    (s.base_metric - s.inspected_metric) / s.base_metric
                 }
             })
             .sum::<f64>()
             / n.max(1) as f64;
-        let inspections: u64 = episodes.iter().map(|e| e.inspected.inspections).sum();
-        let rejections: u64 = episodes.iter().map(|e| e.inspected.rejections).sum();
+        let inspections: u64 = summaries.iter().map(|s| s.inspections).sum();
+        let rejections: u64 = summaries.iter().map(|s| s.rejections).sum();
 
         let batch = Batch {
-            trajectories: episodes.into_iter().map(|e| e.trajectory).collect(),
+            trajectories: summaries.into_iter().map(|s| s.trajectory).collect(),
         };
         let mean_reward = batch.mean_reward();
         let update_span = obs::span!(self.telemetry, "ppo_update");
         let update_start = Instant::now();
-        let stats = self.ppo.update_traced(&batch, &self.telemetry);
+        let stats = match premerged {
+            None => self.ppo.update_traced(&batch, &self.telemetry),
+            Some((merged, stats)) => {
+                self.ppo = merged;
+                stats
+            }
+        };
         let update_secs = update_start.elapsed().as_secs_f64();
         drop(update_span);
 
@@ -446,6 +609,7 @@ impl Trainer {
             rejections as f64 / inspections as f64
         };
         if self.telemetry.is_enabled() {
+            let (hits0, runs0) = report.cache_before;
             self.telemetry.count("train.episodes", n as u64);
             self.telemetry.count("train.inspections", inspections);
             self.telemetry.count("train.rejections", rejections);
@@ -463,11 +627,13 @@ impl Trainer {
                 .gauge("epoch.improvement_pct", improvement_pct);
             self.telemetry
                 .gauge("epoch.rejection_ratio", rejection_ratio);
-            if rollout_secs > 0.0 {
-                self.telemetry
-                    .gauge("rollout.points_per_sec", inspections as f64 / rollout_secs);
+            if report.rollout_secs > 0.0 {
+                self.telemetry.gauge(
+                    "rollout.points_per_sec",
+                    inspections as f64 / report.rollout_secs,
+                );
             }
-            let epoch_secs = _epoch_span.elapsed();
+            let epoch_secs = epoch_span.elapsed();
             if epoch_secs > 0.0 {
                 self.telemetry
                     .heartbeat("train", epoch as u64, n as f64 / epoch_secs);
@@ -485,8 +651,8 @@ impl Trainer {
             inspections,
             rejections,
             timing: EpochTiming {
-                rollout_secs,
-                baseline_secs: baseline_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+                rollout_secs: report.rollout_secs,
+                baseline_secs: report.baseline_secs,
                 update_secs,
             },
             stats,
@@ -517,6 +683,33 @@ impl Trainer {
     /// never interrupted.
     pub fn restore(&mut self, text: &str) -> Result<usize, TrainError> {
         let ck = crate::checkpoint::Checkpoint::from_text(text).map_err(TrainError::Checkpoint)?;
+        let epochs_done = ck.epochs_done;
+        self.install_checkpoint(ck)?;
+        // The trainer RNG has no serializable state; replay the exact
+        // draw pattern of the completed epochs instead. Each epoch draws
+        // `batch_size` start offsets, unless the trace admits only one
+        // (max_start == 0), in which case `epoch_plan` draws nothing.
+        self.rng = StdRng::seed_from_u64(self.config.seed ^ 0x7261_696E);
+        let max_start = self.trace.len().saturating_sub(self.config.seq_len);
+        if max_start > 0 {
+            for _ in 0..epochs_done {
+                for _ in 0..self.config.batch_size {
+                    let _ = self.rng.random_range(0..=max_start);
+                }
+            }
+        }
+        Ok(epochs_done)
+    }
+
+    /// Swap a parsed checkpoint's networks and optimizer state into this
+    /// trainer *without* touching the start-offset RNG. [`Trainer::restore`]
+    /// is this plus the RNG replay; a distributed worker installing the
+    /// coordinator's epoch snapshot uses this alone, because the
+    /// coordinator owns the plan.
+    pub fn install_checkpoint(
+        &mut self,
+        ck: crate::checkpoint::Checkpoint,
+    ) -> Result<(), TrainError> {
         if ck.seed != self.config.seed {
             return Err(TrainError::Checkpoint(format!(
                 "checkpoint was trained with seed {}, trainer has seed {}",
@@ -538,20 +731,23 @@ impl Trainer {
             ck.vf_opt,
         )
         .map_err(TrainError::Checkpoint)?;
-        // The trainer RNG has no serializable state; replay the exact
-        // draw pattern of the completed epochs instead. Each epoch draws
-        // `batch_size` start offsets, unless the trace admits only one
-        // (max_start == 0), in which case `train_epoch` draws nothing.
-        self.rng = StdRng::seed_from_u64(self.config.seed ^ 0x7261_696E);
-        let max_start = self.trace.len().saturating_sub(self.config.seq_len);
-        if max_start > 0 {
-            for _ in 0..ck.epochs_done {
-                for _ in 0..self.config.batch_size {
-                    let _ = self.rng.random_range(0..=max_start);
-                }
-            }
-        }
-        Ok(ck.epochs_done)
+        Ok(())
+    }
+
+    /// The live PPO state (networks + optimizers).
+    pub fn ppo(&self) -> &PpoTrainer {
+        &self.ppo
+    }
+
+    /// Mutable access to the live PPO state — the hook a distributed
+    /// worker uses to run its local (decentralized-merge) update.
+    pub fn ppo_mut(&mut self) -> &mut PpoTrainer {
+        &mut self.ppo
+    }
+
+    /// The training trace this trainer samples from.
+    pub fn trace(&self) -> &JobTrace {
+        &self.trace
     }
 
     /// Snapshot the current policy as a deployable inspector.

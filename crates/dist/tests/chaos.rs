@@ -1,0 +1,219 @@
+//! Worker-failure chaos against the real coordinator: a targeted kill or
+//! freeze of a worker connection mid-epoch must cost availability of that
+//! worker only — the shard is reassigned, the ledger accounts exactly the
+//! planned episode count, the final checkpoint matches a clean run
+//! byte-for-byte, and a coordinator with no workers at all fails fast
+//! with a typed stall instead of hanging.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use common::{make_trainer, run_dist, BATCH, EPOCHS};
+use dist::{spawn_local_workers, Coordinator, DistConfig, DistError, FrameKind, MergeMode};
+use inspector::Trainer;
+use obs::Telemetry;
+use testkit::{FaultConfig, FaultPlan, TargetKind, TargetedFault};
+use workload::{profiles, synthetic};
+
+/// Run a 2-worker sync training with the given targeted faults armed on
+/// the coordinator's accept path.
+fn run_with_faults(
+    trace: &workload::JobTrace,
+    seed: u64,
+    targets: Vec<TargetedFault>,
+    cfg: DistConfig,
+) -> (String, dist::DistReport) {
+    let mut coordinator_trainer = make_trainer(trace.clone(), seed);
+    let workers: Vec<Trainer> = (0..2).map(|_| make_trainer(trace.clone(), seed)).collect();
+    let plan = FaultPlan::with_targets(FaultConfig::none(seed), targets);
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+    let handle = spawn_local_workers(coordinator.addr(), workers);
+    let report = coordinator
+        .run_with(
+            &mut coordinator_trainer,
+            &cfg,
+            None,
+            &Telemetry::disabled(),
+            plan,
+        )
+        .expect("chaos run must still complete");
+    let _ = handle.join(); // the attacked worker exits with an error; fine
+    (coordinator_trainer.checkpoint_text(EPOCHS), report)
+}
+
+fn chaos_cfg() -> DistConfig {
+    DistConfig {
+        shards: 2,
+        merge: MergeMode::Sync,
+        frame: FrameKind::Json,
+        // Tight watchdog so a frozen worker is reassigned quickly.
+        shard_timeout: Duration::from_millis(150),
+        tick: Duration::from_millis(5),
+        ..DistConfig::default()
+    }
+}
+
+#[test]
+fn killed_worker_mid_epoch_reassigns_its_shard_and_preserves_bytes() {
+    let trace = synthetic::generate(&profiles::SDSC_SP2, 72, 7);
+    let seed = 42;
+    let (clean_ckpt, _, _) = run_dist(&trace, seed, 2, 2, MergeMode::Sync, FrameKind::Json);
+
+    // Kill the first-accepted worker connection a few transport ops in —
+    // mid-episode-stream of its first shard, from the coordinator's view
+    // exactly what `kill -9` on the worker process looks like.
+    let (chaos_ckpt, report) = run_with_faults(
+        &trace,
+        seed,
+        vec![TargetedFault {
+            conn: 0,
+            op: 3,
+            kind: TargetKind::Kill,
+        }],
+        chaos_cfg(),
+    );
+
+    assert_eq!(
+        chaos_ckpt, clean_ckpt,
+        "a worker kill must not change the trained bytes"
+    );
+    assert_eq!(
+        report.episodes,
+        (EPOCHS * BATCH) as u64,
+        "ledger must account exactly the planned episodes despite the kill"
+    );
+    assert_eq!(
+        report.worker_deaths, 1,
+        "the kill must be observed as a death"
+    );
+    assert!(
+        report.reassignments >= 1,
+        "the dead worker's shard must be reassigned, got {report:?}"
+    );
+}
+
+#[test]
+fn frozen_worker_is_routed_around_by_the_watchdog() {
+    let trace = synthetic::generate(&profiles::CTC_SP2, 72, 9);
+    let seed = 17;
+    let (clean_ckpt, _, _) = run_dist(&trace, seed, 2, 2, MergeMode::Sync, FrameKind::Json);
+
+    // Freeze the first-accepted connection for ~4x the shard watchdog:
+    // the coordinator must reassign rather than wait out the stall.
+    let start = Instant::now();
+    let (chaos_ckpt, report) = run_with_faults(
+        &trace,
+        seed,
+        vec![TargetedFault {
+            conn: 0,
+            op: 3,
+            kind: TargetKind::Freeze { millis: 600 },
+        }],
+        chaos_cfg(),
+    );
+
+    assert_eq!(
+        chaos_ckpt, clean_ckpt,
+        "a stalled worker must not change the trained bytes"
+    );
+    assert_eq!(report.episodes, (EPOCHS * BATCH) as u64);
+    assert!(
+        report.reassignments >= 1,
+        "watchdog must reassign the stalled shard, got {report:?}"
+    );
+    // Bounded impact: one 600ms freeze must not serialize the whole run
+    // behind it epoch after epoch.
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "stall impact unbounded: {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn duplicate_episodes_from_speculation_are_deduped_not_double_counted() {
+    // Freeze *delays* conn 0's episode stream rather than killing it, so
+    // after reassignment both workers eventually deliver the same shard —
+    // the ledger must keep one copy per episode index.
+    let trace = synthetic::generate(&profiles::HPC2N, 72, 3);
+    let (_, report) = run_with_faults(
+        &trace,
+        23,
+        vec![TargetedFault {
+            conn: 0,
+            op: 4,
+            kind: TargetKind::Freeze { millis: 400 },
+        }],
+        chaos_cfg(),
+    );
+    assert_eq!(
+        report.episodes,
+        (EPOCHS * BATCH) as u64,
+        "accounted episodes must be exactly the plan — duplicates are \
+         dropped, never double-counted: {report:?}"
+    );
+}
+
+#[test]
+fn coordinator_with_no_workers_stalls_out_with_a_typed_error() {
+    let trace = synthetic::generate(&profiles::SDSC_SP2, 72, 7);
+    let mut trainer = make_trainer(trace, 42);
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+    let cfg = DistConfig {
+        shards: 2,
+        epoch_timeout: Duration::from_millis(200),
+        tick: Duration::from_millis(5),
+        ..DistConfig::default()
+    };
+    let err = coordinator
+        .run(&mut trainer, &cfg, None, &Telemetry::disabled())
+        .expect_err("no workers can make no progress");
+    match err {
+        DistError::Stalled {
+            epoch,
+            collected,
+            expected,
+        } => {
+            assert_eq!(epoch, 0);
+            assert_eq!(collected, 0);
+            assert_eq!(expected, BATCH);
+        }
+        other => panic!("expected Stalled, got {other}"),
+    }
+}
+
+#[test]
+fn decentralized_merge_survives_a_worker_kill_too() {
+    let trace = synthetic::generate(&profiles::LUBLIN_256, 72, 5);
+    let seed = 29;
+    let (clean_ckpt, _, _) = run_dist(
+        &trace,
+        seed,
+        2,
+        2,
+        MergeMode::Decentralized,
+        FrameKind::Json,
+    );
+    let cfg = DistConfig {
+        merge: MergeMode::Decentralized,
+        ..chaos_cfg()
+    };
+    let (chaos_ckpt, report) = run_with_faults(
+        &trace,
+        seed,
+        vec![TargetedFault {
+            conn: 1,
+            op: 3,
+            kind: TargetKind::Kill,
+        }],
+        cfg,
+    );
+    assert_eq!(
+        chaos_ckpt, clean_ckpt,
+        "DD-PPO merge must be reassignment-invariant: replicas are pure \
+         functions of (checkpoint, shard plan)"
+    );
+    assert_eq!(report.episodes, (EPOCHS * BATCH) as u64);
+    assert_eq!(report.worker_deaths, 1);
+}

@@ -1,0 +1,77 @@
+//! Shared harness for the distributed-training integration suites: build
+//! identically-configured trainers, run a coordinator with in-process
+//! workers, and hand back the final checkpoint bytes plus the run report.
+
+use dist::{spawn_local_workers, Coordinator, DistConfig, DistReport, FrameKind, MergeMode};
+use inspector::{InspectorConfig, Trainer};
+use obs::Telemetry;
+use policies::PolicyKind;
+use workload::JobTrace;
+
+/// Small-but-real training shape: enough epochs for optimizer state to
+/// matter, an odd batch so shard splits are uneven.
+pub const EPOCHS: usize = 3;
+pub const BATCH: usize = 5;
+
+pub fn config(seed: u64) -> InspectorConfig {
+    InspectorConfig {
+        batch_size: BATCH,
+        seq_len: 16,
+        epochs: EPOCHS,
+        seed,
+        workers: 1,
+        ..Default::default()
+    }
+}
+
+pub fn make_trainer(trace: JobTrace, seed: u64) -> Trainer {
+    Trainer::builder(trace)
+        .policy(PolicyKind::Sjf)
+        .config(config(seed))
+        .build()
+        .expect("valid trainer config")
+}
+
+/// One full distributed run: a coordinator plus `workers` in-process
+/// worker threads, all built from the same `(trace, seed)` world.
+/// Returns the final checkpoint text, the training curve, and the report.
+pub fn run_dist(
+    trace: &JobTrace,
+    seed: u64,
+    workers: usize,
+    shards: usize,
+    merge: MergeMode,
+    frame: FrameKind,
+) -> (String, Vec<(f64, f64)>, DistReport) {
+    let mut coordinator_trainer = make_trainer(trace.clone(), seed);
+    let worker_trainers: Vec<Trainer> = (0..workers)
+        .map(|_| make_trainer(trace.clone(), seed))
+        .collect();
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind ephemeral");
+    let handle = spawn_local_workers(coordinator.addr(), worker_trainers);
+    let cfg = DistConfig {
+        shards,
+        merge,
+        frame,
+        ..DistConfig::default()
+    };
+    let report = coordinator
+        .run(&mut coordinator_trainer, &cfg, None, &Telemetry::disabled())
+        .expect("distributed run completes");
+    // Workers that raced the final shutdown may report Disconnected;
+    // the determinism assertions live in the checkpoint bytes, not here.
+    let _ = handle.join();
+    let curve = curve_of(&report);
+    (coordinator_trainer.checkpoint_text(EPOCHS), curve, report)
+}
+
+/// The float-exact training curve of a report, for epoch-by-epoch
+/// comparison against the in-process trainer.
+pub fn curve_of(report: &DistReport) -> Vec<(f64, f64)> {
+    report
+        .history
+        .records
+        .iter()
+        .map(|r| (r.base_metric, r.improvement_pct))
+        .collect()
+}

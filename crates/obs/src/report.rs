@@ -724,6 +724,17 @@ pub fn serve_baseline(bench: &Json) -> Option<f64> {
     bench.get("open_loop")?.get("achieved_qps")?.as_f64()
 }
 
+/// Best committed distributed-training throughput: max `eps` across the
+/// worker-count scaling rows in `BENCH_train.json`.
+pub fn train_baseline(bench: &Json) -> Option<f64> {
+    bench
+        .get("episodes_per_sec")?
+        .as_array()?
+        .iter()
+        .filter_map(|row| row.get("eps").and_then(Json::as_f64))
+        .fold(None, |best, v| Some(best.map_or(v, |b: f64| b.max(v))))
+}
+
 /// Committed serve tail latency under load: `open_loop.p99_us` in
 /// `BENCH_serve.json` (the open-loop run is the honest latency
 /// measurement; closed-loop capacity cases self-throttle).
@@ -794,6 +805,7 @@ pub fn throughput_checks(
     report: &SidecarReport,
     bench_rollout: Option<&Json>,
     bench_serve: Option<&Json>,
+    bench_train: Option<&Json>,
     tolerance: f64,
 ) -> Vec<ThroughputCheck> {
     let mut checks = Vec::new();
@@ -813,6 +825,21 @@ pub fn throughput_checks(
     {
         checks.push(ThroughputCheck {
             name: "serve",
+            measured,
+            baseline,
+            tolerance,
+        });
+    }
+    // Distributed training uses the same episodes/s measurement as the
+    // rollout gate (the coordinator heartbeats through the trainer's
+    // telemetry) but gates against the committed multi-worker scaling
+    // curve, so a scheduling or merge regression shows up even when the
+    // single-process rollout path is healthy.
+    if let (Some(measured), Some(baseline)) =
+        (report.rollout_eps(), bench_train.and_then(train_baseline))
+    {
+        checks.push(ThroughputCheck {
+            name: "train",
             measured,
             baseline,
             tolerance,
@@ -984,9 +1011,37 @@ mod tests {
             count("serve.requests", 2.0, 500),
         ]);
         assert_eq!(report.serve_qps(), Some(500.0));
-        let checks = throughput_checks(&report, None, Some(&bench), 0.5);
+        let checks = throughput_checks(&report, None, Some(&bench), None, 0.5);
         assert_eq!(checks.len(), 1);
         assert!(checks[0].regressed(), "500 qps vs ~60k baseline");
+    }
+
+    #[test]
+    fn train_baseline_gates_against_the_scaling_curve_peak() {
+        let bench = json::parse(
+            r#"{"episodes_per_sec":[{"workers":1,"eps":800.0},{"workers":2,"eps":1500.0},{"workers":4,"eps":2600.0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(train_baseline(&bench), Some(2600.0));
+        // No rows -> no baseline -> no check.
+        let empty = json::parse(r#"{"episodes_per_sec":[]}"#).unwrap();
+        assert_eq!(train_baseline(&empty), None);
+
+        let report = analyze(&[ReportEvent::Heartbeat {
+            name: "train".into(),
+            t: 1.0,
+            epoch: 0,
+            eps: 1000.0,
+        }]);
+        let checks = throughput_checks(&report, None, None, Some(&bench), 0.5);
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].name, "train");
+        assert!(
+            checks[0].regressed(),
+            "1000 eps vs 2600 baseline at 0.5 tolerance"
+        );
+        assert!(!throughput_checks(&report, None, None, Some(&bench), 0.7)[0].regressed());
+        assert!(throughput_checks(&report, None, None, Some(&empty), 0.5).is_empty());
     }
 
     fn hist(name: &str, t: f64, value: f64) -> ReportEvent {

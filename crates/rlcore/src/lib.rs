@@ -23,6 +23,7 @@
 //! ```
 
 mod advantage;
+pub mod merge;
 mod policy;
 mod ppo;
 mod rollout;
@@ -30,6 +31,7 @@ mod trajectory;
 mod value;
 
 pub use advantage::{compute as compute_advantages, normalize, Advantages};
+pub use merge::{average_ppo, average_stats, MergeShard};
 pub use policy::{greedy_from_logits, BinaryPolicy, PolicyScratch, ACCEPT, REJECT};
 pub use ppo::{PpoConfig, PpoTrainer, UpdateStats};
 pub use rollout::{default_workers, parallel_map};

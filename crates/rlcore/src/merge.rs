@@ -1,0 +1,315 @@
+//! Parameter-space merging of PPO replicas — the DD-PPO-style
+//! (decentralized distributed PPO) reduction step.
+//!
+//! Each rollout worker runs a *local* PPO update over its shard of the
+//! batch, then the coordinator blends the resulting replicas back into one
+//! state: a weighted average of policy parameters, critic parameters, and
+//! Adam moment vectors, with the Adam step count taken as the maximum
+//! across replicas. Averaging is performed in `f64` and iterates shards in
+//! the order given, so for a fixed shard order the merged state is
+//! bit-deterministic — and a single shard with any positive weight merges
+//! to exactly itself (`w·x / w == x` is exact through `f64`), which is
+//! what makes a 1-worker decentralized run byte-identical to the
+//! synchronous path.
+
+use crate::policy::BinaryPolicy;
+use crate::ppo::{PpoTrainer, UpdateStats};
+use crate::value::ValueNet;
+use tinynn::Adam;
+
+/// One replica entering the merge: a trained PPO state plus its weight
+/// (conventionally the shard's episode count).
+pub struct MergeShard<'a> {
+    /// The replica's full PPO state after its local update.
+    pub ppo: &'a PpoTrainer,
+    /// Relative weight of this replica (must be positive and finite).
+    pub weight: f64,
+}
+
+/// Weighted average of flat `f32` vectors, accumulated in `f64` and
+/// iterated in shard order (deterministic for a fixed order).
+fn average_vecs(vecs: &[(&[f32], f64)], total: f64) -> Vec<f32> {
+    let len = vecs.first().map_or(0, |(v, _)| v.len());
+    let mut acc = vec![0.0f64; len];
+    for (v, w) in vecs {
+        for (a, &x) in acc.iter_mut().zip(v.iter()) {
+            *a += w * x as f64;
+        }
+    }
+    acc.into_iter().map(|a| (a / total) as f32).collect()
+}
+
+/// Blend replica states into one [`PpoTrainer`]. All replicas must share
+/// network shapes and optimizer hyper-parameters; the merged Adam step
+/// count is the maximum across replicas (every moment vector has absorbed
+/// at least that much decay on the heaviest-trained shard).
+pub fn average_ppo(shards: &[MergeShard]) -> Result<PpoTrainer, String> {
+    let first = shards.first().ok_or("cannot merge zero replicas")?;
+    let total: f64 = shards.iter().map(|s| s.weight).sum();
+    if !(total.is_finite() && total > 0.0)
+        || shards.iter().any(|s| s.weight.is_nan() || s.weight <= 0.0)
+    {
+        return Err("merge weights must be positive and finite".into());
+    }
+    let pi_params = first.ppo.policy.param_count();
+    let vf_params = first.ppo.critic.param_count();
+    for s in shards {
+        if s.ppo.policy.param_count() != pi_params || s.ppo.critic.param_count() != vf_params {
+            return Err(format!(
+                "replica network shapes disagree: ({}, {}) vs ({}, {})",
+                s.ppo.policy.param_count(),
+                s.ppo.critic.param_count(),
+                pi_params,
+                vf_params
+            ));
+        }
+        if s.ppo.config() != first.ppo.config() {
+            return Err("replica PPO hyper-parameters disagree".into());
+        }
+    }
+
+    let policy_params: Vec<Vec<f32>> = shards.iter().map(|s| s.ppo.policy.mlp().params()).collect();
+    let critic_params: Vec<Vec<f32>> = shards.iter().map(|s| s.ppo.critic.mlp().params()).collect();
+    let weights: Vec<f64> = shards.iter().map(|s| s.weight).collect();
+    fn pair<'a>(vecs: &'a [Vec<f32>], weights: &[f64]) -> Vec<(&'a [f32], f64)> {
+        vecs.iter()
+            .zip(weights)
+            .map(|(v, &w)| (v.as_slice(), w))
+            .collect()
+    }
+
+    let mut policy_net = first.ppo.policy.mlp().clone();
+    policy_net.set_params(&average_vecs(&pair(&policy_params, &weights), total))?;
+    let mut critic_net = first.ppo.critic.mlp().clone();
+    critic_net.set_params(&average_vecs(&pair(&critic_params, &weights), total))?;
+
+    let merge_opt = |pick: fn(&PpoTrainer) -> &Adam| -> Result<Adam, String> {
+        let proto = pick(first.ppo);
+        let ms: Vec<(&[f32], f64)> = shards
+            .iter()
+            .zip(&weights)
+            .map(|(s, &w)| (pick(s.ppo).moments().0, w))
+            .collect();
+        let vs: Vec<(&[f32], f64)> = shards
+            .iter()
+            .zip(&weights)
+            .map(|(s, &w)| (pick(s.ppo).moments().1, w))
+            .collect();
+        let t = shards
+            .iter()
+            .map(|s| pick(s.ppo).steps())
+            .max()
+            .unwrap_or(0);
+        Adam::from_state(
+            proto.lr,
+            proto.beta1,
+            proto.beta2,
+            proto.eps,
+            average_vecs(&ms, total),
+            average_vecs(&vs, total),
+            t,
+        )
+    };
+    let pi_opt = merge_opt(|p| p.optimizers().0)?;
+    let vf_opt = merge_opt(|p| p.optimizers().1)?;
+
+    PpoTrainer::from_parts(
+        BinaryPolicy::from_mlp(policy_net)?,
+        ValueNet::from_mlp(critic_net)?,
+        *first.ppo.config(),
+        pi_opt,
+        vf_opt,
+    )
+}
+
+/// Weighted mean of per-replica update diagnostics (same `f64`-accumulate,
+/// shard-order discipline as [`average_ppo`]); `pi_iters` reports the
+/// maximum across replicas.
+pub fn average_stats(stats: &[(UpdateStats, f64)]) -> UpdateStats {
+    let total: f64 = stats.iter().map(|(_, w)| w).sum();
+    if stats.is_empty() || !total.is_finite() || total <= 0.0 {
+        return UpdateStats::default();
+    }
+    let mean = |pick: fn(&UpdateStats) -> f32| -> f32 {
+        (stats.iter().map(|(s, w)| w * pick(s) as f64).sum::<f64>() / total) as f32
+    };
+    UpdateStats {
+        pi_loss: mean(|s| s.pi_loss),
+        vf_loss: mean(|s| s.vf_loss),
+        approx_kl: mean(|s| s.approx_kl),
+        entropy: mean(|s| s.entropy),
+        clip_frac: mean(|s| s.clip_frac),
+        grad_norm: mean(|s| s.grad_norm),
+        pi_iters: stats.iter().map(|(s, _)| s.pi_iters).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::{Batch, Step, Trajectory};
+
+    fn trained(seed: u64, reward: f32) -> PpoTrainer {
+        let mut t = PpoTrainer::new(3, crate::PpoConfig::default(), seed);
+        let batch = Batch {
+            trajectories: (0..8)
+                .map(|i| Trajectory {
+                    steps: vec![Step {
+                        state: vec![0.1 * i as f32, -0.2, 0.5],
+                        action: (i % 2) as u8,
+                        logp: -0.7,
+                    }],
+                    reward,
+                })
+                .collect(),
+        };
+        t.update(&batch);
+        t
+    }
+
+    fn state_text(p: &PpoTrainer) -> String {
+        let (pi, vf) = p.optimizers();
+        format!(
+            "{:?}{:?}{}{}",
+            p.policy.mlp().params(),
+            p.critic.mlp().params(),
+            pi.to_text(),
+            vf.to_text()
+        )
+    }
+
+    #[test]
+    fn single_replica_merges_to_itself_bit_exactly() {
+        let t = trained(7, 1.0);
+        for weight in [1.0, 4.0, 0.25] {
+            let merged = average_ppo(&[MergeShard { ppo: &t, weight }]).unwrap();
+            assert_eq!(state_text(&merged), state_text(&t));
+        }
+    }
+
+    #[test]
+    fn identical_replicas_merge_to_themselves() {
+        let t = trained(3, 0.5);
+        let merged = average_ppo(&[
+            MergeShard {
+                ppo: &t,
+                weight: 2.0,
+            },
+            MergeShard {
+                ppo: &t,
+                weight: 2.0,
+            },
+        ])
+        .unwrap();
+        // x·w/Σw may round, but for equal replicas the f64 average of two
+        // identical values is exact.
+        assert_eq!(state_text(&merged), state_text(&t));
+    }
+
+    #[test]
+    fn average_lands_between_distinct_replicas() {
+        let a = trained(1, 1.0);
+        let b = trained(2, -1.0);
+        let merged = average_ppo(&[
+            MergeShard {
+                ppo: &a,
+                weight: 1.0,
+            },
+            MergeShard {
+                ppo: &b,
+                weight: 1.0,
+            },
+        ])
+        .unwrap();
+        let (pa, pb, pm) = (
+            a.policy.mlp().params(),
+            b.policy.mlp().params(),
+            merged.policy.mlp().params(),
+        );
+        for ((&x, &y), &m) in pa.iter().zip(&pb).zip(&pm) {
+            let (lo, hi) = (x.min(y), x.max(y));
+            assert!((lo..=hi).contains(&m), "{m} outside [{lo}, {hi}]");
+        }
+        let t_max = a.optimizers().0.steps().max(b.optimizers().0.steps());
+        assert_eq!(merged.optimizers().0.steps(), t_max);
+    }
+
+    #[test]
+    fn merge_order_is_part_of_the_contract() {
+        // Reversing shard order may change low bits; the API promises
+        // determinism for a *fixed* order, which is what the coordinator
+        // provides (logical shard index order).
+        let a = trained(1, 1.0);
+        let b = trained(2, -1.0);
+        let fwd = average_ppo(&[
+            MergeShard {
+                ppo: &a,
+                weight: 1.0,
+            },
+            MergeShard {
+                ppo: &b,
+                weight: 3.0,
+            },
+        ])
+        .unwrap();
+        let fwd2 = average_ppo(&[
+            MergeShard {
+                ppo: &a,
+                weight: 1.0,
+            },
+            MergeShard {
+                ppo: &b,
+                weight: 3.0,
+            },
+        ])
+        .unwrap();
+        assert_eq!(state_text(&fwd), state_text(&fwd2));
+    }
+
+    #[test]
+    fn shape_and_weight_mismatches_are_errors() {
+        let a = trained(1, 1.0);
+        let wide = PpoTrainer::new(5, crate::PpoConfig::default(), 1);
+        assert!(average_ppo(&[]).is_err());
+        assert!(average_ppo(&[
+            MergeShard {
+                ppo: &a,
+                weight: 1.0
+            },
+            MergeShard {
+                ppo: &wide,
+                weight: 1.0
+            },
+        ])
+        .is_err());
+        assert!(average_ppo(&[MergeShard {
+            ppo: &a,
+            weight: 0.0
+        }])
+        .is_err());
+        assert!(average_ppo(&[MergeShard {
+            ppo: &a,
+            weight: f64::NAN
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn stats_average_is_weighted_and_exact_for_one() {
+        let s = UpdateStats {
+            pi_loss: 0.5,
+            vf_loss: 1.5,
+            approx_kl: 0.01,
+            entropy: 0.69,
+            clip_frac: 0.125,
+            grad_norm: 2.0,
+            pi_iters: 7,
+        };
+        assert_eq!(average_stats(&[(s, 3.0)]), s);
+        let z = UpdateStats::default();
+        let mixed = average_stats(&[(s, 1.0), (z, 1.0)]);
+        assert_eq!(mixed.pi_loss, 0.25);
+        assert_eq!(mixed.pi_iters, 7);
+        assert_eq!(average_stats(&[]), UpdateStats::default());
+    }
+}

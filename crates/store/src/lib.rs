@@ -57,6 +57,7 @@ mod registry;
 pub mod segment;
 mod store;
 mod swap;
+pub mod trajectory;
 pub mod wal;
 
 pub use error::StoreError;

@@ -1,0 +1,109 @@
+//! Trajectory segments: the per-epoch batch blob the distributed trainer
+//! journals through the run store so a killed coordinator can account for
+//! exactly which epochs completed.
+//!
+//! The store treats the payload as opaque bytes (the `dist` crate owns
+//! the batch encoding); this module owns the key scheme and a small
+//! self-describing envelope — epoch number + CRC — so a segment read back
+//! after a crash is either intact or rejected, never silently truncated.
+
+use crate::crc::crc32;
+
+/// Magic prefix of every trajectory segment envelope.
+const MAGIC: &[u8; 4] = b"TSG1";
+
+/// Store key for epoch `epoch`'s trajectory segment: `traj/epoch-NNNNNN`.
+///
+/// Fixed-width decimal keeps lexicographic key order equal to epoch
+/// order, so `keys()` range scans walk epochs chronologically.
+pub fn epoch_key(epoch: usize) -> String {
+    format!("traj/epoch-{epoch:06}")
+}
+
+/// Wrap an opaque batch payload in the segment envelope:
+/// `"TSG1" | epoch u64 LE | payload len u64 LE | payload | crc32 u32 LE`.
+pub fn encode_segment(epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 8 + 8 + payload.len() + 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Unwrap a segment envelope, returning `(epoch, payload)`.
+///
+/// Rejects bad magic, length mismatches, and CRC failures with a
+/// descriptive error — a torn or bit-flipped segment never decodes.
+pub fn decode_segment(bytes: &[u8]) -> Result<(u64, Vec<u8>), String> {
+    if bytes.len() < 4 + 8 + 8 + 4 {
+        return Err(format!("segment too short: {} bytes", bytes.len()));
+    }
+    if &bytes[..4] != MAGIC {
+        return Err("bad segment magic".into());
+    }
+    let epoch = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+    let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let body_end = bytes.len() - 4;
+    let payload = &bytes[20..body_end];
+    if len != payload.len() as u64 {
+        return Err(format!(
+            "segment length mismatch: header says {len}, have {}",
+            payload.len()
+        ));
+    }
+    let want = u32::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    let got = crc32(&bytes[..body_end]);
+    if want != got {
+        return Err(format!("segment crc mismatch: {got:08x} != {want:08x}"));
+    }
+    Ok((epoch, payload.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_sort_in_epoch_order() {
+        let keys: Vec<String> = [0, 1, 9, 10, 99, 100, 123_456].map(epoch_key).into();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys[0], "traj/epoch-000000");
+    }
+
+    #[test]
+    fn roundtrip_and_corruption() {
+        let payload = b"opaque batch bytes \x00\xff".to_vec();
+        let seg = encode_segment(42, &payload);
+        assert_eq!(decode_segment(&seg).unwrap(), (42, payload.clone()));
+
+        // Every single-byte flip is caught.
+        for i in 0..seg.len() {
+            let mut bad = seg.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_segment(&bad).is_err(), "flip at byte {i} accepted");
+        }
+        // Every truncation is caught.
+        for cut in 0..seg.len() {
+            assert!(
+                decode_segment(&seg[..cut]).is_err(),
+                "truncation to {cut} accepted"
+            );
+        }
+        // Trailing junk is caught (crc covers the claimed extent only if
+        // lengths agree — extra bytes shift the trailer).
+        let mut long = seg.clone();
+        long.push(0);
+        assert!(decode_segment(&long).is_err());
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let seg = encode_segment(0, b"");
+        assert_eq!(decode_segment(&seg).unwrap(), (0, Vec::new()));
+    }
+}

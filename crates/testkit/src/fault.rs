@@ -103,6 +103,15 @@ pub enum FaultKind {
         /// Length of the `WouldBlock` run.
         ops: u32,
     },
+    /// A targeted kill: the socket was shut down mid-session, exactly as
+    /// `kill -9` on the peer process looks from this side.
+    Kill,
+    /// A targeted freeze: the op blocked for `millis` before proceeding,
+    /// simulating a wedged-but-alive peer against real watchdogs.
+    Freeze {
+        /// How long the op slept.
+        millis: u64,
+    },
 }
 
 /// One injected fault, for the post-mortem log.
@@ -127,8 +136,41 @@ impl std::fmt::Display for FaultRecord {
                 write!(f, "conn {conn} op {op}: torn-write {wrote}B then reset")
             }
             FaultKind::Stall { ops } => write!(f, "conn {conn} op {op}: stall {ops} ops"),
+            FaultKind::Kill => write!(f, "conn {conn} op {op}: targeted kill"),
+            FaultKind::Freeze { millis } => {
+                write!(f, "conn {conn} op {op}: targeted freeze {millis}ms")
+            }
         }
     }
+}
+
+/// What a [`TargetedFault`] does when its coordinate is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Shut the socket down and fail every subsequent op with
+    /// `ConnectionReset` — the transport-level signature of `kill -9`.
+    Kill,
+    /// Block the op for this many milliseconds, once, then proceed —
+    /// a stall long enough to trip (or probe) a peer's watchdog.
+    Freeze {
+        /// Sleep duration in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A fault aimed at one `(conn, op)` coordinate instead of drawn from the
+/// seeded stream: "kill worker 0 mid-epoch" is a targeted fault, "2% of
+/// ops reset" is a seeded one. Fires at the first op `>= op` (op counters
+/// advance with traffic, so an exact-coordinate trigger would be brittle)
+/// and at most once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetedFault {
+    /// Accept-order index of the connection to attack.
+    pub conn: u64,
+    /// Fire at the first transport op whose counter is `>= op`.
+    pub op: u64,
+    /// What to do there.
+    pub kind: TargetKind,
 }
 
 /// Render a fault log as one line per record (the CI artifact format).
@@ -196,6 +238,7 @@ impl FaultConfig {
 #[derive(Debug)]
 pub struct FaultPlan {
     cfg: FaultConfig,
+    targets: Vec<TargetedFault>,
     next_conn: u64,
     log: Arc<Mutex<Vec<FaultRecord>>>,
 }
@@ -203,8 +246,16 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A plan injecting per `cfg`.
     pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan::with_targets(cfg, Vec::new())
+    }
+
+    /// A plan injecting per `cfg` plus aimed one-shot faults — the chaos
+    /// surface distributed-training tests use to kill or stall a specific
+    /// worker connection mid-epoch.
+    pub fn with_targets(cfg: FaultConfig, targets: Vec<TargetedFault>) -> Self {
         FaultPlan {
             cfg,
+            targets,
             next_conn: 0,
             log: Arc::new(Mutex::new(Vec::new())),
         }
@@ -235,6 +286,12 @@ impl AcceptPolicy for FaultPlan {
         Some(FaultStream {
             inner: stream,
             cfg: self.cfg,
+            targets: self
+                .targets
+                .iter()
+                .filter(|t| t.conn == conn)
+                .map(|t| (*t, false))
+                .collect(),
             conn,
             op: 0,
             stall_budget: 0,
@@ -253,6 +310,8 @@ impl AcceptPolicy for FaultPlan {
 pub struct FaultStream {
     inner: TcpStream,
     cfg: FaultConfig,
+    /// This connection's aimed faults, each with a fired flag.
+    targets: Vec<(TargetedFault, bool)>,
     conn: u64,
     op: u64,
     stall_budget: u32,
@@ -285,12 +344,41 @@ impl FaultStream {
             "injected reset (connection already dead)",
         )
     }
+
+    /// Fire any armed targeted fault whose coordinate has been reached.
+    /// `Some(err)` aborts the op (kill); `None` proceeds — a freeze has
+    /// already done its blocking by the time this returns.
+    fn targeted(&mut self) -> Option<io::Error> {
+        for i in 0..self.targets.len() {
+            let (t, fired) = self.targets[i];
+            if fired || self.op < t.op {
+                continue;
+            }
+            self.targets[i].1 = true;
+            match t.kind {
+                TargetKind::Kill => {
+                    self.record(FaultKind::Kill);
+                    self.op += 1;
+                    return Some(self.kill());
+                }
+                TargetKind::Freeze { millis } => {
+                    self.record(FaultKind::Freeze { millis });
+                    self.op += 1;
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+            }
+        }
+        None
+    }
 }
 
 impl Transport for FaultStream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         if self.dead {
             return Err(Self::dead_err());
+        }
+        if let Some(e) = self.targeted() {
+            return Err(e);
         }
         if self.stall_budget > 0 {
             self.stall_budget -= 1;
@@ -337,6 +425,9 @@ impl Transport for FaultStream {
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
         if self.dead {
             return Err(Self::dead_err());
+        }
+        if let Some(e) = self.targeted() {
+            return Err(e);
         }
         let mut rng = self.op_rng();
         if rng.chance(self.cfg.reset) {
@@ -494,6 +585,82 @@ mod tests {
         let log = plan.log();
         let log = log.lock().unwrap();
         assert_eq!(log[0].kind, FaultKind::AcceptDrop);
+    }
+
+    #[test]
+    fn targeted_kill_fires_once_at_its_op_coordinate() {
+        let targets = vec![TargetedFault {
+            conn: 0,
+            op: 2,
+            kind: TargetKind::Kill,
+        }];
+        let mut plan = FaultPlan::with_targets(FaultConfig::none(1), targets);
+        let (server, mut client) = pair();
+        let mut conn = plan.admit(server).unwrap();
+        Write::write_all(&mut client, b"one\ntwo\nthree\n").unwrap();
+        let mut buf = [0u8; 4]; // small buffer: one line per read, three ops
+        assert!(Transport::read(&mut conn, &mut buf).is_ok()); // op 0
+        assert!(Transport::read(&mut conn, &mut buf).is_ok()); // op 1
+        let e = Transport::read(&mut conn, &mut buf).unwrap_err(); // op 2: boom
+        assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
+        // Permanently dead, but the kill is only logged once.
+        assert_eq!(
+            Transport::read(&mut conn, &mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        let log = plan.log();
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, FaultKind::Kill);
+        assert_eq!((log[0].conn, log[0].op), (0, 2));
+    }
+
+    #[test]
+    fn targeted_freeze_delays_without_harming_data() {
+        let targets = vec![TargetedFault {
+            conn: 0,
+            op: 0,
+            kind: TargetKind::Freeze { millis: 30 },
+        }];
+        let mut plan = FaultPlan::with_targets(FaultConfig::none(1), targets);
+        let (server, mut client) = pair();
+        let mut conn = plan.admit(server).unwrap();
+        Write::write_all(&mut client, b"payload\n").unwrap();
+        let start = std::time::Instant::now();
+        let mut buf = [0u8; 16];
+        let n = Transport::read(&mut conn, &mut buf).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "freeze skipped"
+        );
+        assert_eq!(&buf[..n], b"payload\n");
+        // One-shot: the next op is fault-free and instant.
+        Write::write_all(&mut client, b"more\n").unwrap();
+        let n = Transport::read(&mut conn, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"more\n");
+        let log = plan.log();
+        assert_eq!(log.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn targets_only_hit_their_connection() {
+        let targets = vec![TargetedFault {
+            conn: 1,
+            op: 0,
+            kind: TargetKind::Kill,
+        }];
+        let mut plan = FaultPlan::with_targets(FaultConfig::none(1), targets);
+        let (server0, mut client0) = pair();
+        let mut conn0 = plan.admit(server0).unwrap();
+        let (server1, _client1) = pair();
+        let mut conn1 = plan.admit(server1).unwrap();
+        Write::write_all(&mut client0, b"safe\n").unwrap();
+        let mut buf = [0u8; 16];
+        assert!(Transport::read(&mut conn0, &mut buf).is_ok());
+        assert_eq!(
+            Transport::read(&mut conn1, &mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
     }
 
     #[test]

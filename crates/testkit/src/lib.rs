@@ -33,6 +33,7 @@ pub mod storefault;
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ClientTally};
 pub use fault::{
     render_fault_log, FaultConfig, FaultKind, FaultPlan, FaultRecord, FaultStream, SplitMix64,
+    TargetKind, TargetedFault,
 };
 pub use oracle::{case_from_seed, check_case, DigestInspector, OracleCase};
 pub use refsim::reference_simulate;

@@ -44,6 +44,41 @@ impl Adam {
         self.m.len()
     }
 
+    /// The first- and second-moment vectors `(m, v)` — read-only, exposed
+    /// so a distributed merge can average optimizer state across replicas.
+    pub fn moments(&self) -> (&[f32], &[f32]) {
+        (&self.m, &self.v)
+    }
+
+    /// Rebuild optimizer state from explicit parts — the constructor a
+    /// parameter-averaging merge uses after blending moment vectors.
+    pub fn from_state(
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        m: Vec<f32>,
+        v: Vec<f32>,
+        t: u64,
+    ) -> Result<Self, String> {
+        if m.len() != v.len() {
+            return Err(format!(
+                "moment vectors disagree: m covers {} params, v covers {}",
+                m.len(),
+                v.len()
+            ));
+        }
+        Ok(Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            m,
+            v,
+            t,
+        })
+    }
+
     /// Serialize the full optimizer state (hyperparameters, moment
     /// vectors, step count) in the same diff-friendly text style as
     /// [`Mlp::to_text`]. Floats use `{:e}`, which roundtrips `f32`

@@ -175,6 +175,42 @@ impl Mlp {
         }
     }
 
+    /// Flatten every parameter into one vector, in [`Mlp::visit_params`]
+    /// order (per layer: weights, then biases).
+    pub fn params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(&l.w);
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Overwrite every parameter from a flat vector laid out like
+    /// [`Mlp::params`] — the hook a parameter-averaging merge uses to
+    /// install blended weights into a same-shaped network.
+    pub fn set_params(&mut self, params: &[f32]) -> Result<(), String> {
+        if params.len() != self.param_count() {
+            return Err(format!(
+                "parameter vector holds {} values, network has {}",
+                params.len(),
+                self.param_count()
+            ));
+        }
+        let mut idx = 0;
+        for l in &mut self.layers {
+            for w in l.w.iter_mut() {
+                *w = params[idx];
+                idx += 1;
+            }
+            for b in l.b.iter_mut() {
+                *b = params[idx];
+                idx += 1;
+            }
+        }
+        Ok(())
+    }
+
     /// Global L2 norm of the accumulated gradients.
     pub fn grad_norm(&self) -> f32 {
         let mut s = 0.0f32;

@@ -4,6 +4,8 @@
 //! schedinspector train    --trace SDSC-SP2 --policy SJF --metric bsld \
 //!                         --epochs 40 --out model.txt --telemetry run.jsonl
 //! schedinspector train    --store run-store --resume   (crash-safe training)
+//! schedinspector train    --dist 4 --merge sync        (distributed training)
+//! schedinspector dist-worker --connect 127.0.0.1:7700  (external worker)
 //! schedinspector store    inspect --dir run-store
 //! schedinspector serve    --model-dir run-store --addr 127.0.0.1:7171
 //! schedinspector evaluate --model model.txt --trace SDSC-SP2 --policy SJF
@@ -25,10 +27,6 @@ use inspector::analysis::{
     collect_decisions, feature_cdf, rejection_fraction, MANUAL_FEATURE_NAMES,
 };
 use schedinspector::prelude::*;
-
-/// Store key the trainer journals its latest checkpoint under; `train
-/// --resume` reads the same key back.
-const CHECKPOINT_KEY: &str = "checkpoint/latest";
 
 struct Args {
     map: Vec<(String, String)>,
@@ -72,7 +70,7 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: schedinspector <train|evaluate|analyze|serve|infer|trace|scenario|store|check-telemetry|report> [options]\n\
+        "usage: schedinspector <train|dist-worker|evaluate|analyze|serve|infer|trace|scenario|store|check-telemetry|report> [options]\n\
          \n\
          common options:\n\
            --trace   SDSC-SP2|CTC-SP2|HPC2N|Lublin   (default SDSC-SP2)\n\
@@ -89,6 +87,23 @@ fn usage() -> ! {
          \x20                         publish the final model as a generation\n\
          \x20          --resume       continue a killed run from the store's\n\
          \x20                         last durable checkpoint (byte-identical)\n\
+         \x20          --dist N       distributed training across N workers\n\
+         \x20                         (byte-identical to in-process training)\n\
+         \x20          --merge sync|decentralized   (default sync; decentralized\n\
+         \x20                         is the DD-PPO shard-averaged merge)\n\
+         \x20          --frame json|binary   episode wire encoding (default json)\n\
+         \x20          --dist-listen HOST:PORT   coordinator bind (default\n\
+         \x20                         127.0.0.1:0, chosen port printed)\n\
+         \x20          --dist-workers inproc|none   (default inproc spawns the N\n\
+         \x20                         workers in-process; none waits for external\n\
+         \x20                         `dist-worker` processes)\n\
+         \x20          --dist-shards N   logical shards, the determinism key\n\
+         \x20                         (default N = worker count)\n\
+         \x20          --dist-timeout-ms N   shard watchdog before speculative\n\
+         \x20                         reassignment (default 30000)\n\
+         dist-worker: --connect HOST:PORT   (plus the same trace/policy/seed\n\
+         \x20          flags as the coordinator's train invocation: a worker\n\
+         \x20          must reconstruct the identical world)\n\
          evaluate: --model FILE --seqs N --len N\n\
          analyze:  --model FILE\n\
          serve:    --model FILE --addr HOST:PORT --workers N --batch N\n\
@@ -120,6 +135,7 @@ fn usage() -> ! {
          report:   FILE.jsonl [FILE.jsonl ...] [--tolerance F]\n\
          \x20          [--fairness FILE.json]  (render a fairness report)\n\
          \x20          [--latency-tolerance F] [--bench-rollout FILE] [--bench-serve FILE]\n\
+         \x20          [--bench-train FILE]  (distributed scaling baseline)\n\
          \x20          (per-epoch summaries, span wall-time breakdown, plus\n\
          \x20           throughput and p99-latency regression checks vs the\n\
          \x20           committed BENCH baselines; exits 1 on regression)"
@@ -238,6 +254,19 @@ fn cmd_train(args: &Args) {
             }
         }
     });
+    // Distributed mode (`--dist N`): the coordinator runs inside this
+    // process, drawing the exact epoch plans the in-process path would,
+    // while workers (in-process threads by default, or external
+    // `dist-worker` processes) execute the sharded rollouts.
+    let dist_workers = args.get("dist").map(|v| match v.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("--dist requires a worker count >= 1, got {v:?}");
+            exit(2)
+        }
+    });
+    // In-process workers must reconstruct the identical world.
+    let worker_world = dist_workers.map(|_| train.clone());
     let mut trainer = match Trainer::builder(train)
         .factory(factory.clone())
         .config(config)
@@ -295,26 +324,40 @@ fn cmd_train(args: &Args) {
             }
         }
     }
-    for epoch in start_epoch..config.epochs {
-        let r = trainer.train_epoch(epoch);
-        if let Some(store) = run_store.as_mut() {
-            store.put(
-                CHECKPOINT_KEY,
-                trainer.checkpoint_text(epoch + 1).into_bytes(),
-            );
-            if let Err(e) = store.commit() {
-                eprintln!("cannot journal checkpoint for epoch {epoch}: {e}");
-                exit(1)
+    if let Some(n) = dist_workers {
+        run_distributed(
+            args,
+            &mut trainer,
+            worker_world.expect("trace captured for workers"),
+            &factory,
+            config,
+            n,
+            start_epoch,
+            run_store.as_mut(),
+            &telemetry,
+        );
+    } else {
+        for epoch in start_epoch..config.epochs {
+            let r = trainer.train_epoch(epoch);
+            if let Some(store) = run_store.as_mut() {
+                store.put(
+                    CHECKPOINT_KEY,
+                    trainer.checkpoint_text(epoch + 1).into_bytes(),
+                );
+                if let Err(e) = store.commit() {
+                    eprintln!("cannot journal checkpoint for epoch {epoch}: {e}");
+                    exit(1)
+                }
             }
-        }
-        if epoch % 5 == 0 || epoch + 1 == config.epochs {
-            println!(
-                "  epoch {:>3}: improvement {:+.3} ({:+.1}%), rejection ratio {:.1}%",
-                epoch,
-                r.improvement,
-                r.improvement_pct * 100.0,
-                r.rejection_ratio * 100.0
-            );
+            if epoch % 5 == 0 || epoch + 1 == config.epochs {
+                println!(
+                    "  epoch {:>3}: improvement {:+.3} ({:+.1}%), rejection ratio {:.1}%",
+                    epoch,
+                    r.improvement,
+                    r.improvement_pct * 100.0,
+                    r.rejection_ratio * 100.0
+                );
+            }
         }
     }
     telemetry.flush();
@@ -341,6 +384,165 @@ fn cmd_train(args: &Args) {
                 eprintln!("cannot publish model: {e}");
                 exit(1)
             }
+        }
+    }
+}
+
+/// The `train --dist N` path: bind the coordinator, spawn (or wait for)
+/// workers, and run the epochs through the sharded scheduler. For a fixed
+/// `(seed, --dist-shards)` the final weights are byte-identical to the
+/// in-process loop above — the shard plan, not the physical worker set,
+/// is the determinism key.
+#[allow(clippy::too_many_arguments)] // one-shot plumbing from cmd_train
+fn run_distributed(
+    args: &Args,
+    trainer: &mut Trainer,
+    world: JobTrace,
+    factory: &inspector::PolicyFactory,
+    config: InspectorConfig,
+    n: usize,
+    start_epoch: usize,
+    store: Option<&mut RunStore>,
+    telemetry: &Telemetry,
+) {
+    let merge = match args.get("merge") {
+        None => MergeMode::Sync,
+        Some(v) => MergeMode::parse(v).unwrap_or_else(|| {
+            eprintln!("--merge must be sync or decentralized, got {v:?}");
+            exit(2)
+        }),
+    };
+    let frame = match args.get("frame") {
+        None => FrameKind::Json,
+        Some(v) => FrameKind::parse(v).unwrap_or_else(|| {
+            eprintln!("--frame must be json or binary, got {v:?}");
+            exit(2)
+        }),
+    };
+    let shards = args.num("dist-shards", n).clamp(1, config.batch_size);
+    let cfg = DistConfig {
+        shards,
+        merge,
+        frame,
+        shard_timeout: std::time::Duration::from_millis(args.num("dist-timeout-ms", 30_000u64)),
+        start_epoch,
+        ..DistConfig::default()
+    };
+    let coordinator = Coordinator::bind(args.get("dist-listen").unwrap_or("127.0.0.1:0"))
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        });
+    println!(
+        "coordinator on {} ({} merge, {} frames, {} shard(s), {} worker(s))",
+        coordinator.addr(),
+        merge.as_str(),
+        frame.as_str(),
+        shards,
+        n
+    );
+    let local = match args.get("dist-workers").unwrap_or("inproc") {
+        "inproc" => {
+            let workers: Vec<Trainer> = (0..n)
+                .map(|_| {
+                    Trainer::builder(world.clone())
+                        .factory(factory.clone())
+                        .config(config)
+                        .build()
+                        .unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            exit(2)
+                        })
+                })
+                .collect();
+            Some(spawn_local_workers(coordinator.addr(), workers))
+        }
+        "none" => {
+            println!(
+                "waiting for external dist-worker process(es) to connect to {}",
+                coordinator.addr()
+            );
+            None
+        }
+        other => {
+            eprintln!("--dist-workers must be inproc or none, got {other:?}");
+            exit(2)
+        }
+    };
+    let report = coordinator
+        .run(trainer, &cfg, store, telemetry)
+        .unwrap_or_else(|e| {
+            eprintln!("distributed training failed: {e}");
+            exit(1)
+        });
+    if let Some(handle) = local {
+        let _ = handle.join();
+    }
+    for r in &report.history.records {
+        if r.epoch % 5 == 0 || r.epoch + 1 == config.epochs {
+            println!(
+                "  epoch {:>3}: improvement {:+.3} ({:+.1}%), rejection ratio {:.1}%",
+                r.epoch,
+                r.improvement,
+                r.improvement_pct * 100.0,
+                r.rejection_ratio * 100.0
+            );
+        }
+    }
+    println!(
+        "distributed: {} episode(s), {} duplicate(s) dropped, {} reassignment(s), \
+         {} worker death(s), {} worker(s) joined",
+        report.episodes,
+        report.duplicates,
+        report.reassignments,
+        report.worker_deaths,
+        report.workers_joined
+    );
+}
+
+/// `dist-worker --connect ADDR` — one external rollout worker process. It
+/// must be launched with the same trace/policy/seed/config flags as the
+/// coordinator's `train` invocation so both sides reconstruct the
+/// identical world; mismatches are rejected at the hello handshake.
+fn cmd_dist_worker(args: &Args) {
+    let (trace, factory, sim, metric) = build_world(args);
+    let (train, _) = trace.split(0.2);
+    let config = InspectorConfig {
+        metric,
+        sim,
+        epochs: args.num("epochs", 40usize),
+        batch_size: args.num("batch", 64usize),
+        seq_len: args.num("len", 128usize),
+        seed: args.num("seed", 1u64),
+        ..Default::default()
+    };
+    let mut trainer = match Trainer::builder(train)
+        .factory(factory)
+        .config(config)
+        .build()
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(2)
+        }
+    };
+    let cfg = WorkerConfig {
+        connect: args.get("connect").unwrap_or("127.0.0.1:7700").to_string(),
+        connect_timeout: std::time::Duration::from_millis(
+            args.num("connect-timeout-ms", 10_000u64),
+        ),
+        ..WorkerConfig::default()
+    };
+    println!("worker connecting to {}", cfg.connect);
+    match run_worker(&mut trainer, &cfg) {
+        Ok(report) => println!(
+            "worker done: {} shard(s) rolled out, {} episode(s) streamed",
+            report.shards, report.episodes
+        ),
+        Err(e) => {
+            eprintln!("worker failed: {e}");
+            exit(1)
         }
     }
 }
@@ -1015,6 +1217,7 @@ fn cmd_report(args: &Args) {
     }
     let bench_rollout = load_bench_baseline(args.get("bench-rollout"), "BENCH_rollout.json");
     let bench_serve = load_bench_baseline(args.get("bench-serve"), "BENCH_serve.json");
+    let bench_train = load_bench_baseline(args.get("bench-train"), "BENCH_train.json");
     let mut regressed = false;
     for path in &args.positional {
         // Lenient parsing: a truncated or partially corrupt sidecar (the
@@ -1034,6 +1237,7 @@ fn cmd_report(args: &Args) {
             &report,
             bench_rollout.as_ref(),
             bench_serve.as_ref(),
+            bench_train.as_ref(),
             tolerance,
         );
         if checks.is_empty() {
@@ -1084,6 +1288,7 @@ fn main() {
     let args = Args::parse(&argv[1..]);
     match cmd.as_str() {
         "train" => cmd_train(&args),
+        "dist-worker" => cmd_dist_worker(&args),
         "evaluate" => cmd_evaluate(&args),
         "analyze" => cmd_analyze(&args),
         "serve" => cmd_serve(&args),

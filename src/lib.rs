@@ -29,6 +29,10 @@
 //! * [`store`] — an embedded LSM-style durable run store: checksummed
 //!   write-ahead log, immutable segments, a versioned manifest, and a
 //!   model registry driving crash-safe training and live serving swaps;
+//! * [`dist`] — a coordinator/worker distributed PPO trainer with
+//!   deterministic sharded rollouts, sync and decentralized (DD-PPO)
+//!   merges, worker fail-over, and crash-safe journaling through the run
+//!   store — byte-identical to the in-process trainer;
 //! * [`obs`] — zero-cost-when-disabled telemetry (spans, counters, gauges,
 //!   JSONL sidecars) threaded through the simulator and trainer, plus a
 //!   live metrics registry with Prometheus text exposition and an offline
@@ -37,6 +41,7 @@
 //! See `examples/` for runnable walk-throughs and `crates/experiments` for
 //! binaries regenerating every table and figure of the paper.
 
+pub use dist;
 pub use inspector;
 pub use obs;
 pub use policies;
@@ -56,6 +61,10 @@ pub use error::Error;
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use crate::Error;
+    pub use dist::{
+        run_worker, spawn_local_workers, Coordinator, DistConfig, DistError, DistReport, FrameKind,
+        MergeMode, WorkerConfig, CHECKPOINT_KEY,
+    };
     pub use inspector::{
         evaluate, factory_for, slurm_factory, EpisodeSpec, FeatureBuilder, FeatureMode,
         InspectorConfig, Normalizer, RewardKind, SchedInspector, Trainer, TrainerBuilder,

@@ -137,10 +137,10 @@ fn training_with_registry_exposes_metrics_and_report_analyzes_the_sidecar() {
         eps * 10.0
     ))
     .unwrap();
-    let ok = obs::report::throughput_checks(&report, Some(&generous), None, 0.5);
+    let ok = obs::report::throughput_checks(&report, Some(&generous), None, None, 0.5);
     assert_eq!(ok.len(), 1);
     assert!(!ok[0].regressed(), "10x slower baseline cannot regress");
-    let bad = obs::report::throughput_checks(&report, Some(&harsh), None, 0.5);
+    let bad = obs::report::throughput_checks(&report, Some(&harsh), None, None, 0.5);
     assert!(bad[0].regressed(), "10x faster baseline must regress");
 
     std::fs::remove_file(&path).ok();
